@@ -1,0 +1,62 @@
+//! Microbenchmarks of the wire-format codecs: varint encode/decode and the
+//! blank-aware sequence codec used by the shuffle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lash_encoding::{decode_sequence, encode_sequence, varint, BLANK};
+
+fn varint_roundtrip(c: &mut Criterion) {
+    let values: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let mut group = c.benchmark_group("varint");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("encode_u32_x1024", |b| {
+        let mut buf = Vec::with_capacity(5 * values.len());
+        b.iter(|| {
+            buf.clear();
+            for &v in &values {
+                varint::encode_u32(black_box(v), &mut buf);
+            }
+            black_box(buf.len())
+        });
+    });
+    let mut encoded = Vec::new();
+    for &v in &values {
+        varint::encode_u32(v, &mut encoded);
+    }
+    group.bench_function("decode_u32_x1024", |b| {
+        b.iter(|| {
+            let mut reader = varint::VarintReader::new(&encoded);
+            let mut sum = 0u64;
+            while !reader.is_empty() {
+                sum += reader.read_u32().unwrap() as u64;
+            }
+            black_box(sum)
+        });
+    });
+    group.finish();
+}
+
+fn sequence_codec(c: &mut Criterion) {
+    // A rewritten partition sequence: frequent (small) ids with blank runs.
+    let seq: Vec<u32> = (0..64u32)
+        .map(|i| if i % 5 == 4 { BLANK } else { i % 40 })
+        .collect();
+    let mut group = c.benchmark_group("sequence_codec");
+    group.throughput(Throughput::Elements(seq.len() as u64));
+    group.bench_function("encode_64_items", |b| {
+        let mut buf = Vec::with_capacity(128);
+        b.iter(|| {
+            buf.clear();
+            encode_sequence(black_box(&seq), &mut buf);
+            black_box(buf.len())
+        });
+    });
+    let mut encoded = Vec::new();
+    encode_sequence(&seq, &mut encoded);
+    group.bench_function("decode_64_items", |b| {
+        b.iter(|| black_box(decode_sequence(black_box(&encoded)).unwrap().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, varint_roundtrip, sequence_codec);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks of generalized subsequence matching (`S ⊑γ T`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lash_core::context::MiningContext;
+use lash_core::matching::{embeddings, matches};
+use lash_datagen::{TextConfig, TextCorpus, TextHierarchy};
+
+fn setup() -> (MiningContext, Vec<Vec<u32>>) {
+    let corpus = TextCorpus::generate(&TextConfig {
+        sentences: 500,
+        lemmas: 500,
+        ..TextConfig::default()
+    });
+    let (vocab, db) = corpus.dataset(TextHierarchy::CLP);
+    let ctx = MiningContext::build(&db, &vocab, 20);
+    let seqs: Vec<Vec<u32>> = (0..200).map(|i| ctx.ranked_seq(i).to_vec()).collect();
+    (ctx, seqs)
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let (ctx, seqs) = setup();
+    let space = ctx.space();
+    // A three-item pattern over frequent ranks, hierarchy-aware.
+    let pattern = [0u32, 3, 1];
+    let mut group = c.benchmark_group("matching");
+    group.bench_function("matches_200_sentences_gamma1", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for seq in &seqs {
+                hits += usize::from(matches(black_box(&pattern), seq, space, 1));
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_function("matches_200_sentences_gamma0", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for seq in &seqs {
+                hits += usize::from(matches(black_box(&pattern), seq, space, 0));
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_function("embeddings_200_sentences", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for seq in &seqs {
+                total += embeddings(black_box(&pattern), seq, space, 1).len();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks of the local miners on a fixed partition — the
+//! reduce-side cost that Fig. 4(c) measures at the job level.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lash_core::context::MiningContext;
+use lash_core::miner::{BfsMiner, DfsMiner, LocalMiner, PsmMiner};
+use lash_core::rewrite::Rewriter;
+use lash_core::sequence::Partition;
+use lash_core::GsmParams;
+use lash_datagen::{TextConfig, TextCorpus, TextHierarchy};
+
+fn build_partition() -> (MiningContext, Partition, u32, GsmParams) {
+    let corpus = TextCorpus::generate(&TextConfig {
+        sentences: 2_000,
+        lemmas: 500,
+        ..TextConfig::default()
+    });
+    let (vocab, db) = corpus.dataset(TextHierarchy::CLP);
+    let ctx = MiningContext::build(&db, &vocab, 20);
+    let params = GsmParams::new(20, 0, 5).unwrap();
+    // A mid-frequency pivot has a partition that is neither trivial nor huge.
+    let pivot = ctx.space().num_frequent() / 4;
+    let rewriter = Rewriter::new(ctx.space(), &params);
+    let partition = Partition::aggregate(
+        (0..ctx.ranked_db().len())
+            .filter_map(|i| rewriter.rewrite(ctx.ranked_seq(i), pivot))
+            .map(|s| (s, 1)),
+    );
+    (ctx, partition, pivot, params)
+}
+
+fn bench_miners(c: &mut Criterion) {
+    let (ctx, partition, pivot, params) = build_partition();
+    let space = ctx.space();
+    let miners: Vec<(&str, Box<dyn LocalMiner>)> = vec![
+        ("bfs", Box::new(BfsMiner)),
+        ("dfs", Box::new(DfsMiner)),
+        ("psm", Box::new(PsmMiner::plain())),
+        ("psm_indexed", Box::new(PsmMiner::indexed())),
+    ];
+    let mut group = c.benchmark_group("local_miners");
+    group.sample_size(20);
+    for (name, miner) in &miners {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let (patterns, stats) = miner.mine(black_box(&partition), pivot, space, &params);
+                black_box((patterns.len(), stats.candidates))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

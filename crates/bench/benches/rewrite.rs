@@ -1,0 +1,45 @@
+//! Microbenchmarks of partition construction: w-generalization plus the full
+//! rewrite pipeline (the per-sequence map-side cost of LASH).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lash_core::context::MiningContext;
+use lash_core::rewrite::{RewriteLevel, Rewriter};
+use lash_core::GsmParams;
+use lash_datagen::{TextConfig, TextCorpus, TextHierarchy};
+
+fn bench_rewrite(c: &mut Criterion) {
+    let corpus = TextCorpus::generate(&TextConfig {
+        sentences: 500,
+        lemmas: 500,
+        ..TextConfig::default()
+    });
+    let (vocab, db) = corpus.dataset(TextHierarchy::CLP);
+    let ctx = MiningContext::build(&db, &vocab, 20);
+    let params = GsmParams::new(20, 1, 5).unwrap();
+    let seqs: Vec<Vec<u32>> = (0..200).map(|i| ctx.ranked_seq(i).to_vec()).collect();
+    let pivots: Vec<u32> = (0..ctx.space().num_frequent().min(8)).collect();
+
+    let mut group = c.benchmark_group("rewrite");
+    group.throughput(Throughput::Elements((seqs.len() * pivots.len()) as u64));
+    for (name, level) in [
+        ("generalize_only", RewriteLevel::GeneralizeOnly),
+        ("full", RewriteLevel::Full),
+    ] {
+        group.bench_function(name, |b| {
+            let rw = Rewriter::with_level(ctx.space(), &params, level);
+            b.iter(|| {
+                let mut kept = 0usize;
+                for seq in &seqs {
+                    for &pivot in &pivots {
+                        kept += usize::from(rw.rewrite(black_box(seq), pivot).is_some());
+                    }
+                }
+                black_box(kept)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! The canonical experiment datasets: synthetic stand-ins for the paper's
+//! NYT and AMZN corpora, sized for a single machine and scaled with
+//! `--scale`.
+//!
+//! The corpora are generated once per harness invocation and shared across
+//! experiments (generation is deterministic, so re-running a single
+//! subcommand sees identical data).
+
+use lash_datagen::{ProductConfig, ProductCorpus, TextConfig, TextCorpus};
+
+/// Builds the NYT-like corpus at `scale` (1.0 ≈ 20k sentences).
+pub fn nyt(scale: f64) -> TextCorpus {
+    TextCorpus::generate(&TextConfig::default().scaled(scale))
+}
+
+/// Builds the AMZN-like corpus at `scale` (1.0 ≈ 20k sessions).
+pub fn amzn(scale: f64) -> ProductCorpus {
+    ProductCorpus::generate(&ProductConfig::default().scaled(scale))
+}
+
+/// Lazily-built corpora shared by the experiment subcommands.
+pub struct Datasets {
+    scale: f64,
+    nyt: Option<TextCorpus>,
+    amzn: Option<ProductCorpus>,
+}
+
+impl Datasets {
+    /// Creates the holder at a given scale.
+    pub fn new(scale: f64) -> Datasets {
+        Datasets {
+            scale,
+            nyt: None,
+            amzn: None,
+        }
+    }
+
+    /// The scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The NYT-like corpus (generated on first use).
+    pub fn nyt(&mut self) -> &TextCorpus {
+        let scale = self.scale;
+        self.nyt.get_or_insert_with(|| nyt(scale))
+    }
+
+    /// The AMZN-like corpus (generated on first use).
+    pub fn amzn(&mut self) -> &ProductCorpus {
+        let scale = self.scale;
+        self.amzn.get_or_insert_with(|| amzn(scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_build_lazily_and_cache() {
+        let mut d = Datasets::new(0.01);
+        let n1 = d.nyt().len();
+        let n2 = d.nyt().len();
+        assert_eq!(n1, n2);
+        assert!(n1 > 0);
+        assert!(!d.amzn().is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Fig. 5: parameter effects (σ, γ, λ) and hierarchy effects on the LASH
+//! pipeline, with the map/shuffle/reduce phase breakdown of the mining job.
+
+use lash_core::{GsmParams, LashConfig, LashResult};
+use lash_datagen::{ProductHierarchy, TextHierarchy};
+
+use crate::datasets::Datasets;
+use crate::report::{secs, Report, Table};
+
+use super::{cluster, run_lash};
+
+fn phase_row(label: String, result: &LashResult) -> Vec<String> {
+    vec![
+        label,
+        secs(result.mine_metrics.map_time),
+        secs(result.mine_metrics.shuffle_time),
+        secs(result.mine_metrics.reduce_time),
+        secs(result.total_time()),
+        result.pattern_set().len().to_string(),
+    ]
+}
+
+const PHASE_HEADERS: [&str; 6] = ["setting", "map", "shuffle", "reduce", "total", "#patterns"];
+
+/// Fig. 5(a): effect of minimum support σ on AMZN-h8 (γ=1, λ=5).
+///
+/// The paper sweeps σ ∈ {10, 100, 1000, 10000} over 6.6M sessions; the
+/// synthetic corpus is ~300× smaller, so the sweep {5, 25, 125, 625} spans
+/// the corresponding two orders of magnitude of relative support.
+///
+/// Paper shape: both map (rewriting) and reduce (mining) times fall as σ
+/// rises — higher support shrinks the effective hierarchy depth and the
+/// search space.
+pub fn fig5a(datasets: &mut Datasets, report: &mut Report) {
+    let mut table = Table::new(
+        "fig5a",
+        "Effect of support σ (s): AMZN-h8, γ=1, λ=5",
+        &PHASE_HEADERS,
+    );
+    let (vocab, db) = datasets.amzn().clone().dataset(ProductHierarchy::H8);
+    for sigma in [5u64, 25, 125, 625] {
+        let params = GsmParams::new(sigma, 1, 5).expect("valid params");
+        let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
+        table.row(phase_row(format!("σ={sigma}"), &result));
+    }
+    report.add(table);
+}
+
+/// Fig. 5(b): effect of the gap constraint γ ∈ {0..3} on AMZN-h8
+/// (σ=25, the mapped equivalent of the paper's σ=100; λ=5).
+///
+/// Paper shape: map time is flat (rewriting is largely γ-independent);
+/// reduce time grows steeply with γ as the mining search space widens.
+pub fn fig5b(datasets: &mut Datasets, report: &mut Report) {
+    let mut table = Table::new(
+        "fig5b",
+        "Effect of gap γ (s): AMZN-h8, σ=25, λ=5",
+        &PHASE_HEADERS,
+    );
+    let (vocab, db) = datasets.amzn().clone().dataset(ProductHierarchy::H8);
+    for gamma in 0..=3usize {
+        let params = GsmParams::new(25, gamma, 5).expect("valid params");
+        let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
+        table.row(phase_row(format!("γ={gamma}"), &result));
+    }
+    report.add(table);
+}
+
+/// Fig. 5(c,d): effect of maximum length λ ∈ {3..7} on AMZN-h8 (σ=25, γ=1),
+/// plus the output-size series of Fig. 5(d).
+///
+/// Paper shape: map time flat; reduce time and output size grow with λ and
+/// are proportional to each other.
+pub fn fig5cd(datasets: &mut Datasets, report: &mut Report) {
+    let mut time_table = Table::new(
+        "fig5c",
+        "Effect of length λ (s): AMZN-h8, σ=25, γ=1",
+        &PHASE_HEADERS,
+    );
+    let mut out_table = Table::new(
+        "fig5d",
+        "Output sequences vs λ: AMZN-h8, σ=25, γ=1",
+        &["setting", "#patterns", "reduce (s)"],
+    );
+    let (vocab, db) = datasets.amzn().clone().dataset(ProductHierarchy::H8);
+    for lambda in 3..=7usize {
+        let params = GsmParams::new(25, 1, lambda).expect("valid params");
+        let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
+        time_table.row(phase_row(format!("λ={lambda}"), &result));
+        out_table.row(vec![
+            format!("λ={lambda}"),
+            result.pattern_set().len().to_string(),
+            secs(result.mine_metrics.reduce_time),
+        ]);
+    }
+    report.add(time_table);
+    report.add(out_table);
+}
+
+/// Fig. 5(e): effect of hierarchy depth (AMZN h2/h3/h4/h8; σ=25, γ=2, λ=5).
+///
+/// Paper shape: map grows mildly with depth (rewriting walks chains); reduce
+/// grows with the number of intermediate items since each one spawns a
+/// partition; h8 adds little over h4 because most products have ≤ 4 parent
+/// categories.
+pub fn fig5e(datasets: &mut Datasets, report: &mut Report) {
+    let mut table = Table::new(
+        "fig5e",
+        "Effect of hierarchy depth (s): AMZN, σ=25, γ=2, λ=5",
+        &PHASE_HEADERS,
+    );
+    let corpus = datasets.amzn().clone();
+    for hierarchy in ProductHierarchy::all() {
+        let (vocab, db) = corpus.dataset(hierarchy);
+        let params = GsmParams::new(25, 2, 5).expect("valid params");
+        let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
+        table.row(phase_row(hierarchy.name().to_owned(), &result));
+    }
+    report.add(table);
+}
+
+/// Fig. 5(f): effect of hierarchy shape (NYT L/P/LP/CLP; σ=100, γ=0, λ=5).
+///
+/// Paper shape: P (few roots, huge fan-out) mines slower than L (many roots,
+/// small fan-out) despite equal depth; LP and CLP add map and reduce time.
+pub fn fig5f(datasets: &mut Datasets, report: &mut Report) {
+    let mut table = Table::new(
+        "fig5f",
+        "Effect of hierarchy shape (s): NYT, σ=100, γ=0, λ=5",
+        &PHASE_HEADERS,
+    );
+    let corpus = datasets.nyt().clone();
+    for hierarchy in TextHierarchy::all() {
+        let (vocab, db) = corpus.dataset(hierarchy);
+        let params = GsmParams::ngram(100, 5).expect("valid params");
+        let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
+        table.row(phase_row(hierarchy.name().to_owned(), &result));
+    }
+    report.add(table);
+}

@@ -1,0 +1,122 @@
+//! Fig. 6: scalability — data scaling, strong scaling, weak scaling on the
+//! NYT-CLP dataset (σ=100, γ=0, λ=5).
+//!
+//! The paper varies cluster machines (2/4/8); here worker threads stand in
+//! for machines, so wall-clock speedups saturate at the host's core count —
+//! the harness prints the host parallelism alongside.
+
+use lash_core::{GsmParams, LashConfig, SequenceDatabase, Vocabulary};
+use lash_datagen::TextHierarchy;
+
+use crate::datasets::Datasets;
+use crate::report::{secs, Report, Table};
+
+use super::{cluster, run_lash};
+
+fn params() -> GsmParams {
+    GsmParams::ngram(100, 5).expect("valid params")
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn dataset(datasets: &mut Datasets) -> (Vocabulary, SequenceDatabase) {
+    datasets.nyt().clone().dataset(TextHierarchy::CLP)
+}
+
+/// Fig. 6(a): data scaling — 25/50/75/100% of the input.
+///
+/// Paper shape: map and reduce times grow linearly with data size.
+pub fn fig6a(datasets: &mut Datasets, report: &mut Report) {
+    let mut table = Table::new(
+        "fig6a",
+        "Data scaling (s): NYT-CLP, σ=100, γ=0, λ=5",
+        &["data", "map", "shuffle", "reduce", "total", "#patterns"],
+    );
+    let (vocab, db) = dataset(datasets);
+    for pct in [25usize, 50, 75, 100] {
+        let part = db.truncated(db.len() * pct / 100);
+        let result = run_lash(&part, &vocab, &params(), LashConfig::new(cluster()));
+        table.row(vec![
+            format!("{pct}%"),
+            secs(result.mine_metrics.map_time),
+            secs(result.mine_metrics.shuffle_time),
+            secs(result.mine_metrics.reduce_time),
+            secs(result.total_time()),
+            result.pattern_set().len().to_string(),
+        ]);
+    }
+    report.add(table);
+}
+
+/// Fig. 6(b): strong scaling — fixed data, 1/2/4/8 workers.
+///
+/// Paper shape: near-linear speedup in both map and reduce.
+pub fn fig6b(datasets: &mut Datasets, report: &mut Report) {
+    let mut table = Table::new(
+        "fig6b",
+        &format!(
+            "Strong scaling (s): NYT-CLP, fixed data, workers as machines \
+             (host has {} threads — speedups saturate there)",
+            host_threads()
+        ),
+        &["workers", "map", "shuffle", "reduce", "total", "speedup"],
+    );
+    let (vocab, db) = dataset(datasets);
+    let mut base: Option<f64> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let result = run_lash(
+            &db,
+            &vocab,
+            &params(),
+            LashConfig::new(cluster().with_parallelism(workers)),
+        );
+        let total = result.total_time().as_secs_f64();
+        let baseline = *base.get_or_insert(total);
+        table.row(vec![
+            workers.to_string(),
+            secs(result.mine_metrics.map_time),
+            secs(result.mine_metrics.shuffle_time),
+            secs(result.mine_metrics.reduce_time),
+            secs(result.total_time()),
+            format!("{:.2}x", baseline / total.max(1e-9)),
+        ]);
+    }
+    report.add(table);
+}
+
+/// Fig. 6(c): weak scaling — data grows with workers: (2, 25%), (4, 50%),
+/// (8, 100%).
+///
+/// Paper shape: total time stays roughly constant, rising slightly because
+/// output size grows super-linearly with data.
+pub fn fig6c(datasets: &mut Datasets, report: &mut Report) {
+    let mut table = Table::new(
+        "fig6c",
+        &format!(
+            "Weak scaling (s): NYT-CLP, data grows with workers (host has {} threads)",
+            host_threads()
+        ),
+        &["workers(data)", "map", "shuffle", "reduce", "total", "#patterns"],
+    );
+    let (vocab, db) = dataset(datasets);
+    for (workers, pct) in [(2usize, 25usize), (4, 50), (8, 100)] {
+        let part = db.truncated(db.len() * pct / 100);
+        let result = run_lash(
+            &part,
+            &vocab,
+            &params(),
+            LashConfig::new(cluster().with_parallelism(workers)),
+        );
+        table.row(vec![
+            format!("{workers}({pct}%)"),
+            secs(result.mine_metrics.map_time),
+            secs(result.mine_metrics.shuffle_time),
+            secs(result.mine_metrics.reduce_time),
+            secs(result.total_time()),
+            result.pattern_set().len().to_string(),
+        ]);
+    }
+    report.add(table);
+}

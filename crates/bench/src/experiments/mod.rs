@@ -1,0 +1,38 @@
+//! One module per figure/table group of the paper's evaluation (Sec. 6).
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod tables;
+
+use lash_core::{GsmParams, Lash, LashConfig, LashResult, SequenceDatabase, Vocabulary};
+use lash_mapreduce::ClusterConfig;
+
+/// The default cluster configuration for experiments: all host threads, a
+/// fixed number of reduce partitions for run-to-run comparability.
+pub fn cluster() -> ClusterConfig {
+    ClusterConfig::default()
+        .with_reduce_tasks(16)
+        .with_split_size(1024)
+}
+
+/// Runs LASH with the given configuration and returns the result.
+pub fn run_lash(
+    db: &SequenceDatabase,
+    vocab: &Vocabulary,
+    params: &GsmParams,
+    config: LashConfig,
+) -> LashResult {
+    Lash::new(config)
+        .mine(db, vocab, params)
+        .expect("experiment run failed")
+}
+
+/// A parameter setting label like "P(1000,0,3)".
+pub fn setting_label(hierarchy: &str, params: &GsmParams) -> String {
+    format!(
+        "{hierarchy}({},{},{})",
+        params.sigma, params.gamma, params.lambda
+    )
+}

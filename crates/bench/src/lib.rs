@@ -1,0 +1,19 @@
+//! # lash-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of the
+//! LASH paper's evaluation (Sec. 6) on the synthetic stand-in corpora of
+//! `lash-datagen` — see `DESIGN.md` for the per-experiment index and
+//! `EXPERIMENTS.md` for measured results.
+//!
+//! The `experiments` binary exposes one subcommand per table/figure
+//! (`table1`, `fig4a`, …, `fig6c`, `ablation`) plus `all`; `--scale F`
+//! multiplies dataset sizes.
+
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+
+pub use datasets::{amzn, nyt, Datasets};
+pub use report::{Report, Table};

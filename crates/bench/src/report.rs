@@ -1,0 +1,165 @@
+//! Result tables: pretty-printed to stdout and written as CSV under
+//! `bench_results/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One result table (a figure series or a paper table).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table identifier, e.g. "fig4a".
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Collects tables, printing each and optionally persisting CSVs.
+#[derive(Debug)]
+pub struct Report {
+    out_dir: Option<PathBuf>,
+    /// All tables produced so far.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// A report that writes CSVs into `dir` (created on demand).
+    pub fn new(dir: Option<PathBuf>) -> Report {
+        Report {
+            out_dir: dir,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Prints and records a table; writes `<id>.csv` when an output directory
+    /// is configured.
+    pub fn add(&mut self, table: Table) {
+        println!("{}", table.render());
+        if let Some(dir) = &self.out_dir {
+            if std::fs::create_dir_all(dir).is_ok() {
+                let path = dir.join(format!("{}.csv", table.id));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+        }
+        self.tables.push(table);
+    }
+}
+
+/// Formats a `Duration` in seconds with millisecond resolution.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a byte count in MiB.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_escapes_csv() {
+        let mut t = Table::new("t", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("demo"));
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new("t", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn report_collects_tables() {
+        let mut r = Report::new(None);
+        r.add(Table::new("x", "t", &["c"]));
+        assert_eq!(r.tables.len(), 1);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+        assert_eq!(mib(3 * 1024 * 1024), "3.00");
+    }
+}

@@ -1,0 +1,177 @@
+//! The mining context: everything derived from (database, vocabulary, σ) in
+//! the preprocessing phase — the generalized f-list, the total order, the
+//! rank-space hierarchy, and the rank-re-encoded database.
+
+use crate::flist::{FList, ItemOrder};
+use crate::hierarchy::ItemSpace;
+use crate::sequence::SequenceDatabase;
+use crate::vocabulary::{ItemId, Vocabulary};
+
+/// The rank-re-encoded database (arena layout, items are ranks).
+#[derive(Debug, Clone, Default)]
+pub struct RankedDatabase {
+    items: Vec<u32>,
+    offsets: Vec<u64>,
+}
+
+impl RankedDatabase {
+    /// Creates an empty ranked database.
+    pub fn new() -> Self {
+        RankedDatabase {
+            items: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Appends a ranked sequence.
+    pub fn push(&mut self, seq: &[u32]) {
+        self.items.extend_from_slice(seq);
+        self.offsets.push(self.items.len() as u64);
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if there are no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `idx`-th sequence.
+    pub fn get(&self, idx: usize) -> &[u32] {
+        let lo = self.offsets[idx] as usize;
+        let hi = self.offsets[idx + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// Iterates over all sequences.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+/// Preprocessing output: f-list, order, rank-space hierarchy, ranked database.
+///
+/// This corresponds to the state LASH shares between its two MapReduce jobs
+/// (paper Sec. 3.4, "Preprocessing").
+#[derive(Debug, Clone)]
+pub struct MiningContext {
+    flist: FList,
+    order: ItemOrder,
+    space: ItemSpace,
+    db: RankedDatabase,
+}
+
+impl MiningContext {
+    /// Runs preprocessing sequentially: computes the generalized f-list, the
+    /// total order, and re-encodes the database into rank space.
+    pub fn build(db: &SequenceDatabase, vocab: &Vocabulary, sigma: u64) -> MiningContext {
+        let flist = FList::compute(db, vocab);
+        Self::from_flist(db, vocab, flist, sigma)
+    }
+
+    /// Builds a context from a precomputed f-list (e.g. the distributed
+    /// f-list job).
+    pub fn from_flist(
+        db: &SequenceDatabase,
+        vocab: &Vocabulary,
+        flist: FList,
+        sigma: u64,
+    ) -> MiningContext {
+        let order = ItemOrder::build(&flist, vocab, sigma);
+        let space = order.item_space(&flist, vocab);
+        let mut ranked = RankedDatabase::new();
+        let mut buf = Vec::new();
+        for seq in db.iter() {
+            buf.clear();
+            buf.extend(seq.iter().map(|&it| order.rank(it)));
+            ranked.push(&buf);
+        }
+        MiningContext {
+            flist,
+            order,
+            space,
+            db: ranked,
+        }
+    }
+
+    /// The generalized f-list.
+    pub fn flist(&self) -> &FList {
+        &self.flist
+    }
+
+    /// The hierarchy-aware total order.
+    pub fn order(&self) -> &ItemOrder {
+        &self.order
+    }
+
+    /// The rank-space hierarchy.
+    pub fn space(&self) -> &ItemSpace {
+        &self.space
+    }
+
+    /// The rank-re-encoded database.
+    pub fn ranked_db(&self) -> &RankedDatabase {
+        &self.db
+    }
+
+    /// The `idx`-th ranked sequence.
+    pub fn ranked_seq(&self, idx: usize) -> &[u32] {
+        self.db.get(idx)
+    }
+
+    /// Decodes a rank-space pattern back into vocabulary item ids.
+    pub fn decode(&self, ranks: &[u32]) -> Vec<ItemId> {
+        ranks.iter().map(|&r| self.order.item(r)).collect()
+    }
+
+    /// Decodes a rank-space pattern into item names.
+    pub fn decode_names(&self, ranks: &[u32], vocab: &Vocabulary) -> Vec<String> {
+        ranks
+            .iter()
+            .map(|&r| vocab.name(self.order.item(r)).to_owned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig1;
+
+    #[test]
+    fn ranked_database_round_trips() {
+        let (vocab, db) = fig1();
+        let ctx = MiningContext::build(&db, &vocab, 2);
+        assert_eq!(ctx.ranked_db().len(), db.len());
+        for (i, seq) in db.iter().enumerate() {
+            let ranked = ctx.ranked_seq(i);
+            assert_eq!(ranked.len(), seq.len());
+            let decoded = ctx.decode(ranked);
+            assert_eq!(decoded, seq);
+        }
+    }
+
+    #[test]
+    fn t1_ranks_match_fig2_order() {
+        let (vocab, db) = fig1();
+        let ctx = MiningContext::build(&db, &vocab, 2);
+        // T1 = a b1 a b1 → ranks [0, 2, 0, 2].
+        assert_eq!(ctx.ranked_seq(0), &[0, 2, 0, 2]);
+        let names = ctx.decode_names(ctx.ranked_seq(0), &vocab);
+        assert_eq!(names, ["a", "b1", "a", "b1"]);
+    }
+
+    #[test]
+    fn space_and_order_are_consistent() {
+        let (vocab, db) = fig1();
+        let ctx = MiningContext::build(&db, &vocab, 2);
+        assert_eq!(ctx.space().num_frequent(), 5);
+        assert_eq!(ctx.order().num_frequent(), 5);
+        // The f-list is queryable through the context.
+        let b1 = vocab.lookup("b1").unwrap();
+        assert_eq!(ctx.flist().frequency(b1), 4);
+    }
+}

@@ -1,0 +1,737 @@
+//! DAG hierarchies: generalized sequence mining when items may have
+//! **multiple parents** (paper footnote 2: "in some applications … the
+//! hierarchy may instead form a directed acyclic graph; our methods can be
+//! extended to deal with such hierarchies as well").
+//!
+//! With multiple parents, `u →* v` is membership of `v` in `u`'s *ancestor
+//! closure*. Two properties of the forest setting survive:
+//!
+//! * the generalized document frequency is still monotone
+//!   (`f0(parent) ≥ f0(child)`), so the frequency-descending, depth-aware
+//!   total order still ranks every ancestor before its descendants;
+//! * pattern growth with closure-based extension enumerates exactly the
+//!   frequent generalized sequences.
+//!
+//! What does **not** survive unchanged is w-generalization: an irrelevant
+//! item with two *incomparable* relevant ancestors cannot be replaced by
+//! either one without losing patterns through the other. [`DagMiner`]
+//! therefore mines partitions pivot-by-pivot without destructive rewrites —
+//! extensions are simply capped at the pivot rank — trading the paper's
+//! compression for correctness. It is a sequential reference implementation
+//! of the extension, validated against exhaustive enumeration.
+
+use crate::error::{Error, Result};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::params::GsmParams;
+use crate::pattern::PatternSet;
+use crate::sequence::SequenceDatabase;
+use crate::vocabulary::ItemId;
+use crate::BLANK;
+
+/// Builder for a multi-parent vocabulary.
+#[derive(Debug, Default)]
+pub struct MultiVocabularyBuilder {
+    names: Vec<String>,
+    index: FxHashMap<String, ItemId>,
+    parents: Vec<Vec<ItemId>>,
+}
+
+impl MultiVocabularyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, inserting it if new.
+    pub fn intern(&mut self, name: &str) -> ItemId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = ItemId::from_u32(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        self.parents.push(Vec::new());
+        id
+    }
+
+    /// Adds a generalization edge `child → parent`. Errors on cycles;
+    /// duplicate edges are ignored.
+    pub fn add_parent(&mut self, child: ItemId, parent: ItemId) -> Result<()> {
+        if child.index() >= self.names.len() {
+            return Err(Error::UnknownItem(child.as_u32()));
+        }
+        if parent.index() >= self.names.len() {
+            return Err(Error::UnknownItem(parent.as_u32()));
+        }
+        if self.parents[child.index()].contains(&parent) {
+            return Ok(());
+        }
+        // Cycle check: is `child` reachable from `parent`?
+        let mut stack = vec![parent];
+        let mut seen = FxHashSet::default();
+        while let Some(node) = stack.pop() {
+            if node == child {
+                return Err(Error::HierarchyCycle { item: child.as_u32() });
+            }
+            if seen.insert(node) {
+                stack.extend(self.parents[node.index()].iter().copied());
+            }
+        }
+        self.parents[child.index()].push(parent);
+        Ok(())
+    }
+
+    /// Finalizes the vocabulary, computing ancestor closures and longest-path
+    /// depths.
+    pub fn finish(self) -> MultiVocabulary {
+        let n = self.names.len();
+        // Ancestor closures via memoized DFS (acyclic by construction).
+        let mut closures: Vec<Option<Vec<ItemId>>> = vec![None; n];
+        fn closure_of(
+            item: usize,
+            parents: &[Vec<ItemId>],
+            closures: &mut Vec<Option<Vec<ItemId>>>,
+        ) -> Vec<ItemId> {
+            if let Some(c) = &closures[item] {
+                return c.clone();
+            }
+            let mut set: FxHashSet<ItemId> = FxHashSet::default();
+            set.insert(ItemId::from_u32(item as u32));
+            for &p in &parents[item] {
+                for a in closure_of(p.index(), parents, closures) {
+                    set.insert(a);
+                }
+            }
+            let mut c: Vec<ItemId> = set.into_iter().collect();
+            c.sort_unstable();
+            closures[item] = Some(c.clone());
+            c
+        }
+        for i in 0..n {
+            closure_of(i, &self.parents, &mut closures);
+        }
+        // Longest-path depth: roots are 0.
+        let mut depth = vec![u32::MAX; n];
+        fn depth_of(item: usize, parents: &[Vec<ItemId>], depth: &mut Vec<u32>) -> u32 {
+            if depth[item] != u32::MAX {
+                return depth[item];
+            }
+            let d = parents[item]
+                .iter()
+                .map(|p| depth_of(p.index(), parents, depth) + 1)
+                .max()
+                .unwrap_or(0);
+            depth[item] = d;
+            d
+        }
+        for i in 0..n {
+            depth_of(i, &self.parents, &mut depth);
+        }
+        MultiVocabulary {
+            names: self.names,
+            index: self.index,
+            parents: self.parents,
+            closures: closures.into_iter().map(|c| c.expect("computed")).collect(),
+            depth,
+        }
+    }
+}
+
+/// An immutable multi-parent vocabulary with precomputed ancestor closures.
+#[derive(Debug, Clone)]
+pub struct MultiVocabulary {
+    names: Vec<String>,
+    index: FxHashMap<String, ItemId>,
+    parents: Vec<Vec<ItemId>>,
+    /// Sorted ancestor closure of each item, **including the item itself**.
+    closures: Vec<Vec<ItemId>>,
+    depth: Vec<u32>,
+}
+
+impl MultiVocabulary {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Item name.
+    pub fn name(&self, item: ItemId) -> &str {
+        &self.names[item.index()]
+    }
+
+    /// Looks up an item by name.
+    pub fn lookup(&self, name: &str) -> Option<ItemId> {
+        self.index.get(name).copied()
+    }
+
+    /// The direct parents of `item`.
+    pub fn parents(&self, item: ItemId) -> &[ItemId] {
+        &self.parents[item.index()]
+    }
+
+    /// The sorted ancestor closure of `item`, including itself.
+    pub fn closure(&self, item: ItemId) -> &[ItemId] {
+        &self.closures[item.index()]
+    }
+
+    /// True if `u →* v` (u equals v or v is an ancestor of u).
+    pub fn generalizes_to(&self, u: ItemId, v: ItemId) -> bool {
+        self.closures[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Longest-path depth (roots are 0).
+    pub fn depth(&self, item: ItemId) -> u32 {
+        self.depth[item.index()]
+    }
+}
+
+/// Preprocessed state for DAG mining: closure-based f-list, total order,
+/// rank-space closures, and the rank-encoded database.
+#[derive(Debug)]
+pub struct DagContext {
+    rank_of: Vec<u32>,
+    item_of: Vec<ItemId>,
+    num_frequent: u32,
+    /// Rank-space closures (self + ancestors), ancestors all `< self`.
+    closure_ranks: Vec<Vec<u32>>,
+    db: Vec<Vec<u32>>,
+}
+
+impl DagContext {
+    /// Computes the generalized f-list (each sequence counts once for every
+    /// item in the closure of any of its items), the total order, and the
+    /// rank re-encoding.
+    pub fn build(db: &SequenceDatabase, vocab: &MultiVocabulary, sigma: u64) -> DagContext {
+        let n = vocab.len();
+        let mut doc_freq = vec![0u64; n];
+        let mut seen: FxHashSet<ItemId> = FxHashSet::default();
+        for seq in db.iter() {
+            seen.clear();
+            for &t in seq {
+                for &a in vocab.closure(t) {
+                    seen.insert(a);
+                }
+            }
+            for &a in &seen {
+                doc_freq[a.index()] += 1;
+            }
+        }
+        let mut items: Vec<ItemId> = (0..n as u32).map(ItemId::from_u32).collect();
+        items.sort_unstable_by(|&x, &y| {
+            doc_freq[y.index()]
+                .cmp(&doc_freq[x.index()])
+                .then(vocab.depth(x).cmp(&vocab.depth(y)))
+                .then(x.cmp(&y))
+        });
+        let mut rank_of = vec![0u32; n];
+        for (rank, &item) in items.iter().enumerate() {
+            rank_of[item.index()] = rank as u32;
+        }
+        let num_frequent = items
+            .iter()
+            .take_while(|&&it| doc_freq[it.index()] >= sigma)
+            .count() as u32;
+        let closure_ranks: Vec<Vec<u32>> = items
+            .iter()
+            .map(|&it| {
+                let mut c: Vec<u32> = vocab
+                    .closure(it)
+                    .iter()
+                    .map(|&a| rank_of[a.index()])
+                    .collect();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        let ranked_db: Vec<Vec<u32>> = db
+            .iter()
+            .map(|seq| seq.iter().map(|&t| rank_of[t.index()]).collect())
+            .collect();
+        DagContext {
+            rank_of,
+            item_of: items,
+            num_frequent,
+            closure_ranks,
+            db: ranked_db,
+        }
+    }
+
+    /// The rank of an item.
+    pub fn rank(&self, item: ItemId) -> u32 {
+        self.rank_of[item.index()]
+    }
+
+    /// The item at a rank.
+    pub fn item(&self, rank: u32) -> ItemId {
+        self.item_of[rank as usize]
+    }
+
+    /// Number of frequent ranks.
+    pub fn num_frequent(&self) -> u32 {
+        self.num_frequent
+    }
+
+    /// The sorted rank-space closure (self + ancestors) of `rank`.
+    pub fn closure(&self, rank: u32) -> &[u32] {
+        &self.closure_ranks[rank as usize]
+    }
+
+    /// True if rank `u` generalizes to rank `v`.
+    pub fn generalizes_to(&self, u: u32, v: u32) -> bool {
+        u != BLANK && v != BLANK && self.closure_ranks[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// The rank-encoded database.
+    pub fn db(&self) -> &[Vec<u32>] {
+        &self.db
+    }
+}
+
+/// True if `pattern ⊑γ seq` under the DAG closure.
+#[allow(clippy::needless_range_loop)] // gap-window scans are clearer with indices
+pub fn matches_dag(pattern: &[u32], seq: &[u32], ctx: &DagContext, gamma: usize) -> bool {
+    if pattern.is_empty() {
+        return true;
+    }
+    let mut current: Vec<usize> = Vec::new();
+    for (p, &t) in seq.iter().enumerate() {
+        if t != BLANK && ctx.generalizes_to(t, pattern[0]) {
+            current.push(p);
+        }
+    }
+    for &s in &pattern[1..] {
+        if current.is_empty() {
+            return false;
+        }
+        let mut next = Vec::new();
+        let mut lo = 0usize;
+        for q in current[0] + 1..seq.len() {
+            let t = seq[q];
+            if t == BLANK || !ctx.generalizes_to(t, s) {
+                continue;
+            }
+            while lo < current.len() && current[lo] + gamma + 1 < q {
+                lo += 1;
+            }
+            if lo < current.len() && current[lo] < q {
+                next.push(q);
+            }
+        }
+        current = next;
+    }
+    !current.is_empty()
+}
+
+/// Exhaustive DAG-GSM enumeration — the oracle for [`DagMiner`].
+pub fn naive_dag(db: &SequenceDatabase, vocab: &MultiVocabulary, params: &GsmParams) -> (DagContext, PatternSet) {
+    let ctx = DagContext::build(db, vocab, params.sigma);
+    let mut counts: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+    let mut current = Vec::new();
+    let mut per_seq: FxHashSet<Vec<u32>> = FxHashSet::default();
+    for seq in ctx.db() {
+        per_seq.clear();
+        for start in 0..seq.len() {
+            enumerate(seq, &ctx, params, start, &mut current, &mut per_seq, true);
+        }
+        for s in per_seq.drain() {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+    }
+    let set = PatternSet::from_pairs(
+        counts
+            .into_iter()
+            .filter(|(_, f)| *f >= params.sigma),
+    );
+    (ctx, set)
+}
+
+fn enumerate(
+    seq: &[u32],
+    ctx: &DagContext,
+    params: &GsmParams,
+    pos: usize,
+    current: &mut Vec<u32>,
+    out: &mut FxHashSet<Vec<u32>>,
+    is_start: bool,
+) {
+    if !is_start && current.len() >= 2 {
+        out.insert(current.clone());
+    }
+    if current.len() == params.lambda && !is_start {
+        return;
+    }
+    if is_start {
+        let t = seq[pos];
+        if t == BLANK {
+            return;
+        }
+        for ai in 0..ctx.closure(t).len() {
+            let a = ctx.closure(t)[ai];
+            current.push(a);
+            enumerate(seq, ctx, params, pos, current, out, false);
+            current.pop();
+        }
+        return;
+    }
+    let from = pos + 1;
+    let to = (pos + 1 + params.gamma).min(seq.len().saturating_sub(1));
+    for q in from..=to {
+        let t = seq[q];
+        if t == BLANK {
+            continue;
+        }
+        for ai in 0..ctx.closure(t).len() {
+            let a = ctx.closure(t)[ai];
+            current.push(a);
+            enumerate(seq, ctx, params, q, current, out, false);
+            current.pop();
+        }
+    }
+}
+
+/// A mined DAG pattern in vocabulary space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagPattern {
+    /// The pattern items.
+    pub items: Vec<ItemId>,
+    /// Its frequency.
+    pub frequency: u64,
+}
+
+/// Sequential pivot-sequence miner over DAG hierarchies.
+///
+/// Mines each frequent pivot's sequences by PSM-style growth (right
+/// expansions, then left expansions, extension items capped at the pivot)
+/// directly on the database — no destructive rewrites, see module docs.
+#[derive(Debug, Default)]
+pub struct DagMiner;
+
+impl DagMiner {
+    /// Mines all frequent generalized sequences.
+    pub fn mine(
+        &self,
+        db: &SequenceDatabase,
+        vocab: &MultiVocabulary,
+        params: &GsmParams,
+    ) -> (DagContext, PatternSet) {
+        let ctx = DagContext::build(db, vocab, params.sigma);
+        let mut out = PatternSet::new();
+        for pivot in 0..ctx.num_frequent() {
+            let mut run = DagRun {
+                ctx: &ctx,
+                params,
+                pivot,
+                out: &mut out,
+            };
+            run.mine_pivot();
+        }
+        let patterns = out;
+        (ctx, patterns)
+    }
+
+    /// Mines and decodes to vocabulary-space patterns sorted by frequency.
+    pub fn mine_patterns(
+        &self,
+        db: &SequenceDatabase,
+        vocab: &MultiVocabulary,
+        params: &GsmParams,
+    ) -> Vec<DagPattern> {
+        let (ctx, set) = self.mine(db, vocab, params);
+        let mut patterns: Vec<DagPattern> = set
+            .iter()
+            .map(|(ranks, frequency)| DagPattern {
+                items: ranks.iter().map(|&r| ctx.item(r)).collect(),
+                frequency,
+            })
+            .collect();
+        patterns.sort_by(|a, b| b.frequency.cmp(&a.frequency).then(a.items.cmp(&b.items)));
+        patterns
+    }
+}
+
+/// Embeddings as (start, end) windows per sequence index.
+type Proj = Vec<(u32, Vec<(u32, u32)>)>;
+
+struct DagRun<'a> {
+    ctx: &'a DagContext,
+    params: &'a GsmParams,
+    pivot: u32,
+    out: &'a mut PatternSet,
+}
+
+impl DagRun<'_> {
+    fn mine_pivot(&mut self) {
+        let mut proj: Proj = Vec::new();
+        for (i, seq) in self.ctx.db().iter().enumerate() {
+            let embs: Vec<(u32, u32)> = seq
+                .iter()
+                .enumerate()
+                .filter(|&(_, &t)| t != BLANK && self.ctx.generalizes_to(t, self.pivot))
+                .map(|(p, _)| (p as u32, p as u32))
+                .collect();
+            if !embs.is_empty() {
+                proj.push((i as u32, embs));
+            }
+        }
+        if proj.is_empty() {
+            return;
+        }
+        let mut pattern = vec![self.pivot];
+        self.expand(&mut pattern, &proj, true);
+        self.expand(&mut pattern, &proj, false);
+    }
+
+    fn candidates(&self, proj: &Proj, right: bool, exclude_pivot: bool) -> Vec<(u32, u64)> {
+        let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+        let mut per_seq: FxHashSet<u32> = FxHashSet::default();
+        for (si, embs) in proj {
+            let seq = &self.ctx.db()[*si as usize];
+            per_seq.clear();
+            for &(start, end) in embs {
+                let window: Box<dyn Iterator<Item = usize>> = if right {
+                    let from = end as usize + 1;
+                    let to = (end as usize + 1 + self.params.gamma).min(seq.len().saturating_sub(1));
+                    Box::new(from..=to)
+                } else {
+                    let to = start as usize;
+                    let from = to.saturating_sub(self.params.gamma + 1);
+                    Box::new(from..to)
+                };
+                for q in window {
+                    let t = seq[q];
+                    if t == BLANK {
+                        continue;
+                    }
+                    for &a in self.ctx.closure(t) {
+                        if a > self.pivot {
+                            break; // closures are sorted ascending
+                        }
+                        if exclude_pivot && a == self.pivot {
+                            continue;
+                        }
+                        per_seq.insert(a);
+                    }
+                }
+            }
+            for &a in &per_seq {
+                *counts.entry(a).or_insert(0) += 1;
+            }
+        }
+        let mut frequent: Vec<(u32, u64)> = counts
+            .into_iter()
+            .filter(|&(_, f)| f >= self.params.sigma)
+            .collect();
+        frequent.sort_unstable();
+        frequent
+    }
+
+    #[allow(clippy::needless_range_loop)] // gap-window scans are clearer with indices
+    fn project(&self, proj: &Proj, item: u32, right: bool) -> Proj {
+        let mut next = Vec::new();
+        for (si, embs) in proj {
+            let seq = &self.ctx.db()[*si as usize];
+            let mut new_embs = Vec::new();
+            for &(start, end) in embs {
+                if right {
+                    let from = end as usize + 1;
+                    let to = (end as usize + 1 + self.params.gamma).min(seq.len().saturating_sub(1));
+                    for q in from..=to {
+                        if seq[q] != BLANK && self.ctx.generalizes_to(seq[q], item) {
+                            new_embs.push((start, q as u32));
+                        }
+                    }
+                } else {
+                    let to = start as usize;
+                    let from = to.saturating_sub(self.params.gamma + 1);
+                    for q in from..to {
+                        if seq[q] != BLANK && self.ctx.generalizes_to(seq[q], item) {
+                            new_embs.push((q as u32, end));
+                        }
+                    }
+                }
+            }
+            if !new_embs.is_empty() {
+                new_embs.sort_unstable();
+                new_embs.dedup();
+                next.push((*si, new_embs));
+            }
+        }
+        next
+    }
+
+    /// PSM-style growth: `right = true` is a right-expansion series (never
+    /// followed by left expansions, pivot excluded); `right = false`
+    /// left-expands and recurses both ways.
+    fn expand(&mut self, pattern: &mut Vec<u32>, proj: &Proj, right: bool) {
+        if pattern.len() == self.params.lambda {
+            return;
+        }
+        for (item, freq) in self.candidates(proj, right, right) {
+            let next = self.project(proj, item, right);
+            if right {
+                pattern.push(item);
+                self.out.insert(pattern.clone(), freq);
+                self.expand(pattern, &next, true);
+                pattern.pop();
+            } else {
+                pattern.insert(0, item);
+                self.out.insert(pattern.clone(), freq);
+                self.expand(pattern, &next, true);
+                self.expand(pattern, &next, false);
+                pattern.remove(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diamond DAG: `gold_watch` generalizes to both `jewelry` and
+    /// `gift`, which both generalize to `product`.
+    fn diamond() -> (MultiVocabulary, Vec<ItemId>) {
+        let mut vb = MultiVocabularyBuilder::new();
+        let product = vb.intern("product");
+        let jewelry = vb.intern("jewelry");
+        let gift = vb.intern("gift");
+        let watch = vb.intern("gold_watch");
+        let card = vb.intern("greeting_card");
+        let buys = vb.intern("buys");
+        vb.add_parent(jewelry, product).unwrap();
+        vb.add_parent(gift, product).unwrap();
+        vb.add_parent(watch, jewelry).unwrap();
+        vb.add_parent(watch, gift).unwrap();
+        vb.add_parent(card, gift).unwrap();
+        let vocab = vb.finish();
+        (vocab, vec![product, jewelry, gift, watch, card, buys])
+    }
+
+    #[test]
+    fn closures_cover_all_paths() {
+        let (vocab, ids) = diamond();
+        let [product, jewelry, gift, watch, card, _] = ids[..] else {
+            panic!()
+        };
+        assert!(vocab.generalizes_to(watch, jewelry));
+        assert!(vocab.generalizes_to(watch, gift));
+        assert!(vocab.generalizes_to(watch, product));
+        assert!(vocab.generalizes_to(card, gift));
+        assert!(!vocab.generalizes_to(card, jewelry));
+        assert_eq!(vocab.closure(watch).len(), 4);
+        assert_eq!(vocab.depth(watch), 2);
+        assert_eq!(vocab.depth(product), 0);
+        assert_eq!(vocab.parents(watch).len(), 2);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut vb = MultiVocabularyBuilder::new();
+        let a = vb.intern("a");
+        let b = vb.intern("b");
+        let c = vb.intern("c");
+        vb.add_parent(a, b).unwrap();
+        vb.add_parent(b, c).unwrap();
+        assert!(vb.add_parent(c, a).is_err());
+        assert!(vb.add_parent(a, a).is_err());
+        // Duplicate edges are fine.
+        vb.add_parent(a, b).unwrap();
+        // Diamonds are fine (not cycles).
+        let d = vb.intern("d");
+        vb.add_parent(d, b).unwrap();
+        vb.add_parent(d, c).unwrap();
+    }
+
+    #[test]
+    fn mines_through_both_diamond_paths() {
+        let (vocab, ids) = diamond();
+        let [_, jewelry, gift, watch, card, buys] = ids[..] else {
+            panic!()
+        };
+        let mut db = SequenceDatabase::new();
+        // Two sequences with a concrete watch purchase, one with a card.
+        db.push(&[buys, watch]);
+        db.push(&[buys, watch]);
+        db.push(&[buys, card]);
+        let params = GsmParams::new(2, 0, 2).unwrap();
+        let patterns = DagMiner.mine_patterns(&db, &vocab, &params);
+        let find = |items: &[ItemId]| patterns.iter().find(|p| p.items == items);
+        // Both parents of `watch` yield patterns: the jewelry path with
+        // frequency 2, the gift path with frequency 3 (card also a gift).
+        assert_eq!(find(&[buys, jewelry]).unwrap().frequency, 2);
+        assert_eq!(find(&[buys, gift]).unwrap().frequency, 3);
+        assert_eq!(find(&[buys, watch]).unwrap().frequency, 2);
+        // A forest encoding would have had to drop one of the two paths.
+    }
+
+    #[test]
+    fn miner_matches_naive_enumeration() {
+        let (vocab, ids) = diamond();
+        let [product, jewelry, gift, watch, card, buys] = ids[..] else {
+            panic!()
+        };
+        let mut db = SequenceDatabase::new();
+        db.push(&[buys, watch, card]);
+        db.push(&[watch, buys, watch]);
+        db.push(&[card, card, buys]);
+        db.push(&[buys, jewelry]); // intermediate level occurs directly
+        db.push(&[gift, product]);
+        for sigma in 1..4u64 {
+            for gamma in 0..3usize {
+                for lambda in 2..4usize {
+                    let params = GsmParams::new(sigma, gamma, lambda).unwrap();
+                    let (_, naive) = naive_dag(&db, &vocab, &params);
+                    let (_, mined) = DagMiner.mine(&db, &vocab, &params);
+                    assert_eq!(
+                        naive,
+                        mined,
+                        "σ={sigma} γ={gamma} λ={lambda}: {:?}",
+                        naive.diff(&mined)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dag_uses_closures() {
+        let (vocab, ids) = diamond();
+        let [_, jewelry, gift, watch, _, buys] = ids[..] else {
+            panic!()
+        };
+        let mut db = SequenceDatabase::new();
+        db.push(&[buys, watch]);
+        let ctx = DagContext::build(&db, &vocab, 1);
+        let seq = &ctx.db()[0];
+        let p = |items: &[ItemId]| -> Vec<u32> { items.iter().map(|&i| ctx.rank(i)).collect() };
+        assert!(matches_dag(&p(&[buys, jewelry]), seq, &ctx, 0));
+        assert!(matches_dag(&p(&[buys, gift]), seq, &ctx, 0));
+        assert!(!matches_dag(&p(&[jewelry, buys]), seq, &ctx, 0));
+        assert!(matches_dag(&[], seq, &ctx, 0));
+    }
+
+    #[test]
+    fn frequency_monotone_order_holds_in_dags() {
+        let (vocab, _) = diamond();
+        let mut db = SequenceDatabase::new();
+        let watch = vocab.lookup("gold_watch").unwrap();
+        let card = vocab.lookup("greeting_card").unwrap();
+        db.push(&[watch]);
+        db.push(&[card]);
+        db.push(&[watch, card]);
+        let ctx = DagContext::build(&db, &vocab, 1);
+        // Every ancestor must rank before its descendants.
+        for item in [watch, card] {
+            for &a in vocab.closure(item) {
+                if a != item {
+                    assert!(ctx.rank(a) < ctx.rank(item));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The distributed generalized f-list job (paper Sec. 3.3).
+//!
+//! Maps over input sequences, emitting `(w', 1)` for every item in `G1(T)` —
+//! the distinct items of `T` plus all their ancestors; the combiner and
+//! reducer sum counts. A single job of this shape computes `f0(w, D)` for
+//! every item.
+
+use lash_mapreduce::{run_job, ClusterConfig, Emitter, Job, JobMetrics};
+
+use crate::enumeration::g1_items;
+use crate::error::{Error, Result};
+use crate::flist::FList;
+use crate::sequence::SequenceDatabase;
+use crate::vocabulary::{ItemId, Vocabulary};
+
+/// The f-list MapReduce job. Inputs are sequence indices into a shared
+/// database reference.
+pub struct FListJob<'a> {
+    db: &'a SequenceDatabase,
+    vocab: &'a Vocabulary,
+}
+
+impl Job for FListJob<'_> {
+    type Input = u32;
+    type Key = u32;
+    type Value = u64;
+    type Output = (u32, u64);
+
+    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, u32, u64>) {
+        let mut items = Vec::new();
+        g1_items(self.db.get(idx as usize), self.vocab, &mut items);
+        for item in items {
+            emit.emit(item.as_u32(), 1);
+        }
+    }
+
+    fn combine(&self, _key: &u32, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+
+    fn reduce(&self, key: u32, values: Vec<u64>, out: &mut Vec<(u32, u64)>) {
+        out.push((key, values.into_iter().sum()));
+    }
+
+    fn encode_key(&self, key: &u32, buf: &mut Vec<u8>) {
+        super::encode_u32_key(*key, buf);
+    }
+    fn decode_key(&self, bytes: &[u8]) -> u32 {
+        super::decode_u32_key(bytes)
+    }
+    fn encode_value(&self, value: &u64, buf: &mut Vec<u8>) {
+        super::encode_count(*value, buf);
+    }
+    fn decode_value(&self, bytes: &[u8]) -> u64 {
+        super::decode_count(bytes)
+    }
+}
+
+/// Runs the f-list job and assembles the [`FList`].
+pub fn compute_flist_distributed(
+    db: &SequenceDatabase,
+    vocab: &Vocabulary,
+    config: &ClusterConfig,
+) -> Result<(FList, JobMetrics)> {
+    let job = FListJob { db, vocab };
+    let inputs: Vec<u32> = (0..db.len() as u32).collect();
+    let result = run_job(&job, &inputs, config).map_err(|e| Error::Engine(e.to_string()))?;
+    let flist = FList::from_counts(
+        vocab,
+        result
+            .outputs
+            .into_iter()
+            .map(|(id, f)| (ItemId::from_u32(id), f)),
+    )?;
+    Ok((flist, result.metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig1;
+
+    #[test]
+    fn distributed_flist_matches_sequential() {
+        let (vocab, db) = fig1();
+        let sequential = FList::compute(&db, &vocab);
+        for par in [1, 4] {
+            let config = ClusterConfig::default()
+                .with_parallelism(par)
+                .with_split_size(2)
+                .with_reduce_tasks(3);
+            let (distributed, metrics) =
+                compute_flist_distributed(&db, &vocab, &config).unwrap();
+            assert_eq!(distributed, sequential, "parallelism {par}");
+            assert_eq!(metrics.counters.map_input_records, 6);
+            assert!(metrics.counters.map_output_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn survives_injected_failures() {
+        use lash_mapreduce::{FailurePlan, Phase};
+        let (vocab, db) = fig1();
+        let sequential = FList::compute(&db, &vocab);
+        let config = ClusterConfig::default()
+            .with_split_size(2)
+            .with_reduce_tasks(2)
+            .with_failures(FailurePlan::none().fail_once(Phase::Map, 1).fail_once(Phase::Reduce, 0));
+        let (distributed, metrics) = compute_flist_distributed(&db, &vocab, &config).unwrap();
+        assert_eq!(distributed, sequential);
+        assert_eq!(metrics.counters.failed_map_tasks, 1);
+        assert_eq!(metrics.counters.failed_reduce_tasks, 1);
+    }
+}

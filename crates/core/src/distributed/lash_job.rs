@@ -1,0 +1,543 @@
+//! The LASH partition-and-mine job (paper Alg. 1) and the public driver.
+//!
+//! The map function routes each input sequence `T` to the partition of every
+//! frequent item `w ∈ G1(T)`, shipping the rewritten sequence `P_w(T)`
+//! (Sec. 4). The combiner aggregates duplicate rewrites into weighted
+//! sequences; each reduce task assembles its partition and runs the
+//! configured local miner, emitting the frequent pivot sequences.
+
+use std::sync::Mutex;
+
+use lash_mapreduce::{run_job, ClusterConfig, Emitter, Job, JobMetrics};
+
+use crate::context::MiningContext;
+use crate::enumeration::g1_ranks;
+use crate::error::{Error, Result};
+use crate::fxhash::FxHashMap;
+use crate::miner::{BfsMiner, DfsMiner, LocalMiner, MinerStats, NaiveMiner, PsmMiner};
+use crate::params::GsmParams;
+use crate::pattern::{Pattern, PatternSet};
+use crate::rewrite::{RewriteLevel, Rewriter};
+use crate::sequence::{Partition, SequenceDatabase};
+use crate::vocabulary::Vocabulary;
+
+use super::flist_job::compute_flist_distributed;
+
+/// Which local miner runs in the reduce phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MinerKind {
+    /// Exhaustive enumeration (ground truth; exponential).
+    Naive,
+    /// Hierarchy-aware SPADE (Sec. 5.1).
+    Bfs,
+    /// Hierarchy-aware PrefixSpan (Sec. 5.1).
+    Dfs,
+    /// Pivot sequence miner (Sec. 5.2).
+    Psm,
+    /// PSM with the right-expansion index (the paper's default).
+    #[default]
+    PsmIndexed,
+}
+
+impl MinerKind {
+    /// Instantiates the miner.
+    pub fn instantiate(&self) -> Box<dyn LocalMiner> {
+        match self {
+            MinerKind::Naive => Box::new(NaiveMiner),
+            MinerKind::Bfs => Box::new(BfsMiner),
+            MinerKind::Dfs => Box::new(DfsMiner),
+            MinerKind::Psm => Box::new(PsmMiner::plain()),
+            MinerKind::PsmIndexed => Box::new(PsmMiner::indexed()),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MinerKind::Naive => "Naive",
+            MinerKind::Bfs => "BFS",
+            MinerKind::Dfs => "DFS",
+            MinerKind::Psm => "PSM",
+            MinerKind::PsmIndexed => "PSM+Index",
+        }
+    }
+}
+
+/// Configuration of a LASH run.
+#[derive(Debug, Clone)]
+pub struct LashConfig {
+    /// The MapReduce cluster configuration.
+    pub cluster: ClusterConfig,
+    /// The local miner for the reduce phase.
+    pub miner: MinerKind,
+    /// How aggressively to rewrite sequences during partitioning (ablation
+    /// knob; `Full` is LASH).
+    pub rewrite_level: RewriteLevel,
+    /// Aggregate duplicate rewritten sequences in the combiner (Sec. 4.4).
+    pub aggregate: bool,
+    /// Ignore the item hierarchy (flat mining — MG-FSM mode; Sec. 6.3).
+    pub ignore_hierarchy: bool,
+}
+
+impl LashConfig {
+    /// The paper's default configuration: full rewrites, aggregation,
+    /// PSM+Index.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        LashConfig {
+            cluster,
+            miner: MinerKind::PsmIndexed,
+            rewrite_level: RewriteLevel::Full,
+            aggregate: true,
+            ignore_hierarchy: false,
+        }
+    }
+
+    /// Sets the local miner.
+    pub fn with_miner(mut self, miner: MinerKind) -> Self {
+        self.miner = miner;
+        self
+    }
+
+    /// Sets the rewrite level.
+    pub fn with_rewrite_level(mut self, level: RewriteLevel) -> Self {
+        self.rewrite_level = level;
+        self
+    }
+
+    /// Enables or disables combiner aggregation.
+    pub fn with_aggregation(mut self, on: bool) -> Self {
+        self.aggregate = on;
+        self
+    }
+
+    /// Enables or disables hierarchy-aware mining.
+    pub fn with_hierarchy(mut self, on: bool) -> Self {
+        self.ignore_hierarchy = !on;
+        self
+    }
+}
+
+impl Default for LashConfig {
+    /// The paper's defaults on a default cluster (aggregation on, full
+    /// rewrites, PSM+Index).
+    fn default() -> Self {
+        Self::new(ClusterConfig::default())
+    }
+}
+
+/// The LASH driver: preprocessing job + partition-and-mine job.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Default)]
+pub struct Lash {
+    config: LashConfig,
+}
+
+impl Lash {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: LashConfig) -> Self {
+        Lash { config }
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &LashConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `db` with vocabulary `vocab`.
+    pub fn mine(
+        &self,
+        db: &SequenceDatabase,
+        vocab: &Vocabulary,
+        params: &GsmParams,
+    ) -> Result<LashResult> {
+        let stripped;
+        let vocab_eff: &Vocabulary = if self.config.ignore_hierarchy {
+            stripped = vocab.without_hierarchy();
+            &stripped
+        } else {
+            vocab
+        };
+        let (flist, preprocess_metrics) =
+            compute_flist_distributed(db, vocab_eff, &self.config.cluster)?;
+        let ctx = MiningContext::from_flist(db, vocab_eff, flist, params.sigma);
+        let (rank_patterns, mine_metrics, miner_stats, num_partitions) =
+            run_partition_and_mine(&ctx, params, &self.config)?;
+        let mut patterns: Vec<Pattern> = rank_patterns
+            .iter()
+            .map(|(ranks, frequency)| Pattern {
+                items: ctx.decode(ranks),
+                frequency,
+            })
+            .collect();
+        patterns.sort_by(|a, b| b.frequency.cmp(&a.frequency).then(a.items.cmp(&b.items)));
+        Ok(LashResult {
+            patterns,
+            rank_patterns,
+            context: ctx,
+            preprocess_metrics,
+            mine_metrics,
+            miner_stats,
+            num_partitions,
+        })
+    }
+}
+
+/// Result of a LASH run.
+#[derive(Debug)]
+pub struct LashResult {
+    patterns: Vec<Pattern>,
+    rank_patterns: PatternSet,
+    context: MiningContext,
+    /// Metrics of the f-list (preprocessing) job.
+    pub preprocess_metrics: JobMetrics,
+    /// Metrics of the partition-and-mine job.
+    pub mine_metrics: JobMetrics,
+    /// Aggregated local-miner search-space statistics.
+    pub miner_stats: MinerStats,
+    /// Number of non-empty partitions mined.
+    pub num_partitions: u64,
+}
+
+impl LashResult {
+    /// The mined patterns in vocabulary space, sorted by descending frequency.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// The mined patterns in rank space.
+    pub fn pattern_set(&self) -> &PatternSet {
+        &self.rank_patterns
+    }
+
+    /// The preprocessing context (f-list, order, rank hierarchy).
+    pub fn context(&self) -> &MiningContext {
+        &self.context
+    }
+
+    /// Total wall time across both jobs.
+    pub fn total_time(&self) -> std::time::Duration {
+        self.preprocess_metrics.total_time + self.mine_metrics.total_time
+    }
+}
+
+/// The partition-and-mine MapReduce job (Alg. 1).
+struct LashJob<'a> {
+    ctx: &'a MiningContext,
+    params: GsmParams,
+    rewrite_level: RewriteLevel,
+    aggregate: bool,
+    miner: Box<dyn LocalMiner>,
+    stats: Mutex<(MinerStats, u64)>,
+}
+
+impl Job for LashJob<'_> {
+    type Input = u32;
+    type Key = u32;
+    type Value = (Vec<u32>, u64);
+    type Output = (Vec<u32>, u64);
+
+    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, u32, (Vec<u32>, u64)>) {
+        let seq = self.ctx.ranked_seq(idx as usize);
+        let rewriter = Rewriter::with_level(self.ctx.space(), &self.params, self.rewrite_level);
+        let mut g1 = Vec::new();
+        g1_ranks(seq, self.ctx.space(), &mut g1);
+        for &w in &g1 {
+            if !self.ctx.space().is_frequent(w) {
+                // g1 is sorted ascending; everything after is infrequent too.
+                break;
+            }
+            if let Some(rewritten) = rewriter.rewrite(seq, w) {
+                emit.emit(w, (rewritten, 1));
+            }
+        }
+    }
+
+    fn combine(&self, _key: &u32, values: Vec<(Vec<u32>, u64)>) -> Vec<(Vec<u32>, u64)> {
+        if !self.aggregate {
+            return values;
+        }
+        let mut agg: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+        for (seq, w) in values {
+            *agg.entry(seq).or_insert(0) += w;
+        }
+        let mut out: Vec<(Vec<u32>, u64)> = agg.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn reduce(&self, pivot: u32, values: Vec<(Vec<u32>, u64)>, out: &mut Vec<(Vec<u32>, u64)>) {
+        let partition = Partition::aggregate(values);
+        let (patterns, stats) = self
+            .miner
+            .mine(&partition, pivot, self.ctx.space(), &self.params);
+        {
+            let mut guard = self.stats.lock().expect("stats lock");
+            guard.0.absorb(stats);
+            guard.1 += 1;
+        }
+        for (pattern, frequency) in patterns {
+            out.push((pattern, frequency));
+        }
+    }
+
+    fn encode_key(&self, key: &u32, buf: &mut Vec<u8>) {
+        super::encode_u32_key(*key, buf);
+    }
+    fn decode_key(&self, bytes: &[u8]) -> u32 {
+        super::decode_u32_key(bytes)
+    }
+    fn encode_value(&self, value: &(Vec<u32>, u64), buf: &mut Vec<u8>) {
+        super::encode_weighted_seq(&value.0, value.1, buf);
+    }
+    fn decode_value(&self, bytes: &[u8]) -> (Vec<u32>, u64) {
+        super::decode_weighted_seq(bytes)
+    }
+}
+
+/// Runs the partition-and-mine job over a prepared context.
+pub(crate) fn run_partition_and_mine(
+    ctx: &MiningContext,
+    params: &GsmParams,
+    config: &LashConfig,
+) -> Result<(PatternSet, JobMetrics, MinerStats, u64)> {
+    let job = LashJob {
+        ctx,
+        params: *params,
+        rewrite_level: config.rewrite_level,
+        aggregate: config.aggregate,
+        miner: config.miner.instantiate(),
+        stats: Mutex::new((MinerStats::default(), 0)),
+    };
+    let inputs: Vec<u32> = (0..ctx.ranked_db().len() as u32).collect();
+    let result =
+        run_job(&job, &inputs, &config.cluster).map_err(|e| Error::Engine(e.to_string()))?;
+    let (miner_stats, partitions) = *job.stats.lock().expect("stats lock");
+    Ok((
+        PatternSet::from_pairs(result.outputs),
+        result.metrics,
+        miner_stats,
+        partitions,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1, fig2_context, named_patterns};
+    use lash_mapreduce::{FailurePlan, Phase};
+
+    /// The paper's full GSM output for the running example (Sec. 2).
+    fn paper_output() -> PatternSet {
+        let ctx = fig2_context();
+        named_patterns(
+            &ctx,
+            &[
+                ("a a", 2),
+                ("a b1", 2),
+                ("b1 a", 2),
+                ("a B", 3),
+                ("B a", 2),
+                ("a B c", 2),
+                ("B c", 2),
+                ("a c", 2),
+                ("b1 D", 2),
+                ("B D", 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn end_to_end_reproduces_paper_output() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let lash = Lash::new(LashConfig::new(ClusterConfig::default().with_split_size(2)));
+        let result = lash.mine(&db, &vocab, &params).unwrap();
+        let want = paper_output();
+        assert_eq!(
+            result.pattern_set(),
+            &want,
+            "diff: {:?}",
+            result.pattern_set().diff(&want)
+        );
+        // Five partitions are mined (P_a, P_B, P_b1, P_c, P_D).
+        assert_eq!(result.num_partitions, 5);
+        assert!(result.miner_stats.outputs >= 10);
+        // Patterns are sorted by descending frequency.
+        let freqs: Vec<u64> = result.patterns().iter().map(|p| p.frequency).collect();
+        assert!(freqs.windows(2).all(|w| w[0] >= w[1]));
+        // Decoding round-trips through names.
+        let ab = result
+            .patterns()
+            .iter()
+            .find(|p| p.frequency == 3)
+            .unwrap();
+        assert_eq!(ab.to_names(&vocab), ["a", "B"]);
+    }
+
+    #[test]
+    fn all_miners_agree_end_to_end() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let want = paper_output();
+        for miner in [
+            MinerKind::Naive,
+            MinerKind::Bfs,
+            MinerKind::Dfs,
+            MinerKind::Psm,
+            MinerKind::PsmIndexed,
+        ] {
+            let lash = Lash::new(
+                LashConfig::new(ClusterConfig::default().with_split_size(3)).with_miner(miner),
+            );
+            let result = lash.mine(&db, &vocab, &params).unwrap();
+            assert_eq!(result.pattern_set(), &want, "miner {}", miner.name());
+        }
+    }
+
+    #[test]
+    fn all_rewrite_levels_agree_end_to_end() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let want = paper_output();
+        for level in [
+            RewriteLevel::None,
+            RewriteLevel::GeneralizeOnly,
+            RewriteLevel::Full,
+        ] {
+            let lash = Lash::new(
+                LashConfig::new(ClusterConfig::default().with_split_size(2))
+                    .with_rewrite_level(level),
+            );
+            let result = lash.mine(&db, &vocab, &params).unwrap();
+            assert_eq!(result.pattern_set(), &want, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn full_rewrites_shrink_the_shuffle() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let cluster = ClusterConfig::default().with_split_size(2);
+        let bytes = |level: RewriteLevel| {
+            Lash::new(LashConfig::new(cluster.clone()).with_rewrite_level(level))
+                .mine(&db, &vocab, &params)
+                .unwrap()
+                .mine_metrics
+                .counters
+                .map_output_bytes
+        };
+        let none = bytes(RewriteLevel::None);
+        let full = bytes(RewriteLevel::Full);
+        assert!(full < none, "full {full} vs none {none}");
+    }
+
+    #[test]
+    fn aggregation_toggle_preserves_output() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let cluster = ClusterConfig::default().with_split_size(6);
+        let with_agg = Lash::new(LashConfig::new(cluster.clone()).with_aggregation(true))
+            .mine(&db, &vocab, &params)
+            .unwrap();
+        let without = Lash::new(LashConfig::new(cluster).with_aggregation(false))
+            .mine(&db, &vocab, &params)
+            .unwrap();
+        assert_eq!(with_agg.pattern_set(), without.pattern_set());
+        // With all six sequences in one split, P_B's duplicate "aB" rewrites
+        // aggregate: fewer shuffled records.
+        assert!(
+            with_agg.mine_metrics.counters.map_output_materialized_bytes
+                <= without.mine_metrics.counters.map_output_materialized_bytes
+        );
+    }
+
+    #[test]
+    fn parallelism_does_not_change_results() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let want = paper_output();
+        for par in [1, 2, 8] {
+            let lash = Lash::new(LashConfig::new(
+                ClusterConfig::default()
+                    .with_parallelism(par)
+                    .with_split_size(1)
+                    .with_reduce_tasks(par * 2),
+            ));
+            let result = lash.mine(&db, &vocab, &params).unwrap();
+            assert_eq!(result.pattern_set(), &want, "parallelism {par}");
+        }
+    }
+
+    #[test]
+    fn survives_task_failures() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let plan = FailurePlan::none()
+            .fail_once(Phase::Map, 0)
+            .fail_n_times(Phase::Reduce, 1, 2);
+        let lash = Lash::new(LashConfig::new(
+            ClusterConfig::default()
+                .with_split_size(2)
+                .with_reduce_tasks(4)
+                .with_failures(plan),
+        ));
+        let result = lash.mine(&db, &vocab, &params).unwrap();
+        assert_eq!(result.pattern_set(), &paper_output());
+        // Failures occurred in both jobs' phases... at least in the mine job.
+        let c = &result.mine_metrics.counters;
+        assert_eq!(c.failed_map_tasks + result.preprocess_metrics.counters.failed_map_tasks, 2);
+    }
+
+    #[test]
+    fn sigma_one_mines_everything_consistently() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(1, 0, 2).unwrap();
+        let lash = Lash::new(LashConfig::new(ClusterConfig::default().with_split_size(2)));
+        let result = lash.mine(&db, &vocab, &params).unwrap();
+        // Ground truth via the naive distributed baseline.
+        let ctx = crate::context::MiningContext::build(&db, &vocab, 1);
+        let (naive, _) = super::super::naive_job::run_naive(
+            &ctx,
+            &params,
+            &ClusterConfig::default().with_split_size(2),
+        )
+        .unwrap();
+        assert_eq!(result.pattern_set(), &naive);
+    }
+
+    #[test]
+    fn lash_agrees_with_naive_and_semi_naive_baselines() {
+        let (vocab, db) = fig1();
+        let cluster = ClusterConfig::default().with_split_size(2);
+        for (sigma, gamma, lambda) in [(2, 1, 3), (2, 0, 3), (3, 1, 4), (2, 2, 2)] {
+            let params = GsmParams::new(sigma, gamma, lambda).unwrap();
+            let lash = Lash::new(LashConfig::new(cluster.clone()))
+                .mine(&db, &vocab, &params)
+                .unwrap();
+            let ctx = crate::context::MiningContext::build(&db, &vocab, sigma);
+            let (naive, _) =
+                super::super::naive_job::run_naive(&ctx, &params, &cluster).unwrap();
+            let (semi, _) =
+                super::super::semi_naive_job::run_semi_naive(&ctx, &params, &cluster).unwrap();
+            assert_eq!(lash.pattern_set(), &naive, "naive σ={sigma} γ={gamma} λ={lambda}");
+            assert_eq!(lash.pattern_set(), &semi, "semi σ={sigma} γ={gamma} λ={lambda}");
+        }
+    }
+
+    #[test]
+    fn high_sigma_yields_empty_output() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(100, 1, 3).unwrap();
+        let result = Lash::default().mine(&db, &vocab, &params).unwrap();
+        assert!(result.pattern_set().is_empty());
+        assert_eq!(result.num_partitions, 0);
+    }
+
+    #[test]
+    fn miner_kind_names() {
+        assert_eq!(MinerKind::default().name(), "PSM+Index");
+        assert_eq!(MinerKind::Bfs.name(), "BFS");
+        assert_eq!(MinerKind::Naive.instantiate().name(), "Naive");
+    }
+}

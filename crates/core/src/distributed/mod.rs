@@ -1,0 +1,98 @@
+//! The distributed pipelines, expressed as jobs on [`lash_mapreduce`].
+//!
+//! * [`flist_job`] — the preprocessing job computing the generalized f-list
+//!   (paper Sec. 3.3);
+//! * [`lash_job`] — the LASH partition-and-mine job (Alg. 1) and the public
+//!   [`Lash`](lash_job::Lash) driver;
+//! * [`naive_job`] / [`semi_naive_job`] — the word-count-style baselines
+//!   (Secs. 3.2, 3.3);
+//! * [`mgfsm`] — MG-FSM, i.e. item-based partitioning without hierarchies
+//!   (Sec. 6.3, footnote 3).
+//!
+//! All jobs serialize their intermediate data through [`lash_encoding`]'s
+//! varint/sequence codecs, so the engine's `MAP_OUTPUT_BYTES` counter measures
+//! the representation the paper measures.
+
+pub mod flist_job;
+pub mod lash_job;
+pub mod mgfsm;
+pub mod naive_job;
+pub mod semi_naive_job;
+
+use lash_encoding::varint;
+
+/// Encodes a `u32` key (item rank or raw id) as a varint.
+pub(crate) fn encode_u32_key(key: u32, buf: &mut Vec<u8>) {
+    varint::encode_u32(key, buf);
+}
+
+/// Decodes a `u32` key.
+pub(crate) fn decode_u32_key(bytes: &[u8]) -> u32 {
+    varint::decode_u32(bytes).expect("valid u32 key").0
+}
+
+/// Encodes a `u64` count value as a varint.
+pub(crate) fn encode_count(count: u64, buf: &mut Vec<u8>) {
+    varint::encode_u64(count, buf);
+}
+
+/// Decodes a `u64` count value.
+pub(crate) fn decode_count(bytes: &[u8]) -> u64 {
+    varint::decode_u64(bytes).expect("valid count").0
+}
+
+/// Encodes a (sequence, weight) value: varint weight, then the sequence in
+/// the blank-aware wire format.
+pub(crate) fn encode_weighted_seq(seq: &[u32], weight: u64, buf: &mut Vec<u8>) {
+    varint::encode_u64(weight, buf);
+    lash_encoding::encode_sequence(seq, buf);
+}
+
+/// Decodes a (sequence, weight) value.
+pub(crate) fn decode_weighted_seq(bytes: &[u8]) -> (Vec<u32>, u64) {
+    let (weight, n) = varint::decode_u64(bytes).expect("valid weight");
+    let seq = lash_encoding::decode_sequence(&bytes[n..]).expect("valid sequence");
+    (seq, weight)
+}
+
+/// Encodes a pattern key (a blank-free rank sequence).
+pub(crate) fn encode_pattern_key(pattern: &[u32], buf: &mut Vec<u8>) {
+    lash_encoding::encode_sequence(pattern, buf);
+}
+
+/// Decodes a pattern key.
+pub(crate) fn decode_pattern_key(bytes: &[u8]) -> Vec<u32> {
+    lash_encoding::decode_sequence(bytes).expect("valid pattern key")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_and_count_round_trips() {
+        let mut buf = Vec::new();
+        encode_u32_key(12345, &mut buf);
+        assert_eq!(decode_u32_key(&buf), 12345);
+        buf.clear();
+        encode_count(u64::MAX, &mut buf);
+        assert_eq!(decode_count(&buf), u64::MAX);
+    }
+
+    #[test]
+    fn weighted_seq_round_trips() {
+        let mut buf = Vec::new();
+        let seq = vec![0u32, crate::BLANK, 7];
+        encode_weighted_seq(&seq, 42, &mut buf);
+        let (s, w) = decode_weighted_seq(&buf);
+        assert_eq!(s, seq);
+        assert_eq!(w, 42);
+    }
+
+    #[test]
+    fn pattern_key_round_trips() {
+        let mut buf = Vec::new();
+        encode_pattern_key(&[3, 1, 4, 1, 5], &mut buf);
+        assert_eq!(decode_pattern_key(&buf), vec![3, 1, 4, 1, 5]);
+    }
+}

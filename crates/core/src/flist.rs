@@ -1,0 +1,265 @@
+//! The generalized f-list and the hierarchy-aware total order.
+//!
+//! The *generalized f-list* (paper Sec. 3.3) assigns each item `w` the number
+//! of input sequences that contain `w` **or any of its descendants** — the
+//! document frequency `f0(w, D)` under generalization. An item is frequent if
+//! `f0(w, D) ≥ σ`.
+//!
+//! The *total order* `<` (paper Sec. 3.4) sorts items by descending
+//! generalized frequency; ties are broken hierarchy-aware (items at higher —
+//! i.e. shallower — levels first) so that `w2 → w1` implies `w1 < w2`; the
+//! remaining ties are broken by item id for determinism. The resulting *rank*
+//! is the integer id used throughout partitioning and mining: "highly frequent
+//! items are assigned smaller integer ids" (Sec. 6.1).
+
+use crate::enumeration::g1_items;
+use crate::error::{Error, Result};
+use crate::hierarchy::ItemSpace;
+use crate::sequence::SequenceDatabase;
+use crate::vocabulary::{ItemId, Vocabulary};
+
+/// Generalized document frequencies per item (indexed by [`ItemId`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FList {
+    doc_freq: Vec<u64>,
+}
+
+impl FList {
+    /// Computes the generalized f-list sequentially.
+    ///
+    /// For each input sequence `T`, every item in `G1(T)` — the distinct items
+    /// of `T` together with all their ancestors — is counted once.
+    pub fn compute(db: &SequenceDatabase, vocab: &Vocabulary) -> FList {
+        let mut doc_freq = vec![0u64; vocab.len()];
+        let mut scratch = Vec::new();
+        for seq in db.iter() {
+            g1_items(seq, vocab, &mut scratch);
+            for &item in &scratch {
+                doc_freq[item.index()] += 1;
+            }
+        }
+        FList { doc_freq }
+    }
+
+    /// Builds an f-list from precomputed frequencies (e.g. the distributed
+    /// f-list job). Items absent from `pairs` get frequency 0.
+    pub fn from_counts(vocab: &Vocabulary, pairs: impl IntoIterator<Item = (ItemId, u64)>) -> Result<FList> {
+        let mut doc_freq = vec![0u64; vocab.len()];
+        for (item, f) in pairs {
+            if item.index() >= doc_freq.len() {
+                return Err(Error::UnknownItem(item.as_u32()));
+            }
+            doc_freq[item.index()] = f;
+        }
+        Ok(FList { doc_freq })
+    }
+
+    /// The generalized document frequency `f0(item, D)`.
+    pub fn frequency(&self, item: ItemId) -> u64 {
+        self.doc_freq[item.index()]
+    }
+
+    /// Number of items with `f0 ≥ sigma`.
+    pub fn num_frequent(&self, sigma: u64) -> usize {
+        self.doc_freq.iter().filter(|&&f| f >= sigma).count()
+    }
+
+    /// Iterates `(item, frequency)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, u64)> + '_ {
+        self.doc_freq
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (ItemId::from_u32(i as u32), f))
+    }
+}
+
+/// The hierarchy-aware total order: a bijection between [`ItemId`]s and ranks.
+///
+/// Frequent items occupy ranks `0..num_frequent`. The order can be reused
+/// across runs with different parameters (paper Sec. 3.4); only
+/// `num_frequent` depends on σ.
+#[derive(Debug, Clone)]
+pub struct ItemOrder {
+    rank_of: Vec<u32>,
+    item_of: Vec<ItemId>,
+    num_frequent: u32,
+}
+
+impl ItemOrder {
+    /// Builds the total order from an f-list.
+    ///
+    /// Sort key: descending `f0`, then ascending hierarchy depth (more general
+    /// first — this is what makes the order hierarchy-aware), then ascending
+    /// item id (deterministic tie-break).
+    pub fn build(flist: &FList, vocab: &Vocabulary, sigma: u64) -> ItemOrder {
+        let mut items: Vec<ItemId> = vocab.items().collect();
+        items.sort_unstable_by(|&x, &y| {
+            flist
+                .frequency(y)
+                .cmp(&flist.frequency(x))
+                .then(vocab.depth(x).cmp(&vocab.depth(y)))
+                .then(x.cmp(&y))
+        });
+        let mut rank_of = vec![0u32; vocab.len()];
+        for (rank, &item) in items.iter().enumerate() {
+            rank_of[item.index()] = rank as u32;
+        }
+        let num_frequent = items
+            .iter()
+            .take_while(|&&it| flist.frequency(it) >= sigma)
+            .count() as u32;
+        ItemOrder {
+            rank_of,
+            item_of: items,
+            num_frequent,
+        }
+    }
+
+    /// The rank of `item` (0 = most frequent).
+    #[inline]
+    pub fn rank(&self, item: ItemId) -> u32 {
+        self.rank_of[item.index()]
+    }
+
+    /// The item at `rank`.
+    #[inline]
+    pub fn item(&self, rank: u32) -> ItemId {
+        self.item_of[rank as usize]
+    }
+
+    /// Number of frequent items (ranks `0..num_frequent`).
+    #[inline]
+    pub fn num_frequent(&self) -> u32 {
+        self.num_frequent
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.item_of.len()
+    }
+
+    /// True if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.item_of.is_empty()
+    }
+
+    /// Builds the rank-space [`ItemSpace`] corresponding to this order.
+    pub fn item_space(&self, flist: &FList, vocab: &Vocabulary) -> ItemSpace {
+        let n = self.len();
+        let mut parent = vec![None; n];
+        let mut frequency = vec![0u64; n];
+        for rank in 0..n as u32 {
+            let item = self.item(rank);
+            parent[rank as usize] = vocab.parent(item).map(|p| self.rank(p));
+            frequency[rank as usize] = flist.frequency(item);
+        }
+        ItemSpace::new(parent, frequency, self.num_frequent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig1;
+
+    #[test]
+    fn fig2_flist_frequencies() {
+        let (vocab, db) = fig1();
+        let flist = FList::compute(&db, &vocab);
+        let f = |name: &str| flist.frequency(vocab.lookup(name).unwrap());
+        // Paper Fig. 2, σ=2: a:5, B:5, b1:4, c:3, D:2.
+        assert_eq!(f("a"), 5);
+        assert_eq!(f("B"), 5);
+        assert_eq!(f("b1"), 4);
+        assert_eq!(f("c"), 3);
+        assert_eq!(f("D"), 2);
+        // Infrequent items appear in exactly one sequence each.
+        for name in ["e", "f", "b2", "b3", "b11", "b12", "b13", "d1", "d2"] {
+            assert_eq!(f(name), 1, "item {name}");
+        }
+        assert_eq!(flist.num_frequent(2), 5);
+    }
+
+    #[test]
+    fn order_matches_paper_a_bcap_b1_c_d() {
+        let (vocab, db) = fig1();
+        let flist = FList::compute(&db, &vocab);
+        let order = ItemOrder::build(&flist, &vocab, 2);
+        let rank = |name: &str| order.rank(vocab.lookup(name).unwrap());
+        // a < B < b1 < c < D (paper Sec. 3.4). The a/B tie (both frequency 5,
+        // both depth 0) is broken by insertion order, matching the paper.
+        assert_eq!(rank("a"), 0);
+        assert_eq!(rank("B"), 1);
+        assert_eq!(rank("b1"), 2);
+        assert_eq!(rank("c"), 3);
+        assert_eq!(rank("D"), 4);
+        assert_eq!(order.num_frequent(), 5);
+        // Round-trip.
+        for r in 0..order.len() as u32 {
+            assert_eq!(order.rank(order.item(r)), r);
+        }
+    }
+
+    #[test]
+    fn parent_rank_is_always_smaller() {
+        let (vocab, db) = fig1();
+        let flist = FList::compute(&db, &vocab);
+        let order = ItemOrder::build(&flist, &vocab, 2);
+        for item in vocab.items() {
+            if let Some(p) = vocab.parent(item) {
+                assert!(
+                    order.rank(p) < order.rank(item),
+                    "parent {} must rank before child {}",
+                    vocab.name(p),
+                    vocab.name(item)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn item_space_mirrors_vocabulary() {
+        let (vocab, db) = fig1();
+        let flist = FList::compute(&db, &vocab);
+        let order = ItemOrder::build(&flist, &vocab, 2);
+        let space = order.item_space(&flist, &vocab);
+        assert_eq!(space.len(), vocab.len());
+        assert_eq!(space.num_frequent(), 5);
+        // b1 (rank 2) has parent B (rank 1).
+        assert_eq!(space.parent(2), Some(1));
+        // Frequencies carried over.
+        assert_eq!(space.frequency(0), 5);
+        assert_eq!(space.frequency(4), 2);
+        // Depth preserved under re-ranking.
+        for item in vocab.items() {
+            assert_eq!(space.depth(order.rank(item)), vocab.depth(item));
+        }
+    }
+
+    #[test]
+    fn from_counts_round_trips_compute() {
+        let (vocab, db) = fig1();
+        let flist = FList::compute(&db, &vocab);
+        let rebuilt = FList::from_counts(&vocab, flist.iter()).unwrap();
+        assert_eq!(flist, rebuilt);
+        assert!(FList::from_counts(&vocab, [(ItemId::from_u32(999), 1)]).is_err());
+    }
+
+    #[test]
+    fn ties_prefer_shallower_items() {
+        // x (leaf, depth 1) and its parent p both occur in exactly the same
+        // sequences, so f0(p) = f0(x); p must come first.
+        let mut vb = crate::vocabulary::VocabularyBuilder::new();
+        let p = vb.intern("p");
+        let x = vb.child("x", p);
+        let vocab = vb.finish().unwrap();
+        let mut db = SequenceDatabase::new();
+        db.push(&[x]);
+        db.push(&[x, x]);
+        let flist = FList::compute(&db, &vocab);
+        assert_eq!(flist.frequency(p), 2);
+        assert_eq!(flist.frequency(x), 2);
+        let order = ItemOrder::build(&flist, &vocab, 1);
+        assert!(order.rank(p) < order.rank(x));
+    }
+}

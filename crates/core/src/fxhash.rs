@@ -1,0 +1,112 @@
+//! A small FxHash-style hasher for integer-keyed maps.
+//!
+//! LASH's hot paths hash item ids, ranks, and short id sequences. The standard
+//! SipHash hasher is needlessly slow for these keys; following the Rust
+//! performance guide we use the Fx multiply-rotate-xor scheme (as used by
+//! rustc). Implemented here directly (~30 lines) rather than pulling in the
+//! `rustc-hash` crate.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher (multiply + rotate + xor).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0u32..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u32(v);
+            seen.insert(h.finish());
+        }
+        // Fx is not perfect but must have no collisions on small dense ranges.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn map_basic_usage() {
+        let mut m: FxHashMap<u32, u64> = FxHashMap::default();
+        for v in 0..100 {
+            *m.entry(v % 10).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 10);
+        assert!(m.values().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn hashes_byte_slices_of_all_lengths() {
+        // Like `Hash for [u8]`, mix in the length: the raw stream hash cannot
+        // distinguish trailing zeros (same as rustc's FxHasher).
+        let bytes: Vec<u8> = (0..=255).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=bytes.len() {
+            let mut h = FxHasher::default();
+            h.write_usize(len);
+            h.write(&bytes[..len]);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 257);
+    }
+}

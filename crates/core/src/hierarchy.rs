@@ -1,0 +1,309 @@
+//! The hierarchy in *rank space*.
+//!
+//! After the preprocessing phase, LASH re-encodes items by their position in
+//! the hierarchy-aware total order `<` (paper Sec. 3.4): rank 0 is the most
+//! frequent item, ranks increase with decreasing generalized frequency, and
+//! ties are broken so that an item's parent always has a *smaller* rank
+//! (`w2 → w1` implies `w1 < w2`). Frequent items occupy ranks
+//! `0..num_frequent`. The blank symbol is [`crate::BLANK`] (`u32::MAX`),
+//! larger than every rank.
+//!
+//! [`ItemSpace`] is the rank-space view of the vocabulary used by all matchers,
+//! rewriters, and miners.
+
+use crate::BLANK;
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// The hierarchy re-encoded into frequency ranks (see module docs).
+#[derive(Debug, Clone)]
+pub struct ItemSpace {
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    /// Flattened ancestor chains: `chains[offsets[r]..offsets[r+1]]` is
+    /// `[r, parent(r), …, root]` with strictly decreasing ranks after `r`.
+    chains: Vec<u32>,
+    chain_offsets: Vec<u32>,
+    /// Generalized document frequency per rank (descending).
+    frequency: Vec<u64>,
+    /// Ranks `0..num_frequent` are frequent (`f0 ≥ σ`).
+    num_frequent: u32,
+}
+
+impl ItemSpace {
+    /// Builds an item space from per-rank parents (must satisfy
+    /// `parent(r) < r`), per-rank generalized frequencies (must be
+    /// non-increasing), and the number of frequent ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent rank is not smaller than its child (the total order
+    /// must be hierarchy-aware) or if frequencies increase with rank.
+    pub fn new(parent: Vec<Option<u32>>, frequency: Vec<u64>, num_frequent: u32) -> Self {
+        assert_eq!(parent.len(), frequency.len());
+        let n = parent.len();
+        assert!(num_frequent as usize <= n);
+        let parent: Vec<u32> = parent
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| match p {
+                Some(p) => {
+                    assert!(
+                        (p as usize) < i,
+                        "parent rank {p} must be smaller than child rank {i}"
+                    );
+                    p
+                }
+                None => NO_PARENT,
+            })
+            .collect();
+        for w in 1..n {
+            assert!(
+                frequency[w - 1] >= frequency[w],
+                "frequencies must be non-increasing in rank (rank {w})"
+            );
+        }
+        let mut depth = vec![0u32; n];
+        for i in 0..n {
+            if parent[i] != NO_PARENT {
+                depth[i] = depth[parent[i] as usize] + 1;
+            }
+        }
+        let mut chains = Vec::new();
+        let mut chain_offsets = Vec::with_capacity(n + 1);
+        chain_offsets.push(0u32);
+        for i in 0..n {
+            let mut cursor = i as u32;
+            loop {
+                chains.push(cursor);
+                let p = parent[cursor as usize];
+                if p == NO_PARENT {
+                    break;
+                }
+                cursor = p;
+            }
+            chain_offsets.push(chains.len() as u32);
+        }
+        ItemSpace {
+            parent,
+            depth,
+            chains,
+            chain_offsets,
+            frequency,
+            num_frequent,
+        }
+    }
+
+    /// A flat (hierarchy-free) item space over `n` ranks with the given
+    /// frequencies. Used for mining without hierarchies (MG-FSM mode).
+    pub fn flat(frequency: Vec<u64>, num_frequent: u32) -> Self {
+        let n = frequency.len();
+        Self::new(vec![None; n], frequency, num_frequent)
+    }
+
+    /// Number of ranks (vocabulary size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the space has no items.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of frequent ranks; partitions exist exactly for ranks
+    /// `0..num_frequent`.
+    #[inline]
+    pub fn num_frequent(&self) -> u32 {
+        self.num_frequent
+    }
+
+    /// True if `rank` is a frequent item.
+    #[inline]
+    pub fn is_frequent(&self, rank: u32) -> bool {
+        rank < self.num_frequent
+    }
+
+    /// Generalized document frequency of `rank`.
+    #[inline]
+    pub fn frequency(&self, rank: u32) -> u64 {
+        self.frequency[rank as usize]
+    }
+
+    /// Parent rank, or `None` for roots.
+    #[inline]
+    pub fn parent(&self, rank: u32) -> Option<u32> {
+        let p = self.parent[rank as usize];
+        (p != NO_PARENT).then_some(p)
+    }
+
+    /// Hierarchy depth of `rank` (roots are 0).
+    #[inline]
+    pub fn depth(&self, rank: u32) -> u32 {
+        self.depth[rank as usize]
+    }
+
+    /// Maximum depth over all items (the paper's δ).
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Ancestor chain `[rank, parent, …, root]`; ranks strictly decrease
+    /// after the first element.
+    #[inline]
+    pub fn chain(&self, rank: u32) -> &[u32] {
+        let lo = self.chain_offsets[rank as usize] as usize;
+        let hi = self.chain_offsets[rank as usize + 1] as usize;
+        &self.chains[lo..hi]
+    }
+
+    /// True if `u →* v`: `v` is `u` or an ancestor of `u`. Blanks generalize
+    /// to nothing and nothing generalizes to a blank.
+    #[inline]
+    pub fn generalizes_to(&self, u: u32, v: u32) -> bool {
+        if u == BLANK || v == BLANK {
+            return false;
+        }
+        if v > u {
+            // Ancestors always have smaller ranks.
+            return false;
+        }
+        let mut cursor = u;
+        loop {
+            if cursor == v {
+                return true;
+            }
+            let p = self.parent[cursor as usize];
+            if p == NO_PARENT || p < v {
+                return false;
+            }
+            cursor = p;
+        }
+    }
+
+    /// The closest frequent ancestor-or-self of `rank` (used by the
+    /// semi-naive baseline), or `None` if no ancestor is frequent.
+    #[inline]
+    pub fn closest_frequent(&self, rank: u32) -> Option<u32> {
+        self.chain(rank).iter().copied().find(|&a| self.is_frequent(a))
+    }
+
+    /// The most specific ancestor-or-self of `rank` that is *w-relevant* for
+    /// `pivot`, i.e. has rank ≤ `pivot` (paper Sec. 4.2), or `None`.
+    ///
+    /// Because chains have strictly decreasing ranks, this is the first chain
+    /// element ≤ `pivot` — the "largest such ancestor" of the paper.
+    #[inline]
+    pub fn largest_relevant(&self, rank: u32, pivot: u32) -> Option<u32> {
+        if rank <= pivot {
+            return Some(rank);
+        }
+        self.chain(rank)[1..].iter().copied().find(|&a| a <= pivot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 2 rank space for σ=2: a=0, B=1, b1=2, c=3, D=4, then the
+    /// infrequent items e=5, f=6, b2=7, b3=8, b11=9, b12=10, b13=11, d1=12,
+    /// d2=13 (frequency 1 each, arbitrary order but parents before children).
+    pub(crate) fn fig2_space() -> ItemSpace {
+        let parent = vec![
+            None,    // 0 a
+            None,    // 1 B
+            Some(1), // 2 b1 -> B
+            None,    // 3 c
+            None,    // 4 D
+            None,    // 5 e
+            None,    // 6 f
+            Some(1), // 7 b2 -> B
+            Some(1), // 8 b3 -> B
+            Some(2), // 9 b11 -> b1
+            Some(2), // 10 b12 -> b1
+            Some(2), // 11 b13 -> b1
+            Some(4), // 12 d1 -> D
+            Some(4), // 13 d2 -> D
+        ];
+        let frequency = vec![5, 5, 4, 3, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        ItemSpace::new(parent, frequency, 5)
+    }
+
+    #[test]
+    fn fig2_space_basic_properties() {
+        let s = fig2_space();
+        assert_eq!(s.len(), 14);
+        assert_eq!(s.num_frequent(), 5);
+        assert!(s.is_frequent(4));
+        assert!(!s.is_frequent(5));
+        assert_eq!(s.depth(9), 2); // b11
+        assert_eq!(s.depth(2), 1); // b1
+        assert_eq!(s.depth(0), 0); // a
+        assert_eq!(s.max_depth(), 2);
+        assert_eq!(s.chain(9), &[9, 2, 1]); // b11, b1, B
+        assert_eq!(s.chain(0), &[0]);
+    }
+
+    #[test]
+    fn generalizes_to_in_rank_space() {
+        let s = fig2_space();
+        assert!(s.generalizes_to(9, 2)); // b11 →* b1
+        assert!(s.generalizes_to(9, 1)); // b11 →* B
+        assert!(s.generalizes_to(9, 9)); // reflexive
+        assert!(!s.generalizes_to(1, 9)); // not downward
+        assert!(!s.generalizes_to(8, 2)); // b3 !→* b1
+        assert!(!s.generalizes_to(BLANK, 0));
+        assert!(!s.generalizes_to(0, BLANK));
+    }
+
+    #[test]
+    fn closest_frequent_finds_first_frequent_ancestor() {
+        let s = fig2_space();
+        assert_eq!(s.closest_frequent(9), Some(2)); // b11 → b1 (frequent)
+        assert_eq!(s.closest_frequent(8), Some(1)); // b3 → B
+        assert_eq!(s.closest_frequent(5), None); // e has no frequent ancestor
+        assert_eq!(s.closest_frequent(0), Some(0)); // a is itself frequent
+        assert_eq!(s.closest_frequent(12), Some(4)); // d1 → D
+    }
+
+    #[test]
+    fn largest_relevant_matches_paper_examples() {
+        let s = fig2_space();
+        // Pivot B (rank 1): b3 (rank 8) generalizes to B (rank 1 ≤ 1).
+        assert_eq!(s.largest_relevant(8, 1), Some(1));
+        // Pivot B: b12 (rank 10) has ancestors b1 (2) and B (1); only B ≤ 1.
+        assert_eq!(s.largest_relevant(10, 1), Some(1));
+        // Pivot b1 (rank 2): b12 → b1 (the largest ancestor ≤ 2).
+        assert_eq!(s.largest_relevant(10, 2), Some(2));
+        // Pivot B: c (rank 3) has no ancestor ≤ 1.
+        assert_eq!(s.largest_relevant(3, 1), None);
+        // Relevant items map to themselves.
+        assert_eq!(s.largest_relevant(0, 1), Some(0));
+        // Pivot D (rank 4): d1 (12) → D.
+        assert_eq!(s.largest_relevant(12, 4), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "parent rank")]
+    fn rejects_parent_with_larger_rank() {
+        ItemSpace::new(vec![Some(1), None], vec![5, 5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn rejects_increasing_frequencies() {
+        ItemSpace::new(vec![None, None], vec![3, 5], 2);
+    }
+
+    #[test]
+    fn flat_space_has_no_generalization() {
+        let s = ItemSpace::flat(vec![5, 4, 3], 3);
+        assert!(s.generalizes_to(1, 1));
+        assert!(!s.generalizes_to(1, 0));
+        assert_eq!(s.closest_frequent(2), Some(2));
+        assert_eq!(s.largest_relevant(2, 1), None);
+        assert_eq!(s.max_depth(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Plain-text I/O for sequence databases and hierarchies.
+//!
+//! Two line-oriented formats make it easy to feed real corpora to LASH:
+//!
+//! * **sequence files** — one input sequence per line, whitespace-separated
+//!   item names (the format of most public sequence-mining datasets);
+//! * **hierarchy files** — one `child<TAB>parent` edge per line; items not
+//!   mentioned remain roots. Comment lines start with `#`.
+//!
+//! Readers intern items on the fly, so a vocabulary can be built from the
+//! data alone or extended from an existing builder.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{Error, Result};
+use crate::sequence::SequenceDatabase;
+use crate::vocabulary::{Vocabulary, VocabularyBuilder};
+
+/// Reads a hierarchy file (`child<TAB>parent` per line) into `builder`.
+///
+/// Returns the number of edges added. Lines that are empty or start with `#`
+/// are skipped. Errors on cycles or items with conflicting parents.
+pub fn read_hierarchy(reader: impl BufRead, builder: &mut VocabularyBuilder) -> Result<usize> {
+    let mut edges = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::Engine(format!("hierarchy read: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.splitn(2, '\t');
+        let (Some(child), Some(parent)) = (parts.next(), parts.next()) else {
+            return Err(Error::Engine(format!(
+                "hierarchy line {} is not child<TAB>parent: {trimmed:?}",
+                lineno + 1
+            )));
+        };
+        let child = builder.intern(child.trim());
+        let parent = builder.intern(parent.trim());
+        builder.set_parent(child, parent)?;
+        edges += 1;
+    }
+    Ok(edges)
+}
+
+/// Reads a sequence file (one whitespace-separated sequence per line),
+/// interning items into `builder`. Empty lines become empty sequences only
+/// when `keep_empty` is set; comment lines (`#`) are always skipped.
+pub fn read_sequences(
+    reader: impl BufRead,
+    builder: &mut VocabularyBuilder,
+    keep_empty: bool,
+) -> Result<Vec<Vec<crate::vocabulary::ItemId>>> {
+    let mut sequences = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| Error::Engine(format!("sequence read: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        let items: Vec<_> = trimmed.split_whitespace().map(|t| builder.intern(t)).collect();
+        if !items.is_empty() || keep_empty {
+            sequences.push(items);
+        }
+    }
+    Ok(sequences)
+}
+
+/// Convenience: loads a database and vocabulary from a hierarchy file and a
+/// sequence file in one call.
+pub fn load_corpus(
+    hierarchy: impl BufRead,
+    sequences: impl BufRead,
+) -> Result<(Vocabulary, SequenceDatabase)> {
+    let mut builder = VocabularyBuilder::new();
+    read_hierarchy(hierarchy, &mut builder)?;
+    let seqs = read_sequences(sequences, &mut builder, false)?;
+    let vocab = builder.finish()?;
+    let mut db = SequenceDatabase::new();
+    for s in &seqs {
+        db.push(s);
+    }
+    Ok((vocab, db))
+}
+
+/// Writes the hierarchy of `vocab` in `child<TAB>parent` format.
+pub fn write_hierarchy(vocab: &Vocabulary, mut writer: impl Write) -> std::io::Result<()> {
+    for item in vocab.items() {
+        if let Some(parent) = vocab.parent(item) {
+            writeln!(writer, "{}\t{}", vocab.name(item), vocab.name(parent))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes `db` as a sequence file.
+pub fn write_sequences(
+    vocab: &Vocabulary,
+    db: &SequenceDatabase,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for seq in db.iter() {
+        let names: Vec<&str> = seq.iter().map(|&i| vocab.name(i)).collect();
+        writeln!(writer, "{}", names.join(" "))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig1;
+
+    const HIERARCHY: &str = "\
+# the Fig. 1 hierarchy
+b1\tB
+b2\tB
+b3\tB
+b11\tb1
+b12\tb1
+b13\tb1
+d1\tD
+d2\tD
+";
+
+    const SEQUENCES: &str = "\
+a b1 a b1
+a b3 c c b2
+a c
+b11 a e a
+a b12 d1 c
+b13 f d2
+";
+
+    #[test]
+    fn loads_fig1_corpus_from_text() {
+        let (vocab, db) = load_corpus(HIERARCHY.as_bytes(), SEQUENCES.as_bytes()).unwrap();
+        assert_eq!(db.len(), 6);
+        let b11 = vocab.lookup("b11").unwrap();
+        let b1 = vocab.lookup("b1").unwrap();
+        let b_cap = vocab.lookup("B").unwrap();
+        assert!(vocab.generalizes_to(b11, b1));
+        assert!(vocab.generalizes_to(b11, b_cap));
+        // Mining the loaded corpus matches the paper.
+        let params = crate::params::GsmParams::new(2, 1, 3).unwrap();
+        let result = crate::distributed::lash_job::Lash::default()
+            .mine(&db, &vocab, &params)
+            .unwrap();
+        assert_eq!(result.patterns().len(), 10);
+    }
+
+    #[test]
+    fn round_trips_fig1_through_text() {
+        let (vocab, db) = fig1();
+        let mut hier = Vec::new();
+        write_hierarchy(&vocab, &mut hier).unwrap();
+        let mut seqs = Vec::new();
+        write_sequences(&vocab, &db, &mut seqs).unwrap();
+        let (vocab2, db2) = load_corpus(&hier[..], &seqs[..]).unwrap();
+        assert_eq!(db2.len(), db.len());
+        for i in 0..db.len() {
+            let names1: Vec<&str> = db.get(i).iter().map(|&t| vocab.name(t)).collect();
+            let names2: Vec<&str> = db2.get(i).iter().map(|&t| vocab2.name(t)).collect();
+            assert_eq!(names1, names2);
+        }
+        // Hierarchy preserved.
+        for item in vocab.items() {
+            let name = vocab.name(item);
+            let item2 = vocab2.lookup(name);
+            if let Some(p) = vocab.parent(item) {
+                let p2 = vocab2.parent(item2.unwrap()).unwrap();
+                assert_eq!(vocab2.name(p2), vocab.name(p));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_hierarchy_lines() {
+        let mut vb = VocabularyBuilder::new();
+        let bad = "child-without-parent\n";
+        assert!(read_hierarchy(bad.as_bytes(), &mut vb).is_err());
+    }
+
+    #[test]
+    fn rejects_cyclic_hierarchy_files() {
+        let mut vb = VocabularyBuilder::new();
+        let bad = "a\tb\nb\ta\n";
+        assert!(read_hierarchy(bad.as_bytes(), &mut vb).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let mut vb = VocabularyBuilder::new();
+        let text = "# comment\n\na b c\n# another\nd\n";
+        let seqs = read_sequences(text.as_bytes(), &mut vb, false).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].len(), 3);
+        assert_eq!(seqs[1].len(), 1);
+    }
+
+    #[test]
+    fn keep_empty_controls_blank_lines() {
+        let mut vb = VocabularyBuilder::new();
+        let text = "a\n\nb\n";
+        let without = read_sequences(text.as_bytes(), &mut vb, false).unwrap();
+        assert_eq!(without.len(), 2);
+        let mut vb = VocabularyBuilder::new();
+        let with = read_sequences(text.as_bytes(), &mut vb, true).unwrap();
+        assert_eq!(with.len(), 3);
+        assert!(with[1].is_empty());
+    }
+}

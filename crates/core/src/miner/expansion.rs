@@ -1,0 +1,330 @@
+//! Shared pattern-growth machinery: projected databases with embedding
+//! windows, extension counting, and projection.
+//!
+//! A pattern's *projected database* holds, per supporting partition sequence,
+//! the set of embedding windows `(start, end)`. Right (left) expansion looks
+//! at the γ+1 positions after `end` (before `start`), proposing the items
+//! found there together with all their generalizations.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::hierarchy::ItemSpace;
+use crate::sequence::Partition;
+use crate::BLANK;
+
+/// Expansion direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Dir {
+    /// Extend the pattern on the right (after `end`).
+    Right,
+    /// Extend the pattern on the left (before `start`).
+    Left,
+}
+
+/// One supporting sequence with its embedding windows.
+#[derive(Debug, Clone)]
+pub(crate) struct ProjEntry {
+    /// Index into `partition.sequences`.
+    pub seq: u32,
+    /// Distinct `(start, end)` windows, sorted.
+    pub embs: Vec<(u32, u32)>,
+}
+
+/// A projected database.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Projection {
+    pub entries: Vec<ProjEntry>,
+}
+
+impl Projection {
+    /// The projected database of the single-item pattern `[item]`: every
+    /// position whose item generalizes to `item`.
+    pub fn for_item(partition: &Partition, space: &ItemSpace, item: u32) -> Projection {
+        let mut entries = Vec::new();
+        for (i, ws) in partition.sequences.iter().enumerate() {
+            let mut embs = Vec::new();
+            for (p, &t) in ws.items.iter().enumerate() {
+                if t != BLANK && space.generalizes_to(t, item) {
+                    embs.push((p as u32, p as u32));
+                }
+            }
+            if !embs.is_empty() {
+                entries.push(ProjEntry {
+                    seq: i as u32,
+                    embs,
+                });
+            }
+        }
+        Projection { entries }
+    }
+
+    /// Total weight of supporting sequences (the pattern's frequency).
+    #[cfg(test)]
+    pub fn support(&self, partition: &Partition) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| partition.sequences[e.seq as usize].weight)
+            .sum()
+    }
+
+    /// True if no sequence supports the pattern.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Counts, per candidate extension item, the total weight of supporting
+/// sequences. Only items with rank ≤ `max_item` are proposed (a pivot
+/// sequence cannot contain an item larger than its pivot); `exclude` skips a
+/// single item (PSM never right-expands with the pivot); when `allowed` is
+/// set, only items in it are counted at all (PSM's right-expansion index:
+/// "neither counting nor support set computation is performed" for pruned
+/// items).
+///
+/// Returns the number of distinct candidate items evaluated.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn count_extensions(
+    proj: &Projection,
+    partition: &Partition,
+    space: &ItemSpace,
+    gamma: usize,
+    dir: Dir,
+    max_item: u32,
+    exclude: Option<u32>,
+    allowed: Option<&FxHashSet<u32>>,
+    counts: &mut FxHashMap<u32, u64>,
+) -> u64 {
+    counts.clear();
+    let mut per_seq: FxHashSet<u32> = FxHashSet::default();
+    for entry in &proj.entries {
+        let ws = &partition.sequences[entry.seq as usize];
+        let items = &ws.items;
+        per_seq.clear();
+        for &(start, end) in &entry.embs {
+            each_window_position(items.len(), start, end, gamma, dir, |q| {
+                let t = items[q];
+                if t == BLANK {
+                    return;
+                }
+                for &anc in space.chain(t) {
+                    if anc > max_item {
+                        // Chains are sorted descending after the head; the
+                        // head itself may exceed max_item while ancestors
+                        // do not, so keep scanning.
+                        continue;
+                    }
+                    if Some(anc) == exclude {
+                        continue;
+                    }
+                    if let Some(allowed) = allowed {
+                        if !allowed.contains(&anc) {
+                            continue;
+                        }
+                    }
+                    per_seq.insert(anc);
+                }
+            });
+        }
+        for &item in &per_seq {
+            *counts.entry(item).or_insert(0) += ws.weight;
+        }
+    }
+    counts.len() as u64
+}
+
+/// Builds the projected database of the pattern extended with `item` in
+/// direction `dir`.
+pub(crate) fn project(
+    proj: &Projection,
+    partition: &Partition,
+    space: &ItemSpace,
+    gamma: usize,
+    dir: Dir,
+    item: u32,
+) -> Projection {
+    let mut entries = Vec::new();
+    for entry in &proj.entries {
+        let ws = &partition.sequences[entry.seq as usize];
+        let items = &ws.items;
+        let mut embs = Vec::new();
+        for &(start, end) in &entry.embs {
+            each_window_position(items.len(), start, end, gamma, dir, |q| {
+                let t = items[q];
+                if t != BLANK && space.generalizes_to(t, item) {
+                    match dir {
+                        Dir::Right => embs.push((start, q as u32)),
+                        Dir::Left => embs.push((q as u32, end)),
+                    }
+                }
+            });
+        }
+        if !embs.is_empty() {
+            embs.sort_unstable();
+            embs.dedup();
+            entries.push(ProjEntry {
+                seq: entry.seq,
+                embs,
+            });
+        }
+    }
+    Projection { entries }
+}
+
+/// Visits the sequence positions reachable from an embedding window in the
+/// given direction under the gap constraint.
+#[inline]
+fn each_window_position(
+    len: usize,
+    start: u32,
+    end: u32,
+    gamma: usize,
+    dir: Dir,
+    mut f: impl FnMut(usize),
+) {
+    match dir {
+        Dir::Right => {
+            let from = end as usize + 1;
+            let to = (end as usize + 1 + gamma).min(len.saturating_sub(1));
+            for q in from..=to {
+                f(q);
+            }
+        }
+        Dir::Left => {
+            let to = start as usize;
+            let from = to.saturating_sub(gamma + 1);
+            for q in from..to {
+                f(q);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::WeightedSequence;
+    use crate::testutil::{fig2_context, ranks};
+
+    fn part(seqs: &[(&[u32], u64)]) -> Partition {
+        Partition {
+            sequences: seqs
+                .iter()
+                .map(|(s, w)| WeightedSequence::new(s.to_vec(), *w))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn for_item_finds_generalized_occurrences() {
+        let ctx = fig2_context();
+        let space = ctx.space();
+        let [a, b12] = ranks(&ctx, &["a", "b12"])[..] else {
+            panic!()
+        };
+        let b_cap = ctx.rank("B");
+        let p = part(&[(&[a, b12], 1), (&[a], 2)]);
+        // B occurs (via b12) in sequence 0 only.
+        let proj = Projection::for_item(&p, space, b_cap);
+        assert_eq!(proj.entries.len(), 1);
+        assert_eq!(proj.entries[0].embs, vec![(1, 1)]);
+        assert_eq!(proj.support(&p), 1);
+        // a occurs in both; weighted support 3.
+        let proj = Projection::for_item(&p, space, a);
+        assert_eq!(proj.support(&p), 3);
+    }
+
+    #[test]
+    fn count_extensions_right_includes_generalizations() {
+        let ctx = fig2_context();
+        let space = ctx.space();
+        let [a, b12, c] = ranks(&ctx, &["a", "b12", "c"])[..] else {
+            panic!()
+        };
+        let [b_cap, b1] = ranks(&ctx, &["B", "b1"])[..] else {
+            panic!()
+        };
+        let p = part(&[(&[a, b12, c], 1)]);
+        let proj = Projection::for_item(&p, space, a);
+        let mut counts = FxHashMap::default();
+        // γ=0: only position 1 (b12) is reachable → candidates b12, b1, B.
+        let evaluated =
+            count_extensions(&proj, &p, space, 0, Dir::Right, u32::MAX - 1, None, None, &mut counts);
+        assert_eq!(evaluated, 3);
+        assert_eq!(counts.get(&b12), Some(&1));
+        assert_eq!(counts.get(&b1), Some(&1));
+        assert_eq!(counts.get(&b_cap), Some(&1));
+        // With max_item = b1 the raw item b12 is filtered but ancestors stay.
+        count_extensions(&proj, &p, space, 0, Dir::Right, b1, None, None, &mut counts);
+        assert!(!counts.contains_key(&b12));
+        assert!(counts.contains_key(&b1));
+        assert!(counts.contains_key(&b_cap));
+        // Excluding b1 removes exactly it.
+        count_extensions(&proj, &p, space, 0, Dir::Right, b1, Some(b1), None, &mut counts);
+        assert!(!counts.contains_key(&b1));
+        assert!(counts.contains_key(&b_cap));
+    }
+
+    #[test]
+    fn count_extensions_left_and_blank_gaps() {
+        let ctx = fig2_context();
+        let space = ctx.space();
+        let [a, c] = ranks(&ctx, &["a", "c"])[..] else {
+            panic!()
+        };
+        let p = part(&[(&[a, BLANK, c], 1)]);
+        let proj = Projection::for_item(&p, space, c);
+        let mut counts = FxHashMap::default();
+        // γ=0 window covers only the blank → nothing.
+        count_extensions(&proj, &p, space, 0, Dir::Left, u32::MAX - 1, None, None, &mut counts);
+        assert!(counts.is_empty());
+        // γ=1 reaches `a`.
+        count_extensions(&proj, &p, space, 1, Dir::Left, u32::MAX - 1, None, None, &mut counts);
+        assert_eq!(counts.get(&a), Some(&1));
+    }
+
+    #[test]
+    fn project_right_tracks_windows() {
+        let ctx = fig2_context();
+        let space = ctx.space();
+        let [a, b1] = ranks(&ctx, &["a", "b1"])[..] else {
+            panic!()
+        };
+        // a b1 a b1 — project [a] by b1 (γ=1).
+        let p = part(&[(&[a, b1, a, b1], 1)]);
+        let proj = Projection::for_item(&p, space, a);
+        assert_eq!(proj.entries[0].embs, vec![(0, 0), (2, 2)]);
+        let next = project(&proj, &p, space, 1, Dir::Right, b1);
+        assert_eq!(next.entries[0].embs, vec![(0, 1), (2, 3)]);
+        // Further projecting by `a`: only window (0,1) can reach a@2.
+        let next2 = project(&next, &p, space, 0, Dir::Right, a);
+        assert_eq!(next2.entries[0].embs, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn project_left_tracks_windows() {
+        let ctx = fig2_context();
+        let space = ctx.space();
+        let [a, b1] = ranks(&ctx, &["a", "b1"])[..] else {
+            panic!()
+        };
+        let p = part(&[(&[a, b1], 1)]);
+        let proj = Projection::for_item(&p, space, b1);
+        let next = project(&proj, &p, space, 0, Dir::Left, a);
+        assert_eq!(next.entries[0].embs, vec![(0, 1)]);
+        // Nothing further to the left.
+        let next2 = project(&next, &p, space, 3, Dir::Left, a);
+        assert!(next2.is_empty());
+    }
+
+    #[test]
+    fn per_sequence_counting_uses_weights_once() {
+        let ctx = fig2_context();
+        let space = ctx.space();
+        let a = ctx.rank("a");
+        // Two embeddings of `a` in the same sequence must count its weight once.
+        let p = part(&[(&[a, a, a], 7)]);
+        let proj = Projection::for_item(&p, space, a);
+        let mut counts = FxHashMap::default();
+        count_extensions(&proj, &p, space, 2, Dir::Right, u32::MAX - 1, None, None, &mut counts);
+        assert_eq!(counts.get(&a), Some(&7));
+    }
+}

@@ -1,0 +1,178 @@
+//! Local (per-partition) mining algorithms.
+//!
+//! The reduce phase of LASH runs a *generalized sequence miner* on each
+//! partition `P_w` and keeps the locally frequent **pivot sequences** — the
+//! sequences `S` with `p(S) = w` and `2 ≤ |S| ≤ λ` (paper Sec. 5). This module
+//! provides:
+//!
+//! * [`NaiveMiner`] — exhaustive enumeration; the ground
+//!   truth used by the test suite;
+//! * [`BfsMiner`] — hierarchy-aware SPADE (level-wise
+//!   candidate-generation-and-test over a vertical index, Sec. 5.1);
+//! * [`DfsMiner`] — hierarchy-aware PrefixSpan (pattern-growth
+//!   with right expansions, Sec. 5.1);
+//! * [`PsmMiner`] — the pivot sequence miner (Sec. 5.2), which
+//!   only ever enumerates pivot sequences, optionally with the
+//!   right-expansion index.
+//!
+//! BFS and DFS mine *all* locally frequent sequences and filter to pivot
+//! sequences afterwards — exactly the overhead that PSM eliminates and that
+//! Fig. 4(c,d) quantifies. [`MinerStats`] exposes the search-space accounting.
+
+pub mod bfs;
+pub mod dfs;
+mod expansion;
+pub mod naive;
+pub mod psm;
+
+use crate::hierarchy::ItemSpace;
+use crate::params::GsmParams;
+use crate::pattern::PatternSet;
+use crate::sequence::Partition;
+
+pub use bfs::BfsMiner;
+pub use dfs::DfsMiner;
+pub use naive::NaiveMiner;
+pub use psm::PsmMiner;
+
+/// Search-space accounting for a local mining run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinerStats {
+    /// Candidate sequences whose support was evaluated (the paper's
+    /// "#candidate sequences", Fig. 4(d)).
+    pub candidates: u64,
+    /// Projection/expansion steps performed (database scans for
+    /// pattern-growth miners, joins for BFS).
+    pub expansions: u64,
+    /// Number of output (pivot) sequences.
+    pub outputs: u64,
+}
+
+impl MinerStats {
+    /// Adds another stats record into this one.
+    pub fn absorb(&mut self, other: MinerStats) {
+        self.candidates += other.candidates;
+        self.expansions += other.expansions;
+        self.outputs += other.outputs;
+    }
+
+    /// Candidates per output sequence (Fig. 4(d)'s y-axis); `None` when
+    /// nothing was output.
+    pub fn candidates_per_output(&self) -> Option<f64> {
+        (self.outputs > 0).then(|| self.candidates as f64 / self.outputs as f64)
+    }
+}
+
+/// A local GSM algorithm run inside a reduce task.
+///
+/// Implementations must return exactly the frequent pivot sequences of the
+/// partition: every `S` with `p(S) = pivot`, `2 ≤ |S| ≤ λ` and
+/// `f_γ(S, P_w) ≥ σ`, with exact frequencies.
+pub trait LocalMiner: Send + Sync {
+    /// A short display name ("BFS", "PSM", …).
+    fn name(&self) -> &'static str;
+
+    /// Mines `partition` for pivot sequences of `pivot`.
+    fn mine(
+        &self,
+        partition: &Partition,
+        pivot: u32,
+        space: &ItemSpace,
+        params: &GsmParams,
+    ) -> (PatternSet, MinerStats);
+}
+
+#[cfg(test)]
+pub(crate) mod minertests {
+    //! Shared conformance tests: every miner must reproduce the paper's
+    //! Fig. 2 per-partition outputs and agree with naive enumeration.
+
+    use super::*;
+    use crate::rewrite::Rewriter;
+    use crate::testutil::{fig2_context, named_patterns, Fig2Context};
+
+    /// Builds the Fig. 2 partition for `pivot` via the full rewrite pipeline.
+    pub(crate) fn fig2_partition(ctx: &Fig2Context, pivot: &str, params: &GsmParams) -> Partition {
+        let rw = Rewriter::new(ctx.space(), params);
+        let p = ctx.rank(pivot);
+        Partition::aggregate(
+            (0..6)
+                .filter_map(|i| rw.rewrite(ctx.ranked_seq(i), p))
+                .map(|seq| (seq, 1)),
+        )
+    }
+
+    /// Runs `miner` over all five Fig. 2 partitions and checks the paper's
+    /// expected outputs.
+    pub(crate) fn check_fig2_outputs(miner: &dyn LocalMiner) {
+        let ctx = fig2_context();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let cases: &[(&str, &[(&str, u64)])] = &[
+            ("a", &[("a a", 2)]),
+            ("B", &[("a B", 3), ("B a", 2)]),
+            ("b1", &[("a b1", 2), ("b1 a", 2)]),
+            ("c", &[("B c", 2), ("a c", 2), ("a B c", 2)]),
+            ("D", &[("b1 D", 2), ("B D", 2)]),
+        ];
+        for (pivot, expected) in cases {
+            let partition = fig2_partition(&ctx, pivot, &params);
+            let (got, stats) = miner.mine(&partition, ctx.rank(pivot), ctx.space(), &params);
+            let want = named_patterns(&ctx, expected);
+            assert_eq!(
+                got,
+                want,
+                "{} on partition P_{pivot}: diff = {:?}",
+                miner.name(),
+                got.diff(&want)
+            );
+            assert_eq!(stats.outputs, expected.len() as u64, "{pivot} outputs");
+        }
+    }
+
+    /// Aggregation must not change any miner's result: mining the aggregated
+    /// partition equals mining the raw (weight-1 duplicated) partition.
+    pub(crate) fn check_aggregation_invariance(miner: &dyn LocalMiner) {
+        let ctx = fig2_context();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let rw = Rewriter::new(ctx.space(), &params);
+        let pivot = ctx.rank("B");
+        let raw: Vec<(Vec<u32>, u64)> = (0..6)
+            .filter_map(|i| rw.rewrite(ctx.ranked_seq(i), pivot))
+            .map(|s| (s, 1))
+            .collect();
+        let aggregated = Partition::aggregate(raw.clone());
+        let unaggregated = Partition {
+            sequences: raw
+                .into_iter()
+                .map(|(items, weight)| crate::sequence::WeightedSequence { items, weight })
+                .collect(),
+        };
+        let (a, _) = miner.mine(&aggregated, pivot, ctx.space(), &params);
+        let (b, _) = miner.mine(&unaggregated, pivot, ctx.space(), &params);
+        assert_eq!(a, b, "{}", miner.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_absorb_and_ratio() {
+        let mut a = MinerStats {
+            candidates: 10,
+            expansions: 3,
+            outputs: 2,
+        };
+        a.absorb(MinerStats {
+            candidates: 5,
+            expansions: 1,
+            outputs: 3,
+        });
+        assert_eq!(a.candidates, 15);
+        assert_eq!(a.expansions, 4);
+        assert_eq!(a.outputs, 5);
+        assert_eq!(a.candidates_per_output(), Some(3.0));
+        assert_eq!(MinerStats::default().candidates_per_output(), None);
+    }
+}

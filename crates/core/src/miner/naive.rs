@@ -1,0 +1,74 @@
+//! Exhaustive local miner: enumerate `Gλ(T)` per sequence and count.
+//!
+//! Exponential in λ (paper Sec. 3.2) — used as the ground truth in tests and
+//! as the reduce-side evaluation of the naive/semi-naive baselines.
+
+use crate::enumeration::enumerate_gl;
+use crate::fxhash::FxHashMap;
+use crate::hierarchy::ItemSpace;
+use crate::params::GsmParams;
+use crate::pattern::PatternSet;
+use crate::sequence::Partition;
+
+use super::{LocalMiner, MinerStats};
+
+/// The exhaustive enumeration miner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveMiner;
+
+impl LocalMiner for NaiveMiner {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn mine(
+        &self,
+        partition: &Partition,
+        pivot: u32,
+        space: &ItemSpace,
+        params: &GsmParams,
+    ) -> (PatternSet, MinerStats) {
+        let mut counts: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+        let mut stats = MinerStats::default();
+        for ws in &partition.sequences {
+            stats.expansions += 1;
+            for sub in enumerate_gl(&ws.items, space, params.gamma, params.lambda) {
+                *counts.entry(sub).or_insert(0) += ws.weight;
+            }
+        }
+        stats.candidates = counts.len() as u64;
+        let mut out = PatternSet::new();
+        for (seq, freq) in counts {
+            if freq >= params.sigma && seq.iter().copied().max() == Some(pivot) {
+                out.insert(seq, freq);
+            }
+        }
+        stats.outputs = out.len() as u64;
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::minertests::{check_aggregation_invariance, check_fig2_outputs};
+    use super::*;
+
+    #[test]
+    fn reproduces_fig2_partition_outputs() {
+        check_fig2_outputs(&NaiveMiner);
+    }
+
+    #[test]
+    fn aggregation_invariant() {
+        check_aggregation_invariance(&NaiveMiner);
+    }
+
+    #[test]
+    fn empty_partition_mines_nothing() {
+        let params = GsmParams::new(1, 0, 3).unwrap();
+        let space = ItemSpace::flat(vec![1], 1);
+        let (out, stats) = NaiveMiner.mine(&Partition::new(), 0, &space, &params);
+        assert!(out.is_empty());
+        assert_eq!(stats.outputs, 0);
+    }
+}

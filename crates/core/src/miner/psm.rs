@@ -1,0 +1,361 @@
+//! PSM — the pivot sequence miner (paper Sec. 5.2, Alg. 2).
+//!
+//! PSM enumerates *only* pivot sequences: it starts from the pivot item and
+//! grows patterns with right expansions first, then left expansions. Every
+//! pivot sequence `S` has the unique decomposition `S = Sl·w·Sr` with
+//! `w ∉ Sr` (the last pivot occurrence); PSM reaches it by left-expanding to
+//! `Sl·w` and then right-expanding to append `Sr`. Two rules make the
+//! enumeration duplicate-free:
+//!
+//! * right expansions never use the pivot item (so `Sr` stays pivot-free);
+//! * a sequence produced by a right expansion is never left-expanded.
+//!
+//! The optional **right-expansion index** records, per suffix depth, the
+//! union of frequent right-extension items found while expanding a prefix;
+//! when the prefix is later left-extended, the child's right expansions only
+//! consider items in the parent's index (support monotonicity, Lemma 1 —
+//! `Sw'` infrequent implies `w''Sw'` infrequent). This is the paper's
+//! "actual implementation", which unions the per-sequence indexes of each
+//! level of a right-expansion series.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::hierarchy::ItemSpace;
+use crate::params::GsmParams;
+use crate::pattern::PatternSet;
+use crate::sequence::Partition;
+
+use super::expansion::{count_extensions, project, Dir, Projection};
+use super::{LocalMiner, MinerStats};
+
+/// The pivot sequence miner; `use_index` enables the right-expansion index
+/// ("PSM + Index" in Fig. 4(c,d)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PsmMiner {
+    /// Enable the right-expansion index optimization.
+    pub use_index: bool,
+}
+
+impl PsmMiner {
+    /// PSM without the index.
+    pub fn plain() -> Self {
+        PsmMiner { use_index: false }
+    }
+
+    /// PSM with the right-expansion index.
+    pub fn indexed() -> Self {
+        PsmMiner { use_index: true }
+    }
+}
+
+/// Per-depth unions of frequent right-extension items for one left-prefix
+/// context: `levels[d-1]` holds the items seen at suffix depth `d`.
+#[derive(Debug, Default)]
+struct RightIndex {
+    levels: Vec<FxHashSet<u32>>,
+}
+
+impl RightIndex {
+    fn record(&mut self, depth: usize, item: u32) {
+        while self.levels.len() < depth {
+            self.levels.push(FxHashSet::default());
+        }
+        self.levels[depth - 1].insert(item);
+    }
+
+    /// The allowed items at `depth`, or an empty set if the parent's series
+    /// never found frequent items there (then no scan is needed at all).
+    fn allowed(&self, depth: usize) -> Option<&FxHashSet<u32>> {
+        self.levels.get(depth - 1)
+    }
+}
+
+struct Run<'a> {
+    partition: &'a Partition,
+    space: &'a ItemSpace,
+    params: &'a GsmParams,
+    pivot: u32,
+    use_index: bool,
+    out: PatternSet,
+    stats: MinerStats,
+    counts: FxHashMap<u32, u64>,
+}
+
+impl Run<'_> {
+    /// Right-expansion series (Alg. 2, `dir = right`). `depth` is the suffix
+    /// length after the last pivot that the next extension would create;
+    /// `parent_index` restricts candidates when mining under a left prefix;
+    /// `record` accumulates this context's own index for its children.
+    fn expand_right(
+        &mut self,
+        pattern: &mut Vec<u32>,
+        proj: &Projection,
+        depth: usize,
+        parent_index: Option<&RightIndex>,
+        record: Option<&mut RightIndex>,
+    ) {
+        if pattern.len() == self.params.lambda {
+            return;
+        }
+        let allowed = match parent_index {
+            Some(idx) if self.use_index => match idx.allowed(depth) {
+                // Parent never found frequent items at this depth: RS = ∅,
+                // skip the scan entirely.
+                None => return,
+                Some(set) if set.is_empty() => return,
+                Some(set) => Some(set),
+            },
+            _ => None,
+        };
+        self.stats.expansions += 1;
+        let mut counts = std::mem::take(&mut self.counts);
+        self.stats.candidates += count_extensions(
+            proj,
+            self.partition,
+            self.space,
+            self.params.gamma,
+            Dir::Right,
+            self.pivot,
+            Some(self.pivot),
+            allowed,
+            &mut counts,
+        );
+        let mut frequent: Vec<(u32, u64)> = counts
+            .iter()
+            .filter(|&(_, &f)| f >= self.params.sigma)
+            .map(|(&w, &f)| (w, f))
+            .collect();
+        self.counts = counts;
+        frequent.sort_unstable();
+        let mut record = record;
+        for (w, freq) in frequent {
+            if let Some(rec) = record.as_deref_mut() {
+                rec.record(depth, w);
+            }
+            let next = project(
+                proj,
+                self.partition,
+                self.space,
+                self.params.gamma,
+                Dir::Right,
+                w,
+            );
+            pattern.push(w);
+            self.out.insert(pattern.clone(), freq);
+            self.expand_right(pattern, &next, depth + 1, parent_index, record.as_deref_mut());
+            pattern.pop();
+        }
+    }
+
+    /// Left-expansion series (Alg. 2, `dir = left`). `pattern` is an
+    /// all-left-chain sequence `Sl·w`; `my_index` is the index gathered by
+    /// its right-expansion series.
+    fn expand_left(&mut self, pattern: &mut Vec<u32>, proj: &Projection, my_index: &RightIndex) {
+        if pattern.len() == self.params.lambda {
+            return;
+        }
+        self.stats.expansions += 1;
+        let mut counts = std::mem::take(&mut self.counts);
+        // Left expansions may use any item ≤ pivot, including the pivot
+        // itself (`DD` decomposes as Sl=D, w=D, Sr=ε).
+        self.stats.candidates += count_extensions(
+            proj,
+            self.partition,
+            self.space,
+            self.params.gamma,
+            Dir::Left,
+            self.pivot,
+            None,
+            None,
+            &mut counts,
+        );
+        let mut frequent: Vec<(u32, u64)> = counts
+            .iter()
+            .filter(|&(_, &f)| f >= self.params.sigma)
+            .map(|(&w, &f)| (w, f))
+            .collect();
+        self.counts = counts;
+        frequent.sort_unstable();
+        for (w, freq) in frequent {
+            let next = project(
+                proj,
+                self.partition,
+                self.space,
+                self.params.gamma,
+                Dir::Left,
+                w,
+            );
+            pattern.insert(0, w);
+            self.out.insert(pattern.clone(), freq);
+            let mut child_index = RightIndex::default();
+            self.expand_right(pattern, &next, 1, Some(my_index), Some(&mut child_index));
+            self.expand_left(pattern, &next, &child_index);
+            pattern.remove(0);
+        }
+    }
+}
+
+impl LocalMiner for PsmMiner {
+    fn name(&self) -> &'static str {
+        if self.use_index {
+            "PSM+Index"
+        } else {
+            "PSM"
+        }
+    }
+
+    fn mine(
+        &self,
+        partition: &Partition,
+        pivot: u32,
+        space: &ItemSpace,
+        params: &GsmParams,
+    ) -> (PatternSet, MinerStats) {
+        let mut run = Run {
+            partition,
+            space,
+            params,
+            pivot,
+            use_index: self.use_index,
+            out: PatternSet::new(),
+            stats: MinerStats::default(),
+            counts: FxHashMap::default(),
+        };
+        let proj = Projection::for_item(partition, space, pivot);
+        if !proj.is_empty() {
+            let mut pattern = vec![pivot];
+            let mut root_index = RightIndex::default();
+            // Root has no parent index: pass None so no restriction applies
+            // even when use_index is on.
+            run.expand_right(&mut pattern, &proj, 1, None, Some(&mut root_index));
+            run.expand_left(&mut pattern, &proj, &root_index);
+        }
+        run.stats.outputs = run.out.len() as u64;
+        (run.out, run.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::minertests::{
+        check_aggregation_invariance, check_fig2_outputs, fig2_partition,
+    };
+    use super::super::{DfsMiner, NaiveMiner};
+    use super::*;
+    use crate::sequence::WeightedSequence;
+    use crate::testutil::{fig2_context, named_patterns, ranks};
+
+    #[test]
+    fn psm_reproduces_fig2_partition_outputs() {
+        check_fig2_outputs(&PsmMiner::plain());
+    }
+
+    #[test]
+    fn psm_indexed_reproduces_fig2_partition_outputs() {
+        check_fig2_outputs(&PsmMiner::indexed());
+    }
+
+    #[test]
+    fn aggregation_invariant() {
+        check_aggregation_invariance(&PsmMiner::plain());
+        check_aggregation_invariance(&PsmMiner::indexed());
+    }
+
+    /// A partition in the spirit of the paper's Sec. 5 example (Eq. 4): pivot
+    /// sequences must include patterns reached via left-then-right expansion
+    /// such as `caD`, and repeated-pivot patterns such as `DD`.
+    #[test]
+    fn mines_left_then_right_and_repeated_pivots() {
+        let ctx = fig2_context();
+        let space = ctx.space();
+        let [a, c, d] = ranks(&ctx, &["a", "c", "D"])[..] else {
+            panic!()
+        };
+        let params = GsmParams::new(2, 1, 4).unwrap();
+        let partition = crate::sequence::Partition {
+            sequences: vec![
+                WeightedSequence::new(vec![a, d, d, a], 1),
+                WeightedSequence::new(vec![c, a, d, d], 1),
+                WeightedSequence::new(vec![c, a, d], 1),
+            ],
+        };
+        let (got, _) = PsmMiner::plain().mine(&partition, d, space, &params);
+        // caD via LE(c after a) chains; DD via left expansion with the pivot.
+        assert_eq!(got.get(&[c, a, d]), Some(2));
+        assert_eq!(got.get(&[a, d], ), Some(3));
+        assert_eq!(got.get(&[d, d]), Some(2));
+        assert_eq!(got.get(&[a, d, d]), Some(2));
+        // And it agrees with ground truth entirely.
+        let (naive, _) = NaiveMiner.mine(&partition, d, space, &params);
+        assert_eq!(got, naive);
+        let (indexed, _) = PsmMiner::indexed().mine(&partition, d, space, &params);
+        assert_eq!(indexed, naive);
+    }
+
+    #[test]
+    fn psm_explores_fewer_candidates_than_dfs() {
+        // Paper Sec. 5.2: PSM explores roughly a third of DFS's search space
+        // on the P_D-style example; we assert the ordering (and that the
+        // index never explores more than plain PSM) on the Fig. 2 partitions.
+        let ctx = fig2_context();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let mut dfs_total = 0u64;
+        let mut psm_total = 0u64;
+        let mut idx_total = 0u64;
+        for pivot in ["a", "B", "b1", "c", "D"] {
+            let partition = fig2_partition(&ctx, pivot, &params);
+            let p = ctx.rank(pivot);
+            let (_, s1) = DfsMiner.mine(&partition, p, ctx.space(), &params);
+            let (_, s2) = PsmMiner::plain().mine(&partition, p, ctx.space(), &params);
+            let (_, s3) = PsmMiner::indexed().mine(&partition, p, ctx.space(), &params);
+            dfs_total += s1.candidates;
+            psm_total += s2.candidates;
+            idx_total += s3.candidates;
+        }
+        assert!(psm_total < dfs_total, "PSM {psm_total} vs DFS {dfs_total}");
+        assert!(idx_total <= psm_total, "index {idx_total} vs plain {psm_total}");
+    }
+
+    #[test]
+    fn respects_lambda_boundary() {
+        let ctx = fig2_context();
+        let params = GsmParams::new(1, 1, 2).unwrap();
+        let partition = fig2_partition(&ctx, "B", &params);
+        let (got, _) = PsmMiner::plain().mine(&partition, ctx.rank("B"), ctx.space(), &params);
+        assert!(got.iter().all(|(p, _)| p.len() == 2));
+    }
+
+    #[test]
+    fn empty_partition_yields_nothing() {
+        let ctx = fig2_context();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let (got, stats) =
+            PsmMiner::indexed().mine(&crate::sequence::Partition::new(), 0, ctx.space(), &params);
+        assert!(got.is_empty());
+        assert_eq!(stats, MinerStats::default());
+    }
+
+    #[test]
+    fn every_output_contains_the_pivot() {
+        let ctx = fig2_context();
+        let params = GsmParams::new(2, 1, 4).unwrap();
+        for pivot in ["a", "B", "b1", "c", "D"] {
+            let partition = fig2_partition(&ctx, pivot, &params);
+            let p = ctx.rank(pivot);
+            let (got, _) = PsmMiner::indexed().mine(&partition, p, ctx.space(), &params);
+            for (pat, _) in got.iter() {
+                assert_eq!(pat.iter().copied().max(), Some(p));
+                assert!(pat.len() >= 2 && pat.len() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn named_expected_outputs_for_pd_style_partition() {
+        // Cross-check one partition in name space for readability.
+        let ctx = fig2_context();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let partition = fig2_partition(&ctx, "D", &params);
+        let (got, _) = PsmMiner::indexed().mine(&partition, ctx.rank("D"), ctx.space(), &params);
+        assert_eq!(got, named_patterns(&ctx, &[("b1 D", 2), ("B D", 2)]));
+    }
+}

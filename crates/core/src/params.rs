@@ -1,0 +1,94 @@
+//! The GSM parameter triple `(σ, γ, λ)`.
+
+use crate::error::{Error, Result};
+
+/// Parameters of a generalized sequence mining run (paper Sec. 2):
+///
+/// * `sigma` (σ ≥ 1) — minimum support threshold;
+/// * `gamma` (γ ≥ 0) — maximum number of gap items between consecutive
+///   matched positions;
+/// * `lambda` (λ ≥ 2) — maximum pattern length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GsmParams {
+    /// Minimum support threshold σ.
+    pub sigma: u64,
+    /// Maximum gap γ.
+    pub gamma: usize,
+    /// Maximum pattern length λ.
+    pub lambda: usize,
+}
+
+impl GsmParams {
+    /// Creates a validated parameter set.
+    pub fn new(sigma: u64, gamma: usize, lambda: usize) -> Result<Self> {
+        if sigma == 0 {
+            return Err(Error::InvalidParams("σ must be at least 1"));
+        }
+        if lambda < 2 {
+            return Err(Error::InvalidParams("λ must be at least 2"));
+        }
+        Ok(GsmParams { sigma, gamma, lambda })
+    }
+
+    /// Convenience constructor for n-gram mining (γ = 0).
+    pub fn ngram(sigma: u64, lambda: usize) -> Result<Self> {
+        Self::new(sigma, 0, lambda)
+    }
+
+    /// Returns a copy with a different support threshold.
+    pub fn with_sigma(self, sigma: u64) -> Self {
+        GsmParams { sigma, ..self }
+    }
+
+    /// Returns a copy with a different gap constraint.
+    pub fn with_gamma(self, gamma: usize) -> Self {
+        GsmParams { gamma, ..self }
+    }
+
+    /// Returns a copy with a different length constraint.
+    pub fn with_lambda(self, lambda: usize) -> Self {
+        GsmParams { lambda, ..self }
+    }
+}
+
+impl std::fmt::Display for GsmParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(σ={}, γ={}, λ={})", self.sigma, self.gamma, self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_sigma_and_lambda() {
+        assert!(GsmParams::new(0, 0, 3).is_err());
+        assert!(GsmParams::new(1, 0, 1).is_err());
+        assert!(GsmParams::new(1, 0, 2).is_ok());
+    }
+
+    #[test]
+    fn ngram_sets_zero_gap() {
+        let p = GsmParams::ngram(100, 5).unwrap();
+        assert_eq!(p.gamma, 0);
+        assert_eq!(p.sigma, 100);
+        assert_eq!(p.lambda, 5);
+    }
+
+    #[test]
+    fn with_methods_adjust_single_fields() {
+        let p = GsmParams::new(10, 1, 5).unwrap();
+        assert_eq!(p.with_sigma(20).sigma, 20);
+        assert_eq!(p.with_gamma(3).gamma, 3);
+        assert_eq!(p.with_lambda(7).lambda, 7);
+        // Original untouched (Copy semantics).
+        assert_eq!(p.sigma, 10);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let p = GsmParams::new(100, 1, 5).unwrap();
+        assert_eq!(p.to_string(), "(σ=100, γ=1, λ=5)");
+    }
+}

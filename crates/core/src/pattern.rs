@@ -1,0 +1,179 @@
+//! Mined pattern types.
+//!
+//! Miners produce patterns in rank space; [`PatternSet`] stores them with
+//! deterministic (lexicographic) ordering, and [`Pattern`] is the
+//! vocabulary-space view handed to users.
+
+use std::collections::BTreeMap;
+
+use crate::vocabulary::{ItemId, Vocabulary};
+
+/// A frequent generalized sequence in vocabulary space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pattern {
+    /// The pattern's items, most general to most specific as mined.
+    pub items: Vec<ItemId>,
+    /// Its frequency `f_γ(S, D)`.
+    pub frequency: u64,
+}
+
+impl Pattern {
+    /// Renders the pattern as item names.
+    pub fn to_names(&self, vocab: &Vocabulary) -> Vec<String> {
+        self.items.iter().map(|&i| vocab.name(i).to_owned()).collect()
+    }
+
+    /// Renders the pattern as a single space-separated string.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        self.to_names(vocab).join(" ")
+    }
+}
+
+/// A set of rank-space patterns with frequencies, ordered lexicographically.
+///
+/// Used as the canonical comparison form in tests (all miners must produce
+/// identical `PatternSet`s) and as the accumulation target of local miners.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternSet {
+    map: BTreeMap<Vec<u32>, u64>,
+}
+
+impl PatternSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a pattern with its frequency. Re-inserting the same pattern
+    /// keeps the maximum frequency (miners must not produce duplicates; the
+    /// max keeps comparisons meaningful if they do).
+    pub fn insert(&mut self, items: Vec<u32>, frequency: u64) {
+        let slot = self.map.entry(items).or_insert(0);
+        *slot = (*slot).max(frequency);
+    }
+
+    /// The frequency of `items`, if present.
+    pub fn get(&self, items: &[u32]) -> Option<u64> {
+        self.map.get(items).copied()
+    }
+
+    /// True if `items` is in the set.
+    pub fn contains(&self, items: &[u32]) -> bool {
+        self.map.contains_key(items)
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no patterns were mined.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(pattern, frequency)` in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], u64)> + '_ {
+        self.map.iter().map(|(k, &v)| (k.as_slice(), v))
+    }
+
+    /// Merges another set into this one (used to combine per-partition
+    /// outputs; partitions produce disjoint pattern sets).
+    pub fn merge(&mut self, other: PatternSet) {
+        for (k, v) in other.map {
+            self.insert(k, v);
+        }
+    }
+
+    /// Collects from `(pattern, frequency)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Vec<u32>, u64)>) -> Self {
+        let mut set = PatternSet::new();
+        for (k, v) in pairs {
+            set.insert(k, v);
+        }
+        set
+    }
+
+    /// The symmetric difference against another set, for diagnostics in tests:
+    /// returns (only-in-self, only-in-other, frequency-mismatches).
+    #[allow(clippy::type_complexity)]
+    pub fn diff(
+        &self,
+        other: &PatternSet,
+    ) -> (Vec<Vec<u32>>, Vec<Vec<u32>>, Vec<(Vec<u32>, u64, u64)>) {
+        let mut only_self = Vec::new();
+        let mut mismatched = Vec::new();
+        for (k, &v) in &self.map {
+            match other.map.get(k) {
+                None => only_self.push(k.clone()),
+                Some(&w) if w != v => mismatched.push((k.clone(), v, w)),
+                _ => {}
+            }
+        }
+        let only_other = other
+            .map
+            .keys()
+            .filter(|k| !self.map.contains_key(*k))
+            .cloned()
+            .collect();
+        (only_self, only_other, mismatched)
+    }
+}
+
+impl FromIterator<(Vec<u32>, u64)> for PatternSet {
+    fn from_iter<I: IntoIterator<Item = (Vec<u32>, u64)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+impl IntoIterator for PatternSet {
+    type Item = (Vec<u32>, u64);
+    type IntoIter = std::collections::btree_map::IntoIter<Vec<u32>, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.map.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_iterate() {
+        let mut s = PatternSet::new();
+        s.insert(vec![1, 2], 5);
+        s.insert(vec![0, 1], 7);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&[1, 2]), Some(5));
+        assert!(!s.contains(&[9]));
+        let collected: Vec<_> = s.iter().collect();
+        // Lexicographic order.
+        assert_eq!(collected[0].0, &[0, 1][..]);
+        assert_eq!(collected[1].0, &[1, 2][..]);
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let a = PatternSet::from_pairs([(vec![1], 1), (vec![2], 2)]);
+        let mut b = PatternSet::from_pairs([(vec![3], 3)]);
+        b.merge(a);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn diff_reports_discrepancies() {
+        let a = PatternSet::from_pairs([(vec![1], 1), (vec![2], 2)]);
+        let b = PatternSet::from_pairs([(vec![2], 9), (vec![3], 3)]);
+        let (only_a, only_b, mismatch) = a.diff(&b);
+        assert_eq!(only_a, vec![vec![1]]);
+        assert_eq!(only_b, vec![vec![3]]);
+        assert_eq!(mismatch, vec![(vec![2], 2, 9)]);
+    }
+
+    #[test]
+    fn equal_sets_compare_equal() {
+        let a = PatternSet::from_pairs([(vec![1, 2], 4), (vec![5], 1)]);
+        let b = PatternSet::from_pairs([(vec![5], 1), (vec![1, 2], 4)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,145 @@
+//! Isolated-pivot removal and blank compression (paper Sec. 4.3, final
+//! reductions).
+//!
+//! * A pivot occurrence with no non-blank item within γ+1 positions on either
+//!   side cannot contribute to any pivot sequence of length ≥ 2 and is
+//!   blanked out.
+//! * Leading and trailing blanks are dropped, and interior blank runs longer
+//!   than γ+1 are capped at γ+1 — a run of γ+1 blanks already breaks every
+//!   gap-constrained match, so longer runs are w-equivalent to it.
+
+use crate::BLANK;
+
+/// Blanks out isolated pivot occurrences in place.
+///
+/// All occurrences are evaluated against the *original* sequence: two pivots
+/// within each other's window keep each other alive (they can form the
+/// pattern `ww`).
+pub fn remove_isolated_pivots(seq: &mut [u32], pivot: u32, gamma: usize) {
+    let n = seq.len();
+    let mut isolated = Vec::new();
+    for i in 0..n {
+        if seq[i] != pivot {
+            continue;
+        }
+        let lo = i.saturating_sub(gamma + 1);
+        let hi = (i + gamma + 1).min(n.saturating_sub(1));
+        let has_neighbor = (lo..=hi).any(|j| j != i && seq[j] != BLANK);
+        if !has_neighbor {
+            isolated.push(i);
+        }
+    }
+    for i in isolated {
+        seq[i] = BLANK;
+    }
+}
+
+/// Strips leading/trailing blanks and caps interior blank runs at γ+1.
+pub fn cleanup(seq: &mut Vec<u32>, gamma: usize) {
+    let cap = gamma + 1;
+    let mut w = 0usize;
+    let mut run = 0usize;
+    for i in 0..seq.len() {
+        if seq[i] == BLANK {
+            run += 1;
+            // Leading blanks (w == 0) and blanks beyond the cap are dropped.
+            if w == 0 || run > cap {
+                continue;
+            }
+        } else {
+            run = 0;
+        }
+        seq[w] = seq[i];
+        w += 1;
+    }
+    seq.truncate(w);
+    // Trailing blanks.
+    while seq.last() == Some(&BLANK) {
+        seq.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: u32 = BLANK;
+    const P: u32 = 4; // pivot used in these tests
+    const X: u32 = 1; // some non-pivot item
+
+    #[test]
+    fn isolated_pivot_is_blanked() {
+        // X ␣ ␣ P with γ=1: P's window is positions 1..=3 — all blank → drop.
+        let mut seq = vec![X, B, B, P];
+        remove_isolated_pivots(&mut seq, P, 1);
+        assert_eq!(seq, vec![X, B, B, B]);
+    }
+
+    #[test]
+    fn pivot_with_close_neighbor_survives() {
+        // X ␣ P with γ=1: X is within distance 2.
+        let mut seq = vec![X, B, P];
+        remove_isolated_pivots(&mut seq, P, 1);
+        assert_eq!(seq, vec![X, B, P]);
+        // With γ=0 the window shrinks to ±1 → isolated.
+        let mut seq = vec![X, B, P];
+        remove_isolated_pivots(&mut seq, P, 0);
+        assert_eq!(seq, vec![X, B, B]);
+    }
+
+    #[test]
+    fn adjacent_pivots_keep_each_other() {
+        let mut seq = vec![P, P];
+        remove_isolated_pivots(&mut seq, P, 0);
+        assert_eq!(seq, vec![P, P]);
+        // P ␣ P at γ=0: neither sees a non-blank within ±1 → both go. The
+        // decision must use the original sequence, not intermediate state.
+        let mut seq = vec![P, B, P];
+        remove_isolated_pivots(&mut seq, P, 0);
+        assert_eq!(seq, vec![B, B, B]);
+        // P ␣ P at γ=1: they see each other.
+        let mut seq = vec![P, B, P];
+        remove_isolated_pivots(&mut seq, P, 1);
+        assert_eq!(seq, vec![P, B, P]);
+    }
+
+    #[test]
+    fn cleanup_strips_edges_and_caps_runs() {
+        // γ=1 → cap 2.
+        let mut seq = vec![B, B, X, B, B, B, P, B];
+        cleanup(&mut seq, 1);
+        assert_eq!(seq, vec![X, B, B, P]);
+    }
+
+    #[test]
+    fn cleanup_on_all_blank_yields_empty() {
+        let mut seq = vec![B, B, B];
+        cleanup(&mut seq, 2);
+        assert!(seq.is_empty());
+        let mut seq: Vec<u32> = vec![];
+        cleanup(&mut seq, 0);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn cleanup_keeps_short_interior_runs() {
+        let mut seq = vec![X, B, P];
+        cleanup(&mut seq, 1);
+        assert_eq!(seq, vec![X, B, P]);
+        // γ=0 → cap 1: run of one blank is kept (it still breaks adjacency).
+        let mut seq = vec![X, B, P];
+        cleanup(&mut seq, 0);
+        assert_eq!(seq, vec![X, B, P]);
+        // Run of two at γ=0 collapses to one.
+        let mut seq = vec![X, B, B, P];
+        cleanup(&mut seq, 0);
+        assert_eq!(seq, vec![X, B, P]);
+    }
+
+    #[test]
+    fn cleanup_without_blanks_is_identity() {
+        let mut seq = vec![X, P, X];
+        cleanup(&mut seq, 1);
+        assert_eq!(seq, vec![X, P, X]);
+    }
+}

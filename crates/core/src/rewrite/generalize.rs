@@ -1,0 +1,101 @@
+//! w-generalization (paper Sec. 4.2).
+//!
+//! An item is *w-relevant* if its rank is ≤ the pivot's rank; no generalized
+//! subsequence containing a w-irrelevant item can be a pivot sequence (the
+//! pivot is, by definition, the largest item of a pivot sequence). Irrelevant
+//! items cannot simply be dropped — they occupy gap positions and their
+//! ancestors may be relevant — so each one is replaced by:
+//!
+//! * its most specific ancestor with rank ≤ pivot (the "largest such
+//!   ancestor"), if any — note this may be the pivot itself, creating new
+//!   pivot occurrences (`b3 → B` in the paper's `T2` example); or
+//! * the blank symbol, which matches nothing but preserves gaps.
+
+use crate::hierarchy::ItemSpace;
+use crate::BLANK;
+
+/// Returns the w-generalization of `seq` for `pivot`. Blanks map to blanks.
+pub fn w_generalize(seq: &[u32], pivot: u32, space: &ItemSpace) -> Vec<u32> {
+    seq.iter()
+        .map(|&t| {
+            if t == BLANK {
+                BLANK
+            } else {
+                space.largest_relevant(t, pivot).unwrap_or(BLANK)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig2_context, ranks};
+
+    #[test]
+    fn t2_generalizes_to_a_b_blank_blank_b() {
+        // Paper Sec. 4.2: T2 = a b3 c c b2, pivot B → a B ␣ ␣ B.
+        let ctx = fig2_context();
+        let seq = ranks(&ctx, &["a", "b3", "c", "c", "b2"]);
+        let b = ctx.rank("B");
+        let got = w_generalize(&seq, b, ctx.space());
+        let a = ctx.rank("a");
+        assert_eq!(got, vec![a, b, BLANK, BLANK, b]);
+    }
+
+    #[test]
+    fn relevant_items_are_untouched() {
+        let ctx = fig2_context();
+        let seq = ranks(&ctx, &["a", "b1", "c"]);
+        // Pivot D (rank 4) — every item is relevant.
+        let got = w_generalize(&seq, ctx.rank("D"), ctx.space());
+        assert_eq!(got, seq);
+    }
+
+    #[test]
+    fn picks_most_specific_relevant_ancestor() {
+        let ctx = fig2_context();
+        // b12's chain is b12 → b1 → B. With pivot b1, the most specific
+        // relevant ancestor is b1; with pivot B it is B.
+        let seq = ranks(&ctx, &["b12"]);
+        assert_eq!(
+            w_generalize(&seq, ctx.rank("b1"), ctx.space()),
+            ranks(&ctx, &["b1"])
+        );
+        assert_eq!(
+            w_generalize(&seq, ctx.rank("B"), ctx.space()),
+            ranks(&ctx, &["B"])
+        );
+    }
+
+    #[test]
+    fn items_without_relevant_ancestor_become_blanks() {
+        let ctx = fig2_context();
+        let seq = ranks(&ctx, &["e", "f", "d1"]);
+        // Pivot a (rank 0): nothing else is relevant.
+        let got = w_generalize(&seq, ctx.rank("a"), ctx.space());
+        assert_eq!(got, vec![BLANK, BLANK, BLANK]);
+    }
+
+    #[test]
+    fn blanks_stay_blank() {
+        let ctx = fig2_context();
+        let a = ctx.rank("a");
+        let got = w_generalize(&[BLANK, a], ctx.rank("a"), ctx.space());
+        assert_eq!(got, vec![BLANK, a]);
+    }
+
+    #[test]
+    fn output_items_never_exceed_pivot() {
+        let ctx = fig2_context();
+        let space = ctx.space();
+        for idx in 0..6 {
+            let seq = ctx.ranked_seq(idx);
+            for pivot in 0..space.num_frequent() {
+                for &t in &w_generalize(seq, pivot, space) {
+                    assert!(t == BLANK || t <= pivot);
+                }
+            }
+        }
+    }
+}

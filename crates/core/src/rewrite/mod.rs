@@ -1,0 +1,320 @@
+//! Partition construction: rewriting an input sequence `T` into a compact
+//! sequence `P_w(T)` that is *w-equivalent* to `T` (paper Sec. 4).
+//!
+//! Two sequences are w-equivalent when they generate the same set of pivot
+//! sequences `G_{w,λ}` (Sec. 4.1); LASH may therefore ship any w-equivalent
+//! rewrite to partition `P_w`. The rewrites implemented here, applied in
+//! order:
+//!
+//! 1. **w-generalization** ([`generalize`]) — replace every *w-irrelevant*
+//!    item (rank > pivot) by its most specific ancestor with rank ≤ pivot, or
+//!    by a blank if none exists;
+//! 2. **unreachability reduction** ([`reachability`]) — drop items farther
+//!    than λ pivot-chain steps from every pivot occurrence;
+//! 3. **isolated pivot removal** ([`blanks`]) — blank out pivots with no
+//!    non-blank item within γ+1 positions;
+//! 4. **blank cleanup** ([`blanks`]) — strip leading/trailing blanks and cap
+//!    interior blank runs at γ+1.
+
+pub mod blanks;
+pub mod generalize;
+pub mod reachability;
+
+use crate::hierarchy::ItemSpace;
+use crate::params::GsmParams;
+use crate::BLANK;
+
+/// How much rewriting to perform — the ablation knob for the "optimized
+/// partition construction" claims of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RewriteLevel {
+    /// Ship `P_w(T) = T` unmodified (the paper's strawman in Sec. 4).
+    None,
+    /// Apply w-generalization only.
+    GeneralizeOnly,
+    /// All rewrites (the full LASH construction).
+    #[default]
+    Full,
+}
+
+/// Rewrites sequences for a fixed parameter set.
+#[derive(Debug, Clone, Copy)]
+pub struct Rewriter<'a> {
+    space: &'a ItemSpace,
+    gamma: usize,
+    lambda: usize,
+    level: RewriteLevel,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Creates a full rewriter.
+    pub fn new(space: &'a ItemSpace, params: &GsmParams) -> Self {
+        Self::with_level(space, params, RewriteLevel::Full)
+    }
+
+    /// Creates a rewriter with an explicit [`RewriteLevel`].
+    pub fn with_level(space: &'a ItemSpace, params: &GsmParams, level: RewriteLevel) -> Self {
+        Rewriter {
+            space,
+            gamma: params.gamma,
+            lambda: params.lambda,
+            level,
+        }
+    }
+
+    /// Produces `P_w(T)` for `pivot`, or `None` when the rewrite proves that
+    /// `T` contributes no pivot sequence (e.g. every pivot occurrence is
+    /// isolated).
+    ///
+    /// `seq` is a rank-space sequence (it may already contain blanks).
+    pub fn rewrite(&self, seq: &[u32], pivot: u32) -> Option<Vec<u32>> {
+        match self.level {
+            RewriteLevel::None => {
+                // Even the strawman must only emit sequences that can produce
+                // a pivot sequence: the pivot (or a descendant) must occur,
+                // with some other potential pattern item nearby.
+                let has_pivot = seq
+                    .iter()
+                    .any(|&t| t != BLANK && self.space.generalizes_to(t, pivot));
+                (has_pivot && seq.len() >= 2).then(|| seq.to_vec())
+            }
+            RewriteLevel::GeneralizeOnly => {
+                let out = generalize::w_generalize(seq, pivot, self.space);
+                self.finish(out, pivot)
+            }
+            RewriteLevel::Full => {
+                let mut out = generalize::w_generalize(seq, pivot, self.space);
+                reachability::prune_unreachable(&mut out, pivot, self.gamma, self.lambda);
+                blanks::remove_isolated_pivots(&mut out, pivot, self.gamma);
+                blanks::cleanup(&mut out, self.gamma);
+                self.finish(out, pivot)
+            }
+        }
+    }
+
+    /// Final validity check: the rewritten sequence must still contain a pivot
+    /// and at least two non-blank items (a pivot sequence has length ≥ 2).
+    fn finish(&self, out: Vec<u32>, pivot: u32) -> Option<Vec<u32>> {
+        let mut non_blank = 0usize;
+        let mut has_pivot = false;
+        for &t in &out {
+            if t != BLANK {
+                non_blank += 1;
+                has_pivot |= t == pivot;
+            }
+        }
+        (has_pivot && non_blank >= 2).then_some(out)
+    }
+
+    /// The gap constraint this rewriter was built with.
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    /// The length constraint this rewriter was built with.
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumeration::enumerate_pivot;
+    use crate::testutil::{fig2_context, ranks, Fig2Context};
+
+    fn rewrite_named(
+        ctx: &Fig2Context,
+        seq: &[&str],
+        pivot: &str,
+        gamma: usize,
+        lambda: usize,
+    ) -> Option<Vec<u32>> {
+        let params = GsmParams::new(2, gamma, lambda).unwrap();
+        let rw = Rewriter::new(ctx.space(), &params);
+        rw.rewrite(&ranks(ctx, seq), ctx.rank(pivot))
+    }
+
+    fn blanks_as_names(ctx: &Fig2Context, seq: &[u32]) -> Vec<String> {
+        seq.iter()
+            .map(|&r| {
+                if r == BLANK {
+                    "_".to_owned()
+                } else {
+                    ctx.vocab.name(ctx.ctx.order().item(r)).to_owned()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn t2_pivot_b_becomes_ab() {
+        // Paper Sec. 4.2/4.3: T2 = a b3 c c b2 with pivot B generalizes to
+        // aB␣␣B; the trailing B is an isolated pivot (γ=1) and is removed,
+        // leaving "aB".
+        let ctx = fig2_context();
+        let got = rewrite_named(&ctx, &["a", "b3", "c", "c", "b2"], "B", 1, 3).unwrap();
+        assert_eq!(blanks_as_names(&ctx, &got), ["a", "B"]);
+    }
+
+    #[test]
+    fn fig2_partition_pb_rewrites() {
+        // Fig. 2: P_B = { aB aB (T1), aB (T2), B a ␣ a (T4), aB (T5) }; T3 and
+        // T6 contribute nothing.
+        let ctx = fig2_context();
+        let t = |seq: &[&str]| rewrite_named(&ctx, seq, "B", 1, 3);
+        assert_eq!(
+            blanks_as_names(&ctx, &t(&["a", "b1", "a", "b1"]).unwrap()),
+            ["a", "B", "a", "B"]
+        );
+        assert_eq!(
+            blanks_as_names(&ctx, &t(&["a", "b3", "c", "c", "b2"]).unwrap()),
+            ["a", "B"]
+        );
+        assert_eq!(
+            blanks_as_names(&ctx, &t(&["b11", "a", "e", "a"]).unwrap()),
+            ["B", "a", "_", "a"]
+        );
+        assert_eq!(
+            blanks_as_names(&ctx, &t(&["a", "b12", "d1", "c"]).unwrap()),
+            ["a", "B"]
+        );
+        // T6 = b13 f d2 → B ␣ ␣ → isolated pivot → nothing.
+        assert_eq!(t(&["b13", "f", "d2"]), None);
+        // T3 = a c contains no B at all.
+        assert_eq!(t(&["a", "c"]), None);
+    }
+
+    #[test]
+    fn fig2_partition_pb1_rewrites() {
+        // Fig. 2: P_b1 = { a b1 a b1 (T1), b1 a ␣ a (T4), a b1 (T5) }.
+        let ctx = fig2_context();
+        let t = |seq: &[&str]| rewrite_named(&ctx, seq, "b1", 1, 3);
+        assert_eq!(
+            blanks_as_names(&ctx, &t(&["a", "b1", "a", "b1"]).unwrap()),
+            ["a", "b1", "a", "b1"]
+        );
+        assert_eq!(
+            blanks_as_names(&ctx, &t(&["b11", "a", "e", "a"]).unwrap()),
+            ["b1", "a", "_", "a"]
+        );
+        assert_eq!(
+            blanks_as_names(&ctx, &t(&["a", "b12", "d1", "c"]).unwrap()),
+            ["a", "b1"]
+        );
+        assert_eq!(t(&["b13", "f", "d2"]), None);
+    }
+
+    #[test]
+    fn fig2_partition_pd_rewrites() {
+        // Fig. 2: P_D = { a b1 D c (T5), b1 ␣ D (T6) }.
+        let ctx = fig2_context();
+        let t = |seq: &[&str]| rewrite_named(&ctx, seq, "D", 1, 3);
+        assert_eq!(
+            blanks_as_names(&ctx, &t(&["a", "b12", "d1", "c"]).unwrap()),
+            ["a", "b1", "D", "c"]
+        );
+        assert_eq!(
+            blanks_as_names(&ctx, &t(&["b13", "f", "d2"]).unwrap()),
+            ["b1", "_", "D"]
+        );
+    }
+
+    #[test]
+    fn fig2_partition_pa_and_pc_rewrites() {
+        let ctx = fig2_context();
+        // P_a: only T1 (a...a) and T4 (a ␣ a after isolated-pivot handling?).
+        // T1 = a b1 a b1 with pivot a: b1 is irrelevant (rank 2 > 0), B also
+        // irrelevant (rank 1 > 0), no relevant ancestor → blanks: a ␣ a ␣ →
+        // cleanup → a ␣ a.
+        let got = rewrite_named(&ctx, &["a", "b1", "a", "b1"], "a", 1, 3).unwrap();
+        assert_eq!(blanks_as_names(&ctx, &got), ["a", "_", "a"]);
+        // T4 = b11 a e a → ␣ a ␣ a → a ␣ a.
+        let got = rewrite_named(&ctx, &["b11", "a", "e", "a"], "a", 1, 3).unwrap();
+        assert_eq!(blanks_as_names(&ctx, &got), ["a", "_", "a"]);
+        // T3 = a c → a ␣ → single isolated pivot → nothing.
+        assert_eq!(rewrite_named(&ctx, &["a", "c"], "a", 1, 3), None);
+        // P_c from T2: a b3 c c b2 → a B c c B.
+        let got = rewrite_named(&ctx, &["a", "b3", "c", "c", "b2"], "c", 1, 3).unwrap();
+        assert_eq!(blanks_as_names(&ctx, &got), ["a", "B", "c", "c", "B"]);
+        // P_c from T5: a b12 d1 c → a b1 ␣ c.
+        let got = rewrite_named(&ctx, &["a", "b12", "d1", "c"], "c", 1, 3).unwrap();
+        assert_eq!(blanks_as_names(&ctx, &got), ["a", "b1", "_", "c"]);
+    }
+
+    #[test]
+    fn unreachability_example_lambda2_and_lambda3() {
+        // Paper Sec. 4.3: T = a b1 a c d1 a d2 c f b2 c, pivot D, γ = 1.
+        // λ=2 → a c D a D c (after blank cleanup); λ=3 → a b1 a c D a D c ␣ B.
+        let ctx = fig2_context();
+        let seq = ["a", "b1", "a", "c", "d1", "a", "d2", "c", "f", "b2", "c"];
+        let got = rewrite_named(&ctx, &seq, "D", 1, 2).unwrap();
+        assert_eq!(blanks_as_names(&ctx, &got), ["a", "c", "D", "a", "D", "c"]);
+        let got = rewrite_named(&ctx, &seq, "D", 1, 3).unwrap();
+        assert_eq!(
+            blanks_as_names(&ctx, &got),
+            ["a", "b1", "a", "c", "D", "a", "D", "c", "_", "B"]
+        );
+    }
+
+    #[test]
+    fn rewrite_preserves_pivot_sequences_on_paper_database() {
+        // w-equivalency (Lemma 3 + Sec. 4.3): G_{w,λ}(T) = G_{w,λ}(P_w(T))
+        // for every sequence of the running example, every frequent pivot,
+        // and a range of (γ, λ).
+        let ctx = fig2_context();
+        let space = ctx.space();
+        for gamma in 0..3 {
+            for lambda in 2..5 {
+                let params = GsmParams::new(2, gamma, lambda).unwrap();
+                let rw = Rewriter::new(space, &params);
+                for idx in 0..6 {
+                    let seq = ctx.ranked_seq(idx);
+                    for pivot in 0..space.num_frequent() {
+                        let original = enumerate_pivot(seq, space, gamma, lambda, pivot);
+                        let rewritten = match rw.rewrite(seq, pivot) {
+                            Some(r) => enumerate_pivot(&r, space, gamma, lambda, pivot),
+                            None => Default::default(),
+                        };
+                        assert_eq!(
+                            original, rewritten,
+                            "T{} pivot {pivot} γ={gamma} λ={lambda}",
+                            idx + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generalize_only_level_also_preserves_pivot_sequences() {
+        let ctx = fig2_context();
+        let space = ctx.space();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let rw = Rewriter::with_level(space, &params, RewriteLevel::GeneralizeOnly);
+        for idx in 0..6 {
+            let seq = ctx.ranked_seq(idx);
+            for pivot in 0..space.num_frequent() {
+                let original = enumerate_pivot(seq, space, 1, 3, pivot);
+                let rewritten = match rw.rewrite(seq, pivot) {
+                    Some(r) => enumerate_pivot(&r, space, 1, 3, pivot),
+                    None => Default::default(),
+                };
+                assert_eq!(original, rewritten, "T{} pivot {pivot}", idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn level_none_ships_sequences_containing_pivot_descendants() {
+        let ctx = fig2_context();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let rw = Rewriter::with_level(ctx.space(), &params, RewriteLevel::None);
+        // T2 contains b3 which generalizes to B → shipped unmodified.
+        let t2 = ctx.ranked_seq(1);
+        assert_eq!(rw.rewrite(t2, ctx.rank("B")).unwrap(), t2.to_vec());
+        // T3 = a c has nothing generalizing to B.
+        assert_eq!(rw.rewrite(ctx.ranked_seq(2), ctx.rank("B")), None);
+    }
+}

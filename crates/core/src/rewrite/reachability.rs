@@ -1,0 +1,182 @@
+//! Unreachability reduction (paper Sec. 4.3, following MG-FSM).
+//!
+//! After w-generalization, an index is a *pivot index* iff it holds the pivot
+//! item. The left (right) distance of an index is the length of the shortest
+//! chain of indexes from a pivot index on its left (right) to the index,
+//! where consecutive chain indexes satisfy the gap constraint and
+//! intermediate indexes are non-blank. An index whose minimum distance
+//! exceeds λ cannot participate in any pivot sequence of length ≤ λ and is
+//! removed outright (not blanked — MG-FSM shows removal preserves
+//! w-equivalency).
+
+use crate::BLANK;
+
+const INF: u32 = u32::MAX;
+
+/// Removes all unreachable indexes from `seq` in place.
+pub fn prune_unreachable(seq: &mut Vec<u32>, pivot: u32, gamma: usize, lambda: usize) {
+    let n = seq.len();
+    if n == 0 {
+        return;
+    }
+    let left = distances(seq, pivot, gamma, Direction::FromLeft);
+    let right = distances(seq, pivot, gamma, Direction::FromRight);
+    let lambda = lambda as u32;
+    let mut w = 0usize;
+    for i in 0..n {
+        if left[i].min(right[i]) <= lambda {
+            seq[w] = seq[i];
+            w += 1;
+        }
+    }
+    seq.truncate(w);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    FromLeft,
+    FromRight,
+}
+
+/// Computes pivot-chain distances in one direction. `FromLeft` produces the
+/// paper's "left distance" (nearest pivot to the left); `FromRight` the
+/// "right distance". Pivot indexes have distance 1, unreachable ones `INF`.
+fn distances(seq: &[u32], pivot: u32, gamma: usize, dir: Direction) -> Vec<u32> {
+    let n = seq.len();
+    let mut dist = vec![INF; n];
+    let idx: Box<dyn Iterator<Item = usize>> = match dir {
+        Direction::FromLeft => Box::new(0..n),
+        Direction::FromRight => Box::new((0..n).rev()),
+    };
+    for i in idx {
+        if seq[i] == pivot {
+            dist[i] = 1;
+            continue;
+        }
+        // Best chain through a non-blank predecessor within the gap window.
+        let mut best = INF;
+        for step in 1..=gamma + 1 {
+            let j = match dir {
+                Direction::FromLeft => {
+                    if i < step {
+                        break;
+                    }
+                    i - step
+                }
+                Direction::FromRight => {
+                    if i + step >= n {
+                        break;
+                    }
+                    i + step
+                }
+            };
+            if seq[j] != BLANK && dist[j] != INF {
+                best = best.min(dist[j] + 1);
+            }
+        }
+        dist[i] = best;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::generalize::w_generalize;
+    use crate::testutil::{fig2_context, ranks};
+
+    /// The paper's worked distance table (Sec. 4.3): T = a b1 a c d1 a d2 c f
+    /// b2 c, pivot D, γ = 1, after D-generalization = a b1 a c D a D c ␣ B c.
+    fn paper_sequence() -> (Vec<u32>, u32) {
+        let ctx = fig2_context();
+        let raw = ranks(
+            &ctx,
+            &["a", "b1", "a", "c", "d1", "a", "d2", "c", "f", "b2", "c"],
+        );
+        let pivot = ctx.rank("D");
+        (w_generalize(&raw, pivot, ctx.space()), pivot)
+    }
+
+    #[test]
+    fn distance_table_matches_paper() {
+        let (seq, pivot) = paper_sequence();
+        let left = distances(&seq, pivot, 1, Direction::FromLeft);
+        let right = distances(&seq, pivot, 1, Direction::FromRight);
+        // Paper's table (1-based indexes 1..11):
+        // left:  - - - - 1 2 1 2 2 3 4
+        // right: 3 3 2 2 1 2 1 - - - -
+        assert_eq!(left, vec![INF, INF, INF, INF, 1, 2, 1, 2, 2, 3, 4]);
+        assert_eq!(right, vec![3, 3, 2, 2, 1, 2, 1, INF, INF, INF, INF]);
+        let min: Vec<u32> = left.iter().zip(&right).map(|(&l, &r)| l.min(r)).collect();
+        assert_eq!(min, vec![3, 3, 2, 2, 1, 2, 1, 2, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chains_may_not_pass_through_blanks() {
+        // Paper: the left distance of index 11 is 4 via 7,8,10,11 — the chain
+        // 7,9,11 is forbidden because index 9 is a blank. With the blank
+        // allowed it would be 3; assert it is 4 (covered above) and check a
+        // minimal case here.
+        let ctx = fig2_context();
+        let a = ctx.rank("a");
+        let pivot = ctx.rank("D");
+        // D ␣ a: left distance of `a` (index 2) must hop directly from the
+        // pivot (gap 1 allowed at γ=1) — still 2.
+        let seq = vec![pivot, crate::BLANK, a];
+        let left = distances(&seq, pivot, 1, Direction::FromLeft);
+        assert_eq!(left, vec![1, 2, 2]);
+        // With γ=0 the blank blocks the hop entirely.
+        let left = distances(&seq, pivot, 0, Direction::FromLeft);
+        assert_eq!(left, vec![1, 2, INF]);
+    }
+
+    #[test]
+    fn prune_lambda2_matches_paper() {
+        let (mut seq, pivot) = paper_sequence();
+        prune_unreachable(&mut seq, pivot, 1, 2);
+        // Paper: "for λ = 2, we obtain the reduced sequence acDaDc␣".
+        let ctx = fig2_context();
+        let expect = [
+            ctx.rank("a"),
+            ctx.rank("c"),
+            pivot,
+            ctx.rank("a"),
+            pivot,
+            ctx.rank("c"),
+            crate::BLANK,
+        ];
+        assert_eq!(seq, expect);
+    }
+
+    #[test]
+    fn prune_lambda3_matches_paper() {
+        let (mut seq, pivot) = paper_sequence();
+        let before = seq.clone();
+        prune_unreachable(&mut seq, pivot, 1, 3);
+        // Paper: "for λ = 3, we obtain ab1acDaDc␣B" — only the final c drops.
+        assert_eq!(seq, before[..10].to_vec());
+    }
+
+    #[test]
+    fn large_lambda_keeps_everything() {
+        let (mut seq, pivot) = paper_sequence();
+        let before = seq.clone();
+        prune_unreachable(&mut seq, pivot, 1, 100);
+        assert_eq!(seq, before);
+    }
+
+    #[test]
+    fn no_pivot_removes_everything() {
+        let ctx = fig2_context();
+        let mut seq = ranks(&ctx, &["a", "c", "a"]);
+        prune_unreachable(&mut seq, ctx.rank("D"), 1, 3);
+        assert!(seq.is_empty());
+    }
+
+    #[test]
+    fn empty_sequence_is_noop() {
+        let mut seq: Vec<u32> = Vec::new();
+        prune_unreachable(&mut seq, 0, 1, 3);
+        assert!(seq.is_empty());
+    }
+}

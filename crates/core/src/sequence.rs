@@ -1,0 +1,270 @@
+//! Sequence database storage.
+//!
+//! Sequences are stored in a flattened arena (one contiguous item buffer plus
+//! offsets) to keep per-sequence overhead at two words and iteration
+//! cache-friendly — the databases the paper targets have tens of millions of
+//! short sequences.
+
+use crate::vocabulary::ItemId;
+
+/// A multiset of input sequences over a vocabulary.
+///
+/// ```
+/// use lash_core::{SequenceDatabase, VocabularyBuilder};
+/// let mut vb = VocabularyBuilder::new();
+/// let a = vb.intern("a");
+/// let b = vb.intern("b");
+/// let mut db = SequenceDatabase::new();
+/// db.push(&[a, b, a]);
+/// db.push(&[b]);
+/// assert_eq!(db.len(), 2);
+/// assert_eq!(db.get(0), &[a, b, a]);
+/// assert_eq!(db.total_items(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SequenceDatabase {
+    items: Vec<ItemId>,
+    offsets: Vec<u64>,
+}
+
+impl SequenceDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        SequenceDatabase {
+            items: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Creates an empty database with reserved capacity.
+    pub fn with_capacity(sequences: usize, total_items: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sequences + 1);
+        offsets.push(0);
+        SequenceDatabase {
+            items: Vec::with_capacity(total_items),
+            offsets,
+        }
+    }
+
+    /// Appends a sequence; returns its index.
+    pub fn push(&mut self, sequence: &[ItemId]) -> usize {
+        self.items.extend_from_slice(sequence);
+        self.offsets.push(self.items.len() as u64);
+        self.offsets.len() - 2
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the database holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `idx`-th sequence.
+    pub fn get(&self, idx: usize) -> &[ItemId] {
+        let lo = self.offsets[idx] as usize;
+        let hi = self.offsets[idx + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// Iterates over all sequences.
+    pub fn iter(&self) -> impl Iterator<Item = &[ItemId]> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Total number of items across all sequences.
+    pub fn total_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Average sequence length.
+    pub fn avg_len(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.items.len() as f64 / self.len() as f64
+        }
+    }
+
+    /// Maximum sequence length.
+    pub fn max_len(&self) -> usize {
+        (0..self.len()).map(|i| self.get(i).len()).max().unwrap_or(0)
+    }
+
+    /// Number of distinct items that occur in the database.
+    pub fn unique_items(&self) -> usize {
+        let mut seen = crate::fxhash::FxHashSet::default();
+        for &it in &self.items {
+            seen.insert(it);
+        }
+        seen.len()
+    }
+
+    /// Restricts the database to its first `n` sequences (used by the data
+    /// scaling experiments of Fig. 6).
+    pub fn truncated(&self, n: usize) -> SequenceDatabase {
+        let n = n.min(self.len());
+        let mut db = SequenceDatabase::with_capacity(n, self.offsets[n] as usize);
+        for i in 0..n {
+            db.push(self.get(i));
+        }
+        db
+    }
+}
+
+impl<'a> IntoIterator for &'a SequenceDatabase {
+    type Item = &'a [ItemId];
+    type IntoIter = Box<dyn Iterator<Item = &'a [ItemId]> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+/// A sequence in *rank space* together with an aggregation weight, as shipped
+/// to and mined inside a partition (paper Sec. 4.4: duplicate rewritten
+/// sequences are aggregated and carry a count).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WeightedSequence {
+    /// Items as frequency ranks; may contain [`crate::BLANK`].
+    pub items: Vec<u32>,
+    /// Number of input sequences this rewritten sequence represents.
+    pub weight: u64,
+}
+
+impl WeightedSequence {
+    /// Creates a weighted sequence.
+    pub fn new(items: Vec<u32>, weight: u64) -> Self {
+        WeightedSequence { items, weight }
+    }
+}
+
+/// A partition `P_w`: the aggregated, rewritten sequences routed to pivot `w`.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// The aggregated sequences.
+    pub sequences: Vec<WeightedSequence>,
+}
+
+impl Partition {
+    /// Creates an empty partition.
+    pub fn new() -> Self {
+        Partition::default()
+    }
+
+    /// Builds a partition from raw (sequence, weight) pairs, aggregating
+    /// duplicates.
+    pub fn aggregate(raw: impl IntoIterator<Item = (Vec<u32>, u64)>) -> Self {
+        let mut agg: crate::fxhash::FxHashMap<Vec<u32>, u64> = Default::default();
+        for (seq, w) in raw {
+            *agg.entry(seq).or_insert(0) += w;
+        }
+        let mut sequences: Vec<WeightedSequence> = agg
+            .into_iter()
+            .map(|(items, weight)| WeightedSequence { items, weight })
+            .collect();
+        // Deterministic order regardless of hash iteration.
+        sequences.sort_unstable_by(|a, b| a.items.cmp(&b.items));
+        Partition { sequences }
+    }
+
+    /// Total weight (number of represented input sequences).
+    pub fn total_weight(&self) -> u64 {
+        self.sequences.iter().map(|s| s.weight).sum()
+    }
+
+    /// Number of distinct (aggregated) sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// True if the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary::VocabularyBuilder;
+
+    fn ids(n: u32) -> Vec<ItemId> {
+        let mut vb = VocabularyBuilder::new();
+        (0..n).map(|i| vb.intern(&format!("i{i}"))).collect()
+    }
+
+    #[test]
+    fn push_and_get() {
+        let v = ids(5);
+        let mut db = SequenceDatabase::new();
+        assert_eq!(db.push(&[v[0], v[1]]), 0);
+        assert_eq!(db.push(&[v[2]]), 1);
+        assert_eq!(db.push(&[]), 2);
+        assert_eq!(db.push(&[v[3], v[4], v[0]]), 3);
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.get(0), &[v[0], v[1]]);
+        assert_eq!(db.get(2), &[]);
+        assert_eq!(db.get(3), &[v[3], v[4], v[0]]);
+        assert_eq!(db.total_items(), 6);
+        assert_eq!(db.max_len(), 3);
+        assert!((db.avg_len() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_visits_all_sequences() {
+        let v = ids(3);
+        let mut db = SequenceDatabase::new();
+        db.push(&[v[0]]);
+        db.push(&[v[1], v[2]]);
+        let collected: Vec<Vec<ItemId>> = db.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(collected, vec![vec![v[0]], vec![v[1], v[2]]]);
+    }
+
+    #[test]
+    fn unique_items_deduplicates() {
+        let v = ids(3);
+        let mut db = SequenceDatabase::new();
+        db.push(&[v[0], v[0], v[1]]);
+        db.push(&[v[1]]);
+        assert_eq!(db.unique_items(), 2);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let v = ids(4);
+        let mut db = SequenceDatabase::new();
+        db.push(&[v[0]]);
+        db.push(&[v[1], v[2]]);
+        db.push(&[v[3]]);
+        let t = db.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1), &[v[1], v[2]]);
+        // Truncating beyond the end is a full copy.
+        assert_eq!(db.truncated(10).len(), 3);
+    }
+
+    #[test]
+    fn partition_aggregation_merges_duplicates() {
+        let p = Partition::aggregate(vec![
+            (vec![1, 2], 1),
+            (vec![1, 2], 1),
+            (vec![3], 2),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_weight(), 4);
+        let ab = p.sequences.iter().find(|s| s.items == [1, 2]).unwrap();
+        assert_eq!(ab.weight, 2);
+    }
+
+    #[test]
+    fn empty_database_statistics() {
+        let db = SequenceDatabase::new();
+        assert!(db.is_empty());
+        assert_eq!(db.avg_len(), 0.0);
+        assert_eq!(db.max_len(), 0);
+        assert_eq!(db.unique_items(), 0);
+    }
+}

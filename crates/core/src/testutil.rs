@@ -1,0 +1,103 @@
+//! Shared test fixtures: the paper's running example (Fig. 1) and helpers for
+//! writing assertions in item-name space.
+
+use crate::context::MiningContext;
+use crate::fxhash::FxHashSet;
+use crate::sequence::SequenceDatabase;
+use crate::vocabulary::{Vocabulary, VocabularyBuilder};
+
+/// Builds the Fig. 1 vocabulary/hierarchy and example database:
+///
+/// ```text
+/// T1: a b1 a b1      hierarchy: B -> {b1, b2, b3}, b1 -> {b11, b12, b13},
+/// T2: a b3 c c b2               D -> {d1, d2}; a, c, e, f are roots.
+/// T3: a c
+/// T4: b11 a e a
+/// T5: a b12 d1 c
+/// T6: b13 f d2
+/// ```
+pub fn fig1() -> (Vocabulary, SequenceDatabase) {
+    let mut vb = VocabularyBuilder::new();
+    // Intern the frequent roots first so the a/B frequency tie (both 5) breaks
+    // toward `a`, matching the paper's order a < B.
+    let a = vb.intern("a");
+    let b_cap = vb.intern("B");
+    let c = vb.intern("c");
+    let d_cap = vb.intern("D");
+    let b1 = vb.child("b1", b_cap);
+    let b2 = vb.child("b2", b_cap);
+    let b3 = vb.child("b3", b_cap);
+    let b11 = vb.child("b11", b1);
+    let b12 = vb.child("b12", b1);
+    let b13 = vb.child("b13", b1);
+    let d1 = vb.child("d1", d_cap);
+    let d2 = vb.child("d2", d_cap);
+    let e = vb.intern("e");
+    let f = vb.intern("f");
+    let vocab = vb.finish().unwrap();
+
+    let mut db = SequenceDatabase::new();
+    db.push(&[a, b1, a, b1]); // T1
+    db.push(&[a, b3, c, c, b2]); // T2
+    db.push(&[a, c]); // T3
+    db.push(&[b11, a, e, a]); // T4
+    db.push(&[a, b12, d1, c]); // T5
+    db.push(&[b13, f, d2]); // T6
+    (vocab, db)
+}
+
+/// The Fig. 1 example preprocessed with σ = 2 (the paper's Fig. 2 setting).
+pub fn fig2_context() -> Fig2Context {
+    let (vocab, db) = fig1();
+    let ctx = MiningContext::build(&db, &vocab, 2);
+    Fig2Context { vocab, ctx }
+}
+
+/// A bundled vocabulary + context for the running example.
+pub struct Fig2Context {
+    /// The Fig. 1 vocabulary.
+    pub vocab: Vocabulary,
+    /// The σ=2 mining context.
+    pub ctx: MiningContext,
+}
+
+impl Fig2Context {
+    /// The rank-space hierarchy.
+    pub fn space(&self) -> &crate::hierarchy::ItemSpace {
+        self.ctx.space()
+    }
+
+    /// The `idx`-th ranked sequence (T1 = 0 … T6 = 5).
+    pub fn ranked_seq(&self, idx: usize) -> &[u32] {
+        self.ctx.ranked_seq(idx)
+    }
+
+    /// The rank of the named item.
+    pub fn rank(&self, name: &str) -> u32 {
+        self.ctx.order().rank(self.vocab.lookup(name).expect("known item"))
+    }
+}
+
+/// Converts item names to ranks in the given context.
+pub fn ranks(ctx: &Fig2Context, names: &[&str]) -> Vec<u32> {
+    names.iter().map(|n| ctx.rank(n)).collect()
+}
+
+/// Builds a set of rank sequences from space-separated name strings, e.g.
+/// `named_set(&ctx, &["a B", "B a a"])`.
+pub fn named_set(ctx: &Fig2Context, patterns: &[&str]) -> FxHashSet<Vec<u32>> {
+    patterns
+        .iter()
+        .map(|p| p.split_whitespace().map(|n| ctx.rank(n)).collect())
+        .collect()
+}
+
+/// Builds a [`crate::pattern::PatternSet`] from `(names, frequency)` pairs.
+pub fn named_patterns(ctx: &Fig2Context, patterns: &[(&str, u64)]) -> crate::pattern::PatternSet {
+    crate::pattern::PatternSet::from_pairs(patterns.iter().map(|(p, f)| {
+        (
+            p.split_whitespace().map(|n| ctx.rank(n)).collect::<Vec<u32>>(),
+            *f,
+        )
+    }))
+}

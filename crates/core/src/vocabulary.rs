@@ -1,0 +1,495 @@
+//! The vocabulary: items, their names, and the forest hierarchy over them.
+//!
+//! Items in LASH are arranged in a hierarchy where each item has at most one
+//! parent (paper Sec. 2): leaf items are most specific, root items most
+//! general. Both input sequences and mined patterns may contain items from any
+//! level.
+
+use crate::error::{Error, Result};
+use crate::fxhash::FxHashMap;
+
+/// An opaque identifier of a vocabulary item.
+///
+/// Ids are dense (`0..vocab.len()`) in insertion order. The mining pipeline
+/// internally re-encodes items into frequency *ranks* (see
+/// [`crate::flist::ItemOrder`]); `ItemId` is the stable, user-facing id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub(crate) u32);
+
+impl ItemId {
+    /// The dense index of this item.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Constructs an `ItemId` from a raw index. The caller is responsible for
+    /// ensuring the index is valid for the vocabulary it is used with.
+    #[inline]
+    pub fn from_u32(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+/// Builder for [`Vocabulary`].
+///
+/// ```
+/// use lash_core::VocabularyBuilder;
+/// let mut vb = VocabularyBuilder::new();
+/// let electronics = vb.intern("electronics");
+/// let camera = vb.child("camera", electronics);
+/// let eos70d = vb.child("Canon EOS 70D", camera);
+/// let vocab = vb.finish().unwrap();
+/// assert_eq!(vocab.parent(eos70d), Some(camera));
+/// assert_eq!(vocab.depth(eos70d), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct VocabularyBuilder {
+    names: Vec<String>,
+    index: FxHashMap<String, ItemId>,
+    parent: Vec<Option<ItemId>>,
+}
+
+impl VocabularyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, inserting it as a root item if new.
+    pub fn intern(&mut self, name: &str) -> ItemId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = ItemId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        self.parent.push(None);
+        id
+    }
+
+    /// Interns `name` and makes it a child of `parent`.
+    ///
+    /// If `name` already exists and already has a different parent, the
+    /// existing parent is kept and the call panics in debug builds via
+    /// [`VocabularyBuilder::set_parent`]'s error. Prefer `set_parent` when the
+    /// item may exist.
+    pub fn child(&mut self, name: &str, parent: ItemId) -> ItemId {
+        let id = self.intern(name);
+        self.set_parent(id, parent)
+            .expect("child(): item already has a conflicting parent or would form a cycle");
+        id
+    }
+
+    /// Sets `parent` as the parent of `child`.
+    ///
+    /// Errors if `child` already has a *different* parent (the hierarchy must
+    /// be a forest) or if the assignment would create a cycle. Setting the
+    /// same parent twice is a no-op.
+    pub fn set_parent(&mut self, child: ItemId, parent: ItemId) -> Result<()> {
+        if child.index() >= self.names.len() {
+            return Err(Error::UnknownItem(child.0));
+        }
+        if parent.index() >= self.names.len() {
+            return Err(Error::UnknownItem(parent.0));
+        }
+        match self.parent[child.index()] {
+            Some(existing) if existing == parent => return Ok(()),
+            Some(_) => return Err(Error::DuplicateParent { child: child.0 }),
+            None => {}
+        }
+        // Walk up from `parent`; if we reach `child`, a cycle would form.
+        let mut cursor = Some(parent);
+        while let Some(p) = cursor {
+            if p == child {
+                return Err(Error::HierarchyCycle { item: child.0 });
+            }
+            cursor = self.parent[p.index()];
+        }
+        self.parent[child.index()] = Some(parent);
+        Ok(())
+    }
+
+    /// Number of items interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no items have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Finalizes the vocabulary, computing depths, children, and ancestor
+    /// chains.
+    pub fn finish(self) -> Result<Vocabulary> {
+        let n = self.names.len();
+        let mut children: Vec<Vec<ItemId>> = vec![Vec::new(); n];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(ItemId(i as u32));
+            }
+        }
+        // Depths via memoized walk-up (forest is acyclic by construction).
+        let mut depth = vec![u32::MAX; n];
+        for i in 0..n {
+            if depth[i] != u32::MAX {
+                continue;
+            }
+            let mut chain = Vec::new();
+            let mut cursor = ItemId(i as u32);
+            loop {
+                if depth[cursor.index()] != u32::MAX {
+                    break;
+                }
+                chain.push(cursor);
+                match self.parent[cursor.index()] {
+                    Some(p) => cursor = p,
+                    None => break,
+                }
+            }
+            let base = if depth[cursor.index()] != u32::MAX {
+                depth[cursor.index()] + 1
+            } else {
+                0
+            };
+            for (step, &it) in chain.iter().rev().enumerate() {
+                depth[it.index()] = base + step as u32;
+            }
+        }
+        // Flattened ancestor chains (self first, then parent, …, root).
+        let mut chain_offsets = Vec::with_capacity(n + 1);
+        let mut chains = Vec::new();
+        chain_offsets.push(0u32);
+        for i in 0..n {
+            let mut cursor = Some(ItemId(i as u32));
+            while let Some(c) = cursor {
+                chains.push(c);
+                cursor = self.parent[c.index()];
+            }
+            chain_offsets.push(chains.len() as u32);
+        }
+        Ok(Vocabulary {
+            names: self.names,
+            index: self.index,
+            parent: self.parent,
+            children,
+            depth,
+            chains,
+            chain_offsets,
+        })
+    }
+}
+
+/// An immutable vocabulary: item names plus the forest hierarchy.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    index: FxHashMap<String, ItemId>,
+    parent: Vec<Option<ItemId>>,
+    children: Vec<Vec<ItemId>>,
+    depth: Vec<u32>,
+    /// Flattened ancestor chains: for item `i`,
+    /// `chains[chain_offsets[i]..chain_offsets[i+1]]` is `[i, parent(i), …, root]`.
+    chains: Vec<ItemId>,
+    chain_offsets: Vec<u32>,
+}
+
+impl Vocabulary {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of `item`.
+    pub fn name(&self, item: ItemId) -> &str {
+        &self.names[item.index()]
+    }
+
+    /// Looks up an item by name.
+    pub fn lookup(&self, name: &str) -> Option<ItemId> {
+        self.index.get(name).copied()
+    }
+
+    /// The parent of `item`, or `None` for root items.
+    pub fn parent(&self, item: ItemId) -> Option<ItemId> {
+        self.parent[item.index()]
+    }
+
+    /// The children of `item`.
+    pub fn children(&self, item: ItemId) -> &[ItemId] {
+        &self.children[item.index()]
+    }
+
+    /// Depth of `item` in its tree (roots have depth 0).
+    pub fn depth(&self, item: ItemId) -> u32 {
+        self.depth[item.index()]
+    }
+
+    /// The ancestor chain of `item`, starting with `item` itself and ending at
+    /// its root: `[item, parent, grandparent, …, root]`.
+    pub fn chain(&self, item: ItemId) -> &[ItemId] {
+        let lo = self.chain_offsets[item.index()] as usize;
+        let hi = self.chain_offsets[item.index() + 1] as usize;
+        &self.chains[lo..hi]
+    }
+
+    /// True if `u →* v`: `u` equals `v` or `v` is an ancestor of `u`
+    /// (i.e. `u` generalizes to `v`).
+    pub fn generalizes_to(&self, u: ItemId, v: ItemId) -> bool {
+        let mut cursor = Some(u);
+        while let Some(c) = cursor {
+            if c == v {
+                return true;
+            }
+            cursor = self.parent[c.index()];
+        }
+        false
+    }
+
+    /// Iterates over all item ids.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.names.len() as u32).map(ItemId)
+    }
+
+    /// Maximum depth over all items (0 for a flat vocabulary). The paper's δ.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// A copy of this vocabulary with all parent links removed — the same
+    /// items and ids, but no generalization. Used for flat mining (MG-FSM
+    /// mode, paper Sec. 6.3).
+    pub fn without_hierarchy(&self) -> Vocabulary {
+        let mut vb = VocabularyBuilder::new();
+        for item in self.items() {
+            vb.intern(self.name(item));
+        }
+        vb.finish().expect("flat vocabulary is always valid")
+    }
+
+    /// Summary statistics matching the paper's Table 2 columns.
+    pub fn hierarchy_stats(&self) -> HierarchyStats {
+        let total = self.len();
+        let mut leaves = 0usize;
+        let mut roots = 0usize;
+        let mut fanout_sum = 0usize;
+        let mut fanout_nodes = 0usize;
+        let mut max_fanout = 0usize;
+        for i in 0..total {
+            if self.children[i].is_empty() {
+                leaves += 1;
+            } else {
+                fanout_sum += self.children[i].len();
+                fanout_nodes += 1;
+                max_fanout = max_fanout.max(self.children[i].len());
+            }
+            if self.parent[i].is_none() {
+                roots += 1;
+            }
+        }
+        // Isolated items (no parent, no children) are both roots and leaves;
+        // add them back so the set identity holds.
+        let isolated = self
+            .items()
+            .filter(|&i| self.parent[i.index()].is_none() && self.children[i.index()].is_empty())
+            .count();
+        let intermediate = total + isolated - leaves - roots;
+        HierarchyStats {
+            total_items: total,
+            leaf_items: leaves,
+            root_items: roots,
+            intermediate_items: intermediate,
+            levels: self.max_depth() as usize + 1,
+            avg_fanout: if fanout_nodes == 0 {
+                0.0
+            } else {
+                fanout_sum as f64 / fanout_nodes as f64
+            },
+            max_fanout,
+        }
+    }
+}
+
+/// Table 2-style hierarchy characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyStats {
+    /// Total number of items in the vocabulary.
+    pub total_items: usize,
+    /// Items without children (most specific).
+    pub leaf_items: usize,
+    /// Items without a parent (most general).
+    pub root_items: usize,
+    /// Items that are neither (isolated items — both root and leaf — are
+    /// counted in both of the above and therefore excluded here).
+    pub intermediate_items: usize,
+    /// Number of hierarchy levels (max depth + 1).
+    pub levels: usize,
+    /// Average number of children over items that have children.
+    pub avg_fanout: f64,
+    /// Maximum number of children of any item.
+    pub max_fanout: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Fig. 1(b) vocabulary:
+    /// roots a, B, c, D, e, f; B -> {b1, b2, b3}; b1 -> {b11, b12, b13};
+    /// D -> {d1, d2}.
+    pub(crate) fn fig1_vocabulary() -> (Vocabulary, Vec<ItemId>) {
+        let mut vb = VocabularyBuilder::new();
+        let a = vb.intern("a");
+        let b_cap = vb.intern("B");
+        let c = vb.intern("c");
+        let d_cap = vb.intern("D");
+        let b1 = vb.child("b1", b_cap);
+        let b2 = vb.child("b2", b_cap);
+        let b3 = vb.child("b3", b_cap);
+        let b11 = vb.child("b11", b1);
+        let b12 = vb.child("b12", b1);
+        let b13 = vb.child("b13", b1);
+        let d1 = vb.child("d1", d_cap);
+        let d2 = vb.child("d2", d_cap);
+        let e = vb.intern("e");
+        let f = vb.intern("f");
+        let vocab = vb.finish().unwrap();
+        (
+            vocab,
+            vec![a, b_cap, c, d_cap, b1, b2, b3, b11, b12, b13, d1, d2, e, f],
+        )
+    }
+
+    #[test]
+    fn builds_fig1_hierarchy() {
+        let (vocab, ids) = fig1_vocabulary();
+        let [a, b_cap, _c, d_cap, b1, _b2, _b3, b11, ..] = ids[..] else {
+            panic!("expected ids");
+        };
+        assert_eq!(vocab.len(), 14);
+        assert_eq!(vocab.parent(b11), Some(b1));
+        assert_eq!(vocab.parent(b1), Some(b_cap));
+        assert_eq!(vocab.parent(b_cap), None);
+        assert_eq!(vocab.depth(b11), 2);
+        assert_eq!(vocab.depth(b1), 1);
+        assert_eq!(vocab.depth(a), 0);
+        assert_eq!(vocab.children(d_cap).len(), 2);
+        assert_eq!(vocab.max_depth(), 2);
+    }
+
+    #[test]
+    fn generalizes_to_follows_transitive_closure() {
+        let (vocab, ids) = fig1_vocabulary();
+        let [a, b_cap, _c, _d, b1, _b2, b3, b11, ..] = ids[..] else {
+            panic!()
+        };
+        // b11 → b1 → B (paper: b11 →* B).
+        assert!(vocab.generalizes_to(b11, b1));
+        assert!(vocab.generalizes_to(b11, b_cap));
+        assert!(vocab.generalizes_to(b11, b11)); // reflexive
+        assert!(!vocab.generalizes_to(b_cap, b11)); // not symmetric
+        assert!(!vocab.generalizes_to(b3, b1)); // siblings' subtrees unrelated
+        assert!(!vocab.generalizes_to(a, b_cap));
+    }
+
+    #[test]
+    fn chain_lists_self_then_ancestors() {
+        let (vocab, ids) = fig1_vocabulary();
+        let [_a, b_cap, _c, _d, b1, _b2, _b3, b11, ..] = ids[..] else {
+            panic!()
+        };
+        assert_eq!(vocab.chain(b11), &[b11, b1, b_cap]);
+        assert_eq!(vocab.chain(b_cap), &[b_cap]);
+    }
+
+    #[test]
+    fn rejects_second_parent() {
+        let mut vb = VocabularyBuilder::new();
+        let x = vb.intern("x");
+        let y = vb.intern("y");
+        let z = vb.intern("z");
+        vb.set_parent(z, x).unwrap();
+        assert_eq!(vb.set_parent(z, y), Err(Error::DuplicateParent { child: z.0 }));
+        // Same parent twice is fine.
+        vb.set_parent(z, x).unwrap();
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut vb = VocabularyBuilder::new();
+        let x = vb.intern("x");
+        let y = vb.intern("y");
+        let z = vb.intern("z");
+        vb.set_parent(y, x).unwrap();
+        vb.set_parent(z, y).unwrap();
+        assert_eq!(vb.set_parent(x, z), Err(Error::HierarchyCycle { item: x.0 }));
+        assert_eq!(vb.set_parent(x, x), Err(Error::HierarchyCycle { item: x.0 }));
+    }
+
+    #[test]
+    fn rejects_unknown_items() {
+        let mut vb = VocabularyBuilder::new();
+        let x = vb.intern("x");
+        assert_eq!(vb.set_parent(ItemId(9), x), Err(Error::UnknownItem(9)));
+        assert_eq!(vb.set_parent(x, ItemId(9)), Err(Error::UnknownItem(9)));
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut vb = VocabularyBuilder::new();
+        let x1 = vb.intern("x");
+        let x2 = vb.intern("x");
+        assert_eq!(x1, x2);
+        assert_eq!(vb.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (vocab, ids) = fig1_vocabulary();
+        assert_eq!(vocab.lookup("b11"), Some(ids[7]));
+        assert_eq!(vocab.lookup("nope"), None);
+        assert_eq!(vocab.name(ids[7]), "b11");
+    }
+
+    #[test]
+    fn hierarchy_stats_fig1() {
+        let (vocab, _) = fig1_vocabulary();
+        let s = vocab.hierarchy_stats();
+        assert_eq!(s.total_items, 14);
+        // Leaves: a, c, e, f, b2, b3, b11, b12, b13, d1, d2 = 11.
+        assert_eq!(s.leaf_items, 11);
+        // Roots: a, B, c, D, e, f = 6.
+        assert_eq!(s.root_items, 6);
+        // Intermediate: b1 only.
+        assert_eq!(s.intermediate_items, 1);
+        assert_eq!(s.levels, 3);
+        // Fan-out: B has 3 children, b1 has 3, D has 2 → avg 8/3.
+        assert!((s.avg_fanout - 8.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.max_fanout, 3);
+    }
+
+    #[test]
+    fn depths_computed_for_deep_chains() {
+        let mut vb = VocabularyBuilder::new();
+        let mut prev = vb.intern("level0");
+        for i in 1..50 {
+            prev = vb.child(&format!("level{i}"), prev);
+        }
+        let vocab = vb.finish().unwrap();
+        assert_eq!(vocab.max_depth(), 49);
+        let deepest = vocab.lookup("level49").unwrap();
+        assert_eq!(vocab.chain(deepest).len(), 50);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for lash-core's algorithmic kernels: matching against a
+//! brute-force oracle, local-miner equivalence on random partitions, DAG
+//! mining against exhaustive enumeration, and the closed/maximal
+//! window-index against the quadratic reference.
+
+use lash_core::dag::{naive_dag, DagMiner, MultiVocabularyBuilder};
+use lash_core::hierarchy::ItemSpace;
+use lash_core::matching::matches;
+use lash_core::miner::{BfsMiner, DfsMiner, LocalMiner, NaiveMiner, PsmMiner};
+use lash_core::sequence::{Partition, SequenceDatabase, WeightedSequence};
+use lash_core::stats::{closed_maximal_counts, closed_maximal_counts_naive};
+use lash_core::{GsmParams, Lash, LashConfig, VocabularyBuilder, BLANK};
+use proptest::prelude::*;
+
+/// A random rank-space hierarchy: parent of rank `r` is a smaller rank or
+/// none; frequencies are non-increasing by construction.
+fn arb_space(max_items: usize) -> impl Strategy<Value = ItemSpace> {
+    prop::collection::vec(prop::option::weighted(0.5, 0..100usize), 1..max_items).prop_map(
+        |parents| {
+            let n = parents.len();
+            let parent: Vec<Option<u32>> = parents
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    if i == 0 {
+                        None
+                    } else {
+                        p.map(|v| (v % i) as u32)
+                    }
+                })
+                .collect();
+            let frequency: Vec<u64> = (0..n as u64).map(|i| 1000 - i).collect();
+            let num_frequent = (n as u32).div_ceil(2);
+            ItemSpace::new(parent, frequency, num_frequent)
+        },
+    )
+}
+
+/// A random rank-space sequence that may contain blanks.
+fn arb_seq(n_items: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(
+        prop_oneof![9 => 0..n_items as u32, 1 => Just(BLANK)],
+        0..10,
+    )
+}
+
+/// Brute-force `S ⊑γ T`: try every embedding recursively.
+fn oracle_matches(pattern: &[u32], seq: &[u32], space: &ItemSpace, gamma: usize) -> bool {
+    fn rec(pattern: &[u32], seq: &[u32], space: &ItemSpace, gamma: usize, from: usize) -> bool {
+        if pattern.is_empty() {
+            return true;
+        }
+        let to = if from == 0 {
+            seq.len()
+        } else {
+            (from + gamma + 1).min(seq.len())
+        };
+        for q in from..to {
+            let t = seq[q];
+            if t != BLANK
+                && space.generalizes_to(t, pattern[0])
+                && rec(&pattern[1..], seq, space, gamma, q + 1)
+            {
+                return true;
+            }
+        }
+        false
+    }
+    if pattern.len() > seq.len() {
+        return false;
+    }
+    rec(pattern, seq, space, gamma, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matching_agrees_with_brute_force(
+        space in arb_space(8),
+        seq in arb_seq(8),
+        pattern in prop::collection::vec(0u32..8, 1..4),
+        gamma in 0usize..3,
+    ) {
+        let n = space.len() as u32;
+        let pattern: Vec<u32> = pattern.into_iter().map(|p| p % n).collect();
+        let seq: Vec<u32> = seq.into_iter().map(|t| if t == BLANK { BLANK } else { t % n }).collect();
+        prop_assert_eq!(
+            matches(&pattern, &seq, &space, gamma),
+            oracle_matches(&pattern, &seq, &space, gamma),
+            "pattern {:?} seq {:?} γ={}", pattern, seq, gamma
+        );
+    }
+
+    /// All local miners agree with exhaustive enumeration on random
+    /// partitions (weighted, blank-containing sequences included).
+    #[test]
+    fn local_miners_agree_on_random_partitions(
+        space in arb_space(8),
+        seqs in prop::collection::vec((arb_seq(8), 1u64..3), 1..8),
+        sigma in 1u64..4,
+        gamma in 0usize..3,
+        lambda in 2usize..5,
+    ) {
+        let n = space.len() as u32;
+        let partition = Partition {
+            sequences: seqs
+                .into_iter()
+                .map(|(s, w)| {
+                    let items: Vec<u32> =
+                        s.into_iter().map(|t| if t == BLANK { BLANK } else { t % n }).collect();
+                    WeightedSequence::new(items, w)
+                })
+                .collect(),
+        };
+        let params = GsmParams::new(sigma, gamma, lambda).unwrap();
+        for pivot in 0..space.num_frequent() {
+            let (expected, _) = NaiveMiner.mine(&partition, pivot, &space, &params);
+            for miner in [
+                &BfsMiner as &dyn LocalMiner,
+                &DfsMiner,
+                &PsmMiner::plain(),
+                &PsmMiner::indexed(),
+            ] {
+                let (got, _) = miner.mine(&partition, pivot, &space, &params);
+                prop_assert_eq!(
+                    &expected,
+                    &got,
+                    "miner {} pivot {} diff {:?}",
+                    miner.name(),
+                    pivot,
+                    expected.diff(&got)
+                );
+            }
+        }
+    }
+
+    /// DAG mining agrees with exhaustive enumeration on random DAGs.
+    #[test]
+    fn dag_miner_agrees_with_enumeration(
+        edges in prop::collection::vec((1usize..8, 0usize..8), 0..12),
+        raw in prop::collection::vec(prop::collection::vec(0u32..8, 1..6), 1..6),
+        sigma in 1u64..3,
+        gamma in 0usize..2,
+        lambda in 2usize..4,
+    ) {
+        let mut vb = MultiVocabularyBuilder::new();
+        let items: Vec<_> = (0..8).map(|i| vb.intern(&format!("n{i}"))).collect();
+        for (child, parent) in edges {
+            // Parent index smaller than child guarantees acyclicity.
+            let p = parent % child;
+            let _ = vb.add_parent(items[child], items[p]);
+        }
+        let vocab = vb.finish();
+        let mut db = SequenceDatabase::new();
+        for seq in &raw {
+            let s: Vec<_> = seq.iter().map(|&i| items[i as usize % 8]).collect();
+            db.push(&s);
+        }
+        let params = GsmParams::new(sigma, gamma, lambda).unwrap();
+        let (_, expected) = naive_dag(&db, &vocab, &params);
+        let (_, got) = DagMiner.mine(&db, &vocab, &params);
+        prop_assert_eq!(&expected, &got, "diff {:?}", expected.diff(&got));
+    }
+
+    /// The window-index closed/maximal computation matches the quadratic
+    /// reference on complete outputs of random mining runs.
+    #[test]
+    fn closed_maximal_fast_equals_naive(
+        parents in prop::collection::vec(prop::option::weighted(0.5, 0..100usize), 2..8),
+        raw in prop::collection::vec(prop::collection::vec(0u32..8, 0..6), 1..8),
+        gamma in 0usize..2,
+        lambda in 2usize..4,
+    ) {
+        let mut vb = VocabularyBuilder::new();
+        let items: Vec<_> = (0..parents.len())
+            .map(|i| vb.intern(&format!("x{i}")))
+            .collect();
+        for (i, p) in parents.iter().enumerate() {
+            if i > 0 {
+                if let Some(p) = p {
+                    vb.set_parent(items[i], items[p % i]).unwrap();
+                }
+            }
+        }
+        let vocab = vb.finish().unwrap();
+        let mut db = SequenceDatabase::new();
+        for seq in &raw {
+            let s: Vec<_> = seq.iter().map(|&i| items[i as usize % items.len()]).collect();
+            db.push(&s);
+        }
+        let params = GsmParams::new(1, gamma, lambda).unwrap();
+        let result = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+        let space = result.context().space();
+        prop_assert_eq!(
+            closed_maximal_counts(result.pattern_set(), space),
+            closed_maximal_counts_naive(result.pattern_set(), space)
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Dataset and hierarchy statistics in the shape of the paper's
+//! Tables 1 and 2.
+
+use lash_core::vocabulary::HierarchyStats;
+use lash_core::{SequenceDatabase, Vocabulary};
+
+/// One row of Table 1 (dataset characteristics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Number of sequences.
+    pub sequences: usize,
+    /// Average sequence length.
+    pub avg_length: f64,
+    /// Maximum sequence length.
+    pub max_length: usize,
+    /// Total item occurrences.
+    pub total_items: usize,
+    /// Distinct items occurring in sequences.
+    pub unique_items: usize,
+}
+
+impl DatasetSummary {
+    /// Computes the summary for a database.
+    pub fn compute(name: &str, db: &SequenceDatabase) -> DatasetSummary {
+        DatasetSummary {
+            name: name.to_owned(),
+            sequences: db.len(),
+            avg_length: db.avg_len(),
+            max_length: db.max_len(),
+            total_items: db.total_items(),
+            unique_items: db.unique_items(),
+        }
+    }
+}
+
+/// Renders Table 1.
+pub fn format_table1(rows: &[DatasetSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>10} {:>10} {:>14} {:>13}\n",
+        "Dataset", "Sequences", "Avg len", "Max len", "Total items", "Unique items"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>10.1} {:>10} {:>14} {:>13}\n",
+            r.name, r.sequences, r.avg_length, r.max_length, r.total_items, r.unique_items
+        ));
+    }
+    out
+}
+
+/// One row of Table 2 (hierarchy characteristics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchySummary {
+    /// Hierarchy name (e.g. "CLP" or "h8").
+    pub name: String,
+    /// The structural statistics.
+    pub stats: HierarchyStats,
+}
+
+impl HierarchySummary {
+    /// Computes the summary for a vocabulary.
+    pub fn compute(name: &str, vocab: &Vocabulary) -> HierarchySummary {
+        HierarchySummary {
+            name: name.to_owned(),
+            stats: vocab.hierarchy_stats(),
+        }
+    }
+}
+
+/// Renders Table 2.
+pub fn format_table2(rows: &[HierarchySummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>11} {:>11} {:>13} {:>7} {:>12} {:>12}\n",
+        "Hierarchy",
+        "Total items",
+        "Leaf items",
+        "Root items",
+        "Intermediate",
+        "Levels",
+        "Avg fan-out",
+        "Max fan-out"
+    ));
+    for r in rows {
+        let s = &r.stats;
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>11} {:>11} {:>13} {:>7} {:>12.1} {:>12}\n",
+            r.name,
+            s.total_items,
+            s.leaf_items,
+            s.root_items,
+            s.intermediate_items,
+            s.levels,
+            s.avg_fanout,
+            s.max_fanout
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig1::paper_example;
+
+    #[test]
+    fn dataset_summary_of_fig1() {
+        let (_, db) = paper_example();
+        let s = DatasetSummary::compute("fig1", &db);
+        assert_eq!(s.sequences, 6);
+        assert_eq!(s.total_items, 4 + 5 + 2 + 4 + 4 + 3);
+        assert_eq!(s.max_length, 5);
+        assert_eq!(s.unique_items, 12); // 14 items minus unused b2-sibling? all but B, D occur
+    }
+
+    #[test]
+    fn tables_render_all_rows() {
+        let (vocab, db) = paper_example();
+        let t1 = format_table1(&[DatasetSummary::compute("fig1", &db)]);
+        assert!(t1.contains("fig1"));
+        assert!(t1.lines().count() == 2);
+        let t2 = format_table2(&[HierarchySummary::compute("fig1-h", &vocab)]);
+        assert!(t2.contains("fig1-h"));
+        assert!(t2.contains("14"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # lash-datagen
+//!
+//! Deterministic synthetic datasets and hierarchies whose *shape* mirrors the
+//! two corpora of the LASH paper's evaluation (Sec. 6.1, Tables 1–2):
+//!
+//! * [`text`] — an NYT-like corpus: Zipfian word frequencies, sentence
+//!   lengths around 21 tokens, and syntactic hierarchies in four variants
+//!   (L: word → lemma; P: word → POS; LP: word → lemma → POS;
+//!   CLP: word → case → lemma → POS). As in the paper, tokens may come from
+//!   different hierarchy levels (a surface form often *is* its lemma).
+//! * [`products`] — an AMZN-like corpus: user sessions of product ids with
+//!   heavy-tailed lengths (avg ≈ 4.5) and category hierarchies of depth 2–8
+//!   (`h2`/`h3`/`h4`/`h8`), where most products sit no more than four levels
+//!   below a root category.
+//!
+//! Both corpora are generated once and can be paired with any hierarchy
+//! variant, so experiments that sweep hierarchies (Figs. 5(e,f)) mine the
+//! *same* sequences under different vocabularies — as the paper does.
+//!
+//! [`describe`] renders Table 1/Table 2-style statistics; [`fig1`] exposes
+//! the paper's running example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod describe;
+pub mod fig1;
+pub mod products;
+pub mod rng;
+pub mod text;
+pub mod zipf;
+
+pub use fig1::paper_example;
+pub use products::{ProductConfig, ProductCorpus, ProductHierarchy};
+pub use rng::Rng;
+pub use text::{TextConfig, TextCorpus, TextHierarchy};
+pub use zipf::Zipf;

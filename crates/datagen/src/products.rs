@@ -1,0 +1,344 @@
+//! AMZN-like product sessions with category hierarchies (paper Sec. 6.1).
+//!
+//! Users review products over time; grouping reviews by user and sorting by
+//! timestamp yields short, heavy-tailed product sequences (average ≈ 4.5).
+//! Products live in a category tree; the paper derives hierarchy variants of
+//! depth 2–8 by varying how many intermediate categories a product keeps,
+//! and notes that most products have no more than four parent categories —
+//! so deeper variants add levels only for a minority of products.
+//!
+//! [`ProductCorpus`] samples a category *path* per product (depth mostly
+//! 2–4, occasionally deeper) and materializes a variant `h_k` by truncating
+//! paths to `k − 1` category levels.
+
+use lash_core::{SequenceDatabase, Vocabulary, VocabularyBuilder};
+
+use std::collections::HashMap;
+
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// Category-hierarchy depth variants (total levels including products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductHierarchy {
+    /// product → root category.
+    H2,
+    /// product → subcategory → root.
+    H3,
+    /// product → … (3 category levels).
+    H4,
+    /// product → … (up to 7 category levels).
+    H8,
+}
+
+impl ProductHierarchy {
+    /// Total number of levels (the paper's "h2" … "h8").
+    pub fn levels(&self) -> usize {
+        match self {
+            ProductHierarchy::H2 => 2,
+            ProductHierarchy::H3 => 3,
+            ProductHierarchy::H4 => 4,
+            ProductHierarchy::H8 => 8,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProductHierarchy::H2 => "h2",
+            ProductHierarchy::H3 => "h3",
+            ProductHierarchy::H4 => "h4",
+            ProductHierarchy::H8 => "h8",
+        }
+    }
+
+    /// All variants in the paper's order.
+    pub fn all() -> [ProductHierarchy; 4] {
+        [
+            ProductHierarchy::H2,
+            ProductHierarchy::H3,
+            ProductHierarchy::H4,
+            ProductHierarchy::H8,
+        ]
+    }
+}
+
+/// Configuration of the product corpus generator.
+#[derive(Debug, Clone)]
+pub struct ProductConfig {
+    /// Number of users (= sessions).
+    pub users: usize,
+    /// Number of distinct products.
+    pub products: usize,
+    /// Number of root categories.
+    pub root_categories: usize,
+    /// Maximum children per category node.
+    pub branching: usize,
+    /// Maximum category levels (7 for the paper's h8).
+    pub max_depth: usize,
+    /// Average session length (AMZN ≈ 4.5).
+    pub avg_session_len: f64,
+    /// Zipf exponent of product popularity.
+    pub zipf_exponent: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProductConfig {
+    fn default() -> Self {
+        ProductConfig {
+            users: 20_000,
+            products: 20_000,
+            root_categories: 40,
+            branching: 6,
+            max_depth: 7,
+            avg_session_len: 4.5,
+            zipf_exponent: 1.05,
+            seed: 20150602,
+        }
+    }
+}
+
+impl ProductConfig {
+    /// Scales user and product counts by `factor`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.users = ((self.users as f64 * factor) as usize).max(1);
+        self.products = ((self.products as f64 * factor.sqrt()) as usize).max(10);
+        self
+    }
+}
+
+/// A generated product corpus; pair with a [`ProductHierarchy`] via
+/// [`ProductCorpus::dataset`].
+#[derive(Debug, Clone)]
+pub struct ProductCorpus {
+    config: ProductConfig,
+    /// Category parents (`None` for roots) and depths (roots = 1).
+    cat_parent: Vec<Option<u32>>,
+    cat_depth: Vec<u8>,
+    /// Deepest category of each product.
+    product_cat: Vec<u32>,
+    /// Flat session arena over product ids.
+    items: Vec<u32>,
+    offsets: Vec<u64>,
+}
+
+impl ProductCorpus {
+    /// Generates the corpus deterministically.
+    pub fn generate(config: &ProductConfig) -> ProductCorpus {
+        assert!(config.products >= 1 && config.root_categories >= 1);
+        assert!(config.max_depth >= 1 && config.avg_session_len >= 1.0);
+        let mut rng = Rng::new(config.seed);
+
+        // Category tree, built on demand while sampling product paths.
+        let mut cat_parent: Vec<Option<u32>> = (0..config.root_categories).map(|_| None).collect();
+        let mut cat_depth: Vec<u8> = vec![1; config.root_categories];
+        let mut child_index: HashMap<(u32, u32), u32> = HashMap::new();
+        let root_dist = Zipf::new(config.root_categories, 0.7);
+
+        let mut product_cat = Vec::with_capacity(config.products);
+        for _ in 0..config.products {
+            // Depth mostly 2–4: 2 + geometric(0.6), capped at max_depth.
+            let depth = (2 + rng.geometric(0.6, 5)).min(config.max_depth);
+            let mut cat = root_dist.sample(&mut rng) as u32;
+            for _ in 1..depth {
+                let slot = rng.below(config.branching as u64) as u32;
+                cat = *child_index.entry((cat, slot)).or_insert_with(|| {
+                    let id = cat_parent.len() as u32;
+                    cat_parent.push(Some(cat));
+                    cat_depth.push(cat_depth[cat as usize] + 1);
+                    id
+                });
+            }
+            product_cat.push(cat);
+        }
+
+        // Sessions.
+        let product_dist = Zipf::new(config.products, config.zipf_exponent);
+        let p = 1.0 / config.avg_session_len;
+        let mut items = Vec::new();
+        let mut offsets = Vec::with_capacity(config.users + 1);
+        offsets.push(0u64);
+        for _ in 0..config.users {
+            let len = 1 + rng.geometric(p, (config.avg_session_len * 50.0) as usize);
+            for _ in 0..len {
+                items.push(product_dist.sample(&mut rng) as u32);
+            }
+            offsets.push(items.len() as u64);
+        }
+        ProductCorpus {
+            config: config.clone(),
+            cat_parent,
+            cat_depth,
+            product_cat,
+            items,
+            offsets,
+        }
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if no sessions were generated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &ProductConfig {
+        &self.config
+    }
+
+    /// Materializes the corpus under a hierarchy variant: the same sessions,
+    /// with each product's category path truncated to `levels − 1`
+    /// categories.
+    pub fn dataset(&self, hierarchy: ProductHierarchy) -> (Vocabulary, SequenceDatabase) {
+        let max_cat_levels = (hierarchy.levels() - 1) as u8;
+        let mut vb = VocabularyBuilder::new();
+
+        // Intern every category that survives truncation, parents first
+        // (category ids are creation-ordered, so parents precede children).
+        let mut cat_item = vec![None; self.cat_parent.len()];
+        for (id, (&parent, &depth)) in self.cat_parent.iter().zip(&self.cat_depth).enumerate() {
+            if depth > max_cat_levels {
+                continue;
+            }
+            let item = vb.intern(&format!("cat{id}"));
+            if let Some(p) = parent {
+                vb.set_parent(item, cat_item[p as usize].expect("parent interned first"))
+                    .expect("fresh item");
+            }
+            cat_item[id] = Some(item);
+        }
+
+        // Products attach to their deepest surviving ancestor category.
+        let product_items: Vec<_> = (0..self.config.products)
+            .map(|pid| {
+                let item = vb.intern(&format!("p{pid}"));
+                let mut cat = self.product_cat[pid];
+                while self.cat_depth[cat as usize] > max_cat_levels {
+                    cat = self.cat_parent[cat as usize].expect("depth > 1 has parent");
+                }
+                vb.set_parent(item, cat_item[cat as usize].expect("interned"))
+                    .expect("fresh item");
+                item
+            })
+            .collect();
+
+        let vocab = vb.finish().expect("generated hierarchy is a forest");
+        let mut db = SequenceDatabase::with_capacity(self.len(), self.items.len());
+        let mut seq = Vec::new();
+        for i in 0..self.len() {
+            seq.clear();
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            seq.extend(self.items[lo..hi].iter().map(|&p| product_items[p as usize]));
+            db.push(&seq);
+        }
+        (vocab, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ProductConfig {
+        ProductConfig {
+            users: 1_000,
+            products: 500,
+            root_categories: 8,
+            branching: 4,
+            max_depth: 7,
+            avg_session_len: 4.5,
+            zipf_exponent: 1.05,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ProductCorpus::generate(&small_config());
+        let b = ProductCorpus::generate(&small_config());
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.product_cat, b.product_cat);
+    }
+
+    #[test]
+    fn hierarchy_depths_match_variants() {
+        let corpus = ProductCorpus::generate(&small_config());
+        let mut prev_intermediates = 0usize;
+        for h in ProductHierarchy::all() {
+            let (vocab, _) = corpus.dataset(h);
+            let stats = vocab.hierarchy_stats();
+            assert!(
+                stats.levels <= h.levels(),
+                "{}: levels {} > {}",
+                h.name(),
+                stats.levels,
+                h.levels()
+            );
+            // h2 is exactly two levels with no intermediates.
+            if h == ProductHierarchy::H2 {
+                assert_eq!(stats.levels, 2);
+                assert_eq!(stats.intermediate_items, 0);
+                assert_eq!(stats.root_items, 8);
+            } else {
+                assert!(stats.intermediate_items >= prev_intermediates);
+            }
+            prev_intermediates = stats.intermediate_items;
+        }
+        // Deeper variants add items (the surviving categories).
+        let (v2, _) = corpus.dataset(ProductHierarchy::H2);
+        let (v8, _) = corpus.dataset(ProductHierarchy::H8);
+        assert!(v8.len() > v2.len());
+        // Most products sit within 4 levels: h8 adds few levels beyond h4.
+        let deep_products = (0..corpus.config.products)
+            .filter(|&p| corpus.cat_depth[corpus.product_cat[p] as usize] > 3)
+            .count();
+        assert!(deep_products * 3 < corpus.config.products);
+    }
+
+    #[test]
+    fn sessions_identical_across_variants() {
+        let corpus = ProductCorpus::generate(&small_config());
+        let (va, a) = corpus.dataset(ProductHierarchy::H2);
+        let (vb, b) = corpus.dataset(ProductHierarchy::H8);
+        assert_eq!(a.len(), b.len());
+        for i in (0..a.len()).step_by(53) {
+            let na: Vec<&str> = a.get(i).iter().map(|&t| va.name(t)).collect();
+            let nb: Vec<&str> = b.get(i).iter().map(|&t| vb.name(t)).collect();
+            assert_eq!(na, nb);
+        }
+    }
+
+    #[test]
+    fn session_lengths_are_heavy_tailed() {
+        let corpus = ProductCorpus::generate(&ProductConfig {
+            users: 5_000,
+            ..small_config()
+        });
+        let (_, db) = corpus.dataset(ProductHierarchy::H4);
+        let avg = db.avg_len();
+        assert!((3.5..5.5).contains(&avg), "avg {avg}");
+        assert!(db.max_len() > 20, "max {}", db.max_len());
+        // Plenty of singleton sessions, like real review data.
+        let singletons = db.iter().filter(|s| s.len() == 1).count();
+        assert!(singletons > db.len() / 10);
+    }
+
+    #[test]
+    fn products_generalize_to_root_categories() {
+        let corpus = ProductCorpus::generate(&small_config());
+        let (vocab, db) = corpus.dataset(ProductHierarchy::H8);
+        for &item in db.get(0) {
+            let chain = vocab.chain(item);
+            assert!(chain.len() >= 2, "product must have a category parent");
+            let root = *chain.last().unwrap();
+            assert!(vocab.name(root).starts_with("cat"));
+            assert_eq!(vocab.parent(root), None);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! NYT-like text corpus with syntactic hierarchies (paper Sec. 6.1).
+//!
+//! The corpus is a collection of sentences whose tokens follow a Zipf law
+//! over lemmas. Each lemma has a part-of-speech tag, a base surface form
+//! (identical to the lemma — this is how tokens end up at *different
+//! hierarchy levels*, as the paper highlights), a few inflected forms, and,
+//! for some inflections, a distinct lowercase ("case") variant.
+//!
+//! Four hierarchy variants wire the same token strings differently:
+//!
+//! | variant | chain                              | shape (cf. Table 2)        |
+//! |---------|------------------------------------|----------------------------|
+//! | `L`     | word → lemma                       | many roots, tiny fan-out   |
+//! | `P`     | word → POS                         | few roots, huge fan-out    |
+//! | `LP`    | word → lemma → POS                 | 3 levels                   |
+//! | `CLP`   | word → case → lemma → POS          | 4 levels                   |
+
+use lash_core::{SequenceDatabase, Vocabulary, VocabularyBuilder};
+
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// Hierarchy variants of the text corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextHierarchy {
+    /// word → lemma.
+    L,
+    /// word → part-of-speech.
+    P,
+    /// word → lemma → part-of-speech.
+    LP,
+    /// word → case → lemma → part-of-speech.
+    CLP,
+}
+
+impl TextHierarchy {
+    /// Display name ("L", "P", …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TextHierarchy::L => "L",
+            TextHierarchy::P => "P",
+            TextHierarchy::LP => "LP",
+            TextHierarchy::CLP => "CLP",
+        }
+    }
+
+    /// All variants, in the paper's order.
+    pub fn all() -> [TextHierarchy; 4] {
+        [
+            TextHierarchy::L,
+            TextHierarchy::P,
+            TextHierarchy::LP,
+            TextHierarchy::CLP,
+        ]
+    }
+}
+
+/// Configuration of the text corpus generator.
+#[derive(Debug, Clone)]
+pub struct TextConfig {
+    /// Number of sentences.
+    pub sentences: usize,
+    /// Number of lemmas (word types collapse onto these).
+    pub lemmas: usize,
+    /// Number of part-of-speech tags (the NYT-P hierarchy has 22 roots).
+    pub pos_tags: usize,
+    /// Average sentence length (NYT ≈ 21.1).
+    pub avg_sentence_len: f64,
+    /// Zipf exponent of the lemma distribution.
+    pub zipf_exponent: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for TextConfig {
+    fn default() -> Self {
+        TextConfig {
+            sentences: 20_000,
+            lemmas: 5_000,
+            pos_tags: 22,
+            avg_sentence_len: 21.0,
+            zipf_exponent: 1.0,
+            seed: 20150601,
+        }
+    }
+}
+
+impl TextConfig {
+    /// Scales sentence count and lemma count by `factor` (the experiment
+    /// harness' `--scale`).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.sentences = ((self.sentences as f64 * factor) as usize).max(1);
+        self.lemmas = ((self.lemmas as f64 * factor.sqrt()) as usize).max(10);
+        self
+    }
+}
+
+/// Token code: which surface form of which lemma.
+/// Packed as `(lemma << 3) | slot`; slot 0 = base form, 1–2 = inflected
+/// forms, 5 = the case variant of inflected form 1.
+type Token = u32;
+
+const SLOT_BASE: u32 = 0;
+const SLOT_CASE: u32 = 5;
+const MAX_INFLECTED: u32 = 4;
+
+/// A generated corpus; pair it with any [`TextHierarchy`] via
+/// [`TextCorpus::dataset`].
+#[derive(Debug, Clone)]
+pub struct TextCorpus {
+    config: TextConfig,
+    pos_of_lemma: Vec<u16>,
+    /// Number of inflected forms per lemma (1..=MAX_INFLECTED).
+    inflections: Vec<u8>,
+    tokens: Vec<Token>,
+    offsets: Vec<u64>,
+}
+
+impl TextCorpus {
+    /// Generates the corpus deterministically from the configuration.
+    pub fn generate(config: &TextConfig) -> TextCorpus {
+        assert!(config.lemmas >= 1 && config.pos_tags >= 1 && config.avg_sentence_len > 3.0);
+        let mut rng = Rng::new(config.seed);
+        let lemma_dist = Zipf::new(config.lemmas, config.zipf_exponent);
+        // Few POS tags dominate (nouns/verbs), mirrored with a mild Zipf.
+        let pos_dist = Zipf::new(config.pos_tags, 0.8);
+        let pos_of_lemma: Vec<u16> = (0..config.lemmas)
+            .map(|_| pos_dist.sample(&mut rng) as u16)
+            .collect();
+        let inflections: Vec<u8> = (0..config.lemmas)
+            .map(|_| 1 + rng.geometric(0.55, (MAX_INFLECTED - 1) as usize) as u8)
+            .collect();
+
+        let mut tokens = Vec::new();
+        let mut offsets = Vec::with_capacity(config.sentences + 1);
+        offsets.push(0u64);
+        let len_p = 1.0 / (config.avg_sentence_len - 2.0);
+        for _ in 0..config.sentences {
+            let len = 3 + rng.geometric(len_p, (config.avg_sentence_len * 8.0) as usize);
+            for _ in 0..len {
+                let lemma = lemma_dist.sample(&mut rng) as u32;
+                let roll = rng.f64();
+                let slot = if roll < 0.45 {
+                    SLOT_BASE
+                } else if roll < 0.90 {
+                    1 + rng.below(inflections[lemma as usize] as u64) as u32
+                } else {
+                    // The lowercase variant of inflected form 1 (always
+                    // present); only a distinct item in the CLP hierarchy.
+                    SLOT_CASE
+                };
+                tokens.push((lemma << 3) | slot);
+            }
+            offsets.push(tokens.len() as u64);
+        }
+        TextCorpus {
+            config: config.clone(),
+            pos_of_lemma,
+            inflections,
+            tokens,
+            offsets,
+        }
+    }
+
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the corpus has no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &TextConfig {
+        &self.config
+    }
+
+    /// Materializes the corpus under a hierarchy variant.
+    ///
+    /// The returned database contains the same token stream for every
+    /// variant; only the vocabulary's parent links (and the set of
+    /// non-surface items) differ.
+    pub fn dataset(&self, hierarchy: TextHierarchy) -> (Vocabulary, SequenceDatabase) {
+        let mut vb = VocabularyBuilder::new();
+        let lemmas = self.config.lemmas;
+
+        // POS roots (only present in P/LP/CLP).
+        let pos_items: Vec<_> = match hierarchy {
+            TextHierarchy::L => Vec::new(),
+            _ => (0..self.config.pos_tags)
+                .map(|p| vb.intern(&format!("POS{p}")))
+                .collect(),
+        };
+
+        // Lemma items. In P they are plain surface words under their POS; in
+        // L they are roots; in LP/CLP they sit between words and POS.
+        let lemma_items: Vec<_> = (0..lemmas).map(|l| vb.intern(&format!("lem{l}"))).collect();
+        match hierarchy {
+            TextHierarchy::L => {}
+            _ => {
+                for l in 0..lemmas {
+                    vb.set_parent(lemma_items[l], pos_items[self.pos_of_lemma[l] as usize])
+                        .expect("fresh item");
+                }
+            }
+        }
+
+        // Case items only exist in CLP; elsewhere the case token string maps
+        // to an item parented like any other word.
+        let mut case_items = Vec::new();
+        if hierarchy == TextHierarchy::CLP {
+            case_items = (0..lemmas)
+                .map(|l| {
+                    let c = vb.intern(&format!("c{l}_1"));
+                    vb.set_parent(c, lemma_items[l]).expect("fresh item");
+                    c
+                })
+                .collect();
+        }
+
+        // Inflected word items.
+        let mut word_items = vec![lash_core::ItemId::from_u32(0); lemmas * MAX_INFLECTED as usize];
+        for l in 0..lemmas {
+            for j in 1..=self.inflections[l] as u32 {
+                let w = vb.intern(&format!("w{l}_{j}"));
+                let parent = match hierarchy {
+                    TextHierarchy::L => lemma_items[l],
+                    TextHierarchy::P => pos_items[self.pos_of_lemma[l] as usize],
+                    TextHierarchy::LP => lemma_items[l],
+                    TextHierarchy::CLP => {
+                        // Inflected form 1 has a distinct lowercase variant;
+                        // it sits under the case item. Others attach to the
+                        // lemma directly (real text: not every form has a
+                        // distinct case variant).
+                        if j == 1 {
+                            case_items[l]
+                        } else {
+                            lemma_items[l]
+                        }
+                    }
+                };
+                vb.set_parent(w, parent).expect("fresh item");
+                word_items[l * MAX_INFLECTED as usize + (j - 1) as usize] = w;
+            }
+        }
+
+        // For non-CLP hierarchies the case token string is still a word.
+        let case_token_items: Vec<_> = if hierarchy == TextHierarchy::CLP {
+            case_items.clone()
+        } else {
+            (0..lemmas)
+                .map(|l| {
+                    let c = vb.intern(&format!("c{l}_1"));
+                    let parent = match hierarchy {
+                        TextHierarchy::L | TextHierarchy::LP => lemma_items[l],
+                        TextHierarchy::P => pos_items[self.pos_of_lemma[l] as usize],
+                        TextHierarchy::CLP => unreachable!(),
+                    };
+                    vb.set_parent(c, parent).expect("fresh item");
+                    c
+                })
+                .collect()
+        };
+
+        let vocab = vb.finish().expect("generated hierarchy is a forest");
+
+        let mut db = SequenceDatabase::with_capacity(self.len(), self.tokens.len());
+        let mut seq = Vec::new();
+        for i in 0..self.len() {
+            seq.clear();
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            for &tok in &self.tokens[lo..hi] {
+                let lemma = (tok >> 3) as usize;
+                let slot = tok & 0x7;
+                let item = if slot == SLOT_BASE {
+                    lemma_items[lemma]
+                } else if slot == SLOT_CASE {
+                    case_token_items[lemma]
+                } else {
+                    word_items[lemma * MAX_INFLECTED as usize + (slot - 1) as usize]
+                };
+                seq.push(item);
+            }
+            db.push(&seq);
+        }
+        (vocab, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> TextConfig {
+        TextConfig {
+            sentences: 500,
+            lemmas: 200,
+            pos_tags: 10,
+            avg_sentence_len: 12.0,
+            zipf_exponent: 1.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TextCorpus::generate(&small_config());
+        let b = TextCorpus::generate(&small_config());
+        assert_eq!(a.tokens, b.tokens);
+        let (_, db_a) = a.dataset(TextHierarchy::CLP);
+        let (_, db_b) = b.dataset(TextHierarchy::CLP);
+        assert_eq!(db_a.len(), db_b.len());
+        assert_eq!(db_a.get(3), db_b.get(3));
+    }
+
+    #[test]
+    fn hierarchy_shapes_match_table2() {
+        let corpus = TextCorpus::generate(&small_config());
+        let (l, _) = corpus.dataset(TextHierarchy::L);
+        let (p, _) = corpus.dataset(TextHierarchy::P);
+        let (lp, _) = corpus.dataset(TextHierarchy::LP);
+        let (clp, _) = corpus.dataset(TextHierarchy::CLP);
+
+        let ls = l.hierarchy_stats();
+        let ps = p.hierarchy_stats();
+        let lps = lp.hierarchy_stats();
+        let clps = clp.hierarchy_stats();
+
+        // L: two levels, many roots (lemmas), small fan-out.
+        assert_eq!(ls.levels, 2);
+        assert_eq!(ls.root_items, 200);
+        assert!(ls.avg_fanout < 6.0);
+        // P: two levels, few roots, huge fan-out.
+        assert_eq!(ps.levels, 2);
+        assert_eq!(ps.root_items, 10);
+        assert!(ps.avg_fanout > ls.avg_fanout * 3.0);
+        // LP: three levels with the lemmas intermediate.
+        assert_eq!(lps.levels, 3);
+        assert_eq!(lps.root_items, 10);
+        assert!(lps.intermediate_items >= 200);
+        // CLP: four levels; the case forms become intermediate items (they
+        // are leaves in every other variant).
+        assert_eq!(clps.levels, 4);
+        assert!(clps.intermediate_items > lps.intermediate_items);
+    }
+
+    #[test]
+    fn same_sentences_across_variants() {
+        let corpus = TextCorpus::generate(&small_config());
+        let (va, a) = corpus.dataset(TextHierarchy::L);
+        let (vb, b) = corpus.dataset(TextHierarchy::CLP);
+        assert_eq!(a.len(), b.len());
+        for i in (0..a.len()).step_by(97) {
+            let names_a: Vec<&str> = a.get(i).iter().map(|&t| va.name(t)).collect();
+            let names_b: Vec<&str> = b.get(i).iter().map(|&t| vb.name(t)).collect();
+            assert_eq!(names_a, names_b, "sentence {i}");
+        }
+    }
+
+    #[test]
+    fn sentence_lengths_and_skew_are_plausible() {
+        let corpus = TextCorpus::generate(&TextConfig {
+            sentences: 2_000,
+            ..small_config()
+        });
+        let (vocab, db) = corpus.dataset(TextHierarchy::LP);
+        let avg = db.avg_len();
+        assert!((9.0..15.0).contains(&avg), "avg len {avg}");
+        assert!(db.max_len() >= 20);
+        // Zipf skew: the most frequent surface item should occur much more
+        // often than the median one.
+        let mut counts = std::collections::HashMap::new();
+        for seq in db.iter() {
+            for &t in seq {
+                *counts.entry(t).or_insert(0usize) += 1;
+            }
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(freqs[0] > freqs[freqs.len() / 2] * 20);
+        // Tokens come from multiple hierarchy levels: some sentences contain
+        // lemma-level items directly.
+        let lemma_in_text = db
+            .iter()
+            .flatten()
+            .any(|&t| vocab.name(t).starts_with("lem"));
+        assert!(lemma_in_text);
+    }
+
+    #[test]
+    fn scaled_config_grows() {
+        let base = TextConfig::default();
+        let big = base.clone().scaled(2.0);
+        assert_eq!(big.sentences, base.sentences * 2);
+        assert!(big.lemmas > base.lemmas);
+        let tiny = base.scaled(1e-9);
+        assert!(tiny.sentences >= 1 && tiny.lemmas >= 10);
+    }
+}

@@ -1,0 +1,102 @@
+//! Zipf-distributed sampling via an inverse-CDF table.
+//!
+//! Item frequencies in both the NYT and AMZN corpora are heavily skewed; a
+//! Zipf law with exponent ≈ 1 reproduces that skew.
+
+use crate::rng::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`
+/// (`P(k) ∝ 1/(k+1)^s`).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution table. `n` must be ≥ 1.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point round-off at the tail.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples a rank (0 = most probable).
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_ranks_dominate() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = Rng::new(123);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be roughly twice as frequent as rank 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.7..2.4).contains(&ratio), "ratio {ratio}");
+        // Monotone (roughly) decreasing over the head.
+        assert!(counts[0] > counts[9]);
+        assert!(counts[9] > counts[99]);
+    }
+
+    #[test]
+    fn all_ranks_reachable_and_in_range() {
+        let zipf = Zipf::new(5, 1.0);
+        let mut rng = Rng::new(77);
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[zipf.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_rank_distribution() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = Rng::new(1);
+        for _ in 0..10 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = Rng::new(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Run-length encoding of blank runs.
+//!
+//! After w-generalization (paper Sec. 4.2), rewritten sequences contain runs of
+//! the blank symbol "␣". Blanks only matter for gap accounting, so the paper
+//! stores them as run lengths ("`aB␣2B`") rather than individual symbols. This
+//! module provides the token-level view used by the sequence codec: a sequence
+//! of items-or-blank-runs.
+
+/// One token of a run-length-encoded sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RleToken {
+    /// A concrete (non-blank) item id.
+    Item(u32),
+    /// A run of `len ≥ 1` consecutive blanks.
+    Blanks(u32),
+}
+
+/// Converts a sequence with explicit blanks (`blank` sentinel) into RLE tokens.
+pub fn to_tokens(items: &[u32], blank: u32) -> Vec<RleToken> {
+    let mut tokens = Vec::with_capacity(items.len());
+    let mut run = 0u32;
+    for &it in items {
+        if it == blank {
+            run += 1;
+        } else {
+            if run > 0 {
+                tokens.push(RleToken::Blanks(run));
+                run = 0;
+            }
+            tokens.push(RleToken::Item(it));
+        }
+    }
+    if run > 0 {
+        tokens.push(RleToken::Blanks(run));
+    }
+    tokens
+}
+
+/// Expands RLE tokens back into a sequence with explicit `blank` sentinels.
+pub fn from_tokens(tokens: &[RleToken], blank: u32) -> Vec<u32> {
+    let mut items = Vec::with_capacity(tokens.len());
+    for &tok in tokens {
+        match tok {
+            RleToken::Item(it) => items.push(it),
+            RleToken::Blanks(n) => items.extend(std::iter::repeat_n(blank, n as usize)),
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: u32 = u32::MAX;
+
+    #[test]
+    fn encodes_mixed_runs() {
+        let seq = [1, B, B, 2, B, 3];
+        let tokens = to_tokens(&seq, B);
+        assert_eq!(
+            tokens,
+            vec![
+                RleToken::Item(1),
+                RleToken::Blanks(2),
+                RleToken::Item(2),
+                RleToken::Blanks(1),
+                RleToken::Item(3),
+            ]
+        );
+        assert_eq!(from_tokens(&tokens, B), seq);
+    }
+
+    #[test]
+    fn handles_leading_and_trailing_blanks() {
+        let seq = [B, B, 7, B];
+        let tokens = to_tokens(&seq, B);
+        assert_eq!(
+            tokens,
+            vec![RleToken::Blanks(2), RleToken::Item(7), RleToken::Blanks(1)]
+        );
+        assert_eq!(from_tokens(&tokens, B), seq);
+    }
+
+    #[test]
+    fn handles_empty_and_all_blank() {
+        assert!(to_tokens(&[], B).is_empty());
+        let all_blank = [B; 4];
+        let tokens = to_tokens(&all_blank, B);
+        assert_eq!(tokens, vec![RleToken::Blanks(4)]);
+        assert_eq!(from_tokens(&tokens, B), all_blank);
+    }
+
+    #[test]
+    fn no_blanks_is_identity() {
+        let seq = [5, 6, 7];
+        let tokens = to_tokens(&seq, B);
+        assert_eq!(
+            tokens,
+            vec![RleToken::Item(5), RleToken::Item(6), RleToken::Item(7)]
+        );
+        assert_eq!(from_tokens(&tokens, B), seq);
+    }
+}

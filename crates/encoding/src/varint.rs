@@ -1,0 +1,245 @@
+//! LEB128-style variable-length integer encoding.
+//!
+//! Values are written 7 bits at a time, least-significant group first; the high
+//! bit of each byte marks continuation. Small values — in LASH, the ids of
+//! frequent items — occupy a single byte, which is what makes the paper's
+//! "frequent items get small integer ids" re-encoding pay off on the wire.
+
+use crate::DecodeError;
+
+/// Maximum encoded length of a `u32` (5 bytes: ⌈32/7⌉).
+pub const MAX_LEN_U32: usize = 5;
+/// Maximum encoded length of a `u64` (10 bytes: ⌈64/7⌉).
+pub const MAX_LEN_U64: usize = 10;
+
+/// Appends the varint encoding of `value` to `buf`.
+#[inline]
+pub fn encode_u32(mut value: u32, buf: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends the varint encoding of `value` to `buf`.
+#[inline]
+pub fn encode_u64(mut value: u64, buf: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`encode_u32`] would write for `value`.
+#[inline]
+pub fn encoded_len_u32(value: u32) -> usize {
+    // 1 + floor(bits/7) for the number of significant bits (at least one byte).
+    ((32 - (value | 1).leading_zeros()) as usize).div_ceil(7)
+}
+
+/// Number of bytes [`encode_u64`] would write for `value`.
+#[inline]
+pub fn encoded_len_u64(value: u64) -> usize {
+    ((64 - (value | 1).leading_zeros()) as usize).div_ceil(7)
+}
+
+/// Decodes a varint `u32` from the front of `input`.
+///
+/// Returns the value and the number of bytes consumed.
+#[inline]
+pub fn decode_u32(input: &[u8]) -> Result<(u32, usize), DecodeError> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_LEN_U32 {
+            return Err(DecodeError::Overflow);
+        }
+        let bits = (byte & 0x7f) as u32;
+        // The 5th byte of a u32 varint may only carry 4 significant bits.
+        if shift == 28 && bits > 0x0f {
+            return Err(DecodeError::Overflow);
+        }
+        value |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(DecodeError::UnexpectedEof)
+}
+
+/// Decodes a varint `u64` from the front of `input`.
+///
+/// Returns the value and the number of bytes consumed.
+#[inline]
+pub fn decode_u64(input: &[u8]) -> Result<(u64, usize), DecodeError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_LEN_U64 {
+            return Err(DecodeError::Overflow);
+        }
+        let bits = (byte & 0x7f) as u64;
+        // The 10th byte of a u64 varint may only carry 1 significant bit.
+        if shift == 63 && bits > 1 {
+            return Err(DecodeError::Overflow);
+        }
+        value |= bits << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(DecodeError::UnexpectedEof)
+}
+
+/// A cursor-style reader for consuming consecutive varints from a slice.
+#[derive(Debug)]
+pub struct VarintReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> VarintReader<'a> {
+    /// Creates a reader over `input` starting at offset 0.
+    pub fn new(input: &'a [u8]) -> Self {
+        VarintReader { input, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Reads the next `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
+        let (v, n) = decode_u32(&self.input[self.pos..])?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads the next `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
+        let (v, n) = decode_u64(&self.input[self.pos..])?;
+        self.pos += n;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_small_values_in_one_byte() {
+        for v in 0..128u32 {
+            let mut buf = Vec::new();
+            encode_u32(v, &mut buf);
+            assert_eq!(buf.len(), 1, "value {v}");
+            assert_eq!(decode_u32(&buf).unwrap(), (v, 1));
+        }
+    }
+
+    #[test]
+    fn round_trips_boundary_values_u32() {
+        for v in [0, 1, 127, 128, 16_383, 16_384, u32::MAX - 1, u32::MAX] {
+            let mut buf = Vec::new();
+            encode_u32(v, &mut buf);
+            assert_eq!(buf.len(), encoded_len_u32(v), "len mismatch for {v}");
+            let (decoded, n) = decode_u32(&buf).unwrap();
+            assert_eq!((decoded, n), (v, buf.len()));
+        }
+    }
+
+    #[test]
+    fn round_trips_boundary_values_u64() {
+        for v in [0u64, 127, 128, 1 << 35, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            encode_u64(v, &mut buf);
+            assert_eq!(buf.len(), encoded_len_u64(v), "len mismatch for {v}");
+            let (decoded, n) = decode_u64(&buf).unwrap();
+            assert_eq!((decoded, n), (v, buf.len()));
+        }
+    }
+
+    #[test]
+    fn max_u32_takes_five_bytes() {
+        let mut buf = Vec::new();
+        encode_u32(u32::MAX, &mut buf);
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let mut buf = Vec::new();
+        encode_u32(300, &mut buf);
+        assert_eq!(decode_u32(&buf[..1]), Err(DecodeError::UnexpectedEof));
+        assert_eq!(decode_u32(&[]), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn rejects_overlong_u32() {
+        // Six continuation bytes can never be a valid u32.
+        let bad = [0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert_eq!(decode_u32(&bad), Err(DecodeError::Overflow));
+        // A 5-byte varint whose top byte has too many significant bits.
+        let bad = [0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert_eq!(decode_u32(&bad), Err(DecodeError::Overflow));
+    }
+
+    #[test]
+    fn rejects_overlong_u64() {
+        let bad = [0x80; 11];
+        assert_eq!(decode_u64(&bad), Err(DecodeError::Overflow));
+        let mut bad = vec![0xff; 9];
+        bad.push(0x7f); // 10th byte with >1 significant bit
+        assert_eq!(decode_u64(&bad), Err(DecodeError::Overflow));
+    }
+
+    #[test]
+    fn reader_consumes_consecutive_values() {
+        let mut buf = Vec::new();
+        for v in [0u32, 5, 1000, 123_456_789] {
+            encode_u32(v, &mut buf);
+        }
+        encode_u64(u64::MAX, &mut buf);
+        let mut r = VarintReader::new(&buf);
+        assert_eq!(r.read_u32().unwrap(), 0);
+        assert_eq!(r.read_u32().unwrap(), 5);
+        assert_eq!(r.read_u32().unwrap(), 1000);
+        assert_eq!(r.read_u32().unwrap(), 123_456_789);
+        assert_eq!(r.read_u64().unwrap(), u64::MAX);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_for_powers_of_two() {
+        for shift in 0..32 {
+            let v = 1u32 << shift;
+            let mut buf = Vec::new();
+            encode_u32(v, &mut buf);
+            assert_eq!(buf.len(), encoded_len_u32(v), "shift {shift}");
+        }
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            let mut buf = Vec::new();
+            encode_u64(v, &mut buf);
+            assert_eq!(buf.len(), encoded_len_u64(v), "shift {shift}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! ZigZag mapping between signed and unsigned integers.
+//!
+//! Maps signed values with small magnitude to unsigned values with small
+//! magnitude (`0 → 0`, `-1 → 1`, `1 → 2`, `-2 → 3`, …) so they varint-encode
+//! compactly. Used for delta-encoded position lists.
+
+/// Maps an `i64` to a `u64` preserving closeness to zero.
+#[inline]
+pub fn encode_i64(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`encode_i64`].
+#[inline]
+pub fn decode_i64(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_small_magnitudes_to_small_codes() {
+        assert_eq!(encode_i64(0), 0);
+        assert_eq!(encode_i64(-1), 1);
+        assert_eq!(encode_i64(1), 2);
+        assert_eq!(encode_i64(-2), 3);
+        assert_eq!(encode_i64(2), 4);
+    }
+
+    #[test]
+    fn round_trips_extremes() {
+        for v in [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX] {
+            assert_eq!(decode_i64(encode_i64(v)), v);
+        }
+    }
+
+    #[test]
+    fn round_trips_dense_range() {
+        for v in -1000..1000i64 {
+            assert_eq!(decode_i64(encode_i64(v)), v);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the codec crate: every encoder/decoder pair round-trips
+//! on arbitrary input, and decoders never panic on arbitrary bytes.
+
+use lash_encoding::{
+    codec, decode_i64, decode_sequence, decode_u32, decode_u64, encode_i64, encode_sequence,
+    encode_u32, encode_u64, encoded_len_u32, encoded_len_u64, BLANK,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_u32_round_trips(v in any::<u32>()) {
+        let mut buf = Vec::new();
+        encode_u32(v, &mut buf);
+        prop_assert_eq!(buf.len(), encoded_len_u32(v));
+        let (decoded, n) = decode_u32(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn varint_u64_round_trips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        encode_u64(v, &mut buf);
+        prop_assert_eq!(buf.len(), encoded_len_u64(v));
+        let (decoded, n) = decode_u64(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn zigzag_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(decode_i64(encode_i64(v)), v);
+    }
+
+    #[test]
+    fn zigzag_is_monotone_in_magnitude(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        if a.unsigned_abs() < b.unsigned_abs() {
+            prop_assert!(encode_i64(a) < encode_i64(b) + 2);
+        }
+    }
+
+    #[test]
+    fn sequence_round_trips(seq in prop::collection::vec(0u32..10_000, 0..64)) {
+        let mut buf = Vec::new();
+        encode_sequence(&seq, &mut buf);
+        prop_assert_eq!(decode_sequence(&buf).unwrap(), seq);
+    }
+
+    #[test]
+    fn sequence_with_blanks_round_trips(
+        seq in prop::collection::vec(prop_oneof![3 => (0u32..1000).prop_map(|v| v), 1 => Just(BLANK)], 0..64)
+    ) {
+        let mut buf = Vec::new();
+        encode_sequence(&seq, &mut buf);
+        prop_assert_eq!(buf.len(), codec::SequenceCodec::encoded_len(&seq));
+        prop_assert_eq!(decode_sequence(&buf).unwrap(), seq);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_u32(&bytes);
+        let _ = decode_u64(&bytes);
+        let _ = decode_sequence(&bytes);
+    }
+
+    #[test]
+    fn consecutive_varints_round_trip(values in prop::collection::vec(any::<u32>(), 0..32)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            encode_u32(v, &mut buf);
+        }
+        let mut reader = lash_encoding::varint::VarintReader::new(&buf);
+        for &v in &values {
+            prop_assert_eq!(reader.read_u32().unwrap(), v);
+        }
+        prop_assert!(reader.is_empty());
+    }
+}

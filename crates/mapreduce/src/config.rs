@@ -1,0 +1,177 @@
+//! Cluster configuration and deterministic failure injection.
+
+use std::collections::HashSet;
+
+/// Job phase, for counters and failure injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Map tasks.
+    Map,
+    /// Reduce tasks (including their shuffle fetch).
+    Reduce,
+}
+
+/// A deterministic plan of injected task failures.
+///
+/// Hadoop re-executes failed tasks transparently; the engine reproduces that
+/// contract so pipelines can be tested under failure. A spec `(phase, task,
+/// attempt)` makes that attempt fail before doing any work.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    specs: HashSet<(Phase, usize, u32)>,
+}
+
+impl FailurePlan {
+    /// No injected failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fails the first attempt of the given task.
+    pub fn fail_once(mut self, phase: Phase, task: usize) -> Self {
+        self.specs.insert((phase, task, 0));
+        self
+    }
+
+    /// Fails a specific attempt of the given task.
+    pub fn fail_attempt(mut self, phase: Phase, task: usize, attempt: u32) -> Self {
+        self.specs.insert((phase, task, attempt));
+        self
+    }
+
+    /// Fails the first `n` attempts of the given task.
+    pub fn fail_n_times(mut self, phase: Phase, task: usize, n: u32) -> Self {
+        for attempt in 0..n {
+            self.specs.insert((phase, task, attempt));
+        }
+        self
+    }
+
+    /// True if this attempt should fail.
+    pub fn should_fail(&self, phase: Phase, task: usize, attempt: u32) -> bool {
+        self.specs.contains(&(phase, task, attempt))
+    }
+
+    /// True if the plan contains no failures.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// Engine configuration: the in-process stand-in for cluster topology.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Concurrent map tasks ("map slots"). The paper's cluster runs 10
+    /// workers × 8 slots; here each slot is a thread.
+    pub map_parallelism: usize,
+    /// Concurrent reduce tasks.
+    pub reduce_parallelism: usize,
+    /// Number of reduce partitions (= reduce tasks).
+    pub num_reduce_tasks: usize,
+    /// Records per map task (input split size).
+    pub split_size: usize,
+    /// Whether to run the job's combiner on the map side.
+    pub use_combiner: bool,
+    /// Maximum attempts per task before the job fails.
+    pub max_attempts: u32,
+    /// Injected failures.
+    pub failure_plan: FailurePlan,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ClusterConfig {
+            map_parallelism: threads,
+            reduce_parallelism: threads,
+            num_reduce_tasks: threads * 2,
+            split_size: 16 * 1024,
+            use_combiner: true,
+            max_attempts: 4,
+            failure_plan: FailurePlan::none(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A single-threaded configuration (useful for determinism tests).
+    pub fn sequential() -> Self {
+        ClusterConfig {
+            map_parallelism: 1,
+            reduce_parallelism: 1,
+            num_reduce_tasks: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Sets both map and reduce parallelism — the "number of machines" knob
+    /// used by the scalability experiments (Fig. 6).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.map_parallelism = n.max(1);
+        self.reduce_parallelism = n.max(1);
+        self.num_reduce_tasks = self.num_reduce_tasks.max(n);
+        self
+    }
+
+    /// Sets the number of reduce partitions.
+    pub fn with_reduce_tasks(mut self, n: usize) -> Self {
+        self.num_reduce_tasks = n.max(1);
+        self
+    }
+
+    /// Sets the input split size.
+    pub fn with_split_size(mut self, n: usize) -> Self {
+        self.split_size = n.max(1);
+        self
+    }
+
+    /// Enables or disables the combiner.
+    pub fn with_combiner(mut self, on: bool) -> Self {
+        self.use_combiner = on;
+        self
+    }
+
+    /// Installs a failure plan.
+    pub fn with_failures(mut self, plan: FailurePlan) -> Self {
+        self.failure_plan = plan;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_plan_matches_specs() {
+        let plan = FailurePlan::none()
+            .fail_once(Phase::Map, 3)
+            .fail_n_times(Phase::Reduce, 1, 2);
+        assert!(plan.should_fail(Phase::Map, 3, 0));
+        assert!(!plan.should_fail(Phase::Map, 3, 1));
+        assert!(plan.should_fail(Phase::Reduce, 1, 0));
+        assert!(plan.should_fail(Phase::Reduce, 1, 1));
+        assert!(!plan.should_fail(Phase::Reduce, 1, 2));
+        assert!(!plan.should_fail(Phase::Map, 0, 0));
+        assert!(!plan.is_empty());
+        assert!(FailurePlan::none().is_empty());
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = ClusterConfig::sequential()
+            .with_parallelism(4)
+            .with_reduce_tasks(7)
+            .with_split_size(100)
+            .with_combiner(false);
+        assert_eq!(cfg.map_parallelism, 4);
+        assert_eq!(cfg.reduce_parallelism, 4);
+        assert_eq!(cfg.num_reduce_tasks, 7);
+        assert_eq!(cfg.split_size, 100);
+        assert!(!cfg.use_combiner);
+        // Parallelism is clamped to at least 1.
+        assert_eq!(ClusterConfig::default().with_parallelism(0).map_parallelism, 1);
+    }
+}

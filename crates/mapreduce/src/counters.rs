@@ -1,0 +1,113 @@
+//! Job counters, mirroring the Hadoop counters the paper reports
+//! (most importantly `MAP_OUTPUT_BYTES`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters updated by tasks.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Input records consumed by map tasks.
+    pub map_input_records: AtomicU64,
+    /// Key/value pairs emitted by `map` (pre-combiner).
+    pub map_output_records: AtomicU64,
+    /// Serialized key+value bytes shipped from map to reduce (post-combiner —
+    /// the data actually transferred between the phases).
+    pub map_output_bytes: AtomicU64,
+    /// Serialized bytes including record framing.
+    pub map_output_materialized_bytes: AtomicU64,
+    /// Records entering combiners.
+    pub combine_input_records: AtomicU64,
+    /// Records leaving combiners.
+    pub combine_output_records: AtomicU64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: AtomicU64,
+    /// Values seen by reducers.
+    pub reduce_input_records: AtomicU64,
+    /// Records written by reducers.
+    pub reduce_output_records: AtomicU64,
+    /// Map tasks executed (including retries).
+    pub map_task_attempts: AtomicU64,
+    /// Reduce tasks executed (including retries).
+    pub reduce_task_attempts: AtomicU64,
+    /// Injected/encountered map task failures.
+    pub failed_map_tasks: AtomicU64,
+    /// Injected/encountered reduce task failures.
+    pub failed_reduce_tasks: AtomicU64,
+}
+
+impl Counters {
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes an immutable snapshot.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            map_input_records: self.map_input_records.load(Ordering::Relaxed),
+            map_output_records: self.map_output_records.load(Ordering::Relaxed),
+            map_output_bytes: self.map_output_bytes.load(Ordering::Relaxed),
+            map_output_materialized_bytes: self
+                .map_output_materialized_bytes
+                .load(Ordering::Relaxed),
+            combine_input_records: self.combine_input_records.load(Ordering::Relaxed),
+            combine_output_records: self.combine_output_records.load(Ordering::Relaxed),
+            reduce_input_groups: self.reduce_input_groups.load(Ordering::Relaxed),
+            reduce_input_records: self.reduce_input_records.load(Ordering::Relaxed),
+            reduce_output_records: self.reduce_output_records.load(Ordering::Relaxed),
+            map_task_attempts: self.map_task_attempts.load(Ordering::Relaxed),
+            reduce_task_attempts: self.reduce_task_attempts.load(Ordering::Relaxed),
+            failed_map_tasks: self.failed_map_tasks.load(Ordering::Relaxed),
+            failed_reduce_tasks: self.failed_reduce_tasks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable snapshot of [`Counters`], attached to job results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Input records consumed by map tasks.
+    pub map_input_records: u64,
+    /// Key/value pairs emitted by `map` (pre-combiner).
+    pub map_output_records: u64,
+    /// Serialized key+value bytes shipped from map to reduce (post-combiner).
+    pub map_output_bytes: u64,
+    /// Serialized bytes including record framing.
+    pub map_output_materialized_bytes: u64,
+    /// Records entering combiners.
+    pub combine_input_records: u64,
+    /// Records leaving combiners.
+    pub combine_output_records: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: u64,
+    /// Values seen by reducers.
+    pub reduce_input_records: u64,
+    /// Records written by reducers.
+    pub reduce_output_records: u64,
+    /// Map tasks executed (including retries).
+    pub map_task_attempts: u64,
+    /// Reduce tasks executed (including retries).
+    pub reduce_task_attempts: u64,
+    /// Injected/encountered map task failures.
+    pub failed_map_tasks: u64,
+    /// Injected/encountered reduce task failures.
+    pub failed_reduce_tasks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_adds() {
+        let c = Counters::default();
+        Counters::add(&c.map_input_records, 5);
+        Counters::add(&c.map_input_records, 2);
+        Counters::add(&c.map_output_bytes, 100);
+        let s = c.snapshot();
+        assert_eq!(s.map_input_records, 7);
+        assert_eq!(s.map_output_bytes, 100);
+        assert_eq!(s.reduce_output_records, 0);
+    }
+}

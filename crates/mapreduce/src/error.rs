@@ -1,0 +1,50 @@
+//! Engine errors.
+
+use crate::config::Phase;
+
+/// Fatal job errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A task failed more than `max_attempts` times.
+    RetriesExhausted {
+        /// The phase of the failing task.
+        phase: Phase,
+        /// The task index within its phase.
+        task: usize,
+        /// The number of attempts made.
+        attempts: u32,
+    },
+    /// The shuffle encountered undecodable record framing.
+    CorruptShuffle(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::RetriesExhausted {
+                phase,
+                task,
+                attempts,
+            } => write!(f, "{phase:?} task {task} failed after {attempts} attempts"),
+            EngineError::CorruptShuffle(msg) => write!(f, "corrupt shuffle data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::RetriesExhausted {
+            phase: Phase::Map,
+            task: 3,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("task 3"));
+        assert!(e.to_string().contains("4 attempts"));
+    }
+}

@@ -1,0 +1,80 @@
+//! # lash-mapreduce
+//!
+//! An in-process, multi-threaded MapReduce engine with Hadoop-like semantics,
+//! built as the execution substrate for LASH (the paper runs on a Hadoop
+//! cluster; this crate reproduces the programming contract and the measured
+//! quantities on a single machine).
+//!
+//! Features:
+//!
+//! * typed [`Job`] trait with `map`, optional `combine`, and `reduce`;
+//! * real byte-level shuffle: every intermediate key/value pair is serialized
+//!   through the job's codec, partitioned by key hash, sorted and grouped by
+//!   key bytes — so counters like [`CounterSnapshot::map_output_bytes`]
+//!   measure the same representation a Hadoop job would ship;
+//! * per-phase wall-clock timing (map / shuffle / reduce), the quantities the
+//!   paper's stacked bar charts report;
+//! * configurable parallelism (worker threads stand in for cluster slots);
+//! * deterministic failure injection with task retry, mirroring Hadoop's
+//!   transparent fault tolerance.
+//!
+//! ```
+//! use lash_mapreduce::{run_job, ClusterConfig, Emitter, Job};
+//!
+//! /// Classic word count.
+//! struct WordCount;
+//!
+//! impl Job for WordCount {
+//!     type Input = String;
+//!     type Key = String;
+//!     type Value = u64;
+//!     type Output = (String, u64);
+//!
+//!     fn map(&self, line: &String, emit: &mut Emitter<'_, String, u64>) {
+//!         for word in line.split_whitespace() {
+//!             emit.emit(word.to_owned(), 1);
+//!         }
+//!     }
+//!
+//!     fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+//!         vec![values.into_iter().sum()]
+//!     }
+//!
+//!     fn reduce(&self, key: String, values: Vec<u64>, out: &mut Vec<(String, u64)>) {
+//!         out.push((key, values.into_iter().sum()));
+//!     }
+//!
+//!     fn encode_key(&self, key: &String, buf: &mut Vec<u8>) {
+//!         buf.extend_from_slice(key.as_bytes());
+//!     }
+//!     fn decode_key(&self, bytes: &[u8]) -> String {
+//!         String::from_utf8(bytes.to_vec()).unwrap()
+//!     }
+//!     fn encode_value(&self, value: &u64, buf: &mut Vec<u8>) {
+//!         buf.extend_from_slice(&value.to_le_bytes());
+//!     }
+//!     fn decode_value(&self, bytes: &[u8]) -> u64 {
+//!         u64::from_le_bytes(bytes.try_into().unwrap())
+//!     }
+//! }
+//!
+//! let inputs = vec!["the quick brown fox".to_owned(), "the lazy dog".to_owned()];
+//! let result = run_job(&WordCount, &inputs, &ClusterConfig::default()).unwrap();
+//! assert!(result.outputs.contains(&("the".to_owned(), 2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counters;
+pub mod error;
+pub mod runtime;
+pub mod shuffle;
+pub mod types;
+
+pub use config::{ClusterConfig, FailurePlan, Phase};
+pub use counters::{CounterSnapshot, Counters};
+pub use error::EngineError;
+pub use runtime::{run_job, JobMetrics, JobResult};
+pub use types::{Emitter, Job};

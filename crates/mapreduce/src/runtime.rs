@@ -1,0 +1,530 @@
+//! The execution engine: splits, task scheduling, retries, shuffle, and
+//! per-phase timing.
+//!
+//! Execution proceeds in three synchronized phases so their wall-clock costs
+//! can be reported separately (the paper's stacked map/shuffle/reduce bars):
+//!
+//! 1. **map** — input splits are processed by a pool of worker threads; each
+//!    task buffers its output sorted by key, applies the combiner, and
+//!    serializes into one byte buffer per reduce partition;
+//! 2. **shuffle** — per reduce partition, the buffers from all map tasks are
+//!    concatenated, parsed, sorted by key bytes, and grouped;
+//! 3. **reduce** — the grouped partitions are decoded and reduced.
+//!
+//! Failed task attempts (via [`crate::FailurePlan`]) are retried in
+//! subsequent scheduling rounds, up to `max_attempts`; retries are invisible
+//! in the output, as in Hadoop.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::config::{ClusterConfig, Phase};
+use crate::counters::{CounterSnapshot, Counters};
+use crate::error::EngineError;
+use crate::shuffle::{partition_of, write_record, GroupedPartition};
+use crate::types::{Emitter, Job};
+
+/// Wall-clock and counter metrics of one job run.
+#[derive(Debug, Clone, Default)]
+pub struct JobMetrics {
+    /// Map phase wall time.
+    pub map_time: Duration,
+    /// Shuffle (sort/group) phase wall time.
+    pub shuffle_time: Duration,
+    /// Reduce phase wall time.
+    pub reduce_time: Duration,
+    /// Total job wall time.
+    pub total_time: Duration,
+    /// Counter snapshot.
+    pub counters: CounterSnapshot,
+}
+
+impl JobMetrics {
+    /// Merges metrics of consecutive jobs (phase times add up).
+    pub fn accumulate(&mut self, other: &JobMetrics) {
+        self.map_time += other.map_time;
+        self.shuffle_time += other.shuffle_time;
+        self.reduce_time += other.reduce_time;
+        self.total_time += other.total_time;
+        let c = &mut self.counters;
+        let o = &other.counters;
+        c.map_input_records += o.map_input_records;
+        c.map_output_records += o.map_output_records;
+        c.map_output_bytes += o.map_output_bytes;
+        c.map_output_materialized_bytes += o.map_output_materialized_bytes;
+        c.combine_input_records += o.combine_input_records;
+        c.combine_output_records += o.combine_output_records;
+        c.reduce_input_groups += o.reduce_input_groups;
+        c.reduce_input_records += o.reduce_input_records;
+        c.reduce_output_records += o.reduce_output_records;
+        c.map_task_attempts += o.map_task_attempts;
+        c.reduce_task_attempts += o.reduce_task_attempts;
+        c.failed_map_tasks += o.failed_map_tasks;
+        c.failed_reduce_tasks += o.failed_reduce_tasks;
+    }
+}
+
+/// Outputs plus metrics of a completed job.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// Reduce outputs, concatenated in reduce-partition order.
+    pub outputs: Vec<O>,
+    /// Run metrics.
+    pub metrics: JobMetrics,
+}
+
+/// Runs `job` over `inputs` under `config`.
+pub fn run_job<J: Job>(
+    job: &J,
+    inputs: &[J::Input],
+    config: &ClusterConfig,
+) -> Result<JobResult<J::Output>, EngineError> {
+    let started = Instant::now();
+    let counters = Counters::default();
+    let num_parts = config.num_reduce_tasks.max(1);
+
+    // ---- Map phase -------------------------------------------------------
+    let map_started = Instant::now();
+    let splits: Vec<std::ops::Range<usize>> = split_ranges(inputs.len(), config.split_size);
+    let map_outputs = run_with_retries(
+        splits.len(),
+        config.map_parallelism,
+        config.max_attempts,
+        Phase::Map,
+        &counters,
+        |task, attempt| {
+            if config.failure_plan.should_fail(Phase::Map, task, attempt) {
+                return None;
+            }
+            Some(run_map_task(
+                job,
+                &inputs[splits[task].clone()],
+                num_parts,
+                config.use_combiner,
+                &counters,
+            ))
+        },
+    )?;
+    let map_time = map_started.elapsed();
+
+    // ---- Shuffle phase ---------------------------------------------------
+    let shuffle_started = Instant::now();
+    let grouped: Vec<Result<GroupedPartition, EngineError>> = parallel_tasks(
+        num_parts,
+        config.reduce_parallelism,
+        |part| {
+            let total: usize = map_outputs.iter().map(|m| m[part].len()).sum();
+            let mut data = Vec::with_capacity(total);
+            for m in &map_outputs {
+                data.extend_from_slice(&m[part]);
+            }
+            GroupedPartition::build(data)
+        },
+    );
+    let mut partitions = Vec::with_capacity(num_parts);
+    for g in grouped {
+        partitions.push(g?);
+    }
+    let shuffle_time = shuffle_started.elapsed();
+
+    // ---- Reduce phase ----------------------------------------------------
+    let reduce_started = Instant::now();
+    let reduce_outputs = run_with_retries(
+        num_parts,
+        config.reduce_parallelism,
+        config.max_attempts,
+        Phase::Reduce,
+        &counters,
+        |task, attempt| {
+            if config.failure_plan.should_fail(Phase::Reduce, task, attempt) {
+                return None;
+            }
+            Some(run_reduce_task(job, &partitions[task], &counters))
+        },
+    )?;
+    let reduce_time = reduce_started.elapsed();
+
+    let outputs: Vec<J::Output> = reduce_outputs.into_iter().flatten().collect();
+    Counters::add(&counters.reduce_output_records, 0); // touch for empty jobs
+    Ok(JobResult {
+        outputs,
+        metrics: JobMetrics {
+            map_time,
+            shuffle_time,
+            reduce_time,
+            total_time: started.elapsed(),
+            counters: counters.snapshot(),
+        },
+    })
+}
+
+fn run_map_task<J: Job>(
+    job: &J,
+    records: &[J::Input],
+    num_parts: usize,
+    use_combiner: bool,
+    counters: &Counters,
+) -> Vec<Vec<u8>> {
+    let mut buffer: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
+    let mut emitted = 0u64;
+    {
+        let mut emitter = Emitter {
+            buffer: &mut buffer,
+            records: &mut emitted,
+        };
+        for record in records {
+            job.map(record, &mut emitter);
+        }
+    }
+    Counters::add(&counters.map_input_records, records.len() as u64);
+    Counters::add(&counters.map_output_records, emitted);
+
+    let mut parts: Vec<Vec<u8>> = vec![Vec::new(); num_parts];
+    let mut kbuf = Vec::new();
+    let mut vbuf = Vec::new();
+    let mut payload = 0u64;
+    let mut materialized = 0u64;
+    let mut combine_in = 0u64;
+    let mut combine_out = 0u64;
+    for (key, mut values) in buffer {
+        if use_combiner {
+            combine_in += values.len() as u64;
+            values = job.combine(&key, values);
+            combine_out += values.len() as u64;
+        }
+        kbuf.clear();
+        job.encode_key(&key, &mut kbuf);
+        let part = partition_of(&kbuf, num_parts);
+        for value in &values {
+            vbuf.clear();
+            job.encode_value(value, &mut vbuf);
+            let (p, m) = write_record(&mut parts[part], &kbuf, &vbuf);
+            payload += p;
+            materialized += m;
+        }
+    }
+    Counters::add(&counters.map_output_bytes, payload);
+    Counters::add(&counters.map_output_materialized_bytes, materialized);
+    Counters::add(&counters.combine_input_records, combine_in);
+    Counters::add(&counters.combine_output_records, combine_out);
+    parts
+}
+
+fn run_reduce_task<J: Job>(
+    job: &J,
+    partition: &GroupedPartition,
+    counters: &Counters,
+) -> Vec<J::Output> {
+    let mut out = Vec::new();
+    let mut groups = 0u64;
+    let mut records = 0u64;
+    for i in 0..partition.groups.len() {
+        let key = job.decode_key(partition.key_bytes(i));
+        let values: Vec<J::Value> = partition
+            .value_bytes(i)
+            .map(|b| job.decode_value(b))
+            .collect();
+        groups += 1;
+        records += values.len() as u64;
+        job.reduce(key, values, &mut out);
+    }
+    Counters::add(&counters.reduce_input_groups, groups);
+    Counters::add(&counters.reduce_input_records, records);
+    Counters::add(&counters.reduce_output_records, out.len() as u64);
+    out
+}
+
+/// Splits `n` records into contiguous ranges of at most `split_size`.
+fn split_ranges(n: usize, split_size: usize) -> Vec<std::ops::Range<usize>> {
+    let size = split_size.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n.div_ceil(size))
+        .map(|i| i * size..((i + 1) * size).min(n))
+        .collect()
+}
+
+/// Runs `count` tasks with a pull-based worker pool.
+fn parallel_tasks<T, F>(count: usize, parallelism: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = parallelism.min(count).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                *slots[i].lock() = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("task completed"))
+        .collect()
+}
+
+/// Runs tasks in retry rounds. The closure returns `None` to signal an
+/// (injected) failure; such tasks are retried with an incremented attempt
+/// number until `max_attempts` is exhausted.
+fn run_with_retries<T, F>(
+    count: usize,
+    parallelism: usize,
+    max_attempts: u32,
+    phase: Phase,
+    counters: &Counters,
+    f: F,
+) -> Result<Vec<T>, EngineError>
+where
+    T: Send,
+    F: Fn(usize, u32) -> Option<T> + Sync,
+{
+    let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let mut pending: Vec<(usize, u32)> = (0..count).map(|t| (t, 0)).collect();
+    while !pending.is_empty() {
+        let round: Vec<(usize, u32, Option<T>)> =
+            parallel_tasks(pending.len(), parallelism, |i| {
+                let (task, attempt) = pending[i];
+                match phase {
+                    Phase::Map => Counters::add(&counters.map_task_attempts, 1),
+                    Phase::Reduce => Counters::add(&counters.reduce_task_attempts, 1),
+                }
+                let out = f(task, attempt);
+                if out.is_none() {
+                    match phase {
+                        Phase::Map => Counters::add(&counters.failed_map_tasks, 1),
+                        Phase::Reduce => Counters::add(&counters.failed_reduce_tasks, 1),
+                    }
+                }
+                (task, attempt, out)
+            });
+        let mut next = Vec::new();
+        for (task, attempt, out) in round {
+            match out {
+                Some(t) => results[task] = Some(t),
+                None => {
+                    if attempt + 1 >= max_attempts {
+                        return Err(EngineError::RetriesExhausted {
+                            phase,
+                            task,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    next.push((task, attempt + 1));
+                }
+            }
+        }
+        pending = next;
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("all tasks completed"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FailurePlan;
+
+    /// Word count used across the engine tests.
+    struct WordCount;
+
+    impl Job for WordCount {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        type Output = (String, u64);
+
+        fn map(&self, line: &String, emit: &mut Emitter<'_, String, u64>) {
+            for w in line.split_whitespace() {
+                emit.emit(w.to_owned(), 1);
+            }
+        }
+
+        fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+            vec![values.into_iter().sum()]
+        }
+
+        fn reduce(&self, key: String, values: Vec<u64>, out: &mut Vec<(String, u64)>) {
+            out.push((key, values.into_iter().sum()));
+        }
+
+        fn encode_key(&self, key: &String, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(key.as_bytes());
+        }
+        fn decode_key(&self, bytes: &[u8]) -> String {
+            String::from_utf8(bytes.to_vec()).unwrap()
+        }
+        fn encode_value(&self, value: &u64, buf: &mut Vec<u8>) {
+            let mut v = *value;
+            loop {
+                let b = (v & 0x7f) as u8;
+                v >>= 7;
+                if v == 0 {
+                    buf.push(b);
+                    break;
+                }
+                buf.push(b | 0x80);
+            }
+        }
+        fn decode_value(&self, bytes: &[u8]) -> u64 {
+            let mut value = 0u64;
+            let mut shift = 0;
+            for &b in bytes {
+                value |= ((b & 0x7f) as u64) << shift;
+                if b & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            value
+        }
+    }
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "the quick brown fox".into(),
+            "jumps over the lazy dog".into(),
+            "the dog barks".into(),
+            "quick quick".into(),
+        ]
+    }
+
+    fn sorted(mut v: Vec<(String, u64)>) -> Vec<(String, u64)> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let result = run_job(&WordCount, &corpus(), &ClusterConfig::default()).unwrap();
+        let out = sorted(result.outputs);
+        let get = |w: &str| out.iter().find(|(k, _)| k == w).map(|&(_, c)| c);
+        assert_eq!(get("the"), Some(3));
+        assert_eq!(get("quick"), Some(3));
+        assert_eq!(get("dog"), Some(2));
+        assert_eq!(get("fox"), Some(1));
+        let m = &result.metrics.counters;
+        assert_eq!(m.map_input_records, 4);
+        assert_eq!(m.map_output_records, 14);
+        assert_eq!(m.reduce_output_records as usize, out.len());
+        assert!(m.map_output_bytes > 0);
+        assert!(result.metrics.total_time >= result.metrics.map_time);
+    }
+
+    #[test]
+    fn output_is_deterministic_across_parallelism() {
+        let base = run_job(&WordCount, &corpus(), &ClusterConfig::sequential())
+            .unwrap()
+            .outputs;
+        for par in [2, 4, 8] {
+            for split in [1, 2, 100] {
+                let cfg = ClusterConfig::default()
+                    .with_parallelism(par)
+                    .with_reduce_tasks(3)
+                    .with_split_size(split);
+                let got = run_job(&WordCount, &corpus(), &cfg).unwrap().outputs;
+                assert_eq!(sorted(got), sorted(base.clone()), "par={par} split={split}");
+            }
+        }
+    }
+
+    #[test]
+    fn combiner_reduces_shuffled_bytes_but_not_results() {
+        let cfg_on = ClusterConfig::sequential().with_split_size(1).with_combiner(true);
+        let cfg_off = ClusterConfig::sequential().with_split_size(1).with_combiner(false);
+        let on = run_job(&WordCount, &corpus(), &cfg_on).unwrap();
+        let off = run_job(&WordCount, &corpus(), &cfg_off).unwrap();
+        assert_eq!(sorted(on.outputs), sorted(off.outputs));
+        assert!(
+            on.metrics.counters.map_output_bytes < off.metrics.counters.map_output_bytes,
+            "combiner should shrink the shuffle ({} vs {})",
+            on.metrics.counters.map_output_bytes,
+            off.metrics.counters.map_output_bytes
+        );
+        assert!(on.metrics.counters.combine_input_records > 0);
+        // Pre-combine record counts are identical.
+        assert_eq!(
+            on.metrics.counters.map_output_records,
+            off.metrics.counters.map_output_records
+        );
+    }
+
+    #[test]
+    fn injected_failures_are_retried_transparently() {
+        let plan = FailurePlan::none()
+            .fail_once(Phase::Map, 0)
+            .fail_n_times(Phase::Reduce, 0, 2);
+        let cfg = ClusterConfig::default()
+            .with_parallelism(2)
+            .with_split_size(2)
+            .with_reduce_tasks(2)
+            .with_failures(plan);
+        let result = run_job(&WordCount, &corpus(), &cfg).unwrap();
+        let clean = run_job(&WordCount, &corpus(), &ClusterConfig::sequential()).unwrap();
+        assert_eq!(sorted(result.outputs), sorted(clean.outputs));
+        assert_eq!(result.metrics.counters.failed_map_tasks, 1);
+        assert_eq!(result.metrics.counters.failed_reduce_tasks, 2);
+        assert!(result.metrics.counters.map_task_attempts >= 3);
+    }
+
+    #[test]
+    fn retries_exhausted_is_an_error() {
+        let cfg = ClusterConfig::default()
+            .with_split_size(2)
+            .with_failures(FailurePlan::none().fail_n_times(Phase::Map, 0, 10));
+        let err = run_job(&WordCount, &corpus(), &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::RetriesExhausted {
+                phase: Phase::Map,
+                task: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_input_runs_cleanly() {
+        let result = run_job(&WordCount, &[], &ClusterConfig::default()).unwrap();
+        assert!(result.outputs.is_empty());
+        assert_eq!(result.metrics.counters.map_input_records, 0);
+    }
+
+    #[test]
+    fn split_ranges_cover_input_exactly() {
+        assert_eq!(split_ranges(0, 5), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(split_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(split_ranges(4, 4), vec![0..4]);
+        assert_eq!(split_ranges(3, 100), vec![0..3]);
+        // split_size 0 is clamped.
+        assert_eq!(split_ranges(2, 0), vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let a = run_job(&WordCount, &corpus(), &ClusterConfig::sequential()).unwrap();
+        let mut acc = JobMetrics::default();
+        acc.accumulate(&a.metrics);
+        acc.accumulate(&a.metrics);
+        assert_eq!(
+            acc.counters.map_input_records,
+            2 * a.metrics.counters.map_input_records
+        );
+        assert_eq!(acc.total_time, a.metrics.total_time * 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! The [`Job`] trait: the typed map/combine/reduce contract plus the codec
+//! that defines the wire format of the shuffle.
+
+use std::collections::BTreeMap;
+
+/// A MapReduce job.
+///
+/// Keys must serialize injectively through [`Job::encode_key`]: the engine
+/// partitions and groups by *encoded* key bytes, exactly as Hadoop partitions
+/// on serialized keys.
+pub trait Job: Send + Sync {
+    /// One input record (map tasks receive contiguous slices of records).
+    type Input: Send + Sync;
+    /// Intermediate key.
+    type Key: Send + Ord + Clone;
+    /// Intermediate value.
+    type Value: Send;
+    /// Final output record.
+    type Output: Send;
+
+    /// Maps one input record to zero or more key/value pairs.
+    fn map(&self, input: &Self::Input, emit: &mut Emitter<'_, Self::Key, Self::Value>);
+
+    /// Optional map-side pre-aggregation: reduces the values of one key to a
+    /// smaller list. Default: identity (no combiner).
+    fn combine(&self, _key: &Self::Key, values: Vec<Self::Value>) -> Vec<Self::Value> {
+        values
+    }
+
+    /// Reduces the complete value list of one key.
+    fn reduce(&self, key: Self::Key, values: Vec<Self::Value>, out: &mut Vec<Self::Output>);
+
+    /// Serializes a key (must be injective).
+    fn encode_key(&self, key: &Self::Key, buf: &mut Vec<u8>);
+    /// Inverse of [`Job::encode_key`].
+    fn decode_key(&self, bytes: &[u8]) -> Self::Key;
+    /// Serializes a value.
+    fn encode_value(&self, value: &Self::Value, buf: &mut Vec<u8>);
+    /// Inverse of [`Job::encode_value`].
+    fn decode_value(&self, bytes: &[u8]) -> Self::Value;
+}
+
+/// The map-side output collector: an in-memory buffer grouped by key, exactly
+/// like Hadoop's map-side sort buffer.
+pub struct Emitter<'a, K: Ord, V> {
+    pub(crate) buffer: &'a mut BTreeMap<K, Vec<V>>,
+    pub(crate) records: &'a mut u64,
+}
+
+impl<K: Ord, V> Emitter<'_, K, V> {
+    /// Emits one key/value pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        *self.records += 1;
+        self.buffer.entry(key).or_default().push(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_groups_by_key() {
+        let mut buffer = BTreeMap::new();
+        let mut records = 0u64;
+        let mut e = Emitter {
+            buffer: &mut buffer,
+            records: &mut records,
+        };
+        e.emit("b", 1);
+        e.emit("a", 2);
+        e.emit("b", 3);
+        assert_eq!(records, 3);
+        assert_eq!(buffer.get("b"), Some(&vec![1, 3]));
+        assert_eq!(buffer.get("a"), Some(&vec![2]));
+        // BTreeMap keeps keys sorted, like the map-side sort buffer.
+        let keys: Vec<_> = buffer.keys().copied().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

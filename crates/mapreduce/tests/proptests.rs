@@ -1,0 +1,126 @@
+//! Property tests for the MapReduce engine: against an in-memory oracle, the
+//! engine must produce identical results for any input, any parallelism, any
+//! split size, combiner on or off, and any recoverable failure plan.
+
+use std::collections::BTreeMap;
+
+use lash_mapreduce::{run_job, ClusterConfig, Emitter, FailurePlan, Job, Phase};
+use proptest::prelude::*;
+
+/// Counts (key, value) pair sums per key — a weighted word count.
+struct SumJob;
+
+impl Job for SumJob {
+    type Input = Vec<(u16, u32)>;
+    type Key = u16;
+    type Value = u64;
+    type Output = (u16, u64);
+
+    fn map(&self, record: &Vec<(u16, u32)>, emit: &mut Emitter<'_, u16, u64>) {
+        for &(k, v) in record {
+            emit.emit(k, v as u64);
+        }
+    }
+
+    fn combine(&self, _key: &u16, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+
+    fn reduce(&self, key: u16, values: Vec<u64>, out: &mut Vec<(u16, u64)>) {
+        out.push((key, values.into_iter().sum()));
+    }
+
+    fn encode_key(&self, key: &u16, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&key.to_be_bytes());
+    }
+    fn decode_key(&self, bytes: &[u8]) -> u16 {
+        u16::from_be_bytes(bytes.try_into().expect("2-byte key"))
+    }
+    fn encode_value(&self, value: &u64, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&value.to_le_bytes());
+    }
+    fn decode_value(&self, bytes: &[u8]) -> u64 {
+        u64::from_le_bytes(bytes.try_into().expect("8-byte value"))
+    }
+}
+
+fn oracle(inputs: &[Vec<(u16, u32)>]) -> BTreeMap<u16, u64> {
+    let mut out = BTreeMap::new();
+    for record in inputs {
+        for &(k, v) in record {
+            *out.entry(k).or_insert(0u64) += v as u64;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_oracle_under_any_configuration(
+        inputs in prop::collection::vec(
+            prop::collection::vec((0u16..32, 0u32..1000), 0..12),
+            0..24,
+        ),
+        parallelism in 1usize..6,
+        split_size in 1usize..10,
+        reduce_tasks in 1usize..6,
+        combiner in any::<bool>(),
+    ) {
+        let cfg = ClusterConfig::default()
+            .with_parallelism(parallelism)
+            .with_split_size(split_size)
+            .with_reduce_tasks(reduce_tasks)
+            .with_combiner(combiner);
+        let result = run_job(&SumJob, &inputs, &cfg).unwrap();
+        let got: BTreeMap<u16, u64> = result.outputs.into_iter().collect();
+        prop_assert_eq!(got, oracle(&inputs));
+        // Counters are consistent.
+        let c = result.metrics.counters;
+        prop_assert_eq!(c.map_input_records as usize, inputs.len());
+        let pairs: usize = inputs.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(c.map_output_records as usize, pairs);
+    }
+
+    #[test]
+    fn recoverable_failures_never_change_results(
+        inputs in prop::collection::vec(
+            prop::collection::vec((0u16..16, 0u32..100), 1..8),
+            1..16,
+        ),
+        map_fail in prop::collection::vec((0usize..8, 1u32..3), 0..4),
+        reduce_fail in prop::collection::vec((0usize..4, 1u32..3), 0..4),
+    ) {
+        let mut plan = FailurePlan::none();
+        for (task, n) in map_fail {
+            plan = plan.fail_n_times(Phase::Map, task, n);
+        }
+        for (task, n) in reduce_fail {
+            plan = plan.fail_n_times(Phase::Reduce, task, n);
+        }
+        let cfg = ClusterConfig::default()
+            .with_parallelism(3)
+            .with_split_size(2)
+            .with_reduce_tasks(4)
+            .with_failures(plan);
+        let result = run_job(&SumJob, &inputs, &cfg).unwrap();
+        let got: BTreeMap<u16, u64> = result.outputs.into_iter().collect();
+        prop_assert_eq!(got, oracle(&inputs));
+    }
+
+    #[test]
+    fn shuffled_bytes_track_record_volume(
+        inputs in prop::collection::vec(
+            prop::collection::vec((0u16..8, 1u32..100), 1..8),
+            1..8,
+        ),
+    ) {
+        let cfg = ClusterConfig::sequential().with_combiner(false);
+        let result = run_job(&SumJob, &inputs, &cfg).unwrap();
+        let c = result.metrics.counters;
+        // Every emitted pair serializes to 2 key bytes + 8 value bytes.
+        prop_assert_eq!(c.map_output_bytes, c.map_output_records * 10);
+        prop_assert!(c.map_output_materialized_bytes > c.map_output_bytes);
+    }
+}

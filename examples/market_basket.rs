@@ -1,0 +1,51 @@
+//! Customer-behaviour mining over synthetic product sessions — the paper's
+//! market-basket motivation: "users first buy some camera, then some
+//! photography book, and finally some flash", a pattern over *categories*
+//! that no concrete product triple would reveal.
+//!
+//! Run with: `cargo run --release --example market_basket`
+
+use lash::datagen::{ProductConfig, ProductCorpus, ProductHierarchy};
+use lash::{GsmParams, Lash, LashConfig, MinerKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ProductConfig {
+        users: 10_000,
+        products: 5_000,
+        ..ProductConfig::default()
+    };
+    let corpus = ProductCorpus::generate(&config);
+
+    // The paper sweeps hierarchy depth h2..h8 (Fig. 5(e)); mine the same
+    // sessions under two depths and compare.
+    let params = GsmParams::new(25, 1, 4)?;
+    for hierarchy in [ProductHierarchy::H2, ProductHierarchy::H8] {
+        let (vocab, db) = corpus.dataset(hierarchy);
+        let result = Lash::new(LashConfig::default().with_miner(MinerKind::PsmIndexed))
+            .mine(&db, &vocab, &params)?;
+        println!(
+            "{}: {} sessions, {} vocabulary items → {} frequent category patterns ({:?})",
+            hierarchy.name(),
+            db.len(),
+            vocab.len(),
+            result.patterns().len(),
+            result.total_time(),
+        );
+        // Print a few patterns made of categories only (pure generalizations).
+        let category_patterns: Vec<_> = result
+            .patterns()
+            .iter()
+            .filter(|p| p.to_names(&vocab).iter().all(|n| n.starts_with("cat")))
+            .take(5)
+            .collect();
+        for p in category_patterns {
+            println!("    {:<28} frequency {}", p.display(&vocab), p.frequency);
+        }
+    }
+
+    println!(
+        "\nDeeper hierarchies expose more cross-category patterns from the same \
+         sessions — the effect Fig. 5(e) measures."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # lash
+//!
+//! A Rust implementation of **LASH** — *Large-Scale Sequence Mining with
+//! Hierarchies* (Beedkar & Gemulla, SIGMOD 2015): generalized sequence
+//! mining over item hierarchies, with item-based partitioning, w-equivalent
+//! partition rewrites, and the pivot sequence miner (PSM), executed on an
+//! in-process MapReduce engine.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! * `lash-core` (re-exported at the root) — the mining library;
+//! * [`mapreduce`] — the MapReduce substrate;
+//! * [`encoding`] — the wire-format codecs;
+//! * [`datagen`] — deterministic synthetic corpora mirroring the paper's
+//!   NYT and AMZN workloads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lash::prelude::*;
+//!
+//! // "Canon EOS 70D" → "camera" → "electronics".
+//! let mut vb = VocabularyBuilder::new();
+//! let electronics = vb.intern("electronics");
+//! let camera = vb.child("camera", electronics);
+//! let eos = vb.child("Canon EOS 70D", camera);
+//! let coolpix = vb.child("Nikon Coolpix", camera);
+//! let book = vb.child("photography book", electronics);
+//! let vocab = vb.finish().unwrap();
+//!
+//! let mut db = SequenceDatabase::new();
+//! db.push(&[eos, book]);
+//! db.push(&[coolpix, book]);
+//!
+//! let params = GsmParams::new(2, 0, 2).unwrap();
+//! let result = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+//!
+//! // "some camera, then a photography book" is frequent even though no
+//! // concrete camera model repeats.
+//! assert!(result
+//!     .patterns()
+//!     .iter()
+//!     .any(|p| p.to_names(&vocab) == ["camera", "photography book"] && p.frequency == 2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lash_core::*;
+
+/// The MapReduce substrate (re-export of `lash-mapreduce`).
+pub mod mapreduce {
+    pub use lash_mapreduce::*;
+}
+
+/// Wire-format codecs (re-export of `lash-encoding`).
+pub mod encoding {
+    pub use lash_encoding::*;
+}
+
+/// Synthetic datasets (re-export of `lash-datagen`).
+pub mod datagen {
+    pub use lash_datagen::*;
+}
