@@ -5,7 +5,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use lash_encoding::{decode_sequence, encode_sequence, varint, BLANK};
 
 fn varint_roundtrip(c: &mut Criterion) {
-    let values: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let values: Vec<u32> = (0..1024u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     let mut group = c.benchmark_group("varint");
     group.throughput(Throughput::Elements(values.len() as u64));
     group.bench_function("encode_u32_x1024", |b| {

@@ -41,7 +41,7 @@ fn bench_miners(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_miners");
     group.sample_size(20);
     for (name, miner) in &miners {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let (patterns, stats) = miner.mine(black_box(&partition), pivot, space, &params);
                 black_box((patterns.len(), stats.candidates))

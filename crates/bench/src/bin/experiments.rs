@@ -68,7 +68,9 @@ fn main() {
     let mut report = Report::new(out);
     println!(
         "LASH experiment harness — scale {scale}, host threads {}\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 
     // fig4a/fig4b and fig4c/fig4d and fig5c/fig5d share runs; dedupe.

@@ -6,7 +6,12 @@
 //! experiments (generation is deterministic, so re-running a single
 //! subcommand sees identical data).
 
-use lash_datagen::{ProductConfig, ProductCorpus, TextConfig, TextCorpus};
+use std::path::Path;
+
+use lash_datagen::{
+    ProductConfig, ProductCorpus, ProductHierarchy, TextConfig, TextCorpus, TextHierarchy,
+};
+use lash_store::{CorpusReader, StoreOptions};
 
 /// Builds the NYT-like corpus at `scale` (1.0 ≈ 20k sentences).
 pub fn nyt(scale: f64) -> TextCorpus {
@@ -16,6 +21,56 @@ pub fn nyt(scale: f64) -> TextCorpus {
 /// Builds the AMZN-like corpus at `scale` (1.0 ≈ 20k sessions).
 pub fn amzn(scale: f64) -> ProductCorpus {
     ProductCorpus::generate(&ProductConfig::default().scaled(scale))
+}
+
+/// Opens the NYT-like corpus as an on-disk store under `cache_dir`,
+/// generating and persisting it on the first call — repeated harness runs
+/// reopen the corpus cold instead of regenerating it, and experiments can
+/// mine it without holding the database in memory.
+pub fn nyt_store(
+    scale: f64,
+    hierarchy: TextHierarchy,
+    cache_dir: &Path,
+) -> lash_store::Result<CorpusReader> {
+    cached_corpus(
+        cache_dir,
+        &format!("nyt-{}-x{scale}", hierarchy.name()),
+        || nyt(scale).dataset(hierarchy),
+    )
+}
+
+/// Opens the AMZN-like corpus as an on-disk store under `cache_dir`,
+/// generating and persisting it on the first call.
+pub fn amzn_store(
+    scale: f64,
+    hierarchy: ProductHierarchy,
+    cache_dir: &Path,
+) -> lash_store::Result<CorpusReader> {
+    cached_corpus(
+        cache_dir,
+        &format!("amzn-{}-x{scale}", hierarchy.name()),
+        || amzn(scale).dataset(hierarchy),
+    )
+}
+
+/// Opens `cache_dir/key` as a corpus, building it via `generate` if absent.
+fn cached_corpus(
+    cache_dir: &Path,
+    key: &str,
+    generate: impl FnOnce() -> (lash_core::Vocabulary, lash_core::SequenceDatabase),
+) -> lash_store::Result<CorpusReader> {
+    let dir = cache_dir.join(key);
+    match CorpusReader::open(&dir) {
+        Ok(reader) => Ok(reader),
+        Err(_) => {
+            // Absent or unreadable: rebuild from scratch (generation is
+            // deterministic, so a rebuild is always equivalent).
+            let _ = std::fs::remove_dir_all(&dir);
+            let (vocab, db) = generate();
+            lash_store::convert::write_database(&dir, &vocab, &db, StoreOptions::default())?;
+            CorpusReader::open(&dir)
+        }
+    }
 }
 
 /// Lazily-built corpora shared by the experiment subcommands.
@@ -65,5 +120,23 @@ mod tests {
         assert_eq!(n1, n2);
         assert!(n1 > 0);
         assert!(!d.amzn().is_empty());
+    }
+
+    #[test]
+    fn store_cache_persists_and_reopens() {
+        let cache = std::env::temp_dir().join(format!("lash-bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache);
+        let first = nyt_store(0.01, TextHierarchy::LP, &cache).unwrap();
+        let in_memory = nyt(0.01).dataset(TextHierarchy::LP).1;
+        assert_eq!(first.len(), in_memory.len() as u64);
+        // Second call reopens the same files instead of regenerating.
+        let second = nyt_store(0.01, TextHierarchy::LP, &cache).unwrap();
+        assert_eq!(second.len(), first.len());
+        assert_eq!(second.manifest(), first.manifest());
+        let db = second.to_database().unwrap();
+        for i in 0..db.len() {
+            assert_eq!(db.get(i), in_memory.get(i));
+        }
+        std::fs::remove_dir_all(&cache).unwrap();
     }
 }

@@ -19,7 +19,13 @@ pub fn ablation(datasets: &mut Datasets, report: &mut Report) {
     let mut rewrites = Table::new(
         "ablation_rewrites",
         "Partition-construction rewrites: shuffle volume and time, NYT-CLP(100,0,5)",
-        &["rewrite level", "shuffled MiB", "map (s)", "reduce (s)", "total (s)"],
+        &[
+            "rewrite level",
+            "shuffled MiB",
+            "map (s)",
+            "reduce (s)",
+            "total (s)",
+        ],
     );
     let mut reference = None;
     for (label, level) in [
@@ -35,7 +41,11 @@ pub fn ablation(datasets: &mut Datasets, report: &mut Report) {
         );
         match &reference {
             None => reference = Some(result.pattern_set().clone()),
-            Some(r) => assert_eq!(r, result.pattern_set(), "rewrite ablation must not change output"),
+            Some(r) => assert_eq!(
+                r,
+                result.pattern_set(),
+                "rewrite ablation must not change output"
+            ),
         }
         rewrites.row(vec![
             label.to_owned(),
@@ -51,7 +61,13 @@ pub fn ablation(datasets: &mut Datasets, report: &mut Report) {
     let mut aggregation = Table::new(
         "ablation_aggregation",
         "Combiner aggregation of duplicate rewrites, NYT-CLP(100,0,5)",
-        &["aggregation", "shuffled MiB", "shuffle (s)", "reduce (s)", "total (s)"],
+        &[
+            "aggregation",
+            "shuffled MiB",
+            "shuffle (s)",
+            "reduce (s)",
+            "total (s)",
+        ],
     );
     for (label, on) in [("off", false), ("on (LASH)", true)] {
         let result = run_lash(
@@ -86,7 +102,10 @@ pub fn ablation(datasets: &mut Datasets, report: &mut Report) {
         index.row(vec![
             miner.name().to_owned(),
             result.miner_stats.candidates.to_string(),
-            format!("{:.1}", result.miner_stats.candidates_per_output().unwrap_or(0.0)),
+            format!(
+                "{:.1}",
+                result.miner_stats.candidates_per_output().unwrap_or(0.0)
+            ),
             secs(result.mine_metrics.reduce_time),
         ]);
     }

@@ -30,7 +30,13 @@ pub fn fig4ab(datasets: &mut Datasets, report: &mut Report) {
     let mut time_table = Table::new(
         "fig4a",
         "Total time (s): naive vs semi-naive vs LASH, NYT, γ=0",
-        &["setting", "naive", "semi-naive", "LASH", "speedup(naive/LASH)"],
+        &[
+            "setting",
+            "naive",
+            "semi-naive",
+            "LASH",
+            "speedup(naive/LASH)",
+        ],
     );
     let mut bytes_table = Table::new(
         "fig4b",
@@ -48,8 +54,7 @@ pub fn fig4ab(datasets: &mut Datasets, report: &mut Report) {
             compute_flist_distributed(&db, &vocab, &cluster()).expect("flist job");
         let ctx = MiningContext::from_flist(&db, &vocab, flist, params.sigma);
 
-        let (naive_set, naive_metrics) =
-            run_naive(&ctx, &params, &cluster()).expect("naive job");
+        let (naive_set, naive_metrics) = run_naive(&ctx, &params, &cluster()).expect("naive job");
         let (semi_set, semi_metrics) =
             run_semi_naive(&ctx, &params, &cluster()).expect("semi-naive job");
         let lash = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
@@ -68,7 +73,10 @@ pub fn fig4ab(datasets: &mut Datasets, report: &mut Report) {
             secs(naive_t),
             secs(semi_t),
             secs(lash_t),
-            format!("{:.1}x", naive_t.as_secs_f64() / lash_t.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                naive_t.as_secs_f64() / lash_t.as_secs_f64().max(1e-9)
+            ),
         ]);
         bytes_table.row(vec![
             label,
@@ -176,7 +184,10 @@ pub fn fig4e(datasets: &mut Datasets, report: &mut Report) {
             label,
             secs(t_mgfsm),
             secs(t_lash),
-            format!("{:.1}x", t_mgfsm.as_secs_f64() / t_lash.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                t_mgfsm.as_secs_f64() / t_lash.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     report.add(table);

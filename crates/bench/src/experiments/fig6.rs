@@ -18,7 +18,9 @@ fn params() -> GsmParams {
 }
 
 fn host_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn dataset(datasets: &mut Datasets) -> (Vocabulary, SequenceDatabase) {
@@ -98,7 +100,14 @@ pub fn fig6c(datasets: &mut Datasets, report: &mut Report) {
             "Weak scaling (s): NYT-CLP, data grows with workers (host has {} threads)",
             host_threads()
         ),
-        &["workers(data)", "map", "shuffle", "reduce", "total", "#patterns"],
+        &[
+            "workers(data)",
+            "map",
+            "shuffle",
+            "reduce",
+            "total",
+            "#patterns",
+        ],
     );
     let (vocab, db) = dataset(datasets);
     for (workers, pct) in [(2usize, 25usize), (4, 50), (8, 100)] {

@@ -24,7 +24,14 @@ pub fn table1(datasets: &mut Datasets, report: &mut Report) {
     let mut table = Table::new(
         "table1",
         "Dataset characteristics (synthetic stand-ins)",
-        &["dataset", "sequences", "avg len", "max len", "total items", "unique items"],
+        &[
+            "dataset",
+            "sequences",
+            "avg len",
+            "max len",
+            "total items",
+            "unique items",
+        ],
     );
     for r in rows {
         table.row(vec![
@@ -91,14 +98,26 @@ pub fn table3(datasets: &mut Datasets, report: &mut Report) {
     let mut table = Table::new(
         "table3",
         "Output statistics (% of mined sequences)",
-        &["setting", "#patterns", "non-trivial %", "closed %", "maximal %"],
+        &[
+            "setting",
+            "#patterns",
+            "non-trivial %",
+            "closed %",
+            "maximal %",
+        ],
     );
 
     let nyt = datasets.nyt().clone();
     for h in [TextHierarchy::P, TextHierarchy::LP, TextHierarchy::CLP] {
         let (vocab, db) = nyt.dataset(h);
         let params = GsmParams::ngram(100, 5).expect("valid params");
-        add_stats_row(&mut table, &format!("NYT-{}", h.name()), &db, &vocab, &params);
+        add_stats_row(
+            &mut table,
+            &format!("NYT-{}", h.name()),
+            &db,
+            &vocab,
+            &params,
+        );
     }
 
     // The paper's σ ∈ {10000, 1000, 100} over 6.6M sessions maps to
@@ -107,7 +126,13 @@ pub fn table3(datasets: &mut Datasets, report: &mut Report) {
     for sigma in [625u64, 125, 25] {
         let (vocab, db) = amzn.dataset(ProductHierarchy::H8);
         let params = GsmParams::new(sigma, 1, 5).expect("valid params");
-        add_stats_row(&mut table, &format!("AMZN-h8 σ={sigma}"), &db, &vocab, &params);
+        add_stats_row(
+            &mut table,
+            &format!("AMZN-h8 σ={sigma}"),
+            &db,
+            &vocab,
+            &params,
+        );
     }
     report.add(table);
 }
@@ -120,7 +145,9 @@ fn add_stats_row(
     params: &GsmParams,
 ) {
     let gsm = run_lash(db, vocab, params, LashConfig::new(cluster()));
-    let flat = MgFsm::new(cluster()).mine(db, vocab, params).expect("flat run");
+    let flat = MgFsm::new(cluster())
+        .mine(db, vocab, params)
+        .expect("flat run");
     let gsm_items = decode_all(&gsm);
     let flat_items = decode_all(&flat);
     let stats = output_stats(

@@ -97,6 +97,24 @@ impl MiningContext {
         }
     }
 
+    /// Builds a context from an f-list alone, without materializing a
+    /// rank-re-encoded database.
+    ///
+    /// Used by the sharded pipelines, where sequences are streamed from
+    /// external storage and ranked on the fly in the map phase; the context
+    /// then only carries the f-list, the total order, and the rank-space
+    /// hierarchy. [`MiningContext::ranked_db`] is empty in this mode.
+    pub fn from_flist_only(vocab: &Vocabulary, flist: FList, sigma: u64) -> MiningContext {
+        let order = ItemOrder::build(&flist, vocab, sigma);
+        let space = order.item_space(&flist, vocab);
+        MiningContext {
+            flist,
+            order,
+            space,
+            db: RankedDatabase::new(),
+        }
+    }
+
     /// The generalized f-list.
     pub fn flist(&self) -> &FList {
         &self.flist

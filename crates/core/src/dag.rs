@@ -71,7 +71,9 @@ impl MultiVocabularyBuilder {
         let mut seen = FxHashSet::default();
         while let Some(node) = stack.pop() {
             if node == child {
-                return Err(Error::HierarchyCycle { item: child.as_u32() });
+                return Err(Error::HierarchyCycle {
+                    item: child.as_u32(),
+                });
             }
             if seen.insert(node) {
                 stack.extend(self.parents[node.index()].iter().copied());
@@ -328,7 +330,11 @@ pub fn matches_dag(pattern: &[u32], seq: &[u32], ctx: &DagContext, gamma: usize)
 }
 
 /// Exhaustive DAG-GSM enumeration — the oracle for [`DagMiner`].
-pub fn naive_dag(db: &SequenceDatabase, vocab: &MultiVocabulary, params: &GsmParams) -> (DagContext, PatternSet) {
+pub fn naive_dag(
+    db: &SequenceDatabase,
+    vocab: &MultiVocabulary,
+    params: &GsmParams,
+) -> (DagContext, PatternSet) {
     let ctx = DagContext::build(db, vocab, params.sigma);
     let mut counts: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
     let mut current = Vec::new();
@@ -342,11 +348,7 @@ pub fn naive_dag(db: &SequenceDatabase, vocab: &MultiVocabulary, params: &GsmPar
             *counts.entry(s).or_insert(0) += 1;
         }
     }
-    let set = PatternSet::from_pairs(
-        counts
-            .into_iter()
-            .filter(|(_, f)| *f >= params.sigma),
-    );
+    let set = PatternSet::from_pairs(counts.into_iter().filter(|(_, f)| *f >= params.sigma));
     (ctx, set)
 }
 
@@ -495,7 +497,8 @@ impl DagRun<'_> {
             for &(start, end) in embs {
                 let window: Box<dyn Iterator<Item = usize>> = if right {
                     let from = end as usize + 1;
-                    let to = (end as usize + 1 + self.params.gamma).min(seq.len().saturating_sub(1));
+                    let to =
+                        (end as usize + 1 + self.params.gamma).min(seq.len().saturating_sub(1));
                     Box::new(from..=to)
                 } else {
                     let to = start as usize;
@@ -539,7 +542,8 @@ impl DagRun<'_> {
             for &(start, end) in embs {
                 if right {
                     let from = end as usize + 1;
-                    let to = (end as usize + 1 + self.params.gamma).min(seq.len().saturating_sub(1));
+                    let to =
+                        (end as usize + 1 + self.params.gamma).min(seq.len().saturating_sub(1));
                     for q in from..=to {
                         if seq[q] != BLANK && self.ctx.generalizes_to(seq[q], item) {
                             new_embs.push((start, q as u32));

@@ -13,15 +13,16 @@ use lash_mapreduce::{run_job, ClusterConfig, Emitter, Job, JobMetrics};
 use crate::context::MiningContext;
 use crate::enumeration::g1_ranks;
 use crate::error::{Error, Result};
+use crate::flist::FList;
 use crate::fxhash::FxHashMap;
 use crate::miner::{BfsMiner, DfsMiner, LocalMiner, MinerStats, NaiveMiner, PsmMiner};
 use crate::params::GsmParams;
 use crate::pattern::{Pattern, PatternSet};
 use crate::rewrite::{RewriteLevel, Rewriter};
-use crate::sequence::{Partition, SequenceDatabase};
+use crate::sequence::{Partition, SequenceDatabase, ShardedCorpus};
 use crate::vocabulary::Vocabulary;
 
-use super::flist_job::compute_flist_distributed;
+use super::flist_job::{compute_flist_distributed, compute_flist_sharded};
 
 /// Which local miner runs in the reduce phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -163,23 +164,89 @@ impl Lash {
         let ctx = MiningContext::from_flist(db, vocab_eff, flist, params.sigma);
         let (rank_patterns, mine_metrics, miner_stats, num_partitions) =
             run_partition_and_mine(&ctx, params, &self.config)?;
-        let mut patterns: Vec<Pattern> = rank_patterns
-            .iter()
-            .map(|(ranks, frequency)| Pattern {
-                items: ctx.decode(ranks),
-                frequency,
-            })
-            .collect();
-        patterns.sort_by(|a, b| b.frequency.cmp(&a.frequency).then(a.items.cmp(&b.items)));
-        Ok(LashResult {
-            patterns,
+        Ok(assemble_result(
+            ctx,
             rank_patterns,
-            context: ctx,
             preprocess_metrics,
             mine_metrics,
             miner_stats,
             num_partitions,
+        ))
+    }
+
+    /// Runs the full pipeline over any [`ShardedCorpus`] — an in-memory
+    /// database or an on-disk corpus opened by `lash-store`.
+    ///
+    /// Both jobs run at shard granularity: each map task streams one shard,
+    /// so a multi-shard corpus is scanned by parallel map tasks and is never
+    /// materialized in memory as a whole. Sequences are ranked on the fly.
+    ///
+    /// `flist` may carry a precomputed generalized f-list (e.g. assembled
+    /// from the corpus's block headers without decoding any payload); when
+    /// `None` — or when the hierarchy is ignored, which invalidates any
+    /// hierarchy-closed precomputation — the sharded f-list job runs first.
+    pub fn mine_sharded<C: ShardedCorpus>(
+        &self,
+        corpus: &C,
+        vocab: &Vocabulary,
+        params: &GsmParams,
+        flist: Option<FList>,
+    ) -> Result<LashResult> {
+        let stripped;
+        let vocab_eff: &Vocabulary = if self.config.ignore_hierarchy {
+            stripped = vocab.without_hierarchy();
+            &stripped
+        } else {
+            vocab
+        };
+        let precomputed = if self.config.ignore_hierarchy {
+            None
+        } else {
+            flist
+        };
+        let (flist, preprocess_metrics) = match precomputed {
+            Some(f) => (f, JobMetrics::default()),
+            None => compute_flist_sharded(corpus, vocab_eff, &self.config.cluster)?,
+        };
+        let ctx = MiningContext::from_flist_only(vocab_eff, flist, params.sigma);
+        let (rank_patterns, mine_metrics, miner_stats, num_partitions) =
+            run_partition_and_mine_sharded(corpus, &ctx, params, &self.config)?;
+        Ok(assemble_result(
+            ctx,
+            rank_patterns,
+            preprocess_metrics,
+            mine_metrics,
+            miner_stats,
+            num_partitions,
+        ))
+    }
+}
+
+/// Decodes rank-space patterns and packages a [`LashResult`].
+fn assemble_result(
+    ctx: MiningContext,
+    rank_patterns: PatternSet,
+    preprocess_metrics: JobMetrics,
+    mine_metrics: JobMetrics,
+    miner_stats: MinerStats,
+    num_partitions: u64,
+) -> LashResult {
+    let mut patterns: Vec<Pattern> = rank_patterns
+        .iter()
+        .map(|(ranks, frequency)| Pattern {
+            items: ctx.decode(ranks),
+            frequency,
         })
+        .collect();
+    patterns.sort_by(|a, b| b.frequency.cmp(&a.frequency).then(a.items.cmp(&b.items)));
+    LashResult {
+        patterns,
+        rank_patterns,
+        context: ctx,
+        preprocess_metrics,
+        mine_metrics,
+        miner_stats,
+        num_partitions,
     }
 }
 
@@ -221,6 +288,27 @@ impl LashResult {
     }
 }
 
+/// The shared map-side kernel of Alg. 1: routes one ranked sequence to the
+/// partition of every frequent pivot in `G1(T)`, shipping its rewrite.
+fn map_ranked_sequence(
+    seq: &[u32],
+    ctx: &MiningContext,
+    rewriter: &Rewriter<'_>,
+    g1: &mut Vec<u32>,
+    emit: &mut Emitter<'_, u32, (Vec<u32>, u64)>,
+) {
+    g1_ranks(seq, ctx.space(), g1);
+    for &w in g1.iter() {
+        if !ctx.space().is_frequent(w) {
+            // g1 is sorted ascending; everything after is infrequent too.
+            break;
+        }
+        if let Some(rewritten) = rewriter.rewrite(seq, w) {
+            emit.emit(w, (rewritten, 1));
+        }
+    }
+}
+
 /// The partition-and-mine MapReduce job (Alg. 1).
 struct LashJob<'a> {
     ctx: &'a MiningContext,
@@ -241,16 +329,7 @@ impl Job for LashJob<'_> {
         let seq = self.ctx.ranked_seq(idx as usize);
         let rewriter = Rewriter::with_level(self.ctx.space(), &self.params, self.rewrite_level);
         let mut g1 = Vec::new();
-        g1_ranks(seq, self.ctx.space(), &mut g1);
-        for &w in &g1 {
-            if !self.ctx.space().is_frequent(w) {
-                // g1 is sorted ascending; everything after is infrequent too.
-                break;
-            }
-            if let Some(rewritten) = rewriter.rewrite(seq, w) {
-                emit.emit(w, (rewritten, 1));
-            }
-        }
+        map_ranked_sequence(seq, self.ctx, &rewriter, &mut g1, emit);
     }
 
     fn combine(&self, _key: &u32, values: Vec<(Vec<u32>, u64)>) -> Vec<(Vec<u32>, u64)> {
@@ -321,6 +400,123 @@ pub(crate) fn run_partition_and_mine(
     ))
 }
 
+/// The partition-and-mine job at shard granularity: each map task streams
+/// one shard of a [`ShardedCorpus`], ranking sequences on the fly. The
+/// combiner, reducer, and wire format are identical to [`LashJob`].
+struct ShardedLashJob<'a, C> {
+    corpus: &'a C,
+    ctx: &'a MiningContext,
+    params: GsmParams,
+    rewrite_level: RewriteLevel,
+    aggregate: bool,
+    miner: Box<dyn LocalMiner>,
+    stats: Mutex<(MinerStats, u64)>,
+    scan_error: Mutex<Option<Error>>,
+}
+
+impl<C: ShardedCorpus> Job for ShardedLashJob<'_, C> {
+    type Input = u32;
+    type Key = u32;
+    type Value = (Vec<u32>, u64);
+    type Output = (Vec<u32>, u64);
+
+    fn map(&self, &shard: &u32, emit: &mut Emitter<'_, u32, (Vec<u32>, u64)>) {
+        let rewriter = Rewriter::with_level(self.ctx.space(), &self.params, self.rewrite_level);
+        let mut ranked = Vec::new();
+        let mut g1 = Vec::new();
+        let result = self.corpus.scan_shard(shard as usize, &mut |_, seq| {
+            ranked.clear();
+            ranked.extend(seq.iter().map(|&it| self.ctx.order().rank(it)));
+            map_ranked_sequence(&ranked, self.ctx, &rewriter, &mut g1, emit);
+        });
+        if let Err(e) = result {
+            self.scan_error
+                .lock()
+                .expect("scan error lock")
+                .get_or_insert(e);
+        }
+    }
+
+    fn combine(&self, _key: &u32, values: Vec<(Vec<u32>, u64)>) -> Vec<(Vec<u32>, u64)> {
+        if !self.aggregate {
+            return values;
+        }
+        let mut agg: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+        for (seq, w) in values {
+            *agg.entry(seq).or_insert(0) += w;
+        }
+        let mut out: Vec<(Vec<u32>, u64)> = agg.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn reduce(&self, pivot: u32, values: Vec<(Vec<u32>, u64)>, out: &mut Vec<(Vec<u32>, u64)>) {
+        let partition = Partition::aggregate(values);
+        let (patterns, stats) = self
+            .miner
+            .mine(&partition, pivot, self.ctx.space(), &self.params);
+        {
+            let mut guard = self.stats.lock().expect("stats lock");
+            guard.0.absorb(stats);
+            guard.1 += 1;
+        }
+        for (pattern, frequency) in patterns {
+            out.push((pattern, frequency));
+        }
+    }
+
+    fn encode_key(&self, key: &u32, buf: &mut Vec<u8>) {
+        super::encode_u32_key(*key, buf);
+    }
+    fn decode_key(&self, bytes: &[u8]) -> u32 {
+        super::decode_u32_key(bytes)
+    }
+    fn encode_value(&self, value: &(Vec<u32>, u64), buf: &mut Vec<u8>) {
+        super::encode_weighted_seq(&value.0, value.1, buf);
+    }
+    fn decode_value(&self, bytes: &[u8]) -> (Vec<u32>, u64) {
+        super::decode_weighted_seq(bytes)
+    }
+}
+
+/// Runs the partition-and-mine job over a sharded corpus, one map task per
+/// shard.
+fn run_partition_and_mine_sharded<C: ShardedCorpus>(
+    corpus: &C,
+    ctx: &MiningContext,
+    params: &GsmParams,
+    config: &LashConfig,
+) -> Result<(PatternSet, JobMetrics, MinerStats, u64)> {
+    let job = ShardedLashJob {
+        corpus,
+        ctx,
+        params: *params,
+        rewrite_level: config.rewrite_level,
+        aggregate: config.aggregate,
+        miner: config.miner.instantiate(),
+        stats: Mutex::new((MinerStats::default(), 0)),
+        scan_error: Mutex::new(None),
+    };
+    let inputs: Vec<u32> = (0..corpus.num_shards() as u32).collect();
+    // One shard per map task (see compute_flist_sharded for rationale).
+    let cluster = {
+        let mut c = config.cluster.clone();
+        c.split_size = 1;
+        c
+    };
+    let result = run_job(&job, &inputs, &cluster).map_err(|e| Error::Engine(e.to_string()))?;
+    if let Some(e) = job.scan_error.into_inner().expect("scan error lock") {
+        return Err(e);
+    }
+    let (miner_stats, partitions) = *job.stats.lock().expect("stats lock");
+    Ok((
+        PatternSet::from_pairs(result.outputs),
+        result.metrics,
+        miner_stats,
+        partitions,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,11 +563,7 @@ mod tests {
         let freqs: Vec<u64> = result.patterns().iter().map(|p| p.frequency).collect();
         assert!(freqs.windows(2).all(|w| w[0] >= w[1]));
         // Decoding round-trips through names.
-        let ab = result
-            .patterns()
-            .iter()
-            .find(|p| p.frequency == 3)
-            .unwrap();
+        let ab = result.patterns().iter().find(|p| p.frequency == 3).unwrap();
         assert_eq!(ab.to_names(&vocab), ["a", "B"]);
     }
 
@@ -486,7 +678,10 @@ mod tests {
         assert_eq!(result.pattern_set(), &paper_output());
         // Failures occurred in both jobs' phases... at least in the mine job.
         let c = &result.mine_metrics.counters;
-        assert_eq!(c.failed_map_tasks + result.preprocess_metrics.counters.failed_map_tasks, 2);
+        assert_eq!(
+            c.failed_map_tasks + result.preprocess_metrics.counters.failed_map_tasks,
+            2
+        );
     }
 
     #[test]
@@ -516,12 +711,19 @@ mod tests {
                 .mine(&db, &vocab, &params)
                 .unwrap();
             let ctx = crate::context::MiningContext::build(&db, &vocab, sigma);
-            let (naive, _) =
-                super::super::naive_job::run_naive(&ctx, &params, &cluster).unwrap();
+            let (naive, _) = super::super::naive_job::run_naive(&ctx, &params, &cluster).unwrap();
             let (semi, _) =
                 super::super::semi_naive_job::run_semi_naive(&ctx, &params, &cluster).unwrap();
-            assert_eq!(lash.pattern_set(), &naive, "naive σ={sigma} γ={gamma} λ={lambda}");
-            assert_eq!(lash.pattern_set(), &semi, "semi σ={sigma} γ={gamma} λ={lambda}");
+            assert_eq!(
+                lash.pattern_set(),
+                &naive,
+                "naive σ={sigma} γ={gamma} λ={lambda}"
+            );
+            assert_eq!(
+                lash.pattern_set(),
+                &semi,
+                "semi σ={sigma} γ={gamma} λ={lambda}"
+            );
         }
     }
 
@@ -532,6 +734,45 @@ mod tests {
         let result = Lash::default().mine(&db, &vocab, &params).unwrap();
         assert!(result.pattern_set().is_empty());
         assert_eq!(result.num_partitions, 0);
+    }
+
+    #[test]
+    fn sharded_pipeline_matches_sequence_granularity() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        let want = paper_output();
+        let result = Lash::default()
+            .mine_sharded(&db, &vocab, &params, None)
+            .unwrap();
+        assert_eq!(
+            result.pattern_set(),
+            &want,
+            "diff: {:?}",
+            result.pattern_set().diff(&want)
+        );
+        assert_eq!(result.num_partitions, 5);
+        // A precomputed f-list short-circuits preprocessing entirely.
+        let flist = crate::flist::FList::compute(&db, &vocab);
+        let result = Lash::default()
+            .mine_sharded(&db, &vocab, &params, Some(flist))
+            .unwrap();
+        assert_eq!(result.pattern_set(), &want);
+        assert_eq!(result.preprocess_metrics.counters.map_input_records, 0);
+    }
+
+    #[test]
+    fn sharded_pipeline_ignores_stale_flist_without_hierarchy() {
+        let (vocab, db) = fig1();
+        let params = GsmParams::new(2, 1, 3).unwrap();
+        // A hierarchy-closed f-list must not leak into flat mining.
+        let closed = crate::flist::FList::compute(&db, &vocab);
+        let flat = Lash::new(LashConfig::default().with_hierarchy(false))
+            .mine_sharded(&db, &vocab, &params, Some(closed))
+            .unwrap();
+        let want = Lash::new(LashConfig::default().with_hierarchy(false))
+            .mine(&db, &vocab, &params)
+            .unwrap();
+        assert_eq!(flat.pattern_set(), want.pattern_set());
     }
 
     #[test]

@@ -86,7 +86,9 @@ mod tests {
         let (vocab, db) = fig1();
         let params = GsmParams::new(2, 1, 3).unwrap();
         let cluster = ClusterConfig::default().with_split_size(2);
-        let a = MgFsm::new(cluster.clone()).mine(&db, &vocab, &params).unwrap();
+        let a = MgFsm::new(cluster.clone())
+            .mine(&db, &vocab, &params)
+            .unwrap();
         let b = lash_flat(cluster).mine(&db, &vocab, &params).unwrap();
         assert_eq!(a.pattern_set(), b.pattern_set());
     }
@@ -98,8 +100,12 @@ mod tests {
         let (vocab, db) = fig1();
         let params = GsmParams::new(2, 1, 3).unwrap();
         let cluster = ClusterConfig::default().with_split_size(2);
-        let flat = MgFsm::new(cluster.clone()).mine(&db, &vocab, &params).unwrap();
-        let gsm = Lash::new(LashConfig::new(cluster)).mine(&db, &vocab, &params).unwrap();
+        let flat = MgFsm::new(cluster.clone())
+            .mine(&db, &vocab, &params)
+            .unwrap();
+        let gsm = Lash::new(LashConfig::new(cluster))
+            .mine(&db, &vocab, &params)
+            .unwrap();
         let ctx = fig2_context();
         let want = named_patterns(&ctx, &[("a a", 2), ("a c", 2)]);
         // Compare in name space because the two runs use different rank maps.

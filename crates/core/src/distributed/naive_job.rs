@@ -84,8 +84,12 @@ mod tests {
         // pairs below.
         let ctx = fig2_context();
         let params = GsmParams::new(2, 1, 3).unwrap();
-        let (got, metrics) =
-            run_naive(&ctx.ctx, &params, &ClusterConfig::default().with_split_size(2)).unwrap();
+        let (got, metrics) = run_naive(
+            &ctx.ctx,
+            &params,
+            &ClusterConfig::default().with_split_size(2),
+        )
+        .unwrap();
         let want = named_patterns(
             &ctx,
             &[

@@ -104,11 +104,8 @@ mod tests {
         for (sigma, gamma, lambda) in [(2, 1, 3), (2, 0, 3), (3, 1, 2), (1, 2, 4)] {
             let params = GsmParams::new(sigma, gamma, lambda).unwrap();
             // The context (and thus the f-list cutoff) depends on σ.
-            let mc = crate::context::MiningContext::build(
-                &crate::testutil::fig1().1,
-                &ctx.vocab,
-                sigma,
-            );
+            let mc =
+                crate::context::MiningContext::build(&crate::testutil::fig1().1, &ctx.vocab, sigma);
             let (naive, _) = run_naive(&mc, &params, &cluster).unwrap();
             let (semi, _) = run_semi_naive(&mc, &params, &cluster).unwrap();
             assert_eq!(
@@ -133,10 +130,7 @@ mod tests {
             .map(|&t| space.closest_frequent(t).unwrap_or(BLANK))
             .collect();
         let semi = enumerate_gl(&rewritten, space, 1, 3);
-        let expected = crate::testutil::named_set(
-            &ctx,
-            &["a a", "b1 a", "b1 a a", "B a", "B a a"],
-        );
+        let expected = crate::testutil::named_set(&ctx, &["a a", "b1 a", "b1 a a", "B a", "B a a"]);
         assert_eq!(semi, expected);
         assert_eq!(naive_count, 19);
         assert!(semi.len() * 3 < naive_count, "reduction factor > 3");

@@ -33,10 +33,16 @@ impl std::fmt::Display for Error {
         match self {
             Error::UnknownItem(id) => write!(f, "unknown item id {id}"),
             Error::DuplicateParent { child } => {
-                write!(f, "item {child} already has a parent; hierarchy must be a forest")
+                write!(
+                    f,
+                    "item {child} already has a parent; hierarchy must be a forest"
+                )
             }
             Error::HierarchyCycle { item } => {
-                write!(f, "assigning this parent would create a cycle at item {item}")
+                write!(
+                    f,
+                    "assigning this parent would create a cycle at item {item}"
+                )
             }
             Error::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             Error::Decode(e) => write!(f, "decode error: {e}"),
@@ -67,8 +73,12 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(Error::UnknownItem(7).to_string().contains('7'));
-        assert!(Error::DuplicateParent { child: 3 }.to_string().contains("forest"));
-        assert!(Error::HierarchyCycle { item: 2 }.to_string().contains("cycle"));
+        assert!(Error::DuplicateParent { child: 3 }
+            .to_string()
+            .contains("forest"));
+        assert!(Error::HierarchyCycle { item: 2 }
+            .to_string()
+            .contains("cycle"));
         assert!(Error::InvalidParams("λ").to_string().contains("invalid"));
     }
 

@@ -43,7 +43,10 @@ impl FList {
 
     /// Builds an f-list from precomputed frequencies (e.g. the distributed
     /// f-list job). Items absent from `pairs` get frequency 0.
-    pub fn from_counts(vocab: &Vocabulary, pairs: impl IntoIterator<Item = (ItemId, u64)>) -> Result<FList> {
+    pub fn from_counts(
+        vocab: &Vocabulary,
+        pairs: impl IntoIterator<Item = (ItemId, u64)>,
+    ) -> Result<FList> {
         let mut doc_freq = vec![0u64; vocab.len()];
         for (item, f) in pairs {
             if item.index() >= doc_freq.len() {

@@ -186,7 +186,10 @@ impl ItemSpace {
     /// semi-naive baseline), or `None` if no ancestor is frequent.
     #[inline]
     pub fn closest_frequent(&self, rank: u32) -> Option<u32> {
-        self.chain(rank).iter().copied().find(|&a| self.is_frequent(a))
+        self.chain(rank)
+            .iter()
+            .copied()
+            .find(|&a| self.is_frequent(a))
     }
 
     /// The most specific ancestor-or-self of `rank` that is *w-relevant* for

@@ -43,26 +43,69 @@ pub fn read_hierarchy(reader: impl BufRead, builder: &mut VocabularyBuilder) -> 
     Ok(edges)
 }
 
-/// Reads a sequence file (one whitespace-separated sequence per line),
-/// interning items into `builder`. Empty lines become empty sequences only
-/// when `keep_empty` is set; comment lines (`#`) are always skipped.
-pub fn read_sequences(
+/// A streaming consumer of interned sequences.
+///
+/// [`read_sequences_into`] feeds parsed sequences to a sink one at a time,
+/// so a text corpus can be converted to another representation — an
+/// in-memory [`SequenceDatabase`], or an on-disk corpus via `lash-store`'s
+/// `CorpusWriter` — without materializing every sequence first.
+pub trait SequenceSink {
+    /// Accepts the next sequence. The slice is only valid for this call.
+    fn accept(&mut self, seq: &[crate::vocabulary::ItemId]) -> Result<()>;
+}
+
+impl SequenceSink for SequenceDatabase {
+    fn accept(&mut self, seq: &[crate::vocabulary::ItemId]) -> Result<()> {
+        self.push(seq);
+        Ok(())
+    }
+}
+
+impl SequenceSink for Vec<Vec<crate::vocabulary::ItemId>> {
+    fn accept(&mut self, seq: &[crate::vocabulary::ItemId]) -> Result<()> {
+        self.push(seq.to_vec());
+        Ok(())
+    }
+}
+
+/// Streams a sequence file (one whitespace-separated sequence per line) into
+/// `sink`, interning items into `builder`. Returns the number of sequences
+/// accepted. Empty lines become empty sequences only when `keep_empty` is
+/// set; comment lines (`#`) are always skipped.
+pub fn read_sequences_into(
     reader: impl BufRead,
     builder: &mut VocabularyBuilder,
     keep_empty: bool,
-) -> Result<Vec<Vec<crate::vocabulary::ItemId>>> {
-    let mut sequences = Vec::new();
+    sink: &mut impl SequenceSink,
+) -> Result<usize> {
+    let mut count = 0usize;
+    let mut items = Vec::new();
     for line in reader.lines() {
         let line = line.map_err(|e| Error::Engine(format!("sequence read: {e}")))?;
         let trimmed = line.trim();
         if trimmed.starts_with('#') {
             continue;
         }
-        let items: Vec<_> = trimmed.split_whitespace().map(|t| builder.intern(t)).collect();
+        items.clear();
+        items.extend(trimmed.split_whitespace().map(|t| builder.intern(t)));
         if !items.is_empty() || keep_empty {
-            sequences.push(items);
+            sink.accept(&items)?;
+            count += 1;
         }
     }
+    Ok(count)
+}
+
+/// Reads a sequence file into memory, interning items into `builder`. Empty
+/// lines become empty sequences only when `keep_empty` is set; comment lines
+/// (`#`) are always skipped.
+pub fn read_sequences(
+    reader: impl BufRead,
+    builder: &mut VocabularyBuilder,
+    keep_empty: bool,
+) -> Result<Vec<Vec<crate::vocabulary::ItemId>>> {
+    let mut sequences = Vec::new();
+    read_sequences_into(reader, builder, keep_empty, &mut sequences)?;
     Ok(sequences)
 }
 
@@ -196,6 +239,21 @@ b13 f d2
         assert_eq!(seqs.len(), 2);
         assert_eq!(seqs[0].len(), 3);
         assert_eq!(seqs[1].len(), 1);
+    }
+
+    #[test]
+    fn sink_streaming_matches_collected_reading() {
+        let text = "a b c\nd\n# comment\nb a\n";
+        let mut vb = VocabularyBuilder::new();
+        let collected = read_sequences(text.as_bytes(), &mut vb, false).unwrap();
+        let mut vb = VocabularyBuilder::new();
+        let mut db = SequenceDatabase::new();
+        let n = read_sequences_into(text.as_bytes(), &mut vb, false, &mut db).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(db.len(), collected.len());
+        for (i, seq) in collected.iter().enumerate() {
+            assert_eq!(db.get(i), &seq[..]);
+        }
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub use crate::flist::{FList, ItemOrder};
 pub use crate::hierarchy::ItemSpace;
 pub use crate::params::GsmParams;
 pub use crate::pattern::{Pattern, PatternSet};
-pub use crate::sequence::SequenceDatabase;
+pub use crate::sequence::{SequenceDatabase, ShardedCorpus};
 pub use crate::vocabulary::{ItemId, Vocabulary, VocabularyBuilder};
 
 /// The blank placeholder symbol "␣" (paper Sec. 3.3 / 4.2).

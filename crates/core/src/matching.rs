@@ -134,9 +134,7 @@ mod tests {
         // b12 a ⊄ T5, ad1c ⊄0 T5.
         let ctx = fig2_context();
         let t5 = ctx.ranked_seq(4);
-        let m = |names: &[&str], gamma: usize| {
-            matches(&ranks(&ctx, names), t5, ctx.space(), gamma)
-        };
+        let m = |names: &[&str], gamma: usize| matches(&ranks(&ctx, names), t5, ctx.space(), gamma);
         assert!(m(&["a"], 0));
         assert!(m(&["a", "b12"], 0));
         assert!(m(&["a", "d1", "c"], 1));
@@ -194,7 +192,10 @@ mod tests {
         // a@0-b1@1, a@2-b1@3 (gap 0), a@0..b1@? gap1: a@0,b1@1; a@2,b1@3; also a@0→b1@? position 1 only within gap 1 → (0,1); a@2→(2,3).
         assert_eq!(
             embs,
-            vec![Embedding { start: 0, end: 1 }, Embedding { start: 2, end: 3 }]
+            vec![
+                Embedding { start: 0, end: 1 },
+                Embedding { start: 2, end: 3 }
+            ]
         );
         // With the generalized pattern aB, the same windows match.
         let b_cap = ranks(&ctx, &["B"])[0];

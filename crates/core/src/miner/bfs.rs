@@ -228,10 +228,7 @@ mod tests {
         let b_cap = ctx.rank("B");
         let params = GsmParams::new(1, 0, 3).unwrap();
         let partition = Partition {
-            sequences: vec![crate::sequence::WeightedSequence::new(
-                vec![a, c, b1, a],
-                1,
-            )],
+            sequences: vec![crate::sequence::WeightedSequence::new(vec![a, c, b1, a], 1)],
         };
         let (got, _) = BfsMiner.mine(&partition, c, space, &params);
         assert!(got.contains(&[a, c, b1]));

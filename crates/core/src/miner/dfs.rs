@@ -167,9 +167,8 @@ mod tests {
         for gamma in 0..2 {
             for lambda in 2..4 {
                 let params = GsmParams::new(2, gamma, lambda).unwrap();
-                let partition = Partition::aggregate(
-                    (0..6).map(|i| (ctx.ranked_seq(i).to_vec(), 1)),
-                );
+                let partition =
+                    Partition::aggregate((0..6).map(|i| (ctx.ranked_seq(i).to_vec(), 1)));
                 for pivot in 0..space.num_frequent() {
                     let (naive, _) = NaiveMiner.mine(&partition, pivot, space, &params);
                     let (dfs, _) = DfsMiner.mine(&partition, pivot, space, &params);

@@ -246,8 +246,17 @@ mod tests {
         let proj = Projection::for_item(&p, space, a);
         let mut counts = FxHashMap::default();
         // γ=0: only position 1 (b12) is reachable → candidates b12, b1, B.
-        let evaluated =
-            count_extensions(&proj, &p, space, 0, Dir::Right, u32::MAX - 1, None, None, &mut counts);
+        let evaluated = count_extensions(
+            &proj,
+            &p,
+            space,
+            0,
+            Dir::Right,
+            u32::MAX - 1,
+            None,
+            None,
+            &mut counts,
+        );
         assert_eq!(evaluated, 3);
         assert_eq!(counts.get(&b12), Some(&1));
         assert_eq!(counts.get(&b1), Some(&1));
@@ -258,7 +267,17 @@ mod tests {
         assert!(counts.contains_key(&b1));
         assert!(counts.contains_key(&b_cap));
         // Excluding b1 removes exactly it.
-        count_extensions(&proj, &p, space, 0, Dir::Right, b1, Some(b1), None, &mut counts);
+        count_extensions(
+            &proj,
+            &p,
+            space,
+            0,
+            Dir::Right,
+            b1,
+            Some(b1),
+            None,
+            &mut counts,
+        );
         assert!(!counts.contains_key(&b1));
         assert!(counts.contains_key(&b_cap));
     }
@@ -274,10 +293,30 @@ mod tests {
         let proj = Projection::for_item(&p, space, c);
         let mut counts = FxHashMap::default();
         // γ=0 window covers only the blank → nothing.
-        count_extensions(&proj, &p, space, 0, Dir::Left, u32::MAX - 1, None, None, &mut counts);
+        count_extensions(
+            &proj,
+            &p,
+            space,
+            0,
+            Dir::Left,
+            u32::MAX - 1,
+            None,
+            None,
+            &mut counts,
+        );
         assert!(counts.is_empty());
         // γ=1 reaches `a`.
-        count_extensions(&proj, &p, space, 1, Dir::Left, u32::MAX - 1, None, None, &mut counts);
+        count_extensions(
+            &proj,
+            &p,
+            space,
+            1,
+            Dir::Left,
+            u32::MAX - 1,
+            None,
+            None,
+            &mut counts,
+        );
         assert_eq!(counts.get(&a), Some(&1));
     }
 
@@ -324,7 +363,17 @@ mod tests {
         let p = part(&[(&[a, a, a], 7)]);
         let proj = Projection::for_item(&p, space, a);
         let mut counts = FxHashMap::default();
-        count_extensions(&proj, &p, space, 2, Dir::Right, u32::MAX - 1, None, None, &mut counts);
+        count_extensions(
+            &proj,
+            &p,
+            space,
+            2,
+            Dir::Right,
+            u32::MAX - 1,
+            None,
+            None,
+            &mut counts,
+        );
         assert_eq!(counts.get(&a), Some(&7));
     }
 }

@@ -141,7 +141,13 @@ impl Run<'_> {
             );
             pattern.push(w);
             self.out.insert(pattern.clone(), freq);
-            self.expand_right(pattern, &next, depth + 1, parent_index, record.as_deref_mut());
+            self.expand_right(
+                pattern,
+                &next,
+                depth + 1,
+                parent_index,
+                record.as_deref_mut(),
+            );
             pattern.pop();
         }
     }
@@ -281,7 +287,7 @@ mod tests {
         let (got, _) = PsmMiner::plain().mine(&partition, d, space, &params);
         // caD via LE(c after a) chains; DD via left expansion with the pivot.
         assert_eq!(got.get(&[c, a, d]), Some(2));
-        assert_eq!(got.get(&[a, d], ), Some(3));
+        assert_eq!(got.get(&[a, d],), Some(3));
         assert_eq!(got.get(&[d, d]), Some(2));
         assert_eq!(got.get(&[a, d, d]), Some(2));
         // And it agrees with ground truth entirely.
@@ -312,7 +318,10 @@ mod tests {
             idx_total += s3.candidates;
         }
         assert!(psm_total < dfs_total, "PSM {psm_total} vs DFS {dfs_total}");
-        assert!(idx_total <= psm_total, "index {idx_total} vs plain {psm_total}");
+        assert!(
+            idx_total <= psm_total,
+            "index {idx_total} vs plain {psm_total}"
+        );
     }
 
     #[test]

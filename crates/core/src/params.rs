@@ -27,7 +27,11 @@ impl GsmParams {
         if lambda < 2 {
             return Err(Error::InvalidParams("λ must be at least 2"));
         }
-        Ok(GsmParams { sigma, gamma, lambda })
+        Ok(GsmParams {
+            sigma,
+            gamma,
+            lambda,
+        })
     }
 
     /// Convenience constructor for n-gram mining (γ = 0).

@@ -20,7 +20,10 @@ pub struct Pattern {
 impl Pattern {
     /// Renders the pattern as item names.
     pub fn to_names(&self, vocab: &Vocabulary) -> Vec<String> {
-        self.items.iter().map(|&i| vocab.name(i).to_owned()).collect()
+        self.items
+            .iter()
+            .map(|&i| vocab.name(i).to_owned())
+            .collect()
     }
 
     /// Renders the pattern as a single space-separated string.

@@ -277,7 +277,8 @@ mod tests {
                             None => Default::default(),
                         };
                         assert_eq!(
-                            original, rewritten,
+                            original,
+                            rewritten,
                             "T{} pivot {pivot} γ={gamma} λ={lambda}",
                             idx + 1
                         );

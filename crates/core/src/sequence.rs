@@ -91,7 +91,10 @@ impl SequenceDatabase {
 
     /// Maximum sequence length.
     pub fn max_len(&self) -> usize {
-        (0..self.len()).map(|i| self.get(i).len()).max().unwrap_or(0)
+        (0..self.len())
+            .map(|i| self.get(i).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of distinct items that occur in the database.
@@ -112,6 +115,53 @@ impl SequenceDatabase {
             db.push(self.get(i));
         }
         db
+    }
+}
+
+/// A corpus whose sequences are grouped into independently scannable shards.
+///
+/// This is the abstraction that lets the distributed jobs accept *either* an
+/// in-memory [`SequenceDatabase`] (one shard) *or* an on-disk corpus opened
+/// by `lash-store` (one shard per segment file) as their input: map tasks
+/// take a shard index and stream that shard's sequences, so a multi-shard
+/// corpus is scanned by several map tasks in parallel without ever being
+/// materialized in memory as a whole.
+pub trait ShardedCorpus: Sync {
+    /// Number of shards. Map parallelism over the corpus is bounded by this.
+    fn num_shards(&self) -> usize;
+
+    /// Total number of sequences across all shards.
+    fn num_sequences(&self) -> u64;
+
+    /// Scans one shard in storage order, invoking `f` with each sequence's
+    /// corpus-wide id and items. The slice is only valid for the duration of
+    /// the call.
+    fn scan_shard(
+        &self,
+        shard: usize,
+        f: &mut dyn FnMut(u64, &[ItemId]),
+    ) -> crate::error::Result<()>;
+}
+
+impl ShardedCorpus for SequenceDatabase {
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    fn num_sequences(&self) -> u64 {
+        self.len() as u64
+    }
+
+    fn scan_shard(
+        &self,
+        shard: usize,
+        f: &mut dyn FnMut(u64, &[ItemId]),
+    ) -> crate::error::Result<()> {
+        debug_assert_eq!(shard, 0, "SequenceDatabase is a single shard");
+        for (i, seq) in self.iter().enumerate() {
+            f(i as u64, seq);
+        }
+        Ok(())
     }
 }
 
@@ -248,11 +298,7 @@ mod tests {
 
     #[test]
     fn partition_aggregation_merges_duplicates() {
-        let p = Partition::aggregate(vec![
-            (vec![1, 2], 1),
-            (vec![1, 2], 1),
-            (vec![3], 2),
-        ]);
+        let p = Partition::aggregate(vec![(vec![1, 2], 1), (vec![1, 2], 1), (vec![3], 2)]);
         assert_eq!(p.len(), 2);
         assert_eq!(p.total_weight(), 4);
         let ab = p.sequences.iter().find(|s| s.items == [1, 2]).unwrap();

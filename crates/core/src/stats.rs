@@ -208,11 +208,7 @@ pub fn closed_maximal_counts_naive(patterns: &PatternSet, space: &ItemSpace) -> 
 /// rank patterns with its own order first). A GSM pattern `S` is trivial iff
 /// some flat pattern `F` of the same length satisfies `F[i] →* S[i]` for all
 /// positions.
-pub fn non_trivial_count(
-    gsm: &[Vec<ItemId>],
-    flat: &[Vec<ItemId>],
-    vocab: &Vocabulary,
-) -> usize {
+pub fn non_trivial_count(gsm: &[Vec<ItemId>], flat: &[Vec<ItemId>], vocab: &Vocabulary) -> usize {
     let mut by_len: crate::fxhash::FxHashMap<usize, Vec<&Vec<ItemId>>> = Default::default();
     for f in flat {
         by_len.entry(f.len()).or_default().push(f);
@@ -333,10 +329,10 @@ mod tests {
         // Flat mining output on Fig. 1 (σ=2, γ=1, λ=3) is {aa, ac}.
         let flat = vec![to_items(&["a", "a"]), to_items(&["a", "c"])];
         let gsm = vec![
-            to_items(&["a", "a"]),   // trivial: equals flat aa
-            to_items(&["a", "c"]),   // trivial
-            to_items(&["a", "B"]),   // non-trivial (no flat ab* pattern)
-            to_items(&["b1", "D"]),  // non-trivial
+            to_items(&["a", "a"]),      // trivial: equals flat aa
+            to_items(&["a", "c"]),      // trivial
+            to_items(&["a", "B"]),      // non-trivial (no flat ab* pattern)
+            to_items(&["b1", "D"]),     // non-trivial
             to_items(&["a", "B", "c"]), // non-trivial (length 3, no flat)
         ];
         assert_eq!(non_trivial_count(&gsm, &flat, vocab), 3);
@@ -346,10 +342,7 @@ mod tests {
     fn output_stats_percentages() {
         let ctx = fig2_context();
         let set = named_patterns(&ctx, &[("a a", 2), ("a B", 3)]);
-        let gsm: Vec<Vec<ItemId>> = set
-            .iter()
-            .map(|(ranks, _)| ctx.ctx.decode(ranks))
-            .collect();
+        let gsm: Vec<Vec<ItemId>> = set.iter().map(|(ranks, _)| ctx.ctx.decode(ranks)).collect();
         let flat = vec![gsm[0].clone()];
         let stats = output_stats(&gsm, &set, &flat, ctx.space(), &ctx.vocab);
         assert_eq!(stats.total, 2);
@@ -366,7 +359,9 @@ mod tests {
         use crate::testutil::fig1;
         let (vocab, db) = fig1();
         let params = crate::params::GsmParams::new(2, 1, 3).unwrap();
-        let result = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+        let result = Lash::new(LashConfig::default())
+            .mine(&db, &vocab, &params)
+            .unwrap();
         let space = result.context().space();
         let closed = filter_closed(result.pattern_set(), space);
         let maximal = filter_maximal(result.pattern_set(), space);

@@ -74,7 +74,9 @@ impl Fig2Context {
 
     /// The rank of the named item.
     pub fn rank(&self, name: &str) -> u32 {
-        self.ctx.order().rank(self.vocab.lookup(name).expect("known item"))
+        self.ctx
+            .order()
+            .rank(self.vocab.lookup(name).expect("known item"))
     }
 }
 
@@ -96,7 +98,9 @@ pub fn named_set(ctx: &Fig2Context, patterns: &[&str]) -> FxHashSet<Vec<u32>> {
 pub fn named_patterns(ctx: &Fig2Context, patterns: &[(&str, u64)]) -> crate::pattern::PatternSet {
     crate::pattern::PatternSet::from_pairs(patterns.iter().map(|(p, f)| {
         (
-            p.split_whitespace().map(|n| ctx.rank(n)).collect::<Vec<u32>>(),
+            p.split_whitespace()
+                .map(|n| ctx.rank(n))
+                .collect::<Vec<u32>>(),
             *f,
         )
     }))

@@ -421,7 +421,10 @@ mod tests {
         let y = vb.intern("y");
         let z = vb.intern("z");
         vb.set_parent(z, x).unwrap();
-        assert_eq!(vb.set_parent(z, y), Err(Error::DuplicateParent { child: z.0 }));
+        assert_eq!(
+            vb.set_parent(z, y),
+            Err(Error::DuplicateParent { child: z.0 })
+        );
         // Same parent twice is fine.
         vb.set_parent(z, x).unwrap();
     }
@@ -434,8 +437,14 @@ mod tests {
         let z = vb.intern("z");
         vb.set_parent(y, x).unwrap();
         vb.set_parent(z, y).unwrap();
-        assert_eq!(vb.set_parent(x, z), Err(Error::HierarchyCycle { item: x.0 }));
-        assert_eq!(vb.set_parent(x, x), Err(Error::HierarchyCycle { item: x.0 }));
+        assert_eq!(
+            vb.set_parent(x, z),
+            Err(Error::HierarchyCycle { item: x.0 })
+        );
+        assert_eq!(
+            vb.set_parent(x, x),
+            Err(Error::HierarchyCycle { item: x.0 })
+        );
     }
 
     #[test]

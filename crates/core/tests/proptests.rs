@@ -38,10 +38,7 @@ fn arb_space(max_items: usize) -> impl Strategy<Value = ItemSpace> {
 
 /// A random rank-space sequence that may contain blanks.
 fn arb_seq(n_items: usize) -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(
-        prop_oneof![9 => 0..n_items as u32, 1 => Just(BLANK)],
-        0..10,
-    )
+    prop::collection::vec(prop_oneof![9 => 0..n_items as u32, 1 => Just(BLANK)], 0..10)
 }
 
 /// Brute-force `S ⊑γ T`: try every embedding recursively.

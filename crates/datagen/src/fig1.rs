@@ -55,7 +55,9 @@ mod tests {
     fn mining_the_example_yields_the_paper_output() {
         let (vocab, db) = paper_example();
         let params = GsmParams::new(2, 1, 3).unwrap();
-        let result = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+        let result = Lash::new(LashConfig::default())
+            .mine(&db, &vocab, &params)
+            .unwrap();
         assert_eq!(result.patterns().len(), 10);
         let ab = result.patterns().iter().find(|p| p.frequency == 3).unwrap();
         assert_eq!(ab.to_names(&vocab), ["a", "B"]);

@@ -234,7 +234,11 @@ impl ProductCorpus {
             seq.clear();
             let lo = self.offsets[i] as usize;
             let hi = self.offsets[i + 1] as usize;
-            seq.extend(self.items[lo..hi].iter().map(|&p| product_items[p as usize]));
+            seq.extend(
+                self.items[lo..hi]
+                    .iter()
+                    .map(|&p| product_items[p as usize]),
+            );
             db.push(&seq);
         }
         (vocab, db)

@@ -1,0 +1,293 @@
+//! Length-prefixed, checksummed frames.
+//!
+//! A frame wraps an opaque payload for storage or transport:
+//!
+//! ```text
+//! +----------------+-----------+-------------------+
+//! | varint payload | payload   | FNV-1a-32 of the  |
+//! | length (u32)   | bytes     | payload (4 bytes, |
+//! |                |           | little-endian)    |
+//! +----------------+-----------+-------------------+
+//! ```
+//!
+//! Frames are the unit of corruption detection in the on-disk corpus format
+//! (`lash-store` writes every block header and block payload as one frame):
+//! a truncated file ends with an incomplete frame and is reported as
+//! [`DecodeError::UnexpectedEof`]; a flipped bit fails the checksum and is
+//! reported as [`DecodeError::Corrupt`]. Decoders never panic on garbage.
+
+use std::io::{self, Read, Write};
+
+use crate::varint;
+use crate::DecodeError;
+
+/// Maximum accepted payload length (1 GiB) — guards against reading an
+/// absurd length prefix from corrupt input and attempting the allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// FNV-1a 32-bit checksum of `bytes`.
+#[inline]
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Appends a frame wrapping `payload` to `buf`.
+pub fn encode_frame(payload: &[u8], buf: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN, "frame payload too large");
+    varint::encode_u32(payload.len() as u32, buf);
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&checksum(payload).to_le_bytes());
+}
+
+/// Number of bytes [`encode_frame`] writes for a payload of `len` bytes.
+pub fn encoded_frame_len(len: usize) -> usize {
+    varint::encoded_len_u32(len as u32) + len + 4
+}
+
+/// Decodes one frame from the front of `input`.
+///
+/// Returns the payload slice (borrowed from `input`) and the total number of
+/// bytes consumed. Truncated input yields [`DecodeError::UnexpectedEof`];
+/// a checksum mismatch or over-long length yields [`DecodeError::Corrupt`].
+pub fn decode_frame(input: &[u8]) -> Result<(&[u8], usize), DecodeError> {
+    let (len, header) = varint::decode_u32(input)?;
+    let len = len as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(DecodeError::Corrupt("frame length exceeds maximum"));
+    }
+    let total = header + len + 4;
+    if input.len() < total {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let payload = &input[header..header + len];
+    let stored = u32::from_le_bytes(
+        input[header + len..total]
+            .try_into()
+            .expect("4 checksum bytes sliced above"),
+    );
+    if stored != checksum(payload) {
+        return Err(DecodeError::Corrupt("frame checksum mismatch"));
+    }
+    Ok((payload, total))
+}
+
+/// Writes a frame wrapping `payload` to an [`io::Write`].
+pub fn write_frame(payload: &[u8], writer: &mut impl Write) -> io::Result<()> {
+    let mut prefix = Vec::with_capacity(varint::MAX_LEN_U32);
+    varint::encode_u32(payload.len() as u32, &mut prefix);
+    writer.write_all(&prefix)?;
+    writer.write_all(payload)?;
+    writer.write_all(&checksum(payload).to_le_bytes())
+}
+
+/// Reads only a frame's varint length prefix, for callers that want to seek
+/// past the frame instead of reading it.
+///
+/// Returns `Ok(Some(n))` where `n` is the number of bytes remaining in the
+/// frame after the prefix (payload plus checksum trailer) — the caller skips
+/// the frame by advancing exactly `n` bytes. A stream already at
+/// end-of-stream returns `Ok(None)`; a stream ending inside the prefix or an
+/// over-long length is an error.
+pub fn read_frame_len(reader: &mut impl Read) -> io::Result<Option<u64>> {
+    let mut prefix = [0u8; varint::MAX_LEN_U32];
+    let mut filled = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ))
+            }
+            Ok(_) => {
+                prefix[filled] = byte[0];
+                filled += 1;
+                if byte[0] & 0x80 == 0 {
+                    break;
+                }
+                if filled == varint::MAX_LEN_U32 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "frame length prefix overlong",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let (len, _) = varint::decode_u32(&prefix[..filled])
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame length: {e}")))?;
+    if len as usize > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds maximum",
+        ));
+    }
+    Ok(Some(len as u64 + 4))
+}
+
+/// Outcome of [`read_frame`]: a payload or a clean end-of-stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete, checksum-verified payload.
+    Payload(Vec<u8>),
+    /// The reader was already at end-of-stream (no partial frame).
+    Eof,
+}
+
+/// Reads one frame from an [`io::Read`] into an owned buffer.
+///
+/// A stream that ends exactly on a frame boundary returns
+/// [`FrameRead::Eof`]; a stream that ends *inside* a frame returns
+/// [`DecodeError::UnexpectedEof`] mapped into `io::ErrorKind::UnexpectedEof`.
+/// Corruption is reported as `io::ErrorKind::InvalidData`.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<FrameRead> {
+    // Read the varint length byte-by-byte so we never consume past the frame.
+    let Some(remaining) = read_frame_len(reader)? else {
+        return Ok(FrameRead::Eof);
+    };
+    let len = (remaining - 4) as usize;
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "stream ended inside a frame")
+        } else {
+            e
+        }
+    })?;
+    let mut stored = [0u8; 4];
+    reader.read_exact(&mut stored).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended inside a frame checksum",
+            )
+        } else {
+            e
+        }
+    })?;
+    if u32::from_le_bytes(stored) != checksum(&payload) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    Ok(FrameRead::Payload(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_round_trip() {
+        let mut buf = Vec::new();
+        encode_frame(b"hello", &mut buf);
+        encode_frame(b"", &mut buf);
+        encode_frame(&[0xffu8; 300], &mut buf);
+        assert_eq!(
+            buf.len(),
+            encoded_frame_len(5) + encoded_frame_len(0) + encoded_frame_len(300)
+        );
+        let (p1, n1) = decode_frame(&buf).unwrap();
+        assert_eq!(p1, b"hello");
+        let (p2, n2) = decode_frame(&buf[n1..]).unwrap();
+        assert_eq!(p2, b"");
+        let (p3, n3) = decode_frame(&buf[n1 + n2..]).unwrap();
+        assert_eq!(p3, &[0xffu8; 300]);
+        assert_eq!(n1 + n2 + n3, buf.len());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        encode_frame(b"some payload", &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode_frame(&buf[..cut]),
+                Err(DecodeError::UnexpectedEof),
+                "cut at {cut}"
+            );
+        }
+        assert_eq!(decode_frame(&[]), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bit_flips_fail_the_checksum() {
+        let mut buf = Vec::new();
+        encode_frame(b"sensitive bytes", &mut buf);
+        for i in 1..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[i] ^= 0x01;
+            assert!(
+                decode_frame(&corrupt).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        varint::encode_u32(u32::MAX, &mut buf);
+        assert_eq!(
+            decode_frame(&buf),
+            Err(DecodeError::Corrupt("frame length exceeds maximum"))
+        );
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(b"first", &mut buf).unwrap();
+        write_frame(b"second", &mut buf).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            FrameRead::Payload(b"first".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            FrameRead::Payload(b"second".to_vec())
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), FrameRead::Eof);
+    }
+
+    #[test]
+    fn io_truncation_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(b"payload", &mut buf).unwrap();
+        for cut in 1..buf.len() {
+            let mut cursor = &buf[..cut];
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn io_corruption_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(b"payload", &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let mut cursor = &buf[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // Pinned so the on-disk format cannot silently change.
+        assert_eq!(checksum(b""), 0x811c_9dc5);
+        assert_eq!(checksum(b"lash"), checksum(b"lash"));
+        assert_ne!(checksum(b"lash"), checksum(b"lasi"));
+    }
+}

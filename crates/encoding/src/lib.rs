@@ -11,7 +11,9 @@
 //! * [`rle`] — run-length compression of blank runs inside rewritten sequences,
 //! * [`codec`] — the sequence codec combining the above, used as the wire format
 //!   of the MapReduce shuffle so that `MAP_OUTPUT_BYTES` is measured on the same
-//!   representation the paper uses.
+//!   representation the paper uses,
+//! * [`frame`] — length-prefixed, checksummed frames, the unit of corruption
+//!   detection in `lash-store`'s on-disk block format.
 //!
 //! All codecs are allocation-conscious: encoders append to caller-provided
 //! buffers and decoders read from slices without copying.
@@ -20,12 +22,16 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod frame;
 pub mod rle;
 pub mod varint;
 pub mod zigzag;
 
 pub use codec::{decode_sequence, encode_sequence, SequenceCodec, BLANK};
-pub use varint::{decode_u32, decode_u64, encode_u32, encode_u64, encoded_len_u32, encoded_len_u64};
+pub use frame::{decode_frame, encode_frame, read_frame, write_frame, FrameRead};
+pub use varint::{
+    decode_u32, decode_u64, encode_u32, encode_u64, encoded_len_u32, encoded_len_u64,
+};
 pub use zigzag::{decode_i64, encode_i64};
 
 /// Errors returned by decoders in this crate.

@@ -172,6 +172,9 @@ mod tests {
         assert_eq!(cfg.split_size, 100);
         assert!(!cfg.use_combiner);
         // Parallelism is clamped to at least 1.
-        assert_eq!(ClusterConfig::default().with_parallelism(0).map_parallelism, 1);
+        assert_eq!(
+            ClusterConfig::default().with_parallelism(0).map_parallelism,
+            1
+        );
     }
 }

@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::config::{ClusterConfig, Phase};
 use crate::counters::{CounterSnapshot, Counters};
@@ -112,18 +112,15 @@ pub fn run_job<J: Job>(
 
     // ---- Shuffle phase ---------------------------------------------------
     let shuffle_started = Instant::now();
-    let grouped: Vec<Result<GroupedPartition, EngineError>> = parallel_tasks(
-        num_parts,
-        config.reduce_parallelism,
-        |part| {
+    let grouped: Vec<Result<GroupedPartition, EngineError>> =
+        parallel_tasks(num_parts, config.reduce_parallelism, |part| {
             let total: usize = map_outputs.iter().map(|m| m[part].len()).sum();
             let mut data = Vec::with_capacity(total);
             for m in &map_outputs {
                 data.extend_from_slice(&m[part]);
             }
             GroupedPartition::build(data)
-        },
-    );
+        });
     let mut partitions = Vec::with_capacity(num_parts);
     for g in grouped {
         partitions.push(g?);
@@ -139,7 +136,10 @@ pub fn run_job<J: Job>(
         Phase::Reduce,
         &counters,
         |task, attempt| {
-            if config.failure_plan.should_fail(Phase::Reduce, task, attempt) {
+            if config
+                .failure_plan
+                .should_fail(Phase::Reduce, task, attempt)
+            {
                 return None;
             }
             Some(run_reduce_task(job, &partitions[task], &counters))
@@ -267,13 +267,13 @@ where
                 if i >= count {
                     break;
                 }
-                *slots[i].lock() = Some(f(i));
+                *slots[i].lock().expect("slot lock") = Some(f(i));
             });
         }
     });
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("task completed"))
+        .map(|m| m.into_inner().expect("slot lock").expect("task completed"))
         .collect()
 }
 
@@ -295,22 +295,21 @@ where
     let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let mut pending: Vec<(usize, u32)> = (0..count).map(|t| (t, 0)).collect();
     while !pending.is_empty() {
-        let round: Vec<(usize, u32, Option<T>)> =
-            parallel_tasks(pending.len(), parallelism, |i| {
-                let (task, attempt) = pending[i];
+        let round: Vec<(usize, u32, Option<T>)> = parallel_tasks(pending.len(), parallelism, |i| {
+            let (task, attempt) = pending[i];
+            match phase {
+                Phase::Map => Counters::add(&counters.map_task_attempts, 1),
+                Phase::Reduce => Counters::add(&counters.reduce_task_attempts, 1),
+            }
+            let out = f(task, attempt);
+            if out.is_none() {
                 match phase {
-                    Phase::Map => Counters::add(&counters.map_task_attempts, 1),
-                    Phase::Reduce => Counters::add(&counters.reduce_task_attempts, 1),
+                    Phase::Map => Counters::add(&counters.failed_map_tasks, 1),
+                    Phase::Reduce => Counters::add(&counters.failed_reduce_tasks, 1),
                 }
-                let out = f(task, attempt);
-                if out.is_none() {
-                    match phase {
-                        Phase::Map => Counters::add(&counters.failed_map_tasks, 1),
-                        Phase::Reduce => Counters::add(&counters.failed_reduce_tasks, 1),
-                    }
-                }
-                (task, attempt, out)
-            });
+            }
+            (task, attempt, out)
+        });
         let mut next = Vec::new();
         for (task, attempt, out) in round {
             match out {
@@ -445,8 +444,12 @@ mod tests {
 
     #[test]
     fn combiner_reduces_shuffled_bytes_but_not_results() {
-        let cfg_on = ClusterConfig::sequential().with_split_size(1).with_combiner(true);
-        let cfg_off = ClusterConfig::sequential().with_split_size(1).with_combiner(false);
+        let cfg_on = ClusterConfig::sequential()
+            .with_split_size(1)
+            .with_combiner(true);
+        let cfg_off = ClusterConfig::sequential()
+            .with_split_size(1)
+            .with_combiner(false);
         let on = run_job(&WordCount, &corpus(), &cfg_on).unwrap();
         let off = run_job(&WordCount, &corpus(), &cfg_off).unwrap();
         assert_eq!(sorted(on.outputs), sorted(off.outputs));

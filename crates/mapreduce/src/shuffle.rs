@@ -82,8 +82,7 @@ impl GroupedPartition {
         // Stable sort by key bytes keeps value order deterministic (map task
         // order, then emission order).
         records.sort_by(|a, b| {
-            data[a.key.0 as usize..a.key.1 as usize]
-                .cmp(&data[b.key.0 as usize..b.key.1 as usize])
+            data[a.key.0 as usize..a.key.1 as usize].cmp(&data[b.key.0 as usize..b.key.1 as usize])
         });
         let mut groups: Vec<(ByteRange, Vec<ByteRange>)> = Vec::new();
         for r in records {

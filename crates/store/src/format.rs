@@ -1,0 +1,663 @@
+//! The binary layout of manifests, segment headers, and block headers.
+//!
+//! Everything on disk is wrapped in `lash-encoding` frames (varint length
+//! prefix + FNV-1a-32 checksum), so truncation and bit-flips surface as
+//! typed errors rather than garbage data. All multi-byte integers inside
+//! frame payloads are varints; optional values are shifted by one so that
+//! `0` encodes "none".
+
+use std::collections::BTreeMap;
+
+use lash_core::vocabulary::{ItemId, Vocabulary, VocabularyBuilder};
+use lash_encoding::varint::{self, VarintReader};
+use lash_encoding::zigzag;
+
+use crate::{Result, StoreError};
+
+/// On-disk format version written by this crate.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Manifest file name inside a corpus directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.lash";
+
+/// Magic bytes opening the manifest header frame.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"LASHSTOR";
+
+/// Magic bytes opening every segment file's header frame.
+pub const SEGMENT_MAGIC: &[u8; 4] = b"LSEG";
+
+/// File name of shard `shard`.
+pub fn shard_file_name(shard: u32) -> String {
+    format!("shard-{shard:05}.seg")
+}
+
+/// Routing of sequences to shards, a pure function of the corpus-wide
+/// sequence id so a corpus reopens deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Shard `splitmix64(id) % shards`: uniform spread regardless of insert
+    /// order; every shard sees a slice of the whole id range.
+    Hash {
+        /// Number of shards.
+        shards: u32,
+    },
+    /// Shard `min(id / sequences_per_shard, shards - 1)`: contiguous id
+    /// ranges per shard, so scans by id range can skip whole shards.
+    Range {
+        /// Number of shards.
+        shards: u32,
+        /// Ids per shard; the last shard absorbs any overflow.
+        sequences_per_shard: u64,
+    },
+}
+
+impl Partitioning {
+    /// Hash partitioning over `shards` shards.
+    pub fn hash(shards: u32) -> Partitioning {
+        Partitioning::Hash { shards }
+    }
+
+    /// Range partitioning: `sequences_per_shard` consecutive ids per shard.
+    pub fn range(shards: u32, sequences_per_shard: u64) -> Partitioning {
+        Partitioning::Range {
+            shards,
+            sequences_per_shard,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        match *self {
+            Partitioning::Hash { shards } | Partitioning::Range { shards, .. } => shards,
+        }
+    }
+
+    /// The shard holding sequence `id`.
+    pub fn shard_of(&self, id: u64) -> u32 {
+        match *self {
+            Partitioning::Hash { shards } => (splitmix64(id) % shards as u64) as u32,
+            Partitioning::Range {
+                shards,
+                sequences_per_shard,
+            } => (id / sequences_per_shard).min(shards as u64 - 1) as u32,
+        }
+    }
+
+    /// Validates the parameters.
+    pub(crate) fn validate(&self) -> Result<()> {
+        if self.num_shards() == 0 {
+            return Err(StoreError::InvalidOptions("at least one shard required"));
+        }
+        if let Partitioning::Range {
+            sequences_per_shard: 0,
+            ..
+        } = self
+        {
+            return Err(StoreError::InvalidOptions(
+                "range partitioning needs sequences_per_shard >= 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 finalizer — a strong, dependency-free id hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-shard statistics recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Sequences stored in the shard.
+    pub sequences: u64,
+    /// Blocks in the segment file.
+    pub blocks: u64,
+    /// Total (compressed) payload bytes across blocks.
+    pub payload_bytes: u64,
+    /// Smallest sequence id, `u64::MAX` when the shard is empty.
+    pub min_seq: u64,
+    /// Largest sequence id, `0` when the shard is empty.
+    pub max_seq: u64,
+}
+
+impl Default for ShardStats {
+    fn default() -> Self {
+        ShardStats {
+            sequences: 0,
+            blocks: 0,
+            payload_bytes: 0,
+            min_seq: u64::MAX,
+            max_seq: 0,
+        }
+    }
+}
+
+/// The corpus manifest: everything needed to reopen a corpus cold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Format version of the files on disk.
+    pub version: u32,
+    /// How sequences are routed to shards.
+    pub partitioning: Partitioning,
+    /// Total sequences in the corpus.
+    pub num_sequences: u64,
+    /// Total items across all sequences.
+    pub total_items: u64,
+    /// Whether blocks carry G1 item-frequency sketches.
+    pub sketches: bool,
+    /// Per-shard statistics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+/// Encodes the manifest header frame payload (everything but the
+/// vocabulary, which gets its own frame — it can be large).
+pub(crate) fn encode_manifest_header(m: &Manifest, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    varint::encode_u32(m.version, buf);
+    match m.partitioning {
+        Partitioning::Hash { shards } => {
+            buf.push(0);
+            varint::encode_u32(shards, buf);
+        }
+        Partitioning::Range {
+            shards,
+            sequences_per_shard,
+        } => {
+            buf.push(1);
+            varint::encode_u32(shards, buf);
+            varint::encode_u64(sequences_per_shard, buf);
+        }
+    }
+    varint::encode_u64(m.num_sequences, buf);
+    varint::encode_u64(m.total_items, buf);
+    buf.push(m.sketches as u8);
+}
+
+/// Decodes the manifest header frame payload (shards left empty).
+pub(crate) fn decode_manifest_header(bytes: &[u8]) -> Result<Manifest> {
+    if bytes.len() < MANIFEST_MAGIC.len() || &bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+        return Err(StoreError::Corrupt("manifest magic mismatch".into()));
+    }
+    let mut r = VarintReader::new(&bytes[MANIFEST_MAGIC.len()..]);
+    let version = r.read_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported format version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let tag = r.read_u32()?;
+    let partitioning = match tag {
+        0 => Partitioning::Hash {
+            shards: r.read_u32()?,
+        },
+        1 => Partitioning::Range {
+            shards: r.read_u32()?,
+            sequences_per_shard: r.read_u64()?,
+        },
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "unknown partitioning tag {other}"
+            )))
+        }
+    };
+    partitioning.validate().map_err(|_| {
+        StoreError::Corrupt("manifest carries invalid partitioning parameters".into())
+    })?;
+    let num_sequences = r.read_u64()?;
+    let total_items = r.read_u64()?;
+    let sketches = match r.read_u32()? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "invalid sketches flag {other}"
+            )))
+        }
+    };
+    Ok(Manifest {
+        version,
+        partitioning,
+        num_sequences,
+        total_items,
+        sketches,
+        shards: Vec::new(),
+    })
+}
+
+/// Encodes the interned vocabulary + hierarchy frame payload.
+pub(crate) fn encode_vocabulary(vocab: &Vocabulary, buf: &mut Vec<u8>) {
+    varint::encode_u32(vocab.len() as u32, buf);
+    for item in vocab.items() {
+        let name = vocab.name(item).as_bytes();
+        varint::encode_u32(name.len() as u32, buf);
+        buf.extend_from_slice(name);
+    }
+    for item in vocab.items() {
+        // parent + 1; 0 encodes "root".
+        varint::encode_u32(vocab.parent(item).map_or(0, |p| p.as_u32() + 1), buf);
+    }
+}
+
+/// Decodes a vocabulary frame payload, preserving item ids (intern order).
+pub(crate) fn decode_vocabulary(bytes: &[u8]) -> Result<Vocabulary> {
+    let (n, consumed) = varint::decode_u32(bytes)?;
+    let mut pos = consumed;
+    let mut builder = VocabularyBuilder::new();
+    let mut ids = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let (len, consumed) = varint::decode_u32(&bytes[pos..])?;
+        pos += consumed;
+        let end = pos + len as usize;
+        if end > bytes.len() {
+            return Err(StoreError::Corrupt("vocabulary name overruns frame".into()));
+        }
+        let name = std::str::from_utf8(&bytes[pos..end])
+            .map_err(|_| StoreError::Corrupt("vocabulary name is not UTF-8".into()))?;
+        pos = end;
+        let before = builder.len();
+        let id = builder.intern(name);
+        if builder.len() == before {
+            return Err(StoreError::Corrupt(format!(
+                "duplicate vocabulary name {name:?}"
+            )));
+        }
+        ids.push(id);
+    }
+    let mut r = VarintReader::new(&bytes[pos..]);
+    for &child in &ids {
+        let parent = r.read_u32()?;
+        if parent > 0 {
+            let parent = ItemId::from_u32(parent - 1);
+            if parent.index() >= ids.len() {
+                return Err(StoreError::Corrupt("parent id out of range".into()));
+            }
+            builder
+                .set_parent(child, parent)
+                .map_err(|e| StoreError::Corrupt(format!("invalid hierarchy: {e}")))?;
+        }
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt("trailing vocabulary bytes".into()));
+    }
+    builder
+        .finish()
+        .map_err(|e| StoreError::Corrupt(format!("invalid vocabulary: {e}")))
+}
+
+/// Encodes the per-shard statistics frame payload.
+pub(crate) fn encode_shard_stats(shards: &[ShardStats], buf: &mut Vec<u8>) {
+    varint::encode_u32(shards.len() as u32, buf);
+    for s in shards {
+        varint::encode_u64(s.sequences, buf);
+        varint::encode_u64(s.blocks, buf);
+        varint::encode_u64(s.payload_bytes, buf);
+        varint::encode_u64(s.min_seq, buf);
+        varint::encode_u64(s.max_seq, buf);
+    }
+}
+
+/// Decodes the per-shard statistics frame payload.
+pub(crate) fn decode_shard_stats(bytes: &[u8]) -> Result<Vec<ShardStats>> {
+    let mut r = VarintReader::new(bytes);
+    let n = r.read_u32()?;
+    let mut shards = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        shards.push(ShardStats {
+            sequences: r.read_u64()?,
+            blocks: r.read_u64()?,
+            payload_bytes: r.read_u64()?,
+            min_seq: r.read_u64()?,
+            max_seq: r.read_u64()?,
+        });
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt("trailing shard-stat bytes".into()));
+    }
+    Ok(shards)
+}
+
+/// Encodes a segment file's header frame payload.
+pub(crate) fn encode_segment_header(shard: u32, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(SEGMENT_MAGIC);
+    varint::encode_u32(FORMAT_VERSION, buf);
+    varint::encode_u32(shard, buf);
+}
+
+/// Decodes and validates a segment file's header frame payload.
+pub(crate) fn decode_segment_header(bytes: &[u8], expected_shard: u32) -> Result<()> {
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(StoreError::Corrupt("segment magic mismatch".into()));
+    }
+    let mut r = VarintReader::new(&bytes[SEGMENT_MAGIC.len()..]);
+    let version = r.read_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported segment version {version}"
+        )));
+    }
+    let shard = r.read_u32()?;
+    if shard != expected_shard {
+        return Err(StoreError::Corrupt(format!(
+            "segment header names shard {shard}, expected {expected_shard}"
+        )));
+    }
+    Ok(())
+}
+
+/// Decoded block header: the scan/skip/prune metadata of one block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockHeader {
+    /// Number of sequences in the block.
+    pub records: u32,
+    /// Smallest (first) sequence id in the block.
+    pub first_seq: u64,
+    /// Largest (last) sequence id in the block.
+    pub last_seq: u64,
+    /// Total items across the block's sequences.
+    pub items: u64,
+    /// Smallest item id occurring in the block, if any item does.
+    pub min_item: Option<u32>,
+    /// Largest item id occurring in the block, if any item does.
+    pub max_item: Option<u32>,
+    /// G1 item-frequency sketch: `(item, sequences-in-block whose G1 closure
+    /// contains item)`, ascending by item. Empty when sketches are disabled.
+    pub sketch: Vec<(u32, u32)>,
+}
+
+/// Encodes a block header frame payload. The sketch map is consumed in
+/// ascending item order (`BTreeMap` iteration) and delta-compressed.
+pub(crate) fn encode_block_header(h: &BlockHeader, sketch: &BTreeMap<u32, u32>, buf: &mut Vec<u8>) {
+    varint::encode_u32(h.records, buf);
+    varint::encode_u64(h.first_seq, buf);
+    varint::encode_u64(h.last_seq, buf);
+    varint::encode_u64(h.items, buf);
+    varint::encode_u32(h.min_item.map_or(0, |v| v + 1), buf);
+    varint::encode_u32(h.max_item.map_or(0, |v| v + 1), buf);
+    varint::encode_u32(sketch.len() as u32, buf);
+    let mut prev = 0u32;
+    for (&item, &count) in sketch {
+        varint::encode_u32(item - prev, buf);
+        varint::encode_u32(count, buf);
+        prev = item;
+    }
+}
+
+/// Decodes a block header frame payload.
+pub(crate) fn decode_block_header(bytes: &[u8]) -> Result<BlockHeader> {
+    let mut r = VarintReader::new(bytes);
+    let records = r.read_u32()?;
+    let first_seq = r.read_u64()?;
+    let last_seq = r.read_u64()?;
+    let items = r.read_u64()?;
+    let min_item = r.read_u32()?.checked_sub(1);
+    let max_item = r.read_u32()?.checked_sub(1);
+    if records == 0 || last_seq < first_seq {
+        return Err(StoreError::Corrupt(
+            "block header invariants violated".into(),
+        ));
+    }
+    let sketch_len = r.read_u32()?;
+    let mut sketch = Vec::with_capacity(sketch_len as usize);
+    let mut prev = 0u32;
+    for i in 0..sketch_len {
+        let delta = r.read_u32()?;
+        if i > 0 && delta == 0 {
+            return Err(StoreError::Corrupt(
+                "sketch items not strictly ascending".into(),
+            ));
+        }
+        let item = prev
+            .checked_add(delta)
+            .ok_or_else(|| StoreError::Corrupt("sketch item id overflows".into()))?;
+        let count = r.read_u32()?;
+        sketch.push((item, count));
+        prev = item;
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt("trailing block-header bytes".into()));
+    }
+    Ok(BlockHeader {
+        records,
+        first_seq,
+        last_seq,
+        items,
+        min_item,
+        max_item,
+        sketch,
+    })
+}
+
+/// Appends one record (id delta + delta/varint-compressed items) to a block
+/// payload.
+pub(crate) fn encode_record(id_delta: u64, items: &[ItemId], buf: &mut Vec<u8>) {
+    varint::encode_u64(id_delta, buf);
+    varint::encode_u32(items.len() as u32, buf);
+    let mut prev = 0i64;
+    for (i, item) in items.iter().enumerate() {
+        let v = item.as_u32();
+        if i == 0 {
+            varint::encode_u32(v, buf);
+        } else {
+            varint::encode_u64(zigzag::encode_i64(v as i64 - prev), buf);
+        }
+        prev = v as i64;
+    }
+}
+
+/// Decodes one record from a block payload at `pos`, appending items into
+/// `out` (cleared first). Returns `(id_delta, new_pos)`.
+pub(crate) fn decode_record(
+    payload: &[u8],
+    pos: usize,
+    vocab_len: u32,
+    out: &mut Vec<ItemId>,
+) -> Result<(u64, usize)> {
+    let mut r = VarintReader::new(&payload[pos..]);
+    let id_delta = r.read_u64()?;
+    let len = r.read_u32()?;
+    out.clear();
+    out.reserve(len as usize);
+    let mut prev = 0i64;
+    for i in 0..len {
+        let v = if i == 0 {
+            r.read_u32()? as i64
+        } else {
+            prev.checked_add(zigzag::decode_i64(r.read_u64()?))
+                .ok_or_else(|| StoreError::Corrupt("item delta overflows".into()))?
+        };
+        if v < 0 || v >= vocab_len as i64 {
+            return Err(StoreError::Corrupt(format!(
+                "item id {v} outside vocabulary of {vocab_len}"
+            )));
+        }
+        out.push(ItemId::from_u32(v as u32));
+        prev = v;
+    }
+    Ok((id_delta, pos + r.position()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioning_spreads_and_is_deterministic() {
+        let p = Partitioning::hash(7);
+        let mut seen = vec![0u64; 7];
+        for id in 0..10_000u64 {
+            let s = p.shard_of(id);
+            assert_eq!(s, p.shard_of(id));
+            seen[s as usize] += 1;
+        }
+        // Roughly uniform: no shard under half or over double the mean.
+        for &n in &seen {
+            assert!(n > 700 && n < 2900, "skewed shard: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn range_partitioning_is_contiguous_with_overflow_in_last() {
+        let p = Partitioning::range(3, 10);
+        assert_eq!(p.shard_of(0), 0);
+        assert_eq!(p.shard_of(9), 0);
+        assert_eq!(p.shard_of(10), 1);
+        assert_eq!(p.shard_of(29), 2);
+        assert_eq!(p.shard_of(1_000_000), 2);
+    }
+
+    #[test]
+    fn manifest_header_round_trips() {
+        for partitioning in [Partitioning::hash(5), Partitioning::range(2, 1000)] {
+            let m = Manifest {
+                version: FORMAT_VERSION,
+                partitioning,
+                num_sequences: 123_456,
+                total_items: 9_876_543,
+                sketches: true,
+                shards: Vec::new(),
+            };
+            let mut buf = Vec::new();
+            encode_manifest_header(&m, &mut buf);
+            assert_eq!(decode_manifest_header(&buf).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_bad_magic_and_version() {
+        let m = Manifest {
+            version: FORMAT_VERSION,
+            partitioning: Partitioning::hash(1),
+            num_sequences: 0,
+            total_items: 0,
+            sketches: false,
+            shards: Vec::new(),
+        };
+        let mut buf = Vec::new();
+        encode_manifest_header(&m, &mut buf);
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            decode_manifest_header(&bad),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(matches!(
+            decode_manifest_header(&buf[..4]),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn vocabulary_round_trips_with_hierarchy_and_ids() {
+        let mut vb = VocabularyBuilder::new();
+        let b = vb.intern("B");
+        let b1 = vb.child("b1", b);
+        let b11 = vb.child("b11", b1);
+        let loose = vb.intern("loose item with spaces\tand tabs");
+        let vocab = vb.finish().unwrap();
+        let mut buf = Vec::new();
+        encode_vocabulary(&vocab, &mut buf);
+        let back = decode_vocabulary(&buf).unwrap();
+        assert_eq!(back.len(), vocab.len());
+        for item in [b, b1, b11, loose] {
+            assert_eq!(back.name(item), vocab.name(item));
+            assert_eq!(back.parent(item), vocab.parent(item));
+        }
+        assert_eq!(back.chain(b11), vocab.chain(b11));
+    }
+
+    #[test]
+    fn vocabulary_decoding_rejects_corruption() {
+        let mut vb = VocabularyBuilder::new();
+        vb.intern("x");
+        let vocab = vb.finish().unwrap();
+        let mut buf = Vec::new();
+        encode_vocabulary(&vocab, &mut buf);
+        assert!(decode_vocabulary(&buf[..buf.len() - 1]).is_err());
+        assert!(decode_vocabulary(&[]).is_err());
+    }
+
+    #[test]
+    fn shard_stats_round_trip() {
+        let shards = vec![
+            ShardStats {
+                sequences: 10,
+                blocks: 2,
+                payload_bytes: 4_000,
+                min_seq: 0,
+                max_seq: 31,
+            },
+            ShardStats::default(),
+        ];
+        let mut buf = Vec::new();
+        encode_shard_stats(&shards, &mut buf);
+        assert_eq!(decode_shard_stats(&buf).unwrap(), shards);
+    }
+
+    #[test]
+    fn block_header_round_trips_with_sketch() {
+        let sketch: BTreeMap<u32, u32> = [(0, 5), (3, 2), (17, 9)].into_iter().collect();
+        let h = BlockHeader {
+            records: 5,
+            first_seq: 100,
+            last_seq: 131,
+            items: 42,
+            min_item: Some(0),
+            max_item: Some(17),
+            sketch: sketch.iter().map(|(&i, &c)| (i, c)).collect(),
+        };
+        let mut buf = Vec::new();
+        encode_block_header(&h, &sketch, &mut buf);
+        assert_eq!(decode_block_header(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn block_header_rejects_invariant_violations() {
+        let h = BlockHeader {
+            records: 1,
+            first_seq: 10,
+            last_seq: 10,
+            items: 0,
+            min_item: None,
+            max_item: None,
+            sketch: Vec::new(),
+        };
+        let mut buf = Vec::new();
+        encode_block_header(&h, &BTreeMap::new(), &mut buf);
+        assert!(decode_block_header(&buf).is_ok());
+        assert!(decode_block_header(&buf[..2]).is_err());
+        assert!(decode_block_header(&[]).is_err());
+    }
+
+    #[test]
+    fn records_round_trip_including_empty() {
+        let mut vb = VocabularyBuilder::new();
+        let ids: Vec<ItemId> = (0..50).map(|i| vb.intern(&format!("i{i}"))).collect();
+        let mut buf = Vec::new();
+        encode_record(0, &[ids[3], ids[49], ids[0]], &mut buf);
+        encode_record(7, &[], &mut buf);
+        encode_record(1, &[ids[10]], &mut buf);
+        let mut out = Vec::new();
+        let (d1, p1) = decode_record(&buf, 0, 50, &mut out).unwrap();
+        assert_eq!((d1, out.clone()), (0, vec![ids[3], ids[49], ids[0]]));
+        let (d2, p2) = decode_record(&buf, p1, 50, &mut out).unwrap();
+        assert_eq!((d2, out.len()), (7, 0));
+        let (d3, p3) = decode_record(&buf, p2, 50, &mut out).unwrap();
+        assert_eq!((d3, out.clone()), (1, vec![ids[10]]));
+        assert_eq!(p3, buf.len());
+    }
+
+    #[test]
+    fn record_decoding_rejects_out_of_vocabulary_items() {
+        let mut vb = VocabularyBuilder::new();
+        let a = vb.intern("a");
+        let mut buf = Vec::new();
+        encode_record(0, &[a], &mut buf);
+        let mut out = Vec::new();
+        // Same bytes, but a vocabulary too small to contain the item.
+        assert!(decode_record(&buf, 0, 0, &mut out).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! # lash-store
+//!
+//! A partitioned, compressed, append-once **on-disk sequence corpus** for
+//! LASH. The paper targets corpora that dwarf main memory; this crate is the
+//! storage subsystem that lets the reproduction mine such corpora without
+//! re-parsing text input or holding every sequence on the heap.
+//!
+//! ## Layout
+//!
+//! A corpus is a directory:
+//!
+//! ```text
+//! corpus/
+//! ├── MANIFEST.lash      # format version, partitioning, vocabulary/hierarchy,
+//! │                      # per-shard statistics — everything needed to reopen
+//! │                      # the corpus cold, without re-parsing anything
+//! ├── shard-00000.seg    # segment: a stream of compressed blocks
+//! ├── shard-00001.seg
+//! └── …
+//! ```
+//!
+//! Sequences are routed to shards by a [`Partitioning`] (hash or range over
+//! the corpus-wide sequence id). Each segment is a stream of *blocks*:
+//! delta/varint-compressed batches of sequences (via `lash-encoding`) wrapped
+//! in checksummed frames, each preceded by a header frame carrying the
+//! block's min/max sequence id, item-id range, and an optional **G1
+//! item-frequency sketch** — per item, the number of sequences in the block
+//! whose hierarchy closure contains it. The sketch makes the generalized
+//! f-list computable *from headers alone*, without decoding any payload.
+//!
+//! ## Reading
+//!
+//! [`CorpusReader`] opens a corpus cold and exposes:
+//!
+//! * [`CorpusReader::scan_shard`] — a streaming [`ShardScan`] iterator;
+//! * [`CorpusReader::par_scan`] — a parallel multi-shard scan;
+//! * the [`ShardedCorpus`](lash_core::ShardedCorpus) impl, which plugs the
+//!   corpus straight into `lash-core`'s distributed jobs: each map task
+//!   streams one shard (`Lash::mine_sharded`);
+//! * [`CorpusReader::flist`] — the f-list assembled from block headers;
+//! * [`CorpusReader::mine`] — the full LASH pipeline from storage.
+//!
+//! ```
+//! use lash_core::{GsmParams, Lash, SequenceDatabase, VocabularyBuilder};
+//! use lash_store::{CorpusReader, CorpusWriter, StoreOptions};
+//!
+//! let dir = std::env::temp_dir().join(format!("lash-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let mut vb = VocabularyBuilder::new();
+//! let dog = vb.intern("dog");
+//! let poodle = vb.child("poodle", dog);
+//! let walks = vb.intern("walks");
+//! let vocab = vb.finish().unwrap();
+//!
+//! // Write a corpus once…
+//! let mut writer = CorpusWriter::create(&dir, &vocab, StoreOptions::default()).unwrap();
+//! writer.append(&[poodle, walks]).unwrap();
+//! writer.append(&[dog, walks]).unwrap();
+//! writer.finish().unwrap();
+//!
+//! // …reopen it cold and mine.
+//! let reader = CorpusReader::open(&dir).unwrap();
+//! let params = GsmParams::new(2, 0, 2).unwrap();
+//! let result = reader.mine(&Lash::default(), &params).unwrap();
+//! assert!(result
+//!     .patterns()
+//!     .iter()
+//!     .any(|p| p.to_names(reader.vocabulary()) == ["dog", "walks"] && p.frequency == 2));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod format;
+pub mod reader;
+pub mod writer;
+
+pub use format::{BlockHeader, Manifest, Partitioning, ShardStats};
+pub use reader::{CorpusReader, CorpusScan, ShardScan};
+pub use writer::CorpusWriter;
+
+use std::path::PathBuf;
+
+use lash_encoding::DecodeError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors surfaced by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// A varint/frame decoding error.
+    Decode(DecodeError),
+    /// The on-disk data violates a format invariant.
+    Corrupt(String),
+    /// `CorpusWriter::create` refused to overwrite an existing corpus
+    /// (the format is append-once).
+    AlreadyExists(PathBuf),
+    /// A sequence referenced an item id outside the corpus vocabulary.
+    UnknownItem(u32),
+    /// Rejected configuration (e.g. zero shards).
+    InvalidOptions(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Decode(e) => write!(f, "decode error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt corpus: {msg}"),
+            StoreError::AlreadyExists(p) => {
+                write!(f, "corpus already exists at {} (append-once)", p.display())
+            }
+            StoreError::UnknownItem(id) => write!(f, "item id {id} not in corpus vocabulary"),
+            StoreError::InvalidOptions(msg) => write!(f, "invalid store options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        // The frame layer reports checksum mismatches as InvalidData and
+        // truncation as UnexpectedEof; both are corpus corruption, not
+        // environment trouble like a missing file or permission error.
+        match e.kind() {
+            std::io::ErrorKind::InvalidData => StoreError::Corrupt(e.to_string()),
+            std::io::ErrorKind::UnexpectedEof => StoreError::Corrupt(format!("truncated: {e}")),
+            _ => StoreError::Io(e),
+        }
+    }
+}
+
+impl From<DecodeError> for StoreError {
+    fn from(e: DecodeError) -> Self {
+        StoreError::Decode(e)
+    }
+}
+
+/// Tuning knobs of a corpus being written.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// How sequences are routed to shards.
+    pub partitioning: Partitioning,
+    /// Target uncompressed payload bytes per block. Blocks close at the
+    /// first sequence boundary at or past this budget.
+    pub block_budget: usize,
+    /// Write per-block G1 item-frequency sketches. Costs header space and
+    /// write-side hierarchy walks; buys header-only f-list computation.
+    pub sketches: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            partitioning: Partitioning::hash(4),
+            block_budget: 64 * 1024,
+            sketches: true,
+        }
+    }
+}
+
+impl StoreOptions {
+    /// Sets the partitioning.
+    pub fn with_partitioning(mut self, p: Partitioning) -> Self {
+        self.partitioning = p;
+        self
+    }
+
+    /// Sets the per-block payload budget (clamped to ≥ 1).
+    pub fn with_block_budget(mut self, bytes: usize) -> Self {
+        self.block_budget = bytes.max(1);
+        self
+    }
+
+    /// Enables or disables G1 sketches.
+    pub fn with_sketches(mut self, on: bool) -> Self {
+        self.sketches = on;
+        self
+    }
+}

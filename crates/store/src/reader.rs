@@ -1,0 +1,566 @@
+//! The corpus reader: cold open, streaming shard scans, parallel
+//! multi-shard scans, header-only f-lists, and the bridge into the
+//! distributed mining jobs.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use lash_core::distributed::lash_job::{Lash, LashResult};
+use lash_core::error::Error as CoreError;
+use lash_core::flist::FList;
+use lash_core::params::GsmParams;
+use lash_core::sequence::{SequenceDatabase, ShardedCorpus};
+use lash_core::vocabulary::{ItemId, Vocabulary};
+use lash_encoding::frame::{self, FrameRead};
+
+use crate::format::{self, BlockHeader, Manifest, MANIFEST_FILE};
+use crate::{Result, StoreError};
+
+/// A corpus opened cold from its manifest: vocabulary, hierarchy, and
+/// partitioning are restored without touching any segment file.
+pub struct CorpusReader {
+    dir: PathBuf,
+    manifest: Manifest,
+    vocab: Vocabulary,
+}
+
+impl CorpusReader {
+    /// Opens the corpus at `dir` by reading and validating its manifest.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut file = BufReader::new(File::open(dir.join(MANIFEST_FILE))?);
+        let header = read_required_frame(&mut file, "manifest header")?;
+        let mut manifest = format::decode_manifest_header(&header)?;
+        let vocab_bytes = read_required_frame(&mut file, "manifest vocabulary")?;
+        let vocab = format::decode_vocabulary(&vocab_bytes)?;
+        let stats_bytes = read_required_frame(&mut file, "manifest shard stats")?;
+        manifest.shards = format::decode_shard_stats(&stats_bytes)?;
+        if manifest.shards.len() != manifest.partitioning.num_shards() as usize {
+            return Err(StoreError::Corrupt(format!(
+                "manifest lists {} shard entries for {} shards",
+                manifest.shards.len(),
+                manifest.partitioning.num_shards()
+            )));
+        }
+        let counted: u64 = manifest.shards.iter().map(|s| s.sequences).sum();
+        if counted != manifest.num_sequences {
+            return Err(StoreError::Corrupt(format!(
+                "shard stats count {counted} sequences, manifest says {}",
+                manifest.num_sequences
+            )));
+        }
+        Ok(CorpusReader {
+            dir,
+            manifest,
+            vocab,
+        })
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The interned vocabulary and hierarchy the corpus was written with.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Total number of sequences.
+    pub fn len(&self) -> u64 {
+        self.manifest.num_sequences
+    }
+
+    /// True if the corpus holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.num_sequences == 0
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.manifest.partitioning.num_shards() as usize
+    }
+
+    fn shard_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format::shard_file_name(shard as u32))
+    }
+
+    /// Opens a streaming scan over one shard.
+    pub fn scan_shard(&self, shard: usize) -> Result<ShardScan> {
+        ShardScan::open(
+            self.shard_path(shard),
+            shard as u32,
+            self.vocab.len() as u32,
+        )
+    }
+
+    /// Iterates every sequence of the corpus, shard by shard (storage
+    /// order, not id order — use [`CorpusReader::to_database`] for id
+    /// order).
+    pub fn scan(&self) -> CorpusScan<'_> {
+        CorpusScan {
+            reader: self,
+            shard: 0,
+            current: None,
+        }
+    }
+
+    /// Shards whose sequence-id ranges overlap `ids`, per the manifest —
+    /// with range partitioning this prunes scans to a handful of segments.
+    pub fn shards_overlapping(&self, ids: Range<u64>) -> Vec<usize> {
+        self.manifest
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.sequences > 0 && s.min_seq < ids.end && s.max_seq >= ids.start)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Scans all shards in parallel with up to `parallelism` threads,
+    /// applying `f` to each shard's stream. Results come back in shard
+    /// order; the first error wins.
+    pub fn par_scan<T, F>(&self, parallelism: usize, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, ShardScan) -> Result<T> + Sync,
+    {
+        let n = self.num_shards();
+        let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = parallelism.clamp(1, n.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                    if shard >= n {
+                        break;
+                    }
+                    let result = self.scan_shard(shard).and_then(|scan| f(shard, scan));
+                    *slots[shard].lock().expect("scan slot lock") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("scan slot lock")
+                    .expect("every shard visited")
+            })
+            .collect()
+    }
+
+    /// Materializes the corpus as an in-memory [`SequenceDatabase`] in
+    /// original append order (sequence id order), scanning shards in
+    /// parallel.
+    pub fn to_database(&self) -> Result<SequenceDatabase> {
+        let total = self.len() as usize;
+        let per_shard = self.par_scan(available_threads(), |_, scan| {
+            let mut seqs = Vec::new();
+            for record in scan {
+                seqs.push(record?);
+            }
+            Ok(seqs)
+        })?;
+        let mut slots: Vec<Option<Vec<ItemId>>> = vec![None; total];
+        for seqs in per_shard {
+            for (id, items) in seqs {
+                let slot = slots
+                    .get_mut(id as usize)
+                    .ok_or_else(|| StoreError::Corrupt(format!("sequence id {id} out of range")))?;
+                if slot.replace(items).is_some() {
+                    return Err(StoreError::Corrupt(format!("duplicate sequence id {id}")));
+                }
+            }
+        }
+        let mut db = SequenceDatabase::with_capacity(total, self.manifest.total_items as usize);
+        for (id, slot) in slots.into_iter().enumerate() {
+            let items =
+                slot.ok_or_else(|| StoreError::Corrupt(format!("missing sequence id {id}")))?;
+            db.push(&items);
+        }
+        Ok(db)
+    }
+
+    /// Iterates the block headers of one shard without decoding (or even
+    /// reading) any payload — payload frames are seeked over. The iterator
+    /// cross-checks the block count against the manifest, so a truncated
+    /// segment surfaces as an error even though no payload is read.
+    pub fn block_headers(&self, shard: usize) -> Result<BlockHeaders> {
+        let expected = self
+            .manifest
+            .shards
+            .get(shard)
+            .ok_or_else(|| StoreError::Corrupt(format!("no shard {shard} in manifest")))?
+            .blocks;
+        BlockHeaders::open(self.shard_path(shard), shard as u32, expected)
+    }
+
+    /// Assembles the generalized f-list from block headers alone.
+    ///
+    /// Returns `Ok(None)` when the corpus was written without sketches; the
+    /// caller then falls back to a full scan (`compute_flist_sharded`).
+    /// With sketches this reads only header frames — no payload is decoded,
+    /// which on a large corpus is the difference between touching a few
+    /// kilobytes of headers and every byte of the store.
+    pub fn flist(&self) -> Result<Option<FList>> {
+        if !self.manifest.sketches {
+            return Ok(None);
+        }
+        let vocab_len = self.vocab.len() as u32;
+        let partial = self.par_scan_headers(|header, doc_freq: &mut Vec<u64>| {
+            for &(item, count) in &header.sketch {
+                if item >= vocab_len {
+                    return Err(StoreError::Corrupt(format!(
+                        "sketch item {item} outside vocabulary"
+                    )));
+                }
+                doc_freq[item as usize] += count as u64;
+            }
+            Ok(())
+        })?;
+        let mut doc_freq = vec![0u64; self.vocab.len()];
+        for shard_freq in partial {
+            for (i, f) in shard_freq.into_iter().enumerate() {
+                doc_freq[i] += f;
+            }
+        }
+        let flist = FList::from_counts(
+            &self.vocab,
+            doc_freq
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| (ItemId::from_u32(i as u32), f)),
+        )
+        .map_err(|e| StoreError::Corrupt(format!("sketch f-list: {e}")))?;
+        Ok(Some(flist))
+    }
+
+    /// Folds every block header of every shard, in parallel, into one
+    /// accumulator per shard.
+    fn par_scan_headers<F>(&self, fold: F) -> Result<Vec<Vec<u64>>>
+    where
+        F: Fn(&BlockHeader, &mut Vec<u64>) -> Result<()> + Sync,
+    {
+        let vocab_len = self.vocab.len();
+        let n = self.num_shards();
+        let slots: Vec<Mutex<Option<Result<Vec<u64>>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..n.max(1).min(available_threads()) {
+                scope.spawn(|| loop {
+                    let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                    if shard >= n {
+                        break;
+                    }
+                    let result = (|| {
+                        let mut acc = vec![0u64; vocab_len];
+                        for header in self.block_headers(shard)? {
+                            fold(&header?, &mut acc)?;
+                        }
+                        Ok(acc)
+                    })();
+                    *slots[shard].lock().expect("header slot lock") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("header slot lock")
+                    .expect("every shard visited")
+            })
+            .collect()
+    }
+
+    /// Runs the full LASH pipeline from storage: the f-list comes from
+    /// block headers when available (header-only preprocessing), and both
+    /// distributed jobs stream shards via the [`ShardedCorpus`] impl — one
+    /// map task per shard.
+    pub fn mine(&self, lash: &Lash, params: &GsmParams) -> lash_core::error::Result<LashResult> {
+        // A hierarchy-ignoring run discards any hierarchy-closed f-list, so
+        // skip the header pass entirely in that mode.
+        let flist = if lash.config().ignore_hierarchy {
+            None
+        } else {
+            self.flist()
+                .map_err(|e| CoreError::Engine(format!("store f-list: {e}")))?
+        };
+        lash.mine_sharded(self, &self.vocab, params, flist)
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+impl ShardedCorpus for CorpusReader {
+    fn num_shards(&self) -> usize {
+        CorpusReader::num_shards(self)
+    }
+
+    fn num_sequences(&self) -> u64 {
+        self.manifest.num_sequences
+    }
+
+    fn scan_shard(
+        &self,
+        shard: usize,
+        f: &mut dyn FnMut(u64, &[ItemId]),
+    ) -> lash_core::error::Result<()> {
+        let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
+        let mut scan = CorpusReader::scan_shard(self, shard).map_err(engine)?;
+        while let Some(record) = scan.next_borrowed().map_err(engine)? {
+            let (id, items) = record;
+            f(id, items);
+        }
+        Ok(())
+    }
+}
+
+/// Reads one frame that must exist (EOF is corruption).
+fn read_required_frame(reader: &mut impl Read, what: &str) -> Result<Vec<u8>> {
+    match frame::read_frame(reader)? {
+        FrameRead::Payload(bytes) => Ok(bytes),
+        FrameRead::Eof => Err(StoreError::Corrupt(format!("missing {what} frame"))),
+    }
+}
+
+/// A streaming scan over one shard, yielding `(sequence id, items)` in
+/// storage order. Blocks are read, checksum-verified, and decoded one at a
+/// time; memory stays bounded by one block regardless of shard size.
+pub struct ShardScan {
+    file: BufReader<File>,
+    vocab_len: u32,
+    header: BlockHeader,
+    payload: Vec<u8>,
+    pos: usize,
+    remaining: u32,
+    prev_seq: u64,
+    items: Vec<ItemId>,
+    done: bool,
+}
+
+impl ShardScan {
+    fn open(path: PathBuf, shard: u32, vocab_len: u32) -> Result<Self> {
+        let mut file = BufReader::new(File::open(path)?);
+        let header = read_required_frame(&mut file, "segment header")?;
+        format::decode_segment_header(&header, shard)?;
+        Ok(ShardScan {
+            file,
+            vocab_len,
+            header: BlockHeader::default(),
+            payload: Vec::new(),
+            pos: 0,
+            remaining: 0,
+            prev_seq: 0,
+            items: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// Loads the next block into the scan state. Returns false at clean EOF.
+    fn next_block(&mut self) -> Result<bool> {
+        match frame::read_frame(&mut self.file)? {
+            FrameRead::Eof => Ok(false),
+            FrameRead::Payload(header_bytes) => {
+                self.header = format::decode_block_header(&header_bytes)?;
+                self.payload = read_required_frame(&mut self.file, "block payload")?;
+                self.pos = 0;
+                self.remaining = self.header.records;
+                self.prev_seq = self.header.first_seq;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Advances to the next sequence, yielding a borrowed view of its items
+    /// (valid until the next call). The allocation-free twin of the
+    /// [`Iterator`] impl, used on hot paths like the mining map phase.
+    pub fn next_borrowed(&mut self) -> Result<Option<(u64, &[ItemId])>> {
+        if self.done {
+            return Ok(None);
+        }
+        while self.remaining == 0 {
+            if !self.next_block()? {
+                self.done = true;
+                return Ok(None);
+            }
+        }
+        let (delta, pos) =
+            format::decode_record(&self.payload, self.pos, self.vocab_len, &mut self.items)?;
+        self.pos = pos;
+        let id = self
+            .prev_seq
+            .checked_add(delta)
+            .ok_or_else(|| StoreError::Corrupt("sequence id delta overflows".into()))?;
+        if id > self.header.last_seq {
+            return Err(StoreError::Corrupt(format!(
+                "sequence id {id} beyond block's last id {}",
+                self.header.last_seq
+            )));
+        }
+        self.prev_seq = id;
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            if self.pos != self.payload.len() {
+                return Err(StoreError::Corrupt(
+                    "trailing bytes in block payload".into(),
+                ));
+            }
+            if id != self.header.last_seq {
+                return Err(StoreError::Corrupt(
+                    "block's last sequence id does not match its header".into(),
+                ));
+            }
+        }
+        Ok(Some((id, &self.items)))
+    }
+}
+
+impl Iterator for ShardScan {
+    type Item = Result<(u64, Vec<ItemId>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_borrowed() {
+            Ok(Some((id, items))) => Some(Ok((id, items.to_vec()))),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Iterates every sequence of a corpus, shard by shard.
+pub struct CorpusScan<'a> {
+    reader: &'a CorpusReader,
+    shard: usize,
+    current: Option<ShardScan>,
+}
+
+impl Iterator for CorpusScan<'_> {
+    type Item = Result<(u64, Vec<ItemId>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(scan) = &mut self.current {
+                match scan.next() {
+                    Some(item) => return Some(item),
+                    None => self.current = None,
+                }
+            }
+            if self.shard >= self.reader.num_shards() {
+                return None;
+            }
+            match self.reader.scan_shard(self.shard) {
+                Ok(scan) => {
+                    self.shard += 1;
+                    self.current = Some(scan);
+                }
+                Err(e) => {
+                    self.shard = self.reader.num_shards();
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Iterates the block headers of one shard, seeking over payload frames
+/// without reading them.
+///
+/// Because payloads are never read, their checksums cannot flag damage —
+/// instead the iterator verifies that every seek stays inside the file and
+/// that the block count matches the manifest, so truncation is still
+/// detected.
+pub struct BlockHeaders {
+    file: BufReader<File>,
+    file_len: u64,
+    expected_blocks: u64,
+    seen_blocks: u64,
+    done: bool,
+}
+
+impl BlockHeaders {
+    fn open(path: PathBuf, shard: u32, expected_blocks: u64) -> Result<Self> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut file = BufReader::new(file);
+        let header = read_required_frame(&mut file, "segment header")?;
+        format::decode_segment_header(&header, shard)?;
+        Ok(BlockHeaders {
+            file,
+            file_len,
+            expected_blocks,
+            seen_blocks: 0,
+            done: false,
+        })
+    }
+
+    /// Seeks past the next frame (a block payload) without reading it.
+    fn skip_frame(&mut self) -> Result<()> {
+        let Some(skip) = frame::read_frame_len(&mut self.file)? else {
+            return Err(StoreError::Corrupt("missing block payload frame".into()));
+        };
+        self.file.seek_relative(skip as i64)?;
+        // Seeking past EOF succeeds silently; catch it by position.
+        if self.file.stream_position()? > self.file_len {
+            return Err(StoreError::Corrupt(
+                "segment truncated inside a block payload".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for BlockHeaders {
+    type Item = Result<BlockHeader>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let header_bytes = match frame::read_frame(&mut self.file) {
+            Ok(FrameRead::Eof) => {
+                self.done = true;
+                if self.seen_blocks != self.expected_blocks {
+                    return Some(Err(StoreError::Corrupt(format!(
+                        "segment holds {} blocks, manifest says {}",
+                        self.seen_blocks, self.expected_blocks
+                    ))));
+                }
+                return None;
+            }
+            Ok(FrameRead::Payload(bytes)) => bytes,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e.into()));
+            }
+        };
+        let result = format::decode_block_header(&header_bytes).and_then(|h| {
+            self.skip_frame()?;
+            Ok(h)
+        });
+        match &result {
+            Ok(_) => self.seen_blocks += 1,
+            Err(_) => self.done = true,
+        }
+        Some(result)
+    }
+}

@@ -1,0 +1,229 @@
+//! The append-once corpus writer.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use lash_core::enumeration::g1_items;
+use lash_core::sequence::SequenceDatabase;
+use lash_core::vocabulary::{ItemId, Vocabulary};
+use lash_encoding::frame;
+
+use crate::format::{self, BlockHeader, Manifest, ShardStats, FORMAT_VERSION, MANIFEST_FILE};
+use crate::{Result, StoreError, StoreOptions};
+
+/// Streaming writer of a new corpus.
+///
+/// Sequences are appended one at a time (each gets the next corpus-wide id),
+/// routed to their shard, and delta/varint-encoded into that shard's open
+/// block. Blocks close at the first sequence boundary at or past the
+/// configured payload budget. [`CorpusWriter::finish`] seals every shard and
+/// writes the manifest — until then the directory holds no manifest, so a
+/// crashed write is never mistaken for a complete corpus.
+pub struct CorpusWriter {
+    dir: PathBuf,
+    opts: StoreOptions,
+    vocab: Vocabulary,
+    shards: Vec<ShardWriter>,
+    next_seq: u64,
+    total_items: u64,
+    scratch: Vec<ItemId>,
+}
+
+/// One shard's open segment file plus the block being assembled.
+struct ShardWriter {
+    file: BufWriter<File>,
+    stats: ShardStats,
+    block: BlockBuilder,
+    header_buf: Vec<u8>,
+}
+
+/// Accumulates one block: compressed payload plus header metadata.
+#[derive(Default)]
+struct BlockBuilder {
+    payload: Vec<u8>,
+    records: u32,
+    first_seq: u64,
+    prev_seq: u64,
+    items: u64,
+    min_item: Option<u32>,
+    max_item: Option<u32>,
+    sketch: BTreeMap<u32, u32>,
+}
+
+impl BlockBuilder {
+    fn reset(&mut self) {
+        self.payload.clear();
+        self.records = 0;
+        self.items = 0;
+        self.min_item = None;
+        self.max_item = None;
+        self.sketch.clear();
+    }
+}
+
+impl CorpusWriter {
+    /// Creates a new corpus at `dir` with the given vocabulary.
+    ///
+    /// The directory is created if missing; an existing manifest makes this
+    /// fail with [`StoreError::AlreadyExists`] — the format is append-once,
+    /// a corpus is never mutated in place.
+    pub fn create(dir: impl AsRef<Path>, vocab: &Vocabulary, opts: StoreOptions) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        opts.partitioning.validate()?;
+        fs::create_dir_all(&dir)?;
+        if dir.join(MANIFEST_FILE).exists() {
+            return Err(StoreError::AlreadyExists(dir));
+        }
+        let num_shards = opts.partitioning.num_shards();
+        let mut shards = Vec::with_capacity(num_shards as usize);
+        for shard in 0..num_shards {
+            let path = dir.join(format::shard_file_name(shard));
+            let mut file = BufWriter::new(File::create(path)?);
+            let mut header = Vec::new();
+            format::encode_segment_header(shard, &mut header);
+            frame::write_frame(&header, &mut file)?;
+            shards.push(ShardWriter {
+                file,
+                stats: ShardStats::default(),
+                block: BlockBuilder::default(),
+                header_buf: Vec::new(),
+            });
+        }
+        Ok(CorpusWriter {
+            dir,
+            opts,
+            vocab: vocab.clone(),
+            shards,
+            next_seq: 0,
+            total_items: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The vocabulary this corpus is written against.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of sequences appended so far.
+    pub fn len(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// True if nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.next_seq == 0
+    }
+
+    /// Appends one sequence; returns its corpus-wide id.
+    pub fn append(&mut self, seq: &[ItemId]) -> Result<u64> {
+        for &item in seq {
+            if item.index() >= self.vocab.len() {
+                return Err(StoreError::UnknownItem(item.as_u32()));
+            }
+        }
+        let id = self.next_seq;
+        self.next_seq += 1;
+        self.total_items += seq.len() as u64;
+        let shard_idx = self.opts.partitioning.shard_of(id) as usize;
+        let shard = &mut self.shards[shard_idx];
+        let block = &mut shard.block;
+        if block.records == 0 {
+            block.first_seq = id;
+            block.prev_seq = id;
+        }
+        format::encode_record(id - block.prev_seq, seq, &mut block.payload);
+        block.prev_seq = id;
+        block.records += 1;
+        block.items += seq.len() as u64;
+        for &item in seq {
+            let v = item.as_u32();
+            block.min_item = Some(block.min_item.map_or(v, |m| m.min(v)));
+            block.max_item = Some(block.max_item.map_or(v, |m| m.max(v)));
+        }
+        if self.opts.sketches {
+            g1_items(seq, &self.vocab, &mut self.scratch);
+            for item in &self.scratch {
+                *block.sketch.entry(item.as_u32()).or_insert(0) += 1;
+            }
+        }
+        shard.stats.sequences += 1;
+        shard.stats.min_seq = shard.stats.min_seq.min(id);
+        shard.stats.max_seq = shard.stats.max_seq.max(id);
+        if block.payload.len() >= self.opts.block_budget {
+            Self::flush_block(shard)?;
+        }
+        Ok(id)
+    }
+
+    /// Appends every sequence of `db` in order.
+    pub fn append_db(&mut self, db: &SequenceDatabase) -> Result<()> {
+        for seq in db.iter() {
+            self.append(seq)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the open block of `shard`, writing its header and payload
+    /// frames.
+    fn flush_block(shard: &mut ShardWriter) -> Result<()> {
+        let block = &mut shard.block;
+        if block.records == 0 {
+            return Ok(());
+        }
+        let header = BlockHeader {
+            records: block.records,
+            first_seq: block.first_seq,
+            last_seq: block.prev_seq,
+            items: block.items,
+            min_item: block.min_item,
+            max_item: block.max_item,
+            sketch: Vec::new(),
+        };
+        shard.header_buf.clear();
+        format::encode_block_header(&header, &block.sketch, &mut shard.header_buf);
+        frame::write_frame(&shard.header_buf, &mut shard.file)?;
+        frame::write_frame(&block.payload, &mut shard.file)?;
+        shard.stats.blocks += 1;
+        shard.stats.payload_bytes += block.payload.len() as u64;
+        block.reset();
+        Ok(())
+    }
+
+    /// Seals all shards and writes the manifest. The corpus is complete —
+    /// and only then readable — once this returns.
+    pub fn finish(mut self) -> Result<Manifest> {
+        for shard in &mut self.shards {
+            Self::flush_block(shard)?;
+            shard.file.flush()?;
+        }
+        let manifest = Manifest {
+            version: FORMAT_VERSION,
+            partitioning: self.opts.partitioning,
+            num_sequences: self.next_seq,
+            total_items: self.total_items,
+            sketches: self.opts.sketches,
+            shards: self.shards.iter().map(|s| s.stats.clone()).collect(),
+        };
+        // Write to a temp name and rename so a crash mid-write never leaves
+        // a plausible-looking manifest behind.
+        let tmp = self.dir.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut file = BufWriter::new(File::create(&tmp)?);
+            let mut buf = Vec::new();
+            format::encode_manifest_header(&manifest, &mut buf);
+            frame::write_frame(&buf, &mut file)?;
+            buf.clear();
+            format::encode_vocabulary(&self.vocab, &mut buf);
+            frame::write_frame(&buf, &mut file)?;
+            buf.clear();
+            format::encode_shard_stats(&manifest.shards, &mut buf);
+            frame::write_frame(&buf, &mut file)?;
+            file.flush()?;
+        }
+        fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
+        Ok(manifest)
+    }
+}

@@ -1,0 +1,279 @@
+//! Behavioral tests of the store: cold reopen, parallel scans, range
+//! pruning, append-once enforcement, and corruption detection end-to-end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lash_core::{ItemId, SequenceDatabase, Vocabulary, VocabularyBuilder};
+use lash_store::{CorpusReader, CorpusWriter, Partitioning, StoreError, StoreOptions};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("lash-store-test-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_vocab() -> (Vocabulary, Vec<ItemId>) {
+    let mut vb = VocabularyBuilder::new();
+    let b = vb.intern("B");
+    let b1 = vb.child("b1", b);
+    let b2 = vb.child("b2", b);
+    let a = vb.intern("a");
+    let c = vb.intern("c");
+    (vb.finish().unwrap(), vec![a, b, b1, b2, c])
+}
+
+fn sample_db(items: &[ItemId], n: usize) -> SequenceDatabase {
+    let mut db = SequenceDatabase::new();
+    for i in 0..n {
+        // Deterministic, varied lengths incl. empties.
+        let len = i % 5;
+        let seq: Vec<ItemId> = (0..len).map(|j| items[(i + j) % items.len()]).collect();
+        db.push(&seq);
+    }
+    db
+}
+
+#[test]
+fn cold_reopen_preserves_everything() {
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 100);
+    let dir = temp_dir("cold");
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(3))
+        .with_block_budget(64);
+    let manifest = lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    assert_eq!(manifest.num_sequences, 100);
+    assert_eq!(manifest.shards.len(), 3);
+    assert!(manifest.shards.iter().all(|s| s.sequences > 0));
+    assert!(manifest.shards.iter().all(|s| s.blocks > 0));
+
+    // Fresh process state: nothing shared with the writer but the files.
+    let reader = CorpusReader::open(&dir).unwrap();
+    assert_eq!(reader.len(), 100);
+    assert_eq!(reader.manifest(), &manifest);
+    let back = reader.to_database().unwrap();
+    for i in 0..db.len() {
+        assert_eq!(back.get(i), db.get(i));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn par_scan_visits_every_shard_once() {
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 200);
+    let dir = temp_dir("par");
+    let opts = StoreOptions::default().with_partitioning(Partitioning::hash(5));
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    let counts = reader
+        .par_scan(4, |shard, scan| {
+            let mut n = 0u64;
+            for record in scan {
+                record?;
+                n += 1;
+            }
+            Ok((shard, n))
+        })
+        .unwrap();
+    assert_eq!(counts.len(), 5);
+    // Results arrive in shard order with per-shard counts matching stats.
+    for (i, (shard, n)) in counts.iter().enumerate() {
+        assert_eq!(*shard, i);
+        assert_eq!(*n, reader.manifest().shards[i].sequences);
+    }
+    assert_eq!(counts.iter().map(|(_, n)| n).sum::<u64>(), 200);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn range_partitioning_supports_shard_pruning() {
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 100);
+    let dir = temp_dir("range");
+    let opts = StoreOptions::default().with_partitioning(Partitioning::range(4, 25));
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    // Ids 30..40 live entirely in shard 1 (ids 25..50).
+    assert_eq!(reader.shards_overlapping(30..40), vec![1]);
+    assert_eq!(reader.shards_overlapping(0..100), vec![0, 1, 2, 3]);
+    assert_eq!(reader.shards_overlapping(99..100), vec![3]);
+    // The pruned shard really contains those ids.
+    let ids: Vec<u64> = reader
+        .scan_shard(1)
+        .unwrap()
+        .map(|r| r.unwrap().0)
+        .collect();
+    assert_eq!(ids, (25..50).collect::<Vec<u64>>());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn append_once_is_enforced() {
+    let (vocab, items) = small_vocab();
+    let dir = temp_dir("once");
+    let mut w = CorpusWriter::create(&dir, &vocab, StoreOptions::default()).unwrap();
+    w.append(&[items[0]]).unwrap();
+    w.finish().unwrap();
+    match CorpusWriter::create(&dir, &vocab, StoreOptions::default()) {
+        Err(StoreError::AlreadyExists(_)) => {}
+        Err(other) => panic!("expected AlreadyExists, got {other:?}"),
+        Ok(_) => panic!("expected AlreadyExists, got a writer"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unfinished_corpus_is_not_readable() {
+    let (vocab, items) = small_vocab();
+    let dir = temp_dir("unfinished");
+    let mut w = CorpusWriter::create(&dir, &vocab, StoreOptions::default()).unwrap();
+    w.append(&[items[0], items[1]]).unwrap();
+    // No finish(): the manifest was never written.
+    drop(w);
+    assert!(CorpusReader::open(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_items_are_rejected_at_append() {
+    let (vocab, _) = small_vocab();
+    let dir = temp_dir("unknown");
+    let mut w = CorpusWriter::create(&dir, &vocab, StoreOptions::default()).unwrap();
+    match w.append(&[ItemId::from_u32(1000)]) {
+        Err(StoreError::UnknownItem(1000)) => {}
+        other => panic!("expected UnknownItem, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_shards_is_rejected() {
+    let (vocab, _) = small_vocab();
+    let dir = temp_dir("zeroshards");
+    let opts = StoreOptions::default().with_partitioning(Partitioning::hash(0));
+    assert!(matches!(
+        CorpusWriter::create(&dir, &vocab, opts),
+        Err(StoreError::InvalidOptions(_))
+    ));
+}
+
+#[test]
+fn segment_corruption_is_detected_on_scan() {
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 50);
+    let dir = temp_dir("corrupt");
+    let opts = StoreOptions::default().with_partitioning(Partitioning::hash(1));
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    // Flip a byte deep inside the (only) segment file.
+    let seg = dir.join("shard-00000.seg");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&seg, &bytes).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    let outcome: Result<Vec<_>, _> = reader.scan_shard(0).unwrap().collect();
+    assert!(outcome.is_err(), "flipped byte went undetected");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_segment_is_detected_on_scan() {
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 50);
+    let dir = temp_dir("trunc");
+    let opts = StoreOptions::default().with_partitioning(Partitioning::hash(1));
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let seg = dir.join("shard-00000.seg");
+    let bytes = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    let outcome: Result<Vec<_>, _> = reader.scan_shard(0).unwrap().collect();
+    assert!(outcome.is_err(), "truncation went undetected");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_is_detected_by_the_header_only_path() {
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 200);
+    let dir = temp_dir("trunc-headers");
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(1))
+        .with_block_budget(64);
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let seg = dir.join("shard-00000.seg");
+    let bytes = std::fs::read(&seg).unwrap();
+
+    // Cut inside the last block's payload: header frames all intact, so
+    // only the length/count cross-checks can notice.
+    std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    let outcome: Result<Vec<_>, _> = reader.block_headers(0).unwrap().collect();
+    assert!(outcome.is_err(), "mid-payload truncation went undetected");
+    assert!(
+        reader.flist().is_err(),
+        "flist accepted a truncated segment"
+    );
+
+    // Cut a whole trailing block off (truncate to just past the midpoint
+    // frame boundary): the manifest block count must flag the shortfall.
+    let header_count = reader.manifest().shards[0].blocks;
+    assert!(header_count > 1);
+    std::fs::write(&seg, &bytes[..bytes.len() / 2]).unwrap();
+    let outcome: Result<Vec<_>, _> = reader.block_headers(0).unwrap().collect();
+    assert!(outcome.is_err(), "missing trailing blocks went undetected");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn empty_corpus_round_trips() {
+    let (vocab, _) = small_vocab();
+    let dir = temp_dir("empty");
+    let w = CorpusWriter::create(&dir, &vocab, StoreOptions::default()).unwrap();
+    let manifest = w.finish().unwrap();
+    assert_eq!(manifest.num_sequences, 0);
+    let reader = CorpusReader::open(&dir).unwrap();
+    assert!(reader.is_empty());
+    assert_eq!(reader.to_database().unwrap().len(), 0);
+    assert_eq!(reader.scan().count(), 0);
+    // Header-only f-list of an empty corpus: all zeros.
+    let flist = reader.flist().unwrap().unwrap();
+    for item in vocab.items() {
+        assert_eq!(flist.frequency(item), 0);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn block_headers_skip_payloads_but_see_all_blocks() {
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 100);
+    let dir = temp_dir("headers");
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(2))
+        .with_block_budget(32);
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    for shard in 0..reader.num_shards() {
+        let headers: Vec<_> = reader
+            .block_headers(shard)
+            .unwrap()
+            .map(|h| h.unwrap())
+            .collect();
+        let stats = &reader.manifest().shards[shard];
+        assert_eq!(headers.len() as u64, stats.blocks);
+        assert_eq!(
+            headers.iter().map(|h| h.records as u64).sum::<u64>(),
+            stats.sequences
+        );
+        // Headers tile the shard's id range in order.
+        for pair in headers.windows(2) {
+            assert!(pair[0].last_seq < pair[1].first_seq);
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

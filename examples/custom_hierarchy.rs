@@ -49,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Table 3-style output statistics: how much of the output is non-trivial
     // (invisible to a flat miner), closed, and maximal?
-    let flat = lash_core::distributed::mgfsm::MgFsm::new(Default::default())
-        .mine(&db, &vocab, &params)?;
+    let flat =
+        lash_core::distributed::mgfsm::MgFsm::new(Default::default()).mine(&db, &vocab, &params)?;
     let gsm_items: Vec<_> = result.patterns().iter().map(|p| p.items.clone()).collect();
     let flat_items: Vec<_> = flat.patterns().iter().map(|p| p.items.clone()).collect();
     let stats = output_stats(

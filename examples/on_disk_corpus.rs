@@ -1,0 +1,87 @@
+//! The on-disk corpus workflow: generate a synthetic AMZN-like corpus once,
+//! persist it as a partitioned `lash-store` corpus, reopen it cold, and mine
+//! it with PSM straight from storage — the f-list comes from block headers
+//! without decoding a single sequence payload, and the partition-and-mine
+//! job's map phase streams the shards in parallel.
+//!
+//! Run with: `cargo run --release --example on_disk_corpus`
+
+use lash::datagen::{ProductConfig, ProductCorpus, ProductHierarchy};
+use lash::store::{CorpusReader, Partitioning, StoreOptions};
+use lash::{GsmParams, Lash, LashConfig, MinerKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("lash-example-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. Generate a product-session corpus with an h4 category hierarchy
+    //    and persist it — this is the only time the data exists in memory.
+    let corpus = ProductCorpus::generate(&ProductConfig {
+        users: 20_000,
+        products: 4_000,
+        ..ProductConfig::default()
+    });
+    let (vocab, db) = corpus.dataset(ProductHierarchy::H4);
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(8))
+        .with_block_budget(64 * 1024);
+    let manifest = lash::store::convert::write_database(&dir, &vocab, &db, opts)?;
+    let on_disk: u64 = std::fs::read_dir(&dir)?
+        .filter_map(|e| e.ok()?.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    println!(
+        "persisted {} sessions / {} items into {} shards, {} blocks, {} KiB on disk",
+        manifest.num_sequences,
+        manifest.total_items,
+        manifest.shards.len(),
+        manifest.shards.iter().map(|s| s.blocks).sum::<u64>(),
+        on_disk / 1024,
+    );
+    drop((vocab, db, corpus));
+
+    // 2. Reopen cold: the manifest restores the vocabulary and hierarchy,
+    //    no text parsing, no full scan.
+    let reader = CorpusReader::open(&dir)?;
+    println!(
+        "reopened: {} sequences over {} items ({} hierarchy levels)",
+        reader.len(),
+        reader.vocabulary().len(),
+        reader.vocabulary().hierarchy_stats().levels,
+    );
+
+    // 3. Preprocessing from block headers alone: the generalized f-list is
+    //    assembled from the per-block G1 sketches.
+    let flist = reader.flist()?.expect("corpus written with sketches");
+    let sigma = 15;
+    println!(
+        "header-only f-list: {} frequent items at σ = {sigma}",
+        flist.num_frequent(sigma),
+    );
+
+    // 4. Mine with PSM from storage. Each map task of the distributed job
+    //    streams one shard — eight parallel scans feed the partitioner.
+    let params = GsmParams::new(sigma, 1, 4)?;
+    let result = reader.mine(
+        &Lash::new(LashConfig::default().with_miner(MinerKind::PsmIndexed)),
+        &params,
+    )?;
+    println!(
+        "mined {} generalized patterns {} in {:?} ({} partitions)",
+        result.patterns().len(),
+        params,
+        result.total_time(),
+        result.num_partitions,
+    );
+    println!("\ntop patterns (category-level patterns never occur literally):");
+    for p in result.patterns().iter().take(10) {
+        println!(
+            "  {:<40} frequency {}",
+            p.display(reader.vocabulary()),
+            p.frequency
+        );
+    }
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -10,7 +10,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Fig. 1 database: six sequences over a vocabulary with the
     // hierarchy B → {b1, b2, b3}, b1 → {b11, b12, b13}, D → {d1, d2}.
     let (vocab, db) = paper_example();
-    println!("database: {} sequences, {} items", db.len(), db.total_items());
+    println!(
+        "database: {} sequences, {} items",
+        db.len(),
+        db.total_items()
+    );
 
     // σ = 2 (support at least two sequences), γ = 1 (at most one gap item),
     // λ = 3 (patterns up to three items).
@@ -19,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nfrequent generalized sequences {params}:");
     for pattern in result.patterns() {
-        println!("  {:<12} frequency {}", pattern.display(&vocab), pattern.frequency);
+        println!(
+            "  {:<12} frequency {}",
+            pattern.display(&vocab),
+            pattern.frequency
+        );
     }
 
     // The hallmark of GSM: `b1 D` is frequent although it never occurs

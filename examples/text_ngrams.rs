@@ -54,14 +54,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare against flat n-gram mining: how many patterns does the
     // hierarchy add?
-    let flat = lash_core::distributed::mgfsm::MgFsm::new(Default::default())
-        .mine(&db, &vocab, &params)?;
+    let flat =
+        lash_core::distributed::mgfsm::MgFsm::new(Default::default()).mine(&db, &vocab, &params)?;
     println!(
         "\nflat n-gram mining finds {} patterns; GSM finds {} — the hierarchy \
          surfaces {} additional generalized patterns.",
         flat.patterns().len(),
         result.patterns().len(),
-        result.patterns().len().saturating_sub(flat.patterns().len())
+        result
+            .patterns()
+            .len()
+            .saturating_sub(flat.patterns().len())
     );
     Ok(())
 }

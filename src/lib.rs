@@ -12,7 +12,10 @@
 //! * [`mapreduce`] — the MapReduce substrate;
 //! * [`encoding`] — the wire-format codecs;
 //! * [`datagen`] — deterministic synthetic corpora mirroring the paper's
-//!   NYT and AMZN workloads.
+//!   NYT and AMZN workloads;
+//! * [`store`] — the partitioned, compressed on-disk sequence corpus
+//!   (write once with [`store::CorpusWriter`], reopen cold with
+//!   [`store::CorpusReader`], mine straight from storage).
 //!
 //! ## Quick start
 //!
@@ -61,4 +64,9 @@ pub mod encoding {
 /// Synthetic datasets (re-export of `lash-datagen`).
 pub mod datagen {
     pub use lash_datagen::*;
+}
+
+/// The partitioned on-disk sequence corpus (re-export of `lash-store`).
+pub mod store {
+    pub use lash_store::*;
 }

@@ -2,6 +2,7 @@
 //! `lash-datagen`, the full LASH pipeline on the MapReduce engine, baseline
 //! agreement, determinism, and fault tolerance.
 
+use lash::context::MiningContext;
 use lash::datagen::{
     paper_example, ProductConfig, ProductCorpus, ProductHierarchy, TextConfig, TextCorpus,
     TextHierarchy,
@@ -9,7 +10,6 @@ use lash::datagen::{
 use lash::distributed::mgfsm::{lash_flat, MgFsm};
 use lash::distributed::naive_job::run_naive;
 use lash::distributed::semi_naive_job::run_semi_naive;
-use lash::context::MiningContext;
 use lash::mapreduce::{ClusterConfig, FailurePlan, Phase};
 use lash::matching::matches;
 use lash::{GsmParams, Lash, LashConfig, MinerKind};
@@ -44,7 +44,9 @@ fn small_products() -> (lash::Vocabulary, lash::SequenceDatabase) {
 fn lash_agrees_with_naive_on_text_corpus() {
     let (vocab, db) = small_text();
     let params = GsmParams::new(10, 1, 3).unwrap();
-    let lash = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+    let lash = Lash::new(LashConfig::default())
+        .mine(&db, &vocab, &params)
+        .unwrap();
     let ctx = MiningContext::build(&db, &vocab, params.sigma);
     let (naive, _) = run_naive(&ctx, &params, &ClusterConfig::default()).unwrap();
     assert_eq!(lash.pattern_set(), &naive);
@@ -58,7 +60,12 @@ fn all_miners_agree_on_product_corpus() {
     let reference = Lash::new(LashConfig::default().with_miner(MinerKind::Naive))
         .mine(&db, &vocab, &params)
         .unwrap();
-    for miner in [MinerKind::Bfs, MinerKind::Dfs, MinerKind::Psm, MinerKind::PsmIndexed] {
+    for miner in [
+        MinerKind::Bfs,
+        MinerKind::Dfs,
+        MinerKind::Psm,
+        MinerKind::PsmIndexed,
+    ] {
         let result = Lash::new(LashConfig::default().with_miner(miner))
             .mine(&db, &vocab, &params)
             .unwrap();
@@ -83,16 +90,16 @@ fn semi_naive_agrees_on_text_corpus() {
     let (semi, semi_metrics) = run_semi_naive(&ctx, &params, &cluster).unwrap();
     assert_eq!(naive, semi);
     // Pruning must not *increase* the shuffle.
-    assert!(
-        semi_metrics.counters.map_output_bytes <= naive_metrics.counters.map_output_bytes
-    );
+    assert!(semi_metrics.counters.map_output_bytes <= naive_metrics.counters.map_output_bytes);
 }
 
 #[test]
 fn reported_frequencies_match_direct_support_counting() {
     let (vocab, db) = small_products();
     let params = GsmParams::new(8, 1, 3).unwrap();
-    let result = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+    let result = Lash::new(LashConfig::default())
+        .mine(&db, &vocab, &params)
+        .unwrap();
     let ctx = result.context();
     for (pattern, frequency) in result.pattern_set().iter() {
         let direct = (0..ctx.ranked_db().len())
@@ -114,8 +121,14 @@ fn results_are_deterministic_across_parallelism_and_splits() {
             .with_parallelism(par)
             .with_split_size(split)
             .with_reduce_tasks(5);
-        let result = Lash::new(LashConfig::new(cfg)).mine(&db, &vocab, &params).unwrap();
-        assert_eq!(reference.pattern_set(), result.pattern_set(), "par={par} split={split}");
+        let result = Lash::new(LashConfig::new(cfg))
+            .mine(&db, &vocab, &params)
+            .unwrap();
+        assert_eq!(
+            reference.pattern_set(),
+            result.pattern_set(),
+            "par={par} split={split}"
+        );
     }
 }
 
@@ -123,7 +136,9 @@ fn results_are_deterministic_across_parallelism_and_splits() {
 fn pipeline_survives_injected_failures_everywhere() {
     let (vocab, db) = small_products();
     let params = GsmParams::new(8, 1, 3).unwrap();
-    let clean = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+    let clean = Lash::new(LashConfig::default())
+        .mine(&db, &vocab, &params)
+        .unwrap();
     let plan = FailurePlan::none()
         .fail_once(Phase::Map, 0)
         .fail_n_times(Phase::Map, 1, 3)
@@ -133,7 +148,9 @@ fn pipeline_survives_injected_failures_everywhere() {
         .with_split_size(50)
         .with_reduce_tasks(4)
         .with_failures(plan);
-    let result = Lash::new(LashConfig::new(cfg)).mine(&db, &vocab, &params).unwrap();
+    let result = Lash::new(LashConfig::new(cfg))
+        .mine(&db, &vocab, &params)
+        .unwrap();
     assert_eq!(clean.pattern_set(), result.pattern_set());
     let failed = result.preprocess_metrics.counters.failed_map_tasks
         + result.preprocess_metrics.counters.failed_reduce_tasks
@@ -146,11 +163,17 @@ fn pipeline_survives_injected_failures_everywhere() {
 fn flat_mining_agrees_between_mgfsm_and_lash() {
     let (vocab, db) = small_text();
     let params = GsmParams::new(10, 1, 4).unwrap();
-    let a = MgFsm::new(ClusterConfig::default()).mine(&db, &vocab, &params).unwrap();
-    let b = lash_flat(ClusterConfig::default()).mine(&db, &vocab, &params).unwrap();
+    let a = MgFsm::new(ClusterConfig::default())
+        .mine(&db, &vocab, &params)
+        .unwrap();
+    let b = lash_flat(ClusterConfig::default())
+        .mine(&db, &vocab, &params)
+        .unwrap();
     assert_eq!(a.pattern_set(), b.pattern_set());
     // Flat mining never produces more patterns than GSM on the same data.
-    let gsm = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+    let gsm = Lash::new(LashConfig::default())
+        .mine(&db, &vocab, &params)
+        .unwrap();
     assert!(a.pattern_set().len() <= gsm.pattern_set().len());
 }
 
@@ -158,7 +181,9 @@ fn flat_mining_agrees_between_mgfsm_and_lash() {
 fn paper_example_via_facade() {
     let (vocab, db) = paper_example();
     let params = GsmParams::new(2, 1, 3).unwrap();
-    let result = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+    let result = Lash::new(LashConfig::default())
+        .mine(&db, &vocab, &params)
+        .unwrap();
     let mut names: Vec<(String, u64)> = result
         .patterns()
         .iter()
@@ -199,6 +224,8 @@ fn scaling_output_grows_superlinearly_with_data() {
     let half = Lash::new(LashConfig::default())
         .mine(&db.truncated(db.len() / 2), &vocab, &params)
         .unwrap();
-    let full = Lash::new(LashConfig::default()).mine(&db, &vocab, &params).unwrap();
+    let full = Lash::new(LashConfig::default())
+        .mine(&db, &vocab, &params)
+        .unwrap();
     assert!(full.pattern_set().len() > half.pattern_set().len());
 }

@@ -7,7 +7,9 @@ use lash::distributed::naive_job::run_naive;
 use lash::enumeration::enumerate_pivot;
 use lash::mapreduce::ClusterConfig;
 use lash::rewrite::{RewriteLevel, Rewriter};
-use lash::{GsmParams, Lash, LashConfig, MinerKind, SequenceDatabase, Vocabulary, VocabularyBuilder};
+use lash::{
+    GsmParams, Lash, LashConfig, MinerKind, SequenceDatabase, Vocabulary, VocabularyBuilder,
+};
 use proptest::prelude::*;
 
 /// A random forest hierarchy over `n` items: item `i`'s parent is either
@@ -22,7 +24,8 @@ fn arb_vocabulary(max_items: usize) -> impl Strategy<Value = Vocabulary> {
             for (i, parent) in parents.iter().enumerate() {
                 if i > 0 {
                     if let Some(p) = parent {
-                        vb.set_parent(items[i], items[p % i]).expect("parent precedes child");
+                        vb.set_parent(items[i], items[p % i])
+                            .expect("parent precedes child");
                     }
                 }
             }
@@ -32,10 +35,7 @@ fn arb_vocabulary(max_items: usize) -> impl Strategy<Value = Vocabulary> {
 }
 
 fn arb_database(vocab_len: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
-    prop::collection::vec(
-        prop::collection::vec(0..vocab_len as u32, 0..8),
-        1..10,
-    )
+    prop::collection::vec(prop::collection::vec(0..vocab_len as u32, 0..8), 1..10)
 }
 
 fn build_db(vocab: &Vocabulary, raw: &[Vec<u32>]) -> SequenceDatabase {
