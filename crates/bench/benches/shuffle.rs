@@ -1,0 +1,122 @@
+//! Throughput of the MapReduce shuffle: the all-in-memory fast path against
+//! the out-of-core external-sort path at several spill thresholds, plus a
+//! LASH mine job end-to-end on both paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lash_core::{GsmParams, Lash, LashConfig};
+use lash_datagen::{TextConfig, TextCorpus, TextHierarchy};
+use lash_mapreduce::{run_job, Emitter, EngineConfig, Job};
+
+/// A word-count-shaped job over synthetic token sequences: enough emitted
+/// pairs per input to make the shuffle the dominant cost.
+struct TokenCount;
+
+impl Job for TokenCount {
+    type Input = Vec<u32>;
+    type Key = u32;
+    type Value = u64;
+    type Output = (u32, u64);
+
+    fn map(&self, tokens: &Vec<u32>, emit: &mut Emitter<'_, Self>) {
+        for &t in tokens {
+            emit.emit(t, 1);
+        }
+    }
+
+    fn combine(&self, _key: &u32, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+
+    fn reduce(&self, key: u32, values: impl Iterator<Item = u64>, out: &mut Vec<(u32, u64)>) {
+        out.push((key, values.sum()));
+    }
+
+    fn encode_key(&self, key: &u32, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&key.to_be_bytes());
+    }
+    fn decode_key(&self, bytes: &[u8]) -> u32 {
+        u32::from_be_bytes(bytes.try_into().expect("4-byte key"))
+    }
+    fn encode_value(&self, value: &u64, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&value.to_le_bytes());
+    }
+    fn decode_value(&self, bytes: &[u8]) -> u64 {
+        u64::from_le_bytes(bytes.try_into().expect("8-byte value"))
+    }
+}
+
+/// Deterministic Zipf-ish token sequences.
+fn inputs() -> Vec<Vec<u32>> {
+    let mut state = 0x2545f4914f6cdd1du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..4_000)
+        .map(|_| {
+            (0..12)
+                .map(|_| {
+                    let r = next();
+                    // Skew towards small keys so groups have many values.
+                    ((r % 1000) * (r % 7) / 6) as u32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_shuffle_paths(c: &mut Criterion) {
+    let data = inputs();
+    let pairs: u64 = data.iter().map(|v| v.len() as u64).sum();
+    let base = EngineConfig::default()
+        .with_reduce_tasks(8)
+        .with_split_size(256);
+
+    let mut group = c.benchmark_group("shuffle");
+    group.throughput(Throughput::Elements(pairs));
+    group.bench_function("in_memory", |b| {
+        let cfg = base.clone().with_spill_threshold(None);
+        b.iter(|| black_box(run_job(&TokenCount, &data, &cfg).unwrap().outputs.len()));
+    });
+    for (label, threshold) in [("spill_64k", 64 * 1024), ("spill_8k", 8 * 1024)] {
+        let cfg = base.clone().with_spill_threshold(Some(threshold));
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(run_job(&TokenCount, &data, &cfg).unwrap().outputs.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mine_job_paths(c: &mut Criterion) {
+    let (vocab, db) = TextCorpus::generate(&TextConfig {
+        sentences: 4_000,
+        lemmas: 1_200,
+        ..TextConfig::default()
+    })
+    .dataset(TextHierarchy::LP);
+    let params = GsmParams::ngram(40, 4).expect("valid params");
+
+    let mut group = c.benchmark_group("mine_job");
+    group.throughput(Throughput::Elements(db.len() as u64));
+    group.sample_size(10);
+    let base = EngineConfig::default()
+        .with_reduce_tasks(8)
+        .with_split_size(512);
+    for (label, threshold) in [("in_memory", None), ("spill_64k", Some(64 * 1024))] {
+        let cfg = base.clone().with_spill_threshold(threshold);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let result = Lash::new(LashConfig::new(cfg.clone()))
+                    .mine(&db, &vocab, &params)
+                    .unwrap();
+                black_box(result.pattern_set().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shuffle_paths, bench_mine_job_paths);
+criterion_main!(benches);

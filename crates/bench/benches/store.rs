@@ -80,6 +80,20 @@ fn bench_scan(c: &mut Criterion) {
             black_box(items)
         });
     });
+    // Block-at-a-time delivery: shared item arena + offsets, no per-record
+    // allocation.
+    group.bench_function("streaming_batched", |b| {
+        b.iter(|| {
+            let mut items = 0usize;
+            for shard in 0..reader.num_shards() {
+                let mut scan = reader.scan_shard(shard).unwrap();
+                while let Some(batch) = scan.next_batch().unwrap() {
+                    items += batch.arena().len();
+                }
+            }
+            black_box(items)
+        });
+    });
     group.bench_function("parallel_8_shards", |b| {
         b.iter(|| {
             let counts = reader
@@ -87,6 +101,20 @@ fn bench_scan(c: &mut Criterion) {
                     let mut items = 0usize;
                     for record in scan {
                         items += record?.1.len();
+                    }
+                    Ok(items)
+                })
+                .unwrap();
+            black_box(counts.into_iter().sum::<usize>())
+        });
+    });
+    group.bench_function("parallel_8_shards_batched", |b| {
+        b.iter(|| {
+            let counts = reader
+                .par_scan(8, |_, mut scan| {
+                    let mut items = 0usize;
+                    while let Some(batch) = scan.next_batch()? {
+                        items += batch.arena().len();
                     }
                     Ok(items)
                 })

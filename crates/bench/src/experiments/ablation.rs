@@ -12,7 +12,7 @@ use super::{cluster, run_lash};
 
 /// Runs all three ablations on NYT-CLP (σ=100, γ=0, λ=5).
 pub fn ablation(datasets: &mut Datasets, report: &mut Report) {
-    let (vocab, db) = datasets.nyt().clone().dataset(TextHierarchy::CLP);
+    let (vocab, db) = datasets.nyt_dataset(TextHierarchy::CLP);
     let params = GsmParams::ngram(100, 5).expect("valid params");
 
     // 1. Rewrite levels: how much do the Sec. 4 rewrites save?

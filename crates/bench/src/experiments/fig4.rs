@@ -43,10 +43,9 @@ pub fn fig4ab(datasets: &mut Datasets, report: &mut Report) {
         "Shuffled bytes (MiB): map→reduce data volume",
         &["setting", "naive", "semi-naive", "LASH"],
     );
-    let corpus = datasets.nyt().clone();
     for (hierarchy, sigma, lambda) in settings {
         let params = GsmParams::ngram(sigma, lambda).expect("valid params");
-        let (vocab, db) = corpus.dataset(hierarchy);
+        let (vocab, db) = datasets.nyt_dataset(hierarchy);
         let label = setting_label(hierarchy.name(), &params);
 
         // Shared preprocessing (the paper reuses the f-list across methods).
@@ -117,10 +116,9 @@ pub fn fig4cd(datasets: &mut Datasets, report: &mut Report) {
         "#Candidate / output sequences per local miner",
         &["setting", "DFS", "PSM", "PSM+Index"],
     );
-    let corpus = datasets.nyt().clone();
     for (hierarchy, sigma, lambda) in settings {
         let params = GsmParams::ngram(sigma, lambda).expect("valid params");
-        let (vocab, db) = corpus.dataset(hierarchy);
+        let (vocab, db) = datasets.nyt_dataset(hierarchy);
         let label = setting_label(hierarchy.name(), &params);
         let mut times = Vec::new();
         let mut ratios = Vec::new();
@@ -167,7 +165,7 @@ pub fn fig4e(datasets: &mut Datasets, report: &mut Report) {
         &["setting", "MG-FSM", "LASH", "speedup"],
     );
     // Flat mining only looks at tokens; use the LP vocabulary's surface forms.
-    let (vocab, db) = datasets.nyt().clone().dataset(TextHierarchy::LP);
+    let (vocab, db) = datasets.nyt_dataset(TextHierarchy::LP);
     for (sigma, gamma, lambda) in settings {
         let params = GsmParams::new(sigma, gamma, lambda).expect("valid params");
         let label = setting_label("flat", &params);

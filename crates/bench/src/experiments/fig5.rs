@@ -37,7 +37,7 @@ pub fn fig5a(datasets: &mut Datasets, report: &mut Report) {
         "Effect of support σ (s): AMZN-h8, γ=1, λ=5",
         &PHASE_HEADERS,
     );
-    let (vocab, db) = datasets.amzn().clone().dataset(ProductHierarchy::H8);
+    let (vocab, db) = datasets.amzn_dataset(ProductHierarchy::H8);
     for sigma in [5u64, 25, 125, 625] {
         let params = GsmParams::new(sigma, 1, 5).expect("valid params");
         let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
@@ -57,7 +57,7 @@ pub fn fig5b(datasets: &mut Datasets, report: &mut Report) {
         "Effect of gap γ (s): AMZN-h8, σ=25, λ=5",
         &PHASE_HEADERS,
     );
-    let (vocab, db) = datasets.amzn().clone().dataset(ProductHierarchy::H8);
+    let (vocab, db) = datasets.amzn_dataset(ProductHierarchy::H8);
     for gamma in 0..=3usize {
         let params = GsmParams::new(25, gamma, 5).expect("valid params");
         let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
@@ -82,7 +82,7 @@ pub fn fig5cd(datasets: &mut Datasets, report: &mut Report) {
         "Output sequences vs λ: AMZN-h8, σ=25, γ=1",
         &["setting", "#patterns", "reduce (s)"],
     );
-    let (vocab, db) = datasets.amzn().clone().dataset(ProductHierarchy::H8);
+    let (vocab, db) = datasets.amzn_dataset(ProductHierarchy::H8);
     for lambda in 3..=7usize {
         let params = GsmParams::new(25, 1, lambda).expect("valid params");
         let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
@@ -109,9 +109,8 @@ pub fn fig5e(datasets: &mut Datasets, report: &mut Report) {
         "Effect of hierarchy depth (s): AMZN, σ=25, γ=2, λ=5",
         &PHASE_HEADERS,
     );
-    let corpus = datasets.amzn().clone();
     for hierarchy in ProductHierarchy::all() {
-        let (vocab, db) = corpus.dataset(hierarchy);
+        let (vocab, db) = datasets.amzn_dataset(hierarchy);
         let params = GsmParams::new(25, 2, 5).expect("valid params");
         let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
         table.row(phase_row(hierarchy.name().to_owned(), &result));
@@ -129,9 +128,8 @@ pub fn fig5f(datasets: &mut Datasets, report: &mut Report) {
         "Effect of hierarchy shape (s): NYT, σ=100, γ=0, λ=5",
         &PHASE_HEADERS,
     );
-    let corpus = datasets.nyt().clone();
     for hierarchy in TextHierarchy::all() {
-        let (vocab, db) = corpus.dataset(hierarchy);
+        let (vocab, db) = datasets.nyt_dataset(hierarchy);
         let params = GsmParams::ngram(100, 5).expect("valid params");
         let result = run_lash(&db, &vocab, &params, LashConfig::new(cluster()));
         table.row(phase_row(hierarchy.name().to_owned(), &result));

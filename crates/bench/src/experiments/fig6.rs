@@ -24,7 +24,7 @@ fn host_threads() -> usize {
 }
 
 fn dataset(datasets: &mut Datasets) -> (Vocabulary, SequenceDatabase) {
-    datasets.nyt().clone().dataset(TextHierarchy::CLP)
+    datasets.nyt_dataset(TextHierarchy::CLP)
 }
 
 /// Fig. 6(a): data scaling — 25/50/75/100% of the input.

@@ -15,8 +15,8 @@ use super::{cluster, run_lash};
 
 /// Table 1: dataset characteristics of the synthetic NYT and AMZN corpora.
 pub fn table1(datasets: &mut Datasets, report: &mut Report) {
-    let (_, nyt_db) = datasets.nyt().clone().dataset(TextHierarchy::CLP);
-    let (_, amzn_db) = datasets.amzn().clone().dataset(ProductHierarchy::H8);
+    let (_, nyt_db) = datasets.nyt_dataset(TextHierarchy::CLP);
+    let (_, amzn_db) = datasets.amzn_dataset(ProductHierarchy::H8);
     let rows = [
         DatasetSummary::compute("NYT", &nyt_db),
         DatasetSummary::compute("AMZN", &amzn_db),
@@ -62,14 +62,12 @@ pub fn table2(datasets: &mut Datasets, report: &mut Report) {
             "max fan-out",
         ],
     );
-    let nyt = datasets.nyt().clone();
     for h in TextHierarchy::all() {
-        let (vocab, _) = nyt.dataset(h);
+        let vocab = datasets.nyt_reader(h).vocabulary().clone();
         push_row(&mut table, &format!("NYT-{}", h.name()), &vocab);
     }
-    let amzn = datasets.amzn().clone();
     for h in ProductHierarchy::all() {
-        let (vocab, _) = amzn.dataset(h);
+        let vocab = datasets.amzn_reader(h).vocabulary().clone();
         push_row(&mut table, &format!("AMZN-{}", h.name()), &vocab);
     }
     report.add(table);
@@ -107,9 +105,8 @@ pub fn table3(datasets: &mut Datasets, report: &mut Report) {
         ],
     );
 
-    let nyt = datasets.nyt().clone();
     for h in [TextHierarchy::P, TextHierarchy::LP, TextHierarchy::CLP] {
-        let (vocab, db) = nyt.dataset(h);
+        let (vocab, db) = datasets.nyt_dataset(h);
         let params = GsmParams::ngram(100, 5).expect("valid params");
         add_stats_row(
             &mut table,
@@ -122,9 +119,8 @@ pub fn table3(datasets: &mut Datasets, report: &mut Report) {
 
     // The paper's σ ∈ {10000, 1000, 100} over 6.6M sessions maps to
     // {625, 125, 25} on the ~300× smaller synthetic corpus.
-    let amzn = datasets.amzn().clone();
+    let (vocab, db) = datasets.amzn_dataset(ProductHierarchy::H8);
     for sigma in [625u64, 125, 25] {
-        let (vocab, db) = amzn.dataset(ProductHierarchy::H8);
         let params = GsmParams::new(sigma, 1, 5).expect("valid params");
         add_stats_row(
             &mut table,

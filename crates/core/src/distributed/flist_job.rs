@@ -33,7 +33,7 @@ impl Job for FListJob<'_> {
     type Value = u64;
     type Output = (u32, u64);
 
-    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, u32, u64>) {
+    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, Self>) {
         let mut items = Vec::new();
         g1_items(self.db.get(idx as usize), self.vocab, &mut items);
         for item in items {
@@ -45,8 +45,8 @@ impl Job for FListJob<'_> {
         vec![values.into_iter().sum()]
     }
 
-    fn reduce(&self, key: u32, values: Vec<u64>, out: &mut Vec<(u32, u64)>) {
-        out.push((key, values.into_iter().sum()));
+    fn reduce(&self, key: u32, values: impl Iterator<Item = u64>, out: &mut Vec<(u32, u64)>) {
+        out.push((key, values.sum()));
     }
 
     fn encode_key(&self, key: &u32, buf: &mut Vec<u8>) {
@@ -97,7 +97,7 @@ impl<C: ShardedCorpus> Job for ShardedFListJob<'_, C> {
     type Value = u64;
     type Output = (u32, u64);
 
-    fn map(&self, &shard: &u32, emit: &mut Emitter<'_, u32, u64>) {
+    fn map(&self, &shard: &u32, emit: &mut Emitter<'_, Self>) {
         let mut items = Vec::new();
         let result = self.corpus.scan_shard(shard as usize, &mut |_, seq| {
             g1_items(seq, self.vocab, &mut items);
@@ -117,8 +117,8 @@ impl<C: ShardedCorpus> Job for ShardedFListJob<'_, C> {
         vec![values.into_iter().sum()]
     }
 
-    fn reduce(&self, key: u32, values: Vec<u64>, out: &mut Vec<(u32, u64)>) {
-        out.push((key, values.into_iter().sum()));
+    fn reduce(&self, key: u32, values: impl Iterator<Item = u64>, out: &mut Vec<(u32, u64)>) {
+        out.push((key, values.sum()));
     }
 
     fn encode_key(&self, key: &u32, buf: &mut Vec<u8>) {

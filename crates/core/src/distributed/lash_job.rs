@@ -290,12 +290,12 @@ impl LashResult {
 
 /// The shared map-side kernel of Alg. 1: routes one ranked sequence to the
 /// partition of every frequent pivot in `G1(T)`, shipping its rewrite.
-fn map_ranked_sequence(
+fn map_ranked_sequence<J: Job<Key = u32, Value = (Vec<u32>, u64)>>(
     seq: &[u32],
     ctx: &MiningContext,
     rewriter: &Rewriter<'_>,
     g1: &mut Vec<u32>,
-    emit: &mut Emitter<'_, u32, (Vec<u32>, u64)>,
+    emit: &mut Emitter<'_, J>,
 ) {
     g1_ranks(seq, ctx.space(), g1);
     for &w in g1.iter() {
@@ -325,7 +325,7 @@ impl Job for LashJob<'_> {
     type Value = (Vec<u32>, u64);
     type Output = (Vec<u32>, u64);
 
-    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, u32, (Vec<u32>, u64)>) {
+    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, Self>) {
         let seq = self.ctx.ranked_seq(idx as usize);
         let rewriter = Rewriter::with_level(self.ctx.space(), &self.params, self.rewrite_level);
         let mut g1 = Vec::new();
@@ -345,7 +345,15 @@ impl Job for LashJob<'_> {
         out
     }
 
-    fn reduce(&self, pivot: u32, values: Vec<(Vec<u32>, u64)>, out: &mut Vec<(Vec<u32>, u64)>) {
+    fn reduce(
+        &self,
+        pivot: u32,
+        values: impl Iterator<Item = (Vec<u32>, u64)>,
+        out: &mut Vec<(Vec<u32>, u64)>,
+    ) {
+        // The local miners need the whole partition, so the value stream is
+        // aggregated here — one partition resident per reduce task, which is
+        // exactly the bound the paper's reduce phase has.
         let partition = Partition::aggregate(values);
         let (patterns, stats) = self
             .miner
@@ -420,15 +428,23 @@ impl<C: ShardedCorpus> Job for ShardedLashJob<'_, C> {
     type Value = (Vec<u32>, u64);
     type Output = (Vec<u32>, u64);
 
-    fn map(&self, &shard: &u32, emit: &mut Emitter<'_, u32, (Vec<u32>, u64)>) {
+    fn map(&self, &shard: &u32, emit: &mut Emitter<'_, Self>) {
         let rewriter = Rewriter::with_level(self.ctx.space(), &self.params, self.rewrite_level);
         let mut ranked = Vec::new();
         let mut g1 = Vec::new();
-        let result = self.corpus.scan_shard(shard as usize, &mut |_, seq| {
-            ranked.clear();
-            ranked.extend(seq.iter().map(|&it| self.ctx.order().rank(it)));
-            map_ranked_sequence(&ranked, self.ctx, &rewriter, &mut g1, emit);
-        });
+        // A sequence with no frequent item in its G1 closure emits nothing,
+        // so the corpus may skip whole blocks whose sketch proves exactly
+        // that (long-tail shards never even decode them).
+        let ctx = self.ctx;
+        let frequent =
+            move |item: crate::vocabulary::ItemId| ctx.space().is_frequent(ctx.order().rank(item));
+        let result = self
+            .corpus
+            .scan_shard_pruned(shard as usize, &frequent, &mut |_, seq| {
+                ranked.clear();
+                ranked.extend(seq.iter().map(|&it| self.ctx.order().rank(it)));
+                map_ranked_sequence(&ranked, self.ctx, &rewriter, &mut g1, emit);
+            });
         if let Err(e) = result {
             self.scan_error
                 .lock()
@@ -450,7 +466,12 @@ impl<C: ShardedCorpus> Job for ShardedLashJob<'_, C> {
         out
     }
 
-    fn reduce(&self, pivot: u32, values: Vec<(Vec<u32>, u64)>, out: &mut Vec<(Vec<u32>, u64)>) {
+    fn reduce(
+        &self,
+        pivot: u32,
+        values: impl Iterator<Item = (Vec<u32>, u64)>,
+        out: &mut Vec<(Vec<u32>, u64)>,
+    ) {
         let partition = Partition::aggregate(values);
         let (patterns, stats) = self
             .miner

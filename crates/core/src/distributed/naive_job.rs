@@ -26,7 +26,7 @@ impl Job for NaiveJob<'_> {
     type Value = u64;
     type Output = (Vec<u32>, u64);
 
-    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, Vec<u32>, u64>) {
+    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, Self>) {
         let seq = self.ctx.ranked_seq(idx as usize);
         for sub in enumerate_gl(seq, self.ctx.space(), self.params.gamma, self.params.lambda) {
             emit.emit(sub, 1);
@@ -37,8 +37,13 @@ impl Job for NaiveJob<'_> {
         vec![values.into_iter().sum()]
     }
 
-    fn reduce(&self, key: Vec<u32>, values: Vec<u64>, out: &mut Vec<(Vec<u32>, u64)>) {
-        let frequency: u64 = values.into_iter().sum();
+    fn reduce(
+        &self,
+        key: Vec<u32>,
+        values: impl Iterator<Item = u64>,
+        out: &mut Vec<(Vec<u32>, u64)>,
+    ) {
+        let frequency: u64 = values.sum();
         if frequency >= self.params.sigma {
             out.push((key, frequency));
         }

@@ -29,7 +29,7 @@ impl Job for SemiNaiveJob<'_> {
     type Value = u64;
     type Output = (Vec<u32>, u64);
 
-    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, Vec<u32>, u64>) {
+    fn map(&self, &idx: &u32, emit: &mut Emitter<'_, Self>) {
         let space = self.ctx.space();
         // Generalize infrequent items to their closest frequent ancestor;
         // items without one become blanks (paper's T4 → b1 a ␣ a example).
@@ -54,8 +54,13 @@ impl Job for SemiNaiveJob<'_> {
         vec![values.into_iter().sum()]
     }
 
-    fn reduce(&self, key: Vec<u32>, values: Vec<u64>, out: &mut Vec<(Vec<u32>, u64)>) {
-        let frequency: u64 = values.into_iter().sum();
+    fn reduce(
+        &self,
+        key: Vec<u32>,
+        values: impl Iterator<Item = u64>,
+        out: &mut Vec<(Vec<u32>, u64)>,
+    ) {
+        let frequency: u64 = values.sum();
         if frequency >= self.params.sigma {
             out.push((key, frequency));
         }

@@ -141,6 +141,28 @@ pub trait ShardedCorpus: Sync {
         shard: usize,
         f: &mut dyn FnMut(u64, &[ItemId]),
     ) -> crate::error::Result<()>;
+
+    /// Like [`ShardedCorpus::scan_shard`], but the corpus **may skip** any
+    /// group of sequences it can prove irrelevant: a sequence may be
+    /// withheld from `f` when no item of its G1 closure (its items plus all
+    /// their ancestors) satisfies `relevant`. Backends with per-block G1
+    /// sketches (`lash-store`) use this to skip whole blocks without
+    /// decoding them; the default implementation ignores the predicate and
+    /// scans everything, which is always correct.
+    ///
+    /// Callers must therefore only pass predicates whose rejected sequences
+    /// genuinely cannot contribute — e.g. the partition-and-mine map phase,
+    /// where a sequence without a single frequent item in its closure emits
+    /// nothing.
+    fn scan_shard_pruned(
+        &self,
+        shard: usize,
+        relevant: &(dyn Fn(ItemId) -> bool + Sync),
+        f: &mut dyn FnMut(u64, &[ItemId]),
+    ) -> crate::error::Result<()> {
+        let _ = relevant;
+        self.scan_shard(shard, f)
+    }
 }
 
 impl ShardedCorpus for SequenceDatabase {

@@ -1,6 +1,7 @@
-//! Cluster configuration and deterministic failure injection.
+//! Engine configuration and deterministic failure injection.
 
 use std::collections::HashSet;
+use std::path::PathBuf;
 
 /// Job phase, for counters and failure injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,9 +59,15 @@ impl FailurePlan {
     }
 }
 
-/// Engine configuration: the in-process stand-in for cluster topology.
+/// Environment variable overriding the default spill threshold, so a test
+/// run can force every job onto the out-of-core path (`0` spills after every
+/// record). CI runs the whole workspace with this set to `0`.
+pub const SPILL_THRESHOLD_ENV: &str = "LASH_SPILL_THRESHOLD";
+
+/// Engine configuration: the in-process stand-in for cluster topology plus
+/// the out-of-core shuffle knobs.
 #[derive(Debug, Clone)]
-pub struct ClusterConfig {
+pub struct EngineConfig {
     /// Concurrent map tasks ("map slots"). The paper's cluster runs 10
     /// workers × 8 slots; here each slot is a thread.
     pub map_parallelism: usize,
@@ -76,14 +83,25 @@ pub struct ClusterConfig {
     pub max_attempts: u32,
     /// Injected failures.
     pub failure_plan: FailurePlan,
+    /// Map-side sort-buffer budget in serialized bytes. `None` keeps the
+    /// whole shuffle in memory (the fast path); `Some(n)` makes a map task
+    /// spill a sorted run to disk whenever its buffered output exceeds `n`
+    /// bytes (`Some(0)` spills after every record). Reduce tasks k-way merge
+    /// the runs, streaming groups, so reduce-side memory stays bounded by
+    /// the merge cursors instead of the partition size.
+    pub spill_threshold_bytes: Option<usize>,
+    /// Directory for spill files. `None` uses the system temp directory.
+    /// Each job run creates (and removes on completion) a unique
+    /// subdirectory, so concurrent jobs never collide.
+    pub spill_dir: Option<PathBuf>,
 }
 
-impl Default for ClusterConfig {
+impl Default for EngineConfig {
     fn default() -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        ClusterConfig {
+        EngineConfig {
             map_parallelism: threads,
             reduce_parallelism: threads,
             num_reduce_tasks: threads * 2,
@@ -91,14 +109,33 @@ impl Default for ClusterConfig {
             use_combiner: true,
             max_attempts: 4,
             failure_plan: FailurePlan::none(),
+            spill_threshold_bytes: spill_threshold_from_env(),
+            spill_dir: None,
         }
     }
 }
 
-impl ClusterConfig {
+/// Reads [`SPILL_THRESHOLD_ENV`]; unset or empty means "in memory".
+///
+/// A set-but-unparsable value panics: the variable exists to force test
+/// runs through the spill path, and a typo silently falling back to the
+/// in-memory path would defeat exactly that.
+fn spill_threshold_from_env() -> Option<usize> {
+    let value = std::env::var(SPILL_THRESHOLD_ENV).ok()?;
+    let value = value.trim();
+    if value.is_empty() {
+        return None;
+    }
+    match value.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(e) => panic!("{SPILL_THRESHOLD_ENV}={value:?} is not a byte count: {e}"),
+    }
+}
+
+impl EngineConfig {
     /// A single-threaded configuration (useful for determinism tests).
     pub fn sequential() -> Self {
-        ClusterConfig {
+        EngineConfig {
             map_parallelism: 1,
             reduce_parallelism: 1,
             num_reduce_tasks: 1,
@@ -138,7 +175,25 @@ impl ClusterConfig {
         self.failure_plan = plan;
         self
     }
+
+    /// Sets the spill threshold: `None` for the all-in-memory shuffle,
+    /// `Some(n)` to spill sorted runs once a map task buffers more than `n`
+    /// serialized bytes.
+    pub fn with_spill_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.spill_threshold_bytes = threshold;
+        self
+    }
+
+    /// Sets the directory spill files are created under.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
 }
+
+/// The historical name of [`EngineConfig`], kept so existing call sites and
+/// downstream code keep compiling.
+pub type ClusterConfig = EngineConfig;
 
 #[cfg(test)]
 mod tests {
@@ -161,19 +216,26 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let cfg = ClusterConfig::sequential()
+        let cfg = EngineConfig::sequential()
             .with_parallelism(4)
             .with_reduce_tasks(7)
             .with_split_size(100)
-            .with_combiner(false);
+            .with_combiner(false)
+            .with_spill_threshold(Some(4096))
+            .with_spill_dir("/tmp/lash-spill-test");
         assert_eq!(cfg.map_parallelism, 4);
         assert_eq!(cfg.reduce_parallelism, 4);
         assert_eq!(cfg.num_reduce_tasks, 7);
         assert_eq!(cfg.split_size, 100);
         assert!(!cfg.use_combiner);
+        assert_eq!(cfg.spill_threshold_bytes, Some(4096));
+        assert_eq!(
+            cfg.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/lash-spill-test"))
+        );
         // Parallelism is clamped to at least 1.
         assert_eq!(
-            ClusterConfig::default().with_parallelism(0).map_parallelism,
+            EngineConfig::default().with_parallelism(0).map_parallelism,
             1
         );
     }

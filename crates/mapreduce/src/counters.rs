@@ -1,5 +1,6 @@
 //! Job counters, mirroring the Hadoop counters the paper reports
-//! (most importantly `MAP_OUTPUT_BYTES`).
+//! (most importantly `MAP_OUTPUT_BYTES`), plus the out-of-core shuffle
+//! counters (`SPILLED_BYTES` and friends).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,6 +20,16 @@ pub struct Counters {
     pub combine_input_records: AtomicU64,
     /// Records leaving combiners.
     pub combine_output_records: AtomicU64,
+    /// Reduce-input bytes written to spill files (Hadoop's `SPILLED_RECORDS`
+    /// cousin, in bytes): zero on the all-in-memory path.
+    pub spilled_bytes: AtomicU64,
+    /// Sorted runs written to disk by map tasks.
+    pub spilled_runs: AtomicU64,
+    /// Runs (on-disk and in-memory) consumed by reduce-side k-way merges.
+    pub merged_runs: AtomicU64,
+    /// High-water mark of any single map task's sort buffer, in serialized
+    /// bytes — the quantity bounded by `spill_threshold_bytes`.
+    pub peak_resident_bytes: AtomicU64,
     /// Distinct keys seen by reducers.
     pub reduce_input_groups: AtomicU64,
     /// Values seen by reducers.
@@ -42,6 +53,12 @@ impl Counters {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raises a high-water-mark counter to at least `n`.
+    #[inline]
+    pub fn raise(counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
+    }
+
     /// Takes an immutable snapshot.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -53,6 +70,10 @@ impl Counters {
                 .load(Ordering::Relaxed),
             combine_input_records: self.combine_input_records.load(Ordering::Relaxed),
             combine_output_records: self.combine_output_records.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            spilled_runs: self.spilled_runs.load(Ordering::Relaxed),
+            merged_runs: self.merged_runs.load(Ordering::Relaxed),
+            peak_resident_bytes: self.peak_resident_bytes.load(Ordering::Relaxed),
             reduce_input_groups: self.reduce_input_groups.load(Ordering::Relaxed),
             reduce_input_records: self.reduce_input_records.load(Ordering::Relaxed),
             reduce_output_records: self.reduce_output_records.load(Ordering::Relaxed),
@@ -79,6 +100,14 @@ pub struct CounterSnapshot {
     pub combine_input_records: u64,
     /// Records leaving combiners.
     pub combine_output_records: u64,
+    /// Reduce-input bytes written to spill files; zero without spilling.
+    pub spilled_bytes: u64,
+    /// Sorted runs written to disk by map tasks.
+    pub spilled_runs: u64,
+    /// Runs (on-disk and in-memory) consumed by reduce-side merges.
+    pub merged_runs: u64,
+    /// High-water mark of any single map task's sort buffer, in bytes.
+    pub peak_resident_bytes: u64,
     /// Distinct keys seen by reducers.
     pub reduce_input_groups: u64,
     /// Values seen by reducers.
@@ -109,5 +138,15 @@ mod tests {
         assert_eq!(s.map_input_records, 7);
         assert_eq!(s.map_output_bytes, 100);
         assert_eq!(s.reduce_output_records, 0);
+    }
+
+    #[test]
+    fn raise_keeps_the_maximum() {
+        let c = Counters::default();
+        Counters::raise(&c.peak_resident_bytes, 10);
+        Counters::raise(&c.peak_resident_bytes, 4);
+        Counters::raise(&c.peak_resident_bytes, 25);
+        Counters::raise(&c.peak_resident_bytes, 7);
+        assert_eq!(c.snapshot().peak_resident_bytes, 25);
     }
 }

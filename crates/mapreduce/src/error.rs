@@ -14,8 +14,12 @@ pub enum EngineError {
         /// The number of attempts made.
         attempts: u32,
     },
-    /// The shuffle encountered undecodable record framing.
+    /// The shuffle encountered undecodable record or run framing (a
+    /// truncated spill frame, a checksum mismatch, or inconsistent record
+    /// lengths inside a verified frame).
     CorruptShuffle(String),
+    /// A spill file could not be created, written, or read back.
+    SpillIo(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -27,6 +31,7 @@ impl std::fmt::Display for EngineError {
                 attempts,
             } => write!(f, "{phase:?} task {task} failed after {attempts} attempts"),
             EngineError::CorruptShuffle(msg) => write!(f, "corrupt shuffle data: {msg}"),
+            EngineError::SpillIo(msg) => write!(f, "shuffle spill I/O: {msg}"),
         }
     }
 }

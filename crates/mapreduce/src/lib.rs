@@ -1,25 +1,70 @@
 //! # lash-mapreduce
 //!
-//! An in-process, multi-threaded MapReduce engine with Hadoop-like semantics,
-//! built as the execution substrate for LASH (the paper runs on a Hadoop
-//! cluster; this crate reproduces the programming contract and the measured
-//! quantities on a single machine).
+//! An in-process, multi-threaded MapReduce engine with Hadoop-like
+//! semantics and an **external-sort shuffle**, built as the execution
+//! substrate for LASH (the paper runs on a Hadoop cluster; this crate
+//! reproduces the programming contract and the measured quantities on a
+//! single machine — including the out-of-core behavior that makes low-σ
+//! mining over larger-than-RAM corpora possible).
 //!
-//! Features:
+//! ## Architecture
 //!
-//! * typed [`Job`] trait with `map`, optional `combine`, and `reduce`;
-//! * real byte-level shuffle: every intermediate key/value pair is serialized
-//!   through the job's codec, partitioned by key hash, sorted and grouped by
-//!   key bytes — so counters like [`CounterSnapshot::map_output_bytes`]
-//!   measure the same representation a Hadoop job would ship;
-//! * per-phase wall-clock timing (map / shuffle / reduce), the quantities the
-//!   paper's stacked bar charts report;
+//! ```text
+//! map task                          shuffle               reduce task
+//! ┌─────────────────────────┐                             ┌──────────────────┐
+//! │ map() → Emitter          │      run lists per         │ k-way merge of   │
+//! │  serialize → per-part    │      partition             │ the partition's  │
+//! │  sort buffers            │  ┌──────────────────┐      │ runs             │
+//! │  ├ sort + combine        │→ │ mem runs         │ ───→ │  │               │
+//! │  └ over threshold?       │  │ disk runs (spill │      │  └ stream groups │
+//! │     spill sorted run ────┼─→│ files)           │      │    reduce(key,   │
+//! │     (checksummed frames) │  └──────────────────┘      │      values: impl│
+//! └─────────────────────────┘                             │      Iterator)   │
+//!                                                         └──────────────────┘
+//! ```
+//!
+//! * **Map side.** Each emitted pair is serialized through the job's codec
+//!   into one sort buffer per reduce partition. On finalize a buffer is
+//!   stably sorted by key bytes and run through the combiner (Hadoop's
+//!   map-side sort). With [`EngineConfig::spill_threshold_bytes`] set, a
+//!   task whose buffers exceed the budget *spills*: every partition buffer
+//!   is finalized and appended to the task's spill file as a sorted run of
+//!   length-prefixed, checksummed frames (`lash-encoding`'s frame format),
+//!   and mapping continues with empty buffers. `None` is the all-in-memory
+//!   fast path; `Some(0)` spills after every record.
+//! * **Reduce side.** Each reduce task k-way merges its partition's runs —
+//!   in-memory buffers from unspilled tasks and streamed disk runs (one
+//!   ~64 KiB chunk resident per open run) — and hands the reducer one
+//!   *streamed* group at a time: [`Job::reduce`] receives
+//!   `values: impl Iterator<Item = Value>` decoded lazily off the merge, so
+//!   reduce memory no longer scales with partition size. Results are
+//!   byte-identical between the two paths: the merge's (key bytes, run
+//!   sequence) order reproduces the stable global sort exactly.
+//!
+//! Further features:
+//!
+//! * typed [`Job`] trait with `map`, optional `combine`, and streaming
+//!   `reduce`;
+//! * real byte-level shuffle: counters like
+//!   [`CounterSnapshot::map_output_bytes`] measure the representation a
+//!   Hadoop job would ship, and the out-of-core counters
+//!   ([`CounterSnapshot::spilled_bytes`], [`CounterSnapshot::spilled_runs`],
+//!   [`CounterSnapshot::merged_runs`],
+//!   [`CounterSnapshot::peak_resident_bytes`]) measure the spill traffic and
+//!   the map-side memory high-water mark;
+//! * per-phase wall-clock timing (map / shuffle / reduce). With the
+//!   external-sort design, sorting is part of `map_time`, merging part of
+//!   `reduce_time`, and `shuffle_time` covers run-list assembly;
 //! * configurable parallelism (worker threads stand in for cluster slots);
 //! * deterministic failure injection with task retry, mirroring Hadoop's
-//!   transparent fault tolerance.
+//!   transparent fault tolerance — on the spill path each attempt writes its
+//!   own run file, so retries never read a failed attempt's output;
+//! * the `LASH_SPILL_THRESHOLD` environment variable overrides the default
+//!   spill threshold, letting a test run force the whole workspace through
+//!   the out-of-core path (CI runs one leg with `LASH_SPILL_THRESHOLD=0`).
 //!
 //! ```
-//! use lash_mapreduce::{run_job, ClusterConfig, Emitter, Job};
+//! use lash_mapreduce::{run_job, EngineConfig, Emitter, Job};
 //!
 //! /// Classic word count.
 //! struct WordCount;
@@ -30,7 +75,7 @@
 //!     type Value = u64;
 //!     type Output = (String, u64);
 //!
-//!     fn map(&self, line: &String, emit: &mut Emitter<'_, String, u64>) {
+//!     fn map(&self, line: &String, emit: &mut Emitter<'_, Self>) {
 //!         for word in line.split_whitespace() {
 //!             emit.emit(word.to_owned(), 1);
 //!         }
@@ -40,8 +85,13 @@
 //!         vec![values.into_iter().sum()]
 //!     }
 //!
-//!     fn reduce(&self, key: String, values: Vec<u64>, out: &mut Vec<(String, u64)>) {
-//!         out.push((key, values.into_iter().sum()));
+//!     fn reduce(
+//!         &self,
+//!         key: String,
+//!         values: impl Iterator<Item = u64>,
+//!         out: &mut Vec<(String, u64)>,
+//!     ) {
+//!         out.push((key, values.sum()));
 //!     }
 //!
 //!     fn encode_key(&self, key: &String, buf: &mut Vec<u8>) {
@@ -59,8 +109,16 @@
 //! }
 //!
 //! let inputs = vec!["the quick brown fox".to_owned(), "the lazy dog".to_owned()];
-//! let result = run_job(&WordCount, &inputs, &ClusterConfig::default()).unwrap();
+//!
+//! // All in memory…
+//! let result = run_job(&WordCount, &inputs, &EngineConfig::default()).unwrap();
 //! assert!(result.outputs.contains(&("the".to_owned(), 2)));
+//!
+//! // …or out-of-core, spilling sorted runs after every 64 buffered bytes —
+//! // byte-identical output, nonzero spill counters.
+//! let cfg = EngineConfig::default().with_spill_threshold(Some(64));
+//! let spilled = run_job(&WordCount, &inputs, &cfg).unwrap();
+//! assert!(spilled.outputs.contains(&("the".to_owned(), 2)));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -69,11 +127,13 @@
 pub mod config;
 pub mod counters;
 pub mod error;
+pub mod merge;
 pub mod runtime;
 pub mod shuffle;
+pub mod spill;
 pub mod types;
 
-pub use config::{ClusterConfig, FailurePlan, Phase};
+pub use config::{ClusterConfig, EngineConfig, FailurePlan, Phase, SPILL_THRESHOLD_ENV};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::EngineError;
 pub use runtime::{run_job, JobMetrics, JobResult};

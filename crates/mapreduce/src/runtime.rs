@@ -1,40 +1,52 @@
-//! The execution engine: splits, task scheduling, retries, shuffle, and
-//! per-phase timing.
+//! The execution engine: splits, task scheduling, retries, the external-sort
+//! shuffle, and per-phase timing.
 //!
 //! Execution proceeds in three synchronized phases so their wall-clock costs
 //! can be reported separately (the paper's stacked map/shuffle/reduce bars):
 //!
 //! 1. **map** — input splits are processed by a pool of worker threads; each
-//!    task buffers its output sorted by key, applies the combiner, and
-//!    serializes into one byte buffer per reduce partition;
-//! 2. **shuffle** — per reduce partition, the buffers from all map tasks are
-//!    concatenated, parsed, sorted by key bytes, and grouped;
-//! 3. **reduce** — the grouped partitions are decoded and reduced.
+//!    task serializes its output into per-partition sort buffers, sorting and
+//!    combining on finalize (Hadoop's map-side sort). With a spill threshold
+//!    configured, a task whose buffers outgrow it writes sorted runs to its
+//!    spill file and keeps going with an empty buffer;
+//! 2. **shuffle** — the sorted runs (in-memory buffers and on-disk spill
+//!    runs) are assembled into one run list per reduce partition;
+//! 3. **reduce** — each reduce task k-way merges its partition's runs and
+//!    *streams* key groups into the reducer: values are decoded one at a
+//!    time off the merge, so no partition is ever materialized.
+//!
+//! Compared to the engine's original all-in-memory shuffle, the sort cost
+//! now lands in the map phase and the merge cost in the reduce phase;
+//! `shuffle_time` covers run-list assembly. Outputs are byte-identical
+//! between the in-memory (`spill_threshold_bytes: None`) and spilled paths:
+//! the merge's (key bytes, run sequence) order reproduces exactly the stable
+//! global sort the old shuffle performed.
 //!
 //! Failed task attempts (via [`crate::FailurePlan`]) are retried in
 //! subsequent scheduling rounds, up to `max_attempts`; retries are invisible
-//! in the output, as in Hadoop.
+//! in the output, as in Hadoop. Spill I/O errors and corrupt runs are fatal
+//! (deterministic re-execution cannot heal them).
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use std::sync::Mutex;
 
-use crate::config::{ClusterConfig, Phase};
+use crate::config::{EngineConfig, Phase};
 use crate::counters::{CounterSnapshot, Counters};
 use crate::error::EngineError;
-use crate::shuffle::{partition_of, write_record, GroupedPartition};
-use crate::types::{Emitter, Job};
+use crate::merge::{Merger, RunSource};
+use crate::spill::{SharedFile, SpillSpace};
+use crate::types::{Emitter, Job, MapTaskOutput};
 
 /// Wall-clock and counter metrics of one job run.
 #[derive(Debug, Clone, Default)]
 pub struct JobMetrics {
-    /// Map phase wall time.
+    /// Map phase wall time (includes map-side sort, combine, and spills).
     pub map_time: Duration,
-    /// Shuffle (sort/group) phase wall time.
+    /// Shuffle (run assembly) phase wall time.
     pub shuffle_time: Duration,
-    /// Reduce phase wall time.
+    /// Reduce phase wall time (includes the k-way merge).
     pub reduce_time: Duration,
     /// Total job wall time.
     pub total_time: Duration,
@@ -43,7 +55,8 @@ pub struct JobMetrics {
 }
 
 impl JobMetrics {
-    /// Merges metrics of consecutive jobs (phase times add up).
+    /// Merges metrics of consecutive jobs (phase times add up; high-water
+    /// marks take the maximum).
     pub fn accumulate(&mut self, other: &JobMetrics) {
         self.map_time += other.map_time;
         self.shuffle_time += other.shuffle_time;
@@ -57,6 +70,10 @@ impl JobMetrics {
         c.map_output_materialized_bytes += o.map_output_materialized_bytes;
         c.combine_input_records += o.combine_input_records;
         c.combine_output_records += o.combine_output_records;
+        c.spilled_bytes += o.spilled_bytes;
+        c.spilled_runs += o.spilled_runs;
+        c.merged_runs += o.merged_runs;
+        c.peak_resident_bytes = c.peak_resident_bytes.max(o.peak_resident_bytes);
         c.reduce_input_groups += o.reduce_input_groups;
         c.reduce_input_records += o.reduce_input_records;
         c.reduce_output_records += o.reduce_output_records;
@@ -80,11 +97,18 @@ pub struct JobResult<O> {
 pub fn run_job<J: Job>(
     job: &J,
     inputs: &[J::Input],
-    config: &ClusterConfig,
+    config: &EngineConfig,
 ) -> Result<JobResult<J::Output>, EngineError> {
     let started = Instant::now();
     let counters = Counters::default();
     let num_parts = config.num_reduce_tasks.max(1);
+
+    // The spill directory lives exactly as long as the job run; dropping it
+    // (on success *or* error) removes every spill file.
+    let spill_space = match config.spill_threshold_bytes {
+        Some(_) => Some(SpillSpace::create(config.spill_dir.as_deref())?),
+        None => None,
+    };
 
     // ---- Map phase -------------------------------------------------------
     let map_started = Instant::now();
@@ -97,33 +121,47 @@ pub fn run_job<J: Job>(
         &counters,
         |task, attempt| {
             if config.failure_plan.should_fail(Phase::Map, task, attempt) {
-                return None;
+                return Ok(None);
             }
-            Some(run_map_task(
+            run_map_task(
                 job,
                 &inputs[splits[task].clone()],
                 num_parts,
-                config.use_combiner,
+                config,
+                spill_space.as_ref(),
+                task,
+                attempt,
                 &counters,
-            ))
+            )
+            .map(Some)
         },
     )?;
     let map_time = map_started.elapsed();
 
-    // ---- Shuffle phase ---------------------------------------------------
+    // ---- Shuffle phase: assemble each partition's run list --------------
     let shuffle_started = Instant::now();
-    let grouped: Vec<Result<GroupedPartition, EngineError>> =
-        parallel_tasks(num_parts, config.reduce_parallelism, |part| {
-            let total: usize = map_outputs.iter().map(|m| m[part].len()).sum();
-            let mut data = Vec::with_capacity(total);
-            for m in &map_outputs {
-                data.extend_from_slice(&m[part]);
+    let mut sources: Vec<Vec<RunSource<'_>>> = (0..num_parts).map(|_| Vec::new()).collect();
+    for output in &map_outputs {
+        match output {
+            MapTaskOutput::Mem(parts) => {
+                for (part, run) in parts.iter().enumerate() {
+                    if !run.is_empty() {
+                        sources[part].push(RunSource::Mem(run));
+                    }
+                }
             }
-            GroupedPartition::build(data)
-        });
-    let mut partitions = Vec::with_capacity(num_parts);
-    for g in grouped {
-        partitions.push(g?);
+            MapTaskOutput::Spilled { file, runs } => {
+                // One shared read handle per spill file: a job may hold far
+                // more runs than the process fd limit allows open files.
+                let shared = SharedFile::open(file)?;
+                for meta in runs {
+                    sources[meta.partition as usize].push(RunSource::Disk {
+                        file: shared.clone(),
+                        meta,
+                    });
+                }
+            }
+        }
     }
     let shuffle_time = shuffle_started.elapsed();
 
@@ -140,15 +178,17 @@ pub fn run_job<J: Job>(
                 .failure_plan
                 .should_fail(Phase::Reduce, task, attempt)
             {
-                return None;
+                return Ok(None);
             }
-            Some(run_reduce_task(job, &partitions[task], &counters))
+            run_reduce_task(job, &sources[task], &counters).map(Some)
         },
     )?;
     let reduce_time = reduce_started.elapsed();
 
     let outputs: Vec<J::Output> = reduce_outputs.into_iter().flatten().collect();
-    Counters::add(&counters.reduce_output_records, 0); // touch for empty jobs
+    drop(sources);
+    drop(map_outputs);
+    drop(spill_space);
     Ok(JobResult {
         outputs,
         metrics: JobMetrics {
@@ -161,80 +201,116 @@ pub fn run_job<J: Job>(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_map_task<J: Job>(
     job: &J,
     records: &[J::Input],
     num_parts: usize,
-    use_combiner: bool,
+    config: &EngineConfig,
+    spill_space: Option<&SpillSpace>,
+    task: usize,
+    attempt: u32,
     counters: &Counters,
-) -> Vec<Vec<u8>> {
-    let mut buffer: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
-    let mut emitted = 0u64;
-    {
-        let mut emitter = Emitter {
-            buffer: &mut buffer,
-            records: &mut emitted,
-        };
-        for record in records {
-            job.map(record, &mut emitter);
-        }
+) -> Result<MapTaskOutput, EngineError> {
+    let spill_path = spill_space.map(|s| s.task_file(task, attempt));
+    let mut emitter = Emitter::new(
+        job,
+        num_parts,
+        config.use_combiner,
+        config.spill_threshold_bytes,
+        spill_path,
+        counters,
+    );
+    for record in records {
+        job.map(record, &mut emitter);
     }
     Counters::add(&counters.map_input_records, records.len() as u64);
+    let (output, emitted) = emitter.finish()?;
     Counters::add(&counters.map_output_records, emitted);
+    Ok(output)
+}
 
-    let mut parts: Vec<Vec<u8>> = vec![Vec::new(); num_parts];
-    let mut kbuf = Vec::new();
-    let mut vbuf = Vec::new();
-    let mut payload = 0u64;
-    let mut materialized = 0u64;
-    let mut combine_in = 0u64;
-    let mut combine_out = 0u64;
-    for (key, mut values) in buffer {
-        if use_combiner {
-            combine_in += values.len() as u64;
-            values = job.combine(&key, values);
-            combine_out += values.len() as u64;
+/// Streams one key group's values off the merge, decoding lazily. The
+/// engine drains any values the reducer leaves unconsumed, so the merge is
+/// always positioned on the next group when the reducer returns.
+struct GroupValues<'a, 'm, J: Job> {
+    job: &'a J,
+    merger: &'a mut Merger<'m>,
+    key: &'a [u8],
+    value_buf: &'a mut Vec<u8>,
+    records: &'a mut u64,
+    error: &'a mut Option<EngineError>,
+}
+
+impl<J: Job> Iterator for GroupValues<'_, '_, J> {
+    type Item = J::Value;
+
+    fn next(&mut self) -> Option<J::Value> {
+        if self.error.is_some() {
+            return None;
         }
-        kbuf.clear();
-        job.encode_key(&key, &mut kbuf);
-        let part = partition_of(&kbuf, num_parts);
-        for value in &values {
-            vbuf.clear();
-            job.encode_value(value, &mut vbuf);
-            let (p, m) = write_record(&mut parts[part], &kbuf, &vbuf);
-            payload += p;
-            materialized += m;
+        match self.merger.peek_key() {
+            Some(k) if k == self.key => {}
+            _ => return None,
+        }
+        match self.merger.pop_value_into(self.value_buf) {
+            Ok(()) => {
+                *self.records += 1;
+                Some(self.job.decode_value(self.value_buf))
+            }
+            Err(e) => {
+                *self.error = Some(e);
+                None
+            }
         }
     }
-    Counters::add(&counters.map_output_bytes, payload);
-    Counters::add(&counters.map_output_materialized_bytes, materialized);
-    Counters::add(&counters.combine_input_records, combine_in);
-    Counters::add(&counters.combine_output_records, combine_out);
-    parts
 }
 
 fn run_reduce_task<J: Job>(
     job: &J,
-    partition: &GroupedPartition,
+    sources: &[RunSource<'_>],
     counters: &Counters,
-) -> Vec<J::Output> {
+) -> Result<Vec<J::Output>, EngineError> {
+    let mut merger = Merger::new(sources)?;
+    Counters::add(&counters.merged_runs, merger.num_runs());
     let mut out = Vec::new();
     let mut groups = 0u64;
     let mut records = 0u64;
-    for i in 0..partition.groups.len() {
-        let key = job.decode_key(partition.key_bytes(i));
-        let values: Vec<J::Value> = partition
-            .value_bytes(i)
-            .map(|b| job.decode_value(b))
-            .collect();
+    let mut key_bytes: Vec<u8> = Vec::new();
+    let mut value_buf: Vec<u8> = Vec::new();
+    loop {
+        match merger.peek_key() {
+            None => break,
+            Some(k) => {
+                key_bytes.clear();
+                key_bytes.extend_from_slice(k);
+            }
+        }
         groups += 1;
-        records += values.len() as u64;
-        job.reduce(key, values, &mut out);
+        let key = job.decode_key(&key_bytes);
+        let mut error: Option<EngineError> = None;
+        {
+            let mut values = GroupValues {
+                job,
+                merger: &mut merger,
+                key: &key_bytes,
+                value_buf: &mut value_buf,
+                records: &mut records,
+                error: &mut error,
+            };
+            job.reduce(key, &mut values, &mut out);
+            // Drain whatever the reducer did not consume so the merge sits
+            // on the next group.
+            for _ in values.by_ref() {}
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
     }
     Counters::add(&counters.reduce_input_groups, groups);
     Counters::add(&counters.reduce_input_records, records);
     Counters::add(&counters.reduce_output_records, out.len() as u64);
-    out
+    Ok(out)
 }
 
 /// Splits `n` records into contiguous ranges of at most `split_size`.
@@ -277,9 +353,10 @@ where
         .collect()
 }
 
-/// Runs tasks in retry rounds. The closure returns `None` to signal an
-/// (injected) failure; such tasks are retried with an incremented attempt
-/// number until `max_attempts` is exhausted.
+/// Runs tasks in retry rounds. The closure returns `Ok(None)` to signal an
+/// (injected) failure — such tasks are retried with an incremented attempt
+/// number until `max_attempts` is exhausted — and `Err` for fatal engine
+/// errors (spill I/O, corrupt runs), which abort the job.
 fn run_with_retries<T, F>(
     count: usize,
     parallelism: usize,
@@ -290,29 +367,30 @@ fn run_with_retries<T, F>(
 ) -> Result<Vec<T>, EngineError>
 where
     T: Send,
-    F: Fn(usize, u32) -> Option<T> + Sync,
+    F: Fn(usize, u32) -> Result<Option<T>, EngineError> + Sync,
 {
     let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let mut pending: Vec<(usize, u32)> = (0..count).map(|t| (t, 0)).collect();
     while !pending.is_empty() {
-        let round: Vec<(usize, u32, Option<T>)> = parallel_tasks(pending.len(), parallelism, |i| {
-            let (task, attempt) = pending[i];
-            match phase {
-                Phase::Map => Counters::add(&counters.map_task_attempts, 1),
-                Phase::Reduce => Counters::add(&counters.reduce_task_attempts, 1),
-            }
-            let out = f(task, attempt);
-            if out.is_none() {
+        let round: Vec<(usize, u32, Result<Option<T>, EngineError>)> =
+            parallel_tasks(pending.len(), parallelism, |i| {
+                let (task, attempt) = pending[i];
                 match phase {
-                    Phase::Map => Counters::add(&counters.failed_map_tasks, 1),
-                    Phase::Reduce => Counters::add(&counters.failed_reduce_tasks, 1),
+                    Phase::Map => Counters::add(&counters.map_task_attempts, 1),
+                    Phase::Reduce => Counters::add(&counters.reduce_task_attempts, 1),
                 }
-            }
-            (task, attempt, out)
-        });
+                let out = f(task, attempt);
+                if matches!(out, Ok(None)) {
+                    match phase {
+                        Phase::Map => Counters::add(&counters.failed_map_tasks, 1),
+                        Phase::Reduce => Counters::add(&counters.failed_reduce_tasks, 1),
+                    }
+                }
+                (task, attempt, out)
+            });
         let mut next = Vec::new();
         for (task, attempt, out) in round {
-            match out {
+            match out? {
                 Some(t) => results[task] = Some(t),
                 None => {
                     if attempt + 1 >= max_attempts {
@@ -348,7 +426,7 @@ mod tests {
         type Value = u64;
         type Output = (String, u64);
 
-        fn map(&self, line: &String, emit: &mut Emitter<'_, String, u64>) {
+        fn map(&self, line: &String, emit: &mut Emitter<'_, Self>) {
             for w in line.split_whitespace() {
                 emit.emit(w.to_owned(), 1);
             }
@@ -358,8 +436,13 @@ mod tests {
             vec![values.into_iter().sum()]
         }
 
-        fn reduce(&self, key: String, values: Vec<u64>, out: &mut Vec<(String, u64)>) {
-            out.push((key, values.into_iter().sum()));
+        fn reduce(
+            &self,
+            key: String,
+            values: impl Iterator<Item = u64>,
+            out: &mut Vec<(String, u64)>,
+        ) {
+            out.push((key, values.sum()));
         }
 
         fn encode_key(&self, key: &String, buf: &mut Vec<u8>) {
@@ -410,7 +493,7 @@ mod tests {
 
     #[test]
     fn word_count_end_to_end() {
-        let result = run_job(&WordCount, &corpus(), &ClusterConfig::default()).unwrap();
+        let result = run_job(&WordCount, &corpus(), &EngineConfig::default()).unwrap();
         let out = sorted(result.outputs);
         let get = |w: &str| out.iter().find(|(k, _)| k == w).map(|&(_, c)| c);
         assert_eq!(get("the"), Some(3));
@@ -427,12 +510,12 @@ mod tests {
 
     #[test]
     fn output_is_deterministic_across_parallelism() {
-        let base = run_job(&WordCount, &corpus(), &ClusterConfig::sequential())
+        let base = run_job(&WordCount, &corpus(), &EngineConfig::sequential())
             .unwrap()
             .outputs;
         for par in [2, 4, 8] {
             for split in [1, 2, 100] {
-                let cfg = ClusterConfig::default()
+                let cfg = EngineConfig::default()
                     .with_parallelism(par)
                     .with_reduce_tasks(3)
                     .with_split_size(split);
@@ -443,13 +526,76 @@ mod tests {
     }
 
     #[test]
+    fn spilled_shuffle_is_byte_identical_to_in_memory() {
+        let in_memory = run_job(
+            &WordCount,
+            &corpus(),
+            &EngineConfig::default()
+                .with_reduce_tasks(3)
+                .with_spill_threshold(None),
+        )
+        .unwrap();
+        for threshold in [0usize, 1, 16, 64, 4096] {
+            let spilled = run_job(
+                &WordCount,
+                &corpus(),
+                &EngineConfig::default()
+                    .with_reduce_tasks(3)
+                    .with_split_size(2)
+                    .with_spill_threshold(Some(threshold)),
+            )
+            .unwrap();
+            // Identical outputs in identical (partition, key) order.
+            assert_eq!(spilled.outputs, in_memory.outputs, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn zero_threshold_spills_everything_and_counts_it() {
+        let cfg = EngineConfig::default()
+            .with_split_size(1)
+            .with_reduce_tasks(2)
+            .with_spill_threshold(Some(0));
+        let result = run_job(&WordCount, &corpus(), &cfg).unwrap();
+        let c = &result.metrics.counters;
+        assert!(c.spilled_bytes > 0);
+        // Every record became its own run.
+        assert_eq!(c.spilled_runs, c.map_output_records);
+        assert!(c.merged_runs > 0);
+        assert!(c.peak_resident_bytes > 0);
+        // The spilled result still matches the clean one.
+        let clean = run_job(
+            &WordCount,
+            &corpus(),
+            &EngineConfig::sequential().with_spill_threshold(None),
+        )
+        .unwrap();
+        assert_eq!(sorted(result.outputs), sorted(clean.outputs));
+    }
+
+    #[test]
+    fn in_memory_path_reports_no_spills() {
+        let cfg = EngineConfig::default().with_spill_threshold(None);
+        let result = run_job(&WordCount, &corpus(), &cfg).unwrap();
+        let c = &result.metrics.counters;
+        assert_eq!(c.spilled_bytes, 0);
+        assert_eq!(c.spilled_runs, 0);
+        // In-memory runs still feed the reduce merges.
+        assert!(c.merged_runs > 0);
+    }
+
+    #[test]
     fn combiner_reduces_shuffled_bytes_but_not_results() {
-        let cfg_on = ClusterConfig::sequential()
+        // Pinned in-memory: with per-record spilling the combiner never sees
+        // more than one value at a time, so the byte saving disappears.
+        let cfg_on = EngineConfig::sequential()
             .with_split_size(1)
-            .with_combiner(true);
-        let cfg_off = ClusterConfig::sequential()
+            .with_combiner(true)
+            .with_spill_threshold(None);
+        let cfg_off = EngineConfig::sequential()
             .with_split_size(1)
-            .with_combiner(false);
+            .with_combiner(false)
+            .with_spill_threshold(None);
         let on = run_job(&WordCount, &corpus(), &cfg_on).unwrap();
         let off = run_job(&WordCount, &corpus(), &cfg_off).unwrap();
         assert_eq!(sorted(on.outputs), sorted(off.outputs));
@@ -472,13 +618,13 @@ mod tests {
         let plan = FailurePlan::none()
             .fail_once(Phase::Map, 0)
             .fail_n_times(Phase::Reduce, 0, 2);
-        let cfg = ClusterConfig::default()
+        let cfg = EngineConfig::default()
             .with_parallelism(2)
             .with_split_size(2)
             .with_reduce_tasks(2)
             .with_failures(plan);
         let result = run_job(&WordCount, &corpus(), &cfg).unwrap();
-        let clean = run_job(&WordCount, &corpus(), &ClusterConfig::sequential()).unwrap();
+        let clean = run_job(&WordCount, &corpus(), &EngineConfig::sequential()).unwrap();
         assert_eq!(sorted(result.outputs), sorted(clean.outputs));
         assert_eq!(result.metrics.counters.failed_map_tasks, 1);
         assert_eq!(result.metrics.counters.failed_reduce_tasks, 2);
@@ -486,8 +632,25 @@ mod tests {
     }
 
     #[test]
+    fn injected_failures_are_retried_on_the_spill_path() {
+        let plan = FailurePlan::none()
+            .fail_once(Phase::Map, 1)
+            .fail_once(Phase::Reduce, 0);
+        let cfg = EngineConfig::default()
+            .with_parallelism(2)
+            .with_split_size(2)
+            .with_reduce_tasks(2)
+            .with_spill_threshold(Some(0))
+            .with_failures(plan);
+        let result = run_job(&WordCount, &corpus(), &cfg).unwrap();
+        let clean = run_job(&WordCount, &corpus(), &EngineConfig::sequential()).unwrap();
+        assert_eq!(sorted(result.outputs), sorted(clean.outputs));
+        assert!(result.metrics.counters.spilled_runs > 0);
+    }
+
+    #[test]
     fn retries_exhausted_is_an_error() {
-        let cfg = ClusterConfig::default()
+        let cfg = EngineConfig::default()
             .with_split_size(2)
             .with_failures(FailurePlan::none().fail_n_times(Phase::Map, 0, 10));
         let err = run_job(&WordCount, &corpus(), &cfg).unwrap_err();
@@ -503,9 +666,16 @@ mod tests {
 
     #[test]
     fn empty_input_runs_cleanly() {
-        let result = run_job(&WordCount, &[], &ClusterConfig::default()).unwrap();
+        let result = run_job(&WordCount, &[], &EngineConfig::default()).unwrap();
         assert!(result.outputs.is_empty());
         assert_eq!(result.metrics.counters.map_input_records, 0);
+        let result = run_job(
+            &WordCount,
+            &[],
+            &EngineConfig::default().with_spill_threshold(Some(0)),
+        )
+        .unwrap();
+        assert!(result.outputs.is_empty());
     }
 
     #[test]
@@ -520,7 +690,7 @@ mod tests {
 
     #[test]
     fn metrics_accumulate() {
-        let a = run_job(&WordCount, &corpus(), &ClusterConfig::sequential()).unwrap();
+        let a = run_job(&WordCount, &corpus(), &EngineConfig::sequential()).unwrap();
         let mut acc = JobMetrics::default();
         acc.accumulate(&a.metrics);
         acc.accumulate(&a.metrics);
@@ -528,6 +698,54 @@ mod tests {
             acc.counters.map_input_records,
             2 * a.metrics.counters.map_input_records
         );
+        // High-water marks take the max, not the sum.
+        assert_eq!(
+            acc.counters.peak_resident_bytes,
+            a.metrics.counters.peak_resident_bytes
+        );
         assert_eq!(acc.total_time, a.metrics.total_time * 2);
+    }
+
+    #[test]
+    fn reducers_may_leave_values_unconsumed() {
+        /// Consumes only the first value of each group.
+        struct FirstOnly;
+        impl Job for FirstOnly {
+            type Input = String;
+            type Key = String;
+            type Value = u64;
+            type Output = (String, u64);
+            fn map(&self, line: &String, emit: &mut Emitter<'_, Self>) {
+                for w in line.split_whitespace() {
+                    emit.emit(w.to_owned(), 1);
+                }
+            }
+            fn reduce(
+                &self,
+                key: String,
+                mut values: impl Iterator<Item = u64>,
+                out: &mut Vec<(String, u64)>,
+            ) {
+                out.push((key, values.next().unwrap_or(0)));
+            }
+            fn encode_key(&self, key: &String, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(key.as_bytes());
+            }
+            fn decode_key(&self, bytes: &[u8]) -> String {
+                String::from_utf8(bytes.to_vec()).unwrap()
+            }
+            fn encode_value(&self, value: &u64, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&value.to_le_bytes());
+            }
+            fn decode_value(&self, bytes: &[u8]) -> u64 {
+                u64::from_le_bytes(bytes.try_into().unwrap())
+            }
+        }
+        // Combiner off so groups genuinely hold multiple values.
+        let cfg = EngineConfig::sequential().with_combiner(false);
+        let result = run_job(&FirstOnly, &corpus(), &cfg).unwrap();
+        // Every distinct word appears exactly once with value 1.
+        assert!(result.outputs.iter().all(|(_, c)| *c == 1));
+        assert_eq!(result.outputs.len(), 9);
     }
 }

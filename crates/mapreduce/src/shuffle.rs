@@ -1,9 +1,11 @@
-//! Record framing, partitioning, and the sort/group shuffle.
+//! Record framing, partitioning, and the map-side sort buffer.
 //!
 //! Map tasks serialize records as `[varint klen][key][varint vlen][value]`
-//! into one byte buffer per reduce partition; the shuffle concatenates the
-//! buffers destined for a partition, sorts record references by key bytes,
-//! and groups equal keys. Partition assignment hashes the encoded key, as
+//! into one [`RunBuffer`] per reduce partition. A finalized buffer is a
+//! *sorted run*: its record references are stably sorted by key bytes
+//! (preserving emission order within equal keys), optionally combined, and
+//! either handed to the reduce phase in memory or spilled to disk (see
+//! [`crate::spill`]). Partition assignment hashes the encoded key, as
 //! Hadoop's default `HashPartitioner` hashes serialized keys.
 
 use std::hash::{Hash, Hasher};
@@ -33,31 +35,105 @@ pub fn partition_of(key: &[u8], num_partitions: usize) -> usize {
 /// A reference to one record inside a shuffle buffer.
 #[derive(Debug, Clone, Copy)]
 pub struct RecordRef {
+    /// Byte offset of the record's first framing byte.
+    pub start: u32,
     /// Byte range of the key.
     pub key: (u32, u32),
-    /// Byte range of the value.
+    /// Byte range of the value. The record ends at `value.1`.
     pub value: (u32, u32),
 }
 
-/// A byte range `(start, end)` into a shuffle buffer.
-pub type ByteRange = (u32, u32);
-
-/// A shuffled, grouped reduce partition: `data` owns the bytes, `groups`
-/// lists (key range, value ranges) sorted by key bytes.
-#[derive(Debug, Default)]
-pub struct GroupedPartition {
-    /// The concatenated map outputs for this partition.
-    pub data: Vec<u8>,
-    /// Key byte-range plus all value byte-ranges, grouped and sorted by key.
-    pub groups: Vec<(ByteRange, Vec<ByteRange>)>,
+impl RecordRef {
+    /// The full framed byte range of the record.
+    pub fn framed(&self) -> (u32, u32) {
+        (self.start, self.value.1)
+    }
 }
 
-impl GroupedPartition {
-    /// Parses, sorts, and groups the concatenated map outputs.
-    pub fn build(data: Vec<u8>) -> Result<GroupedPartition, crate::EngineError> {
-        let mut records = Vec::new();
+/// A buffer of framed records plus their references — the unit the map side
+/// accumulates, sorts, combines, and ships (in memory or as a spilled run).
+#[derive(Debug, Default)]
+pub struct RunBuffer {
+    /// Concatenated framed records.
+    pub data: Vec<u8>,
+    /// One reference per record, in push order until [`RunBuffer::sort`].
+    pub recs: Vec<RecordRef>,
+}
+
+impl RunBuffer {
+    /// Appends one record, returning (payload bytes, materialized bytes).
+    ///
+    /// # Panics
+    /// A single buffer addresses records with `u32` offsets; pushing past
+    /// 4 GiB panics rather than silently corrupting record ranges. Set
+    /// `spill_threshold_bytes` to bound buffers long before that.
+    pub fn push(&mut self, key: &[u8], value: &[u8]) -> (u64, u64) {
+        assert!(
+            self.data.len() + key.len() + value.len() + 20 <= u32::MAX as usize,
+            "shuffle buffer exceeds 4 GiB; configure spill_threshold_bytes to bound it"
+        );
+        let start = self.data.len() as u32;
+        let sizes = write_record(&mut self.data, key, value);
+        let kstart = start + varint_len(key.len() as u64);
+        let vstart = kstart + key.len() as u32 + varint_len(value.len() as u64);
+        self.recs.push(RecordRef {
+            start,
+            key: (kstart, kstart + key.len() as u32),
+            value: (vstart, vstart + value.len() as u32),
+        });
+        sizes
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True if no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Drops all records, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.recs.clear();
+    }
+
+    /// The key bytes of record `r`.
+    pub fn key(&self, r: &RecordRef) -> &[u8] {
+        &self.data[r.key.0 as usize..r.key.1 as usize]
+    }
+
+    /// The value bytes of record `r`.
+    pub fn value(&self, r: &RecordRef) -> &[u8] {
+        &self.data[r.value.0 as usize..r.value.1 as usize]
+    }
+
+    /// The full framed bytes of record `r` (length prefixes included).
+    pub fn framed(&self, r: &RecordRef) -> &[u8] {
+        let (lo, hi) = r.framed();
+        &self.data[lo as usize..hi as usize]
+    }
+
+    /// Stable-sorts the record references by key bytes; records with equal
+    /// keys keep their emission order. The data bytes are not moved.
+    pub fn sort(&mut self) {
+        let data = std::mem::take(&mut self.data);
+        self.recs.sort_by(|a, b| {
+            data[a.key.0 as usize..a.key.1 as usize].cmp(&data[b.key.0 as usize..b.key.1 as usize])
+        });
+        self.data = data;
+    }
+
+    /// Parses a raw byte buffer of framed records into a `RunBuffer` (record
+    /// references in storage order). Used by the reduce side to re-validate
+    /// spilled chunks; any framing inconsistency is corruption.
+    pub fn parse(data: Vec<u8>) -> Result<RunBuffer, crate::EngineError> {
+        let mut recs = Vec::new();
         let mut pos = 0usize;
         while pos < data.len() {
+            let start = pos as u32;
             let (klen, n) = read_varint(&data[pos..])
                 .ok_or_else(|| crate::EngineError::CorruptShuffle("key length".into()))?;
             pos += n;
@@ -74,42 +150,13 @@ impl GroupedPartition {
             if pos > data.len() {
                 return Err(crate::EngineError::CorruptShuffle("value bytes".into()));
             }
-            records.push(RecordRef {
+            recs.push(RecordRef {
+                start,
                 key: (kstart as u32, (kstart + klen as usize) as u32),
                 value: (vstart as u32, (vstart + vlen as usize) as u32),
             });
         }
-        // Stable sort by key bytes keeps value order deterministic (map task
-        // order, then emission order).
-        records.sort_by(|a, b| {
-            data[a.key.0 as usize..a.key.1 as usize].cmp(&data[b.key.0 as usize..b.key.1 as usize])
-        });
-        let mut groups: Vec<(ByteRange, Vec<ByteRange>)> = Vec::new();
-        for r in records {
-            let same = groups.last().is_some_and(|(k, _)| {
-                data[k.0 as usize..k.1 as usize] == data[r.key.0 as usize..r.key.1 as usize]
-            });
-            if same {
-                groups.last_mut().expect("nonempty").1.push(r.value);
-            } else {
-                groups.push((r.key, vec![r.value]));
-            }
-        }
-        Ok(GroupedPartition { data, groups })
-    }
-
-    /// The key bytes of group `i`.
-    pub fn key_bytes(&self, i: usize) -> &[u8] {
-        let (lo, hi) = self.groups[i].0;
-        &self.data[lo as usize..hi as usize]
-    }
-
-    /// The value byte slices of group `i`.
-    pub fn value_bytes(&self, i: usize) -> impl Iterator<Item = &[u8]> + '_ {
-        self.groups[i]
-            .1
-            .iter()
-            .map(move |&(lo, hi)| &self.data[lo as usize..hi as usize])
+        Ok(RunBuffer { data, recs })
     }
 }
 
@@ -125,7 +172,11 @@ fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn read_varint(input: &[u8]) -> Option<(u64, usize)> {
+fn varint_len(v: u64) -> u32 {
+    (64 - v.max(1).leading_zeros()).div_ceil(7).max(1)
+}
+
+pub(crate) fn read_varint(input: &[u8]) -> Option<(u64, usize)> {
     let mut value = 0u64;
     let mut shift = 0u32;
     for (i, &byte) in input.iter().enumerate() {
@@ -168,28 +219,47 @@ mod tests {
     use super::*;
 
     #[test]
-    fn record_round_trip_and_grouping() {
-        let mut buf = Vec::new();
-        write_record(&mut buf, b"banana", b"1");
-        write_record(&mut buf, b"apple", b"2");
-        write_record(&mut buf, b"banana", b"3");
-        let g = GroupedPartition::build(buf).unwrap();
-        assert_eq!(g.groups.len(), 2);
-        assert_eq!(g.key_bytes(0), b"apple");
-        assert_eq!(g.key_bytes(1), b"banana");
-        let vals: Vec<&[u8]> = g.value_bytes(1).collect();
-        assert_eq!(vals, vec![b"1".as_ref(), b"3".as_ref()]);
+    fn push_and_parse_agree_on_ranges() {
+        let mut run = RunBuffer::default();
+        run.push(b"banana", b"1");
+        run.push(b"apple", b"22");
+        run.push(b"", b"");
+        let reparsed = RunBuffer::parse(run.data.clone()).unwrap();
+        assert_eq!(run.len(), reparsed.len());
+        for (a, b) in run.recs.iter().zip(reparsed.recs.iter()) {
+            assert_eq!(run.key(a), reparsed.key(b));
+            assert_eq!(run.value(a), reparsed.value(b));
+            assert_eq!(a.framed(), b.framed());
+        }
     }
 
     #[test]
-    fn empty_keys_and_values_are_legal() {
-        let mut buf = Vec::new();
-        write_record(&mut buf, b"", b"");
-        write_record(&mut buf, b"", b"x");
-        let g = GroupedPartition::build(buf).unwrap();
-        assert_eq!(g.groups.len(), 1);
-        let vals: Vec<&[u8]> = g.value_bytes(0).collect();
-        assert_eq!(vals, vec![b"".as_ref(), b"x".as_ref()]);
+    fn sort_is_stable_by_key_bytes() {
+        let mut run = RunBuffer::default();
+        run.push(b"banana", b"1");
+        run.push(b"apple", b"2");
+        run.push(b"banana", b"3");
+        run.sort();
+        let keys: Vec<&[u8]> = run.recs.iter().map(|r| run.key(r)).collect();
+        assert_eq!(keys, vec![b"apple".as_ref(), b"banana", b"banana"]);
+        let banana_vals: Vec<&[u8]> = run
+            .recs
+            .iter()
+            .filter(|r| run.key(r) == b"banana")
+            .map(|r| run.value(r))
+            .collect();
+        assert_eq!(banana_vals, vec![b"1".as_ref(), b"3".as_ref()]);
+    }
+
+    #[test]
+    fn framed_bytes_round_trip_through_a_fresh_buffer() {
+        let mut run = RunBuffer::default();
+        run.push(b"key", b"value-bytes");
+        let framed = run.framed(&run.recs[0]).to_vec();
+        let back = RunBuffer::parse(framed).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.key(&back.recs[0]), b"key");
+        assert_eq!(back.value(&back.recs[0]), b"value-bytes");
     }
 
     #[test]
@@ -202,15 +272,24 @@ mod tests {
     }
 
     #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(varint_len(v) as usize, buf.len(), "v={v}");
+        }
+    }
+
+    #[test]
     fn corrupt_data_is_rejected() {
         // Truncated value.
         let mut buf = Vec::new();
         write_record(&mut buf, b"k", b"value");
         buf.truncate(buf.len() - 2);
-        assert!(GroupedPartition::build(buf).is_err());
+        assert!(RunBuffer::parse(buf).is_err());
         // Length prefix pointing past the end.
         let bad = vec![0x20, b'a'];
-        assert!(GroupedPartition::build(bad).is_err());
+        assert!(RunBuffer::parse(bad).is_err());
     }
 
     #[test]

@@ -1,34 +1,60 @@
-//! The [`Job`] trait: the typed map/combine/reduce contract plus the codec
-//! that defines the wire format of the shuffle.
+//! The [`Job`] trait — the typed map/combine/reduce contract plus the codec
+//! that defines the wire format of the shuffle — and the [`Emitter`], the
+//! map-side sort buffer that serializes, sorts, combines, and (when the
+//! engine runs out-of-core) spills map output.
 
-use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::counters::Counters;
+use crate::error::EngineError;
+use crate::shuffle::{partition_of, RunBuffer};
+use crate::spill::{RunMeta, SpillWriter};
 
 /// A MapReduce job.
 ///
 /// Keys must serialize injectively through [`Job::encode_key`]: the engine
 /// partitions and groups by *encoded* key bytes, exactly as Hadoop partitions
 /// on serialized keys.
+///
+/// [`Job::reduce`] receives its values as a **streaming iterator**: values
+/// are decoded one at a time off the shuffle merge, so a reducer never
+/// requires the whole group in memory. A reducer that needs random access
+/// can still `collect()` — it then pays exactly the footprint the old
+/// `Vec`-based contract always paid.
 pub trait Job: Send + Sync {
     /// One input record (map tasks receive contiguous slices of records).
     type Input: Send + Sync;
     /// Intermediate key.
-    type Key: Send + Ord + Clone;
+    type Key: Send;
     /// Intermediate value.
     type Value: Send;
     /// Final output record.
     type Output: Send;
 
     /// Maps one input record to zero or more key/value pairs.
-    fn map(&self, input: &Self::Input, emit: &mut Emitter<'_, Self::Key, Self::Value>);
+    fn map(&self, input: &Self::Input, emit: &mut Emitter<'_, Self>)
+    where
+        Self: Sized;
 
     /// Optional map-side pre-aggregation: reduces the values of one key to a
     /// smaller list. Default: identity (no combiner).
+    ///
+    /// With spilling enabled the combiner runs once per *spill* rather than
+    /// once per map task, so it may see a subset of a key's task-local
+    /// values at a time — combiners must therefore be associative and
+    /// insensitive to such regrouping (the same contract Hadoop imposes).
     fn combine(&self, _key: &Self::Key, values: Vec<Self::Value>) -> Vec<Self::Value> {
         values
     }
 
-    /// Reduces the complete value list of one key.
-    fn reduce(&self, key: Self::Key, values: Vec<Self::Value>, out: &mut Vec<Self::Output>);
+    /// Reduces the complete value stream of one key.
+    fn reduce(
+        &self,
+        key: Self::Key,
+        values: impl Iterator<Item = Self::Value>,
+        out: &mut Vec<Self::Output>,
+    ) where
+        Self: Sized;
 
     /// Serializes a key (must be injective).
     fn encode_key(&self, key: &Self::Key, buf: &mut Vec<u8>);
@@ -40,18 +66,200 @@ pub trait Job: Send + Sync {
     fn decode_value(&self, bytes: &[u8]) -> Self::Value;
 }
 
-/// The map-side output collector: an in-memory buffer grouped by key, exactly
-/// like Hadoop's map-side sort buffer.
-pub struct Emitter<'a, K: Ord, V> {
-    pub(crate) buffer: &'a mut BTreeMap<K, Vec<V>>,
-    pub(crate) records: &'a mut u64,
+/// What a finished map task hands to the shuffle: either its sorted
+/// partition buffers in memory, or the spill file holding its sorted runs.
+#[derive(Debug)]
+pub(crate) enum MapTaskOutput {
+    /// One sorted (and combined) run per reduce partition, in memory.
+    Mem(Vec<RunBuffer>),
+    /// Every record was spilled; `runs` lists the file's sorted runs in
+    /// spill order.
+    Spilled {
+        /// The task's spill file.
+        file: PathBuf,
+        /// Runs in (spill event, partition) order.
+        runs: Vec<RunMeta>,
+    },
 }
 
-impl<K: Ord, V> Emitter<'_, K, V> {
+/// The map-side output collector: serializes each emitted pair through the
+/// job's codec into per-partition sort buffers (Hadoop's map-side sort
+/// buffer), spilling sorted runs to disk whenever the configured threshold
+/// is exceeded.
+pub struct Emitter<'a, J: Job> {
+    job: &'a J,
+    num_parts: usize,
+    use_combiner: bool,
+    threshold: Option<usize>,
+    /// Per-partition unsorted record buffers.
+    parts: Vec<RunBuffer>,
+    /// Serialized bytes currently buffered across all partitions.
+    buffered: usize,
+    /// Target spill file (set iff the threshold is set).
+    spill_path: Option<PathBuf>,
+    writer: Option<SpillWriter>,
+    runs: Vec<RunMeta>,
+    records: u64,
+    counters: &'a Counters,
+    kbuf: Vec<u8>,
+    vbuf: Vec<u8>,
+    /// First spill failure; emit becomes a no-op afterwards and the task
+    /// reports the error when it finishes.
+    error: Option<EngineError>,
+}
+
+impl<'a, J: Job> Emitter<'a, J> {
+    pub(crate) fn new(
+        job: &'a J,
+        num_parts: usize,
+        use_combiner: bool,
+        threshold: Option<usize>,
+        spill_path: Option<PathBuf>,
+        counters: &'a Counters,
+    ) -> Self {
+        debug_assert!(
+            threshold.is_none() || spill_path.is_some(),
+            "a spill threshold requires a spill file"
+        );
+        Emitter {
+            job,
+            num_parts,
+            use_combiner,
+            threshold,
+            parts: (0..num_parts).map(|_| RunBuffer::default()).collect(),
+            buffered: 0,
+            spill_path,
+            writer: None,
+            runs: Vec::new(),
+            records: 0,
+            counters,
+            kbuf: Vec::new(),
+            vbuf: Vec::new(),
+            error: None,
+        }
+    }
+
     /// Emits one key/value pair.
-    pub fn emit(&mut self, key: K, value: V) {
-        *self.records += 1;
-        self.buffer.entry(key).or_default().push(value);
+    pub fn emit(&mut self, key: J::Key, value: J::Value) {
+        if self.error.is_some() {
+            return;
+        }
+        self.records += 1;
+        self.kbuf.clear();
+        self.job.encode_key(&key, &mut self.kbuf);
+        self.vbuf.clear();
+        self.job.encode_value(&value, &mut self.vbuf);
+        let part = partition_of(&self.kbuf, self.num_parts);
+        let (_, materialized) = self.parts[part].push(&self.kbuf, &self.vbuf);
+        self.buffered += materialized as usize;
+        Counters::raise(&self.counters.peak_resident_bytes, self.buffered as u64);
+        if self.threshold.is_some_and(|t| self.buffered > t) {
+            if let Err(e) = self.spill() {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    /// Sorts, combines, and writes every non-empty partition buffer as one
+    /// run in the task's spill file, then resets the buffers.
+    fn spill(&mut self) -> Result<(), EngineError> {
+        if self.writer.is_none() {
+            let path = self
+                .spill_path
+                .clone()
+                .expect("spill threshold requires a spill file");
+            self.writer = Some(SpillWriter::create(path)?);
+        }
+        for part in 0..self.num_parts {
+            if self.parts[part].is_empty() {
+                continue;
+            }
+            let run = self.finalize_partition(part);
+            let writer = self.writer.as_mut().expect("writer created above");
+            let meta = writer.write_run(part as u32, &run)?;
+            Counters::add(&self.counters.spilled_bytes, meta.len);
+            Counters::add(&self.counters.spilled_runs, 1);
+            self.runs.push(meta);
+        }
+        self.buffered = 0;
+        Ok(())
+    }
+
+    /// Takes one partition buffer, sorts it, applies the combiner, and
+    /// accounts the shipped bytes.
+    fn finalize_partition(&mut self, part: usize) -> RunBuffer {
+        let mut buf = std::mem::take(&mut self.parts[part]);
+        buf.sort();
+        let run = if self.use_combiner && !buf.is_empty() {
+            self.combine_sorted(buf)
+        } else {
+            buf
+        };
+        let mut payload = 0u64;
+        for r in &run.recs {
+            payload += (r.key.1 - r.key.0) as u64 + (r.value.1 - r.value.0) as u64;
+        }
+        Counters::add(&self.counters.map_output_bytes, payload);
+        Counters::add(
+            &self.counters.map_output_materialized_bytes,
+            run.data.len() as u64,
+        );
+        run
+    }
+
+    /// Runs the combiner over each key group of a sorted buffer, rebuilding
+    /// a (still sorted) buffer from the combined values.
+    fn combine_sorted(&mut self, buf: RunBuffer) -> RunBuffer {
+        let mut out = RunBuffer::default();
+        let mut combine_in = 0u64;
+        let mut combine_out = 0u64;
+        let mut i = 0;
+        while i < buf.recs.len() {
+            let key_bytes = buf.key(&buf.recs[i]);
+            let mut j = i + 1;
+            while j < buf.recs.len() && buf.key(&buf.recs[j]) == key_bytes {
+                j += 1;
+            }
+            let key = self.job.decode_key(key_bytes);
+            let values: Vec<J::Value> = buf.recs[i..j]
+                .iter()
+                .map(|r| self.job.decode_value(buf.value(r)))
+                .collect();
+            combine_in += (j - i) as u64;
+            let combined = self.job.combine(&key, values);
+            combine_out += combined.len() as u64;
+            for value in combined {
+                self.vbuf.clear();
+                self.job.encode_value(&value, &mut self.vbuf);
+                out.push(key_bytes, &self.vbuf);
+            }
+            i = j;
+        }
+        Counters::add(&self.counters.combine_input_records, combine_in);
+        Counters::add(&self.counters.combine_output_records, combine_out);
+        out
+    }
+
+    /// Finishes the map task: flushes a final spill if the task spilled
+    /// before, otherwise finalizes the buffers in memory. Returns the task
+    /// output and the number of raw emitted records.
+    pub(crate) fn finish(mut self) -> Result<(MapTaskOutput, u64), EngineError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let records = self.records;
+        if self.writer.is_some() {
+            self.spill()?;
+            let writer = self.writer.take().expect("spilled at least once");
+            let file = writer.finish()?;
+            let runs = std::mem::take(&mut self.runs);
+            Ok((MapTaskOutput::Spilled { file, runs }, records))
+        } else {
+            let parts: Vec<RunBuffer> = (0..self.num_parts)
+                .map(|p| self.finalize_partition(p))
+                .collect();
+            Ok((MapTaskOutput::Mem(parts), records))
+        }
     }
 }
 
@@ -59,22 +267,104 @@ impl<K: Ord, V> Emitter<'_, K, V> {
 mod tests {
     use super::*;
 
+    /// Identity codec over byte-string keys and u8 values.
+    struct ByteJob;
+
+    impl Job for ByteJob {
+        type Input = ();
+        type Key = Vec<u8>;
+        type Value = u8;
+        type Output = ();
+
+        fn map(&self, _input: &(), _emit: &mut Emitter<'_, Self>) {}
+        fn combine(&self, _key: &Vec<u8>, values: Vec<u8>) -> Vec<u8> {
+            vec![values.iter().copied().fold(0u8, u8::wrapping_add)]
+        }
+        fn reduce(&self, _key: Vec<u8>, _values: impl Iterator<Item = u8>, _out: &mut Vec<()>) {}
+        fn encode_key(&self, key: &Vec<u8>, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(key);
+        }
+        fn decode_key(&self, bytes: &[u8]) -> Vec<u8> {
+            bytes.to_vec()
+        }
+        fn encode_value(&self, value: &u8, buf: &mut Vec<u8>) {
+            buf.push(*value);
+        }
+        fn decode_value(&self, bytes: &[u8]) -> u8 {
+            bytes[0]
+        }
+    }
+
     #[test]
-    fn emitter_groups_by_key() {
-        let mut buffer = BTreeMap::new();
-        let mut records = 0u64;
-        let mut e = Emitter {
-            buffer: &mut buffer,
-            records: &mut records,
-        };
-        e.emit("b", 1);
-        e.emit("a", 2);
-        e.emit("b", 3);
+    fn emitter_sorts_and_groups_in_memory() {
+        let counters = Counters::default();
+        let mut emitter = Emitter::new(&ByteJob, 1, false, None, None, &counters);
+        emitter.emit(b"b".to_vec(), 1);
+        emitter.emit(b"a".to_vec(), 2);
+        emitter.emit(b"b".to_vec(), 3);
+        let (output, records) = emitter.finish().unwrap();
         assert_eq!(records, 3);
-        assert_eq!(buffer.get("b"), Some(&vec![1, 3]));
-        assert_eq!(buffer.get("a"), Some(&vec![2]));
-        // BTreeMap keeps keys sorted, like the map-side sort buffer.
-        let keys: Vec<_> = buffer.keys().copied().collect();
-        assert_eq!(keys, vec!["a", "b"]);
+        let MapTaskOutput::Mem(parts) = output else {
+            panic!("no threshold, no spill");
+        };
+        let run = &parts[0];
+        let pairs: Vec<(Vec<u8>, u8)> = run
+            .recs
+            .iter()
+            .map(|r| (run.key(r).to_vec(), run.value(r)[0]))
+            .collect();
+        // Sorted by key, emission order within equal keys.
+        assert_eq!(
+            pairs,
+            vec![(b"a".to_vec(), 2), (b"b".to_vec(), 1), (b"b".to_vec(), 3)]
+        );
+        assert!(counters.snapshot().map_output_bytes > 0);
+        assert_eq!(counters.snapshot().spilled_bytes, 0);
+    }
+
+    #[test]
+    fn emitter_combines_per_key_group() {
+        let counters = Counters::default();
+        let mut emitter = Emitter::new(&ByteJob, 1, true, None, None, &counters);
+        emitter.emit(b"k".to_vec(), 10);
+        emitter.emit(b"k".to_vec(), 20);
+        emitter.emit(b"other".to_vec(), 1);
+        let (output, _) = emitter.finish().unwrap();
+        let MapTaskOutput::Mem(parts) = output else {
+            panic!("no threshold, no spill");
+        };
+        let run = &parts[0];
+        assert_eq!(run.len(), 2);
+        assert_eq!(run.value(&run.recs[0]), &[30]);
+        let s = counters.snapshot();
+        assert_eq!(s.combine_input_records, 3);
+        assert_eq!(s.combine_output_records, 2);
+    }
+
+    #[test]
+    fn zero_threshold_spills_every_record() {
+        let counters = Counters::default();
+        let space = crate::spill::SpillSpace::create(None).unwrap();
+        let mut emitter = Emitter::new(
+            &ByteJob,
+            2,
+            true,
+            Some(0),
+            Some(space.task_file(0, 0)),
+            &counters,
+        );
+        for i in 0..5u8 {
+            emitter.emit(vec![i], i);
+        }
+        let (output, records) = emitter.finish().unwrap();
+        assert_eq!(records, 5);
+        let MapTaskOutput::Spilled { runs, .. } = output else {
+            panic!("threshold 0 must spill");
+        };
+        assert_eq!(runs.len(), 5);
+        let s = counters.snapshot();
+        assert_eq!(s.spilled_runs, 5);
+        assert!(s.spilled_bytes > 0);
+        assert!(s.peak_resident_bytes > 0);
     }
 }

@@ -1,10 +1,11 @@
 //! Property tests for the MapReduce engine: against an in-memory oracle, the
 //! engine must produce identical results for any input, any parallelism, any
-//! split size, combiner on or off, and any recoverable failure plan.
+//! split size, combiner on or off, any spill threshold, and any recoverable
+//! failure plan.
 
 use std::collections::BTreeMap;
 
-use lash_mapreduce::{run_job, ClusterConfig, Emitter, FailurePlan, Job, Phase};
+use lash_mapreduce::{run_job, Emitter, EngineConfig, FailurePlan, Job, Phase};
 use proptest::prelude::*;
 
 /// Counts (key, value) pair sums per key — a weighted word count.
@@ -16,7 +17,7 @@ impl Job for SumJob {
     type Value = u64;
     type Output = (u16, u64);
 
-    fn map(&self, record: &Vec<(u16, u32)>, emit: &mut Emitter<'_, u16, u64>) {
+    fn map(&self, record: &Vec<(u16, u32)>, emit: &mut Emitter<'_, Self>) {
         for &(k, v) in record {
             emit.emit(k, v as u64);
         }
@@ -26,8 +27,8 @@ impl Job for SumJob {
         vec![values.into_iter().sum()]
     }
 
-    fn reduce(&self, key: u16, values: Vec<u64>, out: &mut Vec<(u16, u64)>) {
-        out.push((key, values.into_iter().sum()));
+    fn reduce(&self, key: u16, values: impl Iterator<Item = u64>, out: &mut Vec<(u16, u64)>) {
+        out.push((key, values.sum()));
     }
 
     fn encode_key(&self, key: &u16, buf: &mut Vec<u8>) {
@@ -68,7 +69,7 @@ proptest! {
         reduce_tasks in 1usize..6,
         combiner in any::<bool>(),
     ) {
-        let cfg = ClusterConfig::default()
+        let cfg = EngineConfig::default()
             .with_parallelism(parallelism)
             .with_split_size(split_size)
             .with_reduce_tasks(reduce_tasks)
@@ -84,6 +85,49 @@ proptest! {
     }
 
     #[test]
+    fn spilled_shuffle_equals_in_memory_shuffle(
+        inputs in prop::collection::vec(
+            prop::collection::vec((0u16..24, 0u32..500), 0..10),
+            0..20,
+        ),
+        parallelism in 1usize..5,
+        split_size in 1usize..8,
+        reduce_tasks in 1usize..5,
+        combiner in any::<bool>(),
+        threshold in 0usize..256,
+    ) {
+        let base = EngineConfig::default()
+            .with_parallelism(parallelism)
+            .with_split_size(split_size)
+            .with_reduce_tasks(reduce_tasks)
+            .with_combiner(combiner);
+        let in_memory = run_job(
+            &SumJob,
+            &inputs,
+            &base.clone().with_spill_threshold(None),
+        )
+        .unwrap();
+        let spilled = run_job(
+            &SumJob,
+            &inputs,
+            &base.with_spill_threshold(Some(threshold)),
+        )
+        .unwrap();
+        // Byte-identical results: same outputs in the same order.
+        prop_assert_eq!(&spilled.outputs, &in_memory.outputs);
+        prop_assert_eq!(in_memory.metrics.counters.spilled_bytes, 0);
+        let pairs: usize = inputs.iter().map(|r| r.len()).sum();
+        if pairs > 0 && threshold == 0 {
+            // A zero threshold must actually exercise the spill path.
+            prop_assert!(
+                spilled.metrics.counters.spilled_runs > 0,
+                "threshold 0 with {} pairs never spilled",
+                pairs
+            );
+        }
+    }
+
+    #[test]
     fn recoverable_failures_never_change_results(
         inputs in prop::collection::vec(
             prop::collection::vec((0u16..16, 0u32..100), 1..8),
@@ -91,6 +135,7 @@ proptest! {
         ),
         map_fail in prop::collection::vec((0usize..8, 1u32..3), 0..4),
         reduce_fail in prop::collection::vec((0usize..4, 1u32..3), 0..4),
+        threshold in prop::option::weighted(0.5, 0usize..128),
     ) {
         let mut plan = FailurePlan::none();
         for (task, n) in map_fail {
@@ -99,10 +144,11 @@ proptest! {
         for (task, n) in reduce_fail {
             plan = plan.fail_n_times(Phase::Reduce, task, n);
         }
-        let cfg = ClusterConfig::default()
+        let cfg = EngineConfig::default()
             .with_parallelism(3)
             .with_split_size(2)
             .with_reduce_tasks(4)
+            .with_spill_threshold(threshold)
             .with_failures(plan);
         let result = run_job(&SumJob, &inputs, &cfg).unwrap();
         let got: BTreeMap<u16, u64> = result.outputs.into_iter().collect();
@@ -116,7 +162,7 @@ proptest! {
             1..8,
         ),
     ) {
-        let cfg = ClusterConfig::sequential().with_combiner(false);
+        let cfg = EngineConfig::sequential().with_combiner(false);
         let result = run_job(&SumJob, &inputs, &cfg).unwrap();
         let c = result.metrics.counters;
         // Every emitted pair serializes to 2 key bytes + 8 value bytes.

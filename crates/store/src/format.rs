@@ -448,8 +448,10 @@ pub(crate) fn encode_record(id_delta: u64, items: &[ItemId], buf: &mut Vec<u8>) 
     }
 }
 
-/// Decodes one record from a block payload at `pos`, appending items into
-/// `out` (cleared first). Returns `(id_delta, new_pos)`.
+/// Decodes one record from a block payload at `pos`, **appending** items to
+/// `out` — callers batching a whole block into a shared arena rely on the
+/// append semantics (clear `out` first for single-record decodes). Returns
+/// `(id_delta, new_pos)`.
 pub(crate) fn decode_record(
     payload: &[u8],
     pos: usize,
@@ -459,7 +461,6 @@ pub(crate) fn decode_record(
     let mut r = VarintReader::new(&payload[pos..]);
     let id_delta = r.read_u64()?;
     let len = r.read_u32()?;
-    out.clear();
     out.reserve(len as usize);
     let mut prev = 0i64;
     for i in 0..len {
@@ -643,11 +644,16 @@ mod tests {
         let mut out = Vec::new();
         let (d1, p1) = decode_record(&buf, 0, 50, &mut out).unwrap();
         assert_eq!((d1, out.clone()), (0, vec![ids[3], ids[49], ids[0]]));
+        out.clear();
         let (d2, p2) = decode_record(&buf, p1, 50, &mut out).unwrap();
         assert_eq!((d2, out.len()), (7, 0));
+        out.clear();
         let (d3, p3) = decode_record(&buf, p2, 50, &mut out).unwrap();
         assert_eq!((d3, out.clone()), (1, vec![ids[10]]));
         assert_eq!(p3, buf.len());
+        // Append semantics: decoding into a non-empty arena keeps its prefix.
+        let (_, _) = decode_record(&buf, 0, 50, &mut out).unwrap();
+        assert_eq!(out, vec![ids[10], ids[3], ids[49], ids[0]]);
     }
 
     #[test]

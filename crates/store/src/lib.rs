@@ -77,8 +77,8 @@ pub mod format;
 pub mod reader;
 pub mod writer;
 
-pub use format::{BlockHeader, Manifest, Partitioning, ShardStats};
-pub use reader::{CorpusReader, CorpusScan, ShardScan};
+pub use format::{BlockHeader, Manifest, Partitioning, ShardStats, FORMAT_VERSION};
+pub use reader::{BlockFilter, CorpusReader, CorpusScan, SequenceBatch, ShardScan};
 pub use writer::CorpusWriter;
 
 use std::path::PathBuf;

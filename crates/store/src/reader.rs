@@ -95,11 +95,29 @@ impl CorpusReader {
     }
 
     /// Opens a streaming scan over one shard.
-    pub fn scan_shard(&self, shard: usize) -> Result<ShardScan> {
+    pub fn scan_shard(&self, shard: usize) -> Result<ShardScan<'static>> {
         ShardScan::open(
             self.shard_path(shard),
             shard as u32,
             self.vocab.len() as u32,
+            None,
+        )
+    }
+
+    /// Opens a streaming scan over one shard that decodes only blocks whose
+    /// header passes `filter`; rejected blocks' payloads are seeked over
+    /// without being read. With per-block G1 sketches this turns a full
+    /// shard scan into a few header reads on long-tail shards.
+    pub fn scan_shard_filtered<'f>(
+        &self,
+        shard: usize,
+        filter: BlockFilter<'f>,
+    ) -> Result<ShardScan<'f>> {
+        ShardScan::open(
+            self.shard_path(shard),
+            shard as u32,
+            self.vocab.len() as u32,
+            Some(filter),
         )
     }
 
@@ -132,7 +150,7 @@ impl CorpusReader {
     pub fn par_scan<T, F>(&self, parallelism: usize, f: F) -> Result<Vec<T>>
     where
         T: Send,
-        F: Fn(usize, ShardScan) -> Result<T> + Sync,
+        F: Fn(usize, ShardScan<'static>) -> Result<T> + Sync,
     {
         let n = self.num_shards();
         let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -308,6 +326,22 @@ fn available_threads() -> usize {
         .unwrap_or(4)
 }
 
+/// Drives `f` over every record of a scan, one decoded block (batch) at a
+/// time — the shared-arena delivery that replaces per-record allocation and
+/// per-record scan-state churn on the mining hot path.
+fn drive_batched(
+    mut scan: ShardScan<'_>,
+    f: &mut dyn FnMut(u64, &[ItemId]),
+) -> lash_core::error::Result<()> {
+    let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
+    while let Some(batch) = scan.next_batch().map_err(engine)? {
+        for (id, items) in batch.iter() {
+            f(id, items);
+        }
+    }
+    Ok(())
+}
+
 impl ShardedCorpus for CorpusReader {
     fn num_shards(&self) -> usize {
         CorpusReader::num_shards(self)
@@ -323,12 +357,31 @@ impl ShardedCorpus for CorpusReader {
         f: &mut dyn FnMut(u64, &[ItemId]),
     ) -> lash_core::error::Result<()> {
         let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
-        let mut scan = CorpusReader::scan_shard(self, shard).map_err(engine)?;
-        while let Some(record) = scan.next_borrowed().map_err(engine)? {
-            let (id, items) = record;
-            f(id, items);
+        let scan = CorpusReader::scan_shard(self, shard).map_err(engine)?;
+        drive_batched(scan, f)
+    }
+
+    fn scan_shard_pruned(
+        &self,
+        shard: usize,
+        relevant: &(dyn Fn(ItemId) -> bool + Sync),
+        f: &mut dyn FnMut(u64, &[ItemId]),
+    ) -> lash_core::error::Result<()> {
+        // Without sketches no block can be proven irrelevant.
+        if !self.manifest.sketches {
+            return ShardedCorpus::scan_shard(self, shard, f);
         }
-        Ok(())
+        let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
+        // The sketch lists every item of the block's G1 closures, so a block
+        // with no relevant sketch item holds no relevant sequence.
+        let filter = |header: &BlockHeader| {
+            header
+                .sketch
+                .iter()
+                .any(|&(item, _)| relevant(ItemId::from_u32(item)))
+        };
+        let scan = self.scan_shard_filtered(shard, &filter).map_err(engine)?;
+        drive_batched(scan, f)
     }
 }
 
@@ -340,99 +393,216 @@ fn read_required_frame(reader: &mut impl Read, what: &str) -> Result<Vec<u8>> {
     }
 }
 
-/// A streaming scan over one shard, yielding `(sequence id, items)` in
-/// storage order. Blocks are read, checksum-verified, and decoded one at a
-/// time; memory stays bounded by one block regardless of shard size.
-pub struct ShardScan {
-    file: BufReader<File>,
-    vocab_len: u32,
-    header: BlockHeader,
-    payload: Vec<u8>,
-    pos: usize,
-    remaining: u32,
-    prev_seq: u64,
+/// One decoded block of sequences: ids plus a shared item arena with
+/// offsets, so a whole block's records are delivered without a single
+/// per-record allocation.
+#[derive(Debug, Default)]
+pub struct SequenceBatch {
+    ids: Vec<u64>,
     items: Vec<ItemId>,
+    offsets: Vec<u32>,
+}
+
+impl SequenceBatch {
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.items.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
+    /// Number of sequences in the batch.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if the batch holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The `i`-th sequence: its corpus-wide id and its items (a slice of
+    /// the shared arena).
+    pub fn get(&self, i: usize) -> (u64, &[ItemId]) {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        (self.ids[i], &self.items[lo..hi])
+    }
+
+    /// Iterates the batch's sequences.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[ItemId])> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The shared item arena (all sequences back to back).
+    pub fn arena(&self) -> &[ItemId] {
+        &self.items
+    }
+}
+
+/// A predicate over block headers deciding whether a block's payload is
+/// worth decoding; see [`CorpusReader::scan_shard_filtered`].
+pub type BlockFilter<'f> = &'f (dyn Fn(&BlockHeader) -> bool + Sync);
+
+/// A streaming scan over one shard, yielding `(sequence id, items)` in
+/// storage order. Blocks are read, checksum-verified, and decoded **one
+/// block at a time into a shared batch** (item arena + offsets), so memory
+/// stays bounded by one block and no per-record allocation happens. An
+/// optional block filter can skip whole blocks — their payload frames are
+/// seeked over, never read.
+pub struct ShardScan<'f> {
+    file: BufReader<File>,
+    file_len: u64,
+    vocab_len: u32,
+    filter: Option<BlockFilter<'f>>,
+    batch: SequenceBatch,
+    /// Cursor into `batch` for the record-at-a-time APIs.
+    rec: usize,
+    blocks_decoded: u64,
+    blocks_pruned: u64,
     done: bool,
 }
 
-impl ShardScan {
-    fn open(path: PathBuf, shard: u32, vocab_len: u32) -> Result<Self> {
-        let mut file = BufReader::new(File::open(path)?);
+impl<'f> ShardScan<'f> {
+    fn open(
+        path: PathBuf,
+        shard: u32,
+        vocab_len: u32,
+        filter: Option<BlockFilter<'f>>,
+    ) -> Result<Self> {
+        let handle = File::open(path)?;
+        let file_len = handle.metadata()?.len();
+        let mut file = BufReader::new(handle);
         let header = read_required_frame(&mut file, "segment header")?;
         format::decode_segment_header(&header, shard)?;
+        let mut batch = SequenceBatch::default();
+        batch.clear();
         Ok(ShardScan {
             file,
+            file_len,
             vocab_len,
-            header: BlockHeader::default(),
-            payload: Vec::new(),
-            pos: 0,
-            remaining: 0,
-            prev_seq: 0,
-            items: Vec::new(),
+            filter,
+            batch,
+            rec: 0,
+            blocks_decoded: 0,
+            blocks_pruned: 0,
             done: false,
         })
     }
 
-    /// Loads the next block into the scan state. Returns false at clean EOF.
-    fn next_block(&mut self) -> Result<bool> {
-        match frame::read_frame(&mut self.file)? {
-            FrameRead::Eof => Ok(false),
-            FrameRead::Payload(header_bytes) => {
-                self.header = format::decode_block_header(&header_bytes)?;
-                self.payload = read_required_frame(&mut self.file, "block payload")?;
-                self.pos = 0;
-                self.remaining = self.header.records;
-                self.prev_seq = self.header.first_seq;
-                Ok(true)
+    /// Blocks whose payload was decoded so far.
+    pub fn blocks_decoded(&self) -> u64 {
+        self.blocks_decoded
+    }
+
+    /// Blocks skipped by the filter without reading their payload.
+    pub fn blocks_pruned(&self) -> u64 {
+        self.blocks_pruned
+    }
+
+    /// Seeks past the next frame (a rejected block's payload) without
+    /// reading it, verifying the seek stays inside the file so truncation
+    /// is still detected.
+    fn skip_payload(&mut self) -> Result<()> {
+        let Some(skip) = frame::read_frame_len(&mut self.file)? else {
+            return Err(StoreError::Corrupt("missing block payload frame".into()));
+        };
+        self.file.seek_relative(skip as i64)?;
+        if self.file.stream_position()? > self.file_len {
+            return Err(StoreError::Corrupt(
+                "segment truncated inside a block payload".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Decodes the next (unfiltered) block into the shared batch. Returns
+    /// `None` at clean end-of-shard; the returned batch is valid until the
+    /// next call.
+    pub fn next_batch(&mut self) -> Result<Option<&SequenceBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            let header_bytes = match frame::read_frame(&mut self.file)? {
+                FrameRead::Eof => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                FrameRead::Payload(bytes) => bytes,
+            };
+            let header = format::decode_block_header(&header_bytes)?;
+            if let Some(filter) = self.filter {
+                if !filter(&header) {
+                    self.skip_payload()?;
+                    self.blocks_pruned += 1;
+                    continue;
+                }
+            }
+            let payload = read_required_frame(&mut self.file, "block payload")?;
+            self.decode_block(&header, &payload)?;
+            self.blocks_decoded += 1;
+            self.rec = 0;
+            return Ok(Some(&self.batch));
+        }
+    }
+
+    /// Decodes every record of one block payload into the batch.
+    fn decode_block(&mut self, header: &BlockHeader, payload: &[u8]) -> Result<()> {
+        self.batch.clear();
+        self.batch.ids.reserve(header.records as usize);
+        self.batch.items.reserve(header.items as usize);
+        let mut pos = 0usize;
+        let mut prev_seq = header.first_seq;
+        for rec in 0..header.records {
+            let (delta, next) =
+                format::decode_record(payload, pos, self.vocab_len, &mut self.batch.items)?;
+            pos = next;
+            let id = prev_seq
+                .checked_add(delta)
+                .ok_or_else(|| StoreError::Corrupt("sequence id delta overflows".into()))?;
+            if id > header.last_seq {
+                return Err(StoreError::Corrupt(format!(
+                    "sequence id {id} beyond block's last id {}",
+                    header.last_seq
+                )));
+            }
+            prev_seq = id;
+            self.batch.ids.push(id);
+            self.batch.offsets.push(self.batch.items.len() as u32);
+            if rec + 1 == header.records {
+                if pos != payload.len() {
+                    return Err(StoreError::Corrupt(
+                        "trailing bytes in block payload".into(),
+                    ));
+                }
+                if id != header.last_seq {
+                    return Err(StoreError::Corrupt(
+                        "block's last sequence id does not match its header".into(),
+                    ));
+                }
             }
         }
+        Ok(())
     }
 
     /// Advances to the next sequence, yielding a borrowed view of its items
     /// (valid until the next call). The allocation-free twin of the
-    /// [`Iterator`] impl, used on hot paths like the mining map phase.
+    /// [`Iterator`] impl; the batched [`ShardScan::next_batch`] is the bulk
+    /// variant.
     pub fn next_borrowed(&mut self) -> Result<Option<(u64, &[ItemId])>> {
-        if self.done {
-            return Ok(None);
-        }
-        while self.remaining == 0 {
-            if !self.next_block()? {
-                self.done = true;
+        while self.rec >= self.batch.len() {
+            if self.next_batch()?.is_none() {
                 return Ok(None);
             }
         }
-        let (delta, pos) =
-            format::decode_record(&self.payload, self.pos, self.vocab_len, &mut self.items)?;
-        self.pos = pos;
-        let id = self
-            .prev_seq
-            .checked_add(delta)
-            .ok_or_else(|| StoreError::Corrupt("sequence id delta overflows".into()))?;
-        if id > self.header.last_seq {
-            return Err(StoreError::Corrupt(format!(
-                "sequence id {id} beyond block's last id {}",
-                self.header.last_seq
-            )));
-        }
-        self.prev_seq = id;
-        self.remaining -= 1;
-        if self.remaining == 0 {
-            if self.pos != self.payload.len() {
-                return Err(StoreError::Corrupt(
-                    "trailing bytes in block payload".into(),
-                ));
-            }
-            if id != self.header.last_seq {
-                return Err(StoreError::Corrupt(
-                    "block's last sequence id does not match its header".into(),
-                ));
-            }
-        }
-        Ok(Some((id, &self.items)))
+        let i = self.rec;
+        self.rec += 1;
+        Ok(Some(self.batch.get(i)))
     }
 }
 
-impl Iterator for ShardScan {
+impl Iterator for ShardScan<'_> {
     type Item = Result<(u64, Vec<ItemId>)>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -451,7 +621,7 @@ impl Iterator for ShardScan {
 pub struct CorpusScan<'a> {
     reader: &'a CorpusReader,
     shard: usize,
-    current: Option<ShardScan>,
+    current: Option<ShardScan<'static>>,
 }
 
 impl Iterator for CorpusScan<'_> {

@@ -277,3 +277,155 @@ fn block_headers_skip_payloads_but_see_all_blocks() {
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn batched_scan_matches_record_scan() {
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 120);
+    let dir = temp_dir("batch");
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(3))
+        .with_block_budget(48);
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    for shard in 0..reader.num_shards() {
+        let by_record: Vec<(u64, Vec<ItemId>)> = reader
+            .scan_shard(shard)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let mut by_batch: Vec<(u64, Vec<ItemId>)> = Vec::new();
+        let mut scan = reader.scan_shard(shard).unwrap();
+        let mut batches = 0u64;
+        while let Some(batch) = scan.next_batch().unwrap() {
+            batches += 1;
+            assert!(!batch.is_empty());
+            assert_eq!(
+                batch.arena().len(),
+                batch.iter().map(|(_, s)| s.len()).sum::<usize>()
+            );
+            for (id, seq) in batch.iter() {
+                by_batch.push((id, seq.to_vec()));
+            }
+        }
+        assert_eq!(by_batch, by_record);
+        assert_eq!(batches, reader.manifest().shards[shard].blocks);
+        assert_eq!(scan.blocks_decoded(), batches);
+        assert_eq!(scan.blocks_pruned(), 0);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn block_filter_skips_payloads_without_reading_them() {
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 120);
+    let dir = temp_dir("filter");
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(1))
+        .with_block_budget(48);
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    let total_blocks = reader.manifest().shards[0].blocks;
+    assert!(total_blocks > 1, "need several blocks to make pruning real");
+
+    // Rejecting every block scans nothing but still walks the whole file.
+    let reject = |_: &lash_store::BlockHeader| false;
+    let mut scan = reader.scan_shard_filtered(0, &reject).unwrap();
+    assert!(scan.next_batch().unwrap().is_none());
+    assert_eq!(scan.blocks_pruned(), total_blocks);
+    assert_eq!(scan.blocks_decoded(), 0);
+
+    // Accepting every block is the plain scan.
+    let accept = |_: &lash_store::BlockHeader| true;
+    let full: Vec<_> = reader
+        .scan_shard_filtered(0, &accept)
+        .unwrap()
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(full.len() as u64, reader.manifest().shards[0].sequences);
+
+    // A sketch-based filter keeps exactly the blocks naming the item — and
+    // every kept sequence set is a superset of the item's occurrences.
+    let b1 = vocab.lookup("b1").unwrap();
+    let keep_b1 =
+        |h: &lash_store::BlockHeader| h.sketch.iter().any(|&(item, _)| item == b1.as_u32());
+    let mut scan = reader.scan_shard_filtered(0, &keep_b1).unwrap();
+    let mut kept_ids = Vec::new();
+    while let Some(batch) = scan.next_batch().unwrap() {
+        for (id, _) in batch.iter() {
+            kept_ids.push(id);
+        }
+    }
+    assert!(scan.blocks_decoded() + scan.blocks_pruned() == total_blocks);
+    for (id, seq) in db.iter().enumerate().map(|(i, s)| (i as u64, s)) {
+        if seq.contains(&b1) {
+            assert!(kept_ids.contains(&id), "sequence {id} with b1 was pruned");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pruned_trait_scan_respects_the_relevance_contract() {
+    use lash_core::ShardedCorpus;
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 100);
+    let dir = temp_dir("pruned-trait");
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(2))
+        .with_block_budget(48);
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+
+    // Nothing relevant → nothing decoded (sketches prove every block away).
+    let mut seen = 0u64;
+    for shard in 0..ShardedCorpus::num_shards(&reader) {
+        reader
+            .scan_shard_pruned(shard, &|_| false, &mut |_, _| seen += 1)
+            .unwrap();
+    }
+    assert_eq!(seen, 0);
+
+    // Everything relevant → the full corpus.
+    let mut seen = 0u64;
+    for shard in 0..ShardedCorpus::num_shards(&reader) {
+        reader
+            .scan_shard_pruned(shard, &|_| true, &mut |_, _| seen += 1)
+            .unwrap();
+    }
+    assert_eq!(seen, db.len() as u64);
+
+    // One relevant item → every sequence whose G1 closure holds it is kept.
+    let b = vocab.lookup("B").unwrap();
+    let mut kept = Vec::new();
+    for shard in 0..ShardedCorpus::num_shards(&reader) {
+        reader
+            .scan_shard_pruned(shard, &|item| item == b, &mut |id, _| kept.push(id))
+            .unwrap();
+    }
+    for (id, seq) in db.iter().enumerate().map(|(i, s)| (i as u64, s)) {
+        // B is an ancestor of b1/b2 and itself — closure membership.
+        let relevant = seq.iter().any(|&it| it == b || vocab.parent(it) == Some(b));
+        if relevant {
+            assert!(kept.contains(&id), "relevant sequence {id} was pruned");
+        }
+    }
+
+    // A corpus without sketches never prunes.
+    let dir2 = temp_dir("pruned-nosketch");
+    let opts = StoreOptions::default()
+        .with_block_budget(48)
+        .with_sketches(false);
+    lash_store::convert::write_database(&dir2, &vocab, &db, opts).unwrap();
+    let reader2 = CorpusReader::open(&dir2).unwrap();
+    let mut seen = 0u64;
+    for shard in 0..ShardedCorpus::num_shards(&reader2) {
+        reader2
+            .scan_shard_pruned(shard, &|_| false, &mut |_, _| seen += 1)
+            .unwrap();
+    }
+    assert_eq!(seen, db.len() as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir2).unwrap();
+}

@@ -9,7 +9,10 @@
 //! This crate is the facade over the workspace:
 //!
 //! * `lash-core` (re-exported at the root) — the mining library;
-//! * [`mapreduce`] — the MapReduce substrate;
+//! * [`mapreduce`] — the MapReduce substrate: an external-sort engine whose
+//!   map tasks spill sorted runs to disk past a configurable threshold and
+//!   whose reduce tasks k-way merge them, streaming value groups — so low-σ
+//!   jobs keep running when the shuffle outgrows RAM;
 //! * [`encoding`] — the wire-format codecs;
 //! * [`datagen`] — deterministic synthetic corpora mirroring the paper's
 //!   NYT and AMZN workloads;
