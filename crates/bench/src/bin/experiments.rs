@@ -21,7 +21,7 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
-use lash_bench::experiments::{ablation, fig4, fig5, fig6, tables};
+use lash_bench::experiments::{ablation, compaction, fig4, fig5, fig6, tables};
 use lash_bench::{Datasets, Report};
 
 fn main() {
@@ -105,6 +105,7 @@ fn main() {
             "fig6b" => fig6::fig6b(&mut datasets, &mut report),
             "fig6c" => fig6::fig6c(&mut datasets, &mut report),
             "ablation" => ablation::ablation(&mut datasets, &mut report),
+            "compaction" => compaction::compaction(&mut datasets, &mut report),
             other => die(&format!("unknown subcommand {other}; see --help")),
         }
     }
@@ -116,8 +117,22 @@ fn main() {
 }
 
 const ALL: &[&str] = &[
-    "table1", "table2", "table3", "fig4a", "fig4c", "fig4e", "fig5a", "fig5b", "fig5c", "fig5e",
-    "fig5f", "fig6a", "fig6b", "fig6c", "ablation",
+    "table1",
+    "table2",
+    "table3",
+    "fig4a",
+    "fig4c",
+    "fig4e",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5e",
+    "fig5f",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "ablation",
+    "compaction",
 ];
 
 const HELP: &str = "\
@@ -134,6 +149,7 @@ subcommands:
   fig5e fig5f                                effect of hierarchies
   fig6a fig6b fig6c                          data / strong / weak scaling
   ablation                                   rewrites, aggregation, PSM index
+  compaction                                 scan throughput vs. generation count
   all                                        everything
 
 options:

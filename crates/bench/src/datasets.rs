@@ -200,7 +200,7 @@ mod tests {
         assert!(n1 > 0);
         let (vocab, db) = d.amzn_dataset(ProductHierarchy::H2);
         assert!(!db.is_empty());
-        assert!(vocab.len() > 0);
+        assert!(!vocab.is_empty());
         std::fs::remove_dir_all(&cache).unwrap();
     }
 

@@ -1,0 +1,110 @@
+//! Scan throughput vs. generation count, before and after compaction.
+//!
+//! Incremental ingest (`lash-store`'s segment generations) trades scan
+//! locality for cheap appends: every generation adds one segment file per
+//! shard, so a G-generation corpus pays G file opens, G segment headers,
+//! and G partially-filled trailing blocks per shard scan. This experiment
+//! quantifies that tax — full-corpus scan time as the same data is split
+//! into ever more generations — and then compacts each corpus down to one
+//! generation and re-measures, showing the tax is fully recoverable.
+
+use std::time::Instant;
+
+use lash_store::compact::{self, CompactionConfig};
+use lash_store::{CorpusReader, CorpusWriter, IncrementalWriter, Partitioning, StoreOptions};
+
+use crate::report::{Report, Table};
+use crate::Datasets;
+use lash_datagen::TextHierarchy;
+
+const SHARDS: u32 = 4;
+const SCAN_ITERS: u32 = 5;
+
+/// Full-corpus batched scan; returns (seconds per scan, items seen).
+fn time_scan(reader: &CorpusReader) -> (f64, u64) {
+    let mut items = 0u64;
+    let started = Instant::now();
+    for _ in 0..SCAN_ITERS {
+        items = 0;
+        for shard in 0..reader.num_shards() {
+            let mut scan = reader.scan_shard(shard).expect("open shard scan");
+            while let Some(batch) = scan.next_batch().expect("scan batch") {
+                items += batch.arena().len() as u64;
+            }
+        }
+    }
+    (started.elapsed().as_secs_f64() / SCAN_ITERS as f64, items)
+}
+
+/// Scan throughput vs. generation count, before/after compaction.
+pub fn compaction(datasets: &mut Datasets, report: &mut Report) {
+    let (vocab, db) = datasets.nyt_dataset(TextHierarchy::LP);
+    let scratch = datasets
+        .cache_dir()
+        .join(format!("compaction-scratch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut table = Table::new(
+        "compaction",
+        "full-scan throughput vs. generation count, before/after compaction",
+        &[
+            "generations",
+            "files/shard",
+            "blocks",
+            "scan ms",
+            "Melem/s",
+            "blocks (compacted)",
+            "scan ms (compacted)",
+            "Melem/s (compacted)",
+        ],
+    );
+
+    for generations in [1usize, 4, 16, 64] {
+        let dir = scratch.join(format!("g{generations}"));
+        let opts = StoreOptions::default().with_partitioning(Partitioning::hash(SHARDS));
+        // Split the corpus into `generations` equal ingest batches.
+        let per = db.len().div_ceil(generations).max(1);
+        let mut writer = CorpusWriter::create(&dir, &vocab, opts).expect("create corpus");
+        for i in 0..per.min(db.len()) {
+            writer.append(db.get(i)).expect("append");
+        }
+        writer.finish().expect("seal generation 0");
+        let mut next = per;
+        while next < db.len() {
+            let mut incr = IncrementalWriter::open(&dir).expect("open incremental");
+            for i in next..(next + per).min(db.len()) {
+                incr.append(db.get(i)).expect("append");
+            }
+            incr.finish().expect("seal generation");
+            next += per;
+        }
+
+        let reader = CorpusReader::open(&dir).expect("open corpus");
+        let files_per_shard = reader.num_generations();
+        let blocks: u64 = reader.manifest().shards.iter().map(|s| s.blocks).sum();
+        let (secs, items) = time_scan(&reader);
+        let melems = items as f64 / secs / 1e6;
+
+        compact::compact(&dir, &CompactionConfig::default().with_max_generations(1))
+            .expect("compact");
+        let compacted = CorpusReader::open(&dir).expect("reopen compacted");
+        assert_eq!(compacted.len(), db.len() as u64, "compaction lost data");
+        let blocks_after: u64 = compacted.manifest().shards.iter().map(|s| s.blocks).sum();
+        let (secs_after, items_after) = time_scan(&compacted);
+        assert_eq!(items, items_after, "compaction changed scan contents");
+        let melems_after = items_after as f64 / secs_after / 1e6;
+
+        table.row(vec![
+            generations.to_string(),
+            files_per_shard.to_string(),
+            blocks.to_string(),
+            format!("{:.2}", secs * 1e3),
+            format!("{melems:.1}"),
+            blocks_after.to_string(),
+            format!("{:.2}", secs_after * 1e3),
+            format!("{melems_after:.1}"),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    report.add(table);
+}

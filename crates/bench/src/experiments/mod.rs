@@ -1,6 +1,7 @@
 //! One module per figure/table group of the paper's evaluation (Sec. 6).
 
 pub mod ablation;
+pub mod compaction;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

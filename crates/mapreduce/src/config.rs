@@ -94,6 +94,16 @@ pub struct EngineConfig {
     /// Each job run creates (and removes on completion) a unique
     /// subdirectory, so concurrent jobs never collide.
     pub spill_dir: Option<PathBuf>,
+    /// Maximum **on-disk** runs a reduce task merges — and therefore
+    /// spill-file handles it holds open — at once (Hadoop's
+    /// `io.sort.factor`). A partition with more disk runs is merged
+    /// hierarchically: adjacent groups of at most this many disk runs
+    /// (interleaved in-memory runs ride along for free — they hold no file
+    /// handles) are pre-merged into intermediate on-disk runs, counted by
+    /// `merge_passes` and deleted as soon as the next pass consumes them.
+    /// Requires the spill path to be active; an all-in-memory shuffle
+    /// merges in one pass regardless. Clamped to ≥ 2.
+    pub merge_fan_in: usize,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +121,7 @@ impl Default for EngineConfig {
             failure_plan: FailurePlan::none(),
             spill_threshold_bytes: spill_threshold_from_env(),
             spill_dir: None,
+            merge_fan_in: 64,
         }
     }
 }
@@ -187,6 +198,13 @@ impl EngineConfig {
     /// Sets the directory spill files are created under.
     pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the reduce-side merge fan-in: the maximum runs (and spill-file
+    /// handles) one reduce task merges at once (clamped to ≥ 2).
+    pub fn with_merge_fan_in(mut self, n: usize) -> Self {
+        self.merge_fan_in = n.max(2);
         self
     }
 }

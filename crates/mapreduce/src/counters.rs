@@ -25,8 +25,14 @@ pub struct Counters {
     pub spilled_bytes: AtomicU64,
     /// Sorted runs written to disk by map tasks.
     pub spilled_runs: AtomicU64,
-    /// Runs (on-disk and in-memory) consumed by reduce-side k-way merges.
+    /// Runs (on-disk and in-memory) consumed by reduce-side k-way merges,
+    /// including intermediate hierarchical merge passes.
     pub merged_runs: AtomicU64,
+    /// Intermediate merge passes: groups of at most `merge_fan_in` runs
+    /// pre-merged into one on-disk run because a partition held more runs
+    /// than a reduce task may open at once. Zero when every partition fits
+    /// one merge.
+    pub merge_passes: AtomicU64,
     /// High-water mark of any single map task's sort buffer, in serialized
     /// bytes — the quantity bounded by `spill_threshold_bytes`.
     pub peak_resident_bytes: AtomicU64,
@@ -73,6 +79,7 @@ impl Counters {
             spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
             spilled_runs: self.spilled_runs.load(Ordering::Relaxed),
             merged_runs: self.merged_runs.load(Ordering::Relaxed),
+            merge_passes: self.merge_passes.load(Ordering::Relaxed),
             peak_resident_bytes: self.peak_resident_bytes.load(Ordering::Relaxed),
             reduce_input_groups: self.reduce_input_groups.load(Ordering::Relaxed),
             reduce_input_records: self.reduce_input_records.load(Ordering::Relaxed),
@@ -104,8 +111,11 @@ pub struct CounterSnapshot {
     pub spilled_bytes: u64,
     /// Sorted runs written to disk by map tasks.
     pub spilled_runs: u64,
-    /// Runs (on-disk and in-memory) consumed by reduce-side merges.
+    /// Runs (on-disk and in-memory) consumed by reduce-side merges,
+    /// including intermediate hierarchical merge passes.
     pub merged_runs: u64,
+    /// Intermediate hierarchical merge passes executed by reduce tasks.
+    pub merge_passes: u64,
     /// High-water mark of any single map task's sort buffer, in bytes.
     pub peak_resident_bytes: u64,
     /// Distinct keys seen by reducers.

@@ -39,7 +39,14 @@
 //!   `values: impl Iterator<Item = Value>` decoded lazily off the merge, so
 //!   reduce memory no longer scales with partition size. Results are
 //!   byte-identical between the two paths: the merge's (key bytes, run
-//!   sequence) order reproduces the stable global sort exactly.
+//!   sequence) order reproduces the stable global sort exactly. A
+//!   partition with more runs than [`EngineConfig::merge_fan_in`]
+//!   (default 64, Hadoop's `io.sort.factor`) merges **hierarchically**:
+//!   adjacent groups of at most `merge_fan_in` runs are pre-merged into
+//!   intermediate on-disk runs (the `merge_passes` counter), and spill-file
+//!   handles are opened per pass and closed between passes — so run count,
+//!   not the fd limit or resident chunk memory, is the only thing that
+//!   grows with the number of spilled map tasks.
 //!
 //! Further features:
 //!
@@ -49,9 +56,9 @@
 //!   [`CounterSnapshot::map_output_bytes`] measure the representation a
 //!   Hadoop job would ship, and the out-of-core counters
 //!   ([`CounterSnapshot::spilled_bytes`], [`CounterSnapshot::spilled_runs`],
-//!   [`CounterSnapshot::merged_runs`],
-//!   [`CounterSnapshot::peak_resident_bytes`]) measure the spill traffic and
-//!   the map-side memory high-water mark;
+//!   [`CounterSnapshot::merged_runs`], [`CounterSnapshot::merge_passes`],
+//!   [`CounterSnapshot::peak_resident_bytes`]) measure the spill traffic,
+//!   the hierarchical merge work, and the map-side memory high-water mark;
 //! * per-phase wall-clock timing (map / shuffle / reduce). With the
 //!   external-sort design, sorting is part of `map_time`, merging part of
 //!   `reduce_time`, and `shuffle_time` covers run-list assembly;

@@ -23,8 +23,10 @@ pub enum RunSource<'a> {
     Mem(&'a RunBuffer),
     /// An on-disk run inside a spill file.
     Disk {
-        /// The spill file holding the run (one shared handle per file, no
-        /// matter how many runs it holds).
+        /// The spill file holding the run (one shared handle per file
+        /// within a merge pass, no matter how many of the pass's runs it
+        /// holds; the runtime opens handles per pass and closes them
+        /// between passes).
         file: SharedFile,
         /// The run's location inside the file.
         meta: &'a RunMeta,

@@ -13,7 +13,13 @@
 //!    runs) are assembled into one run list per reduce partition;
 //! 3. **reduce** — each reduce task k-way merges its partition's runs and
 //!    *streams* key groups into the reducer: values are decoded one at a
-//!    time off the merge, so no partition is ever materialized.
+//!    time off the merge, so no partition is ever materialized. A partition
+//!    with more runs than [`EngineConfig::merge_fan_in`] is merged
+//!    *hierarchically* (Hadoop's `io.sort.factor`): adjacent groups of at
+//!    most `merge_fan_in` runs are pre-merged into intermediate on-disk
+//!    runs — counted by the `merge_passes` counter — closing each group's
+//!    file handles between passes, so a job with thousands of spilled map
+//!    tasks never pins thousands of fds or resident chunks at once.
 //!
 //! Compared to the engine's original all-in-memory shuffle, the sort cost
 //! now lands in the map phase and the merge cost in the reduce phase;
@@ -27,16 +33,17 @@
 //! in the output, as in Hadoop. Spill I/O errors and corrupt runs are fatal
 //! (deterministic re-execution cannot heal them).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-
-use std::sync::Mutex;
 
 use crate::config::{EngineConfig, Phase};
 use crate::counters::{CounterSnapshot, Counters};
 use crate::error::EngineError;
 use crate::merge::{Merger, RunSource};
-use crate::spill::{SharedFile, SpillSpace};
+use crate::shuffle::RunBuffer;
+use crate::spill::{RunMeta, RunStreamWriter, SharedFile, SpillSpace};
 use crate::types::{Emitter, Job, MapTaskOutput};
 
 /// Wall-clock and counter metrics of one job run.
@@ -73,6 +80,7 @@ impl JobMetrics {
         c.spilled_bytes += o.spilled_bytes;
         c.spilled_runs += o.spilled_runs;
         c.merged_runs += o.merged_runs;
+        c.merge_passes += o.merge_passes;
         c.peak_resident_bytes = c.peak_resident_bytes.max(o.peak_resident_bytes);
         c.reduce_input_groups += o.reduce_input_groups;
         c.reduce_input_records += o.reduce_input_records;
@@ -139,25 +147,28 @@ pub fn run_job<J: Job>(
     let map_time = map_started.elapsed();
 
     // ---- Shuffle phase: assemble each partition's run list --------------
+    // Disk runs are referenced by *path* here, not by open handle: reduce
+    // tasks open at most `merge_fan_in` runs' files per merge pass and close
+    // them between passes, so the job never pins one fd per spilled map
+    // task across the whole reduce phase.
     let shuffle_started = Instant::now();
-    let mut sources: Vec<Vec<RunSource<'_>>> = (0..num_parts).map(|_| Vec::new()).collect();
+    let mut sources: Vec<Vec<ReduceRun<'_>>> = (0..num_parts).map(|_| Vec::new()).collect();
     for output in &map_outputs {
         match output {
             MapTaskOutput::Mem(parts) => {
                 for (part, run) in parts.iter().enumerate() {
                     if !run.is_empty() {
-                        sources[part].push(RunSource::Mem(run));
+                        sources[part].push(ReduceRun::Mem(run));
                     }
                 }
             }
             MapTaskOutput::Spilled { file, runs } => {
-                // One shared read handle per spill file: a job may hold far
-                // more runs than the process fd limit allows open files.
-                let shared = SharedFile::open(file)?;
+                let path = Arc::new(file.clone());
                 for meta in runs {
-                    sources[meta.partition as usize].push(RunSource::Disk {
-                        file: shared.clone(),
-                        meta,
+                    sources[meta.partition as usize].push(ReduceRun::Disk {
+                        path: Arc::clone(&path),
+                        meta: meta.clone(),
+                        temp: false,
                     });
                 }
             }
@@ -180,7 +191,15 @@ pub fn run_job<J: Job>(
             {
                 return Ok(None);
             }
-            run_reduce_task(job, &sources[task], &counters).map(Some)
+            run_reduce_task(
+                job,
+                &sources[task],
+                task,
+                config.merge_fan_in.max(2),
+                spill_space.as_ref(),
+                &counters,
+            )
+            .map(Some)
         },
     )?;
     let reduce_time = reduce_started.elapsed();
@@ -266,12 +285,151 @@ impl<J: Job> Iterator for GroupValues<'_, '_, J> {
     }
 }
 
+/// One run feeding a reduce task, referenced rather than opened: disk runs
+/// carry their spill file *path*, and file handles live only for the
+/// duration of one merge pass.
+#[derive(Clone)]
+enum ReduceRun<'a> {
+    /// An in-memory run from an unspilled map task.
+    Mem(&'a RunBuffer),
+    /// An on-disk run: a spilled map-task run, or an intermediate run
+    /// written by a hierarchical merge pass.
+    Disk {
+        path: Arc<PathBuf>,
+        meta: RunMeta,
+        /// True for intermediate runs this reduce task wrote itself: they
+        /// have exactly one consumer, so the pass that merges them deletes
+        /// them. Map-task spill files are shared across partitions and are
+        /// only removed when the job's `SpillSpace` drops.
+        temp: bool,
+    },
+}
+
+/// Disk runs in a run list — the quantity the fan-in valve bounds
+/// (in-memory runs hold no file handles).
+fn count_disk_runs(runs: &[ReduceRun<'_>]) -> usize {
+    runs.iter()
+        .filter(|r| matches!(r, ReduceRun::Disk { .. }))
+        .count()
+}
+
+/// Best-effort deletion of the intermediate runs a merge just consumed,
+/// bounding peak spill-dir usage to ~2 rounds instead of all of them.
+fn remove_temp_runs(runs: &[ReduceRun<'_>]) {
+    for run in runs {
+        if let ReduceRun::Disk {
+            path, temp: true, ..
+        } = run
+        {
+            let _ = std::fs::remove_file(path.as_path());
+        }
+    }
+}
+
+/// Opens merge sources for one pass: one [`SharedFile`] per *distinct*
+/// spill file among the pass's disk runs. The handles are owned by the
+/// returned sources (each cursor clones the shared handle), so dropping the
+/// sources at the end of the pass closes them.
+fn open_sources<'a>(runs: &'a [ReduceRun<'a>]) -> Result<Vec<RunSource<'a>>, EngineError> {
+    let mut opened: Vec<(*const PathBuf, SharedFile)> = Vec::new();
+    let mut sources = Vec::with_capacity(runs.len());
+    for run in runs {
+        match run {
+            ReduceRun::Mem(buffer) => sources.push(RunSource::Mem(buffer)),
+            ReduceRun::Disk { path, meta, .. } => {
+                let ptr = Arc::as_ptr(path);
+                let file = match opened.iter().find(|(p, _)| *p == ptr) {
+                    Some((_, file)) => file.clone(),
+                    None => {
+                        let file = SharedFile::open(path)?;
+                        opened.push((ptr, file.clone()));
+                        file
+                    }
+                };
+                sources.push(RunSource::Disk { file, meta });
+            }
+        }
+    }
+    Ok(sources)
+}
+
 fn run_reduce_task<J: Job>(
     job: &J,
-    sources: &[RunSource<'_>],
+    partition_runs: &[ReduceRun<'_>],
+    task: usize,
+    fan_in: usize,
+    spill_space: Option<&SpillSpace>,
     counters: &Counters,
 ) -> Result<Vec<J::Output>, EngineError> {
-    let mut merger = Merger::new(sources)?;
+    // Hierarchical pre-merge (the fd-pressure valve): while the partition
+    // holds more *disk* runs than the fan-in (in-memory runs hold no file
+    // handles and never trigger it), merge adjacent groups — each capped
+    // at `fan_in` disk runs, interleaved memory runs riding along for
+    // free — into intermediate on-disk runs, closing each group's file
+    // handles before the next group opens. Merging *adjacent* groups and
+    // keeping group order preserves the global (key bytes, run sequence)
+    // order, so the final output is byte-identical to a single flat merge.
+    // Without an active spill path every run is in memory, so one flat
+    // merge is used regardless.
+    let mut runs: Vec<ReduceRun<'_>> = partition_runs.to_vec();
+    let mut round = 0u32;
+    while count_disk_runs(&runs) > fan_in {
+        let Some(space) = spill_space else { break };
+        let mut next: Vec<ReduceRun<'_>> = Vec::new();
+        let mut group_start = 0usize;
+        let mut group_idx = 0usize;
+        while group_start < runs.len() {
+            // Extend the group until it holds `fan_in` disk runs.
+            let mut end = group_start;
+            let mut disk = 0usize;
+            while end < runs.len() && disk < fan_in {
+                if matches!(runs[end], ReduceRun::Disk { .. }) {
+                    disk += 1;
+                }
+                end += 1;
+            }
+            let group = &runs[group_start..end];
+            if disk < fan_in {
+                // The trailing partial group already fits one merge:
+                // pass its runs through untouched (no pointless disk
+                // round-trip for, say, a tail of in-memory runs).
+                next.extend(group.iter().cloned());
+                group_start = end;
+                continue;
+            }
+            let sources = open_sources(group)?;
+            let mut merger = Merger::new(&sources)?;
+            Counters::add(&counters.merged_runs, merger.num_runs());
+            let path = space.merge_file(task, round, group_idx);
+            let mut writer = RunStreamWriter::create(&path)?;
+            let mut key = Vec::new();
+            let mut value = Vec::new();
+            while let Some(k) = merger.peek_key() {
+                key.clear();
+                key.extend_from_slice(k);
+                merger.pop_value_into(&mut value)?;
+                writer.push(&key, &value)?;
+            }
+            let meta = writer.finish(task as u32)?;
+            Counters::add(&counters.merge_passes, 1);
+            drop(merger);
+            drop(sources);
+            // The group's own intermediates were consumed exactly once.
+            remove_temp_runs(group);
+            next.push(ReduceRun::Disk {
+                path: Arc::new(path),
+                meta,
+                temp: true,
+            });
+            group_start = end;
+            group_idx += 1;
+        }
+        runs = next;
+        round += 1;
+    }
+
+    let sources = open_sources(&runs)?;
+    let mut merger = Merger::new(&sources)?;
     Counters::add(&counters.merged_runs, merger.num_runs());
     let mut out = Vec::new();
     let mut groups = 0u64;
@@ -310,6 +468,11 @@ fn run_reduce_task<J: Job>(
     Counters::add(&counters.reduce_input_groups, groups);
     Counters::add(&counters.reduce_input_records, records);
     Counters::add(&counters.reduce_output_records, out.len() as u64);
+    // Close the final merge's handles, then drop its intermediate inputs:
+    // this task is their only consumer.
+    drop(merger);
+    drop(sources);
+    remove_temp_runs(&runs);
     Ok(out)
 }
 
@@ -570,6 +733,82 @@ mod tests {
             &EngineConfig::sequential().with_spill_threshold(None),
         )
         .unwrap();
+        assert_eq!(sorted(result.outputs), sorted(clean.outputs));
+    }
+
+    #[test]
+    fn capped_fan_in_merges_hierarchically_and_identically() {
+        // A corpus wide enough that per-record spilling produces far more
+        // runs per partition than the tiny fan-in allows in one merge.
+        let corpus: Vec<String> = (0..60)
+            .map(|i| format!("w{} shared w{}", i % 7, (i + 3) % 7))
+            .collect();
+        let flat = run_job(
+            &WordCount,
+            &corpus,
+            &EngineConfig::default()
+                .with_reduce_tasks(2)
+                .with_split_size(1)
+                .with_spill_threshold(Some(0))
+                .with_merge_fan_in(100_000),
+        )
+        .unwrap();
+        // An uncapped fan-in needs no intermediate passes.
+        assert_eq!(flat.metrics.counters.merge_passes, 0);
+        for fan_in in [2usize, 3, 8] {
+            let capped = run_job(
+                &WordCount,
+                &corpus,
+                &EngineConfig::default()
+                    .with_reduce_tasks(2)
+                    .with_split_size(1)
+                    .with_spill_threshold(Some(0))
+                    .with_merge_fan_in(fan_in),
+            )
+            .unwrap();
+            // Identical outputs in identical order despite the passes.
+            assert_eq!(capped.outputs, flat.outputs, "fan_in {fan_in}");
+            assert!(
+                capped.metrics.counters.merge_passes > 0,
+                "fan_in {fan_in} should force intermediate passes"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_runs_do_not_count_against_the_fan_in() {
+        // 40 short lines stay in memory; only the 3 long ones exceed the
+        // per-task buffer threshold and spill. Total runs per partition far
+        // exceed the fan-in, but only disk runs hold file handles — so no
+        // hierarchical pass (and no disk round-trip of the memory runs)
+        // should happen.
+        let mut corpus: Vec<String> = (0..40).map(|i| format!("w{}", i % 5)).collect();
+        for _ in 0..3 {
+            corpus.push("a-rather-long-word-that-overflows-the-buffer another word".into());
+        }
+        let cfg = EngineConfig::default()
+            .with_reduce_tasks(1)
+            .with_split_size(1)
+            .with_spill_threshold(Some(24))
+            .with_merge_fan_in(8);
+        let result = run_job(&WordCount, &corpus, &cfg).unwrap();
+        assert!(result.metrics.counters.spilled_runs > 0, "long lines spill");
+        assert_eq!(result.metrics.counters.merge_passes, 0);
+        let clean = run_job(&WordCount, &corpus, &EngineConfig::sequential()).unwrap();
+        assert_eq!(sorted(result.outputs), sorted(clean.outputs));
+    }
+
+    #[test]
+    fn fan_in_cap_without_spill_path_stays_flat() {
+        // All-in-memory runs hold no file handles; a tiny fan-in must not
+        // force disk passes (there is no spill dir to write them to).
+        let cfg = EngineConfig::default()
+            .with_split_size(1)
+            .with_spill_threshold(None)
+            .with_merge_fan_in(2);
+        let result = run_job(&WordCount, &corpus(), &cfg).unwrap();
+        assert_eq!(result.metrics.counters.merge_passes, 0);
+        let clean = run_job(&WordCount, &corpus(), &EngineConfig::sequential()).unwrap();
         assert_eq!(sorted(result.outputs), sorted(clean.outputs));
     }
 

@@ -68,6 +68,13 @@ impl SpillSpace {
     pub fn task_file(&self, task: usize, attempt: u32) -> PathBuf {
         self.dir.join(format!("map-{task:05}-a{attempt}.run"))
     }
+
+    /// The file path of one intermediate merge output: reduce task `task`,
+    /// hierarchical merge round `round`, run group `group`.
+    pub fn merge_file(&self, task: usize, round: u32, group: usize) -> PathBuf {
+        self.dir
+            .join(format!("reduce-{task:05}-r{round}-g{group}.merge"))
+    }
 }
 
 impl Drop for SpillSpace {
@@ -155,6 +162,72 @@ impl SpillWriter {
             .flush()
             .map_err(|e| io_err("flush spill file", e))?;
         Ok(self.path)
+    }
+}
+
+/// Streams one sorted run into its own file, record by record — the
+/// output side of a hierarchical merge pass, where the run being written
+/// is itself the merge of many runs and must never be materialized in
+/// memory. Chunking and framing match [`SpillWriter::write_run`], so the
+/// result reads back through the same [`DiskCursor`].
+#[derive(Debug)]
+pub struct RunStreamWriter {
+    writer: BufWriter<File>,
+    chunk: Vec<u8>,
+    scratch: Vec<u8>,
+    written: u64,
+    records: u64,
+}
+
+impl RunStreamWriter {
+    /// Creates (truncating) the run file at `path`.
+    pub fn create(path: &Path) -> Result<RunStreamWriter, EngineError> {
+        let file = File::create(path).map_err(|e| io_err("create merge run file", e))?;
+        Ok(RunStreamWriter {
+            writer: BufWriter::new(file),
+            chunk: Vec::with_capacity(SPILL_CHUNK_BYTES + 64),
+            scratch: Vec::new(),
+            written: 0,
+            records: 0,
+        })
+    }
+
+    /// Appends one record. Records must arrive in run order (the caller is
+    /// a merge, so they do by construction).
+    pub fn push(&mut self, key: &[u8], value: &[u8]) -> Result<(), EngineError> {
+        self.scratch.clear();
+        crate::shuffle::write_record(&mut self.scratch, key, value);
+        if !self.chunk.is_empty() && self.chunk.len() + self.scratch.len() > SPILL_CHUNK_BYTES {
+            self.flush_chunk()?;
+        }
+        self.chunk.extend_from_slice(&self.scratch);
+        self.records += 1;
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), EngineError> {
+        frame::write_frame(&self.chunk, &mut self.writer)
+            .map_err(|e| io_err("write merge run frame", e))?;
+        self.written += frame::encoded_frame_len(self.chunk.len()) as u64;
+        self.chunk.clear();
+        Ok(())
+    }
+
+    /// Flushes the run and returns its metadata (the run starts at offset 0
+    /// of its dedicated file; `partition` is recorded for bookkeeping).
+    pub fn finish(mut self, partition: u32) -> Result<RunMeta, EngineError> {
+        if !self.chunk.is_empty() {
+            self.flush_chunk()?;
+        }
+        self.writer
+            .flush()
+            .map_err(|e| io_err("flush merge run file", e))?;
+        Ok(RunMeta {
+            partition,
+            offset: 0,
+            len: self.written,
+            records: self.records,
+        })
     }
 }
 
@@ -354,6 +427,27 @@ mod tests {
         let drained = drain(&file, &meta).unwrap();
         assert_eq!(drained.len(), 8);
         assert!(drained.iter().all(|(_, v)| v == &big_value));
+    }
+
+    #[test]
+    fn streamed_runs_read_back_like_buffered_ones() {
+        let space = SpillSpace::create(None).unwrap();
+        let path = space.merge_file(0, 0, 0);
+        let mut writer = RunStreamWriter::create(&path).unwrap();
+        let big_value = vec![0x5au8; 30 * 1024];
+        // Records in run order, large enough to span several chunks.
+        let mut expect: Records = Vec::new();
+        for i in 0..6u8 {
+            let key = vec![i];
+            writer.push(&key, &big_value).unwrap();
+            expect.push((key, big_value.clone()));
+        }
+        let meta = writer.finish(3).unwrap();
+        assert_eq!(meta.partition, 3);
+        assert_eq!(meta.records, 6);
+        assert_eq!(meta.offset, 0);
+        assert!(meta.len > frame::encoded_frame_len(SPILL_CHUNK_BYTES) as u64);
+        assert_eq!(drain(&path, &meta).unwrap(), expect);
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! The compaction engine: merges adjacent segment generations into one,
+//! bounding the per-shard segment-file count that incremental ingest
+//! ([`crate::IncrementalWriter`]) grows without bound.
+//!
+//! Compaction is **size-tiered**: the planner picks the cheapest window of
+//! adjacent generations (adjacency preserves the ascending-sequence-id
+//! invariant every shard scan relies on) and the executor stream-merges
+//! their blocks — shard by shard, one block resident at a time — into one
+//! new sealed generation, re-blocking at a fresh payload budget and
+//! recomputing G1 sketches. The result is committed with the same
+//! manifest-swap protocol as ingest (see [`crate::generations`]); the
+//! replaced generations' files are deleted only **after** the swap, so a
+//! crash at any point leaves either the old corpus or the new one, never a
+//! mix.
+//!
+//! Compaction rewrites bytes but never changes content: sequence ids and
+//! items pass through verbatim, and the executor cross-checks the merged
+//! sequence/item counts against the replaced generations before the swap —
+//! a merge that would drop or duplicate a sequence aborts with
+//! [`StoreError::Corrupt`] and the corpus stays on the old manifest.
+
+use std::fs;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::format::{self, GenerationMeta, Manifest};
+use crate::generations::{read_manifest, write_manifest};
+use crate::reader::ShardScan;
+use crate::writer::SegmentSetWriter;
+use crate::{Result, StoreError};
+
+/// Compaction policy knobs.
+#[derive(Debug, Clone)]
+pub struct CompactionConfig {
+    /// The planner triggers only while the corpus holds **more** than this
+    /// many generations; compaction then reduces the count back to (at
+    /// most) it. Clamped to ≥ 1 — a corpus always keeps one generation.
+    pub max_generations: usize,
+    /// Maximum generations merged per round. Bounds the number of segment
+    /// files a compaction round holds open per shard (one — segments are
+    /// chained, not merged head-to-head — but also bounds the round's I/O
+    /// and the temp space of the merged output). Clamped to ≥ 2.
+    pub fan_in: usize,
+    /// Target uncompressed payload bytes per re-written block (compaction
+    /// re-blocks; the original write-time budget is not persisted).
+    pub block_budget: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            max_generations: 4,
+            fan_in: 8,
+            block_budget: 64 * 1024,
+        }
+    }
+}
+
+impl CompactionConfig {
+    /// Sets the generation-count trigger (clamped to ≥ 1).
+    pub fn with_max_generations(mut self, n: usize) -> Self {
+        self.max_generations = n.max(1);
+        self
+    }
+
+    /// Sets the per-round merge width (clamped to ≥ 2).
+    pub fn with_fan_in(mut self, n: usize) -> Self {
+        self.fan_in = n.max(2);
+        self
+    }
+
+    /// Sets the re-blocking payload budget (clamped to ≥ 1).
+    pub fn with_block_budget(mut self, bytes: usize) -> Self {
+        self.block_budget = bytes.max(1);
+        self
+    }
+}
+
+/// One planned compaction round: a window of adjacent generations to merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionPlan {
+    /// Index of the window's first generation in the manifest's list.
+    pub start: usize,
+    /// Number of generations in the window (≥ 2).
+    pub len: usize,
+    /// The ids of the generations to merge, in list order — revalidated
+    /// against the live manifest before execution, so a stale plan fails
+    /// cleanly instead of merging the wrong files.
+    pub generation_ids: Vec<u32>,
+}
+
+/// What one [`compact`]/[`compact_once`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Merge rounds executed.
+    pub rounds: u32,
+    /// Generations before the first round.
+    pub generations_before: usize,
+    /// Generations after the last round.
+    pub generations_after: usize,
+    /// Generations consumed by merges (a generation produced by one round
+    /// and consumed by a later round counts again).
+    pub generations_merged: usize,
+    /// Sequences streamed through the merge.
+    pub sequences_rewritten: u64,
+    /// Compressed payload bytes read from the replaced generations.
+    pub payload_bytes_in: u64,
+    /// Compressed payload bytes written to the merged generations.
+    pub payload_bytes_out: u64,
+    /// Blocks read from the replaced generations.
+    pub blocks_in: u64,
+    /// Blocks written to the merged generations.
+    pub blocks_out: u64,
+    /// Wall-clock time spent merging.
+    pub elapsed: Duration,
+}
+
+impl CompactionStats {
+    fn accumulate(&mut self, other: &CompactionStats) {
+        self.rounds += other.rounds;
+        self.generations_after = other.generations_after;
+        self.generations_merged += other.generations_merged;
+        self.sequences_rewritten += other.sequences_rewritten;
+        self.payload_bytes_in += other.payload_bytes_in;
+        self.payload_bytes_out += other.payload_bytes_out;
+        self.blocks_in += other.blocks_in;
+        self.blocks_out += other.blocks_out;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// Plans one compaction round, or `None` when the corpus is within its
+/// generation budget.
+///
+/// Size-tiered selection: among all adjacent windows of the width needed to
+/// get back under `max_generations` (capped at `fan_in`), pick the one with
+/// the smallest total payload — merging the small generations first keeps
+/// write amplification low, the same intuition as LSM size-tiering.
+pub fn plan(manifest: &Manifest, config: &CompactionConfig) -> Option<CompactionPlan> {
+    let n = manifest.generations.len();
+    let max = config.max_generations.max(1);
+    if n <= max {
+        return None;
+    }
+    // Width that reaches the budget in one round, bounded by the fan-in.
+    let width = (n - max + 1).clamp(2, config.fan_in.max(2).min(n));
+    let sizes: Vec<u64> = manifest
+        .generations
+        .iter()
+        .map(|g| g.payload_bytes())
+        .collect();
+    let mut best_start = 0;
+    let mut best_size = u64::MAX;
+    for start in 0..=(n - width) {
+        let size: u64 = sizes[start..start + width].iter().sum();
+        if size < best_size {
+            best_size = size;
+            best_start = start;
+        }
+    }
+    Some(CompactionPlan {
+        start: best_start,
+        len: width,
+        generation_ids: manifest.generations[best_start..best_start + width]
+            .iter()
+            .map(|g| g.id)
+            .collect(),
+    })
+}
+
+/// Runs at most one compaction round on the corpus at `dir`. Returns
+/// `None` when the planner found nothing to do.
+pub fn compact_once(
+    dir: impl AsRef<Path>,
+    config: &CompactionConfig,
+) -> Result<Option<CompactionStats>> {
+    let dir = dir.as_ref();
+    let (manifest, vocab) = read_manifest(dir)?;
+    let Some(plan) = plan(&manifest, config) else {
+        return Ok(None);
+    };
+    execute(dir, &manifest, &vocab, &plan, config).map(Some)
+}
+
+/// Runs compaction rounds until the corpus holds at most
+/// `config.max_generations` generations. Returns the accumulated stats, or
+/// `None` when no round ran.
+pub fn compact(
+    dir: impl AsRef<Path>,
+    config: &CompactionConfig,
+) -> Result<Option<CompactionStats>> {
+    let dir = dir.as_ref();
+    let mut total: Option<CompactionStats> = None;
+    while let Some(stats) = compact_once(dir, config)? {
+        match &mut total {
+            None => {
+                total = Some(stats);
+            }
+            Some(t) => t.accumulate(&stats),
+        }
+    }
+    Ok(total)
+}
+
+/// Executes one planned round: stream-merge, seal, swap, delete.
+fn execute(
+    dir: &Path,
+    manifest: &Manifest,
+    vocab: &lash_core::vocabulary::Vocabulary,
+    plan: &CompactionPlan,
+    config: &CompactionConfig,
+) -> Result<CompactionStats> {
+    let started = Instant::now();
+    let n = manifest.generations.len();
+    if plan.len < 2 || plan.start + plan.len > n {
+        return Err(StoreError::InvalidOptions(
+            "compaction plan window out of range",
+        ));
+    }
+    let window = &manifest.generations[plan.start..plan.start + plan.len];
+    if window.iter().map(|g| g.id).collect::<Vec<_>>() != plan.generation_ids {
+        return Err(StoreError::Corrupt(
+            "compaction plan is stale: generation ids moved under it".into(),
+        ));
+    }
+
+    let new_id = manifest.next_gen_id;
+    let tmp_dir = dir.join(format::generation_tmp_dir_name(new_id));
+    if tmp_dir.exists() {
+        fs::remove_dir_all(&tmp_dir)?;
+    }
+    let merged = merge_window(dir, manifest, vocab, window, new_id, &tmp_dir, config);
+    let merged = match merged {
+        Ok(m) => m,
+        Err(e) => {
+            // The round failed before the swap: discard the staged files,
+            // the corpus stays on the old manifest untouched.
+            let _ = fs::remove_dir_all(&tmp_dir);
+            return Err(e);
+        }
+    };
+
+    // Rename into place; still unreferenced until the manifest swap.
+    let gen_dir = dir.join(format::generation_dir_name(new_id));
+    if gen_dir.exists() {
+        fs::remove_dir_all(&gen_dir)?;
+    }
+    fs::rename(&tmp_dir, &gen_dir)?;
+
+    let stats = CompactionStats {
+        rounds: 1,
+        generations_before: n,
+        generations_after: n - plan.len + 1,
+        generations_merged: plan.len,
+        sequences_rewritten: merged.num_sequences,
+        payload_bytes_in: window.iter().map(|g| g.payload_bytes()).sum(),
+        payload_bytes_out: merged.payload_bytes(),
+        blocks_in: window.iter().map(|g| g.blocks()).sum(),
+        blocks_out: merged.blocks(),
+        elapsed: started.elapsed(),
+    };
+
+    // Swap the manifest: the merged generation takes the window's place, so
+    // list order still equals sequence-id order.
+    let mut new_manifest = manifest.clone();
+    new_manifest
+        .generations
+        .splice(plan.start..plan.start + plan.len, [merged]);
+    new_manifest.next_gen_id = new_id + 1;
+    new_manifest.shards = Manifest::aggregate_shards(
+        &new_manifest.generations,
+        new_manifest.partitioning.num_shards() as usize,
+    );
+    write_manifest(dir, &new_manifest, vocab)?;
+
+    // Only now — after the commit point — delete the replaced generations.
+    // Best effort: the compaction is already committed, so a deletion
+    // hiccup (say, a reader holding a file open on a non-POSIX filesystem)
+    // must not be reported as a failure — an orphaned, unreferenced
+    // directory is harmless, a retried "failed" ingest would not be.
+    for id in &plan.generation_ids {
+        let _ = fs::remove_dir_all(dir.join(format::generation_dir_name(*id)));
+    }
+    Ok(stats)
+}
+
+/// Streams every sequence of `window` (shard by shard, generation order)
+/// into a new segment set at `tmp_dir`, verifying no sequence was dropped
+/// or duplicated.
+fn merge_window(
+    dir: &Path,
+    manifest: &Manifest,
+    vocab: &lash_core::vocabulary::Vocabulary,
+    window: &[GenerationMeta],
+    new_id: u32,
+    tmp_dir: &Path,
+    config: &CompactionConfig,
+) -> Result<GenerationMeta> {
+    let num_shards = manifest.partitioning.num_shards();
+    let mut segments =
+        SegmentSetWriter::create(tmp_dir, num_shards, config.block_budget, manifest.sketches)?;
+    for shard in 0..num_shards {
+        let paths = window
+            .iter()
+            .map(|g| {
+                dir.join(format::generation_dir_name(g.id))
+                    .join(format::shard_file_name(shard))
+            })
+            .collect();
+        let mut scan = ShardScan::open_chain(paths, shard, vocab.len() as u32, None);
+        while let Some(batch) = scan.next_batch()? {
+            for (id, items) in batch.iter() {
+                segments.append(shard as usize, id, items, vocab)?;
+            }
+        }
+    }
+    let expected_sequences: u64 = window.iter().map(|g| g.num_sequences).sum();
+    let expected_items: u64 = window.iter().map(|g| g.total_items).sum();
+    if segments.sequences() != expected_sequences || segments.total_items() != expected_items {
+        return Err(StoreError::Corrupt(format!(
+            "compaction would rewrite {} sequences / {} items, replaced generations hold {} / {}",
+            segments.sequences(),
+            segments.total_items(),
+            expected_sequences,
+            expected_items
+        )));
+    }
+    let num_sequences = segments.sequences();
+    let total_items = segments.total_items();
+    let shards = segments.finish()?;
+    Ok(GenerationMeta {
+        id: new_id,
+        num_sequences,
+        total_items,
+        shards,
+    })
+}

@@ -34,6 +34,15 @@ pub fn write_database(
     writer.finish()
 }
 
+/// Appends an in-memory database to the existing corpus at `dir` as one
+/// sealed generation (see [`crate::IncrementalWriter`]); sequences are
+/// validated against the corpus's stored vocabulary.
+pub fn append_database(dir: impl AsRef<Path>, db: &SequenceDatabase) -> Result<Manifest> {
+    let mut writer = crate::IncrementalWriter::open(dir)?;
+    writer.append_db(db)?;
+    writer.finish()
+}
+
 /// Converts a plain-text corpus (hierarchy file + sequence file, the
 /// formats of [`lash_core::io`]) into a new on-disk corpus at `dir`, so
 /// subsequent runs reopen it without re-parsing any text.

@@ -5,6 +5,14 @@
 //! typed errors rather than garbage data. All multi-byte integers inside
 //! frame payloads are varints; optional values are shifted by one so that
 //! `0` encodes "none".
+//!
+//! Since format version 2 a corpus is an ordered set of sealed segment
+//! **generations** (see [`crate::generations`]): the manifest header names
+//! the generation count and the next free generation id, and a dedicated
+//! generations frame carries each generation's per-shard statistics. The
+//! decoder rejects any other version with
+//! [`StoreError::UnsupportedVersion`] *before* touching version-dependent
+//! fields, so a future format bump can never be misparsed as garbage.
 
 use std::collections::BTreeMap;
 
@@ -14,8 +22,10 @@ use lash_encoding::zigzag;
 
 use crate::{Result, StoreError};
 
-/// On-disk format version written by this crate.
-pub const FORMAT_VERSION: u32 = 1;
+/// On-disk format version written by this crate. Version 2 introduced
+/// segment generations; version 1 (single flat segment set) is no longer
+/// written or read.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Manifest file name inside a corpus directory.
 pub const MANIFEST_FILE: &str = "MANIFEST.lash";
@@ -26,9 +36,21 @@ pub const MANIFEST_MAGIC: &[u8; 8] = b"LASHSTOR";
 /// Magic bytes opening every segment file's header frame.
 pub const SEGMENT_MAGIC: &[u8; 4] = b"LSEG";
 
-/// File name of shard `shard`.
+/// File name of shard `shard` inside a generation directory.
 pub fn shard_file_name(shard: u32) -> String {
     format!("shard-{shard:05}.seg")
+}
+
+/// Directory name of generation `id` inside a corpus directory.
+pub fn generation_dir_name(id: u32) -> String {
+    format!("gen-{id:05}")
+}
+
+/// Name of the temporary directory a generation is assembled in before the
+/// atomic rename that seals it (see [`crate::generations`]). Starts with a
+/// dot so readers and directory listings never mistake it for sealed data.
+pub fn generation_tmp_dir_name(id: u32) -> String {
+    format!(".gen-{id:05}.tmp")
 }
 
 /// Routing of sequences to shards, a pure function of the corpus-wide
@@ -109,7 +131,7 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Per-shard statistics recorded in the manifest.
+/// Per-shard statistics recorded in the manifest (once per generation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardStats {
     /// Sequences stored in the shard.
@@ -136,25 +158,94 @@ impl Default for ShardStats {
     }
 }
 
+impl ShardStats {
+    /// Folds another shard's statistics into this one (used to aggregate a
+    /// shard's view across generations).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.sequences += other.sequences;
+        self.blocks += other.blocks;
+        self.payload_bytes += other.payload_bytes;
+        self.min_seq = self.min_seq.min(other.min_seq);
+        self.max_seq = self.max_seq.max(other.max_seq);
+    }
+}
+
+/// One sealed segment generation: an immutable set of per-shard segment
+/// files under `gen-<id>/` plus its statistics. The manifest holds the
+/// generations in sequence-id order; chained shard scans visit them in list
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationMeta {
+    /// The generation's id — names its directory ([`generation_dir_name`]).
+    /// Ids grow monotonically over the corpus lifetime and are never
+    /// reused, so a compacted-away generation's directory name can never be
+    /// confused with a live one.
+    pub id: u32,
+    /// Sequences stored in the generation.
+    pub num_sequences: u64,
+    /// Total items across the generation's sequences.
+    pub total_items: u64,
+    /// Per-shard statistics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl GenerationMeta {
+    /// Total compressed payload bytes across the generation's shards.
+    pub fn payload_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.payload_bytes).sum()
+    }
+
+    /// Total blocks across the generation's shards.
+    pub fn blocks(&self) -> u64 {
+        self.shards.iter().map(|s| s.blocks).sum()
+    }
+}
+
 /// The corpus manifest: everything needed to reopen a corpus cold.
+///
+/// A manifest is immutable once written; ingest and compaction *replace* it
+/// atomically (temp file + rename), so every [`crate::CorpusReader`] is a
+/// consistent snapshot of the generation list it opened.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
     /// Format version of the files on disk.
     pub version: u32,
     /// How sequences are routed to shards.
     pub partitioning: Partitioning,
-    /// Total sequences in the corpus.
+    /// Total sequences in the corpus (across all generations).
     pub num_sequences: u64,
     /// Total items across all sequences.
     pub total_items: u64,
     /// Whether blocks carry G1 item-frequency sketches.
     pub sketches: bool,
-    /// Per-shard statistics, indexed by shard.
+    /// The next unused generation id; bumped by every seal and compaction.
+    pub next_gen_id: u32,
+    /// The sealed generations, in sequence-id order.
+    pub generations: Vec<GenerationMeta>,
+    /// Per-shard statistics aggregated across generations, indexed by
+    /// shard. Derived from `generations` on decode; kept denormalized so
+    /// shard-level consumers need no generation awareness.
     pub shards: Vec<ShardStats>,
 }
 
+impl Manifest {
+    /// Recomputes the aggregated per-shard statistics from the generation
+    /// list.
+    pub fn aggregate_shards(generations: &[GenerationMeta], num_shards: usize) -> Vec<ShardStats> {
+        let mut agg = vec![ShardStats::default(); num_shards];
+        for generation in generations {
+            for (shard, stats) in generation.shards.iter().enumerate() {
+                if shard < agg.len() {
+                    agg[shard].merge(stats);
+                }
+            }
+        }
+        agg
+    }
+}
+
 /// Encodes the manifest header frame payload (everything but the
-/// vocabulary, which gets its own frame — it can be large).
+/// vocabulary and the generation list, which get their own frames).
 pub(crate) fn encode_manifest_header(m: &Manifest, buf: &mut Vec<u8>) {
     buf.extend_from_slice(MANIFEST_MAGIC);
     varint::encode_u32(m.version, buf);
@@ -175,19 +266,24 @@ pub(crate) fn encode_manifest_header(m: &Manifest, buf: &mut Vec<u8>) {
     varint::encode_u64(m.num_sequences, buf);
     varint::encode_u64(m.total_items, buf);
     buf.push(m.sketches as u8);
+    varint::encode_u32(m.next_gen_id, buf);
+    varint::encode_u32(m.generations.len() as u32, buf);
 }
 
-/// Decodes the manifest header frame payload (shards left empty).
-pub(crate) fn decode_manifest_header(bytes: &[u8]) -> Result<Manifest> {
+/// Decodes the manifest header frame payload (generations and shards left
+/// empty; the generation count is returned for cross-checking against the
+/// generations frame).
+pub(crate) fn decode_manifest_header(bytes: &[u8]) -> Result<(Manifest, u32)> {
     if bytes.len() < MANIFEST_MAGIC.len() || &bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
         return Err(StoreError::Corrupt("manifest magic mismatch".into()));
     }
     let mut r = VarintReader::new(&bytes[MANIFEST_MAGIC.len()..]);
     let version = r.read_u32()?;
+    // Versions are rejected before any version-dependent field is read:
+    // a newer manifest (written by a future build) must surface as
+    // UnsupportedVersion, never be misparsed into a plausible Manifest.
     if version != FORMAT_VERSION {
-        return Err(StoreError::Corrupt(format!(
-            "unsupported format version {version} (expected {FORMAT_VERSION})"
-        )));
+        return Err(StoreError::UnsupportedVersion { found: version });
     }
     let tag = r.read_u32()?;
     let partitioning = match tag {
@@ -218,14 +314,21 @@ pub(crate) fn decode_manifest_header(bytes: &[u8]) -> Result<Manifest> {
             )))
         }
     };
-    Ok(Manifest {
-        version,
-        partitioning,
-        num_sequences,
-        total_items,
-        sketches,
-        shards: Vec::new(),
-    })
+    let next_gen_id = r.read_u32()?;
+    let num_generations = r.read_u32()?;
+    Ok((
+        Manifest {
+            version,
+            partitioning,
+            num_sequences,
+            total_items,
+            sketches,
+            next_gen_id,
+            generations: Vec::new(),
+            shards: Vec::new(),
+        },
+        num_generations,
+    ))
 }
 
 /// Encodes the interned vocabulary + hierarchy frame payload.
@@ -288,8 +391,8 @@ pub(crate) fn decode_vocabulary(bytes: &[u8]) -> Result<Vocabulary> {
         .map_err(|e| StoreError::Corrupt(format!("invalid vocabulary: {e}")))
 }
 
-/// Encodes the per-shard statistics frame payload.
-pub(crate) fn encode_shard_stats(shards: &[ShardStats], buf: &mut Vec<u8>) {
+/// Encodes the per-shard statistics of one generation into `buf`.
+fn encode_shard_stats(shards: &[ShardStats], buf: &mut Vec<u8>) {
     varint::encode_u32(shards.len() as u32, buf);
     for s in shards {
         varint::encode_u64(s.sequences, buf);
@@ -300,9 +403,8 @@ pub(crate) fn encode_shard_stats(shards: &[ShardStats], buf: &mut Vec<u8>) {
     }
 }
 
-/// Decodes the per-shard statistics frame payload.
-pub(crate) fn decode_shard_stats(bytes: &[u8]) -> Result<Vec<ShardStats>> {
-    let mut r = VarintReader::new(bytes);
+/// Decodes one generation's per-shard statistics from `r`.
+fn decode_shard_stats(r: &mut VarintReader<'_>) -> Result<Vec<ShardStats>> {
     let n = r.read_u32()?;
     let mut shards = Vec::with_capacity(n as usize);
     for _ in 0..n {
@@ -314,10 +416,38 @@ pub(crate) fn decode_shard_stats(bytes: &[u8]) -> Result<Vec<ShardStats>> {
             max_seq: r.read_u64()?,
         });
     }
-    if !r.is_empty() {
-        return Err(StoreError::Corrupt("trailing shard-stat bytes".into()));
-    }
     Ok(shards)
+}
+
+/// Encodes the generations frame payload: every sealed generation's id and
+/// statistics, in sequence-id order.
+pub(crate) fn encode_generations(generations: &[GenerationMeta], buf: &mut Vec<u8>) {
+    varint::encode_u32(generations.len() as u32, buf);
+    for generation in generations {
+        varint::encode_u32(generation.id, buf);
+        varint::encode_u64(generation.num_sequences, buf);
+        varint::encode_u64(generation.total_items, buf);
+        encode_shard_stats(&generation.shards, buf);
+    }
+}
+
+/// Decodes the generations frame payload.
+pub(crate) fn decode_generations(bytes: &[u8]) -> Result<Vec<GenerationMeta>> {
+    let mut r = VarintReader::new(bytes);
+    let n = r.read_u32()?;
+    let mut generations = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        generations.push(GenerationMeta {
+            id: r.read_u32()?,
+            num_sequences: r.read_u64()?,
+            total_items: r.read_u64()?,
+            shards: decode_shard_stats(&mut r)?,
+        });
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt("trailing generation bytes".into()));
+    }
+    Ok(generations)
 }
 
 /// Encodes a segment file's header frame payload.
@@ -335,9 +465,7 @@ pub(crate) fn decode_segment_header(bytes: &[u8], expected_shard: u32) -> Result
     let mut r = VarintReader::new(&bytes[SEGMENT_MAGIC.len()..]);
     let version = r.read_u32()?;
     if version != FORMAT_VERSION {
-        return Err(StoreError::Corrupt(format!(
-            "unsupported segment version {version}"
-        )));
+        return Err(StoreError::UnsupportedVersion { found: version });
     }
     let shard = r.read_u32()?;
     if shard != expected_shard {
@@ -519,22 +647,28 @@ mod tests {
                 num_sequences: 123_456,
                 total_items: 9_876_543,
                 sketches: true,
+                next_gen_id: 7,
+                generations: Vec::new(),
                 shards: Vec::new(),
             };
             let mut buf = Vec::new();
             encode_manifest_header(&m, &mut buf);
-            assert_eq!(decode_manifest_header(&buf).unwrap(), m);
+            let (back, gens) = decode_manifest_header(&buf).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(gens, 0);
         }
     }
 
     #[test]
-    fn manifest_rejects_bad_magic_and_version() {
+    fn manifest_rejects_bad_magic() {
         let m = Manifest {
             version: FORMAT_VERSION,
             partitioning: Partitioning::hash(1),
             num_sequences: 0,
             total_items: 0,
             sketches: false,
+            next_gen_id: 1,
+            generations: Vec::new(),
             shards: Vec::new(),
         };
         let mut buf = Vec::new();
@@ -548,6 +682,35 @@ mod tests {
         assert!(matches!(
             decode_manifest_header(&buf[..4]),
             Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_manifest_versions_are_unsupported_not_corrupt() {
+        // A future manifest: valid magic, version 99, then bytes this build
+        // has no idea how to parse. The decoder must classify it by version
+        // alone — before touching any later field.
+        for future in [1u32, 3, 99] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(MANIFEST_MAGIC);
+            varint::encode_u32(future, &mut buf);
+            buf.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+            match decode_manifest_header(&buf) {
+                Err(StoreError::UnsupportedVersion { found }) => assert_eq!(found, future),
+                other => panic!("version {future}: expected UnsupportedVersion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_segment_versions_are_unsupported() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SEGMENT_MAGIC);
+        varint::encode_u32(57, &mut buf);
+        varint::encode_u32(0, &mut buf);
+        assert!(matches!(
+            decode_segment_header(&buf, 0),
+            Err(StoreError::UnsupportedVersion { found: 57 })
         ));
     }
 
@@ -582,20 +745,82 @@ mod tests {
     }
 
     #[test]
-    fn shard_stats_round_trip() {
-        let shards = vec![
-            ShardStats {
-                sequences: 10,
-                blocks: 2,
-                payload_bytes: 4_000,
-                min_seq: 0,
-                max_seq: 31,
+    fn generations_round_trip() {
+        let generations = vec![
+            GenerationMeta {
+                id: 0,
+                num_sequences: 10,
+                total_items: 44,
+                shards: vec![
+                    ShardStats {
+                        sequences: 10,
+                        blocks: 2,
+                        payload_bytes: 4_000,
+                        min_seq: 0,
+                        max_seq: 31,
+                    },
+                    ShardStats::default(),
+                ],
             },
-            ShardStats::default(),
+            GenerationMeta {
+                id: 3,
+                num_sequences: 2,
+                total_items: 5,
+                shards: vec![ShardStats::default(), ShardStats::default()],
+            },
         ];
         let mut buf = Vec::new();
-        encode_shard_stats(&shards, &mut buf);
-        assert_eq!(decode_shard_stats(&buf).unwrap(), shards);
+        encode_generations(&generations, &mut buf);
+        assert_eq!(decode_generations(&buf).unwrap(), generations);
+        assert!(decode_generations(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn aggregated_shards_fold_across_generations() {
+        let g0 = GenerationMeta {
+            id: 0,
+            num_sequences: 3,
+            total_items: 9,
+            shards: vec![
+                ShardStats {
+                    sequences: 3,
+                    blocks: 1,
+                    payload_bytes: 100,
+                    min_seq: 0,
+                    max_seq: 2,
+                },
+                ShardStats::default(),
+            ],
+        };
+        let g1 = GenerationMeta {
+            id: 1,
+            num_sequences: 2,
+            total_items: 4,
+            shards: vec![
+                ShardStats {
+                    sequences: 1,
+                    blocks: 1,
+                    payload_bytes: 50,
+                    min_seq: 4,
+                    max_seq: 4,
+                },
+                ShardStats {
+                    sequences: 1,
+                    blocks: 1,
+                    payload_bytes: 60,
+                    min_seq: 3,
+                    max_seq: 3,
+                },
+            ],
+        };
+        let agg = Manifest::aggregate_shards(&[g0, g1], 2);
+        assert_eq!(agg[0].sequences, 4);
+        assert_eq!(agg[0].blocks, 2);
+        assert_eq!(agg[0].payload_bytes, 150);
+        assert_eq!(agg[0].min_seq, 0);
+        assert_eq!(agg[0].max_seq, 4);
+        assert_eq!(agg[1].sequences, 1);
+        assert_eq!(agg[1].min_seq, 3);
     }
 
     #[test]

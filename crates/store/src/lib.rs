@@ -1,21 +1,27 @@
 //! # lash-store
 //!
-//! A partitioned, compressed, append-once **on-disk sequence corpus** for
-//! LASH. The paper targets corpora that dwarf main memory; this crate is the
-//! storage subsystem that lets the reproduction mine such corpora without
-//! re-parsing text input or holding every sequence on the heap.
+//! A partitioned, compressed **on-disk sequence corpus** for LASH, grown
+//! through sealed segment **generations**. The paper mines a static corpus
+//! that dwarfs main memory; a production deployment additionally sees new
+//! sequences arrive continuously — this crate is the storage subsystem that
+//! supports both: mine larger-than-RAM corpora without re-parsing text or
+//! holding every sequence on the heap, and ingest new batches without
+//! rewriting a byte of sealed data.
 //!
 //! ## Layout
 //!
-//! A corpus is a directory:
+//! A corpus is a directory of immutable generations plus one manifest:
 //!
 //! ```text
 //! corpus/
 //! ├── MANIFEST.lash      # format version, partitioning, vocabulary/hierarchy,
-//! │                      # per-shard statistics — everything needed to reopen
-//! │                      # the corpus cold, without re-parsing anything
-//! ├── shard-00000.seg    # segment: a stream of compressed blocks
-//! ├── shard-00001.seg
+//! │                      # ordered generation list with per-shard statistics —
+//! │                      # everything needed to reopen the corpus cold
+//! ├── gen-00000/         # generation 0, sealed by CorpusWriter::finish
+//! │   ├── shard-00000.seg    # segment: a stream of compressed blocks
+//! │   └── shard-00001.seg
+//! ├── gen-00001/         # a later generation, sealed by IncrementalWriter
+//! │   └── …
 //! └── …
 //! ```
 //!
@@ -26,13 +32,38 @@
 //! block's min/max sequence id, item-id range, and an optional **G1
 //! item-frequency sketch** — per item, the number of sequences in the block
 //! whose hierarchy closure contains it. The sketch makes the generalized
-//! f-list computable *from headers alone*, without decoding any payload.
+//! f-list computable *from headers alone*, without decoding any payload;
+//! per-generation sketches are additive, so they merge into one corpus-wide
+//! f-list for free.
+//!
+//! ## The corpus lifecycle
+//!
+//! 1. **Ingest** — [`CorpusWriter`] creates the corpus and seals generation
+//!    0; each later batch streams through an [`IncrementalWriter`], which
+//!    continues the corpus-wide id space.
+//! 2. **Seal** — [`IncrementalWriter::finish`] makes the batch durable
+//!    *atomically*: segment files are staged in a temp directory, renamed
+//!    into place, and only then referenced by a manifest swap (temp file +
+//!    rename — the single commit point). A crash at any step leaves either
+//!    the old corpus or the new one, never a torn mix. See
+//!    [`generations`] for the full protocol.
+//! 3. **Compact** — ingest grows the generation count; the size-tiered
+//!    [`compact`](crate::compact) engine stream-merges adjacent generations
+//!    back into one, deleting replaced files only after the manifest swap.
+//!    Scans and mining results are identical before and after — compaction
+//!    moves bytes, never content. Setting [`COMPACT_EVERY_ENV`] compacts
+//!    automatically after every seal.
+//! 4. **Mine** — [`CorpusReader`] opens a *snapshot* (pinned to the
+//!    manifest it read) and mines it; shard scans transparently chain
+//!    blocks across generations, so the mining jobs are oblivious to how
+//!    many ingest batches built the corpus.
 //!
 //! ## Reading
 //!
 //! [`CorpusReader`] opens a corpus cold and exposes:
 //!
-//! * [`CorpusReader::scan_shard`] — a streaming [`ShardScan`] iterator;
+//! * [`CorpusReader::scan_shard`] — a streaming [`ShardScan`] iterator
+//!   (chained across generations);
 //! * [`CorpusReader::par_scan`] — a parallel multi-shard scan;
 //! * the [`ShardedCorpus`](lash_core::ShardedCorpus) impl, which plugs the
 //!   corpus straight into `lash-core`'s distributed jobs: each map task
@@ -42,7 +73,7 @@
 //!
 //! ```
 //! use lash_core::{GsmParams, Lash, SequenceDatabase, VocabularyBuilder};
-//! use lash_store::{CorpusReader, CorpusWriter, StoreOptions};
+//! use lash_store::{CorpusReader, CorpusWriter, IncrementalWriter, StoreOptions};
 //!
 //! let dir = std::env::temp_dir().join(format!("lash-doc-{}", std::process::id()));
 //! # let _ = std::fs::remove_dir_all(&dir);
@@ -52,13 +83,17 @@
 //! let walks = vb.intern("walks");
 //! let vocab = vb.finish().unwrap();
 //!
-//! // Write a corpus once…
+//! // Write a corpus…
 //! let mut writer = CorpusWriter::create(&dir, &vocab, StoreOptions::default()).unwrap();
 //! writer.append(&[poodle, walks]).unwrap();
-//! writer.append(&[dog, walks]).unwrap();
 //! writer.finish().unwrap();
 //!
-//! // …reopen it cold and mine.
+//! // …append a later batch as a second sealed generation…
+//! let mut incr = IncrementalWriter::open(&dir).unwrap();
+//! incr.append(&[dog, walks]).unwrap();
+//! incr.finish().unwrap();
+//!
+//! // …and reopen it cold and mine, oblivious to the generation split.
 //! let reader = CorpusReader::open(&dir).unwrap();
 //! let params = GsmParams::new(2, 0, 2).unwrap();
 //! let result = reader.mine(&Lash::default(), &params).unwrap();
@@ -72,12 +107,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod convert;
 pub mod format;
+pub mod generations;
 pub mod reader;
 pub mod writer;
 
-pub use format::{BlockHeader, Manifest, Partitioning, ShardStats, FORMAT_VERSION};
+pub use compact::{CompactionConfig, CompactionPlan, CompactionStats};
+pub use format::{BlockHeader, GenerationMeta, Manifest, Partitioning, ShardStats, FORMAT_VERSION};
+pub use generations::{IncrementalWriter, COMPACT_EVERY_ENV};
 pub use reader::{BlockFilter, CorpusReader, CorpusScan, SequenceBatch, ShardScan};
 pub use writer::CorpusWriter;
 
@@ -97,8 +136,15 @@ pub enum StoreError {
     Decode(DecodeError),
     /// The on-disk data violates a format invariant.
     Corrupt(String),
+    /// The corpus was written by a format version this build does not
+    /// read — typically a newer build (generations bumped the version to
+    /// 2, and future bumps surface here instead of being misparsed).
+    UnsupportedVersion {
+        /// The version found on disk.
+        found: u32,
+    },
     /// `CorpusWriter::create` refused to overwrite an existing corpus
-    /// (the format is append-once).
+    /// (sealed data is immutable; new data arrives as new generations).
     AlreadyExists(PathBuf),
     /// A sequence referenced an item id outside the corpus vocabulary.
     UnknownItem(u32),
@@ -112,8 +158,17 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "I/O error: {e}"),
             StoreError::Decode(e) => write!(f, "decode error: {e}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt corpus: {msg}"),
+            StoreError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported corpus format version {found} (this build reads version \
+                 {FORMAT_VERSION}); re-create the corpus or upgrade lash-store"
+            ),
             StoreError::AlreadyExists(p) => {
-                write!(f, "corpus already exists at {} (append-once)", p.display())
+                write!(
+                    f,
+                    "corpus already exists at {} (append with IncrementalWriter instead)",
+                    p.display()
+                )
             }
             StoreError::UnknownItem(id) => write!(f, "item id {id} not in corpus vocabulary"),
             StoreError::InvalidOptions(msg) => write!(f, "invalid store options: {msg}"),

@@ -1,6 +1,12 @@
-//! The corpus reader: cold open, streaming shard scans, parallel
-//! multi-shard scans, header-only f-lists, and the bridge into the
-//! distributed mining jobs.
+//! The corpus reader: cold open, streaming shard scans chained across
+//! generations, parallel multi-shard scans, header-only f-lists, and the
+//! bridge into the distributed mining jobs.
+//!
+//! A [`CorpusReader`] is a **snapshot**: it is pinned to the manifest
+//! version it opened and resolves every segment path through its own copy
+//! of the generation list, so generations sealed (or compacted) later are
+//! invisible until the corpus is re-opened. See [`crate::generations`] for
+//! the sealing protocol.
 
 use std::fs::File;
 use std::io::{BufReader, Read, Seek};
@@ -17,11 +23,13 @@ use lash_core::sequence::{SequenceDatabase, ShardedCorpus};
 use lash_core::vocabulary::{ItemId, Vocabulary};
 use lash_encoding::frame::{self, FrameRead};
 
-use crate::format::{self, BlockHeader, Manifest, MANIFEST_FILE};
+use crate::format::{self, BlockHeader, GenerationMeta, Manifest};
+use crate::generations::read_manifest;
 use crate::{Result, StoreError};
 
-/// A corpus opened cold from its manifest: vocabulary, hierarchy, and
-/// partitioning are restored without touching any segment file.
+/// A corpus opened cold from its manifest: vocabulary, hierarchy,
+/// partitioning, and the generation list are restored without touching any
+/// segment file.
 pub struct CorpusReader {
     dir: PathBuf,
     manifest: Manifest,
@@ -30,29 +38,13 @@ pub struct CorpusReader {
 
 impl CorpusReader {
     /// Opens the corpus at `dir` by reading and validating its manifest.
+    ///
+    /// Manifests written by a different (usually newer) format version are
+    /// rejected with [`StoreError::UnsupportedVersion`] rather than
+    /// misparsed.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let mut file = BufReader::new(File::open(dir.join(MANIFEST_FILE))?);
-        let header = read_required_frame(&mut file, "manifest header")?;
-        let mut manifest = format::decode_manifest_header(&header)?;
-        let vocab_bytes = read_required_frame(&mut file, "manifest vocabulary")?;
-        let vocab = format::decode_vocabulary(&vocab_bytes)?;
-        let stats_bytes = read_required_frame(&mut file, "manifest shard stats")?;
-        manifest.shards = format::decode_shard_stats(&stats_bytes)?;
-        if manifest.shards.len() != manifest.partitioning.num_shards() as usize {
-            return Err(StoreError::Corrupt(format!(
-                "manifest lists {} shard entries for {} shards",
-                manifest.shards.len(),
-                manifest.partitioning.num_shards()
-            )));
-        }
-        let counted: u64 = manifest.shards.iter().map(|s| s.sequences).sum();
-        if counted != manifest.num_sequences {
-            return Err(StoreError::Corrupt(format!(
-                "shard stats count {counted} sequences, manifest says {}",
-                manifest.num_sequences
-            )));
-        }
+        let (manifest, vocab) = read_manifest(&dir)?;
         Ok(CorpusReader {
             dir,
             manifest,
@@ -65,7 +57,7 @@ impl CorpusReader {
         &self.dir
     }
 
-    /// The manifest.
+    /// The manifest snapshot this reader is pinned to.
     pub fn manifest(&self) -> &Manifest {
         &self.manifest
     }
@@ -90,18 +82,39 @@ impl CorpusReader {
         self.manifest.partitioning.num_shards() as usize
     }
 
-    fn shard_path(&self, shard: usize) -> PathBuf {
-        self.dir.join(format::shard_file_name(shard as u32))
+    /// Number of sealed generations in this snapshot.
+    pub fn num_generations(&self) -> usize {
+        self.manifest.generations.len()
     }
 
-    /// Opens a streaming scan over one shard.
+    /// The sealed generations of this snapshot, in sequence-id order.
+    pub fn generations(&self) -> &[GenerationMeta] {
+        &self.manifest.generations
+    }
+
+    /// The segment files holding `shard`, one per generation, in
+    /// generation order.
+    fn segment_paths(&self, shard: usize) -> Vec<PathBuf> {
+        self.manifest
+            .generations
+            .iter()
+            .map(|g| {
+                self.dir
+                    .join(format::generation_dir_name(g.id))
+                    .join(format::shard_file_name(shard as u32))
+            })
+            .collect()
+    }
+
+    /// Opens a streaming scan over one shard, transparently chaining the
+    /// shard's blocks across all generations.
     pub fn scan_shard(&self, shard: usize) -> Result<ShardScan<'static>> {
-        ShardScan::open(
-            self.shard_path(shard),
+        Ok(ShardScan::open_chain(
+            self.segment_paths(shard),
             shard as u32,
             self.vocab.len() as u32,
             None,
-        )
+        ))
     }
 
     /// Opens a streaming scan over one shard that decodes only blocks whose
@@ -113,12 +126,12 @@ impl CorpusReader {
         shard: usize,
         filter: BlockFilter<'f>,
     ) -> Result<ShardScan<'f>> {
-        ShardScan::open(
-            self.shard_path(shard),
+        Ok(ShardScan::open_chain(
+            self.segment_paths(shard),
             shard as u32,
             self.vocab.len() as u32,
             Some(filter),
-        )
+        ))
     }
 
     /// Iterates every sequence of the corpus, shard by shard (storage
@@ -210,18 +223,34 @@ impl CorpusReader {
         Ok(db)
     }
 
-    /// Iterates the block headers of one shard without decoding (or even
-    /// reading) any payload — payload frames are seeked over. The iterator
-    /// cross-checks the block count against the manifest, so a truncated
-    /// segment surfaces as an error even though no payload is read.
+    /// Iterates the block headers of one shard — across all generations —
+    /// without decoding (or even reading) any payload; payload frames are
+    /// seeked over. The iterator cross-checks each generation's block count
+    /// against the manifest, so a truncated segment surfaces as an error
+    /// even though no payload is read.
     pub fn block_headers(&self, shard: usize) -> Result<BlockHeaders> {
-        let expected = self
+        if shard >= self.num_shards() {
+            return Err(StoreError::Corrupt(format!("no shard {shard} in manifest")));
+        }
+        let segments: Vec<(PathBuf, u64)> = self
             .manifest
-            .shards
-            .get(shard)
-            .ok_or_else(|| StoreError::Corrupt(format!("no shard {shard} in manifest")))?
-            .blocks;
-        BlockHeaders::open(self.shard_path(shard), shard as u32, expected)
+            .generations
+            .iter()
+            .map(|g| {
+                (
+                    self.dir
+                        .join(format::generation_dir_name(g.id))
+                        .join(format::shard_file_name(shard as u32)),
+                    g.shards[shard].blocks,
+                )
+            })
+            .collect();
+        Ok(BlockHeaders {
+            shard: shard as u32,
+            pending: segments.into_iter(),
+            current: None,
+            done: false,
+        })
     }
 
     /// Assembles the generalized f-list from block headers alone.
@@ -230,7 +259,9 @@ impl CorpusReader {
     /// caller then falls back to a full scan (`compute_flist_sharded`).
     /// With sketches this reads only header frames — no payload is decoded,
     /// which on a large corpus is the difference between touching a few
-    /// kilobytes of headers and every byte of the store.
+    /// kilobytes of headers and every byte of the store. The per-generation
+    /// sketches need no special handling: counts are additive, so chaining
+    /// headers across generations merges them into one corpus-wide f-list.
     pub fn flist(&self) -> Result<Option<FList>> {
         if !self.manifest.sketches {
             return Ok(None);
@@ -440,64 +471,70 @@ impl SequenceBatch {
     }
 }
 
+/// Decodes every record of one block payload into `batch`.
+fn decode_block_into(
+    header: &BlockHeader,
+    payload: &[u8],
+    vocab_len: u32,
+    batch: &mut SequenceBatch,
+) -> Result<()> {
+    batch.clear();
+    batch.ids.reserve(header.records as usize);
+    batch.items.reserve(header.items as usize);
+    let mut pos = 0usize;
+    let mut prev_seq = header.first_seq;
+    for rec in 0..header.records {
+        let (delta, next) = format::decode_record(payload, pos, vocab_len, &mut batch.items)?;
+        pos = next;
+        let id = prev_seq
+            .checked_add(delta)
+            .ok_or_else(|| StoreError::Corrupt("sequence id delta overflows".into()))?;
+        if id > header.last_seq {
+            return Err(StoreError::Corrupt(format!(
+                "sequence id {id} beyond block's last id {}",
+                header.last_seq
+            )));
+        }
+        prev_seq = id;
+        batch.ids.push(id);
+        batch.offsets.push(batch.items.len() as u32);
+        if rec + 1 == header.records {
+            if pos != payload.len() {
+                return Err(StoreError::Corrupt(
+                    "trailing bytes in block payload".into(),
+                ));
+            }
+            if id != header.last_seq {
+                return Err(StoreError::Corrupt(
+                    "block's last sequence id does not match its header".into(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A predicate over block headers deciding whether a block's payload is
 /// worth decoding; see [`CorpusReader::scan_shard_filtered`].
 pub type BlockFilter<'f> = &'f (dyn Fn(&BlockHeader) -> bool + Sync);
 
-/// A streaming scan over one shard, yielding `(sequence id, items)` in
-/// storage order. Blocks are read, checksum-verified, and decoded **one
-/// block at a time into a shared batch** (item arena + offsets), so memory
-/// stays bounded by one block and no per-record allocation happens. An
-/// optional block filter can skip whole blocks — their payload frames are
-/// seeked over, never read.
-pub struct ShardScan<'f> {
+/// A positioned reader over one generation's segment file for one shard:
+/// yields raw blocks (header + payload) in storage order, optionally
+/// seeking over filtered-out payloads.
+pub(crate) struct SegmentScan {
     file: BufReader<File>,
     file_len: u64,
-    vocab_len: u32,
-    filter: Option<BlockFilter<'f>>,
-    batch: SequenceBatch,
-    /// Cursor into `batch` for the record-at-a-time APIs.
-    rec: usize,
-    blocks_decoded: u64,
-    blocks_pruned: u64,
-    done: bool,
 }
 
-impl<'f> ShardScan<'f> {
-    fn open(
-        path: PathBuf,
-        shard: u32,
-        vocab_len: u32,
-        filter: Option<BlockFilter<'f>>,
-    ) -> Result<Self> {
+impl SegmentScan {
+    /// Opens `path` and validates its segment header against `shard`.
+    pub(crate) fn open(path: &Path, shard: u32) -> Result<Self> {
         let handle = File::open(path)?;
         let file_len = handle.metadata()?.len();
         let mut file = BufReader::new(handle);
         let header = read_required_frame(&mut file, "segment header")?;
         format::decode_segment_header(&header, shard)?;
-        let mut batch = SequenceBatch::default();
-        batch.clear();
-        Ok(ShardScan {
-            file,
-            file_len,
-            vocab_len,
-            filter,
-            batch,
-            rec: 0,
-            blocks_decoded: 0,
-            blocks_pruned: 0,
-            done: false,
-        })
-    }
-
-    /// Blocks whose payload was decoded so far.
-    pub fn blocks_decoded(&self) -> u64 {
-        self.blocks_decoded
-    }
-
-    /// Blocks skipped by the filter without reading their payload.
-    pub fn blocks_pruned(&self) -> u64 {
-        self.blocks_pruned
+        Ok(SegmentScan { file, file_len })
     }
 
     /// Seeks past the next frame (a rejected block's payload) without
@@ -516,74 +553,117 @@ impl<'f> ShardScan<'f> {
         Ok(())
     }
 
-    /// Decodes the next (unfiltered) block into the shared batch. Returns
-    /// `None` at clean end-of-shard; the returned batch is valid until the
-    /// next call.
-    pub fn next_batch(&mut self) -> Result<Option<&SequenceBatch>> {
-        if self.done {
-            return Ok(None);
-        }
+    /// Reads the next block whose header passes `filter` (counting skipped
+    /// blocks into `pruned`); `None` at clean end-of-segment.
+    fn next_block(
+        &mut self,
+        filter: Option<BlockFilter<'_>>,
+        pruned: &mut u64,
+    ) -> Result<Option<(BlockHeader, Vec<u8>)>> {
         loop {
             let header_bytes = match frame::read_frame(&mut self.file)? {
-                FrameRead::Eof => {
-                    self.done = true;
-                    return Ok(None);
-                }
+                FrameRead::Eof => return Ok(None),
                 FrameRead::Payload(bytes) => bytes,
             };
             let header = format::decode_block_header(&header_bytes)?;
-            if let Some(filter) = self.filter {
+            if let Some(filter) = filter {
                 if !filter(&header) {
                     self.skip_payload()?;
-                    self.blocks_pruned += 1;
+                    *pruned += 1;
                     continue;
                 }
             }
             let payload = read_required_frame(&mut self.file, "block payload")?;
-            self.decode_block(&header, &payload)?;
-            self.blocks_decoded += 1;
-            self.rec = 0;
-            return Ok(Some(&self.batch));
+            return Ok(Some((header, payload)));
+        }
+    }
+}
+
+/// A streaming scan over one shard, yielding `(sequence id, items)` in
+/// storage order and transparently chaining the shard's segment files
+/// across generations (oldest first, so ids stay ascending). Blocks are
+/// read, checksum-verified, and decoded **one block at a time into a shared
+/// batch** (item arena + offsets), so memory stays bounded by one block and
+/// no per-record allocation happens. An optional block filter can skip
+/// whole blocks — their payload frames are seeked over, never read.
+pub struct ShardScan<'f> {
+    shard: u32,
+    vocab_len: u32,
+    filter: Option<BlockFilter<'f>>,
+    /// Segment files not yet opened, in generation order.
+    pending: std::vec::IntoIter<PathBuf>,
+    current: Option<SegmentScan>,
+    batch: SequenceBatch,
+    /// Cursor into `batch` for the record-at-a-time APIs.
+    rec: usize,
+    blocks_decoded: u64,
+    blocks_pruned: u64,
+}
+
+impl<'f> ShardScan<'f> {
+    /// Opens a scan chaining `segments` (one per generation, oldest first).
+    /// Files are opened lazily, one at a time.
+    pub(crate) fn open_chain(
+        segments: Vec<PathBuf>,
+        shard: u32,
+        vocab_len: u32,
+        filter: Option<BlockFilter<'f>>,
+    ) -> Self {
+        let mut batch = SequenceBatch::default();
+        batch.clear();
+        ShardScan {
+            shard,
+            vocab_len,
+            filter,
+            pending: segments.into_iter(),
+            current: None,
+            batch,
+            rec: 0,
+            blocks_decoded: 0,
+            blocks_pruned: 0,
         }
     }
 
-    /// Decodes every record of one block payload into the batch.
-    fn decode_block(&mut self, header: &BlockHeader, payload: &[u8]) -> Result<()> {
-        self.batch.clear();
-        self.batch.ids.reserve(header.records as usize);
-        self.batch.items.reserve(header.items as usize);
-        let mut pos = 0usize;
-        let mut prev_seq = header.first_seq;
-        for rec in 0..header.records {
-            let (delta, next) =
-                format::decode_record(payload, pos, self.vocab_len, &mut self.batch.items)?;
-            pos = next;
-            let id = prev_seq
-                .checked_add(delta)
-                .ok_or_else(|| StoreError::Corrupt("sequence id delta overflows".into()))?;
-            if id > header.last_seq {
-                return Err(StoreError::Corrupt(format!(
-                    "sequence id {id} beyond block's last id {}",
-                    header.last_seq
-                )));
+    /// Blocks whose payload was decoded so far.
+    pub fn blocks_decoded(&self) -> u64 {
+        self.blocks_decoded
+    }
+
+    /// Blocks skipped by the filter without reading their payload.
+    pub fn blocks_pruned(&self) -> u64 {
+        self.blocks_pruned
+    }
+
+    /// Stops the scan (after an error surfaced through the [`Iterator`]
+    /// impl).
+    fn poison(&mut self) {
+        self.current = None;
+        self.pending = Vec::new().into_iter();
+    }
+
+    /// Decodes the next (unfiltered) block into the shared batch, moving on
+    /// to the next generation's segment when the current one ends. Returns
+    /// `None` at clean end-of-shard; the returned batch is valid until the
+    /// next call.
+    pub fn next_batch(&mut self) -> Result<Option<&SequenceBatch>> {
+        loop {
+            if self.current.is_none() {
+                match self.pending.next() {
+                    Some(path) => self.current = Some(SegmentScan::open(&path, self.shard)?),
+                    None => return Ok(None),
+                }
             }
-            prev_seq = id;
-            self.batch.ids.push(id);
-            self.batch.offsets.push(self.batch.items.len() as u32);
-            if rec + 1 == header.records {
-                if pos != payload.len() {
-                    return Err(StoreError::Corrupt(
-                        "trailing bytes in block payload".into(),
-                    ));
+            let segment = self.current.as_mut().expect("opened above");
+            match segment.next_block(self.filter, &mut self.blocks_pruned)? {
+                Some((header, payload)) => {
+                    decode_block_into(&header, &payload, self.vocab_len, &mut self.batch)?;
+                    self.blocks_decoded += 1;
+                    self.rec = 0;
+                    return Ok(Some(&self.batch));
                 }
-                if id != header.last_seq {
-                    return Err(StoreError::Corrupt(
-                        "block's last sequence id does not match its header".into(),
-                    ));
-                }
+                None => self.current = None,
             }
         }
-        Ok(())
     }
 
     /// Advances to the next sequence, yielding a borrowed view of its items
@@ -610,7 +690,8 @@ impl Iterator for ShardScan<'_> {
             Ok(Some((id, items))) => Some(Ok((id, items.to_vec()))),
             Ok(None) => None,
             Err(e) => {
-                self.done = true;
+                self.poison();
+                self.rec = self.batch.len();
                 Some(Err(e))
             }
         }
@@ -652,34 +733,26 @@ impl Iterator for CorpusScan<'_> {
     }
 }
 
-/// Iterates the block headers of one shard, seeking over payload frames
-/// without reading them.
-///
-/// Because payloads are never read, their checksums cannot flag damage —
-/// instead the iterator verifies that every seek stays inside the file and
-/// that the block count matches the manifest, so truncation is still
-/// detected.
-pub struct BlockHeaders {
+/// One generation's segment file being header-scanned.
+struct SegmentHeaders {
     file: BufReader<File>,
     file_len: u64,
     expected_blocks: u64,
     seen_blocks: u64,
-    done: bool,
 }
 
-impl BlockHeaders {
-    fn open(path: PathBuf, shard: u32, expected_blocks: u64) -> Result<Self> {
+impl SegmentHeaders {
+    fn open(path: &Path, shard: u32, expected_blocks: u64) -> Result<Self> {
         let file = File::open(path)?;
         let file_len = file.metadata()?.len();
         let mut file = BufReader::new(file);
         let header = read_required_frame(&mut file, "segment header")?;
         format::decode_segment_header(&header, shard)?;
-        Ok(BlockHeaders {
+        Ok(SegmentHeaders {
             file,
             file_len,
             expected_blocks,
             seen_blocks: 0,
-            done: false,
         })
     }
 
@@ -697,6 +770,41 @@ impl BlockHeaders {
         }
         Ok(())
     }
+
+    /// The next header of this segment; `None` at (count-verified) EOF.
+    fn next_header(&mut self) -> Result<Option<BlockHeader>> {
+        let header_bytes = match frame::read_frame(&mut self.file)? {
+            FrameRead::Eof => {
+                if self.seen_blocks != self.expected_blocks {
+                    return Err(StoreError::Corrupt(format!(
+                        "segment holds {} blocks, manifest says {}",
+                        self.seen_blocks, self.expected_blocks
+                    )));
+                }
+                return Ok(None);
+            }
+            FrameRead::Payload(bytes) => bytes,
+        };
+        let header = format::decode_block_header(&header_bytes)?;
+        self.skip_frame()?;
+        self.seen_blocks += 1;
+        Ok(Some(header))
+    }
+}
+
+/// Iterates the block headers of one shard across all generations, seeking
+/// over payload frames without reading them.
+///
+/// Because payloads are never read, their checksums cannot flag damage —
+/// instead the iterator verifies that every seek stays inside the file and
+/// that each generation's block count matches the manifest, so truncation
+/// is still detected.
+pub struct BlockHeaders {
+    shard: u32,
+    /// Remaining segments as `(path, expected block count)`.
+    pending: std::vec::IntoIter<(PathBuf, u64)>,
+    current: Option<SegmentHeaders>,
+    done: bool,
 }
 
 impl Iterator for BlockHeaders {
@@ -706,31 +814,33 @@ impl Iterator for BlockHeaders {
         if self.done {
             return None;
         }
-        let header_bytes = match frame::read_frame(&mut self.file) {
-            Ok(FrameRead::Eof) => {
-                self.done = true;
-                if self.seen_blocks != self.expected_blocks {
-                    return Some(Err(StoreError::Corrupt(format!(
-                        "segment holds {} blocks, manifest says {}",
-                        self.seen_blocks, self.expected_blocks
-                    ))));
+        loop {
+            if self.current.is_none() {
+                match self.pending.next() {
+                    Some((path, expected)) => {
+                        match SegmentHeaders::open(&path, self.shard, expected) {
+                            Ok(seg) => self.current = Some(seg),
+                            Err(e) => {
+                                self.done = true;
+                                return Some(Err(e));
+                            }
+                        }
+                    }
+                    None => {
+                        self.done = true;
+                        return None;
+                    }
                 }
-                return None;
             }
-            Ok(FrameRead::Payload(bytes)) => bytes,
-            Err(e) => {
-                self.done = true;
-                return Some(Err(e.into()));
+            let segment = self.current.as_mut().expect("opened above");
+            match segment.next_header() {
+                Ok(Some(header)) => return Some(Ok(header)),
+                Ok(None) => self.current = None,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
             }
-        };
-        let result = format::decode_block_header(&header_bytes).and_then(|h| {
-            self.skip_frame()?;
-            Ok(h)
-        });
-        match &result {
-            Ok(_) => self.seen_blocks += 1,
-            Err(_) => self.done = true,
         }
-        Some(result)
     }
 }

@@ -1,4 +1,7 @@
-//! The append-once corpus writer.
+//! The corpus writer: creates a fresh corpus whose first (and only)
+//! generation is sealed by [`CorpusWriter::finish`]. Further generations are
+//! appended with [`crate::IncrementalWriter`]; existing generations are
+//! never mutated.
 
 use std::collections::BTreeMap;
 use std::fs::{self, File};
@@ -10,7 +13,8 @@ use lash_core::sequence::SequenceDatabase;
 use lash_core::vocabulary::{ItemId, Vocabulary};
 use lash_encoding::frame;
 
-use crate::format::{self, BlockHeader, Manifest, ShardStats, FORMAT_VERSION, MANIFEST_FILE};
+use crate::format::{self, BlockHeader, GenerationMeta, Manifest, ShardStats, FORMAT_VERSION};
+use crate::generations::write_manifest;
 use crate::{Result, StoreError, StoreOptions};
 
 /// Streaming writer of a new corpus.
@@ -18,17 +22,15 @@ use crate::{Result, StoreError, StoreOptions};
 /// Sequences are appended one at a time (each gets the next corpus-wide id),
 /// routed to their shard, and delta/varint-encoded into that shard's open
 /// block. Blocks close at the first sequence boundary at or past the
-/// configured payload budget. [`CorpusWriter::finish`] seals every shard and
-/// writes the manifest — until then the directory holds no manifest, so a
-/// crashed write is never mistaken for a complete corpus.
+/// configured payload budget. [`CorpusWriter::finish`] seals every shard of
+/// generation 0 and writes the manifest — until then the directory holds no
+/// manifest, so a crashed write is never mistaken for a complete corpus.
 pub struct CorpusWriter {
     dir: PathBuf,
     opts: StoreOptions,
     vocab: Vocabulary,
-    shards: Vec<ShardWriter>,
+    segments: SegmentSetWriter,
     next_seq: u64,
-    total_items: u64,
-    scratch: Vec<ItemId>,
 }
 
 /// One shard's open segment file plus the block being assembled.
@@ -63,20 +65,33 @@ impl BlockBuilder {
     }
 }
 
-impl CorpusWriter {
-    /// Creates a new corpus at `dir` with the given vocabulary.
-    ///
-    /// The directory is created if missing; an existing manifest makes this
-    /// fail with [`StoreError::AlreadyExists`] — the format is append-once,
-    /// a corpus is never mutated in place.
-    pub fn create(dir: impl AsRef<Path>, vocab: &Vocabulary, opts: StoreOptions) -> Result<Self> {
-        let dir = dir.as_ref().to_path_buf();
-        opts.partitioning.validate()?;
-        fs::create_dir_all(&dir)?;
-        if dir.join(MANIFEST_FILE).exists() {
-            return Err(StoreError::AlreadyExists(dir));
-        }
-        let num_shards = opts.partitioning.num_shards();
+/// Writes one generation's set of per-shard segment files into a directory.
+///
+/// This is the shared block-building engine behind [`CorpusWriter`],
+/// [`crate::IncrementalWriter`], and the compaction executor: callers route
+/// `(id, items)` records to shards (ids must arrive ascending *per shard* —
+/// the delta encoding's invariant) and [`SegmentSetWriter::finish`] flushes
+/// every open block and returns the per-shard statistics.
+pub(crate) struct SegmentSetWriter {
+    dir: PathBuf,
+    shards: Vec<ShardWriter>,
+    block_budget: usize,
+    sketches: bool,
+    sequences: u64,
+    total_items: u64,
+    scratch: Vec<ItemId>,
+}
+
+impl SegmentSetWriter {
+    /// Creates `num_shards` segment files (with headers) under `dir`,
+    /// creating the directory if needed.
+    pub(crate) fn create(
+        dir: &Path,
+        num_shards: u32,
+        block_budget: usize,
+        sketches: bool,
+    ) -> Result<Self> {
+        fs::create_dir_all(dir)?;
         let mut shards = Vec::with_capacity(num_shards as usize);
         for shard in 0..num_shards {
             let path = dir.join(format::shard_file_name(shard));
@@ -91,44 +106,44 @@ impl CorpusWriter {
                 header_buf: Vec::new(),
             });
         }
-        Ok(CorpusWriter {
-            dir,
-            opts,
-            vocab: vocab.clone(),
+        Ok(SegmentSetWriter {
+            dir: dir.to_path_buf(),
             shards,
-            next_seq: 0,
+            block_budget: block_budget.max(1),
+            sketches,
+            sequences: 0,
             total_items: 0,
             scratch: Vec::new(),
         })
     }
 
-    /// The vocabulary this corpus is written against.
-    pub fn vocabulary(&self) -> &Vocabulary {
-        &self.vocab
+    /// Sequences appended so far.
+    pub(crate) fn sequences(&self) -> u64 {
+        self.sequences
     }
 
-    /// Number of sequences appended so far.
-    pub fn len(&self) -> u64 {
-        self.next_seq
+    /// Items appended so far.
+    pub(crate) fn total_items(&self) -> u64 {
+        self.total_items
     }
 
-    /// True if nothing has been appended yet.
-    pub fn is_empty(&self) -> bool {
-        self.next_seq == 0
-    }
-
-    /// Appends one sequence; returns its corpus-wide id.
-    pub fn append(&mut self, seq: &[ItemId]) -> Result<u64> {
+    /// Appends one sequence to `shard`. The caller guarantees ascending ids
+    /// per shard and in-vocabulary items.
+    pub(crate) fn append(
+        &mut self,
+        shard: usize,
+        id: u64,
+        seq: &[ItemId],
+        vocab: &Vocabulary,
+    ) -> Result<()> {
         for &item in seq {
-            if item.index() >= self.vocab.len() {
+            if item.index() >= vocab.len() {
                 return Err(StoreError::UnknownItem(item.as_u32()));
             }
         }
-        let id = self.next_seq;
-        self.next_seq += 1;
+        self.sequences += 1;
         self.total_items += seq.len() as u64;
-        let shard_idx = self.opts.partitioning.shard_of(id) as usize;
-        let shard = &mut self.shards[shard_idx];
+        let shard = &mut self.shards[shard];
         let block = &mut shard.block;
         if block.records == 0 {
             block.first_seq = id;
@@ -143,8 +158,8 @@ impl CorpusWriter {
             block.min_item = Some(block.min_item.map_or(v, |m| m.min(v)));
             block.max_item = Some(block.max_item.map_or(v, |m| m.max(v)));
         }
-        if self.opts.sketches {
-            g1_items(seq, &self.vocab, &mut self.scratch);
+        if self.sketches {
+            g1_items(seq, vocab, &mut self.scratch);
             for item in &self.scratch {
                 *block.sketch.entry(item.as_u32()).or_insert(0) += 1;
             }
@@ -152,16 +167,8 @@ impl CorpusWriter {
         shard.stats.sequences += 1;
         shard.stats.min_seq = shard.stats.min_seq.min(id);
         shard.stats.max_seq = shard.stats.max_seq.max(id);
-        if block.payload.len() >= self.opts.block_budget {
+        if block.payload.len() >= self.block_budget {
             Self::flush_block(shard)?;
-        }
-        Ok(id)
-    }
-
-    /// Appends every sequence of `db` in order.
-    pub fn append_db(&mut self, db: &SequenceDatabase) -> Result<()> {
-        for seq in db.iter() {
-            self.append(seq)?;
         }
         Ok(())
     }
@@ -192,38 +199,113 @@ impl CorpusWriter {
         Ok(())
     }
 
-    /// Seals all shards and writes the manifest. The corpus is complete —
-    /// and only then readable — once this returns.
-    pub fn finish(mut self) -> Result<Manifest> {
+    /// Flushes and fsyncs every open block and segment file (and their
+    /// directory); returns per-shard stats. The fsyncs make the segment
+    /// data durable *before* any manifest references it — the first leg of
+    /// the manifest-swap protocol's crash guarantee (a rename journaled
+    /// ahead of the data it names would otherwise let a power loss commit
+    /// a manifest pointing at empty files).
+    pub(crate) fn finish(mut self) -> Result<Vec<ShardStats>> {
         for shard in &mut self.shards {
             Self::flush_block(shard)?;
             shard.file.flush()?;
+            shard.file.get_ref().sync_all()?;
         }
+        crate::generations::sync_dir(&self.dir)?;
+        Ok(self.shards.into_iter().map(|s| s.stats).collect())
+    }
+}
+
+impl CorpusWriter {
+    /// Creates a new corpus at `dir` with the given vocabulary.
+    ///
+    /// The directory is created if missing; an existing manifest makes this
+    /// fail with [`StoreError::AlreadyExists`] — a corpus is created once
+    /// and only grows through sealed generations
+    /// ([`crate::IncrementalWriter`]), never by rewriting in place.
+    pub fn create(dir: impl AsRef<Path>, vocab: &Vocabulary, opts: StoreOptions) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        opts.partitioning.validate()?;
+        fs::create_dir_all(&dir)?;
+        if dir.join(format::MANIFEST_FILE).exists() {
+            return Err(StoreError::AlreadyExists(dir));
+        }
+        // Generation 0 is written in place (no temp dir): without a
+        // manifest the directory is not a corpus, so a crash mid-write
+        // leaves nothing that could be mistaken for sealed data.
+        let gen_dir = dir.join(format::generation_dir_name(0));
+        let segments = SegmentSetWriter::create(
+            &gen_dir,
+            opts.partitioning.num_shards(),
+            opts.block_budget,
+            opts.sketches,
+        )?;
+        Ok(CorpusWriter {
+            dir,
+            opts,
+            vocab: vocab.clone(),
+            segments,
+            next_seq: 0,
+        })
+    }
+
+    /// The vocabulary this corpus is written against.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of sequences appended so far.
+    pub fn len(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// True if nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.next_seq == 0
+    }
+
+    /// Appends one sequence; returns its corpus-wide id.
+    pub fn append(&mut self, seq: &[ItemId]) -> Result<u64> {
+        let id = self.next_seq;
+        let shard = self.opts.partitioning.shard_of(id) as usize;
+        self.segments.append(shard, id, seq, &self.vocab)?;
+        self.next_seq += 1;
+        Ok(id)
+    }
+
+    /// Appends every sequence of `db` in order.
+    pub fn append_db(&mut self, db: &SequenceDatabase) -> Result<()> {
+        for seq in db.iter() {
+            self.append(seq)?;
+        }
+        Ok(())
+    }
+
+    /// Seals generation 0 and writes the manifest. The corpus is complete —
+    /// and only then readable — once this returns.
+    pub fn finish(self) -> Result<Manifest> {
+        let total_items = self.segments.total_items();
+        let shards = self.segments.finish()?;
+        let generation = GenerationMeta {
+            id: 0,
+            num_sequences: self.next_seq,
+            total_items,
+            shards,
+        };
         let manifest = Manifest {
             version: FORMAT_VERSION,
             partitioning: self.opts.partitioning,
             num_sequences: self.next_seq,
-            total_items: self.total_items,
+            total_items,
             sketches: self.opts.sketches,
-            shards: self.shards.iter().map(|s| s.stats.clone()).collect(),
+            next_gen_id: 1,
+            shards: Manifest::aggregate_shards(
+                std::slice::from_ref(&generation),
+                self.opts.partitioning.num_shards() as usize,
+            ),
+            generations: vec![generation],
         };
-        // Write to a temp name and rename so a crash mid-write never leaves
-        // a plausible-looking manifest behind.
-        let tmp = self.dir.join(format!("{MANIFEST_FILE}.tmp"));
-        {
-            let mut file = BufWriter::new(File::create(&tmp)?);
-            let mut buf = Vec::new();
-            format::encode_manifest_header(&manifest, &mut buf);
-            frame::write_frame(&buf, &mut file)?;
-            buf.clear();
-            format::encode_vocabulary(&self.vocab, &mut buf);
-            frame::write_frame(&buf, &mut file)?;
-            buf.clear();
-            format::encode_shard_stats(&manifest.shards, &mut buf);
-            frame::write_frame(&buf, &mut file)?;
-            file.flush()?;
-        }
-        fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
+        write_manifest(&self.dir, &manifest, &self.vocab)?;
         Ok(manifest)
     }
 }

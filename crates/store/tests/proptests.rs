@@ -178,11 +178,25 @@ proptest! {
         let dir_b = temp_dir("det-b");
         lash_store::convert::write_database(&dir_a, &vocab, &db, opts.clone()).unwrap();
         lash_store::convert::write_database(&dir_b, &vocab, &db, opts).unwrap();
-        let mut names: Vec<_> = std::fs::read_dir(&dir_a)
-            .unwrap()
-            .map(|e| e.unwrap().file_name())
-            .collect();
-        names.sort();
+        // Walk the corpus recursively: generations live in subdirectories.
+        fn files_under(root: &std::path::Path) -> Vec<std::path::PathBuf> {
+            let mut out = Vec::new();
+            let mut stack = vec![root.to_path_buf()];
+            while let Some(dir) = stack.pop() {
+                for entry in std::fs::read_dir(&dir).unwrap() {
+                    let path = entry.unwrap().path();
+                    if path.is_dir() {
+                        stack.push(path);
+                    } else {
+                        out.push(path.strip_prefix(root).unwrap().to_path_buf());
+                    }
+                }
+            }
+            out.sort();
+            out
+        }
+        let names = files_under(&dir_a);
+        prop_assert_eq!(&names, &files_under(&dir_b), "file sets differ");
         for name in names {
             let a = std::fs::read(dir_a.join(&name)).unwrap();
             let b = std::fs::read(dir_b.join(&name)).unwrap();

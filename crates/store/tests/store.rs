@@ -169,7 +169,7 @@ fn segment_corruption_is_detected_on_scan() {
     let opts = StoreOptions::default().with_partitioning(Partitioning::hash(1));
     lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
     // Flip a byte deep inside the (only) segment file.
-    let seg = dir.join("shard-00000.seg");
+    let seg = dir.join("gen-00000").join("shard-00000.seg");
     let mut bytes = std::fs::read(&seg).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xff;
@@ -187,7 +187,7 @@ fn truncated_segment_is_detected_on_scan() {
     let dir = temp_dir("trunc");
     let opts = StoreOptions::default().with_partitioning(Partitioning::hash(1));
     lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
-    let seg = dir.join("shard-00000.seg");
+    let seg = dir.join("gen-00000").join("shard-00000.seg");
     let bytes = std::fs::read(&seg).unwrap();
     std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
     let reader = CorpusReader::open(&dir).unwrap();
@@ -205,7 +205,7 @@ fn truncation_is_detected_by_the_header_only_path() {
         .with_partitioning(Partitioning::hash(1))
         .with_block_budget(64);
     lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
-    let seg = dir.join("shard-00000.seg");
+    let seg = dir.join("gen-00000").join("shard-00000.seg");
     let bytes = std::fs::read(&seg).unwrap();
 
     // Cut inside the last block's payload: header frames all intact, so
@@ -363,6 +363,99 @@ fn block_filter_skips_payloads_without_reading_them() {
             assert!(kept_ids.contains(&id), "sequence {id} with b1 was pruned");
         }
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pruned_scan_of_an_empty_shard_yields_nothing() {
+    use lash_core::ShardedCorpus;
+    let (vocab, items) = small_vocab();
+    // 10 sequences, 4 range shards of 100 ids each: shards 1..4 are empty.
+    let db = sample_db(&items, 10);
+    let dir = temp_dir("pruned-empty");
+    let opts = StoreOptions::default().with_partitioning(Partitioning::range(4, 100));
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    for shard in 1..4 {
+        assert_eq!(reader.manifest().shards[shard].sequences, 0);
+        // Plain scan: clean end, no blocks.
+        let mut scan = reader.scan_shard(shard).unwrap();
+        assert!(scan.next_batch().unwrap().is_none());
+        assert_eq!(scan.blocks_decoded(), 0);
+        assert_eq!(scan.blocks_pruned(), 0);
+        // Pruned scan: same — an empty segment must not error or loop.
+        let mut seen = 0u64;
+        reader
+            .scan_shard_pruned(shard, &|_| true, &mut |_, _| seen += 1)
+            .unwrap();
+        assert_eq!(seen, 0);
+        reader
+            .scan_shard_pruned(shard, &|_| false, &mut |_, _| seen += 1)
+            .unwrap();
+        assert_eq!(seen, 0);
+        // Header iteration agrees.
+        assert_eq!(reader.block_headers(shard).unwrap().count(), 0);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pruned_scan_where_every_block_is_pruned_skips_all_payloads() {
+    use lash_core::ShardedCorpus;
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 120);
+    let dir = temp_dir("pruned-all");
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(2))
+        .with_block_budget(48);
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    // No item is ever relevant: every block's sketch proves it away, so the
+    // scan decodes zero payloads but still walks (and length-checks) the
+    // whole segment.
+    for shard in 0..ShardedCorpus::num_shards(&reader) {
+        let mut seen = 0u64;
+        reader
+            .scan_shard_pruned(shard, &|_| false, &mut |_, _| seen += 1)
+            .unwrap();
+        assert_eq!(seen, 0);
+        let reject = |_: &lash_store::BlockHeader| false;
+        let mut scan = reader.scan_shard_filtered(shard, &reject).unwrap();
+        assert!(scan.next_batch().unwrap().is_none());
+        assert_eq!(scan.blocks_decoded(), 0);
+        assert_eq!(scan.blocks_pruned(), reader.manifest().shards[shard].blocks);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pruned_scan_without_sketches_degrades_to_a_full_scan() {
+    use lash_core::ShardedCorpus;
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 90);
+    let dir = temp_dir("pruned-nosketches");
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(2))
+        .with_block_budget(48)
+        .with_sketches(false);
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    // A second generation, so the degradation also covers chained scans.
+    let mut incr = lash_store::IncrementalWriter::open(&dir).unwrap();
+    incr.append(&[items[0], items[2]]).unwrap();
+    incr.finish().unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    assert!(!reader.manifest().sketches);
+    // Sketch-less corpora cannot prove any block irrelevant: even an
+    // always-false predicate must deliver every sequence, never skip data.
+    let mut seen = 0u64;
+    for shard in 0..ShardedCorpus::num_shards(&reader) {
+        reader
+            .scan_shard_pruned(shard, &|_| false, &mut |_, _| seen += 1)
+            .unwrap();
+    }
+    assert_eq!(seen, db.len() as u64 + 1);
+    // And the header-only f-list is unavailable, not wrong.
+    assert!(reader.flist().unwrap().is_none());
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

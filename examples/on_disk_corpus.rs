@@ -26,10 +26,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_partitioning(Partitioning::hash(8))
         .with_block_budget(64 * 1024);
     let manifest = lash::store::convert::write_database(&dir, &vocab, &db, opts)?;
-    let on_disk: u64 = std::fs::read_dir(&dir)?
-        .filter_map(|e| e.ok()?.metadata().ok())
-        .map(|m| m.len())
-        .sum();
+    // Walk the corpus recursively: segment files live in generation dirs.
+    let mut on_disk = 0u64;
+    let mut stack = vec![dir.clone()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                on_disk += path.metadata()?.len();
+            }
+        }
+    }
     println!(
         "persisted {} sessions / {} items into {} shards, {} blocks, {} KiB on disk",
         manifest.num_sequences,

@@ -16,9 +16,11 @@
 //! * [`encoding`] — the wire-format codecs;
 //! * [`datagen`] — deterministic synthetic corpora mirroring the paper's
 //!   NYT and AMZN workloads;
-//! * [`store`] — the partitioned, compressed on-disk sequence corpus
-//!   (write once with [`store::CorpusWriter`], reopen cold with
-//!   [`store::CorpusReader`], mine straight from storage).
+//! * [`store`] — the partitioned, compressed on-disk sequence corpus built
+//!   from sealed segment generations (create with [`store::CorpusWriter`],
+//!   append batches with [`store::IncrementalWriter`], compact with
+//!   [`store::compact`], reopen cold with [`store::CorpusReader`], mine
+//!   straight from storage).
 //!
 //! ## Quick start
 //!

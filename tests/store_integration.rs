@@ -195,3 +195,60 @@ fn sketchless_corpus_falls_back_to_scan_preprocessing() {
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn incrementally_grown_corpus_mines_like_a_rewritten_one() {
+    // The facade-level lifecycle: grow a corpus in three sealed
+    // generations, mine it with the distributed job, compact, mine again —
+    // and always match the result of a corpus written in one shot.
+    let (vocab, db) = small_text();
+    let params = GsmParams::new(8, 1, 3).unwrap();
+
+    let oneshot_dir = temp_dir("gen-oneshot");
+    let opts = || StoreOptions::default().with_partitioning(Partitioning::hash(4));
+    lash::store::convert::write_database(&oneshot_dir, &vocab, &db, opts()).unwrap();
+    let oneshot = CorpusReader::open(&oneshot_dir).unwrap();
+    let want = {
+        let r = oneshot.mine(&Lash::default(), &params).unwrap();
+        named(r.pattern_set(), r.context(), oneshot.vocabulary())
+    };
+
+    let grown_dir = temp_dir("gen-grown");
+    let third = db.len() / 3;
+    let mut writer = lash::store::CorpusWriter::create(&grown_dir, &vocab, opts()).unwrap();
+    for i in 0..third {
+        writer.append(db.get(i)).unwrap();
+    }
+    writer.finish().unwrap();
+    for range in [third..2 * third, 2 * third..db.len()] {
+        let mut incr = lash::store::IncrementalWriter::open(&grown_dir).unwrap();
+        for i in range {
+            incr.append(db.get(i)).unwrap();
+        }
+        incr.finish().unwrap();
+    }
+
+    let grown = CorpusReader::open(&grown_dir).unwrap();
+    assert_eq!(grown.len(), db.len() as u64);
+    let got = {
+        let r = grown.mine(&Lash::default(), &params).unwrap();
+        named(r.pattern_set(), r.context(), grown.vocabulary())
+    };
+    assert_eq!(got, want, "generation-grown corpus mined differently");
+
+    lash::store::compact::compact(
+        &grown_dir,
+        &lash::store::CompactionConfig::default().with_max_generations(1),
+    )
+    .unwrap();
+    let compacted = CorpusReader::open(&grown_dir).unwrap();
+    assert_eq!(compacted.num_generations(), 1);
+    let got = {
+        let r = compacted.mine(&Lash::default(), &params).unwrap();
+        named(r.pattern_set(), r.context(), compacted.vocabulary())
+    };
+    assert_eq!(got, want, "compacted corpus mined differently");
+
+    std::fs::remove_dir_all(&oneshot_dir).unwrap();
+    std::fs::remove_dir_all(&grown_dir).unwrap();
+}
