@@ -1,8 +1,9 @@
-//! Microbenchmarks of the wire-format codecs: varint encode/decode and the
-//! blank-aware sequence codec used by the shuffle.
+//! Microbenchmarks of the wire-format codecs: varint and group-varint
+//! encode/decode, the blank-aware sequence codec used by the shuffle, and
+//! the frame checksums.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use lash_encoding::{decode_sequence, encode_sequence, varint, BLANK};
+use lash_encoding::{decode_sequence, encode_sequence, frame, group_varint, varint, BLANK};
 
 fn varint_roundtrip(c: &mut Criterion) {
     let values: Vec<u32> = (0..1024u32)
@@ -60,5 +61,74 @@ fn sequence_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, varint_roundtrip, sequence_codec);
+fn group_varint_kernel(c: &mut Criterion) {
+    // Store-shaped data: mostly small (frequent) ids with a rare-item tail.
+    let values: Vec<u32> = (0..65_536u32)
+        .map(|i| {
+            let h = i.wrapping_mul(2_654_435_761);
+            match h % 16 {
+                0..=9 => h % 128,
+                10..=13 => h % 8_192,
+                14 => h % 2_000_000,
+                _ => h,
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("group_varint");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("encode_64k", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            group_varint::encode(black_box(&values), &mut buf);
+            black_box(buf.len())
+        });
+    });
+    let mut encoded = Vec::new();
+    group_varint::encode(&values, &mut encoded);
+    group.bench_function("decode_64k", |b| {
+        let mut out = vec![0u32; values.len()];
+        b.iter(|| {
+            let n = group_varint::decode(black_box(&encoded), &mut out).unwrap();
+            black_box((n, out[out.len() - 1]))
+        });
+    });
+    // The byte-at-a-time baseline the wide kernel replaces.
+    let mut varint_encoded = Vec::new();
+    for &v in &values {
+        varint::encode_u32(v, &mut varint_encoded);
+    }
+    group.bench_function("varint_decode_64k_baseline", |b| {
+        b.iter(|| {
+            let mut reader = varint::VarintReader::new(&varint_encoded);
+            let mut sum = 0u64;
+            while !reader.is_empty() {
+                sum += reader.read_u32().unwrap() as u64;
+            }
+            black_box(sum)
+        });
+    });
+    group.finish();
+}
+
+fn frame_checksums(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..256 * 1024usize).map(|i| (i * 131) as u8).collect();
+    let mut group = c.benchmark_group("frame_checksum");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("fnv1a_256k", |b| {
+        b.iter(|| black_box(frame::checksum(black_box(&payload))));
+    });
+    group.bench_function("fnv1a_wide_256k", |b| {
+        b.iter(|| black_box(frame::checksum_wide(black_box(&payload))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    varint_roundtrip,
+    sequence_codec,
+    group_varint_kernel,
+    frame_checksums
+);
 criterion_main!(benches);

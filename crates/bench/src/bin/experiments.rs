@@ -21,7 +21,7 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
-use lash_bench::experiments::{ablation, compaction, fig4, fig5, fig6, tables};
+use lash_bench::experiments::{ablation, compaction, decode, fig4, fig5, fig6, tables};
 use lash_bench::{Datasets, Report};
 
 fn main() {
@@ -29,6 +29,7 @@ fn main() {
     let mut commands: BTreeSet<String> = BTreeSet::new();
     let mut scale = 1.0f64;
     let mut out: Option<PathBuf> = Some(PathBuf::from("bench_results"));
+    let mut baseline: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -40,6 +41,12 @@ fn main() {
             "--out" => {
                 out = Some(PathBuf::from(
                     args.next().unwrap_or_else(|| die("--out expects a path")),
+                ));
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--baseline expects a path")),
                 ));
             }
             "--no-csv" => out = None,
@@ -65,7 +72,8 @@ fn main() {
 
     let started = std::time::Instant::now();
     let mut datasets = Datasets::new(scale);
-    let mut report = Report::new(out);
+    let mut report = Report::new(out.clone());
+    let mut bench_ok = true;
     println!(
         "LASH experiment harness — scale {scale}, host threads {}\n",
         std::thread::available_parallelism()
@@ -106,6 +114,14 @@ fn main() {
             "fig6c" => fig6::fig6c(&mut datasets, &mut report),
             "ablation" => ablation::ablation(&mut datasets, &mut report),
             "compaction" => compaction::compaction(&mut datasets, &mut report),
+            "decode" => {
+                bench_ok &= decode::decode(
+                    &mut datasets,
+                    &mut report,
+                    out.as_deref(),
+                    baseline.as_deref(),
+                );
+            }
             other => die(&format!("unknown subcommand {other}; see --help")),
         }
     }
@@ -114,6 +130,10 @@ fn main() {
         report.tables.len(),
         started.elapsed().as_secs_f64()
     );
+    if !bench_ok {
+        eprintln!("error: benchmark regression check failed");
+        std::process::exit(1);
+    }
 }
 
 const ALL: &[&str] = &[
@@ -133,6 +153,7 @@ const ALL: &[&str] = &[
     "fig6c",
     "ablation",
     "compaction",
+    "decode",
 ];
 
 const HELP: &str = "\
@@ -150,12 +171,16 @@ subcommands:
   fig6a fig6b fig6c                          data / strong / weak scaling
   ablation                                   rewrites, aggregation, PSM index
   compaction                                 scan throughput vs. generation count
+  decode                                     block-decode throughput by payload codec
+                                             (writes BENCH_decode.json to --out)
   all                                        everything
 
 options:
-  --scale F    dataset scale factor (default 1.0, about 20k sequences)
-  --out DIR    CSV output directory (default bench_results/)
-  --no-csv     disable CSV output
+  --scale F         dataset scale factor (default 1.0, about 20k sequences)
+  --out DIR         CSV output directory (default bench_results/)
+  --baseline FILE   compare `decode` against a baseline BENCH_decode.json and
+                    fail on >15% throughput regression (the CI bench gate)
+  --no-csv          disable CSV output
 ";
 
 fn die(msg: &str) -> ! {

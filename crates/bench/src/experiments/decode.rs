@@ -1,0 +1,208 @@
+//! Block-decode throughput: the format-v2 varint record stream vs. the
+//! format-v3 group-varint columnar layout, on the same corpus.
+//!
+//! This is the perf-tracking experiment behind CI's `bench-regression`
+//! leg: it writes its measurements to `BENCH_decode.json` (uploaded as a
+//! build artifact) and, when given `--baseline <json>`, fails the run if
+//! block-decode throughput regressed more than [`REGRESSION_TOLERANCE`]
+//! against the checked-in numbers. To refresh the baseline after an
+//! intentional change (or a runner-class change), copy the artifact over
+//! `crates/bench/baselines/BENCH_decode.json`.
+//!
+//! The corpora are written sketchless so the number isolates block
+//! *payload* decode — header sketches are a separate, codec-independent
+//! cost tracked by the `store_flist` bench group.
+
+use std::path::Path;
+use std::time::Instant;
+
+use lash_store::{CorpusReader, Partitioning, PayloadCodec, StoreOptions};
+
+use crate::report::{Report, Table};
+use crate::Datasets;
+use lash_datagen::TextHierarchy;
+
+const SHARDS: u32 = 4;
+const SCAN_ITERS: u32 = 7;
+
+/// Allowed relative throughput drop against the baseline before the run
+/// fails (the CI gate's contract: >15% regression is a failure).
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// One codec's measurements.
+struct Measurement {
+    melems: f64,
+    payload_bytes: u64,
+    blocks: u64,
+}
+
+/// Full-corpus batched scan (page-cache-hot after the first pass, so the
+/// time is decode-bound); returns the best of [`SCAN_ITERS`] passes.
+fn measure(reader: &CorpusReader) -> Measurement {
+    let mut best = f64::MAX;
+    let mut items = 0u64;
+    for _ in 0..SCAN_ITERS {
+        items = 0;
+        let started = Instant::now();
+        for shard in 0..reader.num_shards() {
+            let mut scan = reader.scan_shard(shard).expect("open shard scan");
+            while let Some(batch) = scan.next_batch().expect("scan batch") {
+                items += batch.arena().len() as u64;
+            }
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    Measurement {
+        melems: items as f64 / best / 1e6,
+        payload_bytes: reader
+            .manifest()
+            .shards
+            .iter()
+            .map(|s| s.payload_bytes)
+            .sum(),
+        blocks: reader.manifest().shards.iter().map(|s| s.blocks).sum(),
+    }
+}
+
+/// Extracts `"key": <number>` from a flat JSON object — enough for the
+/// files this experiment writes itself (the repo is offline; no JSON dep).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Runs the decode experiment; returns `false` when a baseline was given
+/// and the measured throughput regressed beyond tolerance.
+pub fn decode(
+    datasets: &mut Datasets,
+    report: &mut Report,
+    json_out: Option<&Path>,
+    baseline: Option<&Path>,
+) -> bool {
+    // LASH_FORCE_CODEC overrides StoreOptions::with_codec everywhere, so
+    // under it both corpora would silently get the same codec: the row
+    // labeled v3 would measure the forced codec and the baseline gate
+    // would fail with a bogus regression. Refuse to produce mislabeled
+    // numbers instead.
+    if std::env::var(lash_store::FORCE_CODEC_ENV).is_ok_and(|v| !v.trim().is_empty()) {
+        eprintln!(
+            "error: {} is set — it overrides the per-corpus codec, so the v2-vs-v3 \
+             comparison would be meaningless; unset it to run `decode`",
+            lash_store::FORCE_CODEC_ENV
+        );
+        return false;
+    }
+    let (vocab, db) = datasets.nyt_dataset(TextHierarchy::LP);
+    let scratch = datasets
+        .cache_dir()
+        .join(format!("decode-scratch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut table = Table::new(
+        "decode",
+        "block-decode throughput by payload codec (full batched scan)",
+        &["codec", "blocks", "payload MiB", "Melem/s", "speedup"],
+    );
+
+    let mut measured: Vec<(&str, Measurement)> = Vec::new();
+    for (label, codec) in [
+        ("v2", PayloadCodec::Varint),
+        ("v3", PayloadCodec::GroupVarint),
+    ] {
+        let dir = scratch.join(label);
+        let opts = StoreOptions::default()
+            .with_partitioning(Partitioning::hash(SHARDS))
+            .with_sketches(false)
+            .with_codec(codec);
+        lash_store::convert::write_database(&dir, &vocab, &db, opts).expect("write corpus");
+        let reader = CorpusReader::open(&dir).expect("open corpus");
+        measured.push((label, measure(&reader)));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let v2 = &measured[0].1;
+    let v3 = &measured[1].1;
+    let speedup = v3.melems / v2.melems;
+    for (label, m) in &measured {
+        table.row(vec![
+            (*label).to_string(),
+            m.blocks.to_string(),
+            format!("{:.2}", m.payload_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.1}", m.melems),
+            if *label == "v3" {
+                format!("{speedup:.2}x")
+            } else {
+                "1.00x".to_string()
+            },
+        ]);
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"lash-bench-decode/v1\",\n  \"decode_melems_v2\": {:.2},\n  \
+         \"decode_melems_v3\": {:.2},\n  \"speedup_v3_over_v2\": {:.3},\n  \
+         \"payload_bytes_v2\": {},\n  \"payload_bytes_v3\": {}\n}}\n",
+        v2.melems, v3.melems, speedup, v2.payload_bytes, v3.payload_bytes
+    );
+    if let Some(dir) = json_out {
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join("BENCH_decode.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    report.add(table);
+
+    let mut ok = true;
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(path) {
+            Ok(base) => {
+                for (key, current) in [
+                    ("decode_melems_v2", v2.melems),
+                    ("decode_melems_v3", v3.melems),
+                ] {
+                    let Some(expected) = json_number(&base, key) else {
+                        eprintln!("error: baseline {} lacks key {key}", path.display());
+                        ok = false;
+                        continue;
+                    };
+                    let floor = expected * (1.0 - REGRESSION_TOLERANCE);
+                    if current < floor {
+                        eprintln!(
+                            "error: {key} regressed: {current:.1} Melem/s < {floor:.1} \
+                             (baseline {expected:.1} − {:.0}% tolerance)",
+                            REGRESSION_TOLERANCE * 100.0
+                        );
+                        ok = false;
+                    } else {
+                        println!("baseline check: {key} {current:.1} Melem/s >= {floor:.1} — ok");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_number;
+
+    #[test]
+    fn flat_json_numbers_parse() {
+        let json = "{\n  \"a\": 12.5,\n  \"b_c\": 3,\n  \"neg\": -1.25e2\n}";
+        assert_eq!(json_number(json, "a"), Some(12.5));
+        assert_eq!(json_number(json, "b_c"), Some(3.0));
+        assert_eq!(json_number(json, "neg"), Some(-125.0));
+        assert_eq!(json_number(json, "missing"), None);
+    }
+}

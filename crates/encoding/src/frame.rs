@@ -15,6 +15,14 @@
 //! a truncated file ends with an incomplete frame and is reported as
 //! [`DecodeError::UnexpectedEof`]; a flipped bit fails the checksum and is
 //! reported as [`DecodeError::Corrupt`]. Decoders never panic on garbage.
+//!
+//! Two checksum flavors share the frame layout ([`FrameChecksum`]): the
+//! original byte-at-a-time FNV-1a-32, and a word-at-a-time variant
+//! ([`checksum_wide`]) that folds eight bytes per multiply — roughly an
+//! order of magnitude faster to verify, which matters once block *decoding*
+//! is no longer the scan bottleneck. A stream's flavor is fixed by its
+//! container format (`lash-store` format-v3 segments use the wide flavor
+//! for block frames), not self-described, so the layout stays identical.
 
 use std::io::{self, Read, Write};
 
@@ -34,6 +42,50 @@ pub fn checksum(bytes: &[u8]) -> u32 {
         h = h.wrapping_mul(0x0100_0193);
     }
     h
+}
+
+/// Word-wise FNV-1a-64 folded to 32 bits: the payload is consumed as
+/// little-endian `u64` words (the tail zero-padded), the byte length is
+/// mixed in last so zero-padding cannot alias, and the halves of the final
+/// state are XOR-folded. One multiply per eight bytes instead of one per
+/// byte — the verification-side twin of the wide decode kernel.
+#[inline]
+pub fn checksum_wide(bytes: &[u8]) -> u32 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = (h ^ word).wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(tail)).wrapping_mul(PRIME);
+    }
+    h = (h ^ bytes.len() as u64).wrapping_mul(PRIME);
+    ((h >> 32) ^ h) as u32
+}
+
+/// Which checksum a frame stream uses (the layout is identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameChecksum {
+    /// Byte-at-a-time FNV-1a-32 — the original flavor; all pre-v3 streams.
+    #[default]
+    Fnv1a,
+    /// Word-at-a-time [`checksum_wide`] — `lash-store` v3 block frames.
+    Fnv1aWide,
+}
+
+impl FrameChecksum {
+    #[inline]
+    fn compute(self, payload: &[u8]) -> u32 {
+        match self {
+            FrameChecksum::Fnv1a => checksum(payload),
+            FrameChecksum::Fnv1aWide => checksum_wide(payload),
+        }
+    }
 }
 
 /// Appends a frame wrapping `payload` to `buf`.
@@ -78,11 +130,20 @@ pub fn decode_frame(input: &[u8]) -> Result<(&[u8], usize), DecodeError> {
 
 /// Writes a frame wrapping `payload` to an [`io::Write`].
 pub fn write_frame(payload: &[u8], writer: &mut impl Write) -> io::Result<()> {
+    write_frame_with(payload, writer, FrameChecksum::Fnv1a)
+}
+
+/// Writes a frame wrapping `payload` with the given checksum flavor.
+pub fn write_frame_with(
+    payload: &[u8],
+    writer: &mut impl Write,
+    kind: FrameChecksum,
+) -> io::Result<()> {
     let mut prefix = Vec::with_capacity(varint::MAX_LEN_U32);
     varint::encode_u32(payload.len() as u32, &mut prefix);
     writer.write_all(&prefix)?;
     writer.write_all(payload)?;
-    writer.write_all(&checksum(payload).to_le_bytes())
+    writer.write_all(&kind.compute(payload).to_le_bytes())
 }
 
 /// Reads only a frame's varint length prefix, for callers that want to seek
@@ -150,13 +211,38 @@ pub enum FrameRead {
 /// [`DecodeError::UnexpectedEof`] mapped into `io::ErrorKind::UnexpectedEof`.
 /// Corruption is reported as `io::ErrorKind::InvalidData`.
 pub fn read_frame(reader: &mut impl Read) -> io::Result<FrameRead> {
+    let mut payload = Vec::new();
+    match read_frame_into(reader, &mut payload, FrameChecksum::Fnv1a)? {
+        Some(len) => {
+            payload.truncate(len);
+            Ok(FrameRead::Payload(payload))
+        }
+        None => Ok(FrameRead::Eof),
+    }
+}
+
+/// Reads one frame into a caller-owned buffer, verifying with the given
+/// checksum flavor; the hot-loop twin of [`read_frame`] — the buffer only
+/// grows, so a scan reading thousands of block frames allocates a handful
+/// of times total.
+///
+/// Returns `Ok(Some(len))` with the payload in `buf[..len]` (bytes past
+/// `len` are stale garbage from earlier frames), or `Ok(None)` at a clean
+/// end-of-stream.
+pub fn read_frame_into(
+    reader: &mut impl Read,
+    buf: &mut Vec<u8>,
+    kind: FrameChecksum,
+) -> io::Result<Option<usize>> {
     // Read the varint length byte-by-byte so we never consume past the frame.
     let Some(remaining) = read_frame_len(reader)? else {
-        return Ok(FrameRead::Eof);
+        return Ok(None);
     };
     let len = (remaining - 4) as usize;
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload).map_err(|e| {
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    reader.read_exact(&mut buf[..len]).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
             io::Error::new(io::ErrorKind::UnexpectedEof, "stream ended inside a frame")
         } else {
@@ -174,13 +260,13 @@ pub fn read_frame(reader: &mut impl Read) -> io::Result<FrameRead> {
             e
         }
     })?;
-    if u32::from_le_bytes(stored) != checksum(&payload) {
+    if u32::from_le_bytes(stored) != kind.compute(&buf[..len]) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "frame checksum mismatch",
         ));
     }
-    Ok(FrameRead::Payload(payload))
+    Ok(Some(len))
 }
 
 #[cfg(test)]
@@ -289,5 +375,74 @@ mod tests {
         assert_eq!(checksum(b""), 0x811c_9dc5);
         assert_eq!(checksum(b"lash"), checksum(b"lash"));
         assert_ne!(checksum(b"lash"), checksum(b"lasi"));
+    }
+
+    #[test]
+    fn wide_checksum_detects_flips_padding_and_length() {
+        // Deterministic.
+        assert_eq!(checksum_wide(b"lash"), checksum_wide(b"lash"));
+        // Single-bit flips anywhere change the sum (bijective multiply).
+        let payload: Vec<u8> = (0..37u8).collect();
+        let base = checksum_wide(&payload);
+        for i in 0..payload.len() {
+            let mut flipped = payload.clone();
+            flipped[i] ^= 0x40;
+            assert_ne!(checksum_wide(&flipped), base, "flip at {i}");
+        }
+        // Trailing zeros are not absorbed by the tail padding.
+        assert_ne!(checksum_wide(b"abc"), checksum_wide(b"abc\0"));
+        assert_ne!(checksum_wide(b""), checksum_wide(b"\0\0\0\0\0\0\0\0"));
+    }
+
+    #[test]
+    fn wide_frames_round_trip_and_reject_corruption() {
+        let mut buf = Vec::new();
+        write_frame_with(b"wide payload", &mut buf, FrameChecksum::Fnv1aWide).unwrap();
+        write_frame_with(b"", &mut buf, FrameChecksum::Fnv1aWide).unwrap();
+        let mut cursor = &buf[..];
+        let mut scratch = Vec::new();
+        let n = read_frame_into(&mut cursor, &mut scratch, FrameChecksum::Fnv1aWide)
+            .unwrap()
+            .unwrap();
+        assert_eq!(&scratch[..n], b"wide payload");
+        let n = read_frame_into(&mut cursor, &mut scratch, FrameChecksum::Fnv1aWide)
+            .unwrap()
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut scratch, FrameChecksum::Fnv1aWide).unwrap(),
+            None
+        );
+        // A wide frame read with the classic flavor (or flipped) fails.
+        let mut cursor = &buf[..];
+        assert!(read_frame_into(&mut cursor, &mut scratch, FrameChecksum::Fnv1a).is_err());
+        let mut corrupt = buf.clone();
+        corrupt[3] ^= 0x10;
+        let mut cursor = &corrupt[..];
+        assert!(read_frame_into(&mut cursor, &mut scratch, FrameChecksum::Fnv1aWide).is_err());
+    }
+
+    #[test]
+    fn read_frame_into_reuses_a_grow_only_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&[7u8; 100], &mut buf).unwrap();
+        write_frame(&[9u8; 10], &mut buf).unwrap();
+        let mut cursor = &buf[..];
+        let mut scratch = Vec::new();
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut scratch, FrameChecksum::Fnv1a).unwrap(),
+            Some(100)
+        );
+        let cap = scratch.capacity();
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut scratch, FrameChecksum::Fnv1a).unwrap(),
+            Some(10)
+        );
+        assert_eq!(&scratch[..10], &[9u8; 10]);
+        assert_eq!(
+            scratch.capacity(),
+            cap,
+            "no reallocation for smaller frames"
+        );
     }
 }

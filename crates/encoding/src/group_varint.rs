@@ -1,0 +1,537 @@
+//! Group varint: a SIMD-friendly block codec for `u32` streams.
+//!
+//! Plain LEB128 varints (the [`crate::varint`] module) decode one *byte* at
+//! a time: every byte's continuation bit feeds a branch, so a scan-side
+//! decoder retires a handful of bytes per mispredict. Group varint — the
+//! layout popularized by Jeff Dean's "Challenges in Building Large-Scale
+//! Information Retrieval Systems" talk and used by search engines ever
+//! since — moves all length information into a *control byte* shared by
+//! four values, so the decode loop is branch-free: one 256-entry table
+//! lookup yields the four byte-lengths, four masked little-endian loads
+//! yield the values.
+//!
+//! ## Layout
+//!
+//! A stream of `n` values is split into ⌈n/4⌉ **groups**. Each group is:
+//!
+//! ```text
+//! ┌─────────┬──────────────┬──────────────┬──────────────┬──────────────┐
+//! │ control │ value 0      │ value 1      │ value 2      │ value 3      │
+//! │ 1 byte  │ 1–4 bytes LE │ 1–4 bytes LE │ 1–4 bytes LE │ 1–4 bytes LE │
+//! └─────────┴──────────────┴──────────────┴──────────────┴──────────────┘
+//! ```
+//!
+//! Bits `2i..2i+2` of the control byte hold `len(value i) - 1`, so a group
+//! occupies `1 + len₀ + len₁ + len₂ + len₃` ∈ 5..=17 bytes. When `n` is not
+//! a multiple of four, the final group is **zero-padded**: the missing
+//! values are encoded as `0` (length 1, one `0x00` byte). The decoder knows
+//! `n` and verifies the padding is exactly that, so the encoding of any
+//! value slice is unique (encode∘decode and decode∘encode are identities).
+//!
+//! ## Blank-run escape ([`encode_runs`]/[`decode_runs`])
+//!
+//! Rewritten LASH sequences are full of blank runs (see [`crate::rle`]),
+//! which would otherwise cost one group slot per blank. The run layer keeps
+//! the wide kernel intact by segmenting the stream into tagged runs:
+//!
+//! ```text
+//! stream := run*
+//! run    := varint((len << 1) | 1)                      // len ≥ 1 blanks
+//!         | varint((len << 1) | 0)  group-varint(len)   // len ≥ 1 literals
+//! ```
+//!
+//! A literal run is a maximal stretch of non-blank values, so decoding a
+//! blank-free stream is one tag read followed by one uninterrupted wide
+//! decode. Blank values inside a literal run are structurally impossible
+//! (the encoder escapes them; the decoder rejects them), which makes
+//! corruption of the run structure detectable.
+
+use crate::varint;
+use crate::DecodeError;
+
+/// Values per control byte.
+pub const GROUP_SIZE: usize = 4;
+
+/// Maximum encoded size of one group (control byte + four 4-byte values).
+pub const MAX_GROUP_LEN: usize = 1 + 4 * GROUP_SIZE;
+
+/// Value masks by byte length (index 1..=4).
+const MASKS: [u32; 5] = [0, 0xff, 0xffff, 0x00ff_ffff, 0xffff_ffff];
+
+/// Per-control-byte decode tables: the four value lengths and their sum.
+/// Built at compile time; the decode hot loop is one lookup + four masked
+/// loads per group, no data-dependent branches.
+const LEN_TABLE: [[u8; GROUP_SIZE]; 256] = build_len_table();
+const TOTAL_TABLE: [u8; 256] = build_total_table();
+
+const fn build_len_table() -> [[u8; GROUP_SIZE]; 256] {
+    let mut table = [[0u8; GROUP_SIZE]; 256];
+    let mut ctrl = 0usize;
+    while ctrl < 256 {
+        let mut i = 0;
+        while i < GROUP_SIZE {
+            table[ctrl][i] = ((ctrl >> (2 * i)) & 0b11) as u8 + 1;
+            i += 1;
+        }
+        ctrl += 1;
+    }
+    table
+}
+
+const fn build_total_table() -> [u8; 256] {
+    let lens = build_len_table();
+    let mut table = [0u8; 256];
+    let mut ctrl = 0usize;
+    while ctrl < 256 {
+        table[ctrl] = lens[ctrl][0] + lens[ctrl][1] + lens[ctrl][2] + lens[ctrl][3];
+        ctrl += 1;
+    }
+    table
+}
+
+/// Number of data bytes (1..=4) the group encoding of `value` occupies.
+#[inline]
+pub fn bytes_for(value: u32) -> usize {
+    (32 - (value | 1).leading_zeros()).div_ceil(8) as usize
+}
+
+/// Exact encoded size of [`encode`]`(values)`, including tail padding.
+pub fn encoded_len(values: &[u32]) -> usize {
+    if values.is_empty() {
+        return 0;
+    }
+    let groups = values.len().div_ceil(GROUP_SIZE);
+    let padding = groups * GROUP_SIZE - values.len();
+    groups + values.iter().map(|&v| bytes_for(v)).sum::<usize>() + padding
+}
+
+/// Encodes one full group of four values.
+#[inline]
+fn encode_group(group: &[u32; GROUP_SIZE], buf: &mut Vec<u8>) {
+    let mut ctrl = 0u8;
+    for (i, &v) in group.iter().enumerate() {
+        ctrl |= ((bytes_for(v) - 1) as u8) << (2 * i);
+    }
+    buf.push(ctrl);
+    for &v in group {
+        buf.extend_from_slice(&v.to_le_bytes()[..bytes_for(v)]);
+    }
+}
+
+/// Appends the group-varint encoding of `values` to `buf` (see the module
+/// docs for the layout). An empty slice encodes to nothing.
+pub fn encode(values: &[u32], buf: &mut Vec<u8>) {
+    let mut chunks = values.chunks_exact(GROUP_SIZE);
+    for chunk in &mut chunks {
+        let group: &[u32; GROUP_SIZE] = chunk.try_into().expect("exact chunk");
+        encode_group(group, buf);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut group = [0u32; GROUP_SIZE];
+        group[..rem.len()].copy_from_slice(rem);
+        encode_group(&group, buf);
+    }
+}
+
+/// Decodes exactly `out.len()` values from the front of `input`, returning
+/// the number of bytes consumed.
+///
+/// The hot path is the wide kernel: while at least 16 data bytes remain it
+/// performs four masked `u32` little-endian loads per control byte, no
+/// per-value branches. Near the end of the input it falls back to a scalar
+/// byte-assembly loop so no read ever leaves the slice. Errors are typed:
+/// truncation surfaces as [`DecodeError::UnexpectedEof`], nonzero tail
+/// padding as [`DecodeError::Corrupt`].
+pub fn decode(input: &[u8], out: &mut [u32]) -> Result<usize, DecodeError> {
+    let n = out.len();
+    let mut pos = 0usize;
+    let mut i = 0usize;
+    while i + GROUP_SIZE <= n {
+        let Some(&ctrl) = input.get(pos) else {
+            return Err(DecodeError::UnexpectedEof);
+        };
+        let lens = &LEN_TABLE[ctrl as usize];
+        let total = TOTAL_TABLE[ctrl as usize] as usize;
+        if let Some(data) = input.get(pos + 1..pos + 1 + 4 * GROUP_SIZE) {
+            // Wide kernel: each value is a full 4-byte load masked down to
+            // its length; the load may graze bytes of the *next* value (or
+            // group), which the 16-byte window guarantees are in bounds.
+            let window: &[u8; 4 * GROUP_SIZE] = data.try_into().expect("16-byte window");
+            let dst = &mut out[i..i + GROUP_SIZE];
+            let mut off = 0usize;
+            for (k, slot) in dst.iter_mut().enumerate() {
+                let len = lens[k] as usize;
+                let word = u32::from_le_bytes([
+                    window[off],
+                    window[off + 1],
+                    window[off + 2],
+                    window[off + 3],
+                ]);
+                *slot = word & MASKS[len];
+                off += len;
+            }
+        } else {
+            decode_group_scalar(input, pos, lens, total, &mut out[i..i + GROUP_SIZE])?;
+        }
+        pos += 1 + total;
+        i += GROUP_SIZE;
+    }
+    let rem = n - i;
+    if rem > 0 {
+        let Some(&ctrl) = input.get(pos) else {
+            return Err(DecodeError::UnexpectedEof);
+        };
+        let lens = &LEN_TABLE[ctrl as usize];
+        let total = TOTAL_TABLE[ctrl as usize] as usize;
+        let mut group = [0u32; GROUP_SIZE];
+        decode_group_scalar(input, pos, lens, total, &mut group)?;
+        // The encoder pads the tail group with zero-length-1 values; accept
+        // exactly that, so every value slice has one unique encoding.
+        for (k, &v) in group.iter().enumerate().skip(rem) {
+            if lens[k] != 1 || v != 0 {
+                return Err(DecodeError::Corrupt("nonzero group-varint tail padding"));
+            }
+        }
+        out[i..].copy_from_slice(&group[..rem]);
+        pos += 1 + total;
+    }
+    Ok(pos)
+}
+
+/// Decodes one group reading exactly `total` data bytes — the bounds-exact
+/// fallback used near the end of the input and for the padded tail group.
+#[inline]
+fn decode_group_scalar(
+    input: &[u8],
+    pos: usize,
+    lens: &[u8; GROUP_SIZE],
+    total: usize,
+    out: &mut [u32],
+) -> Result<(), DecodeError> {
+    let Some(data) = input.get(pos + 1..pos + 1 + total) else {
+        return Err(DecodeError::UnexpectedEof);
+    };
+    let mut off = 0usize;
+    for (k, slot) in out.iter_mut().enumerate() {
+        let len = lens[k] as usize;
+        let mut v = 0u32;
+        for (b, &byte) in data[off..off + len].iter().enumerate() {
+            v |= (byte as u32) << (8 * b);
+        }
+        *slot = v;
+        off += len;
+    }
+    Ok(())
+}
+
+/// Maximum values in one run of the [`encode_runs`] stream. The encoder
+/// splits longer runs; the decoder rejects longer claims as corruption.
+/// The *cumulative* allocation bound is the caller's `max_len` argument to
+/// [`decode_runs`] — a per-run cap alone would still let a stream of many
+/// blank-run tags amplify a few input bytes into gigabytes of output.
+pub const MAX_RUN_LEN: usize = 1 << 24;
+
+/// Encodes `values`, which may contain the `blank` sentinel, as a tagged
+/// run stream (see the module docs): maximal blank runs become a single
+/// varint tag, maximal literal stretches become one group-varint block.
+/// Runs longer than [`MAX_RUN_LEN`] are split.
+pub fn encode_runs(values: &[u32], blank: u32, buf: &mut Vec<u8>) {
+    let mut rest = values;
+    while !rest.is_empty() {
+        if rest[0] == blank {
+            let run = rest
+                .iter()
+                .take_while(|&&v| v == blank)
+                .count()
+                .min(MAX_RUN_LEN);
+            varint::encode_u64(((run as u64) << 1) | 1, buf);
+            rest = &rest[run..];
+        } else {
+            let run = rest
+                .iter()
+                .take_while(|&&v| v != blank)
+                .count()
+                .min(MAX_RUN_LEN);
+            varint::encode_u64((run as u64) << 1, buf);
+            encode(&rest[..run], buf);
+            rest = &rest[run..];
+        }
+    }
+}
+
+/// Decodes a stream written by [`encode_runs`], consuming the entire input
+/// and appending to `out`.
+///
+/// `max_len` is the caller's upper bound on the number of decoded values
+/// (containers carry the count out of band, exactly like [`decode`]'s
+/// `out.len()`); a stream claiming more is rejected as corruption before
+/// anything is allocated. Blank-run tags amplify — four input bytes can
+/// claim [`MAX_RUN_LEN`] values — so without this cumulative bound a tiny
+/// hostile input could still grow `out` by gigabytes one capped run at a
+/// time.
+pub fn decode_runs(
+    input: &[u8],
+    blank: u32,
+    out: &mut Vec<u32>,
+    max_len: usize,
+) -> Result<(), DecodeError> {
+    let mut pos = 0usize;
+    let mut remaining = max_len;
+    while pos < input.len() {
+        let (tag, n) = varint::decode_u64(&input[pos..])?;
+        pos += n;
+        if tag >> 1 > MAX_RUN_LEN as u64 {
+            return Err(DecodeError::Corrupt("run length exceeds maximum"));
+        }
+        let run = (tag >> 1) as usize;
+        if run == 0 {
+            return Err(DecodeError::Corrupt("zero-length run"));
+        }
+        if run > remaining {
+            return Err(DecodeError::Corrupt(
+                "run stream exceeds declared value count",
+            ));
+        }
+        remaining -= run;
+        if tag & 1 == 1 {
+            out.extend(std::iter::repeat_n(blank, run));
+        } else {
+            // A literal run of `run` values occupies at least one data byte
+            // per value plus one control byte per group; refuse the claim
+            // before allocating if the input cannot possibly hold it.
+            let min_bytes = run + run.div_ceil(GROUP_SIZE);
+            if input.len() - pos < min_bytes {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            let start = out.len();
+            out.resize(start + run, 0);
+            pos += decode(&input[pos..], &mut out[start..start + run])?;
+            if out[start..].contains(&blank) {
+                return Err(DecodeError::Corrupt("unescaped blank in literal run"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[u32]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode(values, &mut buf);
+        assert_eq!(buf.len(), encoded_len(values), "encoded_len for {values:?}");
+        let mut out = vec![0u32; values.len()];
+        let consumed = decode(&buf, &mut out).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(out, values);
+        buf
+    }
+
+    #[test]
+    fn round_trips_representative_streams() {
+        round_trip(&[]);
+        round_trip(&[0]);
+        round_trip(&[1, 2, 3]);
+        round_trip(&[0, 255, 256, 65_535]);
+        round_trip(&[65_536, 1 << 24, u32::MAX, 7, 1, 0, 300, 70_000, 9]);
+        round_trip(
+            &(0..97u32)
+                .map(|i| i.wrapping_mul(2_654_435_761))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn layout_matches_documentation() {
+        // Four values of widths 1, 2, 3, 4: control byte 0b11_10_01_00,
+        // then the little-endian bytes back to back.
+        let values = [0x05, 0x1234, 0x0abcde, 0xdead_beef];
+        let mut buf = Vec::new();
+        encode(&values, &mut buf);
+        assert_eq!(
+            buf,
+            [
+                0b11_10_01_00,
+                0x05,
+                0x34,
+                0x12,
+                0xde,
+                0xbc,
+                0x0a,
+                0xef,
+                0xbe,
+                0xad,
+                0xde,
+            ]
+        );
+    }
+
+    #[test]
+    fn tail_group_is_zero_padded() {
+        // One value → control byte for (len 1, pad, pad, pad) + 1 data byte
+        // + 3 padding zero bytes.
+        let mut buf = Vec::new();
+        encode(&[7], &mut buf);
+        assert_eq!(buf, [0b00_00_00_00, 7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn rejects_nonzero_tail_padding() {
+        let mut buf = Vec::new();
+        encode(&[7, 8], &mut buf);
+        // Corrupt a padding byte.
+        let last = buf.len() - 1;
+        buf[last] = 1;
+        let mut out = [0u32; 2];
+        assert_eq!(
+            decode(&buf, &mut out),
+            Err(DecodeError::Corrupt("nonzero group-varint tail padding"))
+        );
+        // Widen a padding slot's length bits.
+        let mut buf2 = Vec::new();
+        encode(&[7, 8], &mut buf2);
+        buf2[0] |= 0b01 << 4;
+        buf2.push(0);
+        assert_eq!(
+            decode(&buf2, &mut out),
+            Err(DecodeError::Corrupt("nonzero group-varint tail padding"))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let values: Vec<u32> = (0..23).map(|i| i * 1_000_003).collect();
+        let mut buf = Vec::new();
+        encode(&values, &mut buf);
+        let mut out = vec![0u32; values.len()];
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode(&buf[..cut], &mut out),
+                Err(DecodeError::UnexpectedEof),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_reports_consumed_bytes_with_trailing_data() {
+        let values = [9u32, 300, 70_000, 5, 6];
+        let mut buf = Vec::new();
+        encode(&values, &mut buf);
+        let encoded = buf.len();
+        buf.extend_from_slice(&[0xde, 0xad]);
+        let mut out = vec![0u32; values.len()];
+        assert_eq!(decode(&buf, &mut out).unwrap(), encoded);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn runs_round_trip_blanks_and_literals() {
+        const B: u32 = u32::MAX;
+        for values in [
+            vec![],
+            vec![B, B, B],
+            vec![1, 2, 3, 4, 5],
+            vec![B, 1, B, B, 2, 3, B],
+            vec![0, B, 0, B, 0],
+        ] {
+            let mut buf = Vec::new();
+            encode_runs(&values, B, &mut buf);
+            let mut out = Vec::new();
+            decode_runs(&buf, B, &mut out, values.len()).unwrap();
+            assert_eq!(out, values, "values {values:?}");
+        }
+    }
+
+    #[test]
+    fn blank_runs_cost_one_tag() {
+        const B: u32 = u32::MAX;
+        let mut buf = Vec::new();
+        encode_runs(&[B; 1000], B, &mut buf);
+        assert_eq!(buf.len(), 2); // varint(1000 << 1 | 1)
+    }
+
+    #[test]
+    fn runs_reject_structural_corruption() {
+        const B: u32 = u32::MAX;
+        let mut out = Vec::new();
+        // Zero-length run tag.
+        assert_eq!(
+            decode_runs(&[0x00], B, &mut out, 64),
+            Err(DecodeError::Corrupt("zero-length run"))
+        );
+        // A literal run containing the blank sentinel: encode 4 values then
+        // flip one to BLANK by hand (width 4, value u32::MAX).
+        let mut buf = Vec::new();
+        varint::encode_u64(1 << 1, &mut buf);
+        encode(&[u32::MAX], &mut buf);
+        out.clear();
+        assert_eq!(
+            decode_runs(&buf, B, &mut out, 64),
+            Err(DecodeError::Corrupt("unescaped blank in literal run"))
+        );
+        // Truncated literal payload.
+        let mut buf = Vec::new();
+        encode_runs(&[1, 2, 3, 4, 5], B, &mut buf);
+        out.clear();
+        assert_eq!(
+            decode_runs(&buf[..buf.len() - 2], B, &mut out, 64),
+            Err(DecodeError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn runs_bound_decoder_allocations() {
+        const B: u32 = u32::MAX;
+        let mut out = Vec::new();
+        // A tiny input claiming an enormous blank run is corruption, not an
+        // allocation.
+        let mut buf = Vec::new();
+        varint::encode_u64(((MAX_RUN_LEN as u64 + 1) << 1) | 1, &mut buf);
+        assert_eq!(
+            decode_runs(&buf, B, &mut out, usize::MAX),
+            Err(DecodeError::Corrupt("run length exceeds maximum"))
+        );
+        // A tiny input claiming a large *literal* run cannot possibly hold
+        // it: rejected before the output is resized.
+        let mut buf = Vec::new();
+        varint::encode_u64(1_000_000u64 << 1, &mut buf);
+        buf.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            decode_runs(&buf, B, &mut out, usize::MAX),
+            Err(DecodeError::UnexpectedEof)
+        );
+        // The cumulative bound: many per-run-legal blank tags cannot amplify
+        // past the caller's declared value count.
+        let mut buf = Vec::new();
+        for _ in 0..4 {
+            varint::encode_u64((3u64 << 1) | 1, &mut buf);
+        }
+        out.clear();
+        assert_eq!(
+            decode_runs(&buf, B, &mut out, 10),
+            Err(DecodeError::Corrupt(
+                "run stream exceeds declared value count"
+            ))
+        );
+        assert!(out.len() <= 10, "decoder grew output past the declared cap");
+        out.clear();
+        decode_runs(&buf, B, &mut out, 12).unwrap();
+        assert_eq!(out, vec![B; 12]);
+    }
+
+    #[test]
+    fn bytes_for_matches_widths() {
+        assert_eq!(bytes_for(0), 1);
+        assert_eq!(bytes_for(255), 1);
+        assert_eq!(bytes_for(256), 2);
+        assert_eq!(bytes_for(65_535), 2);
+        assert_eq!(bytes_for(65_536), 3);
+        assert_eq!(bytes_for((1 << 24) - 1), 3);
+        assert_eq!(bytes_for(1 << 24), 4);
+        assert_eq!(bytes_for(u32::MAX), 4);
+    }
+}

@@ -7,6 +7,10 @@
 //! codecs:
 //!
 //! * [`varint`] — LEB128-style variable-length encoding of `u32`/`u64`,
+//! * [`group_varint`] — the wide, SIMD-friendly block codec: four `u32`s per
+//!   control byte with a table-driven branchless decode kernel, plus an
+//!   RLE-compatible blank-run escape; the payload codec of `lash-store`'s
+//!   format-v3 blocks,
 //! * [`zigzag`] — signed-to-unsigned mapping so small magnitudes stay short,
 //! * [`rle`] — run-length compression of blank runs inside rewritten sequences,
 //! * [`codec`] — the sequence codec combining the above, used as the wire format
@@ -23,12 +27,16 @@
 
 pub mod codec;
 pub mod frame;
+pub mod group_varint;
 pub mod rle;
 pub mod varint;
 pub mod zigzag;
 
 pub use codec::{decode_sequence, encode_sequence, SequenceCodec, BLANK};
-pub use frame::{decode_frame, encode_frame, read_frame, write_frame, FrameRead};
+pub use frame::{
+    decode_frame, encode_frame, read_frame, read_frame_into, write_frame, write_frame_with,
+    FrameChecksum, FrameRead,
+};
 pub use varint::{
     decode_u32, decode_u64, encode_u32, encode_u64, encoded_len_u32, encoded_len_u64,
 };

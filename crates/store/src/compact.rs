@@ -18,6 +18,12 @@
 //! sequence/item counts against the replaced generations before the swap —
 //! a merge that would drop or duplicate a sequence aborts with
 //! [`StoreError::Corrupt`] and the corpus stays on the old manifest.
+//!
+//! Because merged generations are re-encoded with the current payload codec
+//! (group varint / format v3 unless [`crate::FORCE_CODEC_ENV`] says
+//! otherwise), compaction doubles as an **in-place format migration**:
+//! compacting a format-v2 corpus down to one generation leaves only v3
+//! segments behind, with identical contents.
 
 use std::fs;
 use std::path::Path;
@@ -230,7 +236,7 @@ fn execute(
         fs::remove_dir_all(&tmp_dir)?;
     }
     let merged = merge_window(dir, manifest, vocab, window, new_id, &tmp_dir, config);
-    let merged = match merged {
+    let (merged, codec) = match merged {
         Ok(m) => m,
         Err(e) => {
             // The round failed before the swap: discard the staged files,
@@ -261,8 +267,11 @@ fn execute(
     };
 
     // Swap the manifest: the merged generation takes the window's place, so
-    // list order still equals sequence-id order.
+    // list order still equals sequence-id order. The version tracks the
+    // newest segment format present — never downgraded, bumped when the
+    // merge re-encoded old blocks with a newer codec.
     let mut new_manifest = manifest.clone();
+    new_manifest.version = manifest.version.max(codec.format_version());
     new_manifest
         .generations
         .splice(plan.start..plan.start + plan.len, [merged]);
@@ -286,7 +295,8 @@ fn execute(
 
 /// Streams every sequence of `window` (shard by shard, generation order)
 /// into a new segment set at `tmp_dir`, verifying no sequence was dropped
-/// or duplicated.
+/// or duplicated. Returns the merged generation's metadata and the codec
+/// it was encoded with.
 fn merge_window(
     dir: &Path,
     manifest: &Manifest,
@@ -295,10 +305,18 @@ fn merge_window(
     new_id: u32,
     tmp_dir: &Path,
     config: &CompactionConfig,
-) -> Result<GenerationMeta> {
+) -> Result<(GenerationMeta, crate::PayloadCodec)> {
     let num_shards = manifest.partitioning.num_shards();
-    let mut segments =
-        SegmentSetWriter::create(tmp_dir, num_shards, config.block_budget, manifest.sketches)?;
+    // Re-encode with the current codec: merging v2 generations produces a
+    // v3 generation, so compaction migrates old corpora as it compacts.
+    let codec = format::resolve_codec(crate::PayloadCodec::default());
+    let mut segments = SegmentSetWriter::create(
+        tmp_dir,
+        num_shards,
+        config.block_budget,
+        manifest.sketches,
+        codec,
+    )?;
     for shard in 0..num_shards {
         let paths = window
             .iter()
@@ -328,10 +346,13 @@ fn merge_window(
     let num_sequences = segments.sequences();
     let total_items = segments.total_items();
     let shards = segments.finish()?;
-    Ok(GenerationMeta {
-        id: new_id,
-        num_sequences,
-        total_items,
-        shards,
-    })
+    Ok((
+        GenerationMeta {
+            id: new_id,
+            num_sequences,
+            total_items,
+            shards,
+        },
+        codec,
+    ))
 }

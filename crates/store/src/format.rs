@@ -13,19 +13,131 @@
 //! decoder rejects any other version with
 //! [`StoreError::UnsupportedVersion`] *before* touching version-dependent
 //! fields, so a future format bump can never be misparsed as garbage.
+//!
+//! Format version 3 changes only the *block* encoding. A v3 block header
+//! opens with a payload-codec tag ([`PayloadCodec`]), and the
+//! [`PayloadCodec::GroupVarint`] payload is **columnar**: all sequence-id
+//! deltas, then all per-record lengths, then every record's items flattened
+//! into one contiguous group-varint stream — so a reader decodes a whole
+//! block with the wide kernel of [`lash_encoding::group_varint`] instead of
+//! parsing tokens byte by byte. Version 2 segments (per-record delta/varint
+//! payloads, no codec tag) remain fully readable; compaction rewrites them
+//! in the current codec, so `compact` doubles as a v2→v3 migration.
 
 use std::collections::BTreeMap;
 
 use lash_core::vocabulary::{ItemId, Vocabulary, VocabularyBuilder};
+use lash_encoding::group_varint;
 use lash_encoding::varint::{self, VarintReader};
 use lash_encoding::zigzag;
 
 use crate::{Result, StoreError};
 
-/// On-disk format version written by this crate. Version 2 introduced
-/// segment generations; version 1 (single flat segment set) is no longer
-/// written or read.
-pub const FORMAT_VERSION: u32 = 2;
+/// Newest on-disk format version written by this crate. Version 2
+/// introduced segment generations; version 3 introduced group-varint block
+/// payloads; version 1 (single flat segment set) is no longer written or
+/// read.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// Oldest format version this build still reads. Version-2 corpora open
+/// transparently (the reader dispatches on the per-segment version and the
+/// per-block codec tag) and migrate to version 3 through compaction.
+pub const MIN_FORMAT_VERSION: u32 = 2;
+
+/// Environment variable forcing the payload codec (and with it the written
+/// format version) of every segment written by this process: `v2` forces
+/// [`PayloadCodec::Varint`], `v3` forces [`PayloadCodec::GroupVarint`].
+/// Overrides [`crate::StoreOptions::codec`]; CI uses it to run every suite
+/// under both codecs. A set-but-unrecognized value panics — the variable
+/// exists to force test coverage, and a typo silently selecting the default
+/// would defeat exactly that.
+pub const FORCE_CODEC_ENV: &str = "LASH_FORCE_CODEC";
+
+/// The per-block payload encoding. Tagged in every v3 block header;
+/// version-2 blocks are implicitly [`PayloadCodec::Varint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PayloadCodec {
+    /// Format-v2 record stream: per record, a varint id delta, a varint
+    /// length, then delta/zigzag-varint item ids. Compact, but decoded one
+    /// byte at a time.
+    Varint,
+    /// Format-v3 columnar layout: varint id deltas, then a group-varint
+    /// lengths column, then all items as one contiguous group-varint
+    /// stream (see [`lash_encoding::group_varint`] for the group layout).
+    #[default]
+    GroupVarint,
+}
+
+impl PayloadCodec {
+    /// The codec's tag byte in v3 block headers.
+    pub fn tag(self) -> u32 {
+        match self {
+            PayloadCodec::Varint => 0,
+            PayloadCodec::GroupVarint => 1,
+        }
+    }
+
+    /// Decodes a v3 block-header codec tag.
+    pub(crate) fn from_tag(tag: u32) -> Result<Self> {
+        match tag {
+            0 => Ok(PayloadCodec::Varint),
+            1 => Ok(PayloadCodec::GroupVarint),
+            other => Err(StoreError::Corrupt(format!(
+                "unknown block payload codec tag {other}"
+            ))),
+        }
+    }
+
+    /// The segment/manifest format version segments written with this codec
+    /// carry: [`PayloadCodec::Varint`] writes byte-identical v2 segments,
+    /// [`PayloadCodec::GroupVarint`] writes v3.
+    pub fn format_version(self) -> u32 {
+        match self {
+            PayloadCodec::Varint => 2,
+            PayloadCodec::GroupVarint => 3,
+        }
+    }
+
+    /// Parses a [`FORCE_CODEC_ENV`] value; panics on anything but
+    /// `v2`/`v3` (see the constant's docs for why).
+    pub(crate) fn from_env_str(value: &str) -> PayloadCodec {
+        match value.trim() {
+            "v2" => PayloadCodec::Varint,
+            "v3" => PayloadCodec::GroupVarint,
+            other => panic!("{FORCE_CODEC_ENV}={other:?} is not a codec: expected v2 or v3"),
+        }
+    }
+}
+
+/// The frame-checksum flavor of a segment's block frames, by segment
+/// format version: v3 block frames use the word-wise
+/// [`lash_encoding::frame::checksum_wide`] (an order of magnitude cheaper
+/// to verify — once the wide decode kernel lands, byte-at-a-time FNV is
+/// what would dominate the scan), v2 frames keep the original FNV-1a-32.
+/// Segment *header* frames always use the classic flavor: they are read
+/// before the version is known.
+pub(crate) fn frame_checksum_for_version(version: u32) -> lash_encoding::FrameChecksum {
+    if version >= 3 {
+        lash_encoding::FrameChecksum::Fnv1aWide
+    } else {
+        lash_encoding::FrameChecksum::Fnv1a
+    }
+}
+
+/// Reads [`FORCE_CODEC_ENV`]; unset or empty means "no forced codec".
+pub(crate) fn codec_from_env() -> Option<PayloadCodec> {
+    let value = std::env::var(FORCE_CODEC_ENV).ok()?;
+    if value.trim().is_empty() {
+        return None;
+    }
+    Some(PayloadCodec::from_env_str(&value))
+}
+
+/// The codec a writer should actually use: the [`FORCE_CODEC_ENV`]
+/// override when set, otherwise `requested`.
+pub(crate) fn resolve_codec(requested: PayloadCodec) -> PayloadCodec {
+    codec_from_env().unwrap_or(requested)
+}
 
 /// Manifest file name inside a corpus directory.
 pub const MANIFEST_FILE: &str = "MANIFEST.lash";
@@ -282,7 +394,9 @@ pub(crate) fn decode_manifest_header(bytes: &[u8]) -> Result<(Manifest, u32)> {
     // Versions are rejected before any version-dependent field is read:
     // a newer manifest (written by a future build) must surface as
     // UnsupportedVersion, never be misparsed into a plausible Manifest.
-    if version != FORMAT_VERSION {
+    // Versions 2 and 3 share this manifest layout (v3 changed only the
+    // block encoding), so both parse identically from here on.
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion { found: version });
     }
     let tag = r.read_u32()?;
@@ -450,21 +564,25 @@ pub(crate) fn decode_generations(bytes: &[u8]) -> Result<Vec<GenerationMeta>> {
     Ok(generations)
 }
 
-/// Encodes a segment file's header frame payload.
-pub(crate) fn encode_segment_header(shard: u32, buf: &mut Vec<u8>) {
+/// Encodes a segment file's header frame payload for the given format
+/// version (2 or 3 — the writer derives it from its payload codec).
+pub(crate) fn encode_segment_header(shard: u32, version: u32, buf: &mut Vec<u8>) {
+    debug_assert!((MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version));
     buf.extend_from_slice(SEGMENT_MAGIC);
-    varint::encode_u32(FORMAT_VERSION, buf);
+    varint::encode_u32(version, buf);
     varint::encode_u32(shard, buf);
 }
 
-/// Decodes and validates a segment file's header frame payload.
-pub(crate) fn decode_segment_header(bytes: &[u8], expected_shard: u32) -> Result<()> {
+/// Decodes and validates a segment file's header frame payload; returns the
+/// segment's format version (2 or 3), which governs how its block headers
+/// are parsed.
+pub(crate) fn decode_segment_header(bytes: &[u8], expected_shard: u32) -> Result<u32> {
     if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
         return Err(StoreError::Corrupt("segment magic mismatch".into()));
     }
     let mut r = VarintReader::new(&bytes[SEGMENT_MAGIC.len()..]);
     let version = r.read_u32()?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion { found: version });
     }
     let shard = r.read_u32()?;
@@ -473,12 +591,17 @@ pub(crate) fn decode_segment_header(bytes: &[u8], expected_shard: u32) -> Result
             "segment header names shard {shard}, expected {expected_shard}"
         )));
     }
-    Ok(())
+    Ok(version)
 }
 
 /// Decoded block header: the scan/skip/prune metadata of one block.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BlockHeader {
+    /// How the block's payload is encoded. Implicitly
+    /// [`PayloadCodec::Varint`] in version-2 segments; tagged explicitly in
+    /// version-3 headers, so a future codec slots in without another
+    /// format bump.
+    pub codec: PayloadCodec,
     /// Number of sequences in the block.
     pub records: u32,
     /// Smallest (first) sequence id in the block.
@@ -496,9 +619,22 @@ pub struct BlockHeader {
     pub sketch: Vec<(u32, u32)>,
 }
 
-/// Encodes a block header frame payload. The sketch map is consumed in
-/// ascending item order (`BTreeMap` iteration) and delta-compressed.
-pub(crate) fn encode_block_header(h: &BlockHeader, sketch: &BTreeMap<u32, u32>, buf: &mut Vec<u8>) {
+/// Encodes a block header frame payload for a segment of the given format
+/// version. The sketch map is consumed in ascending item order (`BTreeMap`
+/// iteration) and delta-compressed. Version-3 headers open with the
+/// payload-codec tag; version-2 headers are byte-identical to what the v2
+/// writer produced (and imply [`PayloadCodec::Varint`]).
+pub(crate) fn encode_block_header(
+    h: &BlockHeader,
+    sketch: &BTreeMap<u32, u32>,
+    version: u32,
+    buf: &mut Vec<u8>,
+) {
+    if version >= 3 {
+        varint::encode_u32(h.codec.tag(), buf);
+    } else {
+        debug_assert_eq!(h.codec, PayloadCodec::Varint, "v2 blocks are varint-coded");
+    }
     varint::encode_u32(h.records, buf);
     varint::encode_u64(h.first_seq, buf);
     varint::encode_u64(h.last_seq, buf);
@@ -514,9 +650,15 @@ pub(crate) fn encode_block_header(h: &BlockHeader, sketch: &BTreeMap<u32, u32>, 
     }
 }
 
-/// Decodes a block header frame payload.
-pub(crate) fn decode_block_header(bytes: &[u8]) -> Result<BlockHeader> {
+/// Decodes a block header frame payload from a segment of the given format
+/// version.
+pub(crate) fn decode_block_header(bytes: &[u8], version: u32) -> Result<BlockHeader> {
     let mut r = VarintReader::new(bytes);
+    let codec = if version >= 3 {
+        PayloadCodec::from_tag(r.read_u32()?)?
+    } else {
+        PayloadCodec::Varint
+    };
     let records = r.read_u32()?;
     let first_seq = r.read_u64()?;
     let last_seq = r.read_u64()?;
@@ -549,6 +691,7 @@ pub(crate) fn decode_block_header(bytes: &[u8]) -> Result<BlockHeader> {
         return Err(StoreError::Corrupt("trailing block-header bytes".into()));
     }
     Ok(BlockHeader {
+        codec,
         records,
         first_seq,
         last_seq,
@@ -607,6 +750,47 @@ pub(crate) fn decode_record(
         prev = v;
     }
     Ok((id_delta, pos + r.position()))
+}
+
+/// Encodes a [`PayloadCodec::GroupVarint`] block payload: the columnar
+/// layout is every record's sequence-id delta (varint `u64`, first delta
+/// relative to the header's `first_seq`), then the per-record item counts
+/// as one group-varint stream, then every record's items — **raw** item
+/// ids, not deltas, since frequency-ordered ids are small already — as one
+/// contiguous group-varint stream the wide decode kernel can rip through.
+pub(crate) fn encode_gv_payload(id_deltas: &[u64], lens: &[u32], items: &[u32], buf: &mut Vec<u8>) {
+    for &delta in id_deltas {
+        varint::encode_u64(delta, buf);
+    }
+    group_varint::encode(lens, buf);
+    group_varint::encode(items, buf);
+}
+
+/// Decodes a [`PayloadCodec::GroupVarint`] block payload into the caller's
+/// reusable columns; `records` and `items` come from the block header.
+/// Returns the number of payload bytes consumed (the caller cross-checks it
+/// against the payload length).
+pub(crate) fn decode_gv_payload(
+    payload: &[u8],
+    records: usize,
+    items: usize,
+    id_deltas: &mut Vec<u64>,
+    lens: &mut Vec<u32>,
+    flat: &mut Vec<u32>,
+) -> Result<usize> {
+    id_deltas.clear();
+    id_deltas.reserve(records);
+    let mut pos = 0usize;
+    for _ in 0..records {
+        let (delta, n) = varint::decode_u64(&payload[pos..])?;
+        pos += n;
+        id_deltas.push(delta);
+    }
+    lens.resize(records, 0);
+    pos += group_varint::decode(&payload[pos..], lens)?;
+    flat.resize(items, 0);
+    pos += group_varint::decode(&payload[pos..], flat)?;
+    Ok(pos)
 }
 
 #[cfg(test)]
@@ -687,10 +871,10 @@ mod tests {
 
     #[test]
     fn unknown_manifest_versions_are_unsupported_not_corrupt() {
-        // A future manifest: valid magic, version 99, then bytes this build
-        // has no idea how to parse. The decoder must classify it by version
-        // alone — before touching any later field.
-        for future in [1u32, 3, 99] {
+        // A retired or future manifest: valid magic, an unreadable version,
+        // then bytes this build has no idea how to parse. The decoder must
+        // classify it by version alone — before touching any later field.
+        for future in [1u32, 4, 99] {
             let mut buf = Vec::new();
             buf.extend_from_slice(MANIFEST_MAGIC);
             varint::encode_u32(future, &mut buf);
@@ -824,25 +1008,50 @@ mod tests {
     }
 
     #[test]
-    fn block_header_round_trips_with_sketch() {
+    fn block_header_round_trips_with_sketch_in_both_versions() {
         let sketch: BTreeMap<u32, u32> = [(0, 5), (3, 2), (17, 9)].into_iter().collect();
+        for (version, codec) in [(2, PayloadCodec::Varint), (3, PayloadCodec::GroupVarint)] {
+            let h = BlockHeader {
+                codec,
+                records: 5,
+                first_seq: 100,
+                last_seq: 131,
+                items: 42,
+                min_item: Some(0),
+                max_item: Some(17),
+                sketch: sketch.iter().map(|(&i, &c)| (i, c)).collect(),
+            };
+            let mut buf = Vec::new();
+            encode_block_header(&h, &sketch, version, &mut buf);
+            assert_eq!(decode_block_header(&buf, version).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn v3_block_headers_reject_unknown_codec_tags() {
         let h = BlockHeader {
-            records: 5,
-            first_seq: 100,
-            last_seq: 131,
-            items: 42,
+            codec: PayloadCodec::GroupVarint,
+            records: 1,
+            first_seq: 0,
+            last_seq: 0,
+            items: 1,
             min_item: Some(0),
-            max_item: Some(17),
-            sketch: sketch.iter().map(|(&i, &c)| (i, c)).collect(),
+            max_item: Some(0),
+            sketch: Vec::new(),
         };
         let mut buf = Vec::new();
-        encode_block_header(&h, &sketch, &mut buf);
-        assert_eq!(decode_block_header(&buf).unwrap(), h);
+        encode_block_header(&h, &BTreeMap::new(), 3, &mut buf);
+        buf[0] = 7; // codec tag is the first varint of a v3 header
+        assert!(matches!(
+            decode_block_header(&buf, 3),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]
     fn block_header_rejects_invariant_violations() {
         let h = BlockHeader {
+            codec: PayloadCodec::Varint,
             records: 1,
             first_seq: 10,
             last_seq: 10,
@@ -852,10 +1061,61 @@ mod tests {
             sketch: Vec::new(),
         };
         let mut buf = Vec::new();
-        encode_block_header(&h, &BTreeMap::new(), &mut buf);
-        assert!(decode_block_header(&buf).is_ok());
-        assert!(decode_block_header(&buf[..2]).is_err());
-        assert!(decode_block_header(&[]).is_err());
+        encode_block_header(&h, &BTreeMap::new(), 2, &mut buf);
+        assert!(decode_block_header(&buf, 2).is_ok());
+        assert!(decode_block_header(&buf[..2], 2).is_err());
+        assert!(decode_block_header(&[], 2).is_err());
+    }
+
+    #[test]
+    fn gv_payload_round_trips_columns() {
+        let id_deltas = [0u64, 3, 1, 1_000_000];
+        let lens = [2u32, 0, 3, 1];
+        let items = [7u32, 70_000, 1, 2, 3, 900];
+        let mut buf = Vec::new();
+        encode_gv_payload(&id_deltas, &lens, &items, &mut buf);
+        let (mut d, mut l, mut f) = (Vec::new(), Vec::new(), Vec::new());
+        let consumed =
+            decode_gv_payload(&buf, id_deltas.len(), items.len(), &mut d, &mut l, &mut f).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(d, id_deltas);
+        assert_eq!(l, lens);
+        assert_eq!(f, items);
+        // Truncation anywhere is a typed decode error.
+        for cut in 0..buf.len() {
+            assert!(
+                decode_gv_payload(
+                    &buf[..cut],
+                    id_deltas.len(),
+                    items.len(),
+                    &mut d,
+                    &mut l,
+                    &mut f
+                )
+                .is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_versions_and_tags_are_stable() {
+        assert_eq!(PayloadCodec::Varint.format_version(), 2);
+        assert_eq!(PayloadCodec::GroupVarint.format_version(), 3);
+        assert_eq!(PayloadCodec::Varint.tag(), 0);
+        assert_eq!(PayloadCodec::GroupVarint.tag(), 1);
+        assert_eq!(PayloadCodec::from_env_str("v2"), PayloadCodec::Varint);
+        assert_eq!(
+            PayloadCodec::from_env_str(" v3 "),
+            PayloadCodec::GroupVarint
+        );
+        assert_eq!(PayloadCodec::default(), PayloadCodec::GroupVarint);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a codec")]
+    fn unrecognized_forced_codec_panics() {
+        PayloadCodec::from_env_str("v4");
     }
 
     #[test]

@@ -240,14 +240,33 @@ pub struct IncrementalWriter {
 
 impl IncrementalWriter {
     /// Opens `dir` for appending a new generation with the default block
-    /// budget.
+    /// budget and the default payload codec (group varint / format v3, or
+    /// whatever [`crate::FORCE_CODEC_ENV`] forces) — note that appending a
+    /// v3 generation to a v2-pinned corpus bumps its manifest version, so
+    /// old builds stop reading it; use [`IncrementalWriter::open_with_codec`]
+    /// to keep such a corpus on the v2 codec.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         Self::open_with_budget(dir, crate::StoreOptions::default().block_budget)
     }
 
     /// Opens `dir` for appending a new generation whose blocks target
-    /// `block_budget` uncompressed payload bytes.
+    /// `block_budget` uncompressed payload bytes, with the default codec
+    /// (see [`IncrementalWriter::open`]).
     pub fn open_with_budget(dir: impl AsRef<Path>, block_budget: usize) -> Result<Self> {
+        Self::open_with_codec(dir, block_budget, crate::PayloadCodec::default())
+    }
+
+    /// Opens `dir` for appending a new generation written with `codec` —
+    /// the continuation API for corpora deliberately pinned to the v2
+    /// codec ([`crate::StoreOptions::with_codec`]): appending with
+    /// [`crate::PayloadCodec::Varint`] keeps every segment and the
+    /// manifest at version 2, so old readers keep working. The
+    /// [`crate::FORCE_CODEC_ENV`] override still wins when set.
+    pub fn open_with_codec(
+        dir: impl AsRef<Path>,
+        block_budget: usize,
+        codec: crate::PayloadCodec,
+    ) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         let (manifest, vocab) = read_manifest(&dir)?;
         let gen_id = manifest.next_gen_id;
@@ -262,6 +281,7 @@ impl IncrementalWriter {
             manifest.partitioning.num_shards(),
             block_budget,
             manifest.sketches,
+            format::resolve_codec(codec),
         )?;
         let next_seq = manifest.num_sequences;
         Ok(IncrementalWriter {
@@ -330,6 +350,10 @@ impl IncrementalWriter {
         }
         let num_sequences = segments.sequences();
         let total_items = segments.total_items();
+        // Appending v3 segments to a v2 corpus bumps the manifest version
+        // (old builds must reject what they cannot read); the version is
+        // never downgraded, so mixed-generation corpora stay readable here.
+        let version = self.manifest.version.max(segments.codec().format_version());
         let shards = segments.finish()?;
 
         // Step 2 of the protocol: rename the staged directory into place.
@@ -345,6 +369,7 @@ impl IncrementalWriter {
 
         // Step 3: swap the manifest.
         let mut manifest = self.manifest.clone();
+        manifest.version = version;
         manifest.generations.push(GenerationMeta {
             id: self.gen_id,
             num_sequences,

@@ -27,14 +27,24 @@
 //!
 //! Sequences are routed to shards by a [`Partitioning`] (hash or range over
 //! the corpus-wide sequence id). Each segment is a stream of *blocks*:
-//! delta/varint-compressed batches of sequences (via `lash-encoding`) wrapped
-//! in checksummed frames, each preceded by a header frame carrying the
-//! block's min/max sequence id, item-id range, and an optional **G1
-//! item-frequency sketch** — per item, the number of sequences in the block
-//! whose hierarchy closure contains it. The sketch makes the generalized
-//! f-list computable *from headers alone*, without decoding any payload;
+//! compressed batches of sequences wrapped in checksummed frames, each
+//! preceded by a header frame carrying the block's payload codec, min/max
+//! sequence id, item-id range, and an optional **G1 item-frequency
+//! sketch** — per item, the number of sequences in the block whose
+//! hierarchy closure contains it. The sketch makes the generalized f-list
+//! computable *from headers alone*, without decoding any payload;
 //! per-generation sketches are additive, so they merge into one corpus-wide
 //! f-list for free.
+//!
+//! Since format v3 block payloads are **columnar group varint**
+//! ([`PayloadCodec::GroupVarint`], via `lash-encoding::group_varint`): all
+//! sequence-id deltas, then all record lengths, then every record's items
+//! as one contiguous stream a branch-free wide kernel decodes in bulk —
+//! several times the scan bandwidth of the v2 per-token varint layout,
+//! which remains fully readable (and writable, for compatibility, via
+//! [`StoreOptions::with_codec`] or [`FORCE_CODEC_ENV`]). Compaction
+//! re-encodes merged generations with the current codec, so it doubles as
+//! an in-place v2→v3 migration; see [`format`] for the exact layouts.
 //!
 //! ## The corpus lifecycle
 //!
@@ -115,7 +125,10 @@ pub mod reader;
 pub mod writer;
 
 pub use compact::{CompactionConfig, CompactionPlan, CompactionStats};
-pub use format::{BlockHeader, GenerationMeta, Manifest, Partitioning, ShardStats, FORMAT_VERSION};
+pub use format::{
+    BlockHeader, GenerationMeta, Manifest, Partitioning, PayloadCodec, ShardStats, FORCE_CODEC_ENV,
+    FORMAT_VERSION, MIN_FORMAT_VERSION,
+};
 pub use generations::{IncrementalWriter, COMPACT_EVERY_ENV};
 pub use reader::{BlockFilter, CorpusReader, CorpusScan, SequenceBatch, ShardScan};
 pub use writer::CorpusWriter;
@@ -160,8 +173,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Corrupt(msg) => write!(f, "corrupt corpus: {msg}"),
             StoreError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported corpus format version {found} (this build reads version \
-                 {FORMAT_VERSION}); re-create the corpus or upgrade lash-store"
+                "unsupported corpus format version {found} (this build reads versions \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION}); re-create the corpus or upgrade \
+                 lash-store"
             ),
             StoreError::AlreadyExists(p) => {
                 write!(
@@ -216,6 +230,11 @@ pub struct StoreOptions {
     /// Write per-block G1 item-frequency sketches. Costs header space and
     /// write-side hierarchy walks; buys header-only f-list computation.
     pub sketches: bool,
+    /// Block payload codec (and with it the written format version).
+    /// Defaults to [`PayloadCodec::GroupVarint`] (format v3); the
+    /// [`FORCE_CODEC_ENV`] environment variable overrides this everywhere —
+    /// CI uses it to run every suite under both codecs.
+    pub codec: PayloadCodec,
 }
 
 impl Default for StoreOptions {
@@ -224,6 +243,7 @@ impl Default for StoreOptions {
             partitioning: Partitioning::hash(4),
             block_budget: 64 * 1024,
             sketches: true,
+            codec: PayloadCodec::default(),
         }
     }
 }
@@ -244,6 +264,18 @@ impl StoreOptions {
     /// Enables or disables G1 sketches.
     pub fn with_sketches(mut self, on: bool) -> Self {
         self.sketches = on;
+        self
+    }
+
+    /// Sets the block payload codec (unless [`FORCE_CODEC_ENV`] overrides
+    /// it). [`PayloadCodec::Varint`] writes byte-identical format-v2
+    /// corpora, for compatibility tests and old readers. The pin covers
+    /// this writer only: later appends default to the current codec and
+    /// would bump the corpus's format — use
+    /// [`IncrementalWriter::open_with_codec`] to continue a pinned corpus,
+    /// and note that compaction always re-encodes with the current codec.
+    pub fn with_codec(mut self, codec: PayloadCodec) -> Self {
+        self.codec = codec;
         self
     }
 }

@@ -403,13 +403,22 @@ impl ShardedCorpus for CorpusReader {
             return ShardedCorpus::scan_shard(self, shard, f);
         }
         let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
+        // Hoisted per scan: `relevant` is a fixed predicate (the mine job's
+        // frequent-item test, a rank lookup per call), but the same items
+        // recur in every block's sketch — so evaluate it once per
+        // vocabulary item here instead of once per (block, sketch entry).
+        // Out-of-vocabulary sketch items are treated as irrelevant; the
+        // header f-list path rejects them as corruption separately.
+        let relevant_item: Vec<bool> = (0..self.vocab.len() as u32)
+            .map(|item| relevant(ItemId::from_u32(item)))
+            .collect();
         // The sketch lists every item of the block's G1 closures, so a block
         // with no relevant sketch item holds no relevant sequence.
         let filter = |header: &BlockHeader| {
             header
                 .sketch
                 .iter()
-                .any(|&(item, _)| relevant(ItemId::from_u32(item)))
+                .any(|&(item, _)| relevant_item.get(item as usize).copied().unwrap_or(false))
         };
         let scan = self.scan_shard_filtered(shard, &filter).map_err(engine)?;
         drive_batched(scan, f)
@@ -471,16 +480,57 @@ impl SequenceBatch {
     }
 }
 
-/// Decodes every record of one block payload into `batch`.
+/// Reusable columns for group-varint block decoding, owned by the scan so
+/// no allocation recurs per block.
+#[derive(Debug, Default)]
+struct DecodeScratch {
+    id_deltas: Vec<u64>,
+    lens: Vec<u32>,
+    flat: Vec<u32>,
+}
+
+/// Decodes every record of one block payload into `batch`, dispatching on
+/// the block's payload codec.
 fn decode_block_into(
     header: &BlockHeader,
     payload: &[u8],
     vocab_len: u32,
     batch: &mut SequenceBatch,
+    scratch: &mut DecodeScratch,
 ) -> Result<()> {
+    // Every record costs at least two payload bytes (id delta + length) and
+    // every item at least one, in both codecs — so a header whose claimed
+    // counts cannot fit the payload is corruption, rejected *before* any
+    // count-sized allocation. Without this, a checksum-valid but hostile
+    // header claiming u64::MAX items would panic or OOM the reserve/resize
+    // calls below instead of returning a typed error.
+    let min_bytes = (2 * header.records as u64).saturating_add(header.items);
+    if min_bytes > payload.len() as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "block header claims {} records / {} items, payload holds {} bytes",
+            header.records,
+            header.items,
+            payload.len()
+        )));
+    }
     batch.clear();
     batch.ids.reserve(header.records as usize);
     batch.items.reserve(header.items as usize);
+    match header.codec {
+        format::PayloadCodec::Varint => decode_varint_block(header, payload, vocab_len, batch),
+        format::PayloadCodec::GroupVarint => {
+            decode_gv_block(header, payload, vocab_len, batch, scratch)
+        }
+    }
+}
+
+/// The format-v2 record-stream decode: one varint token at a time.
+fn decode_varint_block(
+    header: &BlockHeader,
+    payload: &[u8],
+    vocab_len: u32,
+    batch: &mut SequenceBatch,
+) -> Result<()> {
     let mut pos = 0usize;
     let mut prev_seq = header.first_seq;
     for rec in 0..header.records {
@@ -514,16 +564,104 @@ fn decode_block_into(
     Ok(())
 }
 
+/// The format-v3 columnar decode: the whole block's items come out of one
+/// uninterrupted group-varint kernel run instead of per-token parsing —
+/// the scan-bandwidth lever this format exists for.
+fn decode_gv_block(
+    header: &BlockHeader,
+    payload: &[u8],
+    vocab_len: u32,
+    batch: &mut SequenceBatch,
+    scratch: &mut DecodeScratch,
+) -> Result<()> {
+    let records = header.records as usize;
+    let items = usize::try_from(header.items)
+        .map_err(|_| StoreError::Corrupt("block item count overflows".into()))?;
+    let consumed = format::decode_gv_payload(
+        payload,
+        records,
+        items,
+        &mut scratch.id_deltas,
+        &mut scratch.lens,
+        &mut scratch.flat,
+    )?;
+    if consumed != payload.len() {
+        return Err(StoreError::Corrupt(
+            "trailing bytes in block payload".into(),
+        ));
+    }
+    // Ids: prefix-sum the delta column, re-checking the header invariants
+    // the v2 path enforces.
+    let mut prev_seq = header.first_seq;
+    for (rec, &delta) in scratch.id_deltas.iter().enumerate() {
+        let id = prev_seq
+            .checked_add(delta)
+            .ok_or_else(|| StoreError::Corrupt("sequence id delta overflows".into()))?;
+        if id > header.last_seq {
+            return Err(StoreError::Corrupt(format!(
+                "sequence id {id} beyond block's last id {}",
+                header.last_seq
+            )));
+        }
+        prev_seq = id;
+        batch.ids.push(id);
+        if rec + 1 == records && id != header.last_seq {
+            return Err(StoreError::Corrupt(
+                "block's last sequence id does not match its header".into(),
+            ));
+        }
+    }
+    // Offsets: prefix-sum the lengths column; it must tile the item arena
+    // exactly.
+    let mut offset = 0u64;
+    for &len in &scratch.lens {
+        offset += len as u64;
+        if offset > items as u64 {
+            return Err(StoreError::Corrupt(
+                "record lengths overrun block item count".into(),
+            ));
+        }
+        batch.offsets.push(offset as u32);
+    }
+    if offset != items as u64 {
+        return Err(StoreError::Corrupt(
+            "record lengths do not sum to block item count".into(),
+        ));
+    }
+    // Items: bulk range-check (a vectorizable max-scan, one branch total),
+    // then one memcpy-shaped extend into the shared arena.
+    let max_item = scratch.flat.iter().fold(0u32, |m, &v| m.max(v));
+    if max_item >= vocab_len && !scratch.flat.is_empty() {
+        return Err(StoreError::Corrupt(format!(
+            "item id {max_item} outside vocabulary of {vocab_len}"
+        )));
+    }
+    batch
+        .items
+        .extend(scratch.flat.iter().map(|&v| ItemId::from_u32(v)));
+    Ok(())
+}
+
 /// A predicate over block headers deciding whether a block's payload is
 /// worth decoding; see [`CorpusReader::scan_shard_filtered`].
 pub type BlockFilter<'f> = &'f (dyn Fn(&BlockHeader) -> bool + Sync);
 
 /// A positioned reader over one generation's segment file for one shard:
 /// yields raw blocks (header + payload) in storage order, optionally
-/// seeking over filtered-out payloads.
+/// seeking over filtered-out payloads. Header and payload bytes land in
+/// grow-only reusable buffers, so a scan over thousands of blocks performs
+/// a handful of allocations total.
 pub(crate) struct SegmentScan {
     file: BufReader<File>,
     file_len: u64,
+    /// The segment's format version (2 or 3), which governs block-header
+    /// parsing (v3 headers open with a payload-codec tag) and the frame
+    /// checksum flavor of block frames (wide for v3).
+    version: u32,
+    checksum: lash_encoding::FrameChecksum,
+    header_buf: Vec<u8>,
+    payload_buf: Vec<u8>,
+    payload_len: usize,
 }
 
 impl SegmentScan {
@@ -533,8 +671,22 @@ impl SegmentScan {
         let file_len = handle.metadata()?.len();
         let mut file = BufReader::new(handle);
         let header = read_required_frame(&mut file, "segment header")?;
-        format::decode_segment_header(&header, shard)?;
-        Ok(SegmentScan { file, file_len })
+        let version = format::decode_segment_header(&header, shard)?;
+        Ok(SegmentScan {
+            file,
+            file_len,
+            version,
+            checksum: format::frame_checksum_for_version(version),
+            header_buf: Vec::new(),
+            payload_buf: Vec::new(),
+            payload_len: 0,
+        })
+    }
+
+    /// The payload of the block most recently returned by
+    /// [`SegmentScan::next_block`].
+    fn payload(&self) -> &[u8] {
+        &self.payload_buf[..self.payload_len]
     }
 
     /// Seeks past the next frame (a rejected block's payload) without
@@ -554,18 +706,20 @@ impl SegmentScan {
     }
 
     /// Reads the next block whose header passes `filter` (counting skipped
-    /// blocks into `pruned`); `None` at clean end-of-segment.
+    /// blocks into `pruned`); `None` at clean end-of-segment. The payload
+    /// is left in the reusable buffer ([`SegmentScan::payload`]).
     fn next_block(
         &mut self,
         filter: Option<BlockFilter<'_>>,
         pruned: &mut u64,
-    ) -> Result<Option<(BlockHeader, Vec<u8>)>> {
+    ) -> Result<Option<BlockHeader>> {
         loop {
-            let header_bytes = match frame::read_frame(&mut self.file)? {
-                FrameRead::Eof => return Ok(None),
-                FrameRead::Payload(bytes) => bytes,
+            let Some(header_len) =
+                frame::read_frame_into(&mut self.file, &mut self.header_buf, self.checksum)?
+            else {
+                return Ok(None);
             };
-            let header = format::decode_block_header(&header_bytes)?;
+            let header = format::decode_block_header(&self.header_buf[..header_len], self.version)?;
             if let Some(filter) = filter {
                 if !filter(&header) {
                     self.skip_payload()?;
@@ -573,8 +727,13 @@ impl SegmentScan {
                     continue;
                 }
             }
-            let payload = read_required_frame(&mut self.file, "block payload")?;
-            return Ok(Some((header, payload)));
+            let Some(payload_len) =
+                frame::read_frame_into(&mut self.file, &mut self.payload_buf, self.checksum)?
+            else {
+                return Err(StoreError::Corrupt("missing block payload frame".into()));
+            };
+            self.payload_len = payload_len;
+            return Ok(Some(header));
         }
     }
 }
@@ -594,6 +753,7 @@ pub struct ShardScan<'f> {
     pending: std::vec::IntoIter<PathBuf>,
     current: Option<SegmentScan>,
     batch: SequenceBatch,
+    scratch: DecodeScratch,
     /// Cursor into `batch` for the record-at-a-time APIs.
     rec: usize,
     blocks_decoded: u64,
@@ -618,6 +778,7 @@ impl<'f> ShardScan<'f> {
             pending: segments.into_iter(),
             current: None,
             batch,
+            scratch: DecodeScratch::default(),
             rec: 0,
             blocks_decoded: 0,
             blocks_pruned: 0,
@@ -655,8 +816,14 @@ impl<'f> ShardScan<'f> {
             }
             let segment = self.current.as_mut().expect("opened above");
             match segment.next_block(self.filter, &mut self.blocks_pruned)? {
-                Some((header, payload)) => {
-                    decode_block_into(&header, &payload, self.vocab_len, &mut self.batch)?;
+                Some(header) => {
+                    decode_block_into(
+                        &header,
+                        segment.payload(),
+                        self.vocab_len,
+                        &mut self.batch,
+                        &mut self.scratch,
+                    )?;
                     self.blocks_decoded += 1;
                     self.rec = 0;
                     return Ok(Some(&self.batch));
@@ -737,6 +904,9 @@ impl Iterator for CorpusScan<'_> {
 struct SegmentHeaders {
     file: BufReader<File>,
     file_len: u64,
+    version: u32,
+    checksum: lash_encoding::FrameChecksum,
+    header_buf: Vec<u8>,
     expected_blocks: u64,
     seen_blocks: u64,
 }
@@ -747,10 +917,13 @@ impl SegmentHeaders {
         let file_len = file.metadata()?.len();
         let mut file = BufReader::new(file);
         let header = read_required_frame(&mut file, "segment header")?;
-        format::decode_segment_header(&header, shard)?;
+        let version = format::decode_segment_header(&header, shard)?;
         Ok(SegmentHeaders {
             file,
             file_len,
+            version,
+            checksum: format::frame_checksum_for_version(version),
+            header_buf: Vec::new(),
             expected_blocks,
             seen_blocks: 0,
         })
@@ -773,19 +946,18 @@ impl SegmentHeaders {
 
     /// The next header of this segment; `None` at (count-verified) EOF.
     fn next_header(&mut self) -> Result<Option<BlockHeader>> {
-        let header_bytes = match frame::read_frame(&mut self.file)? {
-            FrameRead::Eof => {
-                if self.seen_blocks != self.expected_blocks {
-                    return Err(StoreError::Corrupt(format!(
-                        "segment holds {} blocks, manifest says {}",
-                        self.seen_blocks, self.expected_blocks
-                    )));
-                }
-                return Ok(None);
+        let Some(header_len) =
+            frame::read_frame_into(&mut self.file, &mut self.header_buf, self.checksum)?
+        else {
+            if self.seen_blocks != self.expected_blocks {
+                return Err(StoreError::Corrupt(format!(
+                    "segment holds {} blocks, manifest says {}",
+                    self.seen_blocks, self.expected_blocks
+                )));
             }
-            FrameRead::Payload(bytes) => bytes,
+            return Ok(None);
         };
-        let header = format::decode_block_header(&header_bytes)?;
+        let header = format::decode_block_header(&self.header_buf[..header_len], self.version)?;
         self.skip_frame()?;
         self.seen_blocks += 1;
         Ok(Some(header))
@@ -840,6 +1012,41 @@ impl Iterator for BlockHeaders {
                     self.done = true;
                     return Some(Err(e));
                 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::PayloadCodec;
+
+    /// A checksum-valid frame stream cannot smuggle a hostile header whose
+    /// claimed counts would panic or OOM the count-sized allocations: the
+    /// counts are bounded against the payload length before any reserve.
+    #[test]
+    fn hostile_header_counts_are_rejected_before_allocating() {
+        let mut batch = SequenceBatch::default();
+        let mut scratch = DecodeScratch::default();
+        for codec in [PayloadCodec::Varint, PayloadCodec::GroupVarint] {
+            for (records, items) in [(u32::MAX, u64::MAX), (u32::MAX, 0), (1, u64::MAX)] {
+                let header = BlockHeader {
+                    codec,
+                    records,
+                    first_seq: 0,
+                    last_seq: records as u64,
+                    items,
+                    min_item: None,
+                    max_item: None,
+                    sketch: Vec::new(),
+                };
+                let err = decode_block_into(&header, &[0u8; 16], 10, &mut batch, &mut scratch)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, StoreError::Corrupt(_)),
+                    "expected Corrupt, got {err:?}"
+                );
             }
         }
     }

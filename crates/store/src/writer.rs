@@ -13,7 +13,10 @@ use lash_core::sequence::SequenceDatabase;
 use lash_core::vocabulary::{ItemId, Vocabulary};
 use lash_encoding::frame;
 
-use crate::format::{self, BlockHeader, GenerationMeta, Manifest, ShardStats, FORMAT_VERSION};
+use lash_encoding::group_varint;
+use lash_encoding::varint;
+
+use crate::format::{self, BlockHeader, GenerationMeta, Manifest, PayloadCodec, ShardStats};
 use crate::generations::write_manifest;
 use crate::{Result, StoreError, StoreOptions};
 
@@ -41,10 +44,23 @@ struct ShardWriter {
     header_buf: Vec<u8>,
 }
 
-/// Accumulates one block: compressed payload plus header metadata.
+/// Accumulates one block: payload (streamed for the varint codec, columnar
+/// for group varint) plus header metadata.
 #[derive(Default)]
 struct BlockBuilder {
+    /// The encoded payload. The varint codec streams records straight into
+    /// it (byte-identical to the v2 writer); the group-varint codec uses it
+    /// as the flush-time encode target.
     payload: Vec<u8>,
+    /// Group-varint columns, filled per append and encoded at flush.
+    id_deltas: Vec<u64>,
+    lens: Vec<u32>,
+    flat: Vec<u32>,
+    /// Running data-byte totals of the columns, so the block-budget cut
+    /// decision sees the exact size a flush would write.
+    delta_bytes: usize,
+    lens_data_bytes: usize,
+    flat_data_bytes: usize,
     records: u32,
     first_seq: u64,
     prev_seq: u64,
@@ -57,12 +73,41 @@ struct BlockBuilder {
 impl BlockBuilder {
     fn reset(&mut self) {
         self.payload.clear();
+        self.id_deltas.clear();
+        self.lens.clear();
+        self.flat.clear();
+        self.delta_bytes = 0;
+        self.lens_data_bytes = 0;
+        self.flat_data_bytes = 0;
         self.records = 0;
         self.items = 0;
         self.min_item = None;
         self.max_item = None;
         self.sketch.clear();
     }
+
+    /// Exact payload size a flush would write right now.
+    fn encoded_len(&self, codec: PayloadCodec) -> usize {
+        match codec {
+            PayloadCodec::Varint => self.payload.len(),
+            PayloadCodec::GroupVarint => {
+                self.delta_bytes
+                    + gv_stream_len(self.lens.len(), self.lens_data_bytes)
+                    + gv_stream_len(self.flat.len(), self.flat_data_bytes)
+            }
+        }
+    }
+}
+
+/// Size of a group-varint stream of `n` values whose data bytes sum to
+/// `data`: one control byte per group plus one zero byte per tail-padding
+/// slot (see `lash_encoding::group_varint`).
+fn gv_stream_len(n: usize, data: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let groups = n.div_ceil(group_varint::GROUP_SIZE);
+    groups + data + (groups * group_varint::GROUP_SIZE - n)
 }
 
 /// Writes one generation's set of per-shard segment files into a directory.
@@ -77,6 +122,7 @@ pub(crate) struct SegmentSetWriter {
     shards: Vec<ShardWriter>,
     block_budget: usize,
     sketches: bool,
+    codec: PayloadCodec,
     sequences: u64,
     total_items: u64,
     scratch: Vec<ItemId>,
@@ -84,12 +130,15 @@ pub(crate) struct SegmentSetWriter {
 
 impl SegmentSetWriter {
     /// Creates `num_shards` segment files (with headers) under `dir`,
-    /// creating the directory if needed.
+    /// creating the directory if needed. The segment format version is
+    /// derived from `codec`: the varint codec writes byte-identical v2
+    /// segments, group varint writes v3.
     pub(crate) fn create(
         dir: &Path,
         num_shards: u32,
         block_budget: usize,
         sketches: bool,
+        codec: PayloadCodec,
     ) -> Result<Self> {
         fs::create_dir_all(dir)?;
         let mut shards = Vec::with_capacity(num_shards as usize);
@@ -97,7 +146,7 @@ impl SegmentSetWriter {
             let path = dir.join(format::shard_file_name(shard));
             let mut file = BufWriter::new(File::create(path)?);
             let mut header = Vec::new();
-            format::encode_segment_header(shard, &mut header);
+            format::encode_segment_header(shard, codec.format_version(), &mut header);
             frame::write_frame(&header, &mut file)?;
             shards.push(ShardWriter {
                 file,
@@ -111,10 +160,16 @@ impl SegmentSetWriter {
             shards,
             block_budget: block_budget.max(1),
             sketches,
+            codec,
             sequences: 0,
             total_items: 0,
             scratch: Vec::new(),
         })
+    }
+
+    /// The payload codec this writer encodes blocks with.
+    pub(crate) fn codec(&self) -> PayloadCodec {
+        self.codec
     }
 
     /// Sequences appended so far.
@@ -149,7 +204,23 @@ impl SegmentSetWriter {
             block.first_seq = id;
             block.prev_seq = id;
         }
-        format::encode_record(id - block.prev_seq, seq, &mut block.payload);
+        let delta = id - block.prev_seq;
+        match self.codec {
+            PayloadCodec::Varint => {
+                format::encode_record(delta, seq, &mut block.payload);
+            }
+            PayloadCodec::GroupVarint => {
+                block.id_deltas.push(delta);
+                block.delta_bytes += varint::encoded_len_u64(delta);
+                block.lens.push(seq.len() as u32);
+                block.lens_data_bytes += group_varint::bytes_for(seq.len() as u32);
+                for &item in seq {
+                    let v = item.as_u32();
+                    block.flat.push(v);
+                    block.flat_data_bytes += group_varint::bytes_for(v);
+                }
+            }
+        }
         block.prev_seq = id;
         block.records += 1;
         block.items += seq.len() as u64;
@@ -167,20 +238,33 @@ impl SegmentSetWriter {
         shard.stats.sequences += 1;
         shard.stats.min_seq = shard.stats.min_seq.min(id);
         shard.stats.max_seq = shard.stats.max_seq.max(id);
-        if block.payload.len() >= self.block_budget {
-            Self::flush_block(shard)?;
+        if block.encoded_len(self.codec) >= self.block_budget {
+            Self::flush_block(shard, self.codec)?;
         }
         Ok(())
     }
 
     /// Seals the open block of `shard`, writing its header and payload
     /// frames.
-    fn flush_block(shard: &mut ShardWriter) -> Result<()> {
+    fn flush_block(shard: &mut ShardWriter, codec: PayloadCodec) -> Result<()> {
         let block = &mut shard.block;
         if block.records == 0 {
             return Ok(());
         }
+        if codec == PayloadCodec::GroupVarint {
+            // Flush-time columnar encode; the varint codec streamed records
+            // into the payload at append time.
+            debug_assert!(block.payload.is_empty());
+            format::encode_gv_payload(
+                &block.id_deltas,
+                &block.lens,
+                &block.flat,
+                &mut block.payload,
+            );
+            debug_assert_eq!(block.payload.len(), block.encoded_len(codec));
+        }
         let header = BlockHeader {
+            codec,
             records: block.records,
             first_seq: block.first_seq,
             last_seq: block.prev_seq,
@@ -190,9 +274,18 @@ impl SegmentSetWriter {
             sketch: Vec::new(),
         };
         shard.header_buf.clear();
-        format::encode_block_header(&header, &block.sketch, &mut shard.header_buf);
-        frame::write_frame(&shard.header_buf, &mut shard.file)?;
-        frame::write_frame(&block.payload, &mut shard.file)?;
+        format::encode_block_header(
+            &header,
+            &block.sketch,
+            codec.format_version(),
+            &mut shard.header_buf,
+        );
+        // Block frames use the version's checksum flavor (wide for v3); the
+        // segment header frame stays classic so readers can parse it before
+        // knowing the version.
+        let kind = format::frame_checksum_for_version(codec.format_version());
+        frame::write_frame_with(&shard.header_buf, &mut shard.file, kind)?;
+        frame::write_frame_with(&block.payload, &mut shard.file, kind)?;
         shard.stats.blocks += 1;
         shard.stats.payload_bytes += block.payload.len() as u64;
         block.reset();
@@ -206,8 +299,9 @@ impl SegmentSetWriter {
     /// ahead of the data it names would otherwise let a power loss commit
     /// a manifest pointing at empty files).
     pub(crate) fn finish(mut self) -> Result<Vec<ShardStats>> {
+        let codec = self.codec;
         for shard in &mut self.shards {
-            Self::flush_block(shard)?;
+            Self::flush_block(shard, codec)?;
             shard.file.flush()?;
             shard.file.get_ref().sync_all()?;
         }
@@ -239,6 +333,7 @@ impl CorpusWriter {
             opts.partitioning.num_shards(),
             opts.block_budget,
             opts.sketches,
+            format::resolve_codec(opts.codec),
         )?;
         Ok(CorpusWriter {
             dir,
@@ -285,6 +380,10 @@ impl CorpusWriter {
     /// and only then readable — once this returns.
     pub fn finish(self) -> Result<Manifest> {
         let total_items = self.segments.total_items();
+        // The manifest version tracks the newest segment format in the
+        // corpus, so a build that cannot read these blocks rejects the
+        // corpus at the manifest instead of choking on a segment.
+        let version = self.segments.codec().format_version();
         let shards = self.segments.finish()?;
         let generation = GenerationMeta {
             id: 0,
@@ -293,7 +392,7 @@ impl CorpusWriter {
             shards,
         };
         let manifest = Manifest {
-            version: FORMAT_VERSION,
+            version,
             partitioning: self.opts.partitioning,
             num_sequences: self.next_seq,
             total_items,

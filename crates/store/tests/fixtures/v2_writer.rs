@@ -1,0 +1,234 @@
+//! A **pinned** format-v2 corpus writer, frozen at the byte layout
+//! `lash-store` wrote before the group-varint (format-v3) change.
+//!
+//! This is deliberately *not* the production writer run with the varint
+//! codec: the production code evolves, and a compatibility test that
+//! writes v2 bytes through it would silently start testing whatever the
+//! current code does. This module re-implements the v2 layout from the
+//! format documentation — manifest header/vocabulary/generations frames,
+//! `LSEG` segment headers, block header frames, and per-record
+//! delta/zigzag-varint payloads, all in classic FNV-1a-32 frames — so the
+//! `format_compat` suite proves that corpora written by *old builds* keep
+//! reading and mining byte-identically through the current reader.
+//!
+//! If this file ever needs editing for anything but a compile error, the
+//! on-disk compatibility contract has been broken; stop and fix the reader
+//! instead.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use lash_core::enumeration::g1_items;
+use lash_core::{ItemId, Vocabulary};
+use lash_encoding::frame;
+use lash_encoding::varint;
+use lash_encoding::zigzag;
+
+const MANIFEST_MAGIC: &[u8; 8] = b"LASHSTOR";
+const SEGMENT_MAGIC: &[u8; 4] = b"LSEG";
+const V2: u32 = 2;
+
+/// The v2 id hash (SplitMix64 finalizer) routing ids to shards.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[derive(Clone, Default)]
+struct ShardStats {
+    sequences: u64,
+    blocks: u64,
+    payload_bytes: u64,
+    min_seq: u64,
+    max_seq: u64,
+}
+
+struct Block {
+    payload: Vec<u8>,
+    records: u32,
+    first_seq: u64,
+    prev_seq: u64,
+    items: u64,
+    min_item: Option<u32>,
+    max_item: Option<u32>,
+    sketch: BTreeMap<u32, u32>,
+}
+
+impl Block {
+    fn new() -> Block {
+        Block {
+            payload: Vec::new(),
+            records: 0,
+            first_seq: 0,
+            prev_seq: 0,
+            items: 0,
+            min_item: None,
+            max_item: None,
+            sketch: BTreeMap::new(),
+        }
+    }
+}
+
+/// The v2 record encoding: varint id delta, varint length, first item as a
+/// plain varint, every later item as a zigzag varint delta from its
+/// predecessor.
+fn encode_record_v2(id_delta: u64, items: &[ItemId], buf: &mut Vec<u8>) {
+    varint::encode_u64(id_delta, buf);
+    varint::encode_u32(items.len() as u32, buf);
+    let mut prev = 0i64;
+    for (i, item) in items.iter().enumerate() {
+        let v = item.as_u32();
+        if i == 0 {
+            varint::encode_u32(v, buf);
+        } else {
+            varint::encode_u64(zigzag::encode_i64(v as i64 - prev), buf);
+        }
+        prev = v as i64;
+    }
+}
+
+/// The v2 block header encoding: no codec tag — v2 payloads are implicitly
+/// varint record streams.
+fn encode_block_header_v2(block: &Block, buf: &mut Vec<u8>) {
+    varint::encode_u32(block.records, buf);
+    varint::encode_u64(block.first_seq, buf);
+    varint::encode_u64(block.prev_seq, buf);
+    varint::encode_u64(block.items, buf);
+    varint::encode_u32(block.min_item.map_or(0, |v| v + 1), buf);
+    varint::encode_u32(block.max_item.map_or(0, |v| v + 1), buf);
+    varint::encode_u32(block.sketch.len() as u32, buf);
+    let mut prev = 0u32;
+    for (&item, &count) in &block.sketch {
+        varint::encode_u32(item - prev, buf);
+        varint::encode_u32(count, buf);
+        prev = item;
+    }
+}
+
+fn flush_block(block: &mut Block, file: &mut BufWriter<File>, stats: &mut ShardStats) {
+    if block.records == 0 {
+        return;
+    }
+    let mut header = Vec::new();
+    encode_block_header_v2(block, &mut header);
+    frame::write_frame(&header, file).unwrap();
+    frame::write_frame(&block.payload, file).unwrap();
+    stats.blocks += 1;
+    stats.payload_bytes += block.payload.len() as u64;
+    *block = Block::new();
+}
+
+/// Writes `seqs` as a complete format-v2 corpus at `dir`: one generation,
+/// hash partitioning over `shards` shards, G1 sketches enabled.
+pub fn write_v2_corpus(
+    dir: &Path,
+    vocab: &Vocabulary,
+    seqs: &[Vec<ItemId>],
+    shards: u32,
+    block_budget: usize,
+) {
+    let gen_dir = dir.join("gen-00000");
+    fs::create_dir_all(&gen_dir).unwrap();
+
+    let mut files: Vec<BufWriter<File>> = (0..shards)
+        .map(|shard| {
+            let path = gen_dir.join(format!("shard-{shard:05}.seg"));
+            let mut file = BufWriter::new(File::create(path).unwrap());
+            let mut header = Vec::new();
+            header.extend_from_slice(SEGMENT_MAGIC);
+            varint::encode_u32(V2, &mut header);
+            varint::encode_u32(shard, &mut header);
+            frame::write_frame(&header, &mut file).unwrap();
+            file
+        })
+        .collect();
+    let mut blocks: Vec<Block> = (0..shards).map(|_| Block::new()).collect();
+    let mut stats: Vec<ShardStats> = (0..shards)
+        .map(|_| ShardStats {
+            min_seq: u64::MAX,
+            ..ShardStats::default()
+        })
+        .collect();
+
+    let mut total_items = 0u64;
+    let mut g1 = Vec::new();
+    for (id, seq) in seqs.iter().enumerate() {
+        let id = id as u64;
+        let shard = (splitmix64(id) % shards as u64) as usize;
+        let block = &mut blocks[shard];
+        if block.records == 0 {
+            block.first_seq = id;
+            block.prev_seq = id;
+        }
+        encode_record_v2(id - block.prev_seq, seq, &mut block.payload);
+        block.prev_seq = id;
+        block.records += 1;
+        block.items += seq.len() as u64;
+        total_items += seq.len() as u64;
+        for item in seq {
+            let v = item.as_u32();
+            block.min_item = Some(block.min_item.map_or(v, |m| m.min(v)));
+            block.max_item = Some(block.max_item.map_or(v, |m| m.max(v)));
+        }
+        g1_items(seq, vocab, &mut g1);
+        for item in &g1 {
+            *block.sketch.entry(item.as_u32()).or_insert(0) += 1;
+        }
+        stats[shard].sequences += 1;
+        stats[shard].min_seq = stats[shard].min_seq.min(id);
+        stats[shard].max_seq = stats[shard].max_seq.max(id);
+        if block.payload.len() >= block_budget {
+            flush_block(block, &mut files[shard], &mut stats[shard]);
+        }
+    }
+    for shard in 0..shards as usize {
+        flush_block(&mut blocks[shard], &mut files[shard], &mut stats[shard]);
+        files[shard].flush().unwrap();
+    }
+
+    // The v2 manifest: header, vocabulary, and generations frames.
+    let mut manifest = BufWriter::new(File::create(dir.join("MANIFEST.lash")).unwrap());
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    varint::encode_u32(V2, &mut buf);
+    buf.push(0); // partitioning tag: hash
+    varint::encode_u32(shards, &mut buf);
+    varint::encode_u64(seqs.len() as u64, &mut buf);
+    varint::encode_u64(total_items, &mut buf);
+    buf.push(1); // sketches
+    varint::encode_u32(1, &mut buf); // next_gen_id
+    varint::encode_u32(1, &mut buf); // generation count
+    frame::write_frame(&buf, &mut manifest).unwrap();
+
+    buf.clear();
+    varint::encode_u32(vocab.len() as u32, &mut buf);
+    for item in vocab.items() {
+        let name = vocab.name(item).as_bytes();
+        varint::encode_u32(name.len() as u32, &mut buf);
+        buf.extend_from_slice(name);
+    }
+    for item in vocab.items() {
+        varint::encode_u32(vocab.parent(item).map_or(0, |p| p.as_u32() + 1), &mut buf);
+    }
+    frame::write_frame(&buf, &mut manifest).unwrap();
+
+    buf.clear();
+    varint::encode_u32(1, &mut buf); // one generation
+    varint::encode_u32(0, &mut buf); // generation id
+    varint::encode_u64(seqs.len() as u64, &mut buf);
+    varint::encode_u64(total_items, &mut buf);
+    varint::encode_u32(shards, &mut buf);
+    for s in &stats {
+        varint::encode_u64(s.sequences, &mut buf);
+        varint::encode_u64(s.blocks, &mut buf);
+        varint::encode_u64(s.payload_bytes, &mut buf);
+        varint::encode_u64(s.min_seq, &mut buf);
+        varint::encode_u64(s.max_seq, &mut buf);
+    }
+    frame::write_frame(&buf, &mut manifest).unwrap();
+    manifest.flush().unwrap();
+}

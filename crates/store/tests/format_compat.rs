@@ -1,0 +1,283 @@
+//! Old↔new format compatibility: a corpus written in the *pinned* format-v2
+//! byte layout (see `fixtures/v2_writer.rs` — frozen, independent of the
+//! production writer) must read, scan, f-list, and mine byte-identically
+//! through the current (v3-writing) build, both directly and after
+//! compaction re-blocks it into the current format. CI runs this suite in
+//! a dedicated `format-compat` leg.
+
+#[path = "fixtures/v2_writer.rs"]
+mod v2_writer;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lash_core::distributed::lash_job::LashResult;
+use lash_core::flist::FList;
+use lash_core::{GsmParams, ItemId, Lash, SequenceDatabase, Vocabulary, VocabularyBuilder};
+use lash_store::compact::{self, CompactionConfig};
+use lash_store::{CorpusReader, IncrementalWriter, PayloadCodec, StoreOptions, FORCE_CODEC_ENV};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "lash-store-compat-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The codec new segments are written with in this process — honors the
+/// `LASH_FORCE_CODEC` CI override, so version assertions adapt instead of
+/// fighting the forced-codec legs.
+fn effective_codec() -> PayloadCodec {
+    match std::env::var(FORCE_CODEC_ENV) {
+        Ok(v) if v.trim() == "v2" => PayloadCodec::Varint,
+        _ => PayloadCodec::GroupVarint,
+    }
+}
+
+fn compat_vocab() -> (Vocabulary, Vec<ItemId>) {
+    let mut vb = VocabularyBuilder::new();
+    let b = vb.intern("B");
+    let b1 = vb.child("b1", b);
+    let b2 = vb.child("b2", b);
+    let d = vb.intern("D");
+    let d1 = vb.child("d1", d);
+    let a = vb.intern("a");
+    let c = vb.intern("c");
+    (vb.finish().unwrap(), vec![a, b, b1, b2, c, d, d1])
+}
+
+/// A deterministic, hierarchy-heavy workload with varied lengths and
+/// empties — enough sequences to close several blocks per shard at a small
+/// budget.
+fn compat_sequences(items: &[ItemId], n: usize) -> Vec<Vec<ItemId>> {
+    (0..n)
+        .map(|i| {
+            let len = (i * 7) % 9;
+            (0..len)
+                .map(|j| items[(i * 3 + j * 5) % items.len()])
+                .collect()
+        })
+        .collect()
+}
+
+fn to_db(seqs: &[Vec<ItemId>]) -> SequenceDatabase {
+    let mut db = SequenceDatabase::new();
+    for seq in seqs {
+        db.push(seq);
+    }
+    db
+}
+
+fn named_patterns(result: &LashResult, vocab: &Vocabulary) -> Vec<(Vec<String>, u64)> {
+    let mut v: Vec<(Vec<String>, u64)> = result
+        .patterns()
+        .iter()
+        .map(|p| (p.to_names(vocab), p.frequency))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn pinned_v2_corpus_scans_byte_identically() {
+    let (vocab, items) = compat_vocab();
+    let seqs = compat_sequences(&items, 300);
+    let dir = temp_dir("scan");
+    v2_writer::write_v2_corpus(&dir, &vocab, &seqs, 3, 256);
+
+    let reader = CorpusReader::open(&dir).unwrap();
+    assert_eq!(reader.manifest().version, 2);
+    assert_eq!(reader.len(), 300);
+    let back = reader.to_database().unwrap();
+    for (i, seq) in seqs.iter().enumerate() {
+        assert_eq!(back.get(i), &seq[..], "sequence {i} differs");
+    }
+    // Several blocks really were written (the fixture re-blocks at 256 B),
+    // so the v2 block-header parse path is exercised beyond one block.
+    let blocks: u64 = reader.manifest().shards.iter().map(|s| s.blocks).sum();
+    assert!(blocks > 3, "expected multi-block v2 fixture, got {blocks}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pinned_v2_corpus_flists_and_mines_identically() {
+    let (vocab, items) = compat_vocab();
+    let seqs = compat_sequences(&items, 400);
+    let db = to_db(&seqs);
+    let dir = temp_dir("mine");
+    v2_writer::write_v2_corpus(&dir, &vocab, &seqs, 4, 512);
+
+    let reader = CorpusReader::open(&dir).unwrap();
+    // Header-only f-list from v2 sketches equals the in-memory compute.
+    let flist = reader.flist().unwrap().expect("fixture writes sketches");
+    let reference = FList::compute(&db, &vocab);
+    for item in vocab.items() {
+        assert_eq!(
+            flist.frequency(item),
+            reference.frequency(item),
+            "f-list differs at {}",
+            vocab.name(item)
+        );
+    }
+    // Mining from v2 storage equals mining the same data in memory.
+    let params = GsmParams::new(2, 1, 3).unwrap();
+    let lash = Lash::default();
+    let from_store = named_patterns(&reader.mine(&lash, &params).unwrap(), &vocab);
+    let from_memory = named_patterns(&lash.mine(&db, &vocab, &params).unwrap(), &vocab);
+    assert_eq!(from_store, from_memory, "v2 corpus mined differently");
+    assert!(!from_store.is_empty(), "workload must produce patterns");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v2_corpus_grows_mixed_generations_and_migrates_via_compaction() {
+    let (vocab, items) = compat_vocab();
+    let seqs = compat_sequences(&items, 250);
+    let dir = temp_dir("migrate");
+    v2_writer::write_v2_corpus(&dir, &vocab, &seqs, 3, 512);
+
+    // Append a generation with the *current* writer: the corpus now mixes
+    // v2 and current-codec segments, and every scan chains across both.
+    let extra = compat_sequences(&items, 330);
+    let mut incr = IncrementalWriter::open(&dir).unwrap();
+    for seq in &extra[250..] {
+        incr.append(seq).unwrap();
+    }
+    let manifest = incr.finish().unwrap();
+    assert_eq!(
+        manifest.version,
+        2u32.max(effective_codec().format_version()),
+        "manifest version must track the newest segment format"
+    );
+
+    let mut all = seqs.clone();
+    all.extend_from_slice(&extra[250..]);
+    let db = to_db(&all);
+    let params = GsmParams::new(2, 1, 3).unwrap();
+    let lash = Lash::default();
+    let reference = named_patterns(&lash.mine(&db, &vocab, &params).unwrap(), &vocab);
+
+    let mixed = CorpusReader::open(&dir).unwrap();
+    assert_eq!(mixed.to_database().unwrap().len(), all.len());
+    let mixed_mined = named_patterns(&mixed.mine(&lash, &params).unwrap(), &vocab);
+    assert_eq!(
+        mixed_mined, reference,
+        "mixed v2+v3 corpus mined differently"
+    );
+
+    // Compact down to one generation: the merge re-blocks every v2 payload
+    // with the current codec — compaction *is* the migration. (Under the CI
+    // LASH_COMPACT_EVERY leg the seal above already compacted, so the
+    // explicit call may legitimately find nothing to do.)
+    let auto_compacted =
+        std::env::var_os(lash_store::COMPACT_EVERY_ENV).is_some_and(|v| !v.is_empty());
+    let stats =
+        compact::compact(&dir, &CompactionConfig::default().with_max_generations(1)).unwrap();
+    assert!(
+        stats.is_some() || auto_compacted,
+        "two generations must trigger a round"
+    );
+    let compacted = CorpusReader::open(&dir).unwrap();
+    assert_eq!(compacted.num_generations(), 1);
+    assert_eq!(
+        compacted.manifest().version,
+        2u32.max(effective_codec().format_version())
+    );
+    let back = compacted.to_database().unwrap();
+    for (i, seq) in all.iter().enumerate() {
+        assert_eq!(back.get(i), &seq[..], "sequence {i} changed in migration");
+    }
+    let compacted_mined = named_patterns(&compacted.mine(&lash, &params).unwrap(), &vocab);
+    assert_eq!(
+        compacted_mined, reference,
+        "migration changed mining results"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn requested_codec_controls_written_version() {
+    // Under LASH_FORCE_CODEC both corpora collapse onto the forced codec;
+    // the assertions compare against what the writer will actually do.
+    let forced = std::env::var(FORCE_CODEC_ENV)
+        .ok()
+        .filter(|v| !v.trim().is_empty());
+    let (vocab, items) = compat_vocab();
+    let seqs = compat_sequences(&items, 60);
+    let db = to_db(&seqs);
+    for (codec, version) in [(PayloadCodec::Varint, 2), (PayloadCodec::GroupVarint, 3)] {
+        let expected_version = match &forced {
+            Some(_) => effective_codec().format_version(),
+            None => version,
+        };
+        let dir = temp_dir("codec");
+        lash_store::convert::write_database(
+            &dir,
+            &vocab,
+            &db,
+            StoreOptions::default().with_codec(codec),
+        )
+        .unwrap();
+        let reader = CorpusReader::open(&dir).unwrap();
+        assert_eq!(reader.manifest().version, expected_version);
+        assert_eq!(reader.to_database().unwrap().len(), seqs.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn pinned_corpus_stays_v2_through_codec_aware_appends() {
+    // A corpus kept on the v2 codec for old readers can keep growing on v2:
+    // `IncrementalWriter::open_with_codec` is the continuation of the
+    // `with_codec` pin, so neither the segments nor the manifest upgrade.
+    // (LASH_FORCE_CODEC still overrides both writers, so under the forced
+    // legs the assertion tracks the forced codec instead.)
+    let (vocab, items) = compat_vocab();
+    let seqs = compat_sequences(&items, 80);
+    let db = to_db(&seqs);
+    let dir = temp_dir("pinned");
+    lash_store::convert::write_database(
+        &dir,
+        &vocab,
+        &db,
+        StoreOptions::default().with_codec(PayloadCodec::Varint),
+    )
+    .unwrap();
+
+    let mut incr =
+        IncrementalWriter::open_with_codec(&dir, 64 * 1024, PayloadCodec::Varint).unwrap();
+    let extra = compat_sequences(&items, 140);
+    for seq in &extra[80..] {
+        incr.append(seq).unwrap();
+    }
+    let manifest = incr.finish().unwrap();
+    let forced = std::env::var(FORCE_CODEC_ENV)
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .is_some();
+    // LASH_COMPACT_EVERY auto-compacts on seal, and compaction re-encodes
+    // with the process-wide codec — so under either CI env the version
+    // tracks that codec instead of the pin.
+    let auto_compacted =
+        std::env::var_os(lash_store::COMPACT_EVERY_ENV).is_some_and(|v| !v.is_empty());
+    let expected_version = if forced || auto_compacted {
+        effective_codec().format_version()
+    } else {
+        2
+    };
+    assert_eq!(
+        manifest.version, expected_version,
+        "pin must hold on append"
+    );
+
+    let reader = CorpusReader::open(&dir).unwrap();
+    let back = reader.to_database().unwrap();
+    assert_eq!(back.len(), 140);
+    for (i, seq) in seqs.iter().chain(&extra[80..]).enumerate() {
+        assert_eq!(back.get(i), &seq[..], "sequence {i}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

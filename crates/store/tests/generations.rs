@@ -429,3 +429,49 @@ proptest! {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
+
+#[test]
+fn mixed_codec_generations_chain_transparently() {
+    // A corpus whose generations were written in different block formats
+    // (v2 varint, then the current codec) must scan, f-list, and mine as
+    // one seamless corpus — readers dispatch per segment, not per corpus.
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 240);
+    let dir = temp_dir("mixed-codec");
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(3))
+        .with_block_budget(64)
+        .with_codec(lash_store::PayloadCodec::Varint);
+    let mut writer = CorpusWriter::create(&dir, &vocab, opts).unwrap();
+    for i in 0..120 {
+        writer.append(db.get(i)).unwrap();
+    }
+    writer.finish().unwrap();
+    // The incremental generation uses the process-wide default codec
+    // (group varint, unless LASH_FORCE_CODEC collapses it to v2).
+    let mut incr = IncrementalWriter::open(&dir).unwrap();
+    for i in 120..240 {
+        incr.append(db.get(i)).unwrap();
+    }
+    incr.finish().unwrap();
+
+    let reader = CorpusReader::open(&dir).unwrap();
+    let back = reader.to_database().unwrap();
+    assert_eq!(back.len(), 240);
+    for i in 0..240 {
+        assert_eq!(back.get(i), db.get(i), "sequence {i}");
+    }
+    let from_headers = reader.flist().unwrap().expect("sketches on by default");
+    let sequential = FList::compute(&db, &vocab);
+    for item in vocab.items() {
+        assert_eq!(from_headers.frequency(item), sequential.frequency(item));
+    }
+    let params = GsmParams::new(2, 0, 2).unwrap();
+    let lash = Lash::default();
+    assert_eq!(
+        named_patterns(&reader.mine(&lash, &params).unwrap(), &vocab),
+        named_patterns(&lash.mine(&db, &vocab, &params).unwrap(), &vocab),
+        "mixed-codec corpus mined differently"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use lash_core::flist::FList;
 use lash_core::{ItemId, SequenceDatabase, Vocabulary, VocabularyBuilder};
-use lash_store::{CorpusReader, Partitioning, StoreOptions};
+use lash_store::{CorpusReader, Partitioning, PayloadCodec, StoreOptions};
 use proptest::prelude::*;
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -64,12 +64,16 @@ fn arb_options() -> impl Strategy<Value = StoreOptions> {
         // Budgets from "every sequence its own block" to "one block per shard".
         prop_oneof![1 => Just(1usize), 2 => 8usize..512, 1 => Just(1 << 20)],
         any::<bool>(),
+        // Every invariant must hold in both block formats (the env override
+        // `LASH_FORCE_CODEC` may collapse this choice in the CI legs).
+        prop_oneof![Just(PayloadCodec::Varint), Just(PayloadCodec::GroupVarint),],
     )
-        .prop_map(|(partitioning, budget, sketches)| {
+        .prop_map(|(partitioning, budget, sketches, codec)| {
             StoreOptions::default()
                 .with_partitioning(partitioning)
                 .with_block_budget(budget)
                 .with_sketches(sketches)
+                .with_codec(codec)
         })
 }
 

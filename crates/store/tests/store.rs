@@ -522,3 +522,77 @@ fn pruned_trait_scan_respects_the_relevance_contract() {
     std::fs::remove_dir_all(&dir).unwrap();
     std::fs::remove_dir_all(&dir2).unwrap();
 }
+
+#[test]
+fn pruned_scan_hoists_the_relevance_predicate_per_scan() {
+    // The fix under test: `scan_shard_pruned` evaluates `relevant` once per
+    // vocabulary item per scan (a hoisted lookup table), not once per
+    // (block, sketch entry) — while making *identical* pruning decisions.
+    use lash_core::ShardedCorpus;
+    use std::sync::atomic::AtomicUsize;
+
+    let (vocab, items) = small_vocab();
+    let db = sample_db(&items, 400);
+    let dir = temp_dir("pruned-hoist");
+    // A tiny budget forces many blocks per shard, so the per-block cost of
+    // the old behavior would be unmistakable in the call count.
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(2))
+        .with_block_budget(32);
+    lash_store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+    let blocks: u64 = reader.manifest().shards.iter().map(|s| s.blocks).sum();
+    assert!(
+        blocks as usize > vocab.len(),
+        "need more blocks ({blocks}) than vocabulary items ({}) for the count to discriminate",
+        vocab.len()
+    );
+
+    let b = vocab.lookup("B").unwrap();
+    for predicate in [
+        (&|item: ItemId| item == b) as &(dyn Fn(ItemId) -> bool + Sync),
+        &|_| false,
+        &|item: ItemId| item.as_u32().is_multiple_of(2),
+    ] {
+        // Hoisted path, with every predicate evaluation counted.
+        let calls = AtomicUsize::new(0);
+        let counted = |item: ItemId| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            predicate(item)
+        };
+        let mut pruned_ids: Vec<u64> = Vec::new();
+        for shard in 0..ShardedCorpus::num_shards(&reader) {
+            reader
+                .scan_shard_pruned(shard, &counted, &mut |id, _| pruned_ids.push(id))
+                .unwrap();
+        }
+        let shards = ShardedCorpus::num_shards(&reader);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            vocab.len() * shards,
+            "predicate must be evaluated exactly once per item per shard scan"
+        );
+
+        // Reference: the unhoisted per-block decision, straight from the
+        // sketch — pruning decisions must be identical.
+        let mut reference_ids: Vec<u64> = Vec::new();
+        for shard in 0..reader.num_shards() {
+            let filter = |header: &lash_store::BlockHeader| {
+                header
+                    .sketch
+                    .iter()
+                    .any(|&(item, _)| predicate(ItemId::from_u32(item)))
+            };
+            let mut scan = reader.scan_shard_filtered(shard, &filter).unwrap();
+            while let Some(batch) = scan.next_batch().unwrap() {
+                for (id, _) in batch.iter() {
+                    reference_ids.push(id);
+                }
+            }
+        }
+        pruned_ids.sort_unstable();
+        reference_ids.sort_unstable();
+        assert_eq!(pruned_ids, reference_ids, "pruning decisions diverged");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
