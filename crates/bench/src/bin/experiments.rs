@@ -21,7 +21,7 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
-use lash_bench::experiments::{ablation, compaction, decode, fig4, fig5, fig6, tables};
+use lash_bench::experiments::{ablation, compaction, decode, fig4, fig5, fig6, query, tables};
 use lash_bench::{Datasets, Report};
 
 fn main() {
@@ -122,6 +122,14 @@ fn main() {
                     baseline.as_deref(),
                 );
             }
+            "query" => {
+                bench_ok &= query::query(
+                    &mut datasets,
+                    &mut report,
+                    out.as_deref(),
+                    baseline.as_deref(),
+                );
+            }
             other => die(&format!("unknown subcommand {other}; see --help")),
         }
     }
@@ -154,6 +162,7 @@ const ALL: &[&str] = &[
     "ablation",
     "compaction",
     "decode",
+    "query",
 ];
 
 const HELP: &str = "\
@@ -173,13 +182,15 @@ subcommands:
   compaction                                 scan throughput vs. generation count
   decode                                     block-decode throughput by payload codec
                                              (writes BENCH_decode.json to --out)
+  query                                      pattern-index query throughput
+                                             (writes BENCH_query.json to --out)
   all                                        everything
 
 options:
   --scale F         dataset scale factor (default 1.0, about 20k sequences)
   --out DIR         CSV output directory (default bench_results/)
-  --baseline FILE   compare `decode` against a baseline BENCH_decode.json and
-                    fail on >15% throughput regression (the CI bench gate)
+  --baseline FILE   compare `decode`/`query` against a baseline BENCH_*.json and
+                    fail on >15% throughput regression (the CI bench gates)
   --no-csv          disable CSV output
 ";
 

@@ -4,8 +4,9 @@
 //! This is the perf-tracking experiment behind CI's `bench-regression`
 //! leg: it writes its measurements to `BENCH_decode.json` (uploaded as a
 //! build artifact) and, when given `--baseline <json>`, fails the run if
-//! block-decode throughput regressed more than [`REGRESSION_TOLERANCE`]
-//! against the checked-in numbers. To refresh the baseline after an
+//! block-decode throughput regressed more than
+//! [`super::REGRESSION_TOLERANCE`] against the checked-in numbers. To
+//! refresh the baseline after an
 //! intentional change (or a runner-class change), copy the artifact over
 //! `crates/bench/baselines/BENCH_decode.json`.
 //!
@@ -22,12 +23,10 @@ use crate::report::{Report, Table};
 use crate::Datasets;
 use lash_datagen::TextHierarchy;
 
+use super::check_baseline;
+
 const SHARDS: u32 = 4;
 const SCAN_ITERS: u32 = 7;
-
-/// Allowed relative throughput drop against the baseline before the run
-/// fails (the CI gate's contract: >15% regression is a failure).
-pub const REGRESSION_TOLERANCE: f64 = 0.15;
 
 /// One codec's measurements.
 struct Measurement {
@@ -62,18 +61,6 @@ fn measure(reader: &CorpusReader) -> Measurement {
             .sum(),
         blocks: reader.manifest().shards.iter().map(|s| s.blocks).sum(),
     }
-}
-
-/// Extracts `"key": <number>` from a flat JSON object — enough for the
-/// files this experiment writes itself (the repo is offline; no JSON dep).
-fn json_number(json: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let rest = &json[json.find(&needle)? + needle.len()..];
-    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 /// Runs the decode experiment; returns `false` when a baseline was given
@@ -158,51 +145,14 @@ pub fn decode(
     }
     report.add(table);
 
-    let mut ok = true;
-    if let Some(path) = baseline {
-        match std::fs::read_to_string(path) {
-            Ok(base) => {
-                for (key, current) in [
-                    ("decode_melems_v2", v2.melems),
-                    ("decode_melems_v3", v3.melems),
-                ] {
-                    let Some(expected) = json_number(&base, key) else {
-                        eprintln!("error: baseline {} lacks key {key}", path.display());
-                        ok = false;
-                        continue;
-                    };
-                    let floor = expected * (1.0 - REGRESSION_TOLERANCE);
-                    if current < floor {
-                        eprintln!(
-                            "error: {key} regressed: {current:.1} Melem/s < {floor:.1} \
-                             (baseline {expected:.1} − {:.0}% tolerance)",
-                            REGRESSION_TOLERANCE * 100.0
-                        );
-                        ok = false;
-                    } else {
-                        println!("baseline check: {key} {current:.1} Melem/s >= {floor:.1} — ok");
-                    }
-                }
-            }
-            Err(e) => {
-                eprintln!("error: cannot read baseline {}: {e}", path.display());
-                ok = false;
-            }
-        }
-    }
-    ok
-}
-
-#[cfg(test)]
-mod tests {
-    use super::json_number;
-
-    #[test]
-    fn flat_json_numbers_parse() {
-        let json = "{\n  \"a\": 12.5,\n  \"b_c\": 3,\n  \"neg\": -1.25e2\n}";
-        assert_eq!(json_number(json, "a"), Some(12.5));
-        assert_eq!(json_number(json, "b_c"), Some(3.0));
-        assert_eq!(json_number(json, "neg"), Some(-125.0));
-        assert_eq!(json_number(json, "missing"), None);
+    match baseline {
+        Some(path) => check_baseline(
+            path,
+            &[
+                ("decode_melems_v2", v2.melems),
+                ("decode_melems_v3", v3.melems),
+            ],
+        ),
+        None => true,
     }
 }

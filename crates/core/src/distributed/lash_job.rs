@@ -267,7 +267,17 @@ pub struct LashResult {
 }
 
 impl LashResult {
-    /// The mined patterns in vocabulary space, sorted by descending frequency.
+    /// The mined patterns in vocabulary space, sorted by descending
+    /// frequency with ties broken by ascending items.
+    ///
+    /// The order is **deterministic**: the pattern set is assembled through
+    /// an ordered [`PatternSet`] and this final sort is total (items are
+    /// unique), so repeated runs over the same corpus and parameters —
+    /// across `mine`/`mine_sharded`, any parallelism, and the in-memory vs
+    /// spilled shuffle paths — return the identical `Vec`. Consumers that
+    /// persist the output (e.g. the `lash-index` trie builder, which
+    /// requires lexicographically sorted input — see
+    /// [`crate::pattern::sort_patterns_lexicographic`]) rely on this.
     pub fn patterns(&self) -> &[Pattern] {
         &self.patterns
     }

@@ -17,6 +17,19 @@ pub struct Pattern {
     pub frequency: u64,
 }
 
+/// Sorts patterns into the canonical *lexicographic* order (ascending by
+/// items, which are unique across a mining result).
+///
+/// This is the layout order consumers that index the output require —
+/// `lash-index` builds its prefix trie from a stream of lexicographically
+/// ascending patterns — as opposed to the frequency-descending *report*
+/// order of `LashResult::patterns`. Both orders are total and
+/// deterministic, so the same corpus and parameters always produce the
+/// same byte stream downstream.
+pub fn sort_patterns_lexicographic(patterns: &mut [Pattern]) {
+    patterns.sort_unstable_by(|a, b| a.items.cmp(&b.items));
+}
+
 impl Pattern {
     /// Renders the pattern as item names.
     pub fn to_names(&self, vocab: &Vocabulary) -> Vec<String> {
@@ -171,6 +184,33 @@ mod tests {
         assert_eq!(only_a, vec![vec![1]]);
         assert_eq!(only_b, vec![vec![3]]);
         assert_eq!(mismatch, vec![(vec![2], 2, 9)]);
+    }
+
+    #[test]
+    fn lexicographic_sort_is_canonical() {
+        let mut patterns = vec![
+            Pattern {
+                items: vec![crate::vocabulary::ItemId::from_u32(3)],
+                frequency: 9,
+            },
+            Pattern {
+                items: vec![
+                    crate::vocabulary::ItemId::from_u32(1),
+                    crate::vocabulary::ItemId::from_u32(2),
+                ],
+                frequency: 5,
+            },
+            Pattern {
+                items: vec![crate::vocabulary::ItemId::from_u32(1)],
+                frequency: 7,
+            },
+        ];
+        sort_patterns_lexicographic(&mut patterns);
+        let orders: Vec<Vec<u32>> = patterns
+            .iter()
+            .map(|p| p.items.iter().map(|i| i.as_u32()).collect())
+            .collect();
+        assert_eq!(orders, vec![vec![1], vec![1, 2], vec![3]]);
     }
 
     #[test]

@@ -245,6 +245,21 @@ impl Vocabulary {
         &self.chains[lo..hi]
     }
 
+    /// The ancestor chain of `item`, with the item id checked against the
+    /// vocabulary first: ids outside `0..len()` surface as
+    /// [`Error::UnknownItem`] instead of a panic.
+    ///
+    /// This is the entry point for query-time ancestor expansion (the
+    /// pattern index resolves queries phrased in leaf items by expanding
+    /// every query item to its ancestors), where item ids arrive from
+    /// untrusted requests rather than from this vocabulary.
+    pub fn try_chain(&self, item: ItemId) -> Result<&[ItemId]> {
+        if item.index() >= self.names.len() {
+            return Err(Error::UnknownItem(item.as_u32()));
+        }
+        Ok(self.chain(item))
+    }
+
     /// True if `u →* v`: `u` equals `v` or `v` is an ancestor of `u`
     /// (i.e. `u` generalizes to `v`).
     pub fn generalizes_to(&self, u: ItemId, v: ItemId) -> bool {
@@ -277,6 +292,71 @@ impl Vocabulary {
             vb.intern(self.name(item));
         }
         vb.finish().expect("flat vocabulary is always valid")
+    }
+
+    /// Appends the compact binary encoding of this vocabulary and its
+    /// hierarchy to `buf`: item count, the names in intern order
+    /// (varint-length-prefixed UTF-8), then `parent + 1` per item with 0
+    /// meaning "root".
+    ///
+    /// This is the persistence layout both `lash-store` manifests and
+    /// `lash-index` manifests embed — one codec, so the wire contract
+    /// cannot drift between the crates that store vocabularies.
+    pub fn encode_bytes(&self, buf: &mut Vec<u8>) {
+        lash_encoding::encode_u32(self.len() as u32, buf);
+        for item in self.items() {
+            let name = self.name(item).as_bytes();
+            lash_encoding::encode_u32(name.len() as u32, buf);
+            buf.extend_from_slice(name);
+        }
+        for item in self.items() {
+            lash_encoding::encode_u32(self.parent(item).map_or(0, |p| p.as_u32() + 1), buf);
+        }
+    }
+
+    /// Decodes a payload produced by [`Vocabulary::encode_bytes`],
+    /// preserving item ids (intern order). Corrupt payloads surface as
+    /// typed errors — truncation, over-long names, invalid UTF-8,
+    /// duplicate names, out-of-range parents, trailing bytes, and
+    /// hierarchy violations are all rejected.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Vocabulary> {
+        use lash_encoding::DecodeError;
+        let (n, consumed) = lash_encoding::decode_u32(bytes)?;
+        let mut pos = consumed;
+        let mut builder = VocabularyBuilder::new();
+        let mut ids = Vec::with_capacity((n as usize).min(bytes.len()));
+        for _ in 0..n {
+            let (len, consumed) = lash_encoding::decode_u32(&bytes[pos..])?;
+            pos += consumed;
+            let end = pos + len as usize;
+            if end > bytes.len() {
+                return Err(DecodeError::Corrupt("vocabulary name overruns payload").into());
+            }
+            let name = std::str::from_utf8(&bytes[pos..end])
+                .map_err(|_| DecodeError::Corrupt("vocabulary name is not UTF-8"))?;
+            pos = end;
+            let before = builder.len();
+            let id = builder.intern(name);
+            if builder.len() == before {
+                return Err(DecodeError::Corrupt("duplicate vocabulary name").into());
+            }
+            ids.push(id);
+        }
+        let mut r = lash_encoding::varint::VarintReader::new(&bytes[pos..]);
+        for &child in &ids {
+            let parent = r.read_u32()?;
+            if parent > 0 {
+                let parent = ItemId::from_u32(parent - 1);
+                if parent.index() >= ids.len() {
+                    return Err(DecodeError::Corrupt("vocabulary parent id out of range").into());
+                }
+                builder.set_parent(child, parent)?;
+            }
+        }
+        if !r.is_empty() {
+            return Err(DecodeError::Corrupt("trailing vocabulary bytes").into());
+        }
+        builder.finish()
     }
 
     /// Summary statistics matching the paper's Table 2 columns.
@@ -412,6 +492,38 @@ mod tests {
         };
         assert_eq!(vocab.chain(b11), &[b11, b1, b_cap]);
         assert_eq!(vocab.chain(b_cap), &[b_cap]);
+    }
+
+    #[test]
+    fn binary_codec_round_trips_and_rejects_garbage() {
+        let (vocab, _) = fig1_vocabulary();
+        let mut buf = Vec::new();
+        vocab.encode_bytes(&mut buf);
+        let back = Vocabulary::decode_bytes(&buf).unwrap();
+        assert_eq!(back.len(), vocab.len());
+        for item in vocab.items() {
+            assert_eq!(back.name(item), vocab.name(item));
+            assert_eq!(back.parent(item), vocab.parent(item));
+        }
+        // Truncations error, never panic.
+        for cut in 0..buf.len() {
+            assert!(Vocabulary::decode_bytes(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn try_chain_rejects_out_of_vocabulary_ids() {
+        let (vocab, ids) = fig1_vocabulary();
+        assert_eq!(vocab.try_chain(ids[7]).unwrap(), vocab.chain(ids[7]));
+        let bogus = ItemId::from_u32(vocab.len() as u32);
+        assert_eq!(
+            vocab.try_chain(bogus),
+            Err(Error::UnknownItem(bogus.as_u32()))
+        );
+        assert_eq!(
+            vocab.try_chain(ItemId::from_u32(u32::MAX)),
+            Err(Error::UnknownItem(u32::MAX))
+        );
     }
 
     #[test]

@@ -33,6 +33,17 @@ use crate::DecodeError;
 /// absurd length prefix from corrupt input and attempting the allocation.
 pub const MAX_FRAME_LEN: usize = 1 << 30;
 
+/// Default target payload size of one frame-wrapped block (64 KiB).
+///
+/// The shared buffer-cap every framed block stream in the workspace cuts
+/// at: `lash-store` segment blocks, `lash-index` trie blocks, and the
+/// MapReduce spill chunks all buffer records until the payload reaches
+/// this budget and then seal the frame. One named constant instead of a
+/// `64 * 1024` literal per crate, so the trade-off (frame overhead and
+/// checksum granularity vs. corruption blast radius and decode-batch
+/// size) is tuned in one place.
+pub const DEFAULT_BLOCK_BYTES: usize = 64 * 1024;
+
 /// FNV-1a 32-bit checksum of `bytes`.
 #[inline]
 pub fn checksum(bytes: &[u8]) -> u32 {

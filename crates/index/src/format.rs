@@ -1,0 +1,453 @@
+//! The on-disk format of the pattern index.
+//!
+//! Everything on disk is wrapped in `lash-encoding` frames (varint length
+//! prefix + payload + checksum), mirroring `lash-store`: the manifest file
+//! `INDEX.lash` holds a header frame and a vocabulary frame (classic
+//! FNV-1a-32 checksums, readable before any version dispatch), the trie
+//! file `trie.lash` holds a header frame (classic) followed by node-block
+//! frames verified with the word-wise wide checksum
+//! ([`lash_encoding::frame::checksum_wide`]), the flavor `lash-store`
+//! format-v3 block frames use.
+//!
+//! ## Node layout
+//!
+//! The concatenated payloads of the trie's block frames form the node
+//! *arena*; a node is addressed by its byte offset in the arena. Nodes are
+//! written bottom-up, so every child offset is strictly smaller than its
+//! parent's offset — which both guarantees termination of any walk over a
+//! (checksum-passing but logically) corrupt arena and lets the decoder
+//! reject offset cycles outright. One node is:
+//!
+//! ```text
+//! varint u64   freq + 1          (0 ⇒ the path to this node is no pattern)
+//! varint u64   max subtree freq  (top-k pruning bound, includes self)
+//! varint u32   child count n
+//! n > 0:
+//!   group-varint u32 × n         child item-id deltas (first absolute,
+//!                                 then gaps; ids strictly ascend)
+//!   varint u64 × n               child offset deltas (first absolute,
+//!                                 then gaps; offsets strictly ascend)
+//! ```
+//!
+//! The root node is written last and its offset recorded in the manifest.
+
+use lash_core::vocabulary::Vocabulary;
+use lash_encoding::varint::VarintReader;
+use lash_encoding::{group_varint, varint};
+
+use crate::{IndexError, Result};
+
+/// Name of the manifest file inside an index directory.
+pub const MANIFEST_FILE: &str = "INDEX.lash";
+
+/// Name of the trie file inside an index directory.
+pub const TRIE_FILE: &str = "trie.lash";
+
+/// Magic bytes opening the manifest header frame.
+pub(crate) const MANIFEST_MAGIC: &[u8; 8] = b"LASHPIDX";
+
+/// Magic bytes opening the trie file's header frame.
+pub(crate) const TRIE_MAGIC: &[u8; 8] = b"LASHTRIE";
+
+/// The index format version this build writes.
+pub const INDEX_FORMAT_VERSION: u32 = 1;
+
+/// The oldest index format version this build still reads.
+pub const MIN_INDEX_FORMAT_VERSION: u32 = 1;
+
+/// The checksum flavor of trie node-block frames (header frames stay
+/// classic so they are readable before any version dispatch).
+pub(crate) const BLOCK_CHECKSUM: lash_encoding::FrameChecksum =
+    lash_encoding::FrameChecksum::Fnv1aWide;
+
+/// Everything the manifest records about an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexManifest {
+    /// Format version the index was written with.
+    pub version: u32,
+    /// Number of indexed patterns (trie terminals).
+    pub num_patterns: u64,
+    /// Number of trie nodes, including the root.
+    pub num_nodes: u64,
+    /// Total bytes of the node arena (concatenated block payloads).
+    pub arena_len: u64,
+    /// Arena offset of the root node.
+    pub root_offset: u64,
+    /// Maximum pattern frequency in the index (0 when empty).
+    pub max_frequency: u64,
+}
+
+/// Encodes the manifest header frame payload.
+pub(crate) fn encode_manifest_header(m: &IndexManifest, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    varint::encode_u32(m.version, buf);
+    varint::encode_u64(m.num_patterns, buf);
+    varint::encode_u64(m.num_nodes, buf);
+    varint::encode_u64(m.arena_len, buf);
+    varint::encode_u64(m.root_offset, buf);
+    varint::encode_u64(m.max_frequency, buf);
+}
+
+/// Decodes and validates the manifest header frame payload.
+pub(crate) fn decode_manifest_header(bytes: &[u8]) -> Result<IndexManifest> {
+    if bytes.len() < MANIFEST_MAGIC.len() || &bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+        return Err(IndexError::Corrupt("index manifest magic mismatch".into()));
+    }
+    let mut r = VarintReader::new(&bytes[MANIFEST_MAGIC.len()..]);
+    let version = r.read_u32()?;
+    // Versions are rejected before any version-dependent field is read: a
+    // manifest written by a future build must surface as
+    // UnsupportedVersion, never be misparsed into a plausible manifest.
+    if !(MIN_INDEX_FORMAT_VERSION..=INDEX_FORMAT_VERSION).contains(&version) {
+        return Err(IndexError::UnsupportedVersion { found: version });
+    }
+    let manifest = IndexManifest {
+        version,
+        num_patterns: r.read_u64()?,
+        num_nodes: r.read_u64()?,
+        arena_len: r.read_u64()?,
+        root_offset: r.read_u64()?,
+        max_frequency: r.read_u64()?,
+    };
+    if !r.is_empty() {
+        return Err(IndexError::Corrupt("trailing manifest header bytes".into()));
+    }
+    if manifest.root_offset >= manifest.arena_len {
+        return Err(IndexError::Corrupt(format!(
+            "root offset {} not inside the {}-byte arena",
+            manifest.root_offset, manifest.arena_len
+        )));
+    }
+    Ok(manifest)
+}
+
+/// Encodes the trie file's header frame payload.
+pub(crate) fn encode_trie_header(version: u32, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(TRIE_MAGIC);
+    varint::encode_u32(version, buf);
+}
+
+/// Decodes and validates the trie file's header frame payload.
+pub(crate) fn decode_trie_header(bytes: &[u8]) -> Result<u32> {
+    if bytes.len() < TRIE_MAGIC.len() || &bytes[..TRIE_MAGIC.len()] != TRIE_MAGIC {
+        return Err(IndexError::Corrupt("trie file magic mismatch".into()));
+    }
+    let mut r = VarintReader::new(&bytes[TRIE_MAGIC.len()..]);
+    let version = r.read_u32()?;
+    if !(MIN_INDEX_FORMAT_VERSION..=INDEX_FORMAT_VERSION).contains(&version) {
+        return Err(IndexError::UnsupportedVersion { found: version });
+    }
+    if !r.is_empty() {
+        return Err(IndexError::Corrupt("trailing trie header bytes".into()));
+    }
+    Ok(version)
+}
+
+/// Encodes the interned vocabulary + hierarchy frame payload — the shared
+/// [`Vocabulary::encode_bytes`] layout `lash-store` manifests embed too,
+/// so the wire contract lives in one place (`lash-core`).
+pub(crate) fn encode_vocabulary(vocab: &Vocabulary, buf: &mut Vec<u8>) {
+    vocab.encode_bytes(buf);
+}
+
+/// Decodes a vocabulary frame payload, preserving item ids (intern order).
+pub(crate) fn decode_vocabulary(bytes: &[u8]) -> Result<Vocabulary> {
+    Vocabulary::decode_bytes(bytes)
+        .map_err(|e| IndexError::Corrupt(format!("invalid vocabulary: {e}")))
+}
+
+/// Serializes one trie node into `buf` (see the module docs for the
+/// layout). `children` are `(item id, arena offset)` pairs, already sorted
+/// by ascending item id; offsets ascend with them because children are
+/// emitted in id order.
+pub(crate) fn encode_node(
+    freq: Option<u64>,
+    max_desc: u64,
+    children: &[(u32, u64)],
+    id_deltas: &mut Vec<u32>,
+    buf: &mut Vec<u8>,
+) {
+    varint::encode_u64(freq.map_or(0, |f| f + 1), buf);
+    varint::encode_u64(max_desc, buf);
+    varint::encode_u32(children.len() as u32, buf);
+    if children.is_empty() {
+        return;
+    }
+    id_deltas.clear();
+    let mut prev_id = 0u32;
+    for (i, &(id, _)) in children.iter().enumerate() {
+        id_deltas.push(if i == 0 { id } else { id - prev_id });
+        prev_id = id;
+    }
+    group_varint::encode(id_deltas, buf);
+    let mut prev_off = 0u64;
+    for (i, &(_, off)) in children.iter().enumerate() {
+        varint::encode_u64(if i == 0 { off } else { off - prev_off }, buf);
+        prev_off = off;
+    }
+}
+
+/// A decoded trie node: header plus children, materialized into
+/// caller-owned buffers so query walks reuse allocations.
+#[derive(Debug, Default)]
+pub(crate) struct NodeBuf {
+    /// Frequency of the pattern ending at this node, if it is one.
+    pub freq: Option<u64>,
+    /// Maximum pattern frequency in this node's subtree (including self).
+    pub max_desc: u64,
+    /// Child item ids, strictly ascending.
+    pub ids: Vec<u32>,
+    /// Child arena offsets, strictly ascending, all below this node's own
+    /// offset.
+    pub offsets: Vec<u64>,
+}
+
+/// Decodes the node header at `arena[offset..]`: `(freq, max_desc, child
+/// count, bytes consumed)` — the first half of [`decode_node`], split out
+/// so the header invariants (frequency within the subtree bound) are
+/// checked in one place.
+pub(crate) fn decode_node_header(
+    arena: &[u8],
+    offset: u64,
+) -> Result<(Option<u64>, u64, u32, usize)> {
+    let at = offset as usize;
+    if at >= arena.len() {
+        return Err(IndexError::Corrupt(format!(
+            "node offset {offset} outside the {}-byte arena",
+            arena.len()
+        )));
+    }
+    let bytes = &arena[at..];
+    let (freq_plus_one, a) = varint::decode_u64(bytes)?;
+    let (max_desc, b) = varint::decode_u64(&bytes[a..])?;
+    let (children, c) = varint::decode_u32(&bytes[a + b..])?;
+    let freq = freq_plus_one.checked_sub(1);
+    if let Some(f) = freq {
+        if f > max_desc {
+            return Err(IndexError::Corrupt(
+                "node frequency exceeds its subtree bound".into(),
+            ));
+        }
+    }
+    Ok((freq, max_desc, children, a + b + c))
+}
+
+/// Decodes the whole node at `arena[offset..]` into `node`, returning the
+/// number of arena bytes the node occupies (so a sequential decode can
+/// walk node to node).
+///
+/// Every structural invariant is checked so a checksum-passing but
+/// logically corrupt arena surfaces as [`IndexError::Corrupt`] instead of
+/// a panic or a runaway walk: child counts are capped by the vocabulary
+/// size (ids are distinct), ids must stay inside the vocabulary, and
+/// offsets must strictly ascend yet stay below the node's own offset.
+pub(crate) fn decode_node(
+    arena: &[u8],
+    offset: u64,
+    vocab_len: u32,
+    node: &mut NodeBuf,
+) -> Result<usize> {
+    let (freq, max_desc, children, header_len) = decode_node_header(arena, offset)?;
+    node.freq = freq;
+    node.max_desc = max_desc;
+    node.ids.clear();
+    node.offsets.clear();
+    if children == 0 {
+        return Ok(header_len);
+    }
+    if children > vocab_len {
+        return Err(IndexError::Corrupt(format!(
+            "node claims {children} children, vocabulary holds {vocab_len} items"
+        )));
+    }
+    let mut pos = offset as usize + header_len;
+    node.ids.resize(children as usize, 0);
+    pos += group_varint::decode(&arena[pos.min(arena.len())..], &mut node.ids)?;
+    // Deltas → absolute ids, validated against the vocabulary.
+    let mut id = 0u32;
+    for (i, delta) in node.ids.iter_mut().enumerate() {
+        let gap = *delta;
+        if i > 0 && gap == 0 {
+            return Err(IndexError::Corrupt("child item ids not ascending".into()));
+        }
+        id = id
+            .checked_add(gap)
+            .ok_or_else(|| IndexError::Corrupt("child item id overflows".into()))?;
+        if id >= vocab_len {
+            return Err(IndexError::Corrupt(format!(
+                "child item id {id} outside the {vocab_len}-item vocabulary"
+            )));
+        }
+        *delta = id;
+    }
+    let mut off = 0u64;
+    for i in 0..children as usize {
+        if pos > arena.len() {
+            return Err(IndexError::Decode(
+                lash_encoding::DecodeError::UnexpectedEof,
+            ));
+        }
+        let (delta, consumed) = varint::decode_u64(&arena[pos..])?;
+        pos += consumed;
+        if i > 0 && delta == 0 {
+            return Err(IndexError::Corrupt("child offsets not ascending".into()));
+        }
+        off = off
+            .checked_add(delta)
+            .ok_or_else(|| IndexError::Corrupt("child offset overflows".into()))?;
+        if off >= offset {
+            return Err(IndexError::Corrupt(format!(
+                "child offset {off} not below its parent's offset {offset}"
+            )));
+        }
+        node.offsets.push(off);
+    }
+    Ok(pos - offset as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_header_round_trips() {
+        let m = IndexManifest {
+            version: INDEX_FORMAT_VERSION,
+            num_patterns: 12,
+            num_nodes: 20,
+            arena_len: 4096,
+            root_offset: 4090,
+            max_frequency: 99,
+        };
+        let mut buf = Vec::new();
+        encode_manifest_header(&m, &mut buf);
+        assert_eq!(decode_manifest_header(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn future_manifest_versions_are_rejected_as_unsupported() {
+        let mut m = IndexManifest {
+            version: INDEX_FORMAT_VERSION + 1,
+            num_patterns: 0,
+            num_nodes: 1,
+            arena_len: 3,
+            root_offset: 0,
+            max_frequency: 0,
+        };
+        let mut buf = Vec::new();
+        encode_manifest_header(&m, &mut buf);
+        assert!(matches!(
+            decode_manifest_header(&buf),
+            Err(IndexError::UnsupportedVersion {
+                found
+            }) if found == INDEX_FORMAT_VERSION + 1
+        ));
+        m.version = 0;
+        buf.clear();
+        encode_manifest_header(&m, &mut buf);
+        assert!(matches!(
+            decode_manifest_header(&buf),
+            Err(IndexError::UnsupportedVersion { found: 0 })
+        ));
+    }
+
+    #[test]
+    fn root_offset_outside_arena_is_corrupt() {
+        let m = IndexManifest {
+            version: INDEX_FORMAT_VERSION,
+            num_patterns: 0,
+            num_nodes: 1,
+            arena_len: 10,
+            root_offset: 10,
+            max_frequency: 0,
+        };
+        let mut buf = Vec::new();
+        encode_manifest_header(&m, &mut buf);
+        assert!(matches!(
+            decode_manifest_header(&buf),
+            Err(IndexError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn node_round_trips_with_and_without_children() {
+        let mut scratch = Vec::new();
+        let mut arena = Vec::new();
+        // A leaf at offset 0.
+        encode_node(Some(7), 7, &[], &mut scratch, &mut arena);
+        let leaf_len = arena.len() as u64;
+        // A second leaf.
+        encode_node(None, 42, &[], &mut scratch, &mut arena);
+        // A parent referencing both.
+        let parent_off = arena.len() as u64;
+        encode_node(
+            Some(3),
+            42,
+            &[(2, 0), (900, leaf_len)],
+            &mut scratch,
+            &mut arena,
+        );
+        let mut node = NodeBuf::default();
+        decode_node(&arena, 0, 1000, &mut node).unwrap();
+        assert_eq!(node.freq, Some(7));
+        assert_eq!(node.max_desc, 7);
+        assert!(node.ids.is_empty());
+        decode_node(&arena, parent_off, 1000, &mut node).unwrap();
+        assert_eq!(node.freq, Some(3));
+        assert_eq!(node.max_desc, 42);
+        assert_eq!(node.ids, vec![2, 900]);
+        assert_eq!(node.offsets, vec![0, leaf_len]);
+    }
+
+    #[test]
+    fn corrupt_nodes_yield_typed_errors() {
+        let mut scratch = Vec::new();
+        let mut arena = Vec::new();
+        encode_node(Some(1), 1, &[], &mut scratch, &mut arena);
+        let off = arena.len() as u64;
+        encode_node(None, 1, &[(5, 0)], &mut scratch, &mut arena);
+        let mut node = NodeBuf::default();
+        // Offset past the arena.
+        assert!(decode_node(&arena, arena.len() as u64, 10, &mut node).is_err());
+        // Child id outside the vocabulary.
+        assert!(matches!(
+            decode_node(&arena, off, 5, &mut node),
+            Err(IndexError::Corrupt(_))
+        ));
+        // A child whose offset is not below its parent's.
+        let mut arena2 = Vec::new();
+        encode_node(None, 1, &[(0, 7)], &mut scratch, &mut arena2);
+        let mut padded = vec![0u8; 7];
+        // Place the node at offset 7 so its child offset equals its own.
+        padded.extend_from_slice(&arena2);
+        assert!(matches!(
+            decode_node(&padded, 7, 10, &mut node),
+            Err(IndexError::Corrupt(_))
+        ));
+        // Frequency above the subtree bound.
+        let mut arena3 = Vec::new();
+        encode_node(Some(9), 3, &[], &mut scratch, &mut arena3);
+        assert!(matches!(
+            decode_node(&arena3, 0, 10, &mut node),
+            Err(IndexError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn vocabulary_round_trips() {
+        let mut vb = lash_core::vocabulary::VocabularyBuilder::new();
+        let root = vb.intern("root");
+        let mid = vb.child("mid", root);
+        vb.child("leaf", mid);
+        vb.intern("loner");
+        let vocab = vb.finish().unwrap();
+        let mut buf = Vec::new();
+        encode_vocabulary(&vocab, &mut buf);
+        let back = decode_vocabulary(&buf).unwrap();
+        assert_eq!(back.len(), vocab.len());
+        for item in vocab.items() {
+            assert_eq!(back.name(item), vocab.name(item));
+            assert_eq!(back.parent(item), vocab.parent(item));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The concurrent query service: an atomically swappable snapshot of a
+//! [`PatternIndexReader`] plus plain request/response structs, so a future
+//! network frontend (HTTP, gRPC, anything) is a thin deserialize →
+//! [`QueryService::execute`] → serialize shim.
+//!
+//! Snapshot semantics mirror `lash-store`'s sealed generations: a reader
+//! is immutable; serving threads grab an [`Arc`] snapshot and query it
+//! lock-free for as long as they like, while [`QueryService::swap`]
+//! atomically installs the index built from a re-mine. In-flight queries
+//! finish against the snapshot they started with; the old index's memory
+//! is released when the last snapshot drops.
+
+use std::sync::{Arc, RwLock};
+
+use lash_core::vocabulary::ItemId;
+
+use crate::reader::PatternIndexReader;
+use crate::Result;
+
+/// A query against the pattern index — the wire-format-agnostic request
+/// shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Exact support of a pattern.
+    Support {
+        /// The pattern, most general to most specific as mined.
+        items: Vec<ItemId>,
+    },
+    /// All patterns starting with a prefix, lexicographically.
+    Enumerate {
+        /// The prefix (empty enumerates every pattern).
+        prefix: Vec<ItemId>,
+        /// Result cap; `None` returns everything.
+        limit: Option<usize>,
+    },
+    /// The `k` most frequent patterns extending a prefix.
+    TopK {
+        /// The prefix (empty ranks the whole index).
+        prefix: Vec<ItemId>,
+        /// How many patterns to return.
+        k: usize,
+    },
+    /// Hierarchy-aware lookup: patterns of the same length each query item
+    /// generalizes to.
+    Generalized {
+        /// The query sequence, typically phrased in leaf items.
+        items: Vec<ItemId>,
+    },
+}
+
+/// One matched pattern in a [`QueryReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternHit {
+    /// The pattern's items.
+    pub items: Vec<ItemId>,
+    /// Its mined frequency.
+    pub frequency: u64,
+}
+
+/// The answer to a [`Query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryReply {
+    /// Answer to [`Query::Support`]: the frequency, or `None` if the exact
+    /// sequence was not mined as frequent.
+    Support(Option<u64>),
+    /// Answer to the pattern-list queries, in the query's result order.
+    Patterns(Vec<PatternHit>),
+}
+
+/// A `Send + Sync` serving handle over the current index snapshot.
+///
+/// ```
+/// # use lash_core::prelude::*;
+/// # use lash_index::{PatternIndexReader, QueryService, Query, QueryReply};
+/// # let dir = std::env::temp_dir().join(format!("lash-svc-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// # let mut vb = VocabularyBuilder::new();
+/// # let a = vb.intern("a");
+/// # let b = vb.intern("b");
+/// # let vocab = vb.finish().unwrap();
+/// # let mut w = lash_index::PatternIndexWriter::create(&dir, &vocab).unwrap();
+/// # w.add(&[a, b], 3).unwrap();
+/// # w.finish().unwrap();
+/// let service = QueryService::new(PatternIndexReader::open(&dir).unwrap());
+/// let reply = service.execute(&Query::Support { items: vec![a, b] }).unwrap();
+/// assert_eq!(reply, QueryReply::Support(Some(3)));
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct QueryService {
+    current: RwLock<Arc<PatternIndexReader>>,
+}
+
+impl QueryService {
+    /// Creates a service serving `reader`.
+    pub fn new(reader: PatternIndexReader) -> Self {
+        QueryService {
+            current: RwLock::new(Arc::new(reader)),
+        }
+    }
+
+    /// The current snapshot. The returned [`Arc`] stays valid (and its
+    /// answers self-consistent) across any number of [`QueryService::swap`]s;
+    /// hold it for the duration of one logical request, re-acquire for the
+    /// next to observe swaps.
+    pub fn snapshot(&self) -> Arc<PatternIndexReader> {
+        self.current.read().expect("index snapshot lock").clone()
+    }
+
+    /// Atomically replaces the served index (e.g. after re-mining an
+    /// updated corpus), returning the previous snapshot. Queries already
+    /// holding a snapshot are unaffected.
+    pub fn swap(&self, reader: PatternIndexReader) -> Arc<PatternIndexReader> {
+        let mut guard = self.current.write().expect("index snapshot lock");
+        std::mem::replace(&mut *guard, Arc::new(reader))
+    }
+
+    /// Executes one request against the current snapshot.
+    pub fn execute(&self, query: &Query) -> Result<QueryReply> {
+        let snapshot = self.snapshot();
+        match query {
+            Query::Support { items } => Ok(QueryReply::Support(snapshot.support(items)?)),
+            Query::Enumerate { prefix, limit } => Ok(QueryReply::Patterns(hits(
+                snapshot.enumerate(prefix, *limit)?,
+            ))),
+            Query::TopK { prefix, k } => {
+                Ok(QueryReply::Patterns(hits(snapshot.top_k(prefix, *k)?)))
+            }
+            Query::Generalized { items } => Ok(QueryReply::Patterns(hits(
+                snapshot.lookup_generalized(items)?,
+            ))),
+        }
+    }
+}
+
+fn hits(raw: Vec<(Vec<ItemId>, u64)>) -> Vec<PatternHit> {
+    raw.into_iter()
+        .map(|(items, frequency)| PatternHit { items, frequency })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The service (and the reader inside it) must be shareable across
+    /// serving threads.
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryService>();
+        assert_send_sync::<Arc<PatternIndexReader>>();
+    }
+}

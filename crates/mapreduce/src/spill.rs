@@ -31,9 +31,10 @@ use lash_encoding::frame;
 use crate::error::EngineError;
 use crate::shuffle::RunBuffer;
 
-/// Target payload size of one spill frame. Chunks always contain at least
-/// one whole record, so oversized records still spill correctly.
-pub const SPILL_CHUNK_BYTES: usize = 64 * 1024;
+/// Target payload size of one spill frame (the workspace-wide
+/// [`frame::DEFAULT_BLOCK_BYTES`]). Chunks always contain at least one
+/// whole record, so oversized records still spill correctly.
+pub const SPILL_CHUNK_BYTES: usize = frame::DEFAULT_BLOCK_BYTES;
 
 /// Maps an I/O error to an [`EngineError::SpillIo`] with context.
 fn io_err(what: &str, e: std::io::Error) -> EngineError {

@@ -57,7 +57,7 @@ impl Default for CompactionConfig {
         CompactionConfig {
             max_generations: 4,
             fan_in: 8,
-            block_budget: 64 * 1024,
+            block_budget: lash_encoding::frame::DEFAULT_BLOCK_BYTES,
         }
     }
 }

@@ -26,7 +26,7 @@
 
 use std::collections::BTreeMap;
 
-use lash_core::vocabulary::{ItemId, Vocabulary, VocabularyBuilder};
+use lash_core::vocabulary::{ItemId, Vocabulary};
 use lash_encoding::group_varint;
 use lash_encoding::varint::{self, VarintReader};
 use lash_encoding::zigzag;
@@ -445,63 +445,15 @@ pub(crate) fn decode_manifest_header(bytes: &[u8]) -> Result<(Manifest, u32)> {
     ))
 }
 
-/// Encodes the interned vocabulary + hierarchy frame payload.
+/// Encodes the interned vocabulary + hierarchy frame payload (the shared
+/// [`Vocabulary::encode_bytes`] layout, also embedded by `lash-index`).
 pub(crate) fn encode_vocabulary(vocab: &Vocabulary, buf: &mut Vec<u8>) {
-    varint::encode_u32(vocab.len() as u32, buf);
-    for item in vocab.items() {
-        let name = vocab.name(item).as_bytes();
-        varint::encode_u32(name.len() as u32, buf);
-        buf.extend_from_slice(name);
-    }
-    for item in vocab.items() {
-        // parent + 1; 0 encodes "root".
-        varint::encode_u32(vocab.parent(item).map_or(0, |p| p.as_u32() + 1), buf);
-    }
+    vocab.encode_bytes(buf);
 }
 
 /// Decodes a vocabulary frame payload, preserving item ids (intern order).
 pub(crate) fn decode_vocabulary(bytes: &[u8]) -> Result<Vocabulary> {
-    let (n, consumed) = varint::decode_u32(bytes)?;
-    let mut pos = consumed;
-    let mut builder = VocabularyBuilder::new();
-    let mut ids = Vec::with_capacity(n as usize);
-    for _ in 0..n {
-        let (len, consumed) = varint::decode_u32(&bytes[pos..])?;
-        pos += consumed;
-        let end = pos + len as usize;
-        if end > bytes.len() {
-            return Err(StoreError::Corrupt("vocabulary name overruns frame".into()));
-        }
-        let name = std::str::from_utf8(&bytes[pos..end])
-            .map_err(|_| StoreError::Corrupt("vocabulary name is not UTF-8".into()))?;
-        pos = end;
-        let before = builder.len();
-        let id = builder.intern(name);
-        if builder.len() == before {
-            return Err(StoreError::Corrupt(format!(
-                "duplicate vocabulary name {name:?}"
-            )));
-        }
-        ids.push(id);
-    }
-    let mut r = VarintReader::new(&bytes[pos..]);
-    for &child in &ids {
-        let parent = r.read_u32()?;
-        if parent > 0 {
-            let parent = ItemId::from_u32(parent - 1);
-            if parent.index() >= ids.len() {
-                return Err(StoreError::Corrupt("parent id out of range".into()));
-            }
-            builder
-                .set_parent(child, parent)
-                .map_err(|e| StoreError::Corrupt(format!("invalid hierarchy: {e}")))?;
-        }
-    }
-    if !r.is_empty() {
-        return Err(StoreError::Corrupt("trailing vocabulary bytes".into()));
-    }
-    builder
-        .finish()
+    Vocabulary::decode_bytes(bytes)
         .map_err(|e| StoreError::Corrupt(format!("invalid vocabulary: {e}")))
 }
 
@@ -796,6 +748,7 @@ pub(crate) fn decode_gv_payload(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lash_core::vocabulary::VocabularyBuilder;
 
     #[test]
     fn hash_partitioning_spreads_and_is_deterministic() {

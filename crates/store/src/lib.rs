@@ -224,8 +224,9 @@ impl From<DecodeError> for StoreError {
 pub struct StoreOptions {
     /// How sequences are routed to shards.
     pub partitioning: Partitioning,
-    /// Target uncompressed payload bytes per block. Blocks close at the
-    /// first sequence boundary at or past this budget.
+    /// Target uncompressed payload bytes per block
+    /// ([`lash_encoding::frame::DEFAULT_BLOCK_BYTES`] by default). Blocks
+    /// close at the first sequence boundary at or past this budget.
     pub block_budget: usize,
     /// Write per-block G1 item-frequency sketches. Costs header space and
     /// write-side hierarchy walks; buys header-only f-list computation.
@@ -241,7 +242,7 @@ impl Default for StoreOptions {
     fn default() -> Self {
         StoreOptions {
             partitioning: Partitioning::hash(4),
-            block_budget: 64 * 1024,
+            block_budget: lash_encoding::frame::DEFAULT_BLOCK_BYTES,
             sketches: true,
             codec: PayloadCodec::default(),
         }

@@ -20,7 +20,12 @@
 //!   from sealed segment generations (create with [`store::CorpusWriter`],
 //!   append batches with [`store::IncrementalWriter`], compact with
 //!   [`store::compact`], reopen cold with [`store::CorpusReader`], mine
-//!   straight from storage).
+//!   straight from storage);
+//! * [`index`] — the immutable on-disk pattern index over mined output:
+//!   build with [`index::PatternIndexWriter`], open with
+//!   [`index::PatternIndexReader`], and serve exact-support / prefix /
+//!   top-k / hierarchy-aware queries concurrently through
+//!   [`index::QueryService`] with atomic snapshot swaps after a re-mine.
 //!
 //! ## Quick start
 //!
@@ -74,4 +79,9 @@ pub mod datagen {
 /// The partitioned on-disk sequence corpus (re-export of `lash-store`).
 pub mod store {
     pub use lash_store::*;
+}
+
+/// The on-disk pattern index and query service (re-export of `lash-index`).
+pub mod index {
+    pub use lash_index::*;
 }
