@@ -24,6 +24,18 @@ use crate::vocabulary::Vocabulary;
 
 use super::flist_job::{compute_flist_distributed, compute_flist_sharded};
 
+/// Publishes one reduce-side mine call to the process-wide registry: the
+/// partition's wall time into the `mine.partition_us` histogram and the
+/// miner's work counters under `mine.*`.
+fn publish_mine(stats: &MinerStats, elapsed: std::time::Duration) {
+    let obs = lash_obs::global();
+    obs.histogram("mine.partition_us").record_duration(elapsed);
+    obs.counter("mine.partitions").inc();
+    obs.counter("mine.candidates").add(stats.candidates);
+    obs.counter("mine.expansions").add(stats.expansions);
+    obs.counter("mine.outputs").add(stats.outputs);
+}
+
 /// Which local miner runs in the reduce phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MinerKind {
@@ -365,9 +377,11 @@ impl Job for LashJob<'_> {
         // aggregated here — one partition resident per reduce task, which is
         // exactly the bound the paper's reduce phase has.
         let partition = Partition::aggregate(values);
+        let mine_started = std::time::Instant::now();
         let (patterns, stats) = self
             .miner
             .mine(&partition, pivot, self.ctx.space(), &self.params);
+        publish_mine(&stats, mine_started.elapsed());
         {
             let mut guard = self.stats.lock().expect("stats lock");
             guard.0.absorb(stats);
@@ -483,9 +497,11 @@ impl<C: ShardedCorpus> Job for ShardedLashJob<'_, C> {
         out: &mut Vec<(Vec<u32>, u64)>,
     ) {
         let partition = Partition::aggregate(values);
+        let mine_started = std::time::Instant::now();
         let (patterns, stats) = self
             .miner
             .mine(&partition, pivot, self.ctx.space(), &self.params);
+        publish_mine(&stats, mine_started.elapsed());
         {
             let mut guard = self.stats.lock().expect("stats lock");
             guard.0.absorb(stats);

@@ -111,8 +111,10 @@ impl LocalMiner for BfsMiner {
         }
 
         // Levels 3..λ: prefix/suffix joins.
+        let level_hist = lash_obs::global().histogram("mine.bfs.level_us");
         let mut len = 2usize;
         while len < params.lambda && !level.is_empty() {
+            let level_started = std::time::Instant::now();
             // Bucket level-l sequences by their (l-1)-prefix for the join.
             let mut by_prefix: FxHashMap<&[u32], Vec<usize>> = FxHashMap::default();
             for (i, e) in level.iter().enumerate() {
@@ -165,6 +167,7 @@ impl LocalMiner for BfsMiner {
             next.sort_unstable_by(|x, y| x.seq.cmp(&y.seq));
             level = next;
             len += 1;
+            level_hist.record_duration(level_started.elapsed());
         }
 
         stats.outputs = out.len() as u64;

@@ -10,12 +10,43 @@
 //! finish against the snapshot they started with; the old index's memory
 //! is released when the last snapshot drops.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use lash_core::vocabulary::ItemId;
 
 use crate::reader::PatternIndexReader;
 use crate::Result;
+
+/// Registry handles the service reports into, looked up once at
+/// construction so the per-query path never touches the registry's maps.
+struct ServiceMetrics {
+    support_us: lash_obs::Histogram,
+    enumerate_us: lash_obs::Histogram,
+    top_k_us: lash_obs::Histogram,
+    generalized_us: lash_obs::Histogram,
+    queries_served: lash_obs::Counter,
+    swaps: lash_obs::Counter,
+    /// Queries served against the current snapshot; reset on swap and
+    /// reported in the swap event.
+    snapshot_queries: AtomicU64,
+}
+
+impl ServiceMetrics {
+    fn new() -> ServiceMetrics {
+        let obs = lash_obs::global();
+        ServiceMetrics {
+            support_us: obs.histogram("query.support_us"),
+            enumerate_us: obs.histogram("query.enumerate_us"),
+            top_k_us: obs.histogram("query.top_k_us"),
+            generalized_us: obs.histogram("query.generalized_us"),
+            queries_served: obs.counter("index.queries_served"),
+            swaps: obs.counter("index.swaps"),
+            snapshot_queries: AtomicU64::new(0),
+        }
+    }
+}
 
 /// A query against the pattern index — the wire-format-agnostic request
 /// shape.
@@ -88,6 +119,7 @@ pub enum QueryReply {
 /// ```
 pub struct QueryService {
     current: RwLock<Arc<PatternIndexReader>>,
+    metrics: ServiceMetrics,
 }
 
 impl QueryService {
@@ -95,6 +127,7 @@ impl QueryService {
     pub fn new(reader: PatternIndexReader) -> Self {
         QueryService {
             current: RwLock::new(Arc::new(reader)),
+            metrics: ServiceMetrics::new(),
         }
     }
 
@@ -109,26 +142,50 @@ impl QueryService {
     /// Atomically replaces the served index (e.g. after re-mining an
     /// updated corpus), returning the previous snapshot. Queries already
     /// holding a snapshot are unaffected.
+    ///
+    /// Emits an `index.swap` event carrying how many queries the replaced
+    /// snapshot served (the per-snapshot counter resets for the new one).
     pub fn swap(&self, reader: PatternIndexReader) -> Arc<PatternIndexReader> {
-        let mut guard = self.current.write().expect("index snapshot lock");
-        std::mem::replace(&mut *guard, Arc::new(reader))
+        let old = {
+            let mut guard = self.current.write().expect("index snapshot lock");
+            std::mem::replace(&mut *guard, Arc::new(reader))
+        };
+        let served = self.metrics.snapshot_queries.swap(0, Ordering::Relaxed);
+        self.metrics.swaps.inc();
+        lash_obs::global().emit_event("swap", "index.swap", &[("queries_served", served.into())]);
+        old
     }
 
-    /// Executes one request against the current snapshot.
+    /// Executes one request against the current snapshot, recording its
+    /// latency into the per-query-type histogram (`query.support_us`,
+    /// `query.enumerate_us`, `query.top_k_us`, `query.generalized_us`).
     pub fn execute(&self, query: &Query) -> Result<QueryReply> {
+        let started = Instant::now();
         let snapshot = self.snapshot();
-        match query {
-            Query::Support { items } => Ok(QueryReply::Support(snapshot.support(items)?)),
-            Query::Enumerate { prefix, limit } => Ok(QueryReply::Patterns(hits(
-                snapshot.enumerate(prefix, *limit)?,
-            ))),
-            Query::TopK { prefix, k } => {
-                Ok(QueryReply::Patterns(hits(snapshot.top_k(prefix, *k)?)))
-            }
-            Query::Generalized { items } => Ok(QueryReply::Patterns(hits(
-                snapshot.lookup_generalized(items)?,
-            ))),
-        }
+        let (reply, hist) = match query {
+            Query::Support { items } => (
+                QueryReply::Support(snapshot.support(items)?),
+                &self.metrics.support_us,
+            ),
+            Query::Enumerate { prefix, limit } => (
+                QueryReply::Patterns(hits(snapshot.enumerate(prefix, *limit)?)),
+                &self.metrics.enumerate_us,
+            ),
+            Query::TopK { prefix, k } => (
+                QueryReply::Patterns(hits(snapshot.top_k(prefix, *k)?)),
+                &self.metrics.top_k_us,
+            ),
+            Query::Generalized { items } => (
+                QueryReply::Patterns(hits(snapshot.lookup_generalized(items)?)),
+                &self.metrics.generalized_us,
+            ),
+        };
+        hist.record_duration(started.elapsed());
+        self.metrics.queries_served.inc();
+        self.metrics
+            .snapshot_queries
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(reply)
     }
 }
 

@@ -62,33 +62,15 @@ pub struct JobMetrics {
 }
 
 impl JobMetrics {
-    /// Merges metrics of consecutive jobs (phase times add up; high-water
-    /// marks take the maximum).
+    /// Merges metrics of consecutive jobs: phase times add up, and the
+    /// counter fold (sum vs. max) is the one each field declared in
+    /// `define_counters!` — see [`CounterSnapshot::merge`].
     pub fn accumulate(&mut self, other: &JobMetrics) {
         self.map_time += other.map_time;
         self.shuffle_time += other.shuffle_time;
         self.reduce_time += other.reduce_time;
         self.total_time += other.total_time;
-        let c = &mut self.counters;
-        let o = &other.counters;
-        c.map_input_records += o.map_input_records;
-        c.map_output_records += o.map_output_records;
-        c.map_output_bytes += o.map_output_bytes;
-        c.map_output_materialized_bytes += o.map_output_materialized_bytes;
-        c.combine_input_records += o.combine_input_records;
-        c.combine_output_records += o.combine_output_records;
-        c.spilled_bytes += o.spilled_bytes;
-        c.spilled_runs += o.spilled_runs;
-        c.merged_runs += o.merged_runs;
-        c.merge_passes += o.merge_passes;
-        c.peak_resident_bytes = c.peak_resident_bytes.max(o.peak_resident_bytes);
-        c.reduce_input_groups += o.reduce_input_groups;
-        c.reduce_input_records += o.reduce_input_records;
-        c.reduce_output_records += o.reduce_output_records;
-        c.map_task_attempts += o.map_task_attempts;
-        c.reduce_task_attempts += o.reduce_task_attempts;
-        c.failed_map_tasks += o.failed_map_tasks;
-        c.failed_reduce_tasks += o.failed_reduce_tasks;
+        self.counters.merge(&other.counters);
     }
 }
 
@@ -145,6 +127,8 @@ pub fn run_job<J: Job>(
         },
     )?;
     let map_time = map_started.elapsed();
+    let obs = lash_obs::global();
+    obs.observe_span("mapreduce.map", map_time, &[("tasks", splits.len().into())]);
 
     // ---- Shuffle phase: assemble each partition's run list --------------
     // Disk runs are referenced by *path* here, not by open handle: reduce
@@ -175,6 +159,7 @@ pub fn run_job<J: Job>(
         }
     }
     let shuffle_time = shuffle_started.elapsed();
+    obs.observe_span("mapreduce.shuffle", shuffle_time, &[]);
 
     // ---- Reduce phase ----------------------------------------------------
     let reduce_started = Instant::now();
@@ -203,6 +188,11 @@ pub fn run_job<J: Job>(
         },
     )?;
     let reduce_time = reduce_started.elapsed();
+    obs.observe_span(
+        "mapreduce.reduce",
+        reduce_time,
+        &[("tasks", num_parts.into())],
+    );
 
     let outputs: Vec<J::Output> = reduce_outputs.into_iter().flatten().collect();
     drop(sources);
@@ -397,6 +387,7 @@ fn run_reduce_task<J: Job>(
                 group_start = end;
                 continue;
             }
+            let pass_started = Instant::now();
             let sources = open_sources(group)?;
             let mut merger = Merger::new(&sources)?;
             Counters::add(&counters.merged_runs, merger.num_runs());
@@ -412,6 +403,9 @@ fn run_reduce_task<J: Job>(
             }
             let meta = writer.finish(task as u32)?;
             Counters::add(&counters.merge_passes, 1);
+            lash_obs::global()
+                .histogram("mapreduce.merge_pass_us")
+                .record_duration(pass_started.elapsed());
             drop(merger);
             drop(sources);
             // The group's own intermediates were consumed exactly once.
@@ -428,6 +422,7 @@ fn run_reduce_task<J: Job>(
         round += 1;
     }
 
+    let merge_started = Instant::now();
     let sources = open_sources(&runs)?;
     let mut merger = Merger::new(&sources)?;
     Counters::add(&counters.merged_runs, merger.num_runs());
@@ -468,6 +463,9 @@ fn run_reduce_task<J: Job>(
     Counters::add(&counters.reduce_input_groups, groups);
     Counters::add(&counters.reduce_input_records, records);
     Counters::add(&counters.reduce_output_records, out.len() as u64);
+    lash_obs::global()
+        .histogram("mapreduce.merge_us")
+        .record_duration(merge_started.elapsed());
     // Close the final merge's handles, then drop its intermediate inputs:
     // this task is their only consumer.
     drop(merger);

@@ -106,6 +106,12 @@ pub struct Emitter<'a, J: Job> {
     /// First spill failure; emit becomes a no-op afterwards and the task
     /// reports the error when it finishes.
     error: Option<EngineError>,
+    /// Map-side sort (and combine) latency, looked up once per task and
+    /// recorded once per finalized partition buffer.
+    sort_hist: lash_obs::Histogram,
+    /// Spill latency (sort + combine + run writes), recorded once per
+    /// spill event.
+    spill_hist: lash_obs::Histogram,
 }
 
 impl<'a, J: Job> Emitter<'a, J> {
@@ -136,6 +142,8 @@ impl<'a, J: Job> Emitter<'a, J> {
             kbuf: Vec::new(),
             vbuf: Vec::new(),
             error: None,
+            sort_hist: lash_obs::global().histogram("mapreduce.sort_us"),
+            spill_hist: lash_obs::global().histogram("mapreduce.spill_us"),
         }
     }
 
@@ -163,6 +171,7 @@ impl<'a, J: Job> Emitter<'a, J> {
     /// Sorts, combines, and writes every non-empty partition buffer as one
     /// run in the task's spill file, then resets the buffers.
     fn spill(&mut self) -> Result<(), EngineError> {
+        let spill_started = std::time::Instant::now();
         if self.writer.is_none() {
             let path = self
                 .spill_path
@@ -182,12 +191,14 @@ impl<'a, J: Job> Emitter<'a, J> {
             self.runs.push(meta);
         }
         self.buffered = 0;
+        self.spill_hist.record_duration(spill_started.elapsed());
         Ok(())
     }
 
     /// Takes one partition buffer, sorts it, applies the combiner, and
     /// accounts the shipped bytes.
     fn finalize_partition(&mut self, part: usize) -> RunBuffer {
+        let sort_started = std::time::Instant::now();
         let mut buf = std::mem::take(&mut self.parts[part]);
         buf.sort();
         let run = if self.use_combiner && !buf.is_empty() {
@@ -195,6 +206,7 @@ impl<'a, J: Job> Emitter<'a, J> {
         } else {
             buf
         };
+        self.sort_hist.record_duration(sort_started.elapsed());
         let mut payload = 0u64;
         for r in &run.recs {
             payload += (r.key.1 - r.key.0) as u64 + (r.value.1 - r.value.0) as u64;

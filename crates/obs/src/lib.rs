@@ -1,0 +1,667 @@
+//! # lash-obs
+//!
+//! The observability substrate of the LASH workspace: one
+//! [`MetricsRegistry`] of named counters, gauges, and log2-bucketed latency
+//! histograms, plus lightweight structured tracing ([`span!`]) that records
+//! scoped wall time into histograms and optionally emits JSON-lines events
+//! to a pluggable [`EventSink`].
+//!
+//! ## Zero-dependency design
+//!
+//! The build environment has no access to crates.io, so — like the
+//! `crates/devtools` shims — this crate is `std`-only: no `serde`, no
+//! `tracing`, no `prometheus`. JSON is emitted by hand (and validated by
+//! the small parser in [`json`]); the text exposition format is plain
+//! string assembly. That keeps the crate safe to pull into every workspace
+//! member, including `lash-mapreduce` at the bottom of the dependency
+//! graph.
+//!
+//! ## Overhead expectations
+//!
+//! Every metric handle is an `Arc` around relaxed `AtomicU64`s:
+//!
+//! * [`Counter::add`] / [`Gauge::raise`] — one relaxed RMW (~1 ns
+//!   uncontended). Hot paths hold a handle; they never look names up.
+//! * [`Histogram::record`] — three relaxed RMWs (bucket, sum, max). No
+//!   locks, no allocation: recording is safe on paths that run per
+//!   partition or per spill.
+//! * Name lookup ([`MetricsRegistry::counter`] etc.) — a read-locked map
+//!   probe; done once per handle at setup, or per *scan/span* (not per
+//!   record) on instrumented paths.
+//! * JSONL emission — only when a sink is installed (`LASH_OBS_JSONL`);
+//!   with no sink a span costs two `Instant::now` calls plus one histogram
+//!   record.
+//!
+//! ## Naming scheme
+//!
+//! Metric names are dot-separated by layer (`mapreduce.spilled_bytes`,
+//! `store.scan.blocks_pruned`, `query.support_us`); histograms recording
+//! durations end in `_us` (microseconds). [`MetricsRegistry::render_text`]
+//! rewrites dots to underscores for the Prometheus-style dump.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Environment variable naming the JSON-lines event file the global
+/// registry appends to (one event object per line). Unset: no events.
+pub const JSONL_ENV: &str = "LASH_OBS_JSONL";
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// value; aggregating several counters means *summing* them.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A level or high-water-mark metric. Unlike a [`Counter`], aggregating
+/// gauges means taking the *maximum* (or last value), never the sum.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `n`.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to at least `n` (high-water-mark semantics).
+    #[inline]
+    pub fn raise(&self, n: u64) {
+        self.value.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of a [`Histogram`]: bucket 0 holds exact zeros, bucket
+/// `i ≥ 1` the range `[2^(i-1), 2^i - 1]`, up to bucket 64 which tops out
+/// at `u64::MAX`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive `(low, high)` range of values bucket `i` covers.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        1..=63 => (1u64 << (i - 1), (1u64 << i) - 1),
+        _ => (1u64 << 63, u64::MAX),
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free fixed-bucket log2 histogram: 65 `AtomicU64` buckets (powers
+/// of two) plus running sum and max. Recording is three relaxed atomic
+/// RMWs; readout quantiles are bucket upper bounds (capped at the observed
+/// max), so a reported p99 is exact to within one power of two.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        self.inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (the `_us` naming convention).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Takes a point-in-time copy for readout.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; NUM_BUCKETS] =
+            std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            max: self.inner.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile readout.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket observation counts (see [`bucket_bounds`]).
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q · count)`-th observation, capped at the observed
+    /// max. Returns 0 when nothing was recorded.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A value attached to a span or event field, rendered into the JSONL
+/// output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values render as `null`).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (JSON-escaped on output).
+    Str(String),
+}
+
+impl FieldValue {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) if v.is_finite() => out.push_str(&v.to_string()),
+            FieldValue::F64(_) => out.push_str("null"),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(s) => {
+                out.push('"');
+                json::escape_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+}
+
+macro_rules! field_from {
+    ($($ty:ty => $variant:ident as $conv:ty),+ $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> FieldValue {
+                FieldValue::$variant(v as $conv)
+            }
+        })+
+    };
+}
+field_from! {
+    u64 => U64 as u64, u32 => U64 as u64, usize => U64 as u64,
+    i64 => I64 as i64, i32 => I64 as i64,
+    f64 => F64 as f64,
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// Receives one rendered JSON event per call. Implementations must be
+/// cheap and non-blocking-ish: they run inline on instrumented paths.
+pub trait EventSink: Send + Sync {
+    /// Consumes one event, rendered as a single-line JSON object (no
+    /// trailing newline).
+    fn emit(&self, line: &str);
+}
+
+/// The default sink: appends events to a file, one line per event, each
+/// line written with a single `write` call so concurrent processes
+/// appending to the same `O_APPEND` file do not interleave bytes.
+pub struct FileSink {
+    file: Mutex<std::fs::File>,
+}
+
+impl FileSink {
+    /// Opens (creating if needed) `path` for appending.
+    pub fn append(path: &std::path::Path) -> std::io::Result<FileSink> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(FileSink {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl EventSink for FileSink {
+    fn emit(&self, line: &str) {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        if let Ok(mut file) = self.file.lock() {
+            let _ = file.write_all(&buf);
+        }
+    }
+}
+
+/// The registry: named metrics plus the optional event sink. Handle
+/// lookups are read-mostly (a `RwLock`-guarded map probe); the handles
+/// themselves are lock-free.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+    sink: RwLock<Option<Arc<dyn EventSink>>>,
+    sink_installed: AtomicBool,
+}
+
+fn lookup<T: Clone + Default>(map: &RwLock<BTreeMap<String, T>>, name: &str) -> T {
+    if let Some(v) = map.read().expect("metrics map lock").get(name) {
+        return v.clone();
+    }
+    map.write()
+        .expect("metrics map lock")
+        .entry(name.to_string())
+        .or_default()
+        .clone()
+}
+
+impl MetricsRegistry {
+    /// An empty registry with no sink.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        lookup(&self.counters, name)
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        lookup(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        lookup(&self.histograms, name)
+    }
+
+    /// Installs (or removes) the event sink.
+    pub fn set_sink(&self, sink: Option<Arc<dyn EventSink>>) {
+        self.sink_installed.store(sink.is_some(), Ordering::Release);
+        *self.sink.write().expect("sink lock") = sink;
+    }
+
+    /// True when a sink is installed (events will be emitted).
+    pub fn sink_installed(&self) -> bool {
+        self.sink_installed.load(Ordering::Acquire)
+    }
+
+    /// Starts a scoped timer: on drop it records the elapsed microseconds
+    /// into the histogram `<name>_us` and emits a `span` event. Usually
+    /// invoked through the [`span!`] macro.
+    pub fn span<'r>(&'r self, name: &'r str, fields: Vec<(&'static str, FieldValue)>) -> Span<'r> {
+        Span {
+            registry: self,
+            name,
+            fields,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records an already-measured span: `elapsed` goes into the histogram
+    /// `<name>_us`, and — when a sink is installed — a `span` event with
+    /// `dur_us` plus `fields` is emitted. The explicit-timing twin of
+    /// [`span!`], for code that already holds the phase duration.
+    pub fn observe_span(
+        &self,
+        name: &str,
+        elapsed: Duration,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.histogram(&format!("{name}_us")).record(us);
+        if self.sink_installed() {
+            self.emit_line("span", name, Some(us), fields);
+        }
+    }
+
+    /// Emits one non-span event (e.g. an index snapshot swap) when a sink
+    /// is installed. `event` classifies the line; `name` identifies its
+    /// source.
+    pub fn emit_event(&self, event: &str, name: &str, fields: &[(&'static str, FieldValue)]) {
+        if self.sink_installed() {
+            self.emit_line(event, name, None, fields);
+        }
+    }
+
+    fn emit_line(
+        &self,
+        event: &str,
+        name: &str,
+        dur_us: Option<u64>,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        let sink = match self.sink.read().expect("sink lock").as_ref() {
+            Some(sink) => Arc::clone(sink),
+            None => return,
+        };
+        let ts_us = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"ts_us\":");
+        line.push_str(&ts_us.to_string());
+        line.push_str(",\"event\":\"");
+        json::escape_into(&mut line, event);
+        line.push_str("\",\"name\":\"");
+        json::escape_into(&mut line, name);
+        line.push('"');
+        if let Some(us) = dur_us {
+            line.push_str(",\"dur_us\":");
+            line.push_str(&us.to_string());
+        }
+        for (key, value) in fields {
+            line.push_str(",\"");
+            json::escape_into(&mut line, key);
+            line.push_str("\":");
+            value.write_json(&mut line);
+        }
+        line.push('}');
+        sink.emit(&line);
+    }
+
+    /// Renders every metric as Prometheus-style text exposition: counters
+    /// and gauges as single samples, histograms as summaries with
+    /// `quantile="0.5" / "0.95" / "0.99"` lines plus `_max`, `_sum`, and
+    /// `_count`. Dots in metric names become underscores.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, counter) in self.counters.read().expect("metrics map lock").iter() {
+            let name = sanitize_name(name);
+            out.push_str(&format!(
+                "# TYPE {name} counter\n{name} {}\n",
+                counter.get()
+            ));
+        }
+        for (name, gauge) in self.gauges.read().expect("metrics map lock").iter() {
+            let name = sanitize_name(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", gauge.get()));
+        }
+        for (name, histogram) in self.histograms.read().expect("metrics map lock").iter() {
+            let name = sanitize_name(name);
+            let s = histogram.snapshot();
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {}\n",
+                    s.percentile(q)
+                ));
+            }
+            out.push_str(&format!("{name}_max {}\n", s.max));
+            out.push_str(&format!("{name}_sum {}\n", s.sum));
+            out.push_str(&format!("{name}_count {}\n", s.count));
+        }
+        out
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; everything else (most
+/// importantly the dots of the layer scheme) becomes an underscore.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// A scoped timer created by [`MetricsRegistry::span`] / [`span!`]. On
+/// drop it records the elapsed microseconds into the histogram
+/// `<name>_us` and emits a `span` event when a sink is installed.
+pub struct Span<'r> {
+    registry: &'r MetricsRegistry,
+    name: &'r str,
+    fields: Vec<(&'static str, FieldValue)>,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let fields = std::mem::take(&mut self.fields);
+        self.registry
+            .observe_span(self.name, self.start.elapsed(), &fields);
+    }
+}
+
+/// Starts a scoped timer on the [`global`] registry: the guard records the
+/// enclosed scope's wall time into the histogram `<name>_us` on drop and,
+/// with a sink installed, emits a `span` JSONL event carrying the fields.
+///
+/// ```
+/// {
+///     let _span = lash_obs::span!("reduce.merge", shard = 3u64);
+///     // ... merge work ...
+/// } // records reduce.merge_us and emits {"event":"span","name":"reduce.merge","shard":3,...}
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::global().span(
+            $name,
+            ::std::vec![$((stringify!($key), $crate::FieldValue::from($value))),+],
+        )
+    };
+}
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry. On first use, a [`FileSink`] is installed
+/// when [`JSONL_ENV`] names a writable path.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(|| {
+        let registry = MetricsRegistry::new();
+        if let Some(path) = std::env::var_os(JSONL_ENV) {
+            if !path.is_empty() {
+                let path = std::path::PathBuf::from(path);
+                match FileSink::append(&path) {
+                    Ok(sink) => registry.set_sink(Some(Arc::new(sink))),
+                    Err(e) => eprintln!("lash-obs: cannot open {}: {e}", path.display()),
+                }
+            }
+        }
+        registry
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let (low, high) = bucket_bounds(bucket_index(v));
+            assert!(low <= v && v <= high, "{v} outside its bucket");
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_semantics() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("t.counter");
+        c.add(5);
+        c.inc();
+        assert_eq!(c.get(), 6);
+        // The same name yields the same underlying value.
+        assert_eq!(r.counter("t.counter").get(), 6);
+        let g = r.gauge("t.gauge");
+        g.raise(10);
+        g.raise(4);
+        assert_eq!(g.get(), 10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn percentiles_read_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.max, 100);
+        // p50 lands in the bucket of 2..=3; p99 is capped at the max.
+        assert_eq!(s.percentile(0.5), 3);
+        assert_eq!(s.percentile(0.99), 100);
+        assert_eq!(Histogram::default().snapshot().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn render_text_exposes_quantiles() {
+        let r = MetricsRegistry::new();
+        r.counter("layer.things").add(7);
+        r.gauge("layer.level").raise(3);
+        r.histogram("layer.latency_us").record(9);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE layer_things counter\nlayer_things 7\n"));
+        assert!(text.contains("# TYPE layer_level gauge\nlayer_level 3\n"));
+        assert!(text.contains("layer_latency_us{quantile=\"0.5\"}"));
+        assert!(text.contains("layer_latency_us{quantile=\"0.99\"}"));
+        assert!(text.contains("layer_latency_us_count 1"));
+        assert!(text.contains("layer_latency_us_max 9"));
+    }
+
+    #[test]
+    fn spans_record_and_emit_valid_json() {
+        #[derive(Default)]
+        struct Capture(Mutex<Vec<String>>);
+        impl EventSink for Capture {
+            fn emit(&self, line: &str) {
+                self.0.lock().unwrap().push(line.to_string());
+            }
+        }
+        let r = MetricsRegistry::new();
+        let capture = Arc::new(Capture::default());
+        r.set_sink(Some(capture.clone()));
+        drop(r.span("test.region", vec![("shard", FieldValue::from(3u64))]));
+        r.emit_event("swap", "index.swap", &[("queries_served", 12u64.into())]);
+        assert_eq!(r.histogram("test.region_us").snapshot().count, 1);
+        let lines = capture.0.lock().unwrap();
+        assert_eq!(lines.len(), 2);
+        for line in lines.iter() {
+            let v = json::parse(line).expect("valid JSON event");
+            assert!(v.get("ts_us").and_then(json::Value::as_f64).is_some());
+            assert!(v.get("event").and_then(json::Value::as_str).is_some());
+            assert!(v.get("name").and_then(json::Value::as_str).is_some());
+        }
+        assert_eq!(
+            json::parse(&lines[0]).unwrap().get("shard").unwrap(),
+            &json::Value::Number(3.0)
+        );
+    }
+
+    #[test]
+    fn field_values_escape_strings() {
+        let mut out = String::new();
+        FieldValue::from("a\"b\\c\nd").write_json(&mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+        let mut out = String::new();
+        FieldValue::F64(f64::NAN).write_json(&mut out);
+        assert_eq!(out, "null");
+    }
+}

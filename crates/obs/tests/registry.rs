@@ -1,0 +1,146 @@
+//! Registry correctness under concurrency and arbitrary interleavings:
+//! counters must sum exactly across racing threads, histogram percentiles
+//! must stay inside the recorded value's bucket, and interleaved
+//! record/snapshot sequences must never panic or lose counts.
+
+use std::sync::Arc;
+
+use lash_obs::{bucket_bounds, bucket_index, Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+#[test]
+fn concurrent_increments_sum_exactly() {
+    const THREADS: usize = 8;
+    const INCREMENTS: u64 = 25_000;
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("test.exact");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..INCREMENTS {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * INCREMENTS);
+    assert_eq!(registry.counter("test.exact").get(), counter.get());
+}
+
+#[test]
+fn concurrent_histogram_records_lose_nothing() {
+    const THREADS: u64 = 6;
+    const RECORDS: u64 = 10_000;
+    let histogram = Arc::new(Histogram::default());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let histogram = Arc::clone(&histogram);
+            scope.spawn(move || {
+                for i in 0..RECORDS {
+                    histogram.record(t * RECORDS + i);
+                }
+            });
+        }
+    });
+    let s = histogram.snapshot();
+    assert_eq!(s.count, THREADS * RECORDS);
+    // Sum of 0..THREADS*RECORDS.
+    let n = THREADS * RECORDS;
+    assert_eq!(s.sum, n * (n - 1) / 2);
+    assert_eq!(s.max, n - 1);
+}
+
+#[test]
+fn single_value_percentiles_report_the_value_exactly() {
+    // With one recorded value, every quantile is min(bucket upper bound,
+    // max) — which collapses to the value itself.
+    for v in [0u64, 1, 2, 3, 5, 64, 1000, u64::MAX / 3, u64::MAX] {
+        let h = Histogram::default();
+        h.record(v);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), v, "value {v} quantile {q}");
+        }
+    }
+}
+
+#[test]
+fn percentiles_stay_within_a_recorded_bucket() {
+    let h = Histogram::default();
+    let values = [3u64, 9, 17, 1000, 1001, 40_000, 7];
+    for &v in &values {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    let mut previous = 0;
+    for q in [0.5, 0.95, 0.99] {
+        let p = s.percentile(q);
+        // Every reported quantile lies in the bucket of some recorded
+        // value — the readout never invents a bucket nothing landed in.
+        assert!(
+            values.iter().any(|&v| bucket_index(v) == bucket_index(p)),
+            "p{q} = {p} outside every recorded bucket"
+        );
+        assert!(p >= previous, "quantiles must be monotone");
+        assert!(p <= s.max);
+        previous = p;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of record and snapshot: no panic, no lost
+    /// counts, and each intermediate snapshot is exact for a single
+    /// (sequential) writer.
+    #[test]
+    fn interleaved_record_snapshot_never_loses_counts(
+        ops in prop::collection::vec((any::<bool>(), any::<u64>()), 0..200),
+    ) {
+        let h = Histogram::default();
+        let mut count = 0u64;
+        let mut sum = 0u128;
+        let mut max = 0u64;
+        for (snapshot, value) in ops {
+            if snapshot {
+                let s = h.snapshot();
+                prop_assert_eq!(s.count, count);
+                prop_assert_eq!(u128::from(s.sum), sum & u128::from(u64::MAX));
+                prop_assert_eq!(s.max, max);
+                let p99 = s.percentile(0.99);
+                prop_assert!(p99 <= s.max);
+                if count > 0 {
+                    let (low, _) = bucket_bounds(bucket_index(p99));
+                    prop_assert!(low <= s.max);
+                }
+            } else {
+                h.record(value);
+                count += 1;
+                // The histogram's sum is a wrapping u64 by construction.
+                sum += u128::from(value);
+                max = max.max(value);
+            }
+        }
+        let end = h.snapshot();
+        prop_assert_eq!(end.count, count);
+        prop_assert_eq!(u128::from(end.sum), sum & u128::from(u64::MAX));
+    }
+
+    /// Registry lookups under arbitrary name sets stay consistent: the
+    /// same name always resolves to the same underlying metric.
+    #[test]
+    fn lookups_are_stable_per_name(
+        names in prop::collection::vec(0u8..8, 1..32),
+    ) {
+        let registry = MetricsRegistry::new();
+        let mut expected = [0u64; 8];
+        for n in names {
+            registry.counter(&format!("proptest.c{n}")).inc();
+            expected[n as usize] += 1;
+        }
+        for (n, &want) in expected.iter().enumerate() {
+            prop_assert_eq!(registry.counter(&format!("proptest.c{n}")).get(), want);
+        }
+    }
+}

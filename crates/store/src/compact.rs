@@ -133,6 +133,30 @@ impl CompactionStats {
         self.blocks_out += other.blocks_out;
         self.elapsed += other.elapsed;
     }
+
+    /// Publishes one round's stats to the process-wide registry: additive
+    /// totals under `store.compact.*` plus a `store.compact.round` span
+    /// (duration histogram and, when a sink is installed, a JSONL event).
+    fn publish(&self) {
+        let obs = lash_obs::global();
+        obs.counter("store.compact.rounds").add(self.rounds as u64);
+        obs.counter("store.compact.sequences_rewritten")
+            .add(self.sequences_rewritten);
+        obs.counter("store.compact.payload_bytes_in")
+            .add(self.payload_bytes_in);
+        obs.counter("store.compact.payload_bytes_out")
+            .add(self.payload_bytes_out);
+        obs.counter("store.compact.blocks_in").add(self.blocks_in);
+        obs.counter("store.compact.blocks_out").add(self.blocks_out);
+        obs.observe_span(
+            "store.compact.round",
+            self.elapsed,
+            &[
+                ("generations_merged", self.generations_merged.into()),
+                ("generations_after", self.generations_after.into()),
+            ],
+        );
+    }
 }
 
 /// Plans one compaction round, or `None` when the corpus is within its
@@ -290,6 +314,7 @@ fn execute(
     for id in &plan.generation_ids {
         let _ = fs::remove_dir_all(dir.join(format::generation_dir_name(*id)));
     }
+    stats.publish();
     Ok(stats)
 }
 

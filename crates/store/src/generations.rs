@@ -348,6 +348,7 @@ impl IncrementalWriter {
             self.sealed = true;
             return Ok(self.manifest.clone());
         }
+        let seal_started = std::time::Instant::now();
         let num_sequences = segments.sequences();
         let total_items = segments.total_items();
         // Appending v3 segments to a v2 corpus bumps the manifest version
@@ -384,6 +385,17 @@ impl IncrementalWriter {
             manifest.partitioning.num_shards() as usize,
         );
         write_manifest(&self.dir, &manifest, &self.vocab)?;
+
+        let obs = lash_obs::global();
+        obs.counter("store.ingest.sequences").add(num_sequences);
+        obs.observe_span(
+            "store.seal",
+            seal_started.elapsed(),
+            &[
+                ("generation", self.gen_id.into()),
+                ("sequences", num_sequences.into()),
+            ],
+        );
 
         if let Some(limit) = compact_every_from_env() {
             let config = CompactionConfig::default().with_max_generations(limit);

@@ -760,6 +760,26 @@ pub struct ShardScan<'f> {
     blocks_pruned: u64,
 }
 
+impl Drop for ShardScan<'_> {
+    fn drop(&mut self) {
+        // Publish the scan's block totals to the registry once, at end of
+        // scan, so the per-block decode loop never touches it. The global
+        // counters expose the sketch-prune hit rate
+        // (`blocks_pruned / (blocks_pruned + blocks_decoded)`) across all
+        // scans in the process.
+        if self.blocks_decoded != 0 {
+            lash_obs::global()
+                .counter("store.scan.blocks_decoded")
+                .add(self.blocks_decoded);
+        }
+        if self.blocks_pruned != 0 {
+            lash_obs::global()
+                .counter("store.scan.blocks_pruned")
+                .add(self.blocks_pruned);
+        }
+    }
+}
+
 impl<'f> ShardScan<'f> {
     /// Opens a scan chaining `segments` (one per generation, oldest first).
     /// Files are opened lazily, one at a time.

@@ -54,8 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Each thread takes a stripe of the pattern list and checks
             // every answer against brute force over the mined output.
             for p in patterns.iter().skip(t).step_by(threads) {
-                // Exact support.
-                assert_eq!(snapshot.support(&p.items).unwrap(), Some(p.frequency));
+                // Exact support, through the instrumented service path (it
+                // records per-query-type latency into the shared registry).
+                let reply = service
+                    .execute(&Query::Support {
+                        items: p.items.clone(),
+                    })
+                    .unwrap();
+                assert_eq!(reply, QueryReply::Support(Some(p.frequency)));
                 // Prefix enumeration equals the brute-force filter.
                 let prefix = &p.items[..1];
                 let got = snapshot.enumerate(prefix, None).unwrap();
@@ -78,6 +84,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (t, answered) = h.join().expect("serving thread");
         println!("thread {t}: {answered} queries answered, all equal to brute force");
     }
+
+    // What the registry saw: support-latency quantiles from the storm's
+    // instrumented path and the queries-served counter.
+    println!(
+        "\nmetrics after the query storm:\n{}",
+        lash::obs::global().render_text()
+    );
 
     // A taste of the query surface itself.
     let top = service.execute(&Query::TopK {
@@ -121,6 +134,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         restricted.patterns().len(),
         params.sigma,
         strict.sigma
+    );
+
+    // The swap bumped `index.swaps` (and, with `LASH_OBS_JSONL` set, left
+    // an `index.swap` event carrying the replaced snapshot's query count).
+    println!(
+        "\nmetrics after the snapshot swap:\n{}",
+        lash::obs::global().render_text()
     );
 
     std::fs::remove_dir_all(&dir)?;

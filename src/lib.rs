@@ -85,3 +85,10 @@ pub mod store {
 pub mod index {
     pub use lash_index::*;
 }
+
+/// Metrics and structured tracing (re-export of `lash-obs`): the global
+/// [`obs::MetricsRegistry`](lash_obs::MetricsRegistry) every layer reports
+/// into, readable via `lash::obs::global().render_text()`.
+pub mod obs {
+    pub use lash_obs::*;
+}
