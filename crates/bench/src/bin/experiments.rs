@@ -21,7 +21,9 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
-use lash_bench::experiments::{ablation, compaction, decode, fig4, fig5, fig6, query, tables};
+use lash_bench::experiments::{
+    ablation, compaction, decode, fig4, fig5, fig6, query, scan, tables,
+};
 use lash_bench::{Datasets, Report};
 
 fn main() {
@@ -130,6 +132,14 @@ fn main() {
                     baseline.as_deref(),
                 );
             }
+            "scan" => {
+                bench_ok &= scan::scan(
+                    &mut datasets,
+                    &mut report,
+                    out.as_deref(),
+                    baseline.as_deref(),
+                );
+            }
             other => die(&format!("unknown subcommand {other}; see --help")),
         }
     }
@@ -163,6 +173,7 @@ const ALL: &[&str] = &[
     "compaction",
     "decode",
     "query",
+    "scan",
 ];
 
 const HELP: &str = "\
@@ -184,13 +195,15 @@ subcommands:
                                              (writes BENCH_decode.json to --out)
   query                                      pattern-index query throughput
                                              (writes BENCH_query.json to --out)
+  scan                                       shard-scan throughput, mmap vs buffered
+                                             (writes BENCH_scan.json to --out)
   all                                        everything
 
 options:
   --scale F         dataset scale factor (default 1.0, about 20k sequences)
   --out DIR         CSV output directory (default bench_results/)
-  --baseline FILE   compare `decode`/`query` against a baseline BENCH_*.json and
-                    fail on >15% throughput regression (the CI bench gates)
+  --baseline FILE   compare `decode`/`query`/`scan` against a baseline BENCH_*.json
+                    and fail on >15% throughput regression (the CI bench gates)
   --no-csv          disable CSV output
 ";
 

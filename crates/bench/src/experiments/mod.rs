@@ -7,6 +7,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod query;
+pub mod scan;
 pub mod tables;
 
 use lash_core::{GsmParams, Lash, LashConfig, LashResult, SequenceDatabase, Vocabulary};

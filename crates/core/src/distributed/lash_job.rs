@@ -441,6 +441,11 @@ struct ShardedLashJob<'a, C> {
     params: GsmParams,
     rewrite_level: RewriteLevel,
     aggregate: bool,
+    /// True when the corpus stores items pre-ranked in exactly this
+    /// context's order (checked once in `run_partition_and_mine_sharded`),
+    /// making the map phase's per-item rank lookup a pass-through of the
+    /// stored bytes.
+    ranked_scan: bool,
     miner: Box<dyn LocalMiner>,
     stats: Mutex<(MinerStats, u64)>,
     scan_error: Mutex<Option<Error>>,
@@ -462,13 +467,23 @@ impl<C: ShardedCorpus> Job for ShardedLashJob<'_, C> {
         let ctx = self.ctx;
         let frequent =
             move |item: crate::vocabulary::ItemId| ctx.space().is_frequent(ctx.order().rank(item));
-        let result = self
-            .corpus
-            .scan_shard_pruned(shard as usize, &frequent, &mut |_, seq| {
-                ranked.clear();
-                ranked.extend(seq.iter().map(|&it| self.ctx.order().rank(it)));
-                map_ranked_sequence(&ranked, self.ctx, &rewriter, &mut g1, emit);
-            });
+        let result = if self.ranked_scan {
+            // Rank-encoded corpus in this exact order: the stored items
+            // *are* the ranks — no per-item re-encoding.
+            self.corpus
+                .scan_shard_ranked(shard as usize, &frequent, &mut |_, seq| {
+                    ranked.clear();
+                    ranked.extend(seq.iter().map(|r| r.as_u32()));
+                    map_ranked_sequence(&ranked, self.ctx, &rewriter, &mut g1, emit);
+                })
+        } else {
+            self.corpus
+                .scan_shard_pruned(shard as usize, &frequent, &mut |_, seq| {
+                    ranked.clear();
+                    ranked.extend(seq.iter().map(|&it| self.ctx.order().rank(it)));
+                    map_ranked_sequence(&ranked, self.ctx, &rewriter, &mut g1, emit);
+                })
+        };
         if let Err(e) = result {
             self.scan_error
                 .lock()
@@ -534,12 +549,26 @@ fn run_partition_and_mine_sharded<C: ShardedCorpus>(
     params: &GsmParams,
     config: &LashConfig,
 ) -> Result<(PatternSet, JobMetrics, MinerStats, u64)> {
+    // A rank-encoded corpus whose sealed order matches this context's order
+    // item-for-item lets map tasks consume stored bytes as ranks directly.
+    // The orders agree whenever both came from the same corpus-wide f-list
+    // (the sort is σ-independent); a mismatch — say a corpus sealed before
+    // later generations shifted frequencies — just falls back to ranking on
+    // the fly, never to wrong output.
+    let ranked_scan = corpus.rank_order().is_some_and(|item_of| {
+        item_of.len() == ctx.order().len()
+            && item_of
+                .iter()
+                .enumerate()
+                .all(|(rank, &item)| ctx.order().item(rank as u32).as_u32() == item)
+    });
     let job = ShardedLashJob {
         corpus,
         ctx,
         params: *params,
         rewrite_level: config.rewrite_level,
         aggregate: config.aggregate,
+        ranked_scan,
         miner: config.miner.instantiate(),
         stats: Mutex::new((MinerStats::default(), 0)),
         scan_error: Mutex::new(None),

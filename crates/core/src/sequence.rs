@@ -163,6 +163,52 @@ pub trait ShardedCorpus: Sync {
         let _ = relevant;
         self.scan_shard(shard, f)
     }
+
+    /// The corpus's fixed item order as `item_of`: index `r` holds the raw
+    /// `u32` of the item at frequency rank `r`. `Some` only when the corpus
+    /// physically fixes such an order (rank-encoded storage); `None`
+    /// otherwise. A mine job whose own [`crate::flist::ItemOrder`] equals
+    /// this permutation can consume [`ShardedCorpus::scan_shard_ranked`]
+    /// and skip its map-phase re-encoding entirely.
+    fn rank_order(&self) -> Option<&[u32]> {
+        None
+    }
+
+    /// Like [`ShardedCorpus::scan_shard_pruned`], but sequences are
+    /// delivered in **rank space**: each yielded `ItemId` carries the
+    /// item's frequency rank under [`ShardedCorpus::rank_order`], not its
+    /// vocabulary id. The `relevant` predicate stays **id-space** (it
+    /// drives sketch pruning over stored metadata). Errors when the corpus
+    /// has no rank order.
+    ///
+    /// The default derives the mapping from `rank_order()` and rewrites on
+    /// top of the pruned scan; rank-encoded backends override this with a
+    /// pass-through of the stored bytes.
+    fn scan_shard_ranked(
+        &self,
+        shard: usize,
+        relevant: &(dyn Fn(ItemId) -> bool + Sync),
+        f: &mut dyn FnMut(u64, &[ItemId]),
+    ) -> crate::error::Result<()> {
+        let Some(item_of) = self.rank_order() else {
+            return Err(crate::error::Error::Engine(
+                "ranked scan requires a corpus with a fixed rank order".into(),
+            ));
+        };
+        let mut rank_of = vec![0u32; item_of.len()];
+        for (rank, &item) in item_of.iter().enumerate() {
+            rank_of[item as usize] = rank as u32;
+        }
+        let mut ranked: Vec<ItemId> = Vec::new();
+        self.scan_shard_pruned(shard, relevant, &mut |id, seq| {
+            ranked.clear();
+            ranked.extend(
+                seq.iter()
+                    .map(|item| ItemId::from_u32(rank_of[item.index()])),
+            );
+            f(id, &ranked);
+        })
+    }
 }
 
 impl ShardedCorpus for SequenceDatabase {

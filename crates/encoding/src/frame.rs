@@ -25,6 +25,7 @@
 //! for block frames), not self-described, so the layout stays identical.
 
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 use crate::varint;
 use crate::DecodeError;
@@ -118,6 +119,32 @@ pub fn encoded_frame_len(len: usize) -> usize {
 /// bytes consumed. Truncated input yields [`DecodeError::UnexpectedEof`];
 /// a checksum mismatch or over-long length yields [`DecodeError::Corrupt`].
 pub fn decode_frame(input: &[u8]) -> Result<(&[u8], usize), DecodeError> {
+    decode_frame_with(input, FrameChecksum::Fnv1a)
+}
+
+/// [`decode_frame`] with an explicit checksum flavor.
+pub fn decode_frame_with(input: &[u8], kind: FrameChecksum) -> Result<(&[u8], usize), DecodeError> {
+    let (payload, total) = split_frame_unverified(input)?;
+    let stored = u32::from_le_bytes(
+        input[total - 4..total]
+            .try_into()
+            .expect("4 checksum bytes sliced above"),
+    );
+    if stored != kind.compute(payload) {
+        return Err(DecodeError::Corrupt("frame checksum mismatch"));
+    }
+    Ok((payload, total))
+}
+
+/// Splits one frame off the front of `input` **without** verifying its
+/// checksum: returns the payload slice and the total bytes consumed.
+///
+/// This is the zero-copy window primitive behind [`MappedFrames`] scans:
+/// a stream whose checksums were all verified once (at open) is walked
+/// again with only the structural bounds checks, no per-frame hashing.
+/// Never use it on bytes that have not been verified through
+/// [`decode_frame_with`] first — a flipped bit would go undetected.
+pub fn split_frame_unverified(input: &[u8]) -> Result<(&[u8], usize), DecodeError> {
     let (len, header) = varint::decode_u32(input)?;
     let len = len as usize;
     if len > MAX_FRAME_LEN {
@@ -127,16 +154,7 @@ pub fn decode_frame(input: &[u8]) -> Result<(&[u8], usize), DecodeError> {
     if input.len() < total {
         return Err(DecodeError::UnexpectedEof);
     }
-    let payload = &input[header..header + len];
-    let stored = u32::from_le_bytes(
-        input[header + len..total]
-            .try_into()
-            .expect("4 checksum bytes sliced above"),
-    );
-    if stored != checksum(payload) {
-        return Err(DecodeError::Corrupt("frame checksum mismatch"));
-    }
-    Ok((payload, total))
+    Ok((&input[header..header + len], total))
 }
 
 /// Writes a frame wrapping `payload` to an [`io::Write`].
@@ -278,6 +296,162 @@ pub fn read_frame_into(
         ));
     }
     Ok(Some(len))
+}
+
+/// The raw `mmap(2)` FFI — the workspace's only unsafe code, kept to the
+/// smallest possible surface: map a read-only private view of a file,
+/// expose it as a byte slice, unmap on drop. The symbols come from libc,
+/// which std already links on every unix target.
+///
+/// Soundness relies on the mapped file being **immutable while mapped**:
+/// truncating a mapped file turns reads into `SIGBUS`. The store only maps
+/// sealed segment files, which are append-once and replaced by rename —
+/// deletion unlinks the name but keeps the inode alive until the map is
+/// dropped — so the invariant holds by construction there. Callers mapping
+/// other files must uphold it themselves.
+#[cfg(all(unix, target_pointer_width = "64"))]
+#[allow(unsafe_code)]
+mod mapped {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// An owned read-only mapping of one file.
+    pub struct Map {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned: no aliasing mutation can occur
+    // through it, so sharing the view across threads is sound.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        /// Maps `len` bytes of `file` read-only. `len` must be non-zero
+        /// (mapping zero bytes is an `EINVAL`; callers special-case empty
+        /// files) and no larger than the file.
+        pub fn new(file: &File, len: usize) -> io::Result<Map> {
+            debug_assert!(len > 0, "zero-length maps are the caller's case");
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Map { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn bytes(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// How a [`MappedFrames`] holds its bytes.
+enum FrameBacking {
+    /// A zero-copy `mmap(2)` view (64-bit unix only).
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(mapped::Map),
+    /// A plain heap read — the portable fallback, and the representation of
+    /// empty files (zero-length maps are invalid).
+    Heap(Vec<u8>),
+}
+
+/// A whole frame file held as one contiguous byte view — memory-mapped
+/// where the platform supports it, heap-loaded otherwise — so frame
+/// payloads can be consumed as zero-copy windows instead of per-frame
+/// buffer reads.
+///
+/// `MappedFrames` itself performs no checksum verification; the intended
+/// protocol (used by `lash-store` mapped segment scans) is to verify every
+/// frame **once at open** with [`decode_frame_with`] and thereafter walk
+/// the same bytes with [`split_frame_unverified`].
+pub struct MappedFrames {
+    backing: FrameBacking,
+}
+
+impl MappedFrames {
+    /// Opens `path`, mapping it read-only when possible and falling back
+    /// to reading it onto the heap (non-unix platforms, exotic
+    /// filesystems where `mmap` fails).
+    ///
+    /// The mapped file must not be truncated or rewritten in place while
+    /// this view is alive (see the soundness note on the FFI module);
+    /// append-once, rename-replaced files — like sealed store segments —
+    /// satisfy this by construction.
+    pub fn open(path: &Path) -> io::Result<MappedFrames> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            if len > 0 && usize::try_from(len).is_ok() {
+                if let Ok(map) = mapped::Map::new(&file, len as usize) {
+                    return Ok(MappedFrames {
+                        backing: FrameBacking::Mapped(map),
+                    });
+                }
+            }
+        }
+        Ok(MappedFrames {
+            backing: FrameBacking::Heap(std::fs::read(path)?),
+        })
+    }
+
+    /// The file's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            FrameBacking::Mapped(map) => map.bytes(),
+            FrameBacking::Heap(bytes) => bytes,
+        }
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True for an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the view is a real `mmap`, false on the heap fallback.
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            matches!(self.backing, FrameBacking::Mapped(_))
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            false
+        }
+    }
 }
 
 #[cfg(test)]
@@ -431,6 +605,65 @@ mod tests {
         corrupt[3] ^= 0x10;
         let mut cursor = &corrupt[..];
         assert!(read_frame_into(&mut cursor, &mut scratch, FrameChecksum::Fnv1aWide).is_err());
+    }
+
+    #[test]
+    fn split_frame_unverified_skips_the_checksum() {
+        let mut buf = Vec::new();
+        encode_frame(b"payload bytes", &mut buf);
+        // Corrupt the checksum trailer: the unverified split still returns
+        // the payload (that is its contract), the verified one rejects it.
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let (payload, consumed) = split_frame_unverified(&buf).unwrap();
+        assert_eq!(payload, b"payload bytes");
+        assert_eq!(consumed, buf.len());
+        assert!(decode_frame(&buf).is_err());
+        // Structural errors are still caught.
+        assert_eq!(
+            split_frame_unverified(&buf[..3]),
+            Err(DecodeError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn decode_frame_with_honors_the_flavor() {
+        let mut buf = Vec::new();
+        write_frame_with(b"wide", &mut buf, FrameChecksum::Fnv1aWide).unwrap();
+        let (payload, n) = decode_frame_with(&buf, FrameChecksum::Fnv1aWide).unwrap();
+        assert_eq!(payload, b"wide");
+        assert_eq!(n, buf.len());
+        assert!(decode_frame_with(&buf, FrameChecksum::Fnv1a).is_err());
+    }
+
+    #[test]
+    fn mapped_frames_expose_the_file_bytes() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lash-mapped-frames-{}", std::process::id()));
+        let mut bytes = Vec::new();
+        encode_frame(b"first", &mut bytes);
+        encode_frame(b"second", &mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MappedFrames::open(&path).unwrap();
+        assert_eq!(mapped.bytes(), &bytes[..]);
+        assert_eq!(mapped.len(), bytes.len());
+        assert!(!mapped.is_empty());
+        if cfg!(all(unix, target_pointer_width = "64")) {
+            assert!(mapped.is_mapped(), "linux CI should take the mmap path");
+        }
+        // Walk the frames zero-copy.
+        let (p1, n1) = split_frame_unverified(mapped.bytes()).unwrap();
+        assert_eq!(p1, b"first");
+        let (p2, n2) = split_frame_unverified(&mapped.bytes()[n1..]).unwrap();
+        assert_eq!(p2, b"second");
+        assert_eq!(n1 + n2, mapped.len());
+        drop(mapped);
+        // Empty files take the heap fallback (zero-length maps are invalid).
+        std::fs::write(&path, b"").unwrap();
+        let empty = MappedFrames::open(&path).unwrap();
+        assert!(empty.is_empty());
+        assert!(!empty.is_mapped());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -168,6 +168,10 @@ define_counters! {
         /// more runs than a reduce task may open at once. Zero when every
         /// partition fits one merge.
         merge_passes,
+        /// Key/value pairs eliminated by running the combiner *during*
+        /// hierarchical merge passes (combine inputs minus outputs): zero
+        /// when merges stay flat or the combiner is off.
+        merged_combined_pairs,
         /// Distinct keys seen by reducers.
         reduce_input_groups,
         /// Values seen by reducers.

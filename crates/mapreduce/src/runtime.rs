@@ -180,7 +180,7 @@ pub fn run_job<J: Job>(
                 job,
                 &sources[task],
                 task,
-                config.merge_fan_in.max(2),
+                config,
                 spill_space.as_ref(),
                 &counters,
             )
@@ -228,6 +228,7 @@ fn run_map_task<J: Job>(
         config.use_combiner,
         config.spill_threshold_bytes,
         spill_path,
+        config.spill_codec,
         counters,
     );
     for record in records {
@@ -347,10 +348,11 @@ fn run_reduce_task<J: Job>(
     job: &J,
     partition_runs: &[ReduceRun<'_>],
     task: usize,
-    fan_in: usize,
+    config: &EngineConfig,
     spill_space: Option<&SpillSpace>,
     counters: &Counters,
 ) -> Result<Vec<J::Output>, EngineError> {
+    let fan_in = config.merge_fan_in.max(2);
     // Hierarchical pre-merge (the fd-pressure valve): while the partition
     // holds more *disk* runs than the fan-in (in-memory runs hold no file
     // handles and never trigger it), merge adjacent groups — each capped
@@ -392,14 +394,44 @@ fn run_reduce_task<J: Job>(
             let mut merger = Merger::new(&sources)?;
             Counters::add(&counters.merged_runs, merger.num_runs());
             let path = space.merge_file(task, round, group_idx);
-            let mut writer = RunStreamWriter::create(&path)?;
+            let mut writer = RunStreamWriter::create(&path, config.spill_codec)?;
             let mut key = Vec::new();
             let mut value = Vec::new();
-            while let Some(k) = merger.peek_key() {
-                key.clear();
-                key.extend_from_slice(k);
-                merger.pop_value_into(&mut value)?;
-                writer.push(&key, &value)?;
+            if config.use_combiner {
+                // Merge-time combine (Hadoop's merge-side combiner): a pass
+                // materializes each key's group anyway, so collapsing it
+                // here means later rounds copy the combined pairs instead
+                // of re-merging every original one — low-σ shuffles shrink
+                // round over round instead of staying disk-bound. Combiners
+                // are associative and regrouping-insensitive by contract,
+                // so the final reduce sees equivalent value streams.
+                while let Some(k) = merger.peek_key() {
+                    key.clear();
+                    key.extend_from_slice(k);
+                    let mut values: Vec<J::Value> = Vec::new();
+                    while merger.peek_key() == Some(key.as_slice()) {
+                        merger.pop_value_into(&mut value)?;
+                        values.push(job.decode_value(&value));
+                    }
+                    let before = values.len();
+                    let combined = job.combine(&job.decode_key(&key), values);
+                    Counters::add(
+                        &counters.merged_combined_pairs,
+                        before.saturating_sub(combined.len()) as u64,
+                    );
+                    for v in &combined {
+                        value.clear();
+                        job.encode_value(v, &mut value);
+                        writer.push(&key, &value)?;
+                    }
+                }
+            } else {
+                while let Some(k) = merger.peek_key() {
+                    key.clear();
+                    key.extend_from_slice(k);
+                    merger.pop_value_into(&mut value)?;
+                    writer.push(&key, &value)?;
+                }
             }
             let meta = writer.finish(task as u32)?;
             Counters::add(&counters.merge_passes, 1);
@@ -410,11 +442,17 @@ fn run_reduce_task<J: Job>(
             drop(sources);
             // The group's own intermediates were consumed exactly once.
             remove_temp_runs(group);
-            next.push(ReduceRun::Disk {
-                path: Arc::new(path),
-                meta,
-                temp: true,
-            });
+            if meta.records == 0 {
+                // A combiner that eliminated every pair leaves nothing to
+                // merge (runs are never empty — see `DiskCursor::open`).
+                let _ = std::fs::remove_file(&path);
+            } else {
+                next.push(ReduceRun::Disk {
+                    path: Arc::new(path),
+                    meta,
+                    temp: true,
+                });
+            }
             group_start = end;
             group_idx += 1;
         }
@@ -771,6 +809,69 @@ mod tests {
                 "fan_in {fan_in} should force intermediate passes"
             );
         }
+    }
+
+    #[test]
+    fn merge_time_combiner_collapses_pairs_and_keeps_results() {
+        // Per-record spilling with a tiny fan-in forces hierarchical
+        // passes whose groups hold many single-value runs of the same few
+        // keys — exactly what the merge-time combiner collapses.
+        let corpus: Vec<String> = (0..60)
+            .map(|i| format!("w{} shared w{}", i % 7, (i + 3) % 7))
+            .collect();
+        let base = EngineConfig::default()
+            .with_reduce_tasks(2)
+            .with_split_size(1)
+            .with_spill_threshold(Some(0))
+            .with_merge_fan_in(2);
+        let combined = run_job(&WordCount, &corpus, &base.clone().with_combiner(true)).unwrap();
+        let plain = run_job(&WordCount, &corpus, &base.with_combiner(false)).unwrap();
+        let clean = run_job(&WordCount, &corpus, &EngineConfig::sequential()).unwrap();
+        assert_eq!(sorted(combined.outputs), sorted(clean.outputs.clone()));
+        assert_eq!(sorted(plain.outputs), sorted(clean.outputs));
+        assert!(combined.metrics.counters.merge_passes > 0);
+        assert!(
+            combined.metrics.counters.merged_combined_pairs > 0,
+            "hierarchical passes should combine equal-key pairs"
+        );
+        assert_eq!(plain.metrics.counters.merged_combined_pairs, 0);
+    }
+
+    #[test]
+    fn compressed_spills_shrink_spilled_bytes_but_not_results() {
+        use crate::spill::SpillCodec;
+        // Few distinct, long, shared-prefix words and a threshold that
+        // batches dozens of records per run: the sorted runs are highly
+        // front-codable. (Combiner off so the runs keep their duplicate
+        // keys — the representative low-σ shuffle shape.)
+        let corpus: Vec<String> = (0..200)
+            .map(|i| format!("prefix-shared-word-{} prefix-shared-word-{}", i % 3, i % 5))
+            .collect();
+        let base = EngineConfig::default()
+            .with_reduce_tasks(2)
+            .with_combiner(false)
+            .with_spill_threshold(Some(1024));
+        let raw = run_job(
+            &WordCount,
+            &corpus,
+            &base.clone().with_spill_codec(SpillCodec::Raw),
+        )
+        .unwrap();
+        let gv = run_job(
+            &WordCount,
+            &corpus,
+            &base.with_spill_codec(SpillCodec::GroupVarint),
+        )
+        .unwrap();
+        // Identical outputs in identical (partition, key) order.
+        assert_eq!(gv.outputs, raw.outputs);
+        assert!(raw.metrics.counters.spilled_runs > 0, "threshold too high");
+        assert!(
+            gv.metrics.counters.spilled_bytes * 2 < raw.metrics.counters.spilled_bytes,
+            "compressed spills should shrink spilled_bytes well below half ({} vs {})",
+            gv.metrics.counters.spilled_bytes,
+            raw.metrics.counters.spilled_bytes
+        );
     }
 
     #[test]

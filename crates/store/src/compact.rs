@@ -20,10 +20,13 @@
 //! [`StoreError::Corrupt`] and the corpus stays on the old manifest.
 //!
 //! Because merged generations are re-encoded with the current payload codec
-//! (group varint / format v3 unless [`crate::FORCE_CODEC_ENV`] says
-//! otherwise), compaction doubles as an **in-place format migration**:
-//! compacting a format-v2 corpus down to one generation leaves only v3
-//! segments behind, with identical contents.
+//! (rank-encoded group varint / format v4 unless [`crate::FORCE_CODEC_ENV`]
+//! says otherwise), compaction doubles as an **in-place format migration**:
+//! compacting a format-v2 or v3 corpus down to one generation leaves only
+//! v4 segments behind, with identical contents. Migrating to v4 fixes the
+//! corpus's rank order: it is resolved once (from the manifest if already
+//! sealed, else from the corpus's f-list) and recorded in the swapped
+//! manifest so later ingest and mining reuse it.
 
 use std::fs;
 use std::path::Path;
@@ -254,13 +257,36 @@ fn execute(
         ));
     }
 
+    // Re-encode with the current codec: merging v2/v3 generations produces
+    // a v4 generation, so compaction migrates old corpora as it compacts.
+    // The rank codec needs the corpus's item order, resolved *before* any
+    // files are staged so a failure leaves nothing behind.
+    let codec = format::resolve_codec(crate::PayloadCodec::default());
+    let rank = if codec == crate::PayloadCodec::GroupVarintRank {
+        Some(crate::generations::resolve_rank_order(
+            dir, manifest, vocab,
+        )?)
+    } else {
+        None
+    };
+
     let new_id = manifest.next_gen_id;
     let tmp_dir = dir.join(format::generation_tmp_dir_name(new_id));
     if tmp_dir.exists() {
         fs::remove_dir_all(&tmp_dir)?;
     }
-    let merged = merge_window(dir, manifest, vocab, window, new_id, &tmp_dir, config);
-    let (merged, codec) = match merged {
+    let merged = merge_window(
+        dir,
+        manifest,
+        vocab,
+        window,
+        new_id,
+        &tmp_dir,
+        config,
+        codec,
+        rank.clone(),
+    );
+    let merged = match merged {
         Ok(m) => m,
         Err(e) => {
             // The round failed before the swap: discard the staged files,
@@ -296,6 +322,11 @@ fn execute(
     // merge re-encoded old blocks with a newer codec.
     let mut new_manifest = manifest.clone();
     new_manifest.version = manifest.version.max(codec.format_version());
+    if new_manifest.version >= 4 && new_manifest.rank_order.is_none() {
+        // The migration to v4 seals the item order the merged blocks were
+        // rank-encoded with.
+        new_manifest.rank_order = rank.clone();
+    }
     new_manifest
         .generations
         .splice(plan.start..plan.start + plan.len, [merged]);
@@ -320,8 +351,8 @@ fn execute(
 
 /// Streams every sequence of `window` (shard by shard, generation order)
 /// into a new segment set at `tmp_dir`, verifying no sequence was dropped
-/// or duplicated. Returns the merged generation's metadata and the codec
-/// it was encoded with.
+/// or duplicated. Returns the merged generation's metadata.
+#[allow(clippy::too_many_arguments)]
 fn merge_window(
     dir: &Path,
     manifest: &Manifest,
@@ -330,17 +361,17 @@ fn merge_window(
     new_id: u32,
     tmp_dir: &Path,
     config: &CompactionConfig,
-) -> Result<(GenerationMeta, crate::PayloadCodec)> {
+    codec: crate::PayloadCodec,
+    rank: Option<std::sync::Arc<crate::format::RankOrder>>,
+) -> Result<GenerationMeta> {
     let num_shards = manifest.partitioning.num_shards();
-    // Re-encode with the current codec: merging v2 generations produces a
-    // v3 generation, so compaction migrates old corpora as it compacts.
-    let codec = format::resolve_codec(crate::PayloadCodec::default());
     let mut segments = SegmentSetWriter::create(
         tmp_dir,
         num_shards,
         config.block_budget,
         manifest.sketches,
         codec,
+        rank,
     )?;
     for shard in 0..num_shards {
         let paths = window
@@ -350,7 +381,16 @@ fn merge_window(
                     .join(format::shard_file_name(shard))
             })
             .collect();
-        let mut scan = ShardScan::open_chain(paths, shard, vocab.len() as u32, None);
+        // The merge reads and re-appends id-space items: `append` re-ranks
+        // for a v4 target itself, so the scan stays in item space.
+        let mut scan = ShardScan::open_chain(
+            paths,
+            shard,
+            vocab.len() as u32,
+            None,
+            manifest.rank_order.clone(),
+            crate::reader::ScanSpace::Items,
+        );
         while let Some(batch) = scan.next_batch()? {
             for (id, items) in batch.iter() {
                 segments.append(shard as usize, id, items, vocab)?;
@@ -371,13 +411,10 @@ fn merge_window(
     let num_sequences = segments.sequences();
     let total_items = segments.total_items();
     let shards = segments.finish()?;
-    Ok((
-        GenerationMeta {
-            id: new_id,
-            num_sequences,
-            total_items,
-            shards,
-        },
-        codec,
-    ))
+    Ok(GenerationMeta {
+        id: new_id,
+        num_sequences,
+        total_items,
+        shards,
+    })
 }

@@ -23,6 +23,19 @@
 //! parsing tokens byte by byte. Version 2 segments (per-record delta/varint
 //! payloads, no codec tag) remain fully readable; compaction rewrites them
 //! in the current codec, so `compact` doubles as a v2→v3 migration.
+//!
+//! Format version 4 keeps the v3 columnar layout but stores the flattened
+//! item column in **rank space** ([`PayloadCodec::GroupVarintRank`]): the
+//! corpus fixes one descending-frequency item permutation (a [`RankOrder`],
+//! carried by a dedicated manifest frame) and every stored item is its rank
+//! under that order. Frequent items get the smallest integers, so the
+//! group-varint item column shrinks, and a rank-space consumer (the mine
+//! job's map phase) reads the stored values with **no re-encoding at all**.
+//! Block-header `min_item`/`max_item` and the G1 sketch stay in item-id
+//! space, so header-only consumers (f-list assembly, sketch pruning) are
+//! version-oblivious. The rank order is **write-once per corpus**: every
+//! v4 segment of a corpus shares the manifest's single permutation, and
+//! compaction again doubles as the v2/v3 → v4 migration.
 
 use std::collections::BTreeMap;
 
@@ -35,25 +48,26 @@ use crate::{Result, StoreError};
 
 /// Newest on-disk format version written by this crate. Version 2
 /// introduced segment generations; version 3 introduced group-varint block
-/// payloads; version 1 (single flat segment set) is no longer written or
-/// read.
-pub const FORMAT_VERSION: u32 = 3;
+/// payloads; version 4 introduced rank-space item columns; version 1
+/// (single flat segment set) is no longer written or read.
+pub const FORMAT_VERSION: u32 = 4;
 
-/// Oldest format version this build still reads. Version-2 corpora open
-/// transparently (the reader dispatches on the per-segment version and the
-/// per-block codec tag) and migrate to version 3 through compaction.
+/// Oldest format version this build still reads. Version-2 and -3 corpora
+/// open transparently (the reader dispatches on the per-segment version and
+/// the per-block codec tag) and migrate to version 4 through compaction.
 pub const MIN_FORMAT_VERSION: u32 = 2;
 
 /// Environment variable forcing the payload codec (and with it the written
 /// format version) of every segment written by this process: `v2` forces
-/// [`PayloadCodec::Varint`], `v3` forces [`PayloadCodec::GroupVarint`].
+/// [`PayloadCodec::Varint`], `v3` forces [`PayloadCodec::GroupVarint`],
+/// `v4` forces [`PayloadCodec::GroupVarintRank`].
 /// Overrides [`crate::StoreOptions::codec`]; CI uses it to run every suite
-/// under both codecs. A set-but-unrecognized value panics — the variable
+/// under all codecs. A set-but-unrecognized value panics — the variable
 /// exists to force test coverage, and a typo silently selecting the default
 /// would defeat exactly that.
 pub const FORCE_CODEC_ENV: &str = "LASH_FORCE_CODEC";
 
-/// The per-block payload encoding. Tagged in every v3 block header;
+/// The per-block payload encoding. Tagged in every v3+ block header;
 /// version-2 blocks are implicitly [`PayloadCodec::Varint`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PayloadCodec {
@@ -64,24 +78,32 @@ pub enum PayloadCodec {
     /// Format-v3 columnar layout: varint id deltas, then a group-varint
     /// lengths column, then all items as one contiguous group-varint
     /// stream (see [`lash_encoding::group_varint`] for the group layout).
-    #[default]
     GroupVarint,
+    /// Format-v4: the v3 columnar layout with the flattened item column in
+    /// **rank space** — each value is the item's rank under the corpus's
+    /// [`RankOrder`] instead of its vocabulary id. Frequent items rank
+    /// lowest, so the column's group-varint bytes shrink and rank-space
+    /// consumers skip re-encoding entirely.
+    #[default]
+    GroupVarintRank,
 }
 
 impl PayloadCodec {
-    /// The codec's tag byte in v3 block headers.
+    /// The codec's tag byte in v3+ block headers.
     pub fn tag(self) -> u32 {
         match self {
             PayloadCodec::Varint => 0,
             PayloadCodec::GroupVarint => 1,
+            PayloadCodec::GroupVarintRank => 2,
         }
     }
 
-    /// Decodes a v3 block-header codec tag.
+    /// Decodes a v3+ block-header codec tag.
     pub(crate) fn from_tag(tag: u32) -> Result<Self> {
         match tag {
             0 => Ok(PayloadCodec::Varint),
             1 => Ok(PayloadCodec::GroupVarint),
+            2 => Ok(PayloadCodec::GroupVarintRank),
             other => Err(StoreError::Corrupt(format!(
                 "unknown block payload codec tag {other}"
             ))),
@@ -90,21 +112,24 @@ impl PayloadCodec {
 
     /// The segment/manifest format version segments written with this codec
     /// carry: [`PayloadCodec::Varint`] writes byte-identical v2 segments,
-    /// [`PayloadCodec::GroupVarint`] writes v3.
+    /// [`PayloadCodec::GroupVarint`] writes v3,
+    /// [`PayloadCodec::GroupVarintRank`] writes v4.
     pub fn format_version(self) -> u32 {
         match self {
             PayloadCodec::Varint => 2,
             PayloadCodec::GroupVarint => 3,
+            PayloadCodec::GroupVarintRank => 4,
         }
     }
 
     /// Parses a [`FORCE_CODEC_ENV`] value; panics on anything but
-    /// `v2`/`v3` (see the constant's docs for why).
+    /// `v2`/`v3`/`v4` (see the constant's docs for why).
     pub(crate) fn from_env_str(value: &str) -> PayloadCodec {
         match value.trim() {
             "v2" => PayloadCodec::Varint,
             "v3" => PayloadCodec::GroupVarint,
-            other => panic!("{FORCE_CODEC_ENV}={other:?} is not a codec: expected v2 or v3"),
+            "v4" => PayloadCodec::GroupVarintRank,
+            other => panic!("{FORCE_CODEC_ENV}={other:?} is not a codec: expected v2, v3 or v4"),
         }
     }
 }
@@ -137,6 +162,108 @@ pub(crate) fn codec_from_env() -> Option<PayloadCodec> {
 /// override when set, otherwise `requested`.
 pub(crate) fn resolve_codec(requested: PayloadCodec) -> PayloadCodec {
     codec_from_env().unwrap_or(requested)
+}
+
+/// The corpus-wide descending-frequency item permutation of a rank-space
+/// (format v4) corpus: `item_of[rank]` is the vocabulary id of the item at
+/// `rank`, with rank 0 the most frequent item. The inverse (`rank_of`) is
+/// derived on construction so both directions are O(1) table lookups.
+///
+/// The order is **write-once**: the first writer to produce a v4 segment
+/// fixes it in the manifest, and every later v4 segment of the corpus is
+/// encoded under the same permutation (mixed-order corpora would make block
+/// payloads ambiguous). It uses the same sort as `lash-core`'s `ItemOrder`
+/// — descending generalized frequency, then ascending hierarchy depth, then
+/// ascending item id — so a mining context built over the same f-list lands
+/// on the identical permutation and the map phase's re-ranking becomes a
+/// no-op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankOrder {
+    item_of: Vec<u32>,
+    rank_of: Vec<u32>,
+}
+
+impl RankOrder {
+    /// Builds an order from the rank → item-id permutation, validating that
+    /// it is in fact a permutation of `0..len`.
+    pub fn from_item_of(item_of: Vec<u32>) -> Result<RankOrder> {
+        let n = item_of.len();
+        let mut rank_of = vec![u32::MAX; n];
+        for (rank, &item) in item_of.iter().enumerate() {
+            let slot = rank_of.get_mut(item as usize).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "rank order names item {item} outside vocabulary of {n}"
+                ))
+            })?;
+            if *slot != u32::MAX {
+                return Err(StoreError::Corrupt(format!(
+                    "rank order repeats item {item}"
+                )));
+            }
+            *slot = rank as u32;
+        }
+        Ok(RankOrder { item_of, rank_of })
+    }
+
+    /// The identity order (rank == item id) — the valid-but-neutral order a
+    /// writer falls back to when no frequency information is available.
+    pub fn identity(len: usize) -> RankOrder {
+        let ids: Vec<u32> = (0..len as u32).collect();
+        RankOrder {
+            item_of: ids.clone(),
+            rank_of: ids,
+        }
+    }
+
+    /// Number of items (the vocabulary size the order covers).
+    pub fn len(&self) -> usize {
+        self.item_of.len()
+    }
+
+    /// True if the order covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.item_of.is_empty()
+    }
+
+    /// The rank → item-id permutation.
+    pub fn item_of(&self) -> &[u32] {
+        &self.item_of
+    }
+
+    /// The item-id → rank permutation (inverse of [`RankOrder::item_of`]).
+    pub fn rank_of(&self) -> &[u32] {
+        &self.rank_of
+    }
+}
+
+/// Encodes the manifest rank-order frame payload: the item count followed
+/// by the rank → item-id permutation as raw varints (the permutation is not
+/// sorted, so there is nothing to delta-code).
+pub(crate) fn encode_rank_order(order: &RankOrder, buf: &mut Vec<u8>) {
+    varint::encode_u32(order.item_of.len() as u32, buf);
+    for &item in &order.item_of {
+        varint::encode_u32(item, buf);
+    }
+}
+
+/// Decodes a manifest rank-order frame payload, validating the permutation
+/// against the vocabulary size.
+pub(crate) fn decode_rank_order(bytes: &[u8], vocab_len: usize) -> Result<RankOrder> {
+    let mut r = VarintReader::new(bytes);
+    let n = r.read_u32()? as usize;
+    if n != vocab_len {
+        return Err(StoreError::Corrupt(format!(
+            "rank order covers {n} items, vocabulary holds {vocab_len}"
+        )));
+    }
+    let mut item_of = Vec::with_capacity(n);
+    for _ in 0..n {
+        item_of.push(r.read_u32()?);
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Corrupt("trailing rank-order bytes".into()));
+    }
+    RankOrder::from_item_of(item_of)
 }
 
 /// Manifest file name inside a corpus directory.
@@ -338,6 +465,11 @@ pub struct Manifest {
     /// shard. Derived from `generations` on decode; kept denormalized so
     /// shard-level consumers need no generation awareness.
     pub shards: Vec<ShardStats>,
+    /// The corpus's rank-space item permutation — present exactly when
+    /// `version >= 4` (a v4 manifest carries a dedicated rank-order frame).
+    /// Shared behind an [`std::sync::Arc`] so every scan can hold the
+    /// mapping without copying two vocabulary-sized tables.
+    pub rank_order: Option<std::sync::Arc<RankOrder>>,
 }
 
 impl Manifest {
@@ -394,8 +526,9 @@ pub(crate) fn decode_manifest_header(bytes: &[u8]) -> Result<(Manifest, u32)> {
     // Versions are rejected before any version-dependent field is read:
     // a newer manifest (written by a future build) must surface as
     // UnsupportedVersion, never be misparsed into a plausible Manifest.
-    // Versions 2 and 3 share this manifest layout (v3 changed only the
-    // block encoding), so both parse identically from here on.
+    // Versions 2–4 share this manifest header layout (v3 changed only the
+    // block encoding; v4 adds a *separate* rank-order frame), so all parse
+    // identically from here on.
     if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion { found: version });
     }
@@ -440,6 +573,7 @@ pub(crate) fn decode_manifest_header(bytes: &[u8]) -> Result<(Manifest, u32)> {
             next_gen_id,
             generations: Vec::new(),
             shards: Vec::new(),
+            rank_order: None,
         },
         num_generations,
     ))
@@ -517,7 +651,7 @@ pub(crate) fn decode_generations(bytes: &[u8]) -> Result<Vec<GenerationMeta>> {
 }
 
 /// Encodes a segment file's header frame payload for the given format
-/// version (2 or 3 — the writer derives it from its payload codec).
+/// version (2 to 4 — the writer derives it from its payload codec).
 pub(crate) fn encode_segment_header(shard: u32, version: u32, buf: &mut Vec<u8>) {
     debug_assert!((MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version));
     buf.extend_from_slice(SEGMENT_MAGIC);
@@ -526,7 +660,7 @@ pub(crate) fn encode_segment_header(shard: u32, version: u32, buf: &mut Vec<u8>)
 }
 
 /// Decodes and validates a segment file's header frame payload; returns the
-/// segment's format version (2 or 3), which governs how its block headers
+/// segment's format version (2 to 4), which governs how its block headers
 /// are parsed.
 pub(crate) fn decode_segment_header(bytes: &[u8], expected_shard: u32) -> Result<u32> {
     if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
@@ -787,6 +921,7 @@ mod tests {
                 next_gen_id: 7,
                 generations: Vec::new(),
                 shards: Vec::new(),
+                rank_order: None,
             };
             let mut buf = Vec::new();
             encode_manifest_header(&m, &mut buf);
@@ -807,6 +942,7 @@ mod tests {
             next_gen_id: 1,
             generations: Vec::new(),
             shards: Vec::new(),
+            rank_order: None,
         };
         let mut buf = Vec::new();
         encode_manifest_header(&m, &mut buf);
@@ -827,7 +963,7 @@ mod tests {
         // A retired or future manifest: valid magic, an unreadable version,
         // then bytes this build has no idea how to parse. The decoder must
         // classify it by version alone — before touching any later field.
-        for future in [1u32, 4, 99] {
+        for future in [1u32, 5, 99] {
             let mut buf = Vec::new();
             buf.extend_from_slice(MANIFEST_MAGIC);
             varint::encode_u32(future, &mut buf);
@@ -963,7 +1099,11 @@ mod tests {
     #[test]
     fn block_header_round_trips_with_sketch_in_both_versions() {
         let sketch: BTreeMap<u32, u32> = [(0, 5), (3, 2), (17, 9)].into_iter().collect();
-        for (version, codec) in [(2, PayloadCodec::Varint), (3, PayloadCodec::GroupVarint)] {
+        for (version, codec) in [
+            (2, PayloadCodec::Varint),
+            (3, PayloadCodec::GroupVarint),
+            (4, PayloadCodec::GroupVarintRank),
+        ] {
             let h = BlockHeader {
                 codec,
                 records: 5,
@@ -1055,20 +1195,54 @@ mod tests {
     fn codec_versions_and_tags_are_stable() {
         assert_eq!(PayloadCodec::Varint.format_version(), 2);
         assert_eq!(PayloadCodec::GroupVarint.format_version(), 3);
+        assert_eq!(PayloadCodec::GroupVarintRank.format_version(), 4);
         assert_eq!(PayloadCodec::Varint.tag(), 0);
         assert_eq!(PayloadCodec::GroupVarint.tag(), 1);
+        assert_eq!(PayloadCodec::GroupVarintRank.tag(), 2);
         assert_eq!(PayloadCodec::from_env_str("v2"), PayloadCodec::Varint);
         assert_eq!(
             PayloadCodec::from_env_str(" v3 "),
             PayloadCodec::GroupVarint
         );
-        assert_eq!(PayloadCodec::default(), PayloadCodec::GroupVarint);
+        assert_eq!(
+            PayloadCodec::from_env_str("v4"),
+            PayloadCodec::GroupVarintRank
+        );
+        assert_eq!(PayloadCodec::default(), PayloadCodec::GroupVarintRank);
     }
 
     #[test]
     #[should_panic(expected = "not a codec")]
     fn unrecognized_forced_codec_panics() {
-        PayloadCodec::from_env_str("v4");
+        PayloadCodec::from_env_str("v9");
+    }
+
+    #[test]
+    fn rank_order_round_trips_and_inverts() {
+        let order = RankOrder::from_item_of(vec![3, 0, 4, 1, 2]).unwrap();
+        assert_eq!(order.len(), 5);
+        assert_eq!(order.item_of(), &[3, 0, 4, 1, 2]);
+        assert_eq!(order.rank_of(), &[1, 3, 4, 0, 2]);
+        let mut buf = Vec::new();
+        encode_rank_order(&order, &mut buf);
+        assert_eq!(decode_rank_order(&buf, 5).unwrap(), order);
+        // Wrong vocabulary size, truncation, and trailing bytes all reject.
+        assert!(decode_rank_order(&buf, 6).is_err());
+        assert!(decode_rank_order(&buf[..buf.len() - 1], 5).is_err());
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(decode_rank_order(&padded, 5).is_err());
+    }
+
+    #[test]
+    fn rank_order_rejects_non_permutations() {
+        // A repeated item and an out-of-range item are both corruption.
+        assert!(RankOrder::from_item_of(vec![0, 0, 1]).is_err());
+        assert!(RankOrder::from_item_of(vec![0, 3]).is_err());
+        let id = RankOrder::identity(4);
+        assert_eq!(id.item_of(), &[0, 1, 2, 3]);
+        assert_eq!(id.rank_of(), &[0, 1, 2, 3]);
+        assert!(RankOrder::identity(0).is_empty());
     }
 
     #[test]

@@ -58,14 +58,17 @@
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use lash_core::sequence::SequenceDatabase;
+use lash_core::enumeration::g1_items;
+use lash_core::flist::FList;
+use lash_core::sequence::{SequenceDatabase, ShardedCorpus};
 use lash_core::vocabulary::{ItemId, Vocabulary};
-use lash_encoding::frame::{self, FrameRead};
+use lash_encoding::frame::{self, FrameChecksum};
 
 use crate::compact::{self, CompactionConfig};
-use crate::format::{self, GenerationMeta, Manifest, MANIFEST_FILE};
-use crate::writer::SegmentSetWriter;
+use crate::format::{self, GenerationMeta, Manifest, PayloadCodec, RankOrder, MANIFEST_FILE};
+use crate::writer::{rank_order_from_flist, SegmentSetWriter};
 use crate::{Result, StoreError};
 
 /// Environment variable enabling automatic compaction on ingest: when set
@@ -103,24 +106,40 @@ pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
     Ok(())
 }
 
-/// Reads one frame that must exist (EOF is corruption).
-fn read_required_frame(reader: &mut impl Read, what: &str) -> Result<Vec<u8>> {
-    match frame::read_frame(reader)? {
-        FrameRead::Payload(bytes) => Ok(bytes),
-        FrameRead::Eof => Err(StoreError::Corrupt(format!("missing {what} frame"))),
+/// Reads one frame that must exist (EOF is corruption) into a caller-owned
+/// reusable buffer; returns the payload length (see
+/// [`frame::read_frame_into`]). Shared with `reader.rs` so every segment
+/// and manifest read goes through the same grow-only-buffer path.
+pub(crate) fn read_required_frame(
+    reader: &mut impl Read,
+    buf: &mut Vec<u8>,
+    what: &str,
+) -> Result<usize> {
+    match frame::read_frame_into(reader, buf, FrameChecksum::Fnv1a)? {
+        Some(len) => Ok(len),
+        None => Err(StoreError::Corrupt(format!("missing {what} frame"))),
     }
 }
 
-/// Loads and cross-validates a corpus manifest: header, vocabulary, and
-/// generation list, with the aggregated per-shard statistics recomputed.
+/// Loads and cross-validates a corpus manifest: header, vocabulary,
+/// generation list (and, for v4, the rank order), with the aggregated
+/// per-shard statistics recomputed.
 pub(crate) fn read_manifest(dir: &Path) -> Result<(Manifest, Vocabulary)> {
     let mut file = BufReader::new(File::open(dir.join(MANIFEST_FILE))?);
-    let header = read_required_frame(&mut file, "manifest header")?;
-    let (mut manifest, declared_generations) = format::decode_manifest_header(&header)?;
-    let vocab_bytes = read_required_frame(&mut file, "manifest vocabulary")?;
-    let vocab = format::decode_vocabulary(&vocab_bytes)?;
-    let gen_bytes = read_required_frame(&mut file, "manifest generations")?;
-    manifest.generations = format::decode_generations(&gen_bytes)?;
+    let mut buf = Vec::new();
+    let len = read_required_frame(&mut file, &mut buf, "manifest header")?;
+    let (mut manifest, declared_generations) = format::decode_manifest_header(&buf[..len])?;
+    let len = read_required_frame(&mut file, &mut buf, "manifest vocabulary")?;
+    let vocab = format::decode_vocabulary(&buf[..len])?;
+    let len = read_required_frame(&mut file, &mut buf, "manifest generations")?;
+    manifest.generations = format::decode_generations(&buf[..len])?;
+    if manifest.version >= 4 {
+        // A v4 corpus carries its write-once item order as a fourth frame;
+        // rank-coded payloads are meaningless without it.
+        let len = read_required_frame(&mut file, &mut buf, "manifest rank order")?;
+        let rank = format::decode_rank_order(&buf[..len], vocab.len())?;
+        manifest.rank_order = Some(Arc::new(rank));
+    }
     if manifest.generations.len() != declared_generations as usize {
         return Err(StoreError::Corrupt(format!(
             "manifest header declares {declared_generations} generations, list holds {}",
@@ -184,6 +203,15 @@ pub(crate) fn write_manifest(dir: &Path, manifest: &Manifest, vocab: &Vocabulary
         buf.clear();
         format::encode_generations(&manifest.generations, &mut buf);
         frame::write_frame(&buf, &mut file)?;
+        if manifest.version >= 4 {
+            let rank = manifest
+                .rank_order
+                .as_ref()
+                .expect("a v4 manifest carries its rank order");
+            buf.clear();
+            format::encode_rank_order(rank, &mut buf);
+            frame::write_frame(&buf, &mut file)?;
+        }
         file.flush()?;
         file.get_ref().sync_all()?;
     }
@@ -233,18 +261,68 @@ pub struct IncrementalWriter {
     vocab: Vocabulary,
     gen_id: u32,
     tmp_dir: PathBuf,
+    /// The rank order the staged segments are encoded with (v4 codec only).
+    /// Sealed into the manifest at finish.
+    rank: Option<Arc<RankOrder>>,
     segments: Option<SegmentSetWriter>,
     next_seq: u64,
     sealed: bool,
 }
 
+/// The item order a new rank-coded (v4) generation must be written in.
+///
+/// A v4 corpus already fixed it (write-once: later generations reuse the
+/// sealed order, whatever the current frequencies — re-ranking would
+/// require rewriting every sealed segment). A pre-v4 corpus being migrated
+/// derives it from the existing corpus frequencies: the header-sketch
+/// f-list when sketches are present (header-only, no payload read), a
+/// streaming full scan otherwise.
+pub(crate) fn resolve_rank_order(
+    dir: &Path,
+    manifest: &Manifest,
+    vocab: &Vocabulary,
+) -> Result<Arc<RankOrder>> {
+    if let Some(rank) = &manifest.rank_order {
+        return Ok(Arc::clone(rank));
+    }
+    let reader = crate::CorpusReader::open(dir)?;
+    let flist = match reader.flist()? {
+        Some(flist) => flist,
+        None => {
+            // No sketches: stream every shard once, counting G1 closures —
+            // FList::compute without materializing the corpus.
+            let mut doc_freq = vec![0u64; vocab.len()];
+            let mut scratch = Vec::new();
+            for shard in 0..reader.num_shards() {
+                ShardedCorpus::scan_shard(&reader, shard, &mut |_, seq| {
+                    g1_items(seq, vocab, &mut scratch);
+                    for item in &scratch {
+                        doc_freq[item.index()] += 1;
+                    }
+                })
+                .map_err(|e| StoreError::Corrupt(format!("rank-order scan: {e}")))?;
+            }
+            FList::from_counts(
+                vocab,
+                doc_freq
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, f)| (ItemId::from_u32(i as u32), f)),
+            )
+            .expect("ids indexed from the vocabulary are in range")
+        }
+    };
+    Ok(Arc::new(rank_order_from_flist(&flist, vocab)))
+}
+
 impl IncrementalWriter {
     /// Opens `dir` for appending a new generation with the default block
-    /// budget and the default payload codec (group varint / format v3, or
-    /// whatever [`crate::FORCE_CODEC_ENV`] forces) — note that appending a
-    /// v3 generation to a v2-pinned corpus bumps its manifest version, so
-    /// old builds stop reading it; use [`IncrementalWriter::open_with_codec`]
-    /// to keep such a corpus on the v2 codec.
+    /// budget and the default payload codec (rank-coded group varint /
+    /// format v4, or whatever [`crate::FORCE_CODEC_ENV`] forces) — note
+    /// that appending a newer-codec generation to a version-pinned corpus
+    /// bumps its manifest version, so old builds stop reading it; use
+    /// [`IncrementalWriter::open_with_codec`] to keep such a corpus on its
+    /// original codec.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         Self::open_with_budget(dir, crate::StoreOptions::default().block_budget)
     }
@@ -276,12 +354,19 @@ impl IncrementalWriter {
         if tmp_dir.exists() {
             fs::remove_dir_all(&tmp_dir)?;
         }
+        let codec = format::resolve_codec(codec);
+        let rank = if codec == PayloadCodec::GroupVarintRank {
+            Some(resolve_rank_order(&dir, &manifest, &vocab)?)
+        } else {
+            None
+        };
         let segments = SegmentSetWriter::create(
             &tmp_dir,
             manifest.partitioning.num_shards(),
             block_budget,
             manifest.sketches,
-            format::resolve_codec(codec),
+            codec,
+            rank.clone(),
         )?;
         let next_seq = manifest.num_sequences;
         Ok(IncrementalWriter {
@@ -290,6 +375,7 @@ impl IncrementalWriter {
             vocab,
             gen_id,
             tmp_dir,
+            rank,
             segments: Some(segments),
             next_seq,
             sealed: false,
@@ -371,6 +457,11 @@ impl IncrementalWriter {
         // Step 3: swap the manifest.
         let mut manifest = self.manifest.clone();
         manifest.version = version;
+        if manifest.rank_order.is_none() {
+            // First v4 generation on this corpus: seal the order the staged
+            // segments were just encoded with.
+            manifest.rank_order = self.rank.clone();
+        }
         manifest.generations.push(GenerationMeta {
             id: self.gen_id,
             num_sequences,

@@ -40,11 +40,24 @@
 //! ([`PayloadCodec::GroupVarint`], via `lash-encoding::group_varint`): all
 //! sequence-id deltas, then all record lengths, then every record's items
 //! as one contiguous stream a branch-free wide kernel decodes in bulk —
-//! several times the scan bandwidth of the v2 per-token varint layout,
-//! which remains fully readable (and writable, for compatibility, via
-//! [`StoreOptions::with_codec`] or [`FORCE_CODEC_ENV`]). Compaction
+//! several times the scan bandwidth of the v2 per-token varint layout.
+//! Format v4 ([`PayloadCodec::GroupVarintRank`], the default) keeps the
+//! columnar layout but stores items in **rank space**: the corpus-wide
+//! descending-frequency order is computed once at sealing time, recorded
+//! in the manifest ([`format::RankOrder`]), and items are written as their
+//! rank in it. Frequent items get small codes (tighter group-varint
+//! bytes), and the mining map phase — which needs exactly this rank
+//! encoding — consumes blocks without re-encoding a single item. Both old
+//! versions remain fully readable (and writable, for compatibility, via
+//! [`StoreOptions::with_codec`] or [`FORCE_CODEC_ENV`]); compaction
 //! re-encodes merged generations with the current codec, so it doubles as
-//! an in-place v2→v3 migration; see [`format`] for the exact layouts.
+//! an in-place v2/v3→v4 migration; see [`format`] for the exact layouts.
+//!
+//! Shard scans memory-map segment files when the platform supports it
+//! (checksums are validated once at open, then blocks decode from
+//! zero-copy windows while a background thread decodes one block ahead);
+//! set [`SCAN_MODE_ENV`]`=buffered` to force the portable streaming-read
+//! engine.
 //!
 //! ## The corpus lifecycle
 //!
@@ -126,11 +139,11 @@ pub mod writer;
 
 pub use compact::{CompactionConfig, CompactionPlan, CompactionStats};
 pub use format::{
-    BlockHeader, GenerationMeta, Manifest, Partitioning, PayloadCodec, ShardStats, FORCE_CODEC_ENV,
-    FORMAT_VERSION, MIN_FORMAT_VERSION,
+    BlockHeader, GenerationMeta, Manifest, Partitioning, PayloadCodec, RankOrder, ShardStats,
+    FORCE_CODEC_ENV, FORMAT_VERSION, MIN_FORMAT_VERSION,
 };
 pub use generations::{IncrementalWriter, COMPACT_EVERY_ENV};
-pub use reader::{BlockFilter, CorpusReader, CorpusScan, SequenceBatch, ShardScan};
+pub use reader::{BlockFilter, CorpusReader, CorpusScan, SequenceBatch, ShardScan, SCAN_MODE_ENV};
 pub use writer::CorpusWriter;
 
 use std::path::PathBuf;
@@ -232,9 +245,9 @@ pub struct StoreOptions {
     /// write-side hierarchy walks; buys header-only f-list computation.
     pub sketches: bool,
     /// Block payload codec (and with it the written format version).
-    /// Defaults to [`PayloadCodec::GroupVarint`] (format v3); the
+    /// Defaults to [`PayloadCodec::GroupVarintRank`] (format v4); the
     /// [`FORCE_CODEC_ENV`] environment variable overrides this everywhere —
-    /// CI uses it to run every suite under both codecs.
+    /// CI uses it to run every suite under each codec.
     pub codec: PayloadCodec,
 }
 

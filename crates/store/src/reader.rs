@@ -9,11 +9,11 @@
 //! the sealing protocol.
 
 use std::fs::File;
-use std::io::{BufReader, Read, Seek};
+use std::io::{BufReader, Seek};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use lash_core::distributed::lash_job::{Lash, LashResult};
 use lash_core::error::Error as CoreError;
@@ -21,11 +21,58 @@ use lash_core::flist::FList;
 use lash_core::params::GsmParams;
 use lash_core::sequence::{SequenceDatabase, ShardedCorpus};
 use lash_core::vocabulary::{ItemId, Vocabulary};
-use lash_encoding::frame::{self, FrameRead};
+use lash_encoding::frame;
 
-use crate::format::{self, BlockHeader, GenerationMeta, Manifest};
-use crate::generations::read_manifest;
+use crate::format::{self, BlockHeader, GenerationMeta, Manifest, RankOrder};
+use crate::generations::{read_manifest, read_required_frame};
 use crate::{Result, StoreError};
+
+/// Environment variable selecting the engine behind the push-style
+/// [`ShardedCorpus`] scans (the mining path): `mmap` (the default) opens
+/// segments as zero-copy memory maps, verifies every checksum once at
+/// open, and decodes ahead on a background thread; `buffered` keeps the
+/// classic streaming `BufReader` scan. The pull-style [`ShardScan`] API is
+/// always buffered (compaction's merge consumes it incrementally).
+///
+/// A set-but-unrecognized value panics — the variable exists so CI can pin
+/// a scan engine, and a typo silently changing the engine under test would
+/// defeat that.
+pub const SCAN_MODE_ENV: &str = "LASH_SCAN_MODE";
+
+/// Which engine drives a push-style shard scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanMode {
+    Mmap,
+    Buffered,
+}
+
+/// Reads [`SCAN_MODE_ENV`]; unset or empty means mmap.
+fn scan_mode_from_env() -> ScanMode {
+    match std::env::var(SCAN_MODE_ENV) {
+        Err(_) => ScanMode::Mmap,
+        Ok(value) => match value.trim() {
+            "" | "mmap" => ScanMode::Mmap,
+            "buffered" => ScanMode::Buffered,
+            other => panic!(
+                "{SCAN_MODE_ENV}={other:?} is not a scan mode: expected \"mmap\" or \"buffered\""
+            ),
+        },
+    }
+}
+
+/// The item space a scan delivers sequences in. Blocks are stored in
+/// whichever space their codec uses (ids through v3, ranks in v4); the
+/// decoder maps to the requested space, which is a no-op when they already
+/// agree — the point of rank-space segments: a mine job asking for ranks
+/// over a v4 corpus gets the stored bytes untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScanSpace {
+    /// Vocabulary item ids — what every pre-v4 consumer expects.
+    Items,
+    /// Corpus frequency ranks (the mine job's working encoding); requires
+    /// the corpus rank order.
+    Ranks,
+}
 
 /// A corpus opened cold from its manifest: vocabulary, hierarchy,
 /// partitioning, and the generation list are restored without touching any
@@ -34,6 +81,14 @@ pub struct CorpusReader {
     dir: PathBuf,
     manifest: Manifest,
     vocab: Vocabulary,
+    /// Mapped-segment cache, one entry per scanned shard: every segment
+    /// checksum is verified once, at the shard's first mapped scan, and
+    /// later scans reuse the validated maps with no further hashing or
+    /// syscalls — a mining run re-scans each shard once per level, so the
+    /// validation pass amortizes to zero. Safe to cache because the reader
+    /// is pinned to its manifest snapshot (segment files are immutable once
+    /// sealed).
+    mapped: Mutex<std::collections::HashMap<usize, Arc<Vec<MappedSegment>>>>,
 }
 
 impl CorpusReader {
@@ -49,6 +104,7 @@ impl CorpusReader {
             dir,
             manifest,
             vocab,
+            mapped: Mutex::new(std::collections::HashMap::new()),
         })
     }
 
@@ -87,6 +143,13 @@ impl CorpusReader {
         self.manifest.generations.len()
     }
 
+    /// The corpus rank↔id mapping (`Some` once the corpus holds any
+    /// rank-coded v4 generation): the write-once descending-frequency item
+    /// order its segments are encoded in.
+    pub fn rank_order(&self) -> Option<&RankOrder> {
+        self.manifest.rank_order.as_deref()
+    }
+
     /// The sealed generations of this snapshot, in sequence-id order.
     pub fn generations(&self) -> &[GenerationMeta] {
         &self.manifest.generations
@@ -106,6 +169,27 @@ impl CorpusReader {
             .collect()
     }
 
+    /// The shard's mapped (and open-time-validated) segments, reused across
+    /// scans: the first mapped scan of a shard pays for the mmap and the
+    /// checksum walk; every later one starts decoding immediately.
+    fn mapped_segments(&self, shard: usize) -> Result<Arc<Vec<MappedSegment>>> {
+        if let Some(segments) = self.mapped.lock().expect("mapped cache lock").get(&shard) {
+            return Ok(Arc::clone(segments));
+        }
+        // Open outside the lock so slow first-time validation of one shard
+        // never blocks scans of already-cached shards.
+        let mut segments = Vec::new();
+        for path in self.segment_paths(shard) {
+            segments.push(MappedSegment::open(&path, shard as u32)?);
+        }
+        let segments = Arc::new(segments);
+        self.mapped
+            .lock()
+            .expect("mapped cache lock")
+            .insert(shard, Arc::clone(&segments));
+        Ok(segments)
+    }
+
     /// Opens a streaming scan over one shard, transparently chaining the
     /// shard's blocks across all generations.
     pub fn scan_shard(&self, shard: usize) -> Result<ShardScan<'static>> {
@@ -114,6 +198,8 @@ impl CorpusReader {
             shard as u32,
             self.vocab.len() as u32,
             None,
+            self.manifest.rank_order.clone(),
+            ScanSpace::Items,
         ))
     }
 
@@ -131,6 +217,8 @@ impl CorpusReader {
             shard as u32,
             self.vocab.len() as u32,
             Some(filter),
+            self.manifest.rank_order.clone(),
+            ScanSpace::Items,
         ))
     }
 
@@ -349,6 +437,170 @@ impl CorpusReader {
         };
         lash.mine_sharded(self, &self.vocab, params, flist)
     }
+
+    /// Drives `f` over every sequence of `shard` through the zero-copy
+    /// mapped engine: segments are memory-mapped with every checksum
+    /// verified once — at the shard's **first** mapped scan; repeat scans
+    /// reuse the reader's validated maps — then one background thread
+    /// decodes the next block into a double-buffered batch while `f`
+    /// consumes the current one (inline, without the thread, when the host
+    /// has a single hardware thread and overlap is impossible).
+    /// `store.scan.prefetch_hits` counts blocks that were already decoded
+    /// when the consumer asked; `prefetch_stalls` counts waits.
+    pub fn scan_shard_mapped(&self, shard: usize, f: &mut dyn FnMut(u64, &[ItemId])) -> Result<()> {
+        self.scan_shard_mapped_inner(shard, None, ScanSpace::Items, f)
+    }
+
+    fn scan_shard_mapped_inner(
+        &self,
+        shard: usize,
+        filter: Option<&dyn Fn(&BlockHeader) -> bool>,
+        space: ScanSpace,
+        f: &mut dyn FnMut(u64, &[ItemId]),
+    ) -> Result<()> {
+        let vocab_len = self.vocab.len() as u32;
+        let rank = self.manifest.rank_order.as_deref();
+        let segments = self.mapped_segments(shard)?;
+        // Headers all came out of the open-time validation walk, so the
+        // whole scan's block list is known (and filtered) up front.
+        let mut blocks_pruned = 0u64;
+        let mut selected: Vec<(usize, usize)> = Vec::new();
+        for (si, seg) in segments.iter().enumerate() {
+            for (bi, (header, _)) in seg.blocks.iter().enumerate() {
+                if filter.is_none_or(|flt| flt(header)) {
+                    selected.push((si, bi));
+                } else {
+                    blocks_pruned += 1;
+                }
+            }
+        }
+        let mut blocks_decoded = 0u64;
+        let mut prefetch_hits = 0u64;
+        let mut prefetch_stalls = 0u64;
+        let mut error: Option<StoreError> = None;
+        if available_threads() == 1 || selected.len() < 2 {
+            // Nothing to overlap with: a lone hardware thread (or a lone
+            // block) would turn the decode-ahead handoff into pure context
+            // switching, so decode inline off the maps instead.
+            let mut scratch = DecodeScratch::default();
+            let mut batch = SequenceBatch::default();
+            for &(si, bi) in &selected {
+                match decode_block_into(
+                    &segments[si].blocks[bi].0,
+                    segments[si].payload(bi),
+                    vocab_len,
+                    &mut batch,
+                    &mut scratch,
+                    space,
+                    rank,
+                ) {
+                    Ok(()) => {
+                        blocks_decoded += 1;
+                        for (id, items) in batch.iter() {
+                            f(id, items);
+                        }
+                    }
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+        } else {
+            use std::sync::mpsc::{channel, sync_channel, TryRecvError};
+            // Two batches circulate: one being consumed, one being decoded
+            // ahead. The full channel's capacity of 1 plus the batch held by
+            // the decoder bounds memory at two decoded blocks.
+            let (full_tx, full_rx) = sync_channel::<Result<SequenceBatch>>(1);
+            let (empty_tx, empty_rx) = channel::<SequenceBatch>();
+            for _ in 0..2 {
+                empty_tx
+                    .send(SequenceBatch::default())
+                    .expect("receiver alive");
+            }
+            let segments = &segments;
+            let selected = &selected;
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    let mut scratch = DecodeScratch::default();
+                    for &(si, bi) in selected {
+                        // The consumer dropping its sender (done or errored)
+                        // ends the prefetch.
+                        let Ok(mut batch) = empty_rx.recv() else {
+                            break;
+                        };
+                        let result = decode_block_into(
+                            &segments[si].blocks[bi].0,
+                            segments[si].payload(bi),
+                            vocab_len,
+                            &mut batch,
+                            &mut scratch,
+                            space,
+                            rank,
+                        )
+                        .map(|()| batch);
+                        let failed = result.is_err();
+                        if full_tx.send(result).is_err() || failed {
+                            break;
+                        }
+                    }
+                });
+                loop {
+                    let next = match full_rx.try_recv() {
+                        Ok(next) => {
+                            prefetch_hits += 1;
+                            next
+                        }
+                        Err(TryRecvError::Empty) => {
+                            prefetch_stalls += 1;
+                            match full_rx.recv() {
+                                Ok(next) => next,
+                                Err(_) => break,
+                            }
+                        }
+                        Err(TryRecvError::Disconnected) => break,
+                    };
+                    match next {
+                        Ok(batch) => {
+                            blocks_decoded += 1;
+                            for (id, items) in batch.iter() {
+                                f(id, items);
+                            }
+                            // A failed recycle only means the decoder already
+                            // finished and dropped its receiver — the full
+                            // channel may still hold its final block, so keep
+                            // draining; the loop ends on its disconnect.
+                            let _ = empty_tx.send(batch);
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                // Unblocks a decoder still waiting for an empty batch.
+                drop(empty_tx);
+            });
+        }
+        let obs = lash_obs::global();
+        if blocks_decoded != 0 {
+            obs.counter("store.scan.blocks_decoded").add(blocks_decoded);
+        }
+        if blocks_pruned != 0 {
+            obs.counter("store.scan.blocks_pruned").add(blocks_pruned);
+        }
+        if prefetch_hits != 0 {
+            obs.counter("store.scan.prefetch_hits").add(prefetch_hits);
+        }
+        if prefetch_stalls != 0 {
+            obs.counter("store.scan.prefetch_stalls")
+                .add(prefetch_stalls);
+        }
+        match error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 fn available_threads() -> usize {
@@ -373,6 +625,19 @@ fn drive_batched(
     Ok(())
 }
 
+/// The per-vocabulary-item truth table of a relevance predicate, hoisted
+/// per scan: `relevant` is a fixed predicate (the mine job's frequent-item
+/// test, a rank lookup per call), but the same items recur in every block's
+/// sketch — so evaluate it once per vocabulary item instead of once per
+/// (block, sketch entry). Out-of-vocabulary sketch items are treated as
+/// irrelevant; the header f-list path rejects them as corruption
+/// separately.
+fn relevance_table(vocab_len: u32, relevant: &(dyn Fn(ItemId) -> bool + Sync)) -> Vec<bool> {
+    (0..vocab_len)
+        .map(|item| relevant(ItemId::from_u32(item)))
+        .collect()
+}
+
 impl ShardedCorpus for CorpusReader {
     fn num_shards(&self) -> usize {
         CorpusReader::num_shards(self)
@@ -382,14 +647,25 @@ impl ShardedCorpus for CorpusReader {
         self.manifest.num_sequences
     }
 
+    fn rank_order(&self) -> Option<&[u32]> {
+        self.manifest.rank_order.as_deref().map(|r| r.item_of())
+    }
+
     fn scan_shard(
         &self,
         shard: usize,
         f: &mut dyn FnMut(u64, &[ItemId]),
     ) -> lash_core::error::Result<()> {
         let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
-        let scan = CorpusReader::scan_shard(self, shard).map_err(engine)?;
-        drive_batched(scan, f)
+        match scan_mode_from_env() {
+            ScanMode::Mmap => self
+                .scan_shard_mapped_inner(shard, None, ScanSpace::Items, f)
+                .map_err(engine),
+            ScanMode::Buffered => {
+                let scan = CorpusReader::scan_shard(self, shard).map_err(engine)?;
+                drive_batched(scan, f)
+            }
+        }
     }
 
     fn scan_shard_pruned(
@@ -403,15 +679,7 @@ impl ShardedCorpus for CorpusReader {
             return ShardedCorpus::scan_shard(self, shard, f);
         }
         let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
-        // Hoisted per scan: `relevant` is a fixed predicate (the mine job's
-        // frequent-item test, a rank lookup per call), but the same items
-        // recur in every block's sketch — so evaluate it once per
-        // vocabulary item here instead of once per (block, sketch entry).
-        // Out-of-vocabulary sketch items are treated as irrelevant; the
-        // header f-list path rejects them as corruption separately.
-        let relevant_item: Vec<bool> = (0..self.vocab.len() as u32)
-            .map(|item| relevant(ItemId::from_u32(item)))
-            .collect();
+        let relevant_item = relevance_table(self.vocab.len() as u32, relevant);
         // The sketch lists every item of the block's G1 closures, so a block
         // with no relevant sketch item holds no relevant sequence.
         let filter = |header: &BlockHeader| {
@@ -420,16 +688,70 @@ impl ShardedCorpus for CorpusReader {
                 .iter()
                 .any(|&(item, _)| relevant_item.get(item as usize).copied().unwrap_or(false))
         };
-        let scan = self.scan_shard_filtered(shard, &filter).map_err(engine)?;
-        drive_batched(scan, f)
+        match scan_mode_from_env() {
+            ScanMode::Mmap => self
+                .scan_shard_mapped_inner(shard, Some(&filter), ScanSpace::Items, f)
+                .map_err(engine),
+            ScanMode::Buffered => {
+                let scan = self.scan_shard_filtered(shard, &filter).map_err(engine)?;
+                drive_batched(scan, f)
+            }
+        }
     }
-}
 
-/// Reads one frame that must exist (EOF is corruption).
-fn read_required_frame(reader: &mut impl Read, what: &str) -> Result<Vec<u8>> {
-    match frame::read_frame(reader)? {
-        FrameRead::Payload(bytes) => Ok(bytes),
-        FrameRead::Eof => Err(StoreError::Corrupt(format!("missing {what} frame"))),
+    fn scan_shard_ranked(
+        &self,
+        shard: usize,
+        relevant: &(dyn Fn(ItemId) -> bool + Sync),
+        f: &mut dyn FnMut(u64, &[ItemId]),
+    ) -> lash_core::error::Result<()> {
+        let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
+        if self.manifest.rank_order.is_none() {
+            return Err(CoreError::Engine(
+                "ranked scan requires a rank-ordered (v4) corpus".into(),
+            ));
+        }
+        // `relevant` stays an id-space predicate — sketches are id-space —
+        // while delivery is rank-space: for v4 blocks the stored bytes pass
+        // through untouched, which is the map-phase no-op this scan exists
+        // for.
+        let relevant_item = if self.manifest.sketches {
+            relevance_table(self.vocab.len() as u32, relevant)
+        } else {
+            Vec::new()
+        };
+        let filter = |header: &BlockHeader| {
+            header
+                .sketch
+                .iter()
+                .any(|&(item, _)| relevant_item.get(item as usize).copied().unwrap_or(false))
+        };
+        let filter: Option<&(dyn Fn(&BlockHeader) -> bool + Sync)> = if self.manifest.sketches {
+            Some(&filter)
+        } else {
+            None
+        };
+        match scan_mode_from_env() {
+            ScanMode::Mmap => self
+                .scan_shard_mapped_inner(
+                    shard,
+                    filter.map(|flt| flt as &dyn Fn(&BlockHeader) -> bool),
+                    ScanSpace::Ranks,
+                    f,
+                )
+                .map_err(engine),
+            ScanMode::Buffered => {
+                let scan = ShardScan::open_chain(
+                    self.segment_paths(shard),
+                    shard as u32,
+                    self.vocab.len() as u32,
+                    filter,
+                    self.manifest.rank_order.clone(),
+                    ScanSpace::Ranks,
+                );
+                drive_batched(scan, f)
+            }
+        }
     }
 }
 
@@ -490,13 +812,17 @@ struct DecodeScratch {
 }
 
 /// Decodes every record of one block payload into `batch`, dispatching on
-/// the block's payload codec.
+/// the block's payload codec and mapping items into `space` (see
+/// [`ScanSpace`]; `rank` is the corpus rank order, required whenever the
+/// block's stored space differs from the requested one).
 fn decode_block_into(
     header: &BlockHeader,
     payload: &[u8],
     vocab_len: u32,
     batch: &mut SequenceBatch,
     scratch: &mut DecodeScratch,
+    space: ScanSpace,
+    rank: Option<&RankOrder>,
 ) -> Result<()> {
     // Every record costs at least two payload bytes (id delta + length) and
     // every item at least one, in both codecs — so a header whose claimed
@@ -517,11 +843,38 @@ fn decode_block_into(
     batch.ids.reserve(header.records as usize);
     batch.items.reserve(header.items as usize);
     match header.codec {
-        format::PayloadCodec::Varint => decode_varint_block(header, payload, vocab_len, batch),
-        format::PayloadCodec::GroupVarint => {
-            decode_gv_block(header, payload, vocab_len, batch, scratch)
+        format::PayloadCodec::Varint => decode_varint_block(header, payload, vocab_len, batch)?,
+        format::PayloadCodec::GroupVarint | format::PayloadCodec::GroupVarintRank => {
+            decode_gv_block(header, payload, vocab_len, batch, scratch)?
         }
     }
+    // Both spaces are permutations of `0..vocab_len`, so the codecs' range
+    // checks above hold for either; only a space mismatch costs a mapping
+    // pass. A v4 block scanned for ranks — the mine path — is a no-op here.
+    let block_ranked = header.codec == format::PayloadCodec::GroupVarintRank;
+    let want_ranked = space == ScanSpace::Ranks;
+    if block_ranked != want_ranked {
+        let Some(rank) = rank else {
+            return Err(StoreError::Corrupt(
+                "rank mapping required but the corpus has no rank order".into(),
+            ));
+        };
+        let table = if block_ranked {
+            rank.item_of()
+        } else {
+            rank.rank_of()
+        };
+        if table.len() != vocab_len as usize {
+            return Err(StoreError::Corrupt(format!(
+                "rank order covers {} items, vocabulary has {vocab_len}",
+                table.len()
+            )));
+        }
+        for item in &mut batch.items {
+            *item = ItemId::from_u32(table[item.index()]);
+        }
+    }
+    Ok(())
 }
 
 /// The format-v2 record-stream decode: one varint token at a time.
@@ -654,9 +1007,9 @@ pub type BlockFilter<'f> = &'f (dyn Fn(&BlockHeader) -> bool + Sync);
 pub(crate) struct SegmentScan {
     file: BufReader<File>,
     file_len: u64,
-    /// The segment's format version (2 or 3), which governs block-header
-    /// parsing (v3 headers open with a payload-codec tag) and the frame
-    /// checksum flavor of block frames (wide for v3).
+    /// The segment's format version (2 to 4), which governs block-header
+    /// parsing (v3+ headers open with a payload-codec tag) and the frame
+    /// checksum flavor of block frames (wide for v3+).
     version: u32,
     checksum: lash_encoding::FrameChecksum,
     header_buf: Vec<u8>,
@@ -670,14 +1023,16 @@ impl SegmentScan {
         let handle = File::open(path)?;
         let file_len = handle.metadata()?.len();
         let mut file = BufReader::new(handle);
-        let header = read_required_frame(&mut file, "segment header")?;
-        let version = format::decode_segment_header(&header, shard)?;
+        // The header read seeds the buffer later block-header frames reuse.
+        let mut header_buf = Vec::new();
+        let len = read_required_frame(&mut file, &mut header_buf, "segment header")?;
+        let version = format::decode_segment_header(&header_buf[..len], shard)?;
         Ok(SegmentScan {
             file,
             file_len,
             version,
             checksum: format::frame_checksum_for_version(version),
-            header_buf: Vec::new(),
+            header_buf,
             payload_buf: Vec::new(),
             payload_len: 0,
         })
@@ -738,6 +1093,53 @@ impl SegmentScan {
     }
 }
 
+/// One generation's segment file for one shard as a zero-copy view: the
+/// whole file is memory-mapped (heap-loaded on platforms without mmap) and
+/// **every frame checksum is verified once here, at open** — after that,
+/// block payloads are consumed as borrowed windows into the map with no
+/// further hashing, copying, or syscalls. The per-block headers come out of
+/// the same validation walk for free, so filtering happens before any
+/// decode work is scheduled.
+struct MappedSegment {
+    frames: frame::MappedFrames,
+    /// Every block: decoded header plus its payload's byte range in the map.
+    blocks: Vec<(BlockHeader, Range<usize>)>,
+}
+
+impl MappedSegment {
+    fn open(path: &Path, shard: u32) -> Result<Self> {
+        let frames = frame::MappedFrames::open(path)?;
+        let bytes = frames.bytes();
+        let corrupt =
+            |e: lash_encoding::DecodeError| StoreError::Corrupt(format!("mapped segment: {e}"));
+        // The segment header frame always uses the classic checksum so it
+        // can be parsed before the version is known.
+        let (header, mut pos) = frame::decode_frame(bytes).map_err(corrupt)?;
+        let version = format::decode_segment_header(header, shard)?;
+        let checksum = format::frame_checksum_for_version(version);
+        let mut blocks = Vec::new();
+        while pos < bytes.len() {
+            let (header_bytes, consumed) =
+                frame::decode_frame_with(&bytes[pos..], checksum).map_err(corrupt)?;
+            let block_header = format::decode_block_header(header_bytes, version)?;
+            pos += consumed;
+            let (payload, consumed) = frame::decode_frame_with(&bytes[pos..], checksum)
+                .map_err(|_| StoreError::Corrupt("missing block payload frame".into()))?;
+            // The payload sits at the end of its frame, just before the
+            // 4-byte checksum trailer.
+            let start = pos + consumed - 4 - payload.len();
+            blocks.push((block_header, start..start + payload.len()));
+            pos += consumed;
+        }
+        Ok(MappedSegment { frames, blocks })
+    }
+
+    /// The payload window of block `i`.
+    fn payload(&self, i: usize) -> &[u8] {
+        &self.frames.bytes()[self.blocks[i].1.clone()]
+    }
+}
+
 /// A streaming scan over one shard, yielding `(sequence id, items)` in
 /// storage order and transparently chaining the shard's segment files
 /// across generations (oldest first, so ids stay ascending). Blocks are
@@ -749,6 +1151,11 @@ pub struct ShardScan<'f> {
     shard: u32,
     vocab_len: u32,
     filter: Option<BlockFilter<'f>>,
+    /// The corpus rank order (when it has one), for mapping between stored
+    /// and requested item spaces.
+    rank: Option<Arc<RankOrder>>,
+    /// The item space sequences are delivered in.
+    space: ScanSpace,
     /// Segment files not yet opened, in generation order.
     pending: std::vec::IntoIter<PathBuf>,
     current: Option<SegmentScan>,
@@ -788,6 +1195,8 @@ impl<'f> ShardScan<'f> {
         shard: u32,
         vocab_len: u32,
         filter: Option<BlockFilter<'f>>,
+        rank: Option<Arc<RankOrder>>,
+        space: ScanSpace,
     ) -> Self {
         let mut batch = SequenceBatch::default();
         batch.clear();
@@ -795,6 +1204,8 @@ impl<'f> ShardScan<'f> {
             shard,
             vocab_len,
             filter,
+            rank,
+            space,
             pending: segments.into_iter(),
             current: None,
             batch,
@@ -843,6 +1254,8 @@ impl<'f> ShardScan<'f> {
                         self.vocab_len,
                         &mut self.batch,
                         &mut self.scratch,
+                        self.space,
+                        self.rank.as_deref(),
                     )?;
                     self.blocks_decoded += 1;
                     self.rec = 0;
@@ -936,14 +1349,15 @@ impl SegmentHeaders {
         let file = File::open(path)?;
         let file_len = file.metadata()?.len();
         let mut file = BufReader::new(file);
-        let header = read_required_frame(&mut file, "segment header")?;
-        let version = format::decode_segment_header(&header, shard)?;
+        let mut header_buf = Vec::new();
+        let len = read_required_frame(&mut file, &mut header_buf, "segment header")?;
+        let version = format::decode_segment_header(&header_buf[..len], shard)?;
         Ok(SegmentHeaders {
             file,
             file_len,
             version,
             checksum: format::frame_checksum_for_version(version),
-            header_buf: Vec::new(),
+            header_buf,
             expected_blocks,
             seen_blocks: 0,
         })
@@ -1049,7 +1463,11 @@ mod tests {
     fn hostile_header_counts_are_rejected_before_allocating() {
         let mut batch = SequenceBatch::default();
         let mut scratch = DecodeScratch::default();
-        for codec in [PayloadCodec::Varint, PayloadCodec::GroupVarint] {
+        for codec in [
+            PayloadCodec::Varint,
+            PayloadCodec::GroupVarint,
+            PayloadCodec::GroupVarintRank,
+        ] {
             for (records, items) in [(u32::MAX, u64::MAX), (u32::MAX, 0), (1, u64::MAX)] {
                 let header = BlockHeader {
                     codec,
@@ -1061,8 +1479,16 @@ mod tests {
                     max_item: None,
                     sketch: Vec::new(),
                 };
-                let err = decode_block_into(&header, &[0u8; 16], 10, &mut batch, &mut scratch)
-                    .unwrap_err();
+                let err = decode_block_into(
+                    &header,
+                    &[0u8; 16],
+                    10,
+                    &mut batch,
+                    &mut scratch,
+                    ScanSpace::Items,
+                    None,
+                )
+                .unwrap_err();
                 assert!(
                     matches!(err, StoreError::Corrupt(_)),
                     "expected Corrupt, got {err:?}"

@@ -7,8 +7,10 @@ use std::collections::BTreeMap;
 use std::fs::{self, File};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use lash_core::enumeration::g1_items;
+use lash_core::flist::{FList, ItemOrder};
 use lash_core::sequence::SequenceDatabase;
 use lash_core::vocabulary::{ItemId, Vocabulary};
 use lash_encoding::frame;
@@ -16,7 +18,9 @@ use lash_encoding::frame;
 use lash_encoding::group_varint;
 use lash_encoding::varint;
 
-use crate::format::{self, BlockHeader, GenerationMeta, Manifest, PayloadCodec, ShardStats};
+use crate::format::{
+    self, BlockHeader, GenerationMeta, Manifest, PayloadCodec, RankOrder, ShardStats,
+};
 use crate::generations::write_manifest;
 use crate::{Result, StoreError, StoreOptions};
 
@@ -32,8 +36,22 @@ pub struct CorpusWriter {
     dir: PathBuf,
     opts: StoreOptions,
     vocab: Vocabulary,
-    segments: SegmentSetWriter,
+    codec: PayloadCodec,
+    state: WriterState,
     next_seq: u64,
+}
+
+/// How appends reach disk, decided by the codec.
+enum WriterState {
+    /// v2/v3 codecs stream each sequence straight into its shard's open
+    /// block.
+    Streaming(SegmentSetWriter),
+    /// The v4 rank codec needs the corpus-wide descending-frequency order
+    /// before any item can be encoded, so appends buffer in memory and the
+    /// segments are written in one pass at [`CorpusWriter::finish`].
+    /// Incremental growth past generation 0 stays streaming — later
+    /// generations reuse the order sealed here.
+    Buffering(SequenceDatabase),
 }
 
 /// One shard's open segment file plus the block being assembled.
@@ -90,7 +108,7 @@ impl BlockBuilder {
     fn encoded_len(&self, codec: PayloadCodec) -> usize {
         match codec {
             PayloadCodec::Varint => self.payload.len(),
-            PayloadCodec::GroupVarint => {
+            PayloadCodec::GroupVarint | PayloadCodec::GroupVarintRank => {
                 self.delta_bytes
                     + gv_stream_len(self.lens.len(), self.lens_data_bytes)
                     + gv_stream_len(self.flat.len(), self.flat_data_bytes)
@@ -123,6 +141,8 @@ pub(crate) struct SegmentSetWriter {
     block_budget: usize,
     sketches: bool,
     codec: PayloadCodec,
+    /// The corpus item order for the rank codec; `None` for v2/v3.
+    rank: Option<Arc<RankOrder>>,
     sequences: u64,
     total_items: u64,
     scratch: Vec<ItemId>,
@@ -132,14 +152,22 @@ impl SegmentSetWriter {
     /// Creates `num_shards` segment files (with headers) under `dir`,
     /// creating the directory if needed. The segment format version is
     /// derived from `codec`: the varint codec writes byte-identical v2
-    /// segments, group varint writes v3.
+    /// segments, group varint writes v3, group varint over ranks writes v4.
+    /// The v4 codec requires `rank` — the corpus-wide descending-frequency
+    /// order its flat column is encoded in.
     pub(crate) fn create(
         dir: &Path,
         num_shards: u32,
         block_budget: usize,
         sketches: bool,
         codec: PayloadCodec,
+        rank: Option<Arc<RankOrder>>,
     ) -> Result<Self> {
+        if codec == PayloadCodec::GroupVarintRank && rank.is_none() {
+            return Err(StoreError::InvalidOptions(
+                "the rank codec (format v4) requires an item order",
+            ));
+        }
         fs::create_dir_all(dir)?;
         let mut shards = Vec::with_capacity(num_shards as usize);
         for shard in 0..num_shards {
@@ -161,6 +189,7 @@ impl SegmentSetWriter {
             block_budget: block_budget.max(1),
             sketches,
             codec,
+            rank,
             sequences: 0,
             total_items: 0,
             scratch: Vec::new(),
@@ -198,6 +227,15 @@ impl SegmentSetWriter {
         }
         self.sequences += 1;
         self.total_items += seq.len() as u64;
+        // The rank codec stores the flat column in rank space; everything
+        // else (header min/max, sketches) stays in id space so header-only
+        // consumers are version-oblivious.
+        let rank_of: Option<&[u32]> = match self.codec {
+            PayloadCodec::GroupVarintRank => {
+                Some(self.rank.as_ref().expect("checked at create").rank_of())
+            }
+            _ => None,
+        };
         let shard = &mut self.shards[shard];
         let block = &mut shard.block;
         if block.records == 0 {
@@ -209,13 +247,16 @@ impl SegmentSetWriter {
             PayloadCodec::Varint => {
                 format::encode_record(delta, seq, &mut block.payload);
             }
-            PayloadCodec::GroupVarint => {
+            PayloadCodec::GroupVarint | PayloadCodec::GroupVarintRank => {
                 block.id_deltas.push(delta);
                 block.delta_bytes += varint::encoded_len_u64(delta);
                 block.lens.push(seq.len() as u32);
                 block.lens_data_bytes += group_varint::bytes_for(seq.len() as u32);
                 for &item in seq {
-                    let v = item.as_u32();
+                    let v = match rank_of {
+                        Some(ranks) => ranks[item.index()],
+                        None => item.as_u32(),
+                    };
                     block.flat.push(v);
                     block.flat_data_bytes += group_varint::bytes_for(v);
                 }
@@ -251,7 +292,7 @@ impl SegmentSetWriter {
         if block.records == 0 {
             return Ok(());
         }
-        if codec == PayloadCodec::GroupVarint {
+        if codec != PayloadCodec::Varint {
             // Flush-time columnar encode; the varint codec streamed records
             // into the payload at append time.
             debug_assert!(block.payload.is_empty());
@@ -327,19 +368,28 @@ impl CorpusWriter {
         // Generation 0 is written in place (no temp dir): without a
         // manifest the directory is not a corpus, so a crash mid-write
         // leaves nothing that could be mistaken for sealed data.
-        let gen_dir = dir.join(format::generation_dir_name(0));
-        let segments = SegmentSetWriter::create(
-            &gen_dir,
-            opts.partitioning.num_shards(),
-            opts.block_budget,
-            opts.sketches,
-            format::resolve_codec(opts.codec),
-        )?;
+        let codec = format::resolve_codec(opts.codec);
+        let state = if codec == PayloadCodec::GroupVarintRank {
+            // The rank order is a whole-corpus property; buffer until
+            // `finish` knows every frequency.
+            WriterState::Buffering(SequenceDatabase::new())
+        } else {
+            let gen_dir = dir.join(format::generation_dir_name(0));
+            WriterState::Streaming(SegmentSetWriter::create(
+                &gen_dir,
+                opts.partitioning.num_shards(),
+                opts.block_budget,
+                opts.sketches,
+                codec,
+                None,
+            )?)
+        };
         Ok(CorpusWriter {
             dir,
             opts,
             vocab: vocab.clone(),
-            segments,
+            codec,
+            state,
             next_seq: 0,
         })
     }
@@ -362,8 +412,22 @@ impl CorpusWriter {
     /// Appends one sequence; returns its corpus-wide id.
     pub fn append(&mut self, seq: &[ItemId]) -> Result<u64> {
         let id = self.next_seq;
-        let shard = self.opts.partitioning.shard_of(id) as usize;
-        self.segments.append(shard, id, seq, &self.vocab)?;
+        match &mut self.state {
+            WriterState::Streaming(segments) => {
+                let shard = self.opts.partitioning.shard_of(id) as usize;
+                segments.append(shard, id, seq, &self.vocab)?;
+            }
+            WriterState::Buffering(db) => {
+                // Validate now (the segment writer normally would) so errors
+                // surface at the append that caused them, not at finish.
+                for &item in seq {
+                    if item.index() >= self.vocab.len() {
+                        return Err(StoreError::UnknownItem(item.as_u32()));
+                    }
+                }
+                db.push(seq);
+            }
+        }
         self.next_seq += 1;
         Ok(id)
     }
@@ -378,13 +442,39 @@ impl CorpusWriter {
 
     /// Seals generation 0 and writes the manifest. The corpus is complete —
     /// and only then readable — once this returns.
+    ///
+    /// With the v4 rank codec this is also where the write-once item order
+    /// is fixed: the corpus-wide generalized f-list is computed over the
+    /// buffered sequences and the descending-frequency permutation (the same
+    /// sort as [`ItemOrder::build`]) is sealed into the manifest.
     pub fn finish(self) -> Result<Manifest> {
-        let total_items = self.segments.total_items();
+        let (segments, rank_order) = match self.state {
+            WriterState::Streaming(segments) => (segments, None),
+            WriterState::Buffering(db) => {
+                let rank = Arc::new(compute_rank_order(&db, &self.vocab));
+                let gen_dir = self.dir.join(format::generation_dir_name(0));
+                let mut segments = SegmentSetWriter::create(
+                    &gen_dir,
+                    self.opts.partitioning.num_shards(),
+                    self.opts.block_budget,
+                    self.opts.sketches,
+                    self.codec,
+                    Some(Arc::clone(&rank)),
+                )?;
+                for (id, seq) in db.iter().enumerate() {
+                    let id = id as u64;
+                    let shard = self.opts.partitioning.shard_of(id) as usize;
+                    segments.append(shard, id, seq, &self.vocab)?;
+                }
+                (segments, Some(rank))
+            }
+        };
+        let total_items = segments.total_items();
         // The manifest version tracks the newest segment format in the
         // corpus, so a build that cannot read these blocks rejects the
         // corpus at the manifest instead of choking on a segment.
-        let version = self.segments.codec().format_version();
-        let shards = self.segments.finish()?;
+        let version = segments.codec().format_version();
+        let shards = segments.finish()?;
         let generation = GenerationMeta {
             id: 0,
             num_sequences: self.next_seq,
@@ -403,8 +493,29 @@ impl CorpusWriter {
                 self.opts.partitioning.num_shards() as usize,
             ),
             generations: vec![generation],
+            rank_order,
         };
         write_manifest(&self.dir, &manifest, &self.vocab)?;
         Ok(manifest)
     }
+}
+
+/// Builds the corpus item order: descending generalized document frequency,
+/// ties broken shallower-first then by id — byte-for-byte the sort of
+/// [`ItemOrder::build`], so a mine job's context order over the same corpus
+/// is the identical permutation and its map phase can skip re-ranking. The
+/// permutation is σ-independent (σ only moves the frequent cutoff, not the
+/// order), so σ=1 here loses nothing.
+pub(crate) fn compute_rank_order(db: &SequenceDatabase, vocab: &Vocabulary) -> RankOrder {
+    let flist = FList::compute(db, vocab);
+    rank_order_from_flist(&flist, vocab)
+}
+
+/// The manifest [`RankOrder`] corresponding to an f-list over `vocab`.
+pub(crate) fn rank_order_from_flist(flist: &FList, vocab: &Vocabulary) -> RankOrder {
+    let order = ItemOrder::build(flist, vocab, 1);
+    let item_of: Vec<u32> = (0..order.len() as u32)
+        .map(|r| order.item(r).as_u32())
+        .collect();
+    RankOrder::from_item_of(item_of).expect("ItemOrder is a permutation by construction")
 }

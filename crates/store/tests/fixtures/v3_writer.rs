@@ -1,0 +1,248 @@
+//! A **pinned** format-v3 corpus writer, frozen at the byte layout
+//! `lash-store` wrote before the rank-space (format-v4) change.
+//!
+//! Like `v2_writer.rs`, this is deliberately *not* the production writer
+//! run with the group-varint codec: the production code evolves, and a
+//! compatibility test that writes v3 bytes through it would silently start
+//! testing whatever the current code does. This module re-implements the
+//! v3 layout from the format documentation — the v2 manifest layout at
+//! version 3, `LSEG` segment headers, codec-tagged block headers, and
+//! **columnar** payloads (varint id deltas, then a group-varint lengths
+//! column, then all items as one contiguous group-varint stream), with
+//! block frames in the wide FNV checksum flavor — so the `format_compat`
+//! suite proves that corpora written by *v3 builds* keep reading and
+//! mining byte-identically through the current (v4-writing) reader.
+//!
+//! If this file ever needs editing for anything but a compile error, the
+//! on-disk compatibility contract has been broken; stop and fix the reader
+//! instead.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use lash_core::enumeration::g1_items;
+use lash_core::{ItemId, Vocabulary};
+use lash_encoding::frame;
+use lash_encoding::group_varint;
+use lash_encoding::varint;
+use lash_encoding::FrameChecksum;
+
+const MANIFEST_MAGIC: &[u8; 8] = b"LASHSTOR";
+const SEGMENT_MAGIC: &[u8; 4] = b"LSEG";
+const V3: u32 = 3;
+/// The v3 group-varint codec's block-header tag.
+const GV_TAG: u32 = 1;
+
+/// The id hash (SplitMix64 finalizer) routing ids to shards — unchanged
+/// since v2.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[derive(Clone, Default)]
+struct ShardStats {
+    sequences: u64,
+    blocks: u64,
+    payload_bytes: u64,
+    min_seq: u64,
+    max_seq: u64,
+}
+
+struct Block {
+    id_deltas: Vec<u64>,
+    lens: Vec<u32>,
+    flat: Vec<u32>,
+    records: u32,
+    first_seq: u64,
+    prev_seq: u64,
+    items: u64,
+    min_item: Option<u32>,
+    max_item: Option<u32>,
+    sketch: BTreeMap<u32, u32>,
+}
+
+impl Block {
+    fn new() -> Block {
+        Block {
+            id_deltas: Vec::new(),
+            lens: Vec::new(),
+            flat: Vec::new(),
+            records: 0,
+            first_seq: 0,
+            prev_seq: 0,
+            items: 0,
+            min_item: None,
+            max_item: None,
+            sketch: BTreeMap::new(),
+        }
+    }
+
+    /// The columnar v3 payload: all id deltas as plain varints, then the
+    /// lengths column, then the flattened item column, both group varint.
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        for &delta in &self.id_deltas {
+            varint::encode_u64(delta, buf);
+        }
+        group_varint::encode(&self.lens, buf);
+        group_varint::encode(&self.flat, buf);
+    }
+}
+
+/// The v3 block header: a leading codec tag, then the v2 fields.
+fn encode_block_header_v3(block: &Block, buf: &mut Vec<u8>) {
+    varint::encode_u32(GV_TAG, buf);
+    varint::encode_u32(block.records, buf);
+    varint::encode_u64(block.first_seq, buf);
+    varint::encode_u64(block.prev_seq, buf);
+    varint::encode_u64(block.items, buf);
+    varint::encode_u32(block.min_item.map_or(0, |v| v + 1), buf);
+    varint::encode_u32(block.max_item.map_or(0, |v| v + 1), buf);
+    varint::encode_u32(block.sketch.len() as u32, buf);
+    let mut prev = 0u32;
+    for (&item, &count) in &block.sketch {
+        varint::encode_u32(item - prev, buf);
+        varint::encode_u32(count, buf);
+        prev = item;
+    }
+}
+
+fn flush_block(block: &mut Block, file: &mut BufWriter<File>, stats: &mut ShardStats) {
+    if block.records == 0 {
+        return;
+    }
+    let mut header = Vec::new();
+    encode_block_header_v3(block, &mut header);
+    let mut payload = Vec::new();
+    block.encode_payload(&mut payload);
+    // v3 block frames use the wide checksum flavor; the segment header
+    // frame (written at create time) stays classic.
+    frame::write_frame_with(&header, file, FrameChecksum::Fnv1aWide).unwrap();
+    frame::write_frame_with(&payload, file, FrameChecksum::Fnv1aWide).unwrap();
+    stats.blocks += 1;
+    stats.payload_bytes += payload.len() as u64;
+    *block = Block::new();
+}
+
+/// Writes `seqs` as a complete format-v3 corpus at `dir`: one generation,
+/// hash partitioning over `shards` shards, G1 sketches enabled.
+pub fn write_v3_corpus(
+    dir: &Path,
+    vocab: &Vocabulary,
+    seqs: &[Vec<ItemId>],
+    shards: u32,
+    block_budget: usize,
+) {
+    let gen_dir = dir.join("gen-00000");
+    fs::create_dir_all(&gen_dir).unwrap();
+
+    let mut files: Vec<BufWriter<File>> = (0..shards)
+        .map(|shard| {
+            let path = gen_dir.join(format!("shard-{shard:05}.seg"));
+            let mut file = BufWriter::new(File::create(path).unwrap());
+            let mut header = Vec::new();
+            header.extend_from_slice(SEGMENT_MAGIC);
+            varint::encode_u32(V3, &mut header);
+            varint::encode_u32(shard, &mut header);
+            frame::write_frame(&header, &mut file).unwrap();
+            file
+        })
+        .collect();
+    let mut blocks: Vec<Block> = (0..shards).map(|_| Block::new()).collect();
+    let mut stats: Vec<ShardStats> = (0..shards)
+        .map(|_| ShardStats {
+            min_seq: u64::MAX,
+            ..ShardStats::default()
+        })
+        .collect();
+
+    let mut total_items = 0u64;
+    let mut g1 = Vec::new();
+    for (id, seq) in seqs.iter().enumerate() {
+        let id = id as u64;
+        let shard = (splitmix64(id) % shards as u64) as usize;
+        let block = &mut blocks[shard];
+        if block.records == 0 {
+            block.first_seq = id;
+            block.prev_seq = id;
+        }
+        block.id_deltas.push(id - block.prev_seq);
+        block.lens.push(seq.len() as u32);
+        block.flat.extend(seq.iter().map(|item| item.as_u32()));
+        block.prev_seq = id;
+        block.records += 1;
+        block.items += seq.len() as u64;
+        total_items += seq.len() as u64;
+        for item in seq {
+            let v = item.as_u32();
+            block.min_item = Some(block.min_item.map_or(v, |m| m.min(v)));
+            block.max_item = Some(block.max_item.map_or(v, |m| m.max(v)));
+        }
+        g1_items(seq, vocab, &mut g1);
+        for item in &g1 {
+            *block.sketch.entry(item.as_u32()).or_insert(0) += 1;
+        }
+        stats[shard].sequences += 1;
+        stats[shard].min_seq = stats[shard].min_seq.min(id);
+        stats[shard].max_seq = stats[shard].max_seq.max(id);
+        // The v3 budget cut looked at the columns' raw data bytes; for the
+        // fixture an encoded-size probe is equivalent freezing-wise — block
+        // boundaries are a writer policy, not a format invariant.
+        let mut probe = Vec::new();
+        block.encode_payload(&mut probe);
+        if probe.len() >= block_budget {
+            flush_block(block, &mut files[shard], &mut stats[shard]);
+        }
+    }
+    for shard in 0..shards as usize {
+        flush_block(&mut blocks[shard], &mut files[shard], &mut stats[shard]);
+        files[shard].flush().unwrap();
+    }
+
+    // The v3 manifest: identical to the v2 layout at version 3 — the rank
+    // frame is a v4 addition.
+    let mut manifest = BufWriter::new(File::create(dir.join("MANIFEST.lash")).unwrap());
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    varint::encode_u32(V3, &mut buf);
+    buf.push(0); // partitioning tag: hash
+    varint::encode_u32(shards, &mut buf);
+    varint::encode_u64(seqs.len() as u64, &mut buf);
+    varint::encode_u64(total_items, &mut buf);
+    buf.push(1); // sketches
+    varint::encode_u32(1, &mut buf); // next_gen_id
+    varint::encode_u32(1, &mut buf); // generation count
+    frame::write_frame(&buf, &mut manifest).unwrap();
+
+    buf.clear();
+    varint::encode_u32(vocab.len() as u32, &mut buf);
+    for item in vocab.items() {
+        let name = vocab.name(item).as_bytes();
+        varint::encode_u32(name.len() as u32, &mut buf);
+        buf.extend_from_slice(name);
+    }
+    for item in vocab.items() {
+        varint::encode_u32(vocab.parent(item).map_or(0, |p| p.as_u32() + 1), &mut buf);
+    }
+    frame::write_frame(&buf, &mut manifest).unwrap();
+
+    buf.clear();
+    varint::encode_u32(1, &mut buf); // one generation
+    varint::encode_u32(0, &mut buf); // generation id
+    varint::encode_u64(seqs.len() as u64, &mut buf);
+    varint::encode_u64(total_items, &mut buf);
+    varint::encode_u32(shards, &mut buf);
+    for s in &stats {
+        varint::encode_u64(s.sequences, &mut buf);
+        varint::encode_u64(s.blocks, &mut buf);
+        varint::encode_u64(s.payload_bytes, &mut buf);
+        varint::encode_u64(s.min_seq, &mut buf);
+        varint::encode_u64(s.max_seq, &mut buf);
+    }
+    frame::write_frame(&buf, &mut manifest).unwrap();
+    manifest.flush().unwrap();
+}

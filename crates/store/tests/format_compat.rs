@@ -1,12 +1,15 @@
-//! Old↔new format compatibility: a corpus written in the *pinned* format-v2
-//! byte layout (see `fixtures/v2_writer.rs` — frozen, independent of the
-//! production writer) must read, scan, f-list, and mine byte-identically
-//! through the current (v3-writing) build, both directly and after
-//! compaction re-blocks it into the current format. CI runs this suite in
-//! a dedicated `format-compat` leg.
+//! Old↔new format compatibility: corpora written in the *pinned* format-v2
+//! and format-v3 byte layouts (see `fixtures/v2_writer.rs` and
+//! `fixtures/v3_writer.rs` — frozen, independent of the production writer)
+//! must read, scan, f-list, and mine byte-identically through the current
+//! (v4-writing) build, both directly and after compaction re-blocks them
+//! into the current format. CI runs this suite in a dedicated
+//! `format-compat` leg.
 
 #[path = "fixtures/v2_writer.rs"]
 mod v2_writer;
+#[path = "fixtures/v3_writer.rs"]
+mod v3_writer;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -33,7 +36,8 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 fn effective_codec() -> PayloadCodec {
     match std::env::var(FORCE_CODEC_ENV) {
         Ok(v) if v.trim() == "v2" => PayloadCodec::Varint,
-        _ => PayloadCodec::GroupVarint,
+        Ok(v) if v.trim() == "v3" => PayloadCodec::GroupVarint,
+        _ => PayloadCodec::GroupVarintRank,
     }
 }
 
@@ -199,6 +203,122 @@ fn v2_corpus_grows_mixed_generations_and_migrates_via_compaction() {
 }
 
 #[test]
+fn pinned_v3_corpus_scans_flists_and_mines_identically() {
+    let (vocab, items) = compat_vocab();
+    let seqs = compat_sequences(&items, 350);
+    let db = to_db(&seqs);
+    let dir = temp_dir("v3");
+    v3_writer::write_v3_corpus(&dir, &vocab, &seqs, 3, 256);
+
+    let reader = CorpusReader::open(&dir).unwrap();
+    assert_eq!(reader.manifest().version, 3);
+    assert!(
+        reader.manifest().rank_order.is_none(),
+        "v3 manifests carry no rank order"
+    );
+    let back = reader.to_database().unwrap();
+    for (i, seq) in seqs.iter().enumerate() {
+        assert_eq!(back.get(i), &seq[..], "sequence {i} differs");
+    }
+    let blocks: u64 = reader.manifest().shards.iter().map(|s| s.blocks).sum();
+    assert!(blocks > 3, "expected multi-block v3 fixture, got {blocks}");
+
+    // Header-only f-list from the pinned v3 sketches equals the in-memory
+    // compute, and mining from v3 storage equals mining in memory.
+    let flist = reader.flist().unwrap().expect("fixture writes sketches");
+    let reference = FList::compute(&db, &vocab);
+    for item in vocab.items() {
+        assert_eq!(
+            flist.frequency(item),
+            reference.frequency(item),
+            "f-list differs at {}",
+            vocab.name(item)
+        );
+    }
+    let params = GsmParams::new(2, 1, 3).unwrap();
+    let lash = Lash::default();
+    let from_store = named_patterns(&reader.mine(&lash, &params).unwrap(), &vocab);
+    let from_memory = named_patterns(&lash.mine(&db, &vocab, &params).unwrap(), &vocab);
+    assert_eq!(from_store, from_memory, "v3 corpus mined differently");
+    assert!(!from_store.is_empty(), "workload must produce patterns");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v3_corpus_grows_mixed_generations_and_migrates_via_compaction() {
+    let (vocab, items) = compat_vocab();
+    let seqs = compat_sequences(&items, 250);
+    let dir = temp_dir("v3-migrate");
+    v3_writer::write_v3_corpus(&dir, &vocab, &seqs, 3, 512);
+
+    // Append a generation with the *current* (v4-by-default) writer: the
+    // corpus now mixes v3 and rank-encoded segments, and every scan chains
+    // across both spaces.
+    let extra = compat_sequences(&items, 330);
+    let mut incr = IncrementalWriter::open(&dir).unwrap();
+    for seq in &extra[250..] {
+        incr.append(seq).unwrap();
+    }
+    let manifest = incr.finish().unwrap();
+    assert_eq!(
+        manifest.version,
+        3u32.max(effective_codec().format_version()),
+        "manifest version must track the newest segment format"
+    );
+    if manifest.version >= 4 {
+        assert!(
+            manifest.rank_order.is_some(),
+            "a v4 manifest must carry the rank order its segments encode with"
+        );
+    }
+
+    let mut all = seqs.clone();
+    all.extend_from_slice(&extra[250..]);
+    let db = to_db(&all);
+    let params = GsmParams::new(2, 1, 3).unwrap();
+    let lash = Lash::default();
+    let reference = named_patterns(&lash.mine(&db, &vocab, &params).unwrap(), &vocab);
+
+    let mixed = CorpusReader::open(&dir).unwrap();
+    assert_eq!(mixed.to_database().unwrap().len(), all.len());
+    let mixed_mined = named_patterns(&mixed.mine(&lash, &params).unwrap(), &vocab);
+    assert_eq!(
+        mixed_mined, reference,
+        "mixed v3+v4 corpus mined differently"
+    );
+
+    // Compact down to one generation: the merge re-ranks every v3 payload
+    // into the current codec — compaction *is* the v3→v4 migration.
+    let auto_compacted =
+        std::env::var_os(lash_store::COMPACT_EVERY_ENV).is_some_and(|v| !v.is_empty());
+    let stats =
+        compact::compact(&dir, &CompactionConfig::default().with_max_generations(1)).unwrap();
+    assert!(
+        stats.is_some() || auto_compacted,
+        "two generations must trigger a round"
+    );
+    let compacted = CorpusReader::open(&dir).unwrap();
+    assert_eq!(compacted.num_generations(), 1);
+    assert_eq!(
+        compacted.manifest().version,
+        3u32.max(effective_codec().format_version())
+    );
+    if compacted.manifest().version >= 4 {
+        assert!(compacted.manifest().rank_order.is_some());
+    }
+    let back = compacted.to_database().unwrap();
+    for (i, seq) in all.iter().enumerate() {
+        assert_eq!(back.get(i), &seq[..], "sequence {i} changed in migration");
+    }
+    let compacted_mined = named_patterns(&compacted.mine(&lash, &params).unwrap(), &vocab);
+    assert_eq!(
+        compacted_mined, reference,
+        "migration changed mining results"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn requested_codec_controls_written_version() {
     // Under LASH_FORCE_CODEC both corpora collapse onto the forced codec;
     // the assertions compare against what the writer will actually do.
@@ -208,7 +328,11 @@ fn requested_codec_controls_written_version() {
     let (vocab, items) = compat_vocab();
     let seqs = compat_sequences(&items, 60);
     let db = to_db(&seqs);
-    for (codec, version) in [(PayloadCodec::Varint, 2), (PayloadCodec::GroupVarint, 3)] {
+    for (codec, version) in [
+        (PayloadCodec::Varint, 2),
+        (PayloadCodec::GroupVarint, 3),
+        (PayloadCodec::GroupVarintRank, 4),
+    ] {
         let expected_version = match &forced {
             Some(_) => effective_codec().format_version(),
             None => version,

@@ -1,0 +1,53 @@
+//! The mapped (zero-copy, decode-ahead) and buffered scan engines must
+//! deliver identical records — including the final block, which the mapped
+//! engine's consumer once dropped when the prefetch thread finished first
+//! (its buffered last block was abandoned on a failed batch recycle).
+
+use lash::datagen::{TextConfig, TextCorpus, TextHierarchy};
+use lash::sequence::ShardedCorpus;
+use lash::store::{CorpusReader, Partitioning, StoreOptions};
+
+#[test]
+fn mapped_and_buffered_pruned_scans_agree() {
+    let (vocab, db) = TextCorpus::generate(&TextConfig {
+        sentences: 400,
+        lemmas: 150,
+        pos_tags: 10,
+        avg_sentence_len: 9.0,
+        zipf_exponent: 1.0,
+        seed: 42,
+    })
+    .dataset(TextHierarchy::LP);
+
+    let dir = std::env::temp_dir().join(format!("lash-mapdbg-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = StoreOptions::default()
+        .with_partitioning(Partitioning::hash(1))
+        .with_block_budget(256);
+    lash::store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+
+    // A predicate that prunes some blocks: only even item ids relevant.
+    let relevant = |it: lash::ItemId| it.as_u32().is_multiple_of(2);
+
+    for shard in 0..reader.num_shards() {
+        let mut mapped: Vec<(u64, Vec<u32>)> = Vec::new();
+        std::env::set_var("LASH_SCAN_MODE", "mmap");
+        ShardedCorpus::scan_shard_pruned(&reader, shard, &relevant, &mut |id, items| {
+            mapped.push((id, items.iter().map(|i| i.as_u32()).collect()));
+        })
+        .unwrap();
+        let mut buffered: Vec<(u64, Vec<u32>)> = Vec::new();
+        std::env::set_var("LASH_SCAN_MODE", "buffered");
+        ShardedCorpus::scan_shard_pruned(&reader, shard, &relevant, &mut |id, items| {
+            buffered.push((id, items.iter().map(|i| i.as_u32()).collect()));
+        })
+        .unwrap();
+        std::env::remove_var("LASH_SCAN_MODE");
+        assert_eq!(mapped.len(), buffered.len(), "shard {shard} record count");
+        for (m, b) in mapped.iter().zip(buffered.iter()) {
+            assert_eq!(m, b, "shard {shard}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
