@@ -117,6 +117,12 @@ pub fn query(
     // registry and, with `LASH_OBS_JSONL` set, the run leaves a parseable
     // event stream. Kept off the measured loops above: the regression gate
     // tracks the raw reader, not the service wrapper.
+    // A zero threshold on the serving span promotes every request to the
+    // slow-op log, demonstrating the promotion path end to end: the
+    // `obs.slow_ops` delta below must match the request count.
+    let obs_registry = lash_obs::global();
+    obs_registry.set_slow_threshold("query.request", Some(0));
+    let slow_ops_before = obs_registry.counter("obs.slow_ops").get();
     let service = QueryService::new(PatternIndexReader::open(&dir).expect("reopen index"));
     for (items, _) in &probes {
         service
@@ -146,6 +152,8 @@ pub fn query(
             })
             .expect("service generalized");
     }
+    let slow_ops = obs_registry.counter("obs.slow_ops").get() - slow_ops_before;
+    obs_registry.set_slow_threshold("query.request", None);
     let _ = std::fs::remove_dir_all(&dir);
 
     // Sketch-prune effectiveness, read off the `store.scan.blocks_*`
@@ -219,6 +227,10 @@ pub fn query(
     table.row(vec![
         "sketch-pruned blocks (probe mine)".into(),
         format!("{pruned} of {scanned} ({:.0}%)", prune_rate * 100.0),
+    ]);
+    table.row(vec![
+        "slow-ops promoted (serving pass)".into(),
+        slow_ops.to_string(),
     ]);
     report.add(table);
 

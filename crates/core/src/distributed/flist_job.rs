@@ -69,6 +69,7 @@ pub fn compute_flist_distributed(
     vocab: &Vocabulary,
     config: &ClusterConfig,
 ) -> Result<(FList, JobMetrics)> {
+    let _span = lash_obs::span!("mine.flist", sequences = db.len());
     let job = FListJob { db, vocab };
     let inputs: Vec<u32> = (0..db.len() as u32).collect();
     let result = run_job(&job, &inputs, config).map_err(|e| Error::Engine(e.to_string()))?;
@@ -141,6 +142,7 @@ pub fn compute_flist_sharded<C: ShardedCorpus>(
     vocab: &Vocabulary,
     config: &ClusterConfig,
 ) -> Result<(FList, JobMetrics)> {
+    let _span = lash_obs::span!("mine.flist", shards = corpus.num_shards());
     let job = ShardedFListJob {
         corpus,
         vocab,

@@ -25,11 +25,16 @@ use crate::vocabulary::Vocabulary;
 use super::flist_job::{compute_flist_distributed, compute_flist_sharded};
 
 /// Publishes one reduce-side mine call to the process-wide registry: the
-/// partition's wall time into the `mine.partition_us` histogram and the
-/// miner's work counters under `mine.*`.
-fn publish_mine(stats: &MinerStats, elapsed: std::time::Duration) {
+/// partition's wall time as a `mine.partition` span (parented under the
+/// ambient reduce-task span, feeding the `mine.partition_us` histogram)
+/// and the miner's work counters under `mine.*`.
+fn publish_mine(pivot: u32, stats: &MinerStats, elapsed: std::time::Duration) {
     let obs = lash_obs::global();
-    obs.histogram("mine.partition_us").record_duration(elapsed);
+    obs.observe_span(
+        "mine.partition",
+        elapsed,
+        &[("pivot", pivot.into()), ("outputs", stats.outputs.into())],
+    );
     obs.counter("mine.partitions").inc();
     obs.counter("mine.candidates").add(stats.candidates);
     obs.counter("mine.expansions").add(stats.expansions);
@@ -164,6 +169,13 @@ impl Lash {
         vocab: &Vocabulary,
         params: &GsmParams,
     ) -> Result<LashResult> {
+        let _job_span = lash_obs::span!(
+            "mine.job",
+            sigma = params.sigma,
+            gamma = params.gamma,
+            lambda = params.lambda,
+            miner = self.config.miner.name(),
+        );
         let stripped;
         let vocab_eff: &Vocabulary = if self.config.ignore_hierarchy {
             stripped = vocab.without_hierarchy();
@@ -204,6 +216,14 @@ impl Lash {
         params: &GsmParams,
         flist: Option<FList>,
     ) -> Result<LashResult> {
+        let _job_span = lash_obs::span!(
+            "mine.job",
+            sigma = params.sigma,
+            gamma = params.gamma,
+            lambda = params.lambda,
+            miner = self.config.miner.name(),
+            sharded = true,
+        );
         let stripped;
         let vocab_eff: &Vocabulary = if self.config.ignore_hierarchy {
             stripped = vocab.without_hierarchy();
@@ -381,7 +401,7 @@ impl Job for LashJob<'_> {
         let (patterns, stats) = self
             .miner
             .mine(&partition, pivot, self.ctx.space(), &self.params);
-        publish_mine(&stats, mine_started.elapsed());
+        publish_mine(pivot, &stats, mine_started.elapsed());
         {
             let mut guard = self.stats.lock().expect("stats lock");
             guard.0.absorb(stats);
@@ -516,7 +536,7 @@ impl<C: ShardedCorpus> Job for ShardedLashJob<'_, C> {
         let (patterns, stats) = self
             .miner
             .mine(&partition, pivot, self.ctx.space(), &self.params);
-        publish_mine(&stats, mine_started.elapsed());
+        publish_mine(pivot, &stats, mine_started.elapsed());
         {
             let mut guard = self.stats.lock().expect("stats lock");
             guard.0.absorb(stats);

@@ -111,7 +111,7 @@ impl LocalMiner for BfsMiner {
         }
 
         // Levels 3..λ: prefix/suffix joins.
-        let level_hist = lash_obs::global().histogram("mine.bfs.level_us");
+        let obs = lash_obs::global();
         let mut len = 2usize;
         while len < params.lambda && !level.is_empty() {
             let level_started = std::time::Instant::now();
@@ -167,7 +167,11 @@ impl LocalMiner for BfsMiner {
             next.sort_unstable_by(|x, y| x.seq.cmp(&y.seq));
             level = next;
             len += 1;
-            level_hist.record_duration(level_started.elapsed());
+            obs.observe_span(
+                "mine.bfs.level",
+                level_started.elapsed(),
+                &[("level", len.into()), ("survivors", level.len().into())],
+            );
         }
 
         stats.outputs = out.len() as u64;

@@ -58,7 +58,13 @@ impl PatternIndexReader {
     /// every block frame's checksum, and decodes every node, validating
     /// the whole structure before the first query.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
-        let dir = dir.as_ref().to_path_buf();
+        Self::open_inner(dir.as_ref()).inspect_err(|e| {
+            lash_obs::flight::record_error("index.open", &e.to_string());
+        })
+    }
+
+    fn open_inner(dir: &Path) -> Result<Self> {
+        let dir = dir.to_path_buf();
         let mut file = BufReader::new(File::open(dir.join(format::MANIFEST_FILE))?);
         let header = read_required_frame(&mut file, "index manifest header")?;
         let manifest = format::decode_manifest_header(&header)?;

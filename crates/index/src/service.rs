@@ -79,6 +79,18 @@ pub enum Query {
     },
 }
 
+impl Query {
+    /// The query's kind, as tagged on `query.request` spans.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Support { .. } => "support",
+            Query::Enumerate { .. } => "enumerate",
+            Query::TopK { .. } => "top_k",
+            Query::Generalized { .. } => "generalized",
+        }
+    }
+}
+
 /// One matched pattern in a [`QueryReply`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternHit {
@@ -159,7 +171,21 @@ impl QueryService {
     /// Executes one request against the current snapshot, recording its
     /// latency into the per-query-type histogram (`query.support_us`,
     /// `query.enumerate_us`, `query.top_k_us`, `query.generalized_us`).
+    ///
+    /// Each request runs under a `query.request` span tagged with the
+    /// query kind — its own trace root unless the caller already holds a
+    /// span — so slow queries are promoted to the slow-op log with their
+    /// trace id, and a failing request dumps the flight recorder.
     pub fn execute(&self, query: &Query) -> Result<QueryReply> {
+        let _request_span = lash_obs::span!("query.request", kind = query.kind());
+        let result = self.execute_inner(query);
+        if let Err(e) = &result {
+            lash_obs::flight::record_error("query.request", &e.to_string());
+        }
+        result
+    }
+
+    fn execute_inner(&self, query: &Query) -> Result<QueryReply> {
         let started = Instant::now();
         let snapshot = self.snapshot();
         let (reply, hist) = match query {

@@ -241,6 +241,11 @@ impl PatternIndexWriter {
     /// manifest — the atomic point at which the directory becomes an
     /// index.
     pub fn finish(mut self) -> Result<IndexSummary> {
+        let _build_span = lash_obs::span!(
+            "index.build",
+            patterns = self.num_patterns,
+            nodes = self.num_nodes,
+        );
         while self.stack.len() > 1 {
             self.seal_top()?;
         }

@@ -84,7 +84,30 @@ pub struct JobResult<O> {
 }
 
 /// Runs `job` over `inputs` under `config`.
+///
+/// Tracing: the run opens a `mapreduce.job` span — a child of whatever
+/// span is active on the calling thread (e.g. the miner's `mine.job`), or
+/// a fresh trace root. Each phase span and each worker-side task span is
+/// parented under it, and a typed error surfacing from the run triggers a
+/// flight-recorder dump carrying this trace's id.
 pub fn run_job<J: Job>(
+    job: &J,
+    inputs: &[J::Input],
+    config: &EngineConfig,
+) -> Result<JobResult<J::Output>, EngineError> {
+    let _job_span = lash_obs::span!(
+        "mapreduce.job",
+        inputs = inputs.len(),
+        reduce_tasks = config.num_reduce_tasks.max(1)
+    );
+    let result = run_job_inner(job, inputs, config);
+    if let Err(e) = &result {
+        lash_obs::flight::record_error("mapreduce.job", &e.to_string());
+    }
+    result
+}
+
+fn run_job_inner<J: Job>(
     job: &J,
     inputs: &[J::Input],
     config: &EngineConfig,
@@ -101,13 +124,20 @@ pub fn run_job<J: Job>(
     };
 
     // ---- Map phase -------------------------------------------------------
+    // Each phase derives one child context up front and passes it into the
+    // worker pool (worker threads do not inherit this thread's trace
+    // stack); the phase span itself is recorded under the same context
+    // once the workers join, so task spans parent under the phase span.
+    let obs = lash_obs::global();
     let map_started = Instant::now();
     let splits: Vec<std::ops::Range<usize>> = split_ranges(inputs.len(), config.split_size);
+    let map_ctx = lash_obs::trace::current().map(|c| c.child());
     let map_outputs = run_with_retries(
         splits.len(),
         config.map_parallelism,
         config.max_attempts,
         Phase::Map,
+        map_ctx,
         &counters,
         |task, attempt| {
             if config.failure_plan.should_fail(Phase::Map, task, attempt) {
@@ -125,10 +155,17 @@ pub fn run_job<J: Job>(
             )
             .map(Some)
         },
-    )?;
+    );
+    // Recorded before `?`: an aborted phase still owns its task spans —
+    // skipping the phase span would orphan them in the trace.
     let map_time = map_started.elapsed();
-    let obs = lash_obs::global();
-    obs.observe_span("mapreduce.map", map_time, &[("tasks", splits.len().into())]);
+    obs.observe_span_with(
+        map_ctx,
+        "mapreduce.map",
+        map_time,
+        &[("tasks", splits.len().into())],
+    );
+    let map_outputs = map_outputs?;
 
     // ---- Shuffle phase: assemble each partition's run list --------------
     // Disk runs are referenced by *path* here, not by open handle: reduce
@@ -163,11 +200,13 @@ pub fn run_job<J: Job>(
 
     // ---- Reduce phase ----------------------------------------------------
     let reduce_started = Instant::now();
+    let reduce_ctx = lash_obs::trace::current().map(|c| c.child());
     let reduce_outputs = run_with_retries(
         num_parts,
         config.reduce_parallelism,
         config.max_attempts,
         Phase::Reduce,
+        reduce_ctx,
         &counters,
         |task, attempt| {
             if config
@@ -186,13 +225,15 @@ pub fn run_job<J: Job>(
             )
             .map(Some)
         },
-    )?;
+    );
     let reduce_time = reduce_started.elapsed();
-    obs.observe_span(
+    obs.observe_span_with(
+        reduce_ctx,
         "mapreduce.reduce",
         reduce_time,
         &[("tasks", num_parts.into())],
     );
+    let reduce_outputs = reduce_outputs?;
 
     let outputs: Vec<J::Output> = reduce_outputs.into_iter().flatten().collect();
     drop(sources);
@@ -435,9 +476,13 @@ fn run_reduce_task<J: Job>(
             }
             let meta = writer.finish(task as u32)?;
             Counters::add(&counters.merge_passes, 1);
-            lash_obs::global()
-                .histogram("mapreduce.merge_pass_us")
-                .record_duration(pass_started.elapsed());
+            // A child span of the ambient reduce-task span (the worker
+            // entered it around this call).
+            lash_obs::global().observe_span(
+                "mapreduce.merge_pass",
+                pass_started.elapsed(),
+                &[("round", round.into()), ("group", group_idx.into())],
+            );
             drop(merger);
             drop(sources);
             // The group's own intermediates were consumed exactly once.
@@ -460,7 +505,10 @@ fn run_reduce_task<J: Job>(
         round += 1;
     }
 
-    let merge_started = Instant::now();
+    // An RAII span, not an after-the-fact observation: the reduce calls
+    // run inside this loop, so their `mine.partition`-style spans must
+    // parent under the merge for self times to tile the task.
+    let merge_span = lash_obs::span!("mapreduce.merge", runs = runs.len());
     let sources = open_sources(&runs)?;
     let mut merger = Merger::new(&sources)?;
     Counters::add(&counters.merged_runs, merger.num_runs());
@@ -501,9 +549,7 @@ fn run_reduce_task<J: Job>(
     Counters::add(&counters.reduce_input_groups, groups);
     Counters::add(&counters.reduce_input_records, records);
     Counters::add(&counters.reduce_output_records, out.len() as u64);
-    lash_obs::global()
-        .histogram("mapreduce.merge_us")
-        .record_duration(merge_started.elapsed());
+    drop(merge_span);
     // Close the final merge's handles, then drop its intermediate inputs:
     // this task is their only consumer.
     drop(merger);
@@ -556,11 +602,17 @@ where
 /// (injected) failure — such tasks are retried with an incremented attempt
 /// number until `max_attempts` is exhausted — and `Err` for fatal engine
 /// errors (spill I/O, corrupt runs), which abort the job.
+///
+/// `ctx` is the phase's trace context: each worker enters it around a task
+/// so the per-task `mapreduce.map_task` / `mapreduce.reduce_task` spans
+/// (and anything the task emits, like spill summaries) parent under the
+/// phase span recorded by the caller.
 fn run_with_retries<T, F>(
     count: usize,
     parallelism: usize,
     max_attempts: u32,
     phase: Phase,
+    ctx: Option<lash_obs::trace::TraceCtx>,
     counters: &Counters,
     f: F,
 ) -> Result<Vec<T>, EngineError>
@@ -568,16 +620,22 @@ where
     T: Send,
     F: Fn(usize, u32) -> Result<Option<T>, EngineError> + Sync,
 {
+    let task_span_name = match phase {
+        Phase::Map => "mapreduce.map_task",
+        Phase::Reduce => "mapreduce.reduce_task",
+    };
     let mut results: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let mut pending: Vec<(usize, u32)> = (0..count).map(|t| (t, 0)).collect();
     while !pending.is_empty() {
         let round: Vec<(usize, u32, Result<Option<T>, EngineError>)> =
             parallel_tasks(pending.len(), parallelism, |i| {
+                let _trace = ctx.map(lash_obs::trace::enter);
                 let (task, attempt) = pending[i];
                 match phase {
                     Phase::Map => Counters::add(&counters.map_task_attempts, 1),
                     Phase::Reduce => Counters::add(&counters.reduce_task_attempts, 1),
                 }
+                let _task_span = lash_obs::span!(task_span_name, task = task, attempt = attempt);
                 let out = f(task, attempt);
                 if matches!(out, Ok(None)) {
                     match phase {

@@ -112,8 +112,18 @@ pub struct Emitter<'a, J: Job> {
     /// recorded once per finalized partition buffer.
     sort_hist: lash_obs::Histogram,
     /// Spill latency (sort + combine + run writes), recorded once per
-    /// spill event.
+    /// spill event. A histogram rather than per-spill span events: with a
+    /// forced threshold of 0 every record spills, and the event pipeline
+    /// must not run per record.
     spill_hist: lash_obs::Histogram,
+    /// The trace context of the enclosing map-task span, captured at
+    /// construction (on the worker thread) and attached to the one
+    /// `spill_summary` event a spilled task emits when it finishes.
+    trace: Option<lash_obs::trace::TraceCtx>,
+    /// Spill events and bytes of *this* task, for the summary event
+    /// (the shared `Counters` aggregate across tasks).
+    spill_events: u64,
+    spill_bytes: u64,
 }
 
 impl<'a, J: Job> Emitter<'a, J> {
@@ -148,6 +158,9 @@ impl<'a, J: Job> Emitter<'a, J> {
             error: None,
             sort_hist: lash_obs::global().histogram("mapreduce.sort_us"),
             spill_hist: lash_obs::global().histogram("mapreduce.spill_us"),
+            trace: lash_obs::trace::current(),
+            spill_events: 0,
+            spill_bytes: 0,
         }
     }
 
@@ -192,9 +205,11 @@ impl<'a, J: Job> Emitter<'a, J> {
             let meta = writer.write_run(part as u32, &run)?;
             Counters::add(&self.counters.spilled_bytes, meta.len);
             Counters::add(&self.counters.spilled_runs, 1);
+            self.spill_bytes += meta.len;
             self.runs.push(meta);
         }
         self.buffered = 0;
+        self.spill_events += 1;
         self.spill_hist.record_duration(spill_started.elapsed());
         Ok(())
     }
@@ -269,6 +284,19 @@ impl<'a, J: Job> Emitter<'a, J> {
             let writer = self.writer.take().expect("spilled at least once");
             let file = writer.finish()?;
             let runs = std::mem::take(&mut self.runs);
+            // One summary event per spilled task (not per spill — see
+            // `spill_hist`), tied to the task's span via the captured
+            // context.
+            lash_obs::global().emit_event_with(
+                self.trace,
+                "spill_summary",
+                "mapreduce.spill",
+                &[
+                    ("spills", self.spill_events.into()),
+                    ("runs", runs.len().into()),
+                    ("bytes", self.spill_bytes.into()),
+                ],
+            );
             Ok((MapTaskOutput::Spilled { file, runs }, records))
         } else {
             let parts: Vec<RunBuffer> = (0..self.num_parts)

@@ -1,36 +1,15 @@
-//! Validates a `LASH_OBS_JSONL` event file: every non-empty line must
-//! parse as a JSON object carrying the required keys (`ts_us` as a number,
-//! `event` and `name` as strings), and `span` events must carry a numeric
-//! `dur_us`. CI's `obs` leg runs the whole test suite with the sink
-//! enabled and pipes the result through this tool, so instrumentation
-//! cannot silently rot into unparseable output.
+//! Validates a `LASH_OBS_JSONL` event file: per-line schema (numeric
+//! `ts_us`, string `event`/`name`, `dur_us` on spans, well-formed trace
+//! ids) plus stream-level referential integrity — every `parent_id`
+//! resolves to a span emitted in the same trace, no duplicate span ids,
+//! exactly one root per trace. CI's `obs` leg runs the whole test suite
+//! with the sink enabled and pipes the result through this tool, so
+//! instrumentation cannot silently rot into unparseable output or a
+//! broken span graph. The checks live in [`lash_obs::validate`]; the
+//! `obs validate` subcommand runs the same ones.
 //!
 //! Usage: `obs-validate <events.jsonl>` — exits non-zero on the first
-//! malformed line (or an empty file).
-
-use lash_obs::json::{self, Value};
-
-fn validate_line(line: &str) -> Result<&'static str, String> {
-    let value = json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
-    if !matches!(value, Value::Object(_)) {
-        return Err("event is not a JSON object".to_string());
-    }
-    match value.get("ts_us").and_then(Value::as_f64) {
-        Some(ts) if ts >= 0.0 => {}
-        _ => return Err("missing numeric \"ts_us\"".to_string()),
-    }
-    let event = value
-        .get("event")
-        .and_then(Value::as_str)
-        .ok_or_else(|| "missing string \"event\"".to_string())?;
-    if value.get("name").and_then(Value::as_str).is_none() {
-        return Err("missing string \"name\"".to_string());
-    }
-    if event == "span" && value.get("dur_us").and_then(Value::as_f64).is_none() {
-        return Err("span event without numeric \"dur_us\"".to_string());
-    }
-    Ok(if event == "span" { "span" } else { "other" })
-}
+//! violation (or an empty file).
 
 fn main() {
     let path = match std::env::args().nth(1) {
@@ -47,57 +26,22 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let mut events = 0u64;
-    let mut spans = 0u64;
-    for (i, line) in contents.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+    let (_, stats) = match lash_obs::validate::validate_str(&contents) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("obs-validate: {path}: {e}");
+            std::process::exit(1);
         }
-        match validate_line(line) {
-            Ok(kind) => {
-                events += 1;
-                if kind == "span" {
-                    spans += 1;
-                }
-            }
-            Err(e) => {
-                eprintln!("obs-validate: {path}:{}: {e}\n  {line}", i + 1);
-                std::process::exit(1);
-            }
-        }
-    }
-    if events == 0 {
+    };
+    if stats.events == 0 {
         eprintln!(
             "obs-validate: {path} holds no events — was {} set?",
             lash_obs::JSONL_ENV
         );
         std::process::exit(1);
     }
-    println!("obs-validate: {events} events OK ({spans} spans) in {path}");
-}
-
-#[cfg(test)]
-mod tests {
-    use super::validate_line;
-
-    #[test]
-    fn accepts_well_formed_events() {
-        assert_eq!(
-            validate_line(r#"{"ts_us":1,"event":"span","name":"a.b","dur_us":2}"#),
-            Ok("span")
-        );
-        assert_eq!(
-            validate_line(r#"{"ts_us":1,"event":"swap","name":"index.swap","queries_served":9}"#),
-            Ok("other")
-        );
-    }
-
-    #[test]
-    fn rejects_missing_keys_and_bad_json() {
-        assert!(validate_line("not json").is_err());
-        assert!(validate_line(r#"{"event":"span","name":"a"}"#).is_err());
-        assert!(validate_line(r#"{"ts_us":1,"name":"a"}"#).is_err());
-        assert!(validate_line(r#"{"ts_us":1,"event":"span","name":"a"}"#).is_err());
-        assert!(validate_line(r#"[1,2,3]"#).is_err());
-    }
+    println!(
+        "obs-validate: {} events OK ({} spans, {} slow-ops, {} traces) in {path}",
+        stats.events, stats.spans, stats.slow_ops, stats.traces
+    );
 }

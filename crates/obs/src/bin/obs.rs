@@ -1,0 +1,140 @@
+//! The `obs` CLI: offline tooling over `LASH_OBS_JSONL` event streams.
+//!
+//! ```text
+//! obs trace-view <events.jsonl> [--trace <hex-id>] [--all | --top <n>]
+//! obs validate   <events.jsonl>
+//! ```
+//!
+//! `trace-view` rebuilds the span forest and renders each trace as an
+//! indented tree with total and self wall time per span, flagging the
+//! hottest root-to-leaf path with `◆`. By default only the largest trace
+//! (most spans) is shown; `--top <n>` shows the n largest, `--all` every
+//! one, `--trace <hex-id>` exactly one. `validate` runs the same checks
+//! as the `obs-validate` binary.
+
+use lash_obs::trace::TraceCtx;
+use lash_obs::{tree, validate};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs trace-view <events.jsonl> [--trace <hex-id>] [--all | --top <n>]\n\
+                obs validate   <events.jsonl>"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(contents) => contents,
+        Err(e) => {
+            eprintln!("obs: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_events(path: &str) -> Vec<validate::ParsedEvent> {
+    match validate::validate_str(&read(path)) {
+        Ok((events, _)) => events,
+        Err(e) => {
+            eprintln!("obs: {path}: {e}");
+            eprintln!("obs: (run `obs validate {path}` for the full check)");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn trace_view(args: &[String]) {
+    let mut path = None;
+    let mut pick: Option<u64> = None;
+    let mut limit = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                let id = it.next().unwrap_or_else(|| usage());
+                match TraceCtx::parse_id(id) {
+                    Some(id) => pick = Some(id),
+                    None => {
+                        eprintln!("obs: --trace wants a hex id, got {id:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--all" => limit = 0,
+            "--top" => {
+                limit = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ if path.is_none() && !arg.starts_with('-') => path = Some(arg.clone()),
+            _ => usage(),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage());
+    let forest = tree::build_forest(&parse_events(&path));
+    if forest.is_empty() {
+        eprintln!("obs: {path} holds no spans");
+        std::process::exit(1);
+    }
+    let rendered = match pick {
+        Some(id) => match forest.iter().find(|t| t.trace_id == id) {
+            Some(trace) => tree::render_trace(trace),
+            None => {
+                eprintln!(
+                    "obs: no trace {} in {path} ({} traces present)",
+                    TraceCtx::format_id(id),
+                    forest.len()
+                );
+                std::process::exit(1);
+            }
+        },
+        None => tree::render_forest(&forest, limit),
+    };
+    // Written through `write!`, not `print!`: a downstream `head` closing
+    // the pipe early must not turn into a panic.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if write!(out, "{rendered}").is_err() {
+        return;
+    }
+    if pick.is_none() && limit != 0 && forest.len() > limit {
+        let _ = writeln!(
+            out,
+            "({} more trace(s) — use --all, --top <n>, or --trace <hex-id>)",
+            forest.len() - limit
+        );
+    }
+}
+
+fn validate_cmd(args: &[String]) {
+    let [path] = args else { usage() };
+    match validate::validate_str(&read(path)) {
+        Ok((_, stats)) if stats.events > 0 => println!(
+            "obs: {} events OK ({} spans, {} slow-ops, {} traces) in {path}",
+            stats.events, stats.spans, stats.slow_ops, stats.traces
+        ),
+        Ok(_) => {
+            eprintln!(
+                "obs: {path} holds no events — was {} set?",
+                lash_obs::JSONL_ENV
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("obs: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "trace-view" => trace_view(rest),
+        Some((cmd, rest)) if cmd == "validate" => validate_cmd(rest),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,117 @@
+//! Flight-recorder dumps: when a typed error surfaces from a layer's
+//! top-level operation (a corrupt shuffle run, a store decode failure, an
+//! index that fails validation), the last-seconds event context from the
+//! global registry's ring buffer is written to a JSONL file automatically,
+//! so CI failures and daemon crashes come with their history attached.
+//!
+//! The dump fires **once per process** (a latch): a corruption that
+//! cascades through retries would otherwise spray dozens of identical
+//! dumps. Tests that intentionally force errors re-arm the latch with
+//! [`rearm`]. The dump directory defaults to the system temp dir and can
+//! be pinned with `LASH_OBS_FLIGHT_DIR` or [`set_dump_dir`].
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::FieldValue;
+
+/// Environment variable naming the directory flight-recorder dumps are
+/// written to. Unset: the system temp directory.
+pub const FLIGHT_DIR_ENV: &str = "LASH_OBS_FLIGHT_DIR";
+
+static ARMED: AtomicBool = AtomicBool::new(true);
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+static DUMP_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static LAST_DUMP: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Records that a typed error surfaced from `layer` (e.g.
+/// `"mapreduce.job"`). Emits an `error` event — carrying the ambient trace
+/// context, so the dump names the failing trace — and, if the once-per-
+/// process latch is still armed, writes the ring buffer to a dump file.
+///
+/// `detail` is truncated to 240 bytes: error strings can embed whole
+/// paths and payload fragments.
+pub fn record_error(layer: &str, detail: &str) {
+    let detail = truncate(detail, 240);
+    crate::global().emit_event("error", layer, &[("detail", FieldValue::from(detail))]);
+    if ARMED.swap(false, Ordering::SeqCst) {
+        dump(layer);
+    }
+}
+
+/// Re-arms the once-per-process dump latch. Test-support: suites that
+/// force errors on purpose call this so a later genuine failure still
+/// dumps, and so the dump under test is deterministically theirs.
+pub fn rearm() {
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Overrides the dump directory for this process (wins over
+/// [`FLIGHT_DIR_ENV`]). Pass `None` to revert to the default.
+pub fn set_dump_dir(dir: Option<PathBuf>) {
+    *DUMP_DIR.lock().unwrap_or_else(|e| e.into_inner()) = dir;
+}
+
+/// The most recent dump written by this process, if any.
+pub fn last_dump() -> Option<PathBuf> {
+    LAST_DUMP.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+fn dump_dir() -> PathBuf {
+    if let Some(dir) = DUMP_DIR.lock().unwrap_or_else(|e| e.into_inner()).clone() {
+        return dir;
+    }
+    match std::env::var_os(FLIGHT_DIR_ENV) {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => std::env::temp_dir(),
+    }
+}
+
+fn dump(trigger: &str) {
+    let lines = crate::global().dump_recent();
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dump_dir().join(format!("lash-flight-{}-{}.jsonl", std::process::id(), seq));
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>() + 64);
+    for line in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    let written = std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(out.as_bytes()).and_then(|()| f.flush()))
+        .is_ok();
+    if written {
+        eprintln!(
+            "lash-obs: flight recorder dumped {} events to {} (trigger: {trigger})",
+            lines.len(),
+            path.display()
+        );
+        *LAST_DUMP.lock().unwrap_or_else(|e| e.into_inner()) = Some(path);
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        return s.to_string();
+    }
+    let mut end = max;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_respects_char_boundaries() {
+        assert_eq!(truncate("short", 240), "short");
+        let long = "é".repeat(200); // 400 bytes
+        let t = truncate(&long, 241); // 241 splits a 2-byte char
+        assert!(t.ends_with('…'));
+        assert!(t.len() <= 244);
+    }
+}

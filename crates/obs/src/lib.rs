@@ -2,9 +2,21 @@
 //!
 //! The observability substrate of the LASH workspace: one
 //! [`MetricsRegistry`] of named counters, gauges, and log2-bucketed latency
-//! histograms, plus lightweight structured tracing ([`span!`]) that records
-//! scoped wall time into histograms and optionally emits JSON-lines events
-//! to a pluggable [`EventSink`].
+//! histograms, plus structured tracing ([`span!`]) that records scoped wall
+//! time into histograms and emits JSON-lines events carrying a
+//! [`trace::TraceCtx`] — so the stream reconstructs into per-operation span
+//! trees (see the `obs trace-view` CLI). Three always-on diagnostics ride
+//! on the same event pipeline:
+//!
+//! * every rendered event also lands in a fixed-size [`ring::EventRing`]
+//!   (the **flight recorder**), dumped automatically when a typed error
+//!   surfaces ([`flight::record_error`]) or on demand via
+//!   [`MetricsRegistry::dump_recent`];
+//! * spans exceeding a per-name threshold (config or `LASH_OBS_SLOW_US`)
+//!   are promoted to `slow_op` events with live counter deltas (the
+//!   **slow-op log**);
+//! * the JSONL stream itself is checkable: [`validate`] enforces schema
+//!   and referential integrity, [`tree`] rebuilds and renders the forest.
 //!
 //! ## Zero-dependency design
 //!
@@ -28,9 +40,12 @@
 //! * Name lookup ([`MetricsRegistry::counter`] etc.) — a read-locked map
 //!   probe; done once per handle at setup, or per *scan/span* (not per
 //!   record) on instrumented paths.
-//! * JSONL emission — only when a sink is installed (`LASH_OBS_JSONL`);
-//!   with no sink a span costs two `Instant::now` calls plus one histogram
-//!   record.
+//! * Span / event emission — one JSON line is rendered per span end even
+//!   with no sink installed (it feeds the flight-recorder ring): a small
+//!   `String` build plus one uncontended ring-slot lock, ~1 µs. Spans are
+//!   placed per operation/phase/task, never per record, so this is noise
+//!   next to the work they measure. A [`FileSink`] (`LASH_OBS_JSONL`)
+//!   adds buffered writes flushed at trace boundaries.
 //!
 //! ## Naming scheme
 //!
@@ -42,7 +57,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
+pub mod ring;
+mod slowlog;
+pub mod trace;
+pub mod tree;
+pub mod validate;
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -50,9 +71,21 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant, SystemTime};
 
+use trace::TraceCtx;
+
 /// Environment variable naming the JSON-lines event file the global
 /// registry appends to (one event object per line). Unset: no events.
 pub const JSONL_ENV: &str = "LASH_OBS_JSONL";
+
+/// Environment variable holding the default slow-op threshold in
+/// microseconds: any span at least this long is promoted to a `slow_op`
+/// event. Unset: only names configured via
+/// [`MetricsRegistry::set_slow_threshold`] are checked.
+pub const SLOW_US_ENV: &str = "LASH_OBS_SLOW_US";
+
+/// Environment variable overriding the flight-recorder ring capacity of
+/// the global registry (default [`ring::DEFAULT_CAPACITY`]).
+pub const RING_CAPACITY_ENV: &str = "LASH_OBS_RING_CAPACITY";
 
 /// A monotonically increasing counter. Cloning shares the underlying
 /// value; aggregating several counters means *summing* them.
@@ -290,51 +323,127 @@ impl From<String> for FieldValue {
 /// cheap and non-blocking-ish: they run inline on instrumented paths.
 pub trait EventSink: Send + Sync {
     /// Consumes one event, rendered as a single-line JSON object (no
-    /// trailing newline).
+    /// trailing newline). Buffering sinks may defer the actual write
+    /// until [`EventSink::flush`].
     fn emit(&self, line: &str);
+
+    /// Forces buffered lines out. The registry calls this at trace
+    /// boundaries (a root span ending, a standalone event) so whole
+    /// traces become durable together. Default: no-op.
+    fn flush(&self) {}
 }
 
-/// The default sink: appends events to a file, one line per event, each
-/// line written with a single `write` call so concurrent processes
-/// appending to the same `O_APPEND` file do not interleave bytes.
+/// How many buffered bytes a [`FileSink`] accumulates before writing.
+/// Kept a bit under 4 KiB so one flush is a single `write` syscall whose
+/// appended block stays intact under concurrent `O_APPEND` writers.
+const SINK_FLUSH_BYTES: usize = 3584;
+
+struct FileSinkState {
+    file: std::fs::File,
+    buf: String,
+    buffered_lines: u64,
+}
+
+impl FileSinkState {
+    fn flush_locked(&mut self, dropped: &Counter) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.file.write_all(self.buf.as_bytes()).is_err() {
+            dropped.add(self.buffered_lines);
+        }
+        self.buf.clear();
+        self.buffered_lines = 0;
+    }
+}
+
+/// The default sink: appends events to a file, buffering lines behind a
+/// mutex and writing whole batches with a single `write` call (so
+/// concurrent processes appending to the same `O_APPEND` file do not
+/// interleave bytes). Lines lost to write errors are counted on the
+/// `obs.sink.dropped_lines` counter passed at construction instead of
+/// vanishing silently.
 pub struct FileSink {
-    file: Mutex<std::fs::File>,
+    state: Mutex<FileSinkState>,
+    dropped: Counter,
 }
 
 impl FileSink {
-    /// Opens (creating if needed) `path` for appending.
+    /// Opens (creating if needed) `path` for appending, counting dropped
+    /// lines on a detached counter.
     pub fn append(path: &std::path::Path) -> std::io::Result<FileSink> {
+        FileSink::append_with_counter(path, Counter::default())
+    }
+
+    /// Opens `path` for appending; write failures add the number of lost
+    /// lines to `dropped` (conventionally `obs.sink.dropped_lines`).
+    pub fn append_with_counter(
+        path: &std::path::Path,
+        dropped: Counter,
+    ) -> std::io::Result<FileSink> {
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
         Ok(FileSink {
-            file: Mutex::new(file),
+            state: Mutex::new(FileSinkState {
+                file,
+                buf: String::with_capacity(SINK_FLUSH_BYTES + 256),
+                buffered_lines: 0,
+            }),
+            dropped,
         })
+    }
+
+    /// Lines lost to write errors so far.
+    pub fn dropped_lines(&self) -> u64 {
+        self.dropped.get()
     }
 }
 
 impl EventSink for FileSink {
     fn emit(&self, line: &str) {
-        let mut buf = Vec::with_capacity(line.len() + 1);
-        buf.extend_from_slice(line.as_bytes());
-        buf.push(b'\n');
-        if let Ok(mut file) = self.file.lock() {
-            let _ = file.write_all(&buf);
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.buf.push_str(line);
+        state.buf.push('\n');
+        state.buffered_lines += 1;
+        if state.buf.len() >= SINK_FLUSH_BYTES {
+            state.flush_locked(&self.dropped);
         }
+    }
+
+    fn flush(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush_locked(&self.dropped);
     }
 }
 
-/// The registry: named metrics plus the optional event sink. Handle
-/// lookups are read-mostly (a `RwLock`-guarded map probe); the handles
-/// themselves are lock-free.
-#[derive(Default)]
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// The registry: named metrics, the optional event sink, the always-on
+/// flight-recorder ring, and the slow-op threshold table. Handle lookups
+/// are read-mostly (a `RwLock`-guarded map probe); the handles themselves
+/// are lock-free.
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Counter>>,
     gauges: RwLock<BTreeMap<String, Gauge>>,
     histograms: RwLock<BTreeMap<String, Histogram>>,
     sink: RwLock<Option<Arc<dyn EventSink>>>,
     sink_installed: AtomicBool,
+    ring: ring::EventRing,
+    slow: slowlog::SlowLog,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::with_ring_capacity(ring::DEFAULT_CAPACITY)
+    }
 }
 
 fn lookup<T: Clone + Default>(map: &RwLock<BTreeMap<String, T>>, name: &str) -> T {
@@ -349,9 +458,23 @@ fn lookup<T: Clone + Default>(map: &RwLock<BTreeMap<String, T>>, name: &str) -> 
 }
 
 impl MetricsRegistry {
-    /// An empty registry with no sink.
+    /// An empty registry with no sink and a default-capacity ring.
     pub fn new() -> MetricsRegistry {
         MetricsRegistry::default()
+    }
+
+    /// An empty registry whose flight-recorder ring holds `capacity`
+    /// events.
+    pub fn with_ring_capacity(capacity: usize) -> MetricsRegistry {
+        MetricsRegistry {
+            counters: RwLock::default(),
+            gauges: RwLock::default(),
+            histograms: RwLock::default(),
+            sink: RwLock::default(),
+            sink_installed: AtomicBool::new(false),
+            ring: ring::EventRing::new(capacity),
+            slow: slowlog::SlowLog::new(),
+        }
     }
 
     /// The counter named `name`, registering it on first use.
@@ -369,72 +492,196 @@ impl MetricsRegistry {
         lookup(&self.histograms, name)
     }
 
-    /// Installs (or removes) the event sink.
-    pub fn set_sink(&self, sink: Option<Arc<dyn EventSink>>) {
+    /// Installs (or removes) the event sink, returning the previous one
+    /// (so tests can restore it).
+    pub fn set_sink(&self, sink: Option<Arc<dyn EventSink>>) -> Option<Arc<dyn EventSink>> {
         self.sink_installed.store(sink.is_some(), Ordering::Release);
-        *self.sink.write().expect("sink lock") = sink;
+        std::mem::replace(&mut *self.sink.write().expect("sink lock"), sink)
     }
 
-    /// True when a sink is installed (events will be emitted).
+    /// True when a sink is installed (events will be written out; the
+    /// flight-recorder ring records them regardless).
     pub fn sink_installed(&self) -> bool {
         self.sink_installed.load(Ordering::Acquire)
     }
 
+    /// Flushes the installed sink's buffered lines, if any.
+    pub fn flush_sink(&self) {
+        if let Some(sink) = self.sink.read().expect("sink lock").as_ref() {
+            sink.flush();
+        }
+    }
+
+    /// The last events rendered by this registry (spans, standalone
+    /// events, slow-ops), oldest first — the flight recorder's on-demand
+    /// readout. Always populated, sink or no sink.
+    pub fn dump_recent(&self) -> Vec<String> {
+        self.ring.snapshot()
+    }
+
+    /// Sets (or with `None` clears) the default slow-op threshold: any
+    /// span lasting at least `threshold_us` microseconds is promoted to a
+    /// `slow_op` event. Per-name thresholds take precedence.
+    pub fn set_slow_default(&self, threshold_us: Option<u64>) {
+        self.slow.set_default(threshold_us);
+    }
+
+    /// Sets (or with `None` clears) the slow-op threshold for one span
+    /// name, overriding the default for that name.
+    pub fn set_slow_threshold(&self, name: &str, threshold_us: Option<u64>) {
+        self.slow.set_threshold(name, threshold_us);
+    }
+
+    /// The effective slow-op threshold for `name`, if any.
+    pub fn slow_threshold(&self, name: &str) -> Option<u64> {
+        self.slow.threshold_of(name)
+    }
+
+    fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .expect("metrics map lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// Emits the `slow_op` event for a span that ended over threshold.
+    /// `capture` (the counter values at span start) yields `d.<counter>`
+    /// delta fields; spans observed after the fact have no capture and
+    /// log without deltas.
+    fn emit_slow_op(
+        &self,
+        name: &str,
+        us: u64,
+        threshold_us: u64,
+        ctx: Option<TraceCtx>,
+        capture: Option<&[(String, u64)]>,
+    ) {
+        self.counter("obs.slow_ops").inc();
+        let mut fields: Vec<(String, FieldValue)> =
+            vec![("threshold_us".to_string(), FieldValue::U64(threshold_us))];
+        if let Some(start) = capture {
+            let start: BTreeMap<&str, u64> = start.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            let mut truncated = false;
+            for (name, counter) in self.counters.read().expect("metrics map lock").iter() {
+                let now = counter.get();
+                let delta = now - start.get(name.as_str()).copied().unwrap_or(0);
+                if delta == 0 {
+                    continue;
+                }
+                if fields.len() > slowlog::SLOW_OP_MAX_DELTAS {
+                    truncated = true;
+                    break;
+                }
+                fields.push((format!("d.{name}"), FieldValue::U64(delta)));
+            }
+            if truncated {
+                fields.push(("deltas_truncated".to_string(), FieldValue::Bool(true)));
+            }
+        }
+        self.emit_line("slow_op", name, Some(us), ctx, &fields);
+    }
+
     /// Starts a scoped timer: on drop it records the elapsed microseconds
-    /// into the histogram `<name>_us` and emits a `span` event. Usually
-    /// invoked through the [`span!`] macro.
+    /// into the histogram `<name>_us` and emits a `span` event carrying
+    /// this span's trace context (a child of the span active on this
+    /// thread, or a fresh trace root). Usually invoked through the
+    /// [`span!`] macro.
     pub fn span<'r>(&'r self, name: &'r str, fields: Vec<(&'static str, FieldValue)>) -> Span<'r> {
+        let ctx = trace::next_ctx();
+        let guard = trace::enter(ctx);
+        let slow = self
+            .slow_threshold(name)
+            .map(|threshold_us| slowlog::SlowCapture {
+                threshold_us,
+                counters: self.counters_snapshot(),
+            });
         Span {
             registry: self,
             name,
             fields,
+            ctx,
+            slow,
             start: Instant::now(),
+            _guard: guard,
         }
     }
 
     /// Records an already-measured span: `elapsed` goes into the histogram
-    /// `<name>_us`, and — when a sink is installed — a `span` event with
-    /// `dur_us` plus `fields` is emitted. The explicit-timing twin of
-    /// [`span!`], for code that already holds the phase duration.
+    /// `<name>_us` and a `span` event is emitted as a *child* of the span
+    /// active on this thread — or as the root of its own single-span
+    /// trace when none is active, so every span line carries a trace
+    /// context. The explicit-timing twin of [`span!`], for code that
+    /// already holds the phase duration.
     pub fn observe_span(
         &self,
         name: &str,
         elapsed: Duration,
         fields: &[(&'static str, FieldValue)],
     ) {
+        self.observe_span_with(trace::current().map(|c| c.child()), name, elapsed, fields);
+    }
+
+    /// Like [`MetricsRegistry::observe_span`], but with an explicit trace
+    /// context — the cross-thread form: a phase that fans work out to
+    /// workers derives one child context up front, has each worker
+    /// [`trace::enter`] it, and records the phase span under that same
+    /// context once the workers join. `None` roots a fresh trace.
+    pub fn observe_span_with(
+        &self,
+        ctx: Option<TraceCtx>,
+        name: &str,
+        elapsed: Duration,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        let ctx = Some(ctx.unwrap_or_else(TraceCtx::root));
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
         self.histogram(&format!("{name}_us")).record(us);
-        if self.sink_installed() {
-            self.emit_line("span", name, Some(us), fields);
+        self.emit_line("span", name, Some(us), ctx, fields);
+        if let Some(threshold_us) = self.slow_threshold(name) {
+            if us >= threshold_us {
+                self.emit_slow_op(name, us, threshold_us, ctx, None);
+            }
         }
     }
 
-    /// Emits one non-span event (e.g. an index snapshot swap) when a sink
-    /// is installed. `event` classifies the line; `name` identifies its
-    /// source.
+    /// Emits one non-span event (e.g. an index snapshot swap). `event`
+    /// classifies the line; `name` identifies its source. The line always
+    /// reaches the flight-recorder ring; it reaches the sink when one is
+    /// installed, tagged with the active trace context if any.
     pub fn emit_event(&self, event: &str, name: &str, fields: &[(&'static str, FieldValue)]) {
-        if self.sink_installed() {
-            self.emit_line(event, name, None, fields);
-        }
+        self.emit_line(event, name, None, trace::current(), fields);
     }
 
-    fn emit_line(
+    /// Like [`MetricsRegistry::emit_event`], but under an explicit trace
+    /// context — for components that captured the context on one thread
+    /// (e.g. a map task's emitter) and report on another, or after the
+    /// originating span has ended.
+    pub fn emit_event_with(
+        &self,
+        ctx: Option<TraceCtx>,
+        event: &str,
+        name: &str,
+        fields: &[(&'static str, FieldValue)],
+    ) {
+        self.emit_line(event, name, None, ctx, fields);
+    }
+
+    fn emit_line<K: AsRef<str>>(
         &self,
         event: &str,
         name: &str,
         dur_us: Option<u64>,
-        fields: &[(&'static str, FieldValue)],
+        ctx: Option<TraceCtx>,
+        fields: &[(K, FieldValue)],
     ) {
-        let sink = match self.sink.read().expect("sink lock").as_ref() {
-            Some(sink) => Arc::clone(sink),
-            None => return,
-        };
         let ts_us = SystemTime::now()
             .duration_since(SystemTime::UNIX_EPOCH)
             .unwrap_or_default()
             .as_micros()
             .min(u64::MAX as u128) as u64;
-        let mut line = String::with_capacity(96);
+        let mut line = String::with_capacity(160);
         line.push_str("{\"ts_us\":");
         line.push_str(&ts_us.to_string());
         line.push_str(",\"event\":\"");
@@ -442,24 +689,55 @@ impl MetricsRegistry {
         line.push_str("\",\"name\":\"");
         json::escape_into(&mut line, name);
         line.push('"');
+        if let Some(ctx) = &ctx {
+            line.push_str(",\"trace_id\":\"");
+            line.push_str(&TraceCtx::format_id(ctx.trace_id));
+            line.push_str("\",\"span_id\":\"");
+            line.push_str(&TraceCtx::format_id(ctx.span_id));
+            line.push('"');
+            if ctx.parent_id != 0 {
+                line.push_str(",\"parent_id\":\"");
+                line.push_str(&TraceCtx::format_id(ctx.parent_id));
+                line.push('"');
+            }
+        }
         if let Some(us) = dur_us {
             line.push_str(",\"dur_us\":");
             line.push_str(&us.to_string());
         }
         for (key, value) in fields {
             line.push_str(",\"");
-            json::escape_into(&mut line, key);
+            json::escape_into(&mut line, key.as_ref());
             line.push_str("\":");
             value.write_json(&mut line);
         }
         line.push('}');
-        sink.emit(&line);
+        if self.sink_installed() {
+            if let Some(sink) = self.sink.read().expect("sink lock").as_ref() {
+                sink.emit(&line);
+                // Flush at trace boundaries so whole traces become durable
+                // together: a root span ending, an event outside any trace,
+                // or an error event (a dump may be imminent).
+                let at_boundary = match (&ctx, event) {
+                    (_, "error") => true,
+                    (Some(c), "span") => c.parent_id == 0,
+                    (None, _) => true,
+                    _ => false,
+                };
+                if at_boundary {
+                    sink.flush();
+                }
+            }
+        }
+        self.ring.push(line);
     }
 
     /// Renders every metric as Prometheus-style text exposition: counters
     /// and gauges as single samples, histograms as summaries with
-    /// `quantile="0.5" / "0.95" / "0.99"` lines plus `_max`, `_sum`, and
-    /// `_count`. Dots in metric names become underscores.
+    /// `quantile="0.5" / "0.95" / "0.99"` lines plus `_max`, `_sum`,
+    /// `_count`, and cumulative `_bucket{le="..."}` lines (one per
+    /// occupied power-of-two bucket, closed by `le="+Inf"`). Dots in
+    /// metric names become underscores.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for (name, counter) in self.counters.read().expect("metrics map lock").iter() {
@@ -483,6 +761,16 @@ impl MetricsRegistry {
                     s.percentile(q)
                 ));
             }
+            let last_occupied = s.buckets.iter().rposition(|&c| c != 0);
+            let mut cumulative = 0u64;
+            for i in 0..=last_occupied.unwrap_or(0).min(NUM_BUCKETS - 2) {
+                cumulative += s.buckets[i];
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    bucket_bounds(i).1
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", s.count));
             out.push_str(&format!("{name}_max {}\n", s.max));
             out.push_str(&format!("{name}_sum {}\n", s.sum));
             out.push_str(&format!("{name}_count {}\n", s.count));
@@ -499,27 +787,56 @@ fn sanitize_name(name: &str) -> String {
         .collect()
 }
 
-/// A scoped timer created by [`MetricsRegistry::span`] / [`span!`]. On
-/// drop it records the elapsed microseconds into the histogram
-/// `<name>_us` and emits a `span` event when a sink is installed.
+/// A scoped timer created by [`MetricsRegistry::span`] / [`span!`]. While
+/// alive its [`trace::TraceCtx`] is the active context on the creating
+/// thread (nested spans become its children). On drop it records the
+/// elapsed microseconds into the histogram `<name>_us`, emits a `span`
+/// event carrying the context, and — if the span crossed its slow-op
+/// threshold — a `slow_op` event with counter deltas since span start.
 pub struct Span<'r> {
     registry: &'r MetricsRegistry,
     name: &'r str,
     fields: Vec<(&'static str, FieldValue)>,
+    ctx: TraceCtx,
+    slow: Option<slowlog::SlowCapture>,
     start: Instant,
+    _guard: trace::EnterGuard,
+}
+
+impl Span<'_> {
+    /// This span's trace context (e.g. to pass to worker threads).
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx
+    }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
+        let us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         let fields = std::mem::take(&mut self.fields);
         self.registry
-            .observe_span(self.name, self.start.elapsed(), &fields);
+            .histogram(&format!("{}_us", self.name))
+            .record(us);
+        self.registry
+            .emit_line("span", self.name, Some(us), Some(self.ctx), &fields);
+        if let Some(slow) = self.slow.take() {
+            if us >= slow.threshold_us {
+                self.registry.emit_slow_op(
+                    self.name,
+                    us,
+                    slow.threshold_us,
+                    Some(self.ctx),
+                    Some(&slow.counters),
+                );
+            }
+        }
     }
 }
 
 /// Starts a scoped timer on the [`global`] registry: the guard records the
-/// enclosed scope's wall time into the histogram `<name>_us` on drop and,
-/// with a sink installed, emits a `span` JSONL event carrying the fields.
+/// enclosed scope's wall time into the histogram `<name>_us` on drop and
+/// emits a `span` JSONL event carrying the fields and the span's trace
+/// context (child of the enclosing span, or a new trace root).
 ///
 /// ```
 /// {
@@ -542,16 +859,30 @@ macro_rules! span {
 
 static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
 
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
 /// The process-wide registry. On first use, a [`FileSink`] is installed
-/// when [`JSONL_ENV`] names a writable path.
+/// when [`JSONL_ENV`] names a writable path, the default slow-op
+/// threshold is read from [`SLOW_US_ENV`], and the flight-recorder ring
+/// is sized from [`RING_CAPACITY_ENV`].
 pub fn global() -> &'static MetricsRegistry {
     GLOBAL.get_or_init(|| {
-        let registry = MetricsRegistry::new();
+        let capacity =
+            env_u64(RING_CAPACITY_ENV).map_or(ring::DEFAULT_CAPACITY, |c| c.max(1) as usize);
+        let registry = MetricsRegistry::with_ring_capacity(capacity);
+        registry.set_slow_default(env_u64(SLOW_US_ENV));
         if let Some(path) = std::env::var_os(JSONL_ENV) {
             if !path.is_empty() {
                 let path = std::path::PathBuf::from(path);
-                match FileSink::append(&path) {
-                    Ok(sink) => registry.set_sink(Some(Arc::new(sink))),
+                match FileSink::append_with_counter(
+                    &path,
+                    registry.counter("obs.sink.dropped_lines"),
+                ) {
+                    Ok(sink) => {
+                        registry.set_sink(Some(Arc::new(sink)));
+                    }
                     Err(e) => eprintln!("lash-obs: cannot open {}: {e}", path.display()),
                 }
             }
@@ -627,14 +958,45 @@ mod tests {
     }
 
     #[test]
-    fn spans_record_and_emit_valid_json() {
-        #[derive(Default)]
-        struct Capture(Mutex<Vec<String>>);
-        impl EventSink for Capture {
-            fn emit(&self, line: &str) {
-                self.0.lock().unwrap().push(line.to_string());
-            }
+    fn render_text_bucket_lines_are_cumulative() {
+        // Pins the exposition format of the _bucket lines: cumulative
+        // counts, `le` = the bucket's inclusive upper bound, closed by
+        // `+Inf`, only up to the last occupied bucket.
+        let r = MetricsRegistry::new();
+        let h = r.histogram("layer.latency_us");
+        h.record(0); // bucket 0 (le="0")
+        h.record(1); // bucket 1 (le="1")
+        h.record(3); // bucket 2 (le="3")
+        h.record(3); // bucket 2
+        h.record(9); // bucket 4 (le="15")
+        let text = r.render_text();
+        let expected = "layer_latency_us_bucket{le=\"0\"} 1\n\
+                        layer_latency_us_bucket{le=\"1\"} 2\n\
+                        layer_latency_us_bucket{le=\"3\"} 4\n\
+                        layer_latency_us_bucket{le=\"7\"} 4\n\
+                        layer_latency_us_bucket{le=\"15\"} 5\n\
+                        layer_latency_us_bucket{le=\"+Inf\"} 5\n";
+        assert!(
+            text.contains(expected),
+            "bucket lines missing or misformatted in:\n{text}"
+        );
+        // An empty histogram renders just the +Inf line.
+        let r = MetricsRegistry::new();
+        r.histogram("quiet_us");
+        let text = r.render_text();
+        assert!(text.contains("quiet_us_bucket{le=\"0\"} 0\nquiet_us_bucket{le=\"+Inf\"} 0\n"));
+    }
+
+    #[derive(Default)]
+    struct Capture(Mutex<Vec<String>>);
+    impl EventSink for Capture {
+        fn emit(&self, line: &str) {
+            self.0.lock().unwrap().push(line.to_string());
         }
+    }
+
+    #[test]
+    fn spans_record_and_emit_valid_json() {
         let r = MetricsRegistry::new();
         let capture = Arc::new(Capture::default());
         r.set_sink(Some(capture.clone()));
@@ -653,6 +1015,144 @@ mod tests {
             json::parse(&lines[0]).unwrap().get("shard").unwrap(),
             &json::Value::Number(3.0)
         );
+        // The span line carries a root trace context as hex strings.
+        let span_line = json::parse(&lines[0]).unwrap();
+        let trace_id = span_line.get("trace_id").and_then(json::Value::as_str);
+        assert!(trace_id.is_some_and(|s| TraceCtx::parse_id(s).is_some()));
+        assert!(span_line
+            .get("span_id")
+            .and_then(json::Value::as_str)
+            .is_some());
+        assert!(
+            span_line.get("parent_id").is_none(),
+            "root span has no parent"
+        );
+    }
+
+    #[test]
+    fn nested_spans_share_a_trace() {
+        let r = MetricsRegistry::new();
+        let capture = Arc::new(Capture::default());
+        r.set_sink(Some(capture.clone()));
+        {
+            let outer = r.span("test.outer", vec![]);
+            let _ = &outer;
+            drop(r.span("test.inner", vec![]));
+            r.observe_span(
+                "test.observed",
+                Duration::from_micros(7),
+                &[("k", 1u64.into())],
+            );
+        }
+        let lines = capture.0.lock().unwrap();
+        assert_eq!(lines.len(), 3); // inner, observed, outer (drop order)
+        let parsed: Vec<_> = lines.iter().map(|l| json::parse(l).unwrap()).collect();
+        let outer = &parsed[2];
+        let outer_trace = outer.get("trace_id").and_then(json::Value::as_str).unwrap();
+        let outer_span = outer.get("span_id").and_then(json::Value::as_str).unwrap();
+        for child in &parsed[..2] {
+            assert_eq!(
+                child.get("trace_id").and_then(json::Value::as_str),
+                Some(outer_trace)
+            );
+            assert_eq!(
+                child.get("parent_id").and_then(json::Value::as_str),
+                Some(outer_span)
+            );
+        }
+    }
+
+    #[test]
+    fn ring_records_events_without_a_sink() {
+        let r = MetricsRegistry::with_ring_capacity(8);
+        assert!(r.dump_recent().is_empty());
+        drop(r.span("test.ringed", vec![]));
+        r.emit_event("note", "test.note", &[]);
+        let recent = r.dump_recent();
+        assert_eq!(recent.len(), 2);
+        assert!(recent[0].contains("\"name\":\"test.ringed\""));
+        assert!(recent[1].contains("\"name\":\"test.note\""));
+    }
+
+    #[test]
+    fn slow_ops_promote_with_counter_deltas() {
+        let r = MetricsRegistry::new();
+        let capture = Arc::new(Capture::default());
+        r.set_sink(Some(capture.clone()));
+        r.set_slow_threshold("test.slow", Some(0)); // everything is slow
+        assert_eq!(r.slow_threshold("test.slow"), Some(0));
+        assert_eq!(r.slow_threshold("test.other"), None);
+        let work = r.counter("test.work_done");
+        {
+            let _span = r.span("test.slow", vec![]);
+            work.add(41);
+        }
+        drop(r.span("test.other", vec![])); // under no threshold: no slow_op
+        let lines = capture.0.lock().unwrap();
+        let slow: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"slow_op\""))
+            .collect();
+        assert_eq!(slow.len(), 1);
+        let v = json::parse(slow[0]).unwrap();
+        assert_eq!(
+            v.get("name").and_then(json::Value::as_str),
+            Some("test.slow")
+        );
+        assert_eq!(
+            v.get("d.test.work_done").and_then(json::Value::as_f64),
+            Some(41.0)
+        );
+        assert!(v.get("trace_id").is_some());
+        assert_eq!(r.counter("obs.slow_ops").get(), 1);
+        // Default threshold applies to any name; clearing disables.
+        r.set_slow_default(Some(0));
+        assert_eq!(r.slow_threshold("anything"), Some(0));
+        r.set_slow_default(None);
+        r.set_slow_threshold("test.slow", None);
+        assert_eq!(r.slow_threshold("test.slow"), None);
+    }
+
+    #[test]
+    fn file_sink_buffers_and_flushes() {
+        let dir = std::env::temp_dir().join(format!("lash-obs-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let r = MetricsRegistry::new();
+        let sink = FileSink::append_with_counter(&path, r.counter("obs.sink.dropped_lines"))
+            .expect("open sink");
+        sink.emit("{\"a\":1}");
+        // Small lines stay buffered until an explicit flush.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        sink.flush();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n");
+        // Crossing the threshold flushes without being asked.
+        let big = format!("{{\"pad\":\"{}\"}}", "x".repeat(2 * SINK_FLUSH_BYTES));
+        sink.emit(&big);
+        assert!(std::fs::metadata(&path).unwrap().len() > SINK_FLUSH_BYTES as u64);
+        assert_eq!(sink.dropped_lines(), 0);
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn file_sink_counts_dropped_lines() {
+        // /dev/full accepts the open but fails every write with ENOSPC.
+        let path = std::path::Path::new("/dev/full");
+        if !path.exists() {
+            return;
+        }
+        let r = MetricsRegistry::new();
+        let counter = r.counter("obs.sink.dropped_lines");
+        let sink = FileSink::append_with_counter(path, counter.clone()).expect("open /dev/full");
+        sink.emit("{\"a\":1}");
+        sink.emit("{\"b\":2}");
+        sink.flush();
+        assert_eq!(sink.dropped_lines(), 2);
+        assert_eq!(counter.get(), 2);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The flight recorder's storage: a fixed-size ring of the last N rendered
+//! event lines, always on, written by any thread, snapshotted on demand.
+//!
+//! ## Algorithm
+//!
+//! Writers reserve a slot with one `fetch_add` on a global ticket counter
+//! (the lock-free part: reservation never blocks and two writers never
+//! contend for the same slot), then store the line into the slot behind a
+//! per-slot `Mutex`. A reader taking a snapshot locks slots one at a time
+//! and keeps entries whose stored ticket is recent enough; a slot being
+//! overwritten concurrently simply shows up as either its old or its new
+//! line — never a torn mix, because the `(ticket, line)` pair swaps under
+//! the slot lock as one unit.
+//!
+//! The per-slot locks are uncontended unless two writers are `capacity`
+//! tickets apart at the same instant, so a push is ~one atomic RMW plus an
+//! uncontended lock and a `String` move. This crate forbids `unsafe`, which
+//! rules out the classic seqlock-over-byte-buffer design; the slot-mutex
+//! variant keeps the hot path allocation-free for the caller (the line is
+//! moved in, not copied).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct Slot {
+    /// Ticket of the entry held in `line`, or `u64::MAX` when empty.
+    ticket: u64,
+    line: String,
+}
+
+/// A bounded multi-writer ring of rendered event lines. See the module
+/// docs for the concurrency story.
+pub struct EventRing {
+    slots: Vec<Mutex<Slot>>,
+    next_ticket: AtomicU64,
+}
+
+/// Default capacity of the global registry's ring (overridable via
+/// `LASH_OBS_RING_CAPACITY`).
+pub const DEFAULT_CAPACITY: usize = 512;
+
+impl EventRing {
+    /// A ring holding the most recent `capacity` lines (min 1).
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing {
+            slots: (0..capacity)
+                .map(|_| {
+                    Mutex::new(Slot {
+                        ticket: u64::MAX,
+                        line: String::new(),
+                    })
+                })
+                .collect(),
+            next_ticket: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total lines ever pushed (≥ lines currently held).
+    pub fn pushed(&self) -> u64 {
+        self.next_ticket.load(Ordering::Relaxed)
+    }
+
+    /// Appends one line, evicting the oldest once full.
+    pub fn push(&self, line: String) {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+        // A slower writer holding an older ticket for this slot must not
+        // clobber a newer entry that already lapped it.
+        if slot.ticket == u64::MAX || slot.ticket < ticket {
+            slot.ticket = ticket;
+            slot.line = line;
+        }
+    }
+
+    /// The lines currently held, oldest first. Lines pushed concurrently
+    /// with the snapshot may or may not be included, but every returned
+    /// line is intact.
+    pub fn snapshot(&self) -> Vec<String> {
+        let mut entries: Vec<(u64, String)> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.ticket != u64::MAX {
+                entries.push((slot.ticket, slot.line.clone()));
+            }
+        }
+        entries.sort_unstable_by_key(|(ticket, _)| *ticket);
+        entries.into_iter().map(|(_, line)| line).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_n_in_order() {
+        let ring = EventRing::new(4);
+        assert!(ring.snapshot().is_empty());
+        for i in 0..10 {
+            ring.push(format!("line-{i}"));
+        }
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(
+            ring.snapshot(),
+            vec!["line-6", "line-7", "line-8", "line-9"]
+        );
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push("a".into());
+        ring.push("b".into());
+        assert_eq!(ring.snapshot(), vec!["b"]);
+    }
+}

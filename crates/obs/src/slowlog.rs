@@ -1,0 +1,93 @@
+//! The slow-op log's threshold table: which span names get promoted to
+//! `slow_op` events, and at what duration.
+//!
+//! A threshold can be set per span name ([`SlowLog::set_threshold`]) or
+//! as a catch-all default ([`SlowLog::set_default`], also seeded from
+//! `LASH_OBS_SLOW_US`); per-name entries win. The hot-path question —
+//! "does this span name have a threshold?" — is answered through a
+//! single relaxed atomic load when no threshold is configured at all,
+//! so an idle slow-op log costs nothing on the span path.
+//!
+//! The promotion itself (diffing counters, emitting the `slow_op` line)
+//! lives on `MetricsRegistry`, which owns the counters and the sink;
+//! this module only decides *whether* a span is slow.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Counter snapshot taken when a span with a slow-op threshold starts,
+/// diffed against live values if the span ends over threshold.
+pub(crate) struct SlowCapture {
+    pub(crate) threshold_us: u64,
+    pub(crate) counters: Vec<(String, u64)>,
+}
+
+/// At most this many counter deltas are attached to a `slow_op` event;
+/// the busiest registries have dozens of counters and the log must stay
+/// one readable line.
+pub(crate) const SLOW_OP_MAX_DELTAS: usize = 24;
+
+/// The threshold table: per-name overrides, an optional default, and a
+/// fast "anything configured at all?" gate.
+pub(crate) struct SlowLog {
+    thresholds: RwLock<BTreeMap<String, u64>>,
+    /// Default threshold in µs; `u64::MAX` means unset.
+    default_us: AtomicU64,
+    /// Fast gate: true when any threshold (default or per-name) is set.
+    enabled: AtomicBool,
+}
+
+impl SlowLog {
+    /// An empty table: no thresholds, nothing promoted.
+    pub(crate) fn new() -> SlowLog {
+        SlowLog {
+            thresholds: RwLock::default(),
+            default_us: AtomicU64::new(u64::MAX),
+            enabled: AtomicBool::new(false),
+        }
+    }
+
+    /// Sets (or with `None` clears) the default threshold applied to
+    /// span names without a per-name entry.
+    pub(crate) fn set_default(&self, threshold_us: Option<u64>) {
+        self.default_us
+            .store(threshold_us.unwrap_or(u64::MAX), Ordering::Relaxed);
+        self.update_enabled();
+    }
+
+    /// Sets (or with `None` clears) the threshold for one span name.
+    pub(crate) fn set_threshold(&self, name: &str, threshold_us: Option<u64>) {
+        let mut map = self.thresholds.write().expect("slowlog lock");
+        match threshold_us {
+            Some(t) => {
+                map.insert(name.to_string(), t);
+            }
+            None => {
+                map.remove(name);
+            }
+        }
+        drop(map);
+        self.update_enabled();
+    }
+
+    fn update_enabled(&self) {
+        let enabled = self.default_us.load(Ordering::Relaxed) != u64::MAX
+            || !self.thresholds.read().expect("slowlog lock").is_empty();
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The effective threshold for `name`, if any.
+    pub(crate) fn threshold_of(&self, name: &str) -> Option<u64> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        if let Some(&t) = self.thresholds.read().expect("slowlog lock").get(name) {
+            return Some(t);
+        }
+        match self.default_us.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            t => Some(t),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Trace context: the cheap `{trace_id, span_id, parent_id}` triple that
+//! turns the flat JSONL event stream into a reconstructable span forest.
+//!
+//! ## Model
+//!
+//! Every *top-level operation* — a `mine`/`mine_sharded` run, a compaction
+//! round, an ingest seal, a `QueryService` request — opens a **root span**,
+//! which mints a fresh trace id. Spans opened while another span is active
+//! on the same thread become **children** of it automatically: the active
+//! context lives in a thread-local stack that [`crate::Span`] pushes on
+//! creation and pops on drop, so ordinary nested scopes need no plumbing
+//! at all.
+//!
+//! The one place plumbing *is* required is a thread boundary: worker
+//! threads spawned by the MapReduce runtime do not inherit the parent
+//! thread's stack. Code that fans out derives a child context up front
+//! ([`TraceCtx::child`]) and has each worker [`enter`] it, which parents
+//! the worker's spans under the originating phase.
+//!
+//! ## Encoding
+//!
+//! Ids are random-ish `u64`s, seeded per process from the pid and clock so
+//! that several test binaries appending to one `LASH_OBS_JSONL` file never
+//! collide. In JSON they are emitted as **hex strings** (`"a3f1…"`), not
+//! numbers: the hand-rolled parser in [`crate::json`] reads numbers as
+//! `f64`, which silently mangles integers above 2^53.
+//!
+//! `parent_id == 0` marks a root; the JSON line for a root simply omits
+//! the `parent_id` key.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The identity of one span within one trace. `Copy`, 24 bytes: cheap to
+/// capture into closures and send across threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Identifies the whole operation (shared by every span in the tree).
+    pub trace_id: u64,
+    /// Identifies this span. Unique within the process, hence within the
+    /// trace (a trace never spans processes).
+    pub span_id: u64,
+    /// The parent span's id, or 0 for a root span.
+    pub parent_id: u64,
+}
+
+impl TraceCtx {
+    /// A fresh root context: new trace id, no parent.
+    pub fn root() -> TraceCtx {
+        TraceCtx {
+            trace_id: next_trace_id(),
+            span_id: next_span_id(),
+            parent_id: 0,
+        }
+    }
+
+    /// A child context within the same trace, parented under `self`.
+    pub fn child(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: next_span_id(),
+            parent_id: self.span_id,
+        }
+    }
+
+    /// Renders an id for the JSONL output: 16 lowercase hex digits.
+    pub fn format_id(id: u64) -> String {
+        format!("{id:016x}")
+    }
+
+    /// Parses an id rendered by [`TraceCtx::format_id`].
+    pub fn parse_id(s: &str) -> Option<u64> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok()
+    }
+}
+
+/// Per-process seed mixed into trace ids so concurrent processes appending
+/// to one JSONL file mint disjoint ids.
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let pid = std::process::id() as u64;
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_nanos() as u64;
+        // SplitMix64 finalizer: spreads pid/time bits over the whole word.
+        let mut z = pid.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(now);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    })
+}
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+fn next_trace_id() -> u64 {
+    let n = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+    // Golden-ratio stride keeps sequential traces far apart in id space.
+    let id = process_seed() ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+fn next_span_id() -> u64 {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<TraceCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The context active on this thread, if any: the innermost entered span.
+pub fn current() -> Option<TraceCtx> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// A context for the next span: a child of the active one, or a fresh root
+/// when nothing is active on this thread.
+pub fn next_ctx() -> TraceCtx {
+    match current() {
+        Some(parent) => parent.child(),
+        None => TraceCtx::root(),
+    }
+}
+
+/// Makes `ctx` the active context on this thread until the returned guard
+/// drops. This is the cross-thread propagation primitive: capture a
+/// [`TraceCtx`] before spawning, `enter` it inside the worker.
+pub fn enter(ctx: TraceCtx) -> EnterGuard {
+    STACK.with(|s| s.borrow_mut().push(ctx));
+    EnterGuard { ctx }
+}
+
+/// Reverts [`enter`] on drop. Guards must drop in LIFO order (the natural
+/// scope order); a mismatched drop pops the mismatched tail.
+pub struct EnterGuard {
+    ctx: TraceCtx,
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|c| c == &self.ctx) {
+                stack.truncate(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_then_child_then_pop() {
+        assert_eq!(current(), None);
+        let root = TraceCtx::root();
+        assert_eq!(root.parent_id, 0);
+        let g1 = enter(root);
+        assert_eq!(current(), Some(root));
+        let child = next_ctx();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_id, root.span_id);
+        assert_ne!(child.span_id, root.span_id);
+        let g2 = enter(child);
+        assert_eq!(current(), Some(child));
+        drop(g2);
+        assert_eq!(current(), Some(root));
+        drop(g1);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn next_ctx_without_active_span_is_root() {
+        let ctx = next_ctx();
+        assert_eq!(ctx.parent_id, 0);
+        let other = next_ctx();
+        assert_ne!(ctx.trace_id, other.trace_id, "each root mints a new trace");
+    }
+
+    #[test]
+    fn ids_roundtrip_hex() {
+        for id in [1u64, 0xdead_beef, u64::MAX] {
+            let s = TraceCtx::format_id(id);
+            assert_eq!(s.len(), 16);
+            assert_eq!(TraceCtx::parse_id(&s), Some(id));
+        }
+        assert_eq!(TraceCtx::parse_id(""), None);
+        assert_eq!(TraceCtx::parse_id("zz"), None);
+    }
+
+    #[test]
+    fn mismatched_guard_drop_truncates() {
+        let a = TraceCtx::root();
+        let b = TraceCtx::root();
+        let ga = enter(a);
+        let gb = enter(b);
+        drop(ga); // wrong order: pops both a and the tail above it
+        assert_eq!(current(), None);
+        drop(gb); // already gone; must not panic
+        assert_eq!(current(), None);
+    }
+}

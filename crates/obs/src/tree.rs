@@ -1,0 +1,320 @@
+//! Span-forest reconstruction and rendering: turns the flat JSONL event
+//! stream back into per-trace trees and renders them as the indented
+//! `obs trace-view` listing, with total/self wall time per span and the
+//! hottest root-to-leaf path flagged.
+
+use crate::trace::TraceCtx;
+use crate::validate::ParsedEvent;
+use std::collections::BTreeMap;
+
+/// One span in a reconstructed trace tree.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Span name (`mine.job`, `mapreduce.map_task`, ...).
+    pub name: String,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (0 for the root).
+    pub parent_id: u64,
+    /// Emission timestamp (span *end*, since spans emit on drop).
+    pub ts_us: u64,
+    /// Total wall time of the span.
+    pub dur_us: u64,
+    /// Child indices into [`Trace::nodes`].
+    pub children: Vec<usize>,
+}
+
+/// One trace: every span that shared a `trace_id`, linked into a tree.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The shared trace id.
+    pub trace_id: u64,
+    /// All spans, in emission order. Tree edges are index-based.
+    pub nodes: Vec<SpanNode>,
+    /// Indices of parentless spans (exactly one for a valid stream).
+    pub roots: Vec<usize>,
+}
+
+impl Trace {
+    /// Wall time not covered by a span's children. Saturates at zero:
+    /// parallel children (e.g. map tasks under a phase span) can sum past
+    /// their parent.
+    pub fn self_us(&self, node: usize) -> u64 {
+        let n = &self.nodes[node];
+        let children: u64 = n.children.iter().map(|&c| self.nodes[c].dur_us).sum();
+        n.dur_us.saturating_sub(children)
+    }
+
+    /// The root-to-leaf path that follows the longest-duration child at
+    /// every step — where the wall clock actually went.
+    pub fn hottest_path(&self) -> Vec<usize> {
+        let Some(&start) = self.roots.iter().max_by_key(|&&r| self.nodes[r].dur_us) else {
+            return Vec::new();
+        };
+        let mut path = vec![start];
+        let mut at = start;
+        while let Some(&next) = self.nodes[at]
+            .children
+            .iter()
+            .max_by_key(|&&c| self.nodes[c].dur_us)
+        {
+            path.push(next);
+            at = next;
+        }
+        path
+    }
+}
+
+/// Groups span events by trace and links parents to children. Traces are
+/// returned in first-appearance order; within a trace, children are
+/// ordered by timestamp (ties by emission order). Spans whose parent is
+/// missing from the stream are kept as extra roots rather than dropped,
+/// so the renderer still shows everything on a malformed stream.
+pub fn build_forest(events: &[ParsedEvent]) -> Vec<Trace> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut traces: BTreeMap<u64, Trace> = BTreeMap::new();
+    for event in events {
+        let (Some(ctx), "span") = (event.ctx, event.event.as_str()) else {
+            continue;
+        };
+        let trace = traces.entry(ctx.trace_id).or_insert_with(|| {
+            order.push(ctx.trace_id);
+            Trace {
+                trace_id: ctx.trace_id,
+                nodes: Vec::new(),
+                roots: Vec::new(),
+            }
+        });
+        trace.nodes.push(SpanNode {
+            name: event.name.clone(),
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+            ts_us: event.ts_us,
+            dur_us: event.dur_us.unwrap_or(0),
+            children: Vec::new(),
+        });
+    }
+    for trace in traces.values_mut() {
+        let by_id: BTreeMap<u64, usize> = trace
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.span_id, i))
+            .collect();
+        for i in 0..trace.nodes.len() {
+            let parent_id = trace.nodes[i].parent_id;
+            match by_id.get(&parent_id).copied() {
+                Some(p) if parent_id != 0 && p != i => trace.nodes[p].children.push(i),
+                _ => trace.roots.push(i),
+            }
+        }
+        let keys: Vec<(u64, u64)> = trace.nodes.iter().map(|n| (n.ts_us, n.span_id)).collect();
+        for node in 0..trace.nodes.len() {
+            trace.nodes[node].children.sort_by_key(|&c| keys[c]);
+        }
+        trace.roots.sort_by_key(|&r| keys[r]);
+    }
+    order
+        .into_iter()
+        .map(|id| traces.remove(&id).expect("trace"))
+        .collect()
+}
+
+/// Renders `µs` as a human-scaled duration, right-aligned to 10 columns.
+fn fmt_us(us: u64) -> String {
+    let text = if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    };
+    format!("{text:>10}")
+}
+
+/// Renders one trace as an indented tree:
+///
+/// ```text
+/// trace 4be1… · 4 spans · root mine.job
+/// mine.job                                total   152.30ms  self     1.20ms  ◆
+/// └─ mapreduce.job                        total   130.00ms  self    10.00ms  ◆
+///    ├─ mapreduce.map                     total    80.00ms  self    80.00ms  ◆
+///    └─ mapreduce.reduce                  total    40.00ms  self    40.00ms
+/// ```
+///
+/// `◆` flags the hottest path (see [`Trace::hottest_path`]).
+pub fn render_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    let root_name = trace
+        .roots
+        .first()
+        .map(|&r| trace.nodes[r].name.as_str())
+        .unwrap_or("<empty>");
+    out.push_str(&format!(
+        "trace {} · {} spans · root {}\n",
+        TraceCtx::format_id(trace.trace_id),
+        trace.nodes.len(),
+        root_name,
+    ));
+    let hot: Vec<bool> = {
+        let mut hot = vec![false; trace.nodes.len()];
+        for i in trace.hottest_path() {
+            hot[i] = true;
+        }
+        hot
+    };
+    for (i, &root) in trace.roots.iter().enumerate() {
+        if i > 0 {
+            out.push_str("(extra root — malformed stream?)\n");
+        }
+        render_node(trace, root, "", "", &hot, &mut out);
+    }
+    out
+}
+
+fn render_node(
+    trace: &Trace,
+    node: usize,
+    lead: &str,
+    child_lead: &str,
+    hot: &[bool],
+    out: &mut String,
+) {
+    let n = &trace.nodes[node];
+    let label = format!("{lead}{}", n.name);
+    out.push_str(&format!(
+        "{label:<40} total {}  self {}{}\n",
+        fmt_us(n.dur_us),
+        fmt_us(trace.self_us(node)),
+        if hot[node] { "  ◆" } else { "" },
+    ));
+    for (i, &child) in n.children.iter().enumerate() {
+        let last = i + 1 == n.children.len();
+        let (branch, cont) = if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
+        render_node(
+            trace,
+            child,
+            &format!("{child_lead}{branch}"),
+            &format!("{child_lead}{cont}"),
+            hot,
+            out,
+        );
+    }
+}
+
+/// Renders every trace in `traces`, largest (most spans) first, separated
+/// by blank lines. `limit` caps how many traces are rendered (0 = all).
+pub fn render_forest(traces: &[Trace], limit: usize) -> String {
+    let mut order: Vec<&Trace> = traces.iter().collect();
+    order.sort_by_key(|t| std::cmp::Reverse(t.nodes.len()));
+    if limit > 0 {
+        order.truncate(limit);
+    }
+    let mut out = String::new();
+    for (i, trace) in order.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render_trace(trace));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, trace: u64, id: u64, parent: u64, ts: u64, dur: u64) -> ParsedEvent {
+        ParsedEvent {
+            event: "span".to_string(),
+            name: name.to_string(),
+            ts_us: ts,
+            dur_us: Some(dur),
+            ctx: Some(TraceCtx {
+                trace_id: trace,
+                span_id: id,
+                parent_id: parent,
+            }),
+        }
+    }
+
+    fn sample() -> Vec<ParsedEvent> {
+        vec![
+            span("map", 7, 2, 1, 10, 80),
+            span("reduce", 7, 3, 1, 20, 40),
+            span("job", 7, 1, 0, 30, 150),
+            // A second, smaller trace.
+            span("seal", 9, 4, 0, 40, 5),
+        ]
+    }
+
+    #[test]
+    fn builds_linked_forest_with_self_times() {
+        let forest = build_forest(&sample());
+        assert_eq!(forest.len(), 2);
+        let t = &forest[0];
+        assert_eq!(t.trace_id, 7);
+        assert_eq!(t.roots.len(), 1);
+        let root = t.roots[0];
+        assert_eq!(t.nodes[root].name, "job");
+        assert_eq!(t.nodes[root].children.len(), 2);
+        assert_eq!(t.self_us(root), 150 - 80 - 40);
+        // Children ordered by timestamp: map before reduce.
+        let first = t.nodes[root].children[0];
+        assert_eq!(t.nodes[first].name, "map");
+        // Hottest path descends into map.
+        let hot: Vec<&str> = t
+            .hottest_path()
+            .into_iter()
+            .map(|i| t.nodes[i].name.as_str())
+            .collect();
+        assert_eq!(hot, ["job", "map"]);
+    }
+
+    #[test]
+    fn self_time_saturates_for_parallel_children() {
+        let events = vec![
+            span("a", 1, 2, 1, 10, 60),
+            span("b", 1, 3, 1, 10, 60),
+            span("phase", 1, 1, 0, 20, 70), // children overlap: 120 > 70
+        ];
+        let t = &build_forest(&events)[0];
+        assert_eq!(t.self_us(t.roots[0]), 0);
+    }
+
+    #[test]
+    fn renders_tree_shape_and_flags_hot_path() {
+        let forest = build_forest(&sample());
+        let text = render_trace(&forest[0]);
+        assert!(text.contains("· 3 spans · root job"), "{text}");
+        assert!(text.contains("├─ map"), "{text}");
+        assert!(text.contains("└─ reduce"), "{text}");
+        // job and map are on the hottest path; reduce is not.
+        let hot_lines: Vec<&str> = text.lines().filter(|l| l.ends_with('◆')).collect();
+        assert_eq!(hot_lines.len(), 2, "{text}");
+        assert!(hot_lines.iter().any(|l| l.contains("job")));
+        assert!(hot_lines.iter().any(|l| l.contains("map")));
+        // Forest rendering puts the bigger trace first and respects limit.
+        let all = render_forest(&forest, 0);
+        assert!(all.contains("root job") && all.contains("root seal"));
+        let top = render_forest(&forest, 1);
+        assert!(top.contains("root job") && !top.contains("root seal"));
+    }
+
+    #[test]
+    fn orphan_spans_become_extra_roots() {
+        let events = vec![
+            span("orphan", 1, 5, 99, 10, 5),
+            span("root", 1, 1, 0, 20, 50),
+        ];
+        let t = &build_forest(&events)[0];
+        assert_eq!(t.roots.len(), 2);
+        let text = render_trace(t);
+        assert!(text.contains("orphan"), "{text}");
+        assert!(text.contains("malformed"), "{text}");
+    }
+}

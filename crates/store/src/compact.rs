@@ -137,9 +137,10 @@ impl CompactionStats {
         self.elapsed += other.elapsed;
     }
 
-    /// Publishes one round's stats to the process-wide registry: additive
-    /// totals under `store.compact.*` plus a `store.compact.round` span
-    /// (duration histogram and, when a sink is installed, a JSONL event).
+    /// Publishes one round's additive totals to the process-wide registry
+    /// under `store.compact.*`. The round's wall time is covered by the
+    /// `store.compact.round` span that [`execute`] holds open, so only the
+    /// counters live here.
     fn publish(&self) {
         let obs = lash_obs::global();
         obs.counter("store.compact.rounds").add(self.rounds as u64);
@@ -151,14 +152,6 @@ impl CompactionStats {
             .add(self.payload_bytes_out);
         obs.counter("store.compact.blocks_in").add(self.blocks_in);
         obs.counter("store.compact.blocks_out").add(self.blocks_out);
-        obs.observe_span(
-            "store.compact.round",
-            self.elapsed,
-            &[
-                ("generations_merged", self.generations_merged.into()),
-                ("generations_after", self.generations_after.into()),
-            ],
-        );
     }
 }
 
@@ -212,7 +205,13 @@ pub fn compact_once(
     let Some(plan) = plan(&manifest, config) else {
         return Ok(None);
     };
-    execute(dir, &manifest, &vocab, &plan, config).map(Some)
+    match execute(dir, &manifest, &vocab, &plan, config) {
+        Ok(stats) => Ok(Some(stats)),
+        Err(e) => {
+            lash_obs::flight::record_error("store.compact", &e.to_string());
+            Err(e)
+        }
+    }
 }
 
 /// Runs compaction rounds until the corpus holds at most
@@ -256,6 +255,13 @@ fn execute(
             "compaction plan is stale: generation ids moved under it".into(),
         ));
     }
+    // One round = one span. Roots its own trace when compaction is the
+    // top-level operation; nests when a caller already holds a span.
+    let _round_span = lash_obs::span!(
+        "store.compact.round",
+        generations_merged = plan.len,
+        generations_after = n - plan.len + 1,
+    );
 
     // Re-encode with the current codec: merging v2/v3 generations produces
     // a v4 generation, so compaction migrates old corpora as it compacts.

@@ -428,15 +428,29 @@ impl IncrementalWriter {
     /// When [`COMPACT_EVERY_ENV`] is set, the compactor then runs until the
     /// corpus holds at most that many generations.
     pub fn finish(mut self) -> Result<Manifest> {
+        let result = self.finish_inner();
+        if let Err(e) = &result {
+            lash_obs::flight::record_error("store.seal", &e.to_string());
+        }
+        result
+    }
+
+    fn finish_inner(&mut self) -> Result<Manifest> {
         let segments = self.segments.take().expect("finish called once");
         if self.next_seq == self.manifest.num_sequences {
             let _ = fs::remove_dir_all(&self.tmp_dir);
             self.sealed = true;
             return Ok(self.manifest.clone());
         }
-        let seal_started = std::time::Instant::now();
         let num_sequences = segments.sequences();
         let total_items = segments.total_items();
+        // One seal = one span. Roots a fresh trace for a bare ingest; the
+        // env-triggered compaction below nests its rounds under it.
+        let _seal_span = lash_obs::span!(
+            "store.seal",
+            generation = self.gen_id,
+            sequences = num_sequences,
+        );
         // Appending v3 segments to a v2 corpus bumps the manifest version
         // (old builds must reject what they cannot read); the version is
         // never downgraded, so mixed-generation corpora stay readable here.
@@ -477,16 +491,9 @@ impl IncrementalWriter {
         );
         write_manifest(&self.dir, &manifest, &self.vocab)?;
 
-        let obs = lash_obs::global();
-        obs.counter("store.ingest.sequences").add(num_sequences);
-        obs.observe_span(
-            "store.seal",
-            seal_started.elapsed(),
-            &[
-                ("generation", self.gen_id.into()),
-                ("sequences", num_sequences.into()),
-            ],
-        );
+        lash_obs::global()
+            .counter("store.ingest.sequences")
+            .add(num_sequences);
 
         if let Some(limit) = compact_every_from_env() {
             let config = CompactionConfig::default().with_max_generations(limit);

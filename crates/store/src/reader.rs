@@ -99,7 +99,9 @@ impl CorpusReader {
     /// misparsed.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let (manifest, vocab) = read_manifest(&dir)?;
+        let (manifest, vocab) = read_manifest(&dir).inspect_err(|e| {
+            lash_obs::flight::record_error("store.open", &e.to_string());
+        })?;
         Ok(CorpusReader {
             dir,
             manifest,
@@ -656,7 +658,11 @@ impl ShardedCorpus for CorpusReader {
         shard: usize,
         f: &mut dyn FnMut(u64, &[ItemId]),
     ) -> lash_core::error::Result<()> {
-        let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
+        let _scan_span = lash_obs::span!("store.scan.shard", shard = shard);
+        let engine = |e: StoreError| {
+            lash_obs::flight::record_error("store.scan", &e.to_string());
+            CoreError::Engine(format!("store scan: {e}"))
+        };
         match scan_mode_from_env() {
             ScanMode::Mmap => self
                 .scan_shard_mapped_inner(shard, None, ScanSpace::Items, f)
@@ -678,7 +684,11 @@ impl ShardedCorpus for CorpusReader {
         if !self.manifest.sketches {
             return ShardedCorpus::scan_shard(self, shard, f);
         }
-        let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
+        let _scan_span = lash_obs::span!("store.scan.shard", shard = shard, pruned = true);
+        let engine = |e: StoreError| {
+            lash_obs::flight::record_error("store.scan", &e.to_string());
+            CoreError::Engine(format!("store scan: {e}"))
+        };
         let relevant_item = relevance_table(self.vocab.len() as u32, relevant);
         // The sketch lists every item of the block's G1 closures, so a block
         // with no relevant sketch item holds no relevant sequence.
@@ -705,7 +715,11 @@ impl ShardedCorpus for CorpusReader {
         relevant: &(dyn Fn(ItemId) -> bool + Sync),
         f: &mut dyn FnMut(u64, &[ItemId]),
     ) -> lash_core::error::Result<()> {
-        let engine = |e: StoreError| CoreError::Engine(format!("store scan: {e}"));
+        let _scan_span = lash_obs::span!("store.scan.shard", shard = shard, ranked = true);
+        let engine = |e: StoreError| {
+            lash_obs::flight::record_error("store.scan", &e.to_string());
+            CoreError::Engine(format!("store scan: {e}"))
+        };
         if self.manifest.rank_order.is_none() {
             return Err(CoreError::Engine(
                 "ranked scan requires a rank-ordered (v4) corpus".into(),

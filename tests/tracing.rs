@@ -1,0 +1,101 @@
+//! Acceptance test for end-to-end tracing: a full `mine_sharded` run over
+//! an on-disk corpus must emit a single-rooted span tree per job that
+//! passes the stream validator, spans every layer (driver, MapReduce
+//! phases and tasks, store shard scans, local mining), and accounts for
+//! the run's wall time — per-span self times must sum to the root span's
+//! duration within 5%.
+
+use std::sync::{Arc, Mutex};
+
+use lash::datagen::{TextConfig, TextCorpus, TextHierarchy};
+use lash::obs::{tree, validate, EventSink};
+use lash::store::{CorpusReader, Partitioning, StoreOptions};
+use lash::{GsmParams, Lash, LashConfig};
+
+/// Collects every emitted JSONL line in memory.
+struct CaptureSink(Mutex<Vec<String>>);
+
+impl EventSink for CaptureSink {
+    fn emit(&self, line: &str) {
+        self.0.lock().expect("capture lock").push(line.to_string());
+    }
+}
+
+#[test]
+fn mine_sharded_emits_one_validated_trace_tree() {
+    let (vocab, db) = TextCorpus::generate(&TextConfig {
+        sentences: 400,
+        lemmas: 150,
+        pos_tags: 10,
+        avg_sentence_len: 9.0,
+        zipf_exponent: 1.0,
+        seed: 42,
+    })
+    .dataset(TextHierarchy::LP);
+    let dir = std::env::temp_dir().join(format!("lash-tracing-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = StoreOptions::default().with_partitioning(Partitioning::hash(4));
+    lash::store::convert::write_database(&dir, &vocab, &db, opts).unwrap();
+    let reader = CorpusReader::open(&dir).unwrap();
+
+    // Sequential execution: with one worker, spans nest without overlap,
+    // so self times must tile the root span's duration.
+    let config = LashConfig::new(lash::mapreduce::ClusterConfig::default().with_parallelism(1));
+    let params = GsmParams::new(8, 1, 3).unwrap();
+
+    let sink = Arc::new(CaptureSink(Mutex::new(Vec::new())));
+    let previous = lash::obs::global().set_sink(Some(sink.clone()));
+    let mined = reader.mine(&Lash::new(config), &params);
+    lash::obs::global().set_sink(previous);
+    mined.unwrap();
+
+    let stream = sink.0.lock().expect("capture lock").join("\n");
+    let (events, stats) = validate::validate_str(&stream)
+        .unwrap_or_else(|e| panic!("stream failed validation: {e}\n{stream}"));
+    assert!(stats.spans > 0, "no spans captured");
+
+    // Exactly one trace rooted at the driver's `mine.job` span, holding
+    // spans from every layer it drove.
+    let forest = tree::build_forest(&events);
+    let jobs: Vec<&tree::Trace> = forest
+        .iter()
+        .filter(|t| t.roots.iter().any(|&r| t.nodes[r].name == "mine.job"))
+        .collect();
+    assert_eq!(jobs.len(), 1, "expected exactly one mine.job trace");
+    let job = jobs[0];
+    assert_eq!(job.roots.len(), 1, "mine.job trace must be single-rooted");
+    // (No `mine.flist` span: `CorpusReader::mine` assembles the f-list
+    // from block headers, so the f-list job never runs on this path.)
+    for expected in [
+        "mapreduce.job",
+        "mapreduce.map",
+        "mapreduce.map_task",
+        "mapreduce.reduce",
+        "store.scan.shard",
+        "mine.partition",
+    ] {
+        assert!(
+            job.nodes.iter().any(|n| n.name == expected),
+            "trace is missing a {expected} span:\n{}",
+            tree::render_trace(job)
+        );
+    }
+
+    // Wall-time accounting: self times tile the root duration. Allow 5%
+    // plus a 1ms absolute floor for per-span clock rounding on fast runs.
+    let root = job.roots[0];
+    let root_dur = job.nodes[root].dur_us;
+    let self_sum: u64 = (0..job.nodes.len()).map(|n| job.self_us(n)).sum();
+    let tolerance = root_dur / 20 + 1_000;
+    assert!(
+        self_sum <= root_dur + tolerance && self_sum + tolerance >= root_dur,
+        "self times ({self_sum}µs) do not tile the root span ({root_dur}µs):\n{}",
+        tree::render_trace(job)
+    );
+
+    // The rendered tree flags a hottest path through the run.
+    let rendered = tree::render_trace(job);
+    assert!(rendered.contains('◆'), "no hot path flagged:\n{rendered}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
