@@ -22,7 +22,7 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 
 use lash_bench::experiments::{
-    ablation, compaction, decode, fig4, fig5, fig6, query, scan, tables,
+    ablation, compaction, decode, fig4, fig5, fig6, query, scan, serve, tables,
 };
 use lash_bench::{Datasets, Report};
 
@@ -140,6 +140,14 @@ fn main() {
                     baseline.as_deref(),
                 );
             }
+            "serve" => {
+                bench_ok &= serve::serve(
+                    &mut datasets,
+                    &mut report,
+                    out.as_deref(),
+                    baseline.as_deref(),
+                );
+            }
             other => die(&format!("unknown subcommand {other}; see --help")),
         }
     }
@@ -174,6 +182,7 @@ const ALL: &[&str] = &[
     "decode",
     "query",
     "scan",
+    "serve",
 ];
 
 const HELP: &str = "\
@@ -197,12 +206,14 @@ subcommands:
                                              (writes BENCH_query.json to --out)
   scan                                       shard-scan throughput, mmap vs buffered
                                              (writes BENCH_scan.json to --out)
+  serve                                      daemon saturation over the TCP protocol
+                                             (writes BENCH_serve.json to --out)
   all                                        everything
 
 options:
   --scale F         dataset scale factor (default 1.0, about 20k sequences)
   --out DIR         CSV output directory (default bench_results/)
-  --baseline FILE   compare `decode`/`query`/`scan` against a baseline BENCH_*.json
+  --baseline FILE   compare `decode`/`query`/`scan`/`serve` against a baseline BENCH_*.json
                     and fail on >15% throughput regression (the CI bench gates)
   --no-csv          disable CSV output
 ";

@@ -8,15 +8,16 @@ pub mod fig5;
 pub mod fig6;
 pub mod query;
 pub mod scan;
+pub mod serve;
 pub mod tables;
 
 use lash_core::{GsmParams, Lash, LashConfig, LashResult, SequenceDatabase, Vocabulary};
-use lash_mapreduce::ClusterConfig;
+use lash_mapreduce::EngineConfig;
 
 /// The default cluster configuration for experiments: all host threads, a
 /// fixed number of reduce partitions for run-to-run comparability.
-pub fn cluster() -> ClusterConfig {
-    ClusterConfig::default()
+pub fn cluster() -> EngineConfig {
+    EngineConfig::default()
         .with_reduce_tasks(16)
         .with_split_size(1024)
 }

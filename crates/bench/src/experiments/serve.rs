@@ -1,0 +1,293 @@
+//! Daemon saturation: sustained client query throughput over the framed
+//! TCP protocol while the lifecycle loop ingests, compacts, re-mines and
+//! swaps the index underneath the connections.
+//!
+//! This is the perf-tracking experiment behind CI's
+//! `serve-bench-regression` leg: it writes its measurements to
+//! `BENCH_serve.json` (uploaded as a build artifact) and, when given
+//! `--baseline <json>`, fails the run if serving throughput regressed more
+//! than [`super::REGRESSION_TOLERANCE`] against the checked-in numbers.
+//! To refresh the baseline after an intentional change (or a runner-class
+//! change), copy the artifact over `crates/bench/baselines/BENCH_serve.json`.
+//!
+//! The run has two phases over one booted daemon:
+//!
+//! 1. **Measured saturation.** Client threads pipeline a mixed query
+//!    workload (top-k, enumerate, exact support of discovered patterns,
+//!    hierarchy-aware lookups) with a deep in-flight window, which keeps
+//!    the server's batches full — this is the regime the batching worker
+//!    pool exists for, and its queries/s is the gated `serve_qps` metric.
+//!    The lifecycle is quiescent here on purpose: mining is compute-bound
+//!    and on a small CI runner it starves *everything*, so a qps measured
+//!    under concurrent mining would track the miner's runtime, not the
+//!    serving path under test.
+//! 2. **Survival under refresh.** The same client load keeps running while
+//!    the main thread drives ingest → compact → re-mine → index → swap
+//!    rounds. Nothing is timed; instead every reply must be a success —
+//!    one typed error or torn connection fails the experiment outright,
+//!    which is the "daemon survives saturation with zero failed requests"
+//!    acceptance gate.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use lash_core::{GsmParams, Lash};
+use lash_datagen::TextHierarchy;
+use lash_index::{Query, QueryReply};
+use lash_serve::{Client, Lifecycle, ServeConfig, Server};
+
+use crate::report::{Report, Table};
+use crate::Datasets;
+
+use super::check_baseline;
+
+/// Concurrent client connections in both phases.
+const CLIENTS: usize = 4;
+/// Requests each client keeps in flight; deep enough to fill the server's
+/// default `batch_max` across the client pool.
+const PIPELINE: usize = 32;
+/// Requests per client per measured pass.
+const REQS_PER_CLIENT: usize = 2_500;
+/// Measured passes; the reported qps is the best one (same best-of-N
+/// convention as the query experiment — scheduler noise on a small runner
+/// only ever pushes throughput down).
+const MEASURE_ITERS: usize = 4;
+/// Sequences seeded into the corpus before the server boots.
+const SEED_SEQUENCES: usize = 6_000;
+/// Sequences appended per refresh round.
+const INGEST_CHUNK: usize = 1_000;
+/// Ingest → compact → mine → index → swap rounds driven under load.
+const ROUNDS: usize = 2;
+
+/// Runs the serve experiment; returns `false` when a baseline was given
+/// and throughput regressed beyond tolerance.
+pub fn serve(
+    datasets: &mut Datasets,
+    report: &mut Report,
+    json_out: Option<&Path>,
+    baseline: Option<&Path>,
+) -> bool {
+    let (vocab, db) = datasets.nyt_dataset(TextHierarchy::LP);
+    let needed = SEED_SEQUENCES + ROUNDS * INGEST_CHUNK;
+    assert!(
+        db.len() >= needed,
+        "bench corpus too small: {} < {needed} sequences",
+        db.len()
+    );
+    let seed = db.truncated(SEED_SEQUENCES);
+
+    let corpus_dir = datasets
+        .cache_dir()
+        .join(format!("serve-corpus-{}", std::process::id()));
+    let index_root = datasets
+        .cache_dir()
+        .join(format!("serve-index-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_dir_all(&index_root);
+    lash_store::convert::write_database(
+        &corpus_dir,
+        &vocab,
+        &seed,
+        lash_store::StoreOptions::default(),
+    )
+    .expect("seed the serve corpus");
+
+    let config = ServeConfig::default();
+    let params = GsmParams::new(25, 1, 4).expect("valid params");
+    let mut lifecycle =
+        Lifecycle::bootstrap(&corpus_dir, &index_root, Lash::default(), params, &config)
+            .expect("bootstrap the lifecycle");
+    let server = Server::start(lifecycle.service(), &config).expect("start the server");
+    let addr = server.local_addr();
+
+    // The query mix, discovered from the served index itself so every
+    // probe is answerable: the whole-index ranking, a lexicographic
+    // slice, exact support of real mined patterns, and the
+    // hierarchy-aware walk over one of them.
+    let service = lifecycle.service();
+    let QueryReply::Patterns(top) = service
+        .execute(&Query::TopK {
+            prefix: vec![],
+            k: 20,
+        })
+        .expect("rank the bootstrap index")
+    else {
+        panic!("top-k did not answer with patterns");
+    };
+    assert!(!top.is_empty(), "the bootstrap index must hold patterns");
+    let mut mix: Vec<Query> = vec![
+        Query::TopK {
+            prefix: vec![],
+            k: 10,
+        },
+        Query::Enumerate {
+            prefix: vec![],
+            limit: Some(5),
+        },
+        Query::Generalized {
+            items: top[0].items.clone(),
+        },
+    ];
+    for hit in &top {
+        mix.push(Query::Support {
+            items: hit.items.clone(),
+        });
+    }
+
+    let obs = lash_obs::global();
+    let batches_before = obs.counter("serve.batches").get();
+    let errors_before = obs.counter("serve.error_replies").get();
+    let failed = AtomicU64::new(0);
+
+    // Phase 1 — measured saturation: every client keeps PIPELINE requests
+    // in flight, so the worker pool's batches stay full. The lifecycle is
+    // idle; this times the serving path alone.
+    let requests = (CLIENTS * REQS_PER_CLIENT) as u64;
+    let mut serve_qps = 0f64;
+    for _ in 0..MEASURE_ITERS {
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..CLIENTS {
+                scope.spawn(|| {
+                    let mut client = Client::connect(addr).expect("connect to the daemon");
+                    let mut sent = 0usize;
+                    let mut inflight = 0usize;
+                    while sent < REQS_PER_CLIENT || inflight > 0 {
+                        while inflight < PIPELINE && sent < REQS_PER_CLIENT {
+                            client
+                                .send(&mix[sent % mix.len()])
+                                .expect("send under saturation");
+                            sent += 1;
+                            inflight += 1;
+                        }
+                        let resp = client.recv().expect("recv under saturation");
+                        inflight -= 1;
+                        if let QueryReply::Error(e) = resp.reply {
+                            eprintln!("error: typed error under saturation: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        serve_qps = serve_qps.max(requests as f64 / started.elapsed().as_secs_f64());
+    }
+    let batches = obs.counter("serve.batches").get() - batches_before;
+
+    // Phase 2 — survival: the same client load keeps running while the
+    // lifecycle ingests, compacts, re-mines and swaps underneath it.
+    // Untimed; the contract is simply that nothing fails.
+    let done = AtomicBool::new(false);
+    let survived = AtomicU64::new(0);
+    let mut round_stats = Vec::new();
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("reconnect to the daemon");
+                let mut i = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    match client.query(&mix[i % mix.len()]) {
+                        Ok(QueryReply::Error(e)) => {
+                            eprintln!("error: typed error during refresh: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            survived.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("error: transport error during refresh: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    i += 1;
+                }
+            });
+        }
+        for round in 0..ROUNDS {
+            let from = SEED_SEQUENCES + round * INGEST_CHUNK;
+            let chunk: Vec<&[lash_core::ItemId]> =
+                (from..from + INGEST_CHUNK).map(|i| db.get(i)).collect();
+            lifecycle.ingest(chunk).expect("ingest under load");
+            let stats = lifecycle.refresh().expect("refresh under load");
+            round_stats.push(stats);
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    server.shutdown();
+
+    let failures = failed.load(Ordering::Relaxed);
+    let survived = survived.load(Ordering::Relaxed);
+    let error_replies = obs.counter("serve.error_replies").get() - errors_before;
+    assert_eq!(failures, 0, "saturation clients saw {failures} failures");
+    assert_eq!(
+        error_replies, 0,
+        "the daemon sent {error_replies} error replies to well-formed queries"
+    );
+    assert!(survived > 0, "the refresh phase served no requests");
+
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_dir_all(&index_root);
+
+    let last = round_stats.last().expect("at least one refresh round ran");
+    let mut table = Table::new(
+        "serve",
+        "daemon saturation: queries/s across concurrent refresh rounds",
+        &["metric", "value"],
+    );
+    table.row(vec![
+        "clients × pipeline".into(),
+        format!("{CLIENTS} × {PIPELINE}"),
+    ]);
+    table.row(vec!["measured requests".into(), requests.to_string()]);
+    table.row(vec!["queries/s".into(), format!("{serve_qps:.0}")]);
+    table.row(vec![
+        "requests per batch".into(),
+        format!(
+            "{:.1}",
+            (requests * MEASURE_ITERS as u64) as f64 / (batches.max(1)) as f64
+        ),
+    ]);
+    table.row(vec!["refresh rounds".into(), round_stats.len().to_string()]);
+    table.row(vec![
+        "requests served during refresh".into(),
+        survived.to_string(),
+    ]);
+    table.row(vec![
+        "corpus after rounds".into(),
+        format!("{} sequences", last.sequences),
+    ]);
+    table.row(vec![
+        "patterns after rounds".into(),
+        last.patterns.to_string(),
+    ]);
+    report.add(table);
+
+    let json = format!(
+        "{{\n  \"schema\": \"lash-bench-serve/v1\",\n  \"serve_qps\": {:.0},\n  \
+         \"requests\": {},\n  \"clients\": {},\n  \"refresh_rounds\": {},\n  \
+         \"survived_requests\": {},\n  \"failures\": {}\n}}\n",
+        serve_qps,
+        requests,
+        CLIENTS,
+        round_stats.len(),
+        survived,
+        failures
+    );
+    if let Some(out) = json_out {
+        let _ = std::fs::create_dir_all(out);
+        let path = out.join("BENCH_serve.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    println!("\n{}", lash_obs::global().render_text());
+
+    match baseline {
+        Some(path) => check_baseline(path, &[("serve_qps", serve_qps)]),
+        None => true,
+    }
+}

@@ -12,7 +12,7 @@
 
 use std::sync::Mutex;
 
-use lash_mapreduce::{run_job, ClusterConfig, Emitter, Job, JobMetrics};
+use lash_mapreduce::{run_job, Emitter, EngineConfig, Job, JobMetrics};
 
 use crate::enumeration::g1_items;
 use crate::error::{Error, Result};
@@ -67,7 +67,7 @@ impl Job for FListJob<'_> {
 pub fn compute_flist_distributed(
     db: &SequenceDatabase,
     vocab: &Vocabulary,
-    config: &ClusterConfig,
+    config: &EngineConfig,
 ) -> Result<(FList, JobMetrics)> {
     let _span = lash_obs::span!("mine.flist", sequences = db.len());
     let job = FListJob { db, vocab };
@@ -140,7 +140,7 @@ impl<C: ShardedCorpus> Job for ShardedFListJob<'_, C> {
 pub fn compute_flist_sharded<C: ShardedCorpus>(
     corpus: &C,
     vocab: &Vocabulary,
-    config: &ClusterConfig,
+    config: &EngineConfig,
 ) -> Result<(FList, JobMetrics)> {
     let _span = lash_obs::span!("mine.flist", shards = corpus.num_shards());
     let job = ShardedFListJob {
@@ -179,7 +179,7 @@ mod tests {
     fn sharded_flist_matches_sequential_on_a_database() {
         let (vocab, db) = fig1();
         let sequential = FList::compute(&db, &vocab);
-        let config = ClusterConfig::default().with_reduce_tasks(3);
+        let config = EngineConfig::default().with_reduce_tasks(3);
         let (sharded, metrics) = compute_flist_sharded(&db, &vocab, &config).unwrap();
         assert_eq!(sharded, sequential);
         // The whole database is one shard, hence one map input record.
@@ -191,7 +191,7 @@ mod tests {
         let (vocab, db) = fig1();
         let sequential = FList::compute(&db, &vocab);
         for par in [1, 4] {
-            let config = ClusterConfig::default()
+            let config = EngineConfig::default()
                 .with_parallelism(par)
                 .with_split_size(2)
                 .with_reduce_tasks(3);
@@ -207,7 +207,7 @@ mod tests {
         use lash_mapreduce::{FailurePlan, Phase};
         let (vocab, db) = fig1();
         let sequential = FList::compute(&db, &vocab);
-        let config = ClusterConfig::default()
+        let config = EngineConfig::default()
             .with_split_size(2)
             .with_reduce_tasks(2)
             .with_failures(

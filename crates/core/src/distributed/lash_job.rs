@@ -8,7 +8,7 @@
 
 use std::sync::Mutex;
 
-use lash_mapreduce::{run_job, ClusterConfig, Emitter, Job, JobMetrics};
+use lash_mapreduce::{run_job, Emitter, EngineConfig, Job, JobMetrics};
 
 use crate::context::MiningContext;
 use crate::enumeration::g1_ranks;
@@ -85,7 +85,7 @@ impl MinerKind {
 #[derive(Debug, Clone)]
 pub struct LashConfig {
     /// The MapReduce cluster configuration.
-    pub cluster: ClusterConfig,
+    pub cluster: EngineConfig,
     /// The local miner for the reduce phase.
     pub miner: MinerKind,
     /// How aggressively to rewrite sequences during partitioning (ablation
@@ -100,7 +100,7 @@ pub struct LashConfig {
 impl LashConfig {
     /// The paper's default configuration: full rewrites, aggregation,
     /// PSM+Index.
-    pub fn new(cluster: ClusterConfig) -> Self {
+    pub fn new(cluster: EngineConfig) -> Self {
         LashConfig {
             cluster,
             miner: MinerKind::PsmIndexed,
@@ -139,7 +139,7 @@ impl Default for LashConfig {
     /// The paper's defaults on a default cluster (aggregation on, full
     /// rewrites, PSM+Index).
     fn default() -> Self {
-        Self::new(ClusterConfig::default())
+        Self::new(EngineConfig::default())
     }
 }
 
@@ -643,7 +643,7 @@ mod tests {
     fn end_to_end_reproduces_paper_output() {
         let (vocab, db) = fig1();
         let params = GsmParams::new(2, 1, 3).unwrap();
-        let lash = Lash::new(LashConfig::new(ClusterConfig::default().with_split_size(2)));
+        let lash = Lash::new(LashConfig::new(EngineConfig::default().with_split_size(2)));
         let result = lash.mine(&db, &vocab, &params).unwrap();
         let want = paper_output();
         assert_eq!(
@@ -676,7 +676,7 @@ mod tests {
             MinerKind::PsmIndexed,
         ] {
             let lash = Lash::new(
-                LashConfig::new(ClusterConfig::default().with_split_size(3)).with_miner(miner),
+                LashConfig::new(EngineConfig::default().with_split_size(3)).with_miner(miner),
             );
             let result = lash.mine(&db, &vocab, &params).unwrap();
             assert_eq!(result.pattern_set(), &want, "miner {}", miner.name());
@@ -694,7 +694,7 @@ mod tests {
             RewriteLevel::Full,
         ] {
             let lash = Lash::new(
-                LashConfig::new(ClusterConfig::default().with_split_size(2))
+                LashConfig::new(EngineConfig::default().with_split_size(2))
                     .with_rewrite_level(level),
             );
             let result = lash.mine(&db, &vocab, &params).unwrap();
@@ -706,7 +706,7 @@ mod tests {
     fn full_rewrites_shrink_the_shuffle() {
         let (vocab, db) = fig1();
         let params = GsmParams::new(2, 1, 3).unwrap();
-        let cluster = ClusterConfig::default().with_split_size(2);
+        let cluster = EngineConfig::default().with_split_size(2);
         let bytes = |level: RewriteLevel| {
             Lash::new(LashConfig::new(cluster.clone()).with_rewrite_level(level))
                 .mine(&db, &vocab, &params)
@@ -724,7 +724,7 @@ mod tests {
     fn aggregation_toggle_preserves_output() {
         let (vocab, db) = fig1();
         let params = GsmParams::new(2, 1, 3).unwrap();
-        let cluster = ClusterConfig::default().with_split_size(6);
+        let cluster = EngineConfig::default().with_split_size(6);
         let with_agg = Lash::new(LashConfig::new(cluster.clone()).with_aggregation(true))
             .mine(&db, &vocab, &params)
             .unwrap();
@@ -747,7 +747,7 @@ mod tests {
         let want = paper_output();
         for par in [1, 2, 8] {
             let lash = Lash::new(LashConfig::new(
-                ClusterConfig::default()
+                EngineConfig::default()
                     .with_parallelism(par)
                     .with_split_size(1)
                     .with_reduce_tasks(par * 2),
@@ -765,7 +765,7 @@ mod tests {
             .fail_once(Phase::Map, 0)
             .fail_n_times(Phase::Reduce, 1, 2);
         let lash = Lash::new(LashConfig::new(
-            ClusterConfig::default()
+            EngineConfig::default()
                 .with_split_size(2)
                 .with_reduce_tasks(4)
                 .with_failures(plan),
@@ -784,14 +784,14 @@ mod tests {
     fn sigma_one_mines_everything_consistently() {
         let (vocab, db) = fig1();
         let params = GsmParams::new(1, 0, 2).unwrap();
-        let lash = Lash::new(LashConfig::new(ClusterConfig::default().with_split_size(2)));
+        let lash = Lash::new(LashConfig::new(EngineConfig::default().with_split_size(2)));
         let result = lash.mine(&db, &vocab, &params).unwrap();
         // Ground truth via the naive distributed baseline.
         let ctx = crate::context::MiningContext::build(&db, &vocab, 1);
         let (naive, _) = super::super::naive_job::run_naive(
             &ctx,
             &params,
-            &ClusterConfig::default().with_split_size(2),
+            &EngineConfig::default().with_split_size(2),
         )
         .unwrap();
         assert_eq!(result.pattern_set(), &naive);
@@ -800,7 +800,7 @@ mod tests {
     #[test]
     fn lash_agrees_with_naive_and_semi_naive_baselines() {
         let (vocab, db) = fig1();
-        let cluster = ClusterConfig::default().with_split_size(2);
+        let cluster = EngineConfig::default().with_split_size(2);
         for (sigma, gamma, lambda) in [(2, 1, 3), (2, 0, 3), (3, 1, 4), (2, 2, 2)] {
             let params = GsmParams::new(sigma, gamma, lambda).unwrap();
             let lash = Lash::new(LashConfig::new(cluster.clone()))

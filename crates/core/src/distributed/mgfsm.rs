@@ -13,7 +13,7 @@ use crate::error::Result;
 use crate::params::GsmParams;
 use crate::sequence::SequenceDatabase;
 use crate::vocabulary::Vocabulary;
-use lash_mapreduce::ClusterConfig;
+use lash_mapreduce::EngineConfig;
 
 /// The MG-FSM baseline driver.
 #[derive(Debug, Default)]
@@ -23,7 +23,7 @@ pub struct MgFsm {
 
 impl MgFsm {
     /// Creates MG-FSM on the given cluster (flat mining, BFS local miner).
-    pub fn new(cluster: ClusterConfig) -> Self {
+    pub fn new(cluster: EngineConfig) -> Self {
         MgFsm {
             lash: Lash::new(
                 LashConfig::new(cluster)
@@ -46,7 +46,7 @@ impl MgFsm {
 
 /// "LASH without hierarchies": the same flat pipeline with PSM+Index — the
 /// configuration the paper credits for its 2–5× win over MG-FSM (Sec. 6.3).
-pub fn lash_flat(cluster: ClusterConfig) -> Lash {
+pub fn lash_flat(cluster: EngineConfig) -> Lash {
     Lash::new(
         LashConfig::new(cluster)
             .with_miner(MinerKind::PsmIndexed)
@@ -65,7 +65,7 @@ mod tests {
         // frequent items and the output is {aa:2, ac:2}.
         let (vocab, db) = fig1();
         let params = GsmParams::new(2, 1, 3).unwrap();
-        let mgfsm = MgFsm::new(ClusterConfig::default().with_split_size(2));
+        let mgfsm = MgFsm::new(EngineConfig::default().with_split_size(2));
         let result = mgfsm.mine(&db, &vocab, &params).unwrap();
         let named: Vec<(Vec<String>, u64)> = result
             .patterns()
@@ -85,7 +85,7 @@ mod tests {
     fn mgfsm_and_flat_lash_agree() {
         let (vocab, db) = fig1();
         let params = GsmParams::new(2, 1, 3).unwrap();
-        let cluster = ClusterConfig::default().with_split_size(2);
+        let cluster = EngineConfig::default().with_split_size(2);
         let a = MgFsm::new(cluster.clone())
             .mine(&db, &vocab, &params)
             .unwrap();
@@ -99,7 +99,7 @@ mod tests {
         // same frequency (generalized support can only grow).
         let (vocab, db) = fig1();
         let params = GsmParams::new(2, 1, 3).unwrap();
-        let cluster = ClusterConfig::default().with_split_size(2);
+        let cluster = EngineConfig::default().with_split_size(2);
         let flat = MgFsm::new(cluster.clone())
             .mine(&db, &vocab, &params)
             .unwrap();

@@ -6,7 +6,7 @@
 //! γ = 0 and `O((δ+1)^l)` unconstrained — the exponential blow-up Fig. 4(a,b)
 //! quantifies.
 
-use lash_mapreduce::{run_job, ClusterConfig, Emitter, Job, JobMetrics};
+use lash_mapreduce::{run_job, Emitter, EngineConfig, Job, JobMetrics};
 
 use crate::context::MiningContext;
 use crate::enumeration::enumerate_gl;
@@ -67,7 +67,7 @@ impl Job for NaiveJob<'_> {
 pub fn run_naive(
     ctx: &MiningContext,
     params: &GsmParams,
-    cluster: &ClusterConfig,
+    cluster: &EngineConfig,
 ) -> Result<(PatternSet, JobMetrics)> {
     let job = NaiveJob {
         ctx,
@@ -92,7 +92,7 @@ mod tests {
         let (got, metrics) = run_naive(
             &ctx.ctx,
             &params,
-            &ClusterConfig::default().with_split_size(2),
+            &EngineConfig::default().with_split_size(2),
         )
         .unwrap();
         let want = named_patterns(

@@ -8,7 +8,7 @@
 //! the result is identical to naive — with far fewer emitted candidates when
 //! σ prunes a large part of the vocabulary.
 
-use lash_mapreduce::{run_job, ClusterConfig, Emitter, Job, JobMetrics};
+use lash_mapreduce::{run_job, Emitter, EngineConfig, Job, JobMetrics};
 
 use crate::context::MiningContext;
 use crate::enumeration::enumerate_gl;
@@ -84,7 +84,7 @@ impl Job for SemiNaiveJob<'_> {
 pub fn run_semi_naive(
     ctx: &MiningContext,
     params: &GsmParams,
-    cluster: &ClusterConfig,
+    cluster: &EngineConfig,
 ) -> Result<(PatternSet, JobMetrics)> {
     let job = SemiNaiveJob {
         ctx,
@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn semi_naive_matches_naive_exactly() {
         let ctx = fig2_context();
-        let cluster = ClusterConfig::default().with_split_size(3);
+        let cluster = EngineConfig::default().with_split_size(3);
         for (sigma, gamma, lambda) in [(2, 1, 3), (2, 0, 3), (3, 1, 2), (1, 2, 4)] {
             let params = GsmParams::new(sigma, gamma, lambda).unwrap();
             // The context (and thus the f-list cutoff) depends on σ.

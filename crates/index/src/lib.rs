@@ -99,7 +99,7 @@ pub mod writer;
 
 pub use format::{INDEX_FORMAT_VERSION, MIN_INDEX_FORMAT_VERSION};
 pub use reader::PatternIndexReader;
-pub use service::{PatternHit, Query, QueryReply, QueryService};
+pub use service::{PatternHit, Query, QueryError, QueryReply, QueryService};
 pub use writer::{write_patterns, IndexSummary, PatternIndexWriter};
 
 use std::path::PathBuf;

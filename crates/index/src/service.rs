@@ -100,6 +100,66 @@ pub struct PatternHit {
     pub frequency: u64,
 }
 
+/// A typed, wire-encodable query failure: the stable error surface a
+/// remote client sees instead of a dropped connection. Deliberately
+/// coarser than [`crate::IndexError`] — a client can act on "your request
+/// named an unknown item" or "your envelope was malformed", but a server
+/// I/O error is just `Internal` with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query referenced an item id outside the served vocabulary.
+    UnknownItem(u32),
+    /// The request could not be decoded from its wire envelope (bad tag,
+    /// truncated fields, oversized counts).
+    Malformed(String),
+    /// The client spoke a protocol version this server does not serve.
+    UnsupportedVersion {
+        /// The version the client asked for.
+        requested: u32,
+        /// The version this server serves.
+        serving: u32,
+    },
+    /// The served index failed internally; the message is diagnostic only.
+    Internal(String),
+}
+
+impl QueryError {
+    /// A stable machine-readable kind, mirroring the wire tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryError::UnknownItem(_) => "unknown_item",
+            QueryError::Malformed(_) => "malformed",
+            QueryError::UnsupportedVersion { .. } => "unsupported_version",
+            QueryError::Internal(_) => "internal",
+        }
+    }
+
+    /// Maps a service-side [`crate::IndexError`] onto the client-facing
+    /// surface.
+    pub fn from_index(e: &crate::IndexError) -> QueryError {
+        match e {
+            crate::IndexError::UnknownItem(id) => QueryError::UnknownItem(*id),
+            other => QueryError::Internal(other.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownItem(id) => write!(f, "query names unknown item id {id}"),
+            QueryError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            QueryError::UnsupportedVersion { requested, serving } => write!(
+                f,
+                "unsupported protocol version {requested} (server serves {serving})"
+            ),
+            QueryError::Internal(msg) => write!(f, "internal server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// The answer to a [`Query`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryReply {
@@ -108,6 +168,9 @@ pub enum QueryReply {
     Support(Option<u64>),
     /// Answer to the pattern-list queries, in the query's result order.
     Patterns(Vec<PatternHit>),
+    /// The query failed; the typed error travels back in the reply's place
+    /// so one bad request in a batch does not poison its neighbours.
+    Error(QueryError),
 }
 
 /// A `Send + Sync` serving handle over the current index snapshot.
@@ -178,16 +241,39 @@ impl QueryService {
     /// trace id, and a failing request dumps the flight recorder.
     pub fn execute(&self, query: &Query) -> Result<QueryReply> {
         let _request_span = lash_obs::span!("query.request", kind = query.kind());
-        let result = self.execute_inner(query);
+        let snapshot = self.snapshot();
+        let result = self.execute_on(&snapshot, query);
         if let Err(e) = &result {
             lash_obs::flight::record_error("query.request", &e.to_string());
         }
         result
     }
 
-    fn execute_inner(&self, query: &Query) -> Result<QueryReply> {
-        let started = Instant::now();
+    /// Executes a batch of requests against **one** snapshot, acquired
+    /// once: the daemon's worker threads batch queued requests precisely to
+    /// amortize this acquisition, and a batch is guaranteed a self-
+    /// consistent view even if a swap lands mid-way through it. Failures
+    /// come back per-query as [`QueryReply::Error`], never as a dropped
+    /// batch.
+    pub fn execute_batch(&self, queries: &[Query]) -> Vec<QueryReply> {
         let snapshot = self.snapshot();
+        queries
+            .iter()
+            .map(|query| {
+                let _request_span = lash_obs::span!("query.request", kind = query.kind());
+                match self.execute_on(&snapshot, query) {
+                    Ok(reply) => reply,
+                    Err(e) => {
+                        lash_obs::flight::record_error("query.request", &e.to_string());
+                        QueryReply::Error(QueryError::from_index(&e))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn execute_on(&self, snapshot: &PatternIndexReader, query: &Query) -> Result<QueryReply> {
+        let started = Instant::now();
         let (reply, hist) = match query {
             Query::Support { items } => (
                 QueryReply::Support(snapshot.support(items)?),

@@ -225,10 +225,6 @@ impl EngineConfig {
     }
 }
 
-/// The historical name of [`EngineConfig`], kept so existing call sites and
-/// downstream code keep compiling.
-pub type ClusterConfig = EngineConfig;
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -150,7 +150,7 @@ pub mod shuffle;
 pub mod spill;
 pub mod types;
 
-pub use config::{ClusterConfig, EngineConfig, FailurePlan, Phase, SPILL_THRESHOLD_ENV};
+pub use config::{EngineConfig, FailurePlan, Phase, SPILL_THRESHOLD_ENV};
 pub use counters::{CounterSnapshot, Counters};
 pub use error::EngineError;
 pub use runtime::{run_job, JobMetrics, JobResult};

@@ -1,0 +1,169 @@
+//! The `lash-serve` daemon binary: boots (or adopts) a corpus, serves the
+//! mined pattern index over TCP, and keeps refreshing it — ingest → seal →
+//! rate-limited compaction → re-mine → index → swap — while clients query.
+//!
+//! ```text
+//! lash-serve [--addr HOST:PORT] [--dir PATH] [--rounds N] [--once]
+//! ```
+//!
+//! - `--addr`: bind address (default `127.0.0.1:0`; the chosen address is
+//!   printed as `listening on <addr>` so scripts can scrape it).
+//! - `--dir`: working directory holding `corpus/` and `index/` (default: a
+//!   fresh temp directory). A missing corpus is seeded with a small
+//!   deterministic demo dataset.
+//! - `--rounds`: lifecycle rounds to drive before settling into
+//!   serve-only mode (default 3).
+//! - `--once`: exit after the first client connection closes (and the
+//!   rounds are done) — the CI smoke mode.
+
+use std::time::Duration;
+
+use lash_core::{GsmParams, ItemId, Lash, Vocabulary, VocabularyBuilder};
+use lash_serve::{Lifecycle, ServeConfig, Server};
+use lash_store::{CorpusWriter, StoreOptions};
+
+struct Args {
+    addr: String,
+    dir: std::path::PathBuf,
+    rounds: u64,
+    once: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        dir: std::env::temp_dir().join(format!("lash-serve-{}", std::process::id())),
+        rounds: 3,
+        once: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => args.addr = it.next().ok_or("--addr needs a value")?,
+            "--dir" => args.dir = it.next().ok_or("--dir needs a value")?.into(),
+            "--rounds" => {
+                args.rounds = it
+                    .next()
+                    .ok_or("--rounds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?
+            }
+            "--once" => args.once = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The demo vocabulary: a tiny two-level product hierarchy, enough for the
+/// generalized queries to have something to generalize to.
+fn demo_vocab() -> (Vocabulary, Vec<ItemId>) {
+    let mut vb = VocabularyBuilder::new();
+    let mut leaves = Vec::new();
+    for cat in ["food", "tools", "media"] {
+        let parent = vb.intern(cat);
+        for i in 0..5 {
+            leaves.push(vb.child(&format!("{cat}-{i}"), parent));
+        }
+    }
+    (vb.finish().expect("demo vocabulary"), leaves)
+}
+
+/// Deterministic demo sequences from a splitmix-style generator: no RNG
+/// dependency, same corpus every run.
+fn demo_sequences(leaves: &[ItemId], count: usize, salt: u64) -> Vec<Vec<ItemId>> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_add(salt);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| {
+            let len = 2 + (next() % 5) as usize;
+            (0..len)
+                .map(|_| leaves[(next() % leaves.len() as u64) as usize])
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lash-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("lash-serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let corpus_dir = args.dir.join("corpus");
+    let index_root = args.dir.join("index");
+    let (vocab, leaves) = demo_vocab();
+    // A path probe, not an open probe: a failed open would dump the obs
+    // flight recorder into the event log the smoke harness validates.
+    if !corpus_dir.join(lash_store::format::MANIFEST_FILE).exists() {
+        std::fs::create_dir_all(&args.dir)?;
+        let _ = std::fs::remove_dir_all(&corpus_dir);
+        let mut writer = CorpusWriter::create(&corpus_dir, &vocab, StoreOptions::default())?;
+        for seq in demo_sequences(&leaves, 2_000, 0) {
+            writer.append(&seq)?;
+        }
+        writer.finish()?;
+        eprintln!("seeded demo corpus at {}", corpus_dir.display());
+    }
+
+    let config = ServeConfig::default().with_addr(args.addr.clone());
+    let params = GsmParams::new(5, 1, 4)?;
+    let mut lifecycle =
+        Lifecycle::bootstrap(&corpus_dir, &index_root, Lash::default(), params, &config)?;
+    let server = Server::start(lifecycle.service(), &config)?;
+    // The scrape-able line scripts and the smoke test wait for.
+    println!("listening on {}", server.local_addr());
+
+    let disconnects = lash_obs::global().counter("serve.disconnects");
+    for round in 1..=args.rounds {
+        let batch = demo_sequences(&leaves, 500, round);
+        let refs: Vec<&[ItemId]> = batch.iter().map(Vec::as_slice).collect();
+        lifecycle.ingest(refs)?;
+        let stats = lifecycle.refresh()?;
+        eprintln!(
+            "round {}: {} sequences, {} patterns, compaction {}",
+            stats.round,
+            stats.sequences,
+            stats.patterns,
+            match &stats.compaction {
+                Some(c) => format!(
+                    "merged {} generations ({}ms throttled)",
+                    c.generations_merged,
+                    c.throttle_wait.as_millis()
+                ),
+                None => "skipped".to_string(),
+            }
+        );
+        if args.once && disconnects.get() > 0 {
+            break;
+        }
+    }
+    if args.once {
+        // Serve until the first client has come and gone, then exit so the
+        // smoke harness gets a clean process exit.
+        while disconnects.get() == 0 {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown();
+        return Ok(());
+    }
+    eprintln!("serving; ctrl-c to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,105 @@
+//! A minimal blocking client for the daemon protocol: handshake, send
+//! framed requests, read framed responses. One [`Client`] is one
+//! connection; it is deliberately not thread-safe (clone connections, not
+//! clients) — the examples, the saturation bench, and the tests all drive
+//! one client per thread.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use lash_encoding::frame::{self, FrameChecksum};
+use lash_index::{Query, QueryError, QueryReply};
+
+use crate::proto::{self, Request, Response, MAGIC, PROTOCOL_VERSION};
+
+/// A connected, handshaken client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    scratch: Vec<u8>,
+    next_id: u64,
+}
+
+fn io_invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+impl Client {
+    /// Connects and performs the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        // Request/response frames are small; leaving Nagle on couples the
+        // send side to the peer's delayed ACKs and caps a pipelined client
+        // at ~25 batches/s regardless of how fast the server answers.
+        stream.set_nodelay(true)?;
+        let mut hello = [0u8; 5];
+        hello[..4].copy_from_slice(&MAGIC);
+        hello[4] = PROTOCOL_VERSION;
+        stream.write_all(&hello)?;
+        let mut ack = [0u8; 1];
+        stream.read_exact(&mut ack)?;
+        if ack[0] != PROTOCOL_VERSION {
+            return Err(io_invalid(format!(
+                "server answered handshake with version {}, client speaks {}",
+                ack[0], PROTOCOL_VERSION
+            )));
+        }
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            scratch: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Sends a request without waiting for its reply (pipelining). Returns
+    /// the id the eventual [`Response`] will carry.
+    pub fn send(&mut self, query: &Query) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request::new(id, query.clone());
+        proto::encode_request(&req, &mut self.scratch);
+        frame::write_frame(&self.scratch, &mut self.stream)?;
+        Ok(id)
+    }
+
+    /// Reads the next response off the wire, in server order.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        match frame::read_frame_into(&mut self.stream, &mut self.buf, FrameChecksum::Fnv1a)? {
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Some(len) => proto::decode_response(&self.buf[..len])
+                .map_err(|e| io_invalid(format!("undecodable response: {e}"))),
+        }
+    }
+
+    /// Sends one query and waits for its reply — the simple call shape.
+    /// Protocol-level failures come back as `Ok(QueryReply::Error(..))`;
+    /// only transport failures are `Err`.
+    pub fn query(&mut self, query: &Query) -> std::io::Result<QueryReply> {
+        let id = self.send(query)?;
+        let resp = self.recv()?;
+        if resp.id != id && !matches!(resp.reply, QueryReply::Error(_)) {
+            return Err(io_invalid(format!(
+                "response id {} does not match request id {id}",
+                resp.id
+            )));
+        }
+        Ok(resp.reply)
+    }
+
+    /// Like [`Client::query`], but flattens protocol errors into
+    /// [`QueryError`] for callers that want one error channel.
+    pub fn query_checked(
+        &mut self,
+        query: &Query,
+    ) -> std::io::Result<std::result::Result<QueryReply, QueryError>> {
+        Ok(match self.query(query)? {
+            QueryReply::Error(e) => Err(e),
+            reply => Ok(reply),
+        })
+    }
+}

@@ -1,0 +1,167 @@
+//! The daemon's refresh half: one [`Lifecycle`] owns a corpus directory
+//! and an index root, and drives ingest → seal → compact → mine → index →
+//! [`QueryService::swap`] rounds while the [`crate::Server`] answers
+//! queries against whatever snapshot is current.
+//!
+//! The interlock with the store layer is what makes this safe to run
+//! *beside* serving:
+//!
+//! - Compaction is **snapshot-safe**: any `CorpusReader` opened by a miner
+//!   (or anyone else) pins its generation set; compaction defers deleting
+//!   replaced directories until the last pin drops.
+//! - Compaction is **rate-limited**: the round's merge I/O is capped at
+//!   [`crate::ServeConfig::compaction_bytes_per_sec`], so a background
+//!   merge cannot starve the serving threads.
+//! - Index swap is **atomic**: in-flight batches finish on the snapshot
+//!   they started with; the replaced index directory is deleted
+//!   immediately (a [`lash_index::PatternIndexReader`] loads fully into
+//!   memory at open, so live snapshots never touch its files again).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use lash_core::{GsmParams, ItemId, Lash};
+use lash_index::{PatternIndexReader, QueryService};
+use lash_store::compact::{self, CompactionConfig, CompactionStats};
+use lash_store::{CorpusReader, IncrementalWriter};
+
+use crate::{Result, ServeConfig};
+
+/// What one [`Lifecycle::refresh`] round did.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshStats {
+    /// The round number (bootstrap is round 0).
+    pub round: u64,
+    /// Sequences in the corpus snapshot that was mined.
+    pub sequences: u64,
+    /// Patterns mined and indexed.
+    pub patterns: u64,
+    /// What compaction did this round, when it ran.
+    pub compaction: Option<CompactionStats>,
+}
+
+/// Drives the ingest → compact → mine → index → swap loop for one corpus.
+pub struct Lifecycle {
+    corpus_dir: PathBuf,
+    index_root: PathBuf,
+    service: Arc<QueryService>,
+    lash: Lash,
+    params: GsmParams,
+    compaction: CompactionConfig,
+    round: u64,
+    live_index: PathBuf,
+}
+
+impl Lifecycle {
+    /// Mines the existing corpus at `corpus_dir` once, lays the result out
+    /// as `index_root/index-0`, and wraps it in a fresh [`QueryService`].
+    pub fn bootstrap(
+        corpus_dir: impl AsRef<Path>,
+        index_root: impl AsRef<Path>,
+        lash: Lash,
+        params: GsmParams,
+        config: &ServeConfig,
+    ) -> Result<Lifecycle> {
+        let corpus_dir = corpus_dir.as_ref().to_path_buf();
+        let index_root = index_root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&index_root)?;
+        let compaction =
+            CompactionConfig::default().with_merge_rate_limit(config.compaction_bytes_per_sec);
+        let (live_index, _, _) = mine_and_index(&corpus_dir, &index_root, &lash, &params, 0)?;
+        let service = Arc::new(QueryService::new(PatternIndexReader::open(&live_index)?));
+        Ok(Lifecycle {
+            corpus_dir,
+            index_root,
+            service,
+            lash,
+            params,
+            compaction,
+            round: 0,
+            live_index,
+        })
+    }
+
+    /// The serving handle — hand this to [`crate::Server::start`]. Swaps
+    /// performed by [`Lifecycle::refresh`] are visible to every holder.
+    pub fn service(&self) -> Arc<QueryService> {
+        Arc::clone(&self.service)
+    }
+
+    /// The corpus directory this lifecycle ingests into.
+    pub fn corpus_dir(&self) -> &Path {
+        &self.corpus_dir
+    }
+
+    /// Appends `sequences` as one sealed generation. Returns how many were
+    /// written.
+    pub fn ingest<'a>(&mut self, sequences: impl IntoIterator<Item = &'a [ItemId]>) -> Result<u64> {
+        let mut writer = IncrementalWriter::open(&self.corpus_dir)?;
+        let mut appended = 0u64;
+        for seq in sequences {
+            writer.append(seq)?;
+            appended += 1;
+        }
+        writer.finish()?;
+        Ok(appended)
+    }
+
+    /// One refresh round: compact (rate-limited, snapshot-safe), re-mine,
+    /// write the next index generation, swap it live, delete the replaced
+    /// index directory.
+    pub fn refresh(&mut self) -> Result<RefreshStats> {
+        self.round += 1;
+        let round = self.round;
+        let _span = lash_obs::span!("serve.refresh", round = round);
+
+        let compaction = compact::compact(&self.corpus_dir, &self.compaction)?;
+        let (new_dir, sequences, patterns) = mine_and_index(
+            &self.corpus_dir,
+            &self.index_root,
+            &self.lash,
+            &self.params,
+            round,
+        )?;
+        self.service.swap(PatternIndexReader::open(&new_dir)?);
+        // The replaced index loaded fully into memory at open: snapshots
+        // still serving it never re-read its files, so the directory can
+        // go now rather than waiting for the last snapshot to drop.
+        let old = std::mem::replace(&mut self.live_index, new_dir);
+        let _ = std::fs::remove_dir_all(old);
+
+        lash_obs::global().emit_event(
+            "refresh",
+            "serve.refresh",
+            &[
+                ("round", round.into()),
+                ("sequences", sequences.into()),
+                ("patterns", patterns.into()),
+            ],
+        );
+        Ok(RefreshStats {
+            round,
+            sequences,
+            patterns,
+            compaction,
+        })
+    }
+}
+
+/// Mines the corpus and writes `index_root/index-<round>`, replacing any
+/// stale directory of the same name from a crashed earlier run.
+fn mine_and_index(
+    corpus_dir: &Path,
+    index_root: &Path,
+    lash: &Lash,
+    params: &GsmParams,
+    round: u64,
+) -> Result<(PathBuf, u64, u64)> {
+    let reader = CorpusReader::open(corpus_dir)?;
+    let result = reader.mine(lash, params)?;
+    let patterns = result.patterns();
+    let dir = index_root.join(format!("index-{round}"));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    lash_index::write_patterns(&dir, reader.vocabulary(), patterns)?;
+    Ok((dir, reader.len(), patterns.len() as u64))
+}

@@ -1,0 +1,484 @@
+//! The wire protocol: versioned, checksummed request/response envelopes
+//! over a byte stream.
+//!
+//! A connection opens with a 5-byte handshake — the [`MAGIC`] bytes plus
+//! one protocol-version byte — which the server answers with its own
+//! version byte before any frames flow. After the handshake, every message
+//! in either direction is one `lash-encoding` frame (varint length prefix,
+//! payload, FNV-1a checksum trailer — the exact frame layout segment files
+//! use, so corruption detection is shared with the store).
+//!
+//! Frame payloads are **envelopes**:
+//!
+//! ```text
+//! request  := envelope_version:u32v  id:u64v  query
+//! query    := 0x01 items                         (Support)
+//!           | 0x02 items (0x00 | 0x01 limit:u64v) (Enumerate)
+//!           | 0x03 items k:u64v                  (TopK)
+//!           | 0x04 items                         (Generalized)
+//! items    := count:u32v  item:u32v ...
+//!
+//! response := envelope_version:u32v  id:u64v  reply
+//! reply    := 0x01 (0x00 | 0x01 support:u64v)    (Support)
+//!           | 0x02 count:u32v hit ...            (Patterns)
+//!           | 0x03 error                          (Error)
+//! hit      := items  frequency:u64v
+//! error    := 0x01 item:u32v                      (UnknownItem)
+//!           | 0x02 msg                            (Malformed)
+//!           | 0x03 requested:u32v serving:u32v    (UnsupportedVersion)
+//!           | 0x04 msg                            (Internal)
+//! msg      := len:u32v utf8-bytes
+//! ```
+//!
+//! Decoding is **total**: any byte sequence either decodes or fails with a
+//! typed [`QueryError::Malformed`] — never a panic, never unbounded
+//! allocation (every count is validated against the bytes actually
+//! present before reserving). A request whose id was readable before the
+//! rest went bad fails with that id attached, so the server can answer the
+//! right in-flight request with the error.
+
+use lash_encoding::varint;
+use lash_index::{PatternHit, Query, QueryError, QueryReply};
+
+use lash_core::ItemId;
+
+/// The 4 bytes a client leads with; anything else is not this protocol and
+/// the connection is closed without a reply.
+pub const MAGIC: [u8; 4] = *b"LSHQ";
+
+/// The protocol version this build speaks, exchanged in the handshake.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// The envelope version stamped on every request/response payload.
+pub const ENVELOPE_VERSION: u32 = 1;
+
+/// Longest `msg` field accepted when decoding (diagnostic strings only).
+const MAX_MESSAGE_BYTES: usize = 4096;
+
+/// One query on the wire: an id the client correlates the reply by, the
+/// envelope version, and the query itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the [`Response`].
+    pub id: u64,
+    /// Envelope version ([`ENVELOPE_VERSION`] for requests this build
+    /// encodes).
+    pub version: u32,
+    /// The query to execute.
+    pub query: Query,
+}
+
+impl Request {
+    /// A current-version request.
+    pub fn new(id: u64, query: Query) -> Request {
+        Request {
+            id,
+            version: ENVELOPE_VERSION,
+            query,
+        }
+    }
+}
+
+/// One reply on the wire, correlated to its [`Request`] by id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request's id — `0` when the failing request's id was itself
+    /// unreadable.
+    pub id: u64,
+    /// The outcome, errors included ([`QueryReply::Error`]).
+    pub reply: QueryReply,
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn encode_items(items: &[ItemId], buf: &mut Vec<u8>) {
+    varint::encode_u32(items.len() as u32, buf);
+    for item in items {
+        varint::encode_u32(item.as_u32(), buf);
+    }
+}
+
+fn encode_msg(msg: &str, buf: &mut Vec<u8>) {
+    let bytes = &msg.as_bytes()[..msg.len().min(MAX_MESSAGE_BYTES)];
+    varint::encode_u32(bytes.len() as u32, buf);
+    buf.extend_from_slice(bytes);
+}
+
+/// Serializes `req` as a frame payload into `buf` (cleared first).
+pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
+    buf.clear();
+    varint::encode_u32(req.version, buf);
+    varint::encode_u64(req.id, buf);
+    match &req.query {
+        Query::Support { items } => {
+            buf.push(0x01);
+            encode_items(items, buf);
+        }
+        Query::Enumerate { prefix, limit } => {
+            buf.push(0x02);
+            encode_items(prefix, buf);
+            match limit {
+                None => buf.push(0x00),
+                Some(n) => {
+                    buf.push(0x01);
+                    varint::encode_u64(*n as u64, buf);
+                }
+            }
+        }
+        Query::TopK { prefix, k } => {
+            buf.push(0x03);
+            encode_items(prefix, buf);
+            varint::encode_u64(*k as u64, buf);
+        }
+        Query::Generalized { items } => {
+            buf.push(0x04);
+            encode_items(items, buf);
+        }
+    }
+}
+
+/// Serializes `resp` as a frame payload into `buf` (cleared first).
+pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
+    buf.clear();
+    varint::encode_u32(ENVELOPE_VERSION, buf);
+    varint::encode_u64(resp.id, buf);
+    match &resp.reply {
+        QueryReply::Support(support) => {
+            buf.push(0x01);
+            match support {
+                None => buf.push(0x00),
+                Some(f) => {
+                    buf.push(0x01);
+                    varint::encode_u64(*f, buf);
+                }
+            }
+        }
+        QueryReply::Patterns(hits) => {
+            buf.push(0x02);
+            varint::encode_u32(hits.len() as u32, buf);
+            for hit in hits {
+                encode_items(&hit.items, buf);
+                varint::encode_u64(hit.frequency, buf);
+            }
+        }
+        QueryReply::Error(e) => {
+            buf.push(0x03);
+            match e {
+                QueryError::UnknownItem(id) => {
+                    buf.push(0x01);
+                    varint::encode_u32(*id, buf);
+                }
+                QueryError::Malformed(msg) => {
+                    buf.push(0x02);
+                    encode_msg(msg, buf);
+                }
+                QueryError::UnsupportedVersion { requested, serving } => {
+                    buf.push(0x03);
+                    varint::encode_u32(*requested, buf);
+                    varint::encode_u32(*serving, buf);
+                }
+                QueryError::Internal(msg) => {
+                    buf.push(0x04);
+                    encode_msg(msg, buf);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// A bounds-checked cursor over an envelope payload. Every read fails with
+/// a `Malformed` description instead of panicking or over-reading.
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a [u8]) -> Cursor<'a> {
+        Cursor { input, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    fn read_u8(&mut self, what: &str) -> Result<u8, QueryError> {
+        let Some(&b) = self.input.get(self.pos) else {
+            return Err(QueryError::Malformed(format!("truncated before {what}")));
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn read_u32(&mut self, what: &str) -> Result<u32, QueryError> {
+        let (v, n) = varint::decode_u32(&self.input[self.pos..])
+            .map_err(|e| QueryError::Malformed(format!("{what}: {e}")))?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    fn read_u64(&mut self, what: &str) -> Result<u64, QueryError> {
+        let (v, n) = varint::decode_u64(&self.input[self.pos..])
+            .map_err(|e| QueryError::Malformed(format!("{what}: {e}")))?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads a count-prefixed item list. The count is validated against the
+    /// bytes actually present (each item is ≥ 1 byte), so a hostile count
+    /// cannot drive a huge allocation.
+    fn read_items(&mut self, what: &str) -> Result<Vec<ItemId>, QueryError> {
+        let count = self.read_u32(what)? as usize;
+        if count > self.remaining() {
+            return Err(QueryError::Malformed(format!(
+                "{what}: count {count} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            items.push(ItemId::from_u32(self.read_u32(what)?));
+        }
+        Ok(items)
+    }
+
+    fn read_msg(&mut self, what: &str) -> Result<String, QueryError> {
+        let len = self.read_u32(what)? as usize;
+        if len > MAX_MESSAGE_BYTES.min(self.remaining()) {
+            return Err(QueryError::Malformed(format!(
+                "{what}: message length {len} out of bounds"
+            )));
+        }
+        let bytes = &self.input[self.pos..self.pos + len];
+        self.pos += len;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| QueryError::Malformed(format!("{what}: message is not UTF-8")))
+    }
+
+    fn expect_end(&self) -> Result<(), QueryError> {
+        if self.remaining() != 0 {
+            return Err(QueryError::Malformed(format!(
+                "{} trailing bytes after envelope",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a request envelope. On failure the error carries the request id
+/// when it was readable before the bytes went bad (`0` otherwise), so the
+/// server can address its error reply to the right request.
+pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, QueryError)> {
+    let mut c = Cursor::new(payload);
+    let version = c.read_u32("envelope version").map_err(|e| (0, e))?;
+    if version != ENVELOPE_VERSION {
+        return Err((
+            0,
+            QueryError::UnsupportedVersion {
+                requested: version,
+                serving: ENVELOPE_VERSION,
+            },
+        ));
+    }
+    let id = c.read_u64("request id").map_err(|e| (0, e))?;
+    let fail = |e| (id, e);
+    let tag = c.read_u8("query tag").map_err(fail)?;
+    let query = match tag {
+        0x01 => Query::Support {
+            items: c.read_items("support items").map_err(fail)?,
+        },
+        0x02 => {
+            let prefix = c.read_items("enumerate prefix").map_err(fail)?;
+            let limit = match c.read_u8("enumerate limit flag").map_err(fail)? {
+                0x00 => None,
+                0x01 => Some(c.read_u64("enumerate limit").map_err(fail)? as usize),
+                other => {
+                    return Err(fail(QueryError::Malformed(format!(
+                        "enumerate limit flag {other:#04x}"
+                    ))))
+                }
+            };
+            Query::Enumerate { prefix, limit }
+        }
+        0x03 => Query::TopK {
+            prefix: c.read_items("top-k prefix").map_err(fail)?,
+            k: c.read_u64("top-k k").map_err(fail)? as usize,
+        },
+        0x04 => Query::Generalized {
+            items: c.read_items("generalized items").map_err(fail)?,
+        },
+        other => {
+            return Err(fail(QueryError::Malformed(format!(
+                "unknown query tag {other:#04x}"
+            ))))
+        }
+    };
+    c.expect_end().map_err(fail)?;
+    Ok(Request { id, version, query })
+}
+
+/// Decodes a response envelope (the client side of the exchange).
+pub fn decode_response(payload: &[u8]) -> Result<Response, QueryError> {
+    let mut c = Cursor::new(payload);
+    let version = c.read_u32("envelope version")?;
+    if version != ENVELOPE_VERSION {
+        return Err(QueryError::UnsupportedVersion {
+            requested: version,
+            serving: ENVELOPE_VERSION,
+        });
+    }
+    let id = c.read_u64("response id")?;
+    let tag = c.read_u8("reply tag")?;
+    let reply = match tag {
+        0x01 => QueryReply::Support(match c.read_u8("support flag")? {
+            0x00 => None,
+            0x01 => Some(c.read_u64("support value")?),
+            other => return Err(QueryError::Malformed(format!("support flag {other:#04x}"))),
+        }),
+        0x02 => {
+            let count = c.read_u32("pattern count")? as usize;
+            if count > c.remaining() {
+                return Err(QueryError::Malformed(format!(
+                    "pattern count {count} exceeds {} remaining bytes",
+                    c.remaining()
+                )));
+            }
+            let mut hits = Vec::with_capacity(count);
+            for _ in 0..count {
+                let items = c.read_items("pattern items")?;
+                let frequency = c.read_u64("pattern frequency")?;
+                hits.push(PatternHit { items, frequency });
+            }
+            QueryReply::Patterns(hits)
+        }
+        0x03 => QueryReply::Error(match c.read_u8("error code")? {
+            0x01 => QueryError::UnknownItem(c.read_u32("unknown item id")?),
+            0x02 => QueryError::Malformed(c.read_msg("malformed message")?),
+            0x03 => QueryError::UnsupportedVersion {
+                requested: c.read_u32("requested version")?,
+                serving: c.read_u32("serving version")?,
+            },
+            0x04 => QueryError::Internal(c.read_msg("internal message")?),
+            other => {
+                return Err(QueryError::Malformed(format!(
+                    "unknown error code {other:#04x}"
+                )))
+            }
+        }),
+        other => {
+            return Err(QueryError::Malformed(format!(
+                "unknown reply tag {other:#04x}"
+            )))
+        }
+    };
+    c.expect_end()?;
+    Ok(Response { id, reply })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<ItemId> {
+        raw.iter().map(|&v| ItemId::from_u32(v)).collect()
+    }
+
+    #[test]
+    fn request_round_trips_every_query_kind() {
+        let queries = [
+            Query::Support {
+                items: ids(&[3, 1]),
+            },
+            Query::Enumerate {
+                prefix: vec![],
+                limit: None,
+            },
+            Query::Enumerate {
+                prefix: ids(&[7]),
+                limit: Some(10),
+            },
+            Query::TopK {
+                prefix: ids(&[0, 2]),
+                k: 5,
+            },
+            Query::Generalized { items: ids(&[9]) },
+        ];
+        let mut buf = Vec::new();
+        for (i, query) in queries.into_iter().enumerate() {
+            let req = Request::new(i as u64 + 1, query);
+            encode_request(&req, &mut buf);
+            assert_eq!(decode_request(&buf).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips_replies_and_errors() {
+        let replies = [
+            QueryReply::Support(None),
+            QueryReply::Support(Some(42)),
+            QueryReply::Patterns(vec![PatternHit {
+                items: ids(&[1, 2, 3]),
+                frequency: 7,
+            }]),
+            QueryReply::Error(QueryError::UnknownItem(99)),
+            QueryReply::Error(QueryError::Malformed("bad tag".into())),
+            QueryReply::Error(QueryError::UnsupportedVersion {
+                requested: 9,
+                serving: 1,
+            }),
+            QueryReply::Error(QueryError::Internal("index io".into())),
+        ];
+        let mut buf = Vec::new();
+        for (i, reply) in replies.into_iter().enumerate() {
+            let resp = Response {
+                id: i as u64,
+                reply,
+            };
+            encode_response(&resp, &mut buf);
+            assert_eq!(decode_response(&buf).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn hostile_counts_fail_without_allocating() {
+        // Support query claiming u32::MAX items in a 3-byte body.
+        let mut buf = Vec::new();
+        varint::encode_u32(ENVELOPE_VERSION, &mut buf);
+        varint::encode_u64(5, &mut buf);
+        buf.push(0x01);
+        varint::encode_u32(u32::MAX, &mut buf);
+        let (id, err) = decode_request(&buf).unwrap_err();
+        assert_eq!(id, 5, "readable id must survive the failure");
+        assert!(matches!(err, QueryError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut buf = Vec::new();
+        varint::encode_u32(ENVELOPE_VERSION + 7, &mut buf);
+        varint::encode_u64(1, &mut buf);
+        buf.push(0x01);
+        varint::encode_u32(0, &mut buf);
+        let (_, err) = decode_request(&buf).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnsupportedVersion {
+                requested: ENVELOPE_VERSION + 7,
+                serving: ENVELOPE_VERSION,
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode_request(&Request::new(1, Query::Support { items: vec![] }), &mut buf);
+        buf.push(0xFF);
+        let (id, err) = decode_request(&buf).unwrap_err();
+        assert_eq!(id, 1);
+        assert!(matches!(err, QueryError::Malformed(_)));
+    }
+}

@@ -1,0 +1,398 @@
+//! The daemon's serving half: an accept loop, per-connection frame
+//! readers, and a small worker pool that answers **batches** of queued
+//! requests against one index snapshot each.
+//!
+//! Why batches: [`QueryService::execute`] acquires a snapshot per call — a
+//! read-lock plus an `Arc` bump. Under a saturating client load that
+//! acquisition dominates the cheap queries. The workers here drain the
+//! shared queue in gulps (up to [`crate::ServeConfig::batch_max`], waiting
+//! [`crate::ServeConfig::batch_window`] for stragglers after the first
+//! request) and call [`QueryService::execute_batch`], which snapshots
+//! once. A batch is also the unit of swap consistency: every request in it
+//! is answered by the same index generation.
+//!
+//! Failure policy: *envelope* problems (bad tag, hostile count, unknown
+//! version) come back as typed [`QueryReply::Error`] responses and the
+//! connection lives on; *frame* problems (checksum mismatch, truncation)
+//! poison the stream — the reader answers with a best-effort id-0 error
+//! and closes, because after a bad frame the byte stream can no longer be
+//! trusted to re-synchronize.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lash_encoding::frame::{self, FrameChecksum};
+use lash_index::{Query, QueryError, QueryReply, QueryService};
+
+use crate::proto::{self, Response, MAGIC, PROTOCOL_VERSION};
+use crate::{Result, ServeConfig};
+
+/// Registry handles resolved once at startup; the per-request path never
+/// touches the registry's maps.
+struct Metrics {
+    connections: lash_obs::Counter,
+    disconnects: lash_obs::Counter,
+    requests: lash_obs::Counter,
+    responses: lash_obs::Counter,
+    error_replies: lash_obs::Counter,
+    frame_errors: lash_obs::Counter,
+    batches: lash_obs::Counter,
+    batch_size: lash_obs::Histogram,
+    batch_us: lash_obs::Histogram,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let obs = lash_obs::global();
+        Metrics {
+            connections: obs.counter("serve.connections"),
+            disconnects: obs.counter("serve.disconnects"),
+            requests: obs.counter("serve.requests"),
+            responses: obs.counter("serve.responses"),
+            error_replies: obs.counter("serve.error_replies"),
+            frame_errors: obs.counter("serve.frame_errors"),
+            batches: obs.counter("serve.batches"),
+            batch_size: obs.histogram("serve.batch_size"),
+            batch_us: obs.histogram("serve.batch_us"),
+        }
+    }
+}
+
+/// One decoded (or failed-to-decode) request waiting for a worker, plus
+/// the write half it is answered on.
+struct Job {
+    id: u64,
+    query: std::result::Result<Query, QueryError>,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared by the acceptor, connection readers, and workers.
+struct Shared {
+    service: Arc<QueryService>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Clones of every live connection, kept so shutdown can unblock the
+    /// readers parked in `read_frame_into`.
+    conns: Mutex<Vec<TcpStream>>,
+    reader_threads: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Metrics,
+    batch_max: usize,
+    batch_window: Duration,
+}
+
+/// A running daemon: the listener, its worker pool, and every live
+/// connection. Dropping (or calling [`Server::shutdown`]) stops accepting,
+/// unblocks the readers, drains queued requests, and joins every thread.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts serving `service`.
+    pub fn start(service: Arc<QueryService>, config: &ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            reader_threads: Mutex::new(Vec::new()),
+            metrics: Metrics::new(),
+            batch_max: config.batch_max.max(1),
+            batch_window: config.batch_window,
+        });
+        let mut workers = Vec::new();
+        for i in 0..config.effective_workers() {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("lash-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(crate::ServeError::Io)?,
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lash-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(crate::ServeError::Io)?
+        };
+        Ok(Server {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address actually bound (resolves the port when the config asked
+    /// for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the daemon: no new connections, live readers unblocked and
+    /// joined, queued requests answered, workers joined.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with one throwaway connection to ourselves.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        // Unblock every reader parked in a frame read.
+        for conn in self.shared.conns.lock().expect("conns lock").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        self.shared.available.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let readers: Vec<_> = self
+            .shared
+            .reader_threads
+            .lock()
+            .expect("reader threads lock")
+            .drain(..)
+            .collect();
+        for reader in readers {
+            let _ = reader.join();
+        }
+        // Readers are gone, so the queue can only drain now; wake the
+        // workers until every one has observed shutdown + empty queue.
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.metrics.connections.inc();
+        // Response frames are small and latency-sensitive; Nagle would
+        // hold them hostage to the client's delayed ACKs.
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").push(clone);
+        }
+        let shared_for_conn = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("lash-serve-conn".to_string())
+            .spawn(move || {
+                let _ = serve_connection(stream, &shared_for_conn);
+                shared_for_conn.metrics.disconnects.inc();
+            });
+        if let Ok(handle) = handle {
+            shared
+                .reader_threads
+                .lock()
+                .expect("reader threads lock")
+                .push(handle);
+        }
+    }
+}
+
+/// Writes one response frame to a connection's (mutex-guarded) write half.
+fn write_response(out: &Mutex<TcpStream>, resp: &Response, scratch: &mut Vec<u8>) -> bool {
+    proto::encode_response(resp, scratch);
+    let mut stream = out.lock().expect("connection write lock");
+    frame::write_frame(scratch, &mut *stream).is_ok()
+}
+
+/// The per-connection reader: handshake, then frames → decoded jobs.
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    // Handshake: 4 magic bytes + the client's protocol version, answered
+    // with the server's version byte. A magic mismatch is not this
+    // protocol at all — close without bytes. A version mismatch gets a
+    // typed error frame so a future client learns *why* before the close.
+    let mut hello = [0u8; 5];
+    stream.read_exact(&mut hello)?;
+    if hello[..4] != MAGIC {
+        return Ok(());
+    }
+    let out = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut scratch = Vec::new();
+    if hello[4] != PROTOCOL_VERSION {
+        let resp = Response {
+            id: 0,
+            reply: QueryReply::Error(QueryError::UnsupportedVersion {
+                requested: hello[4] as u32,
+                serving: PROTOCOL_VERSION as u32,
+            }),
+        };
+        write_response(&out, &resp, &mut scratch);
+        return Ok(());
+    }
+    stream.write_all(&[PROTOCOL_VERSION])?;
+
+    let mut buf = Vec::new();
+    loop {
+        match frame::read_frame_into(&mut stream, &mut buf, FrameChecksum::Fnv1a) {
+            // Clean EOF between frames: the client hung up.
+            Ok(None) => return Ok(()),
+            Ok(Some(len)) => {
+                let job = match proto::decode_request(&buf[..len]) {
+                    Ok(req) => Job {
+                        id: req.id,
+                        query: Ok(req.query),
+                        out: Arc::clone(&out),
+                    },
+                    Err((id, err)) => Job {
+                        id,
+                        query: Err(err),
+                        out: Arc::clone(&out),
+                    },
+                };
+                shared.metrics.requests.inc();
+                let mut queue = shared.queue.lock().expect("queue lock");
+                queue.push_back(job);
+                drop(queue);
+                shared.available.notify_one();
+            }
+            // A corrupt or truncated frame: the stream cannot be re-synced,
+            // so answer best-effort (the request id is unknowable) and
+            // close. The typed reply is what distinguishes "your bytes were
+            // damaged in transit" from a silent drop.
+            Err(e) => {
+                shared.metrics.frame_errors.inc();
+                lash_obs::flight::record_error("serve.frame", &e.to_string());
+                let resp = Response {
+                    id: 0,
+                    reply: QueryReply::Error(QueryError::Malformed(format!(
+                        "unreadable frame: {e}"
+                    ))),
+                };
+                write_response(&out, &resp, &mut scratch);
+                let _ = stream.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// The batching worker: drain a gulp of jobs, answer them against one
+/// snapshot, write the responses.
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut scratch = Vec::new();
+    loop {
+        let batch = next_batch(shared);
+        if batch.is_empty() {
+            // Only returned empty on shutdown with a drained queue.
+            return;
+        }
+        let started = Instant::now();
+        let _batch_span = lash_obs::span!("serve.batch", size = batch.len());
+
+        // Split the gulp: decodable queries go to the service as one
+        // batch (one snapshot), envelope failures answer directly.
+        let mut queries: Vec<Query> = Vec::with_capacity(batch.len());
+        let mut slots: Vec<usize> = Vec::with_capacity(batch.len());
+        let mut replies: Vec<Option<QueryReply>> = Vec::with_capacity(batch.len());
+        for (i, job) in batch.iter().enumerate() {
+            match &job.query {
+                Ok(query) => {
+                    queries.push(query.clone());
+                    slots.push(i);
+                    replies.push(None);
+                }
+                Err(err) => replies.push(Some(QueryReply::Error(err.clone()))),
+            }
+        }
+        if !queries.is_empty() {
+            for (slot, reply) in slots.iter().zip(shared.service.execute_batch(&queries)) {
+                replies[*slot] = Some(reply);
+            }
+        }
+
+        for (job, reply) in batch.iter().zip(replies) {
+            let reply = reply.expect("every job got a reply");
+            if matches!(reply, QueryReply::Error(_)) {
+                shared.metrics.error_replies.inc();
+            }
+            let resp = Response { id: job.id, reply };
+            if write_response(&job.out, &resp, &mut scratch) {
+                shared.metrics.responses.inc();
+            }
+        }
+        shared.metrics.batches.inc();
+        shared.metrics.batch_size.record(batch.len() as u64);
+        shared.metrics.batch_us.record_duration(started.elapsed());
+    }
+}
+
+/// Blocks for the next gulp of jobs. Returns empty only when the server is
+/// shutting down and the queue is drained.
+fn next_batch(shared: &Shared) -> Vec<Job> {
+    let mut queue = shared.queue.lock().expect("queue lock");
+    loop {
+        if !queue.is_empty() {
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Vec::new();
+        }
+        queue = shared
+            .available
+            .wait_timeout(queue, Duration::from_millis(50))
+            .expect("queue lock")
+            .0;
+    }
+    let mut batch: Vec<Job> = Vec::new();
+    while batch.len() < shared.batch_max {
+        match queue.pop_front() {
+            Some(job) => batch.push(job),
+            None => break,
+        }
+    }
+    // One bounded wait for stragglers: cheap when the load is heavy (the
+    // queue refills before the wait), harmless when idle (one request pays
+    // the window once).
+    if batch.len() < shared.batch_max && !shared.batch_window.is_zero() {
+        queue = shared
+            .available
+            .wait_timeout(queue, shared.batch_window)
+            .expect("queue lock")
+            .0;
+        while batch.len() < shared.batch_max {
+            match queue.pop_front() {
+                Some(job) => batch.push(job),
+                None => break,
+            }
+        }
+    }
+    batch
+}

@@ -1,0 +1,122 @@
+//! Property tests for the wire protocol: decoding is total. Arbitrary
+//! queries round-trip exactly; arbitrary byte soup, truncations, and
+//! single-bit flips of valid envelopes decode to a typed error or a value —
+//! never a panic, never an unbounded allocation.
+
+use lash_core::ItemId;
+use lash_index::{PatternHit, Query, QueryError, QueryReply};
+use lash_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
+use proptest::prelude::*;
+
+fn ids(raw: &[u32]) -> Vec<ItemId> {
+    raw.iter().map(|&v| ItemId::from_u32(v)).collect()
+}
+
+/// Builds one of the four query kinds from flattened fuzz inputs.
+fn query_from(kind: u8, items: &[u32], n: u64, flag: bool) -> Query {
+    match kind % 4 {
+        0 => Query::Support { items: ids(items) },
+        1 => Query::Enumerate {
+            prefix: ids(items),
+            limit: flag.then_some(n as usize),
+        },
+        2 => Query::TopK {
+            prefix: ids(items),
+            k: n as usize,
+        },
+        _ => Query::Generalized { items: ids(items) },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_round_trip(
+        id in any::<u64>(),
+        kind in any::<u8>(),
+        items in prop::collection::vec(any::<u32>(), 0..20),
+        n in any::<u64>(),
+        flag in any::<bool>(),
+    ) {
+        let req = Request::new(id, query_from(kind, &items, n, flag));
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        prop_assert_eq!(decode_request(&buf).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_round_trip(
+        id in any::<u64>(),
+        hits in prop::collection::vec(
+            (prop::collection::vec(any::<u32>(), 1..8), any::<u64>()),
+            0..10,
+        ),
+    ) {
+        let reply = QueryReply::Patterns(
+            hits.iter()
+                .map(|(items, f)| PatternHit { items: ids(items), frequency: *f })
+                .collect(),
+        );
+        let resp = Response { id, reply };
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        prop_assert_eq!(decode_response(&buf).unwrap(), resp);
+    }
+
+    /// Arbitrary bytes never panic the request decoder, and failures are
+    /// typed.
+    #[test]
+    fn byte_soup_decodes_totally(payload in prop::collection::vec(any::<u8>(), 0..200)) {
+        match decode_request(&payload) {
+            Ok(req) => prop_assert_eq!(req.version, lash_serve::ENVELOPE_VERSION),
+            Err((_, e)) => prop_assert!(matches!(
+                e,
+                QueryError::Malformed(_) | QueryError::UnsupportedVersion { .. }
+            )),
+        }
+        // The response decoder is equally total.
+        if let Err(e) = decode_response(&payload) {
+            prop_assert!(matches!(
+                e,
+                QueryError::Malformed(_) | QueryError::UnsupportedVersion { .. }
+            ));
+        }
+    }
+
+    /// Truncating a valid envelope at any point decodes totally (usually a
+    /// typed error; a prefix that happens to be self-delimiting may still
+    /// parse).
+    #[test]
+    fn truncations_decode_totally(
+        id in any::<u64>(),
+        kind in any::<u8>(),
+        items in prop::collection::vec(any::<u32>(), 0..12),
+        cut in any::<u16>(),
+    ) {
+        let req = Request::new(id, query_from(kind, &items, 3, true));
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let cut = cut as usize % (buf.len() + 1);
+        let _ = decode_request(&buf[..cut]);
+    }
+
+    /// Flipping any single bit of a valid envelope decodes totally.
+    #[test]
+    fn bit_flips_decode_totally(
+        id in any::<u64>(),
+        kind in any::<u8>(),
+        items in prop::collection::vec(any::<u32>(), 0..12),
+        byte in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let req = Request::new(id, query_from(kind, &items, 9, false));
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let i = byte as usize % buf.len();
+        buf[i] ^= 1 << bit;
+        let _ = decode_request(&buf);
+    }
+}

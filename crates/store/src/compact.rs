@@ -30,13 +30,15 @@
 
 use std::fs;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::format::{self, GenerationMeta, Manifest};
 use crate::generations::{read_manifest, write_manifest};
 use crate::reader::ShardScan;
 use crate::writer::SegmentSetWriter;
-use crate::{Result, StoreError};
+use crate::{pins, Result, StoreError};
 
 /// Compaction policy knobs.
 #[derive(Debug, Clone)]
@@ -53,6 +55,17 @@ pub struct CompactionConfig {
     /// Target uncompressed payload bytes per re-written block (compaction
     /// re-blocks; the original write-time budget is not persisted).
     pub block_budget: usize,
+    /// Worker threads the round's per-shard merges fan out over; `0` (the
+    /// default) uses one per available core, capped at the shard count.
+    /// Shards never share an output file, so the merged bytes are
+    /// identical at any parallelism.
+    pub merge_parallelism: usize,
+    /// Byte-budget throttle for a merge round: at most this many
+    /// (uncompressed, item-space) bytes are streamed through the merge per
+    /// second, shared across all merge workers. `None` (the default) runs
+    /// unthrottled. A daemon compacting beside serving traffic sets this so
+    /// the round's I/O and decode work cannot starve query threads.
+    pub merge_bytes_per_sec: Option<u64>,
 }
 
 impl Default for CompactionConfig {
@@ -61,6 +74,8 @@ impl Default for CompactionConfig {
             max_generations: 4,
             fan_in: 8,
             block_budget: lash_encoding::frame::DEFAULT_BLOCK_BYTES,
+            merge_parallelism: 0,
+            merge_bytes_per_sec: None,
         }
     }
 }
@@ -82,6 +97,85 @@ impl CompactionConfig {
     pub fn with_block_budget(mut self, bytes: usize) -> Self {
         self.block_budget = bytes.max(1);
         self
+    }
+
+    /// Sets the merge worker-thread count (`0` = one per available core).
+    pub fn with_merge_parallelism(mut self, n: usize) -> Self {
+        self.merge_parallelism = n;
+        self
+    }
+
+    /// Sets (or clears) the merge byte-rate budget in bytes per second
+    /// (clamped to ≥ 1 byte/s when set).
+    pub fn with_merge_rate_limit(mut self, bytes_per_sec: Option<u64>) -> Self {
+        self.merge_bytes_per_sec = bytes_per_sec.map(|b| b.max(1));
+        self
+    }
+
+    /// The effective merge worker count for `num_shards` shards.
+    fn effective_parallelism(&self, num_shards: usize) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let requested = if self.merge_parallelism == 0 {
+            auto
+        } else {
+            self.merge_parallelism
+        };
+        requested.clamp(1, num_shards.max(1))
+    }
+}
+
+/// A token-bucket byte throttle shared by a round's merge workers: each
+/// worker reports the (uncompressed) bytes it just streamed and sleeps
+/// until the round's cumulative rate falls back under the budget. Waits
+/// are capped per call so a burst spreads over several short sleeps and
+/// the round stays responsive to errors on other workers.
+struct MergeThrottle {
+    bytes_per_sec: Option<u64>,
+    state: Mutex<ThrottleState>,
+    waited_us: AtomicU64,
+}
+
+struct ThrottleState {
+    started: Instant,
+    consumed: u64,
+}
+
+impl MergeThrottle {
+    fn new(bytes_per_sec: Option<u64>) -> Self {
+        MergeThrottle {
+            bytes_per_sec,
+            state: Mutex::new(ThrottleState {
+                started: Instant::now(),
+                consumed: 0,
+            }),
+            waited_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `bytes` of merge progress, sleeping when the round is ahead
+    /// of its budget.
+    fn consume(&self, bytes: u64) {
+        let Some(rate) = self.bytes_per_sec else {
+            return;
+        };
+        let wait = {
+            let mut state = self.state.lock().expect("throttle lock");
+            state.consumed += bytes;
+            let budgeted = state.consumed as f64 / rate as f64;
+            let elapsed = state.started.elapsed().as_secs_f64();
+            Duration::try_from_secs_f64((budgeted - elapsed).max(0.0)).unwrap_or(Duration::ZERO)
+        };
+        if !wait.is_zero() {
+            let capped = wait.min(Duration::from_millis(250));
+            self.waited_us
+                .fetch_add(capped.as_micros() as u64, Ordering::Relaxed);
+            std::thread::sleep(capped);
+        }
+    }
+
+    /// Total time workers spent sleeping on the budget.
+    fn waited(&self) -> Duration {
+        Duration::from_micros(self.waited_us.load(Ordering::Relaxed))
     }
 }
 
@@ -122,6 +216,9 @@ pub struct CompactionStats {
     pub blocks_out: u64,
     /// Wall-clock time spent merging.
     pub elapsed: Duration,
+    /// Cumulative time merge workers slept on the byte-rate budget
+    /// ([`CompactionConfig::merge_bytes_per_sec`]); zero when unthrottled.
+    pub throttle_wait: Duration,
 }
 
 impl CompactionStats {
@@ -135,6 +232,7 @@ impl CompactionStats {
         self.blocks_in += other.blocks_in;
         self.blocks_out += other.blocks_out;
         self.elapsed += other.elapsed;
+        self.throttle_wait += other.throttle_wait;
     }
 
     /// Publishes one round's additive totals to the process-wide registry
@@ -152,6 +250,8 @@ impl CompactionStats {
             .add(self.payload_bytes_out);
         obs.counter("store.compact.blocks_in").add(self.blocks_in);
         obs.counter("store.compact.blocks_out").add(self.blocks_out);
+        obs.counter("store.compact.throttle_wait_us")
+            .add(self.throttle_wait.as_micros() as u64);
     }
 }
 
@@ -281,6 +381,7 @@ fn execute(
     if tmp_dir.exists() {
         fs::remove_dir_all(&tmp_dir)?;
     }
+    let throttle = MergeThrottle::new(config.merge_bytes_per_sec);
     let merged = merge_window(
         dir,
         manifest,
@@ -291,6 +392,7 @@ fn execute(
         config,
         codec,
         rank.clone(),
+        &throttle,
     );
     let merged = match merged {
         Ok(m) => m,
@@ -320,6 +422,7 @@ fn execute(
         blocks_in: window.iter().map(|g| g.blocks()).sum(),
         blocks_out: merged.blocks(),
         elapsed: started.elapsed(),
+        throttle_wait: throttle.waited(),
     };
 
     // Swap the manifest: the merged generation takes the window's place, so
@@ -343,21 +446,27 @@ fn execute(
     );
     write_manifest(dir, &new_manifest, vocab)?;
 
-    // Only now — after the commit point — delete the replaced generations.
-    // Best effort: the compaction is already committed, so a deletion
-    // hiccup (say, a reader holding a file open on a non-POSIX filesystem)
-    // must not be reported as a failure — an orphaned, unreferenced
-    // directory is harmless, a retried "failed" ingest would not be.
+    // Only now — after the commit point — release the replaced generations.
+    // A generation pinned by a live reader (a serving snapshot mid-query, a
+    // miner mid-scan) is not deleted here: it is marked doomed and the last
+    // reader to unpin it performs the delete, so snapshots stay
+    // byte-readable across the swap. Unpinned generations are deleted
+    // immediately, best effort — the compaction is already committed, so a
+    // deletion hiccup must not be reported as a failure.
     for id in &plan.generation_ids {
-        let _ = fs::remove_dir_all(dir.join(format::generation_dir_name(*id)));
+        pins::release_or_defer(dir, *id);
     }
     stats.publish();
     Ok(stats)
 }
 
-/// Streams every sequence of `window` (shard by shard, generation order)
+/// Streams every sequence of `window` (generation order within each shard)
 /// into a new segment set at `tmp_dir`, verifying no sequence was dropped
-/// or duplicated. Returns the merged generation's metadata.
+/// or duplicated. Shards are merged in parallel across
+/// [`CompactionConfig::merge_parallelism`] workers — each shard owns its
+/// output file, so the merged bytes are identical to a sequential merge —
+/// and every worker reports decoded bytes to the shared `throttle`.
+/// Returns the merged generation's metadata.
 #[allow(clippy::too_many_arguments)]
 fn merge_window(
     dir: &Path,
@@ -369,6 +478,7 @@ fn merge_window(
     config: &CompactionConfig,
     codec: crate::PayloadCodec,
     rank: Option<std::sync::Arc<crate::format::RankOrder>>,
+    throttle: &MergeThrottle,
 ) -> Result<GenerationMeta> {
     let num_shards = manifest.partitioning.num_shards();
     let mut segments = SegmentSetWriter::create(
@@ -379,30 +489,35 @@ fn merge_window(
         codec,
         rank,
     )?;
-    for shard in 0..num_shards {
+    let parallelism = config.effective_parallelism(num_shards as usize);
+    segments.par_shards(parallelism, |shard, out| {
         let paths = window
             .iter()
             .map(|g| {
                 dir.join(format::generation_dir_name(g.id))
-                    .join(format::shard_file_name(shard))
+                    .join(format::shard_file_name(shard as u32))
             })
             .collect();
         // The merge reads and re-appends id-space items: `append` re-ranks
         // for a v4 target itself, so the scan stays in item space.
         let mut scan = ShardScan::open_chain(
             paths,
-            shard,
+            shard as u32,
             vocab.len() as u32,
             None,
             manifest.rank_order.clone(),
             crate::reader::ScanSpace::Items,
         );
         while let Some(batch) = scan.next_batch()? {
+            // Budget on the batch's decoded item footprint — a
+            // codec-independent proxy for the round's read+decode work.
+            throttle.consume((batch.arena().len() * 4) as u64);
             for (id, items) in batch.iter() {
-                segments.append(shard as usize, id, items, vocab)?;
+                out.append(id, items, vocab)?;
             }
         }
-    }
+        Ok(())
+    })?;
     let expected_sequences: u64 = window.iter().map(|g| g.num_sequences).sum();
     let expected_items: u64 = window.iter().map(|g| g.total_items).sum();
     if segments.sequences() != expected_sequences || segments.total_items() != expected_items {

@@ -134,6 +134,7 @@ pub mod compact;
 pub mod convert;
 pub mod format;
 pub mod generations;
+pub(crate) mod pins;
 pub mod reader;
 pub mod writer;
 

@@ -1,0 +1,224 @@
+//! A process-wide registry of **pinned generations**: the snapshot-safety
+//! half of compaction-beside-serving.
+//!
+//! A [`crate::CorpusReader`] is pinned to the manifest it opened, but the
+//! files that manifest names used to be deleted by compaction the moment
+//! the swap committed — a long-lived reader (a serving snapshot, a mining
+//! run mid-scan) would find its segment files gone and fail with an I/O
+//! error. This module closes that gap: every reader registers the
+//! generation ids of its snapshot here at open ([`pin`]) and releases them
+//! on drop; compaction asks [`release_or_defer`] instead of deleting
+//! outright. A generation with live pins is marked **doomed** and its
+//! directory survives until the last pin drops, at which point the
+//! releasing reader performs the deferred delete. Generation ids are never
+//! reused, so a doomed id can never come back to life under a new manifest.
+//!
+//! The registry is keyed by the canonicalized corpus directory, so two
+//! readers that spell the same path differently still share refcounts. It
+//! covers readers **in this process** — the daemon's serving snapshots,
+//! batch miners, and the mapped-segment caches they hold. Readers in other
+//! processes are outside its reach (on POSIX systems their open file
+//! descriptors and mmaps keep the data alive anyway; the directory entry
+//! disappears).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use crate::format;
+
+/// Pin state of one generation of one corpus.
+#[derive(Debug, Default)]
+struct GenPins {
+    /// Live [`PinGuard`]s referencing the generation.
+    refs: usize,
+    /// Compaction replaced the generation and deferred its delete to the
+    /// last unpin.
+    doomed: bool,
+}
+
+/// corpus dir (canonical) → generation id → pin state.
+type Registry = Mutex<HashMap<PathBuf, HashMap<u32, GenPins>>>;
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The registry key for a corpus directory: canonicalized when possible so
+/// path spelling does not split refcounts, the raw path otherwise (the
+/// directory may race with deletion in tests).
+fn key_for(dir: &Path) -> PathBuf {
+    fs::canonicalize(dir).unwrap_or_else(|_| dir.to_path_buf())
+}
+
+/// Holds the pins of one reader's generation set; dropping it releases
+/// them and performs any deletes compaction deferred onto this snapshot.
+#[derive(Debug)]
+pub(crate) struct PinGuard {
+    key: PathBuf,
+    /// The un-canonicalized directory, used to resolve delete paths (the
+    /// canonical form may outlive a bind mount; the reader's own spelling
+    /// is the one its scans use).
+    dir: PathBuf,
+    ids: Vec<u32>,
+}
+
+/// Pins `ids` (a reader's generation set) under `dir`. The guard releases
+/// them on drop.
+pub(crate) fn pin(dir: &Path, ids: impl IntoIterator<Item = u32>) -> PinGuard {
+    let ids: Vec<u32> = ids.into_iter().collect();
+    let key = key_for(dir);
+    let mut reg = registry().lock().expect("pin registry lock");
+    let dir_pins = reg.entry(key.clone()).or_default();
+    for &id in &ids {
+        dir_pins.entry(id).or_default().refs += 1;
+    }
+    PinGuard {
+        key,
+        dir: dir.to_path_buf(),
+        ids,
+    }
+}
+
+/// Called by compaction after the manifest swap for each replaced
+/// generation: deletes its directory now when nothing pins it, otherwise
+/// marks it doomed so the last [`PinGuard`] drop deletes it. Returns `true`
+/// when the delete happened immediately.
+pub(crate) fn release_or_defer(dir: &Path, id: u32) -> bool {
+    let key = key_for(dir);
+    {
+        let mut reg = registry().lock().expect("pin registry lock");
+        if let Some(dir_pins) = reg.get_mut(&key) {
+            if let Some(pins) = dir_pins.get_mut(&id) {
+                if pins.refs > 0 {
+                    pins.doomed = true;
+                    lash_obs::global()
+                        .counter("store.compact.deletes_deferred")
+                        .inc();
+                    return false;
+                }
+                dir_pins.remove(&id);
+            }
+        }
+    }
+    // Best effort, same contract as before pinning existed: the swap
+    // already committed, an orphaned unreferenced directory is harmless.
+    let _ = fs::remove_dir_all(dir.join(format::generation_dir_name(id)));
+    true
+}
+
+/// The number of live pins on `(dir, id)` — test observability only.
+#[cfg(test)]
+fn live_pins(dir: &Path, id: u32) -> usize {
+    let reg = registry().lock().expect("pin registry lock");
+    reg.get(&key_for(dir))
+        .and_then(|d| d.get(&id))
+        .map_or(0, |p| p.refs)
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        let mut deferred: Vec<u32> = Vec::new();
+        {
+            let mut reg = registry().lock().expect("pin registry lock");
+            if let Some(dir_pins) = reg.get_mut(&self.key) {
+                for &id in &self.ids {
+                    if let Some(pins) = dir_pins.get_mut(&id) {
+                        pins.refs = pins.refs.saturating_sub(1);
+                        if pins.refs == 0 {
+                            if pins.doomed {
+                                deferred.push(id);
+                            }
+                            dir_pins.remove(&id);
+                        }
+                    }
+                }
+                if dir_pins.is_empty() {
+                    reg.remove(&self.key);
+                }
+            }
+        }
+        // Deferred deletes run outside the registry lock: filesystem work
+        // must not serialize every other open/compact in the process.
+        if !deferred.is_empty() {
+            let obs = lash_obs::global();
+            for id in deferred {
+                let _ = fs::remove_dir_all(self.dir.join(format::generation_dir_name(id)));
+                obs.counter("store.compact.deferred_deletes_done").inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Unique per-test directories: the registry is process-global and the
+    /// test harness runs tests concurrently.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lash-pins-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fake_generation(dir: &Path, id: u32) -> PathBuf {
+        let gen_dir = dir.join(format::generation_dir_name(id));
+        fs::create_dir_all(&gen_dir).unwrap();
+        fs::write(gen_dir.join("shard-00000.seg"), b"payload").unwrap();
+        gen_dir
+    }
+
+    #[test]
+    fn unpinned_generation_deletes_immediately() {
+        let dir = scratch("unpinned");
+        let gen_dir = fake_generation(&dir, 0);
+        assert!(release_or_defer(&dir, 0));
+        assert!(!gen_dir.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinned_generation_survives_until_last_guard_drops() {
+        let dir = scratch("pinned");
+        let gen_dir = fake_generation(&dir, 3);
+        let first = pin(&dir, [3]);
+        let second = pin(&dir, [3]);
+        assert_eq!(live_pins(&dir, 3), 2);
+
+        assert!(!release_or_defer(&dir, 3), "live pins must defer");
+        assert!(gen_dir.exists());
+
+        drop(first);
+        assert!(gen_dir.exists(), "one pin still live");
+        drop(second);
+        assert!(!gen_dir.exists(), "last unpin performs the delete");
+        assert_eq!(live_pins(&dir, 3), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undoomed_pins_release_without_deleting() {
+        let dir = scratch("undoomed");
+        let gen_dir = fake_generation(&dir, 7);
+        drop(pin(&dir, [7]));
+        assert!(gen_dir.exists(), "a plain unpin never deletes");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn path_spellings_share_refcounts() {
+        let dir = scratch("spelling");
+        let gen_dir = fake_generation(&dir, 1);
+        // The same directory through a `.` component.
+        let alias = dir.join(".");
+        let guard = pin(&alias, [1]);
+        assert!(!release_or_defer(&dir, 1));
+        drop(guard);
+        assert!(!gen_dir.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -89,6 +89,11 @@ pub struct CorpusReader {
     /// is pinned to its manifest snapshot (segment files are immutable once
     /// sealed).
     mapped: Mutex<std::collections::HashMap<usize, Arc<Vec<MappedSegment>>>>,
+    /// Pins this snapshot's generations in the process-wide registry
+    /// ([`crate::pins`]): compaction defers deleting replaced directories
+    /// until the last pinned reader — and with it the mapped-segment cache
+    /// above — drops. Declared last so it releases after every cached map.
+    _pins: crate::pins::PinGuard,
 }
 
 impl CorpusReader {
@@ -102,11 +107,16 @@ impl CorpusReader {
         let (manifest, vocab) = read_manifest(&dir).inspect_err(|e| {
             lash_obs::flight::record_error("store.open", &e.to_string());
         })?;
+        // Pin the snapshot's generation set: from here on a compaction that
+        // replaces these generations defers their deletes to this reader's
+        // drop, so scans stay valid for the snapshot's whole lifetime.
+        let pins = crate::pins::pin(&dir, manifest.generations.iter().map(|g| g.id));
         Ok(CorpusReader {
             dir,
             manifest,
             vocab,
             mapped: Mutex::new(std::collections::HashMap::new()),
+            _pins: pins,
         })
     }
 

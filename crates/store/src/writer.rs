@@ -220,117 +220,102 @@ impl SegmentSetWriter {
         seq: &[ItemId],
         vocab: &Vocabulary,
     ) -> Result<()> {
-        for &item in seq {
-            if item.index() >= vocab.len() {
-                return Err(StoreError::UnknownItem(item.as_u32()));
-            }
-        }
         self.sequences += 1;
         self.total_items += seq.len() as u64;
-        // The rank codec stores the flat column in rank space; everything
-        // else (header min/max, sketches) stays in id space so header-only
-        // consumers are version-oblivious.
-        let rank_of: Option<&[u32]> = match self.codec {
-            PayloadCodec::GroupVarintRank => {
-                Some(self.rank.as_ref().expect("checked at create").rank_of())
-            }
-            _ => None,
+        let params = WriteParams {
+            codec: self.codec,
+            rank_of: rank_of(self.codec, &self.rank),
+            sketches: self.sketches,
+            block_budget: self.block_budget,
         };
-        let shard = &mut self.shards[shard];
-        let block = &mut shard.block;
-        if block.records == 0 {
-            block.first_seq = id;
-            block.prev_seq = id;
+        append_record(
+            &mut self.shards[shard],
+            params,
+            &mut self.scratch,
+            id,
+            seq,
+            vocab,
+        )
+    }
+
+    /// Fans `work` out over every shard with up to `parallelism` worker
+    /// threads: each invocation gets its shard index and an exclusive
+    /// [`ShardAppender`] over that shard's writer, so per-shard streams
+    /// (compaction merges) run concurrently while the delta encoding's
+    /// per-shard ascending-id invariant is untouched. Output bytes are
+    /// identical to a sequential run — shards never share a file. Appended
+    /// sequence/item totals fold into the set totals after every worker
+    /// joins; the first error aborts the remaining shards and is returned.
+    pub(crate) fn par_shards<F>(&mut self, parallelism: usize, work: F) -> Result<()>
+    where
+        F: Fn(usize, &mut ShardAppender<'_>) -> Result<()> + Send + Sync,
+    {
+        let num_shards = self.shards.len();
+        if num_shards == 0 {
+            return Ok(());
         }
-        let delta = id - block.prev_seq;
-        match self.codec {
-            PayloadCodec::Varint => {
-                format::encode_record(delta, seq, &mut block.payload);
+        let workers = parallelism.clamp(1, num_shards);
+        let rank = self.rank.clone();
+        let params = WriteParams {
+            codec: self.codec,
+            rank_of: rank_of(self.codec, &rank),
+            sketches: self.sketches,
+            block_budget: self.block_budget,
+        };
+        let mut buckets: Vec<Vec<(usize, &mut ShardWriter)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            buckets[i % workers].push((i, shard));
+        }
+        let totals = std::sync::Mutex::new((0u64, 0u64));
+        let failure: std::sync::Mutex<Option<StoreError>> = std::sync::Mutex::new(None);
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                let (totals, failure, work) = (&totals, &failure, &work);
+                scope.spawn(move || {
+                    let mut scratch = Vec::new();
+                    for (idx, shard) in bucket {
+                        if failure.lock().expect("merge failure lock").is_some() {
+                            return;
+                        }
+                        let mut appender = ShardAppender {
+                            shard,
+                            params,
+                            scratch: std::mem::take(&mut scratch),
+                            sequences: 0,
+                            total_items: 0,
+                        };
+                        let result = work(idx, &mut appender);
+                        let (sequences, items) = (appender.sequences, appender.total_items);
+                        scratch = appender.scratch;
+                        match result {
+                            Ok(()) => {
+                                let mut t = totals.lock().expect("merge totals lock");
+                                t.0 += sequences;
+                                t.1 += items;
+                            }
+                            Err(e) => {
+                                *failure.lock().expect("merge failure lock") = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                });
             }
-            PayloadCodec::GroupVarint | PayloadCodec::GroupVarintRank => {
-                block.id_deltas.push(delta);
-                block.delta_bytes += varint::encoded_len_u64(delta);
-                block.lens.push(seq.len() as u32);
-                block.lens_data_bytes += group_varint::bytes_for(seq.len() as u32);
-                for &item in seq {
-                    let v = match rank_of {
-                        Some(ranks) => ranks[item.index()],
-                        None => item.as_u32(),
-                    };
-                    block.flat.push(v);
-                    block.flat_data_bytes += group_varint::bytes_for(v);
-                }
-            }
+        });
+        if let Some(e) = failure.into_inner().expect("merge failure lock") {
+            return Err(e);
         }
-        block.prev_seq = id;
-        block.records += 1;
-        block.items += seq.len() as u64;
-        for &item in seq {
-            let v = item.as_u32();
-            block.min_item = Some(block.min_item.map_or(v, |m| m.min(v)));
-            block.max_item = Some(block.max_item.map_or(v, |m| m.max(v)));
-        }
-        if self.sketches {
-            g1_items(seq, vocab, &mut self.scratch);
-            for item in &self.scratch {
-                *block.sketch.entry(item.as_u32()).or_insert(0) += 1;
-            }
-        }
-        shard.stats.sequences += 1;
-        shard.stats.min_seq = shard.stats.min_seq.min(id);
-        shard.stats.max_seq = shard.stats.max_seq.max(id);
-        if block.encoded_len(self.codec) >= self.block_budget {
-            Self::flush_block(shard, self.codec)?;
-        }
+        let (sequences, items) = totals.into_inner().expect("merge totals lock");
+        self.sequences += sequences;
+        self.total_items += items;
         Ok(())
     }
 
     /// Seals the open block of `shard`, writing its header and payload
     /// frames.
     fn flush_block(shard: &mut ShardWriter, codec: PayloadCodec) -> Result<()> {
-        let block = &mut shard.block;
-        if block.records == 0 {
-            return Ok(());
-        }
-        if codec != PayloadCodec::Varint {
-            // Flush-time columnar encode; the varint codec streamed records
-            // into the payload at append time.
-            debug_assert!(block.payload.is_empty());
-            format::encode_gv_payload(
-                &block.id_deltas,
-                &block.lens,
-                &block.flat,
-                &mut block.payload,
-            );
-            debug_assert_eq!(block.payload.len(), block.encoded_len(codec));
-        }
-        let header = BlockHeader {
-            codec,
-            records: block.records,
-            first_seq: block.first_seq,
-            last_seq: block.prev_seq,
-            items: block.items,
-            min_item: block.min_item,
-            max_item: block.max_item,
-            sketch: Vec::new(),
-        };
-        shard.header_buf.clear();
-        format::encode_block_header(
-            &header,
-            &block.sketch,
-            codec.format_version(),
-            &mut shard.header_buf,
-        );
-        // Block frames use the version's checksum flavor (wide for v3); the
-        // segment header frame stays classic so readers can parse it before
-        // knowing the version.
-        let kind = format::frame_checksum_for_version(codec.format_version());
-        frame::write_frame_with(&shard.header_buf, &mut shard.file, kind)?;
-        frame::write_frame_with(&block.payload, &mut shard.file, kind)?;
-        shard.stats.blocks += 1;
-        shard.stats.payload_bytes += block.payload.len() as u64;
-        block.reset();
-        Ok(())
+        flush_shard_block(shard, codec)
     }
 
     /// Flushes and fsyncs every open block and segment file (and their
@@ -349,6 +334,163 @@ impl SegmentSetWriter {
         crate::generations::sync_dir(&self.dir)?;
         Ok(self.shards.into_iter().map(|s| s.stats).collect())
     }
+}
+
+/// The shared, immutable knobs of the block-building engine, split from
+/// [`SegmentSetWriter`] so parallel per-shard appenders can carry them by
+/// value while each holds a different shard's writer mutably.
+#[derive(Clone, Copy)]
+struct WriteParams<'a> {
+    codec: PayloadCodec,
+    /// id → rank mapping for the v4 codec; `None` otherwise.
+    rank_of: Option<&'a [u32]>,
+    sketches: bool,
+    block_budget: usize,
+}
+
+/// The rank column mapping `append_record` encodes with, resolved from the
+/// codec: the rank codec stores the flat column in rank space; everything
+/// else (header min/max, sketches) stays in id space so header-only
+/// consumers are version-oblivious.
+fn rank_of(codec: PayloadCodec, rank: &Option<Arc<RankOrder>>) -> Option<&[u32]> {
+    match codec {
+        PayloadCodec::GroupVarintRank => Some(rank.as_ref().expect("checked at create").rank_of()),
+        _ => None,
+    }
+}
+
+/// Exclusive append access to one shard of a [`SegmentSetWriter`], handed
+/// to [`SegmentSetWriter::par_shards`] workers. Appends here are exactly
+/// [`SegmentSetWriter::append`] scoped to the one shard; the sequence/item
+/// totals accumulate locally and fold into the set totals when the
+/// parallel region ends.
+pub(crate) struct ShardAppender<'a> {
+    shard: &'a mut ShardWriter,
+    params: WriteParams<'a>,
+    scratch: Vec<ItemId>,
+    sequences: u64,
+    total_items: u64,
+}
+
+impl ShardAppender<'_> {
+    /// Appends one sequence to this appender's shard. The caller guarantees
+    /// ascending ids per shard and in-vocabulary items.
+    pub(crate) fn append(&mut self, id: u64, seq: &[ItemId], vocab: &Vocabulary) -> Result<()> {
+        self.sequences += 1;
+        self.total_items += seq.len() as u64;
+        append_record(self.shard, self.params, &mut self.scratch, id, seq, vocab)
+    }
+}
+
+/// Appends one sequence into `shard`'s open block, cutting the block at
+/// the budget boundary — the single append path behind both the sequential
+/// [`SegmentSetWriter::append`] and the parallel [`ShardAppender`].
+fn append_record(
+    shard: &mut ShardWriter,
+    params: WriteParams<'_>,
+    scratch: &mut Vec<ItemId>,
+    id: u64,
+    seq: &[ItemId],
+    vocab: &Vocabulary,
+) -> Result<()> {
+    for &item in seq {
+        if item.index() >= vocab.len() {
+            return Err(StoreError::UnknownItem(item.as_u32()));
+        }
+    }
+    let block = &mut shard.block;
+    if block.records == 0 {
+        block.first_seq = id;
+        block.prev_seq = id;
+    }
+    let delta = id - block.prev_seq;
+    match params.codec {
+        PayloadCodec::Varint => {
+            format::encode_record(delta, seq, &mut block.payload);
+        }
+        PayloadCodec::GroupVarint | PayloadCodec::GroupVarintRank => {
+            block.id_deltas.push(delta);
+            block.delta_bytes += varint::encoded_len_u64(delta);
+            block.lens.push(seq.len() as u32);
+            block.lens_data_bytes += group_varint::bytes_for(seq.len() as u32);
+            for &item in seq {
+                let v = match params.rank_of {
+                    Some(ranks) => ranks[item.index()],
+                    None => item.as_u32(),
+                };
+                block.flat.push(v);
+                block.flat_data_bytes += group_varint::bytes_for(v);
+            }
+        }
+    }
+    block.prev_seq = id;
+    block.records += 1;
+    block.items += seq.len() as u64;
+    for &item in seq {
+        let v = item.as_u32();
+        block.min_item = Some(block.min_item.map_or(v, |m| m.min(v)));
+        block.max_item = Some(block.max_item.map_or(v, |m| m.max(v)));
+    }
+    if params.sketches {
+        g1_items(seq, vocab, scratch);
+        for item in scratch.iter() {
+            *block.sketch.entry(item.as_u32()).or_insert(0) += 1;
+        }
+    }
+    shard.stats.sequences += 1;
+    shard.stats.min_seq = shard.stats.min_seq.min(id);
+    shard.stats.max_seq = shard.stats.max_seq.max(id);
+    if block.encoded_len(params.codec) >= params.block_budget {
+        flush_shard_block(shard, params.codec)?;
+    }
+    Ok(())
+}
+
+/// Seals `shard`'s open block, writing its header and payload frames.
+fn flush_shard_block(shard: &mut ShardWriter, codec: PayloadCodec) -> Result<()> {
+    let block = &mut shard.block;
+    if block.records == 0 {
+        return Ok(());
+    }
+    if codec != PayloadCodec::Varint {
+        // Flush-time columnar encode; the varint codec streamed records
+        // into the payload at append time.
+        debug_assert!(block.payload.is_empty());
+        format::encode_gv_payload(
+            &block.id_deltas,
+            &block.lens,
+            &block.flat,
+            &mut block.payload,
+        );
+        debug_assert_eq!(block.payload.len(), block.encoded_len(codec));
+    }
+    let header = BlockHeader {
+        codec,
+        records: block.records,
+        first_seq: block.first_seq,
+        last_seq: block.prev_seq,
+        items: block.items,
+        min_item: block.min_item,
+        max_item: block.max_item,
+        sketch: Vec::new(),
+    };
+    shard.header_buf.clear();
+    format::encode_block_header(
+        &header,
+        &block.sketch,
+        codec.format_version(),
+        &mut shard.header_buf,
+    );
+    // Block frames use the version's checksum flavor (wide for v3); the
+    // segment header frame stays classic so readers can parse it before
+    // knowing the version.
+    let kind = format::frame_checksum_for_version(codec.format_version());
+    frame::write_frame_with(&shard.header_buf, &mut shard.file, kind)?;
+    frame::write_frame_with(&block.payload, &mut shard.file, kind)?;
+    shard.stats.blocks += 1;
+    shard.stats.payload_bytes += block.payload.len() as u64;
+    block.reset();
+    Ok(())
 }
 
 impl CorpusWriter {

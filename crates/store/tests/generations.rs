@@ -240,6 +240,10 @@ fn compaction_reduces_segment_files_and_preserves_every_id() {
         assert_eq!(segment_files_of_shard(&dir, shard), k);
     }
     let flist_before = before.flist().unwrap().unwrap();
+    // Release the reader's generation pins: a live reader would defer the
+    // replaced directories' deletion and the file-count assertions below
+    // would see both the old and the merged segments.
+    drop(before);
 
     let config = CompactionConfig::default()
         .with_max_generations(2)

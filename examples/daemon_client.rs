@@ -1,0 +1,106 @@
+//! Querying a running `lash-serve` daemon over TCP.
+//!
+//! Start the daemon in one terminal:
+//!
+//! ```text
+//! cargo run --release -p lash-serve --bin lash-serve -- --addr 127.0.0.1:4815
+//! ```
+//!
+//! then point this client at it:
+//!
+//! ```text
+//! LASH_SERVE_ADDR=127.0.0.1:4815 cargo run --release --example daemon_client
+//! ```
+//!
+//! The client is vocabulary-free: it discovers concrete item ids from the
+//! daemon's own top-k answer and feeds them back as support and
+//! hierarchy-aware queries, so it works against any corpus the daemon
+//! happens to serve. It also demonstrates the typed error surface — an
+//! out-of-vocabulary query comes back as a [`QueryReply::Error`] on a
+//! connection that keeps working.
+
+use std::time::Duration;
+
+use lash::index::{Query, QueryError, QueryReply};
+use lash::serve::Client;
+use lash::ItemId;
+
+fn main() -> Result<(), lash::Error> {
+    let addr = std::env::var("LASH_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:4815".to_string());
+
+    // The daemon may still be booting (mining its first index): retry the
+    // connect briefly instead of failing on the first refused socket.
+    let mut client = None;
+    for attempt in 0..50 {
+        match Client::connect(&addr) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(e) if attempt == 49 => return Err(lash::Error::Io(e)),
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    let mut client = client.expect("connect loop either set the client or returned");
+    println!("connected to {addr}");
+
+    // Top-k over the whole index needs no vocabulary knowledge at all.
+    let top = client.query(&Query::TopK {
+        prefix: vec![],
+        k: 5,
+    })?;
+    let QueryReply::Patterns(top) = top else {
+        panic!("top-k answered {top:?}");
+    };
+    println!("top-{} patterns by frequency:", top.len());
+    for hit in &top {
+        let items: Vec<u32> = hit.items.iter().map(|i| i.as_u32()).collect();
+        println!("  {items:?}  x{}", hit.frequency);
+    }
+
+    // Enumerate a slice of the index, again vocabulary-free.
+    let listed = client.query(&Query::Enumerate {
+        prefix: vec![],
+        limit: Some(3),
+    })?;
+    if let QueryReply::Patterns(hits) = &listed {
+        println!("first {} patterns lexicographically", hits.len());
+    }
+
+    // Feed a discovered pattern back: its exact support must round-trip,
+    // and its own items always find it through the hierarchy-aware path.
+    if let Some(hit) = top.first() {
+        let support = client.query(&Query::Support {
+            items: hit.items.clone(),
+        })?;
+        assert_eq!(support, QueryReply::Support(Some(hit.frequency)));
+        println!("support round-trip confirmed: x{}", hit.frequency);
+
+        let generalized = client.query(&Query::Generalized {
+            items: hit.items.clone(),
+        })?;
+        if let QueryReply::Patterns(hits) = generalized {
+            println!("{} same-length generalization(s) found", hits.len());
+        }
+    }
+
+    // The typed error surface: an item id no corpus of this size has.
+    let bogus = client.query(&Query::Support {
+        items: vec![ItemId::from_u32(u32::MAX - 1)],
+    })?;
+    match bogus {
+        QueryReply::Error(QueryError::UnknownItem(id)) => {
+            println!("unknown item {id} correctly answered as a typed error");
+        }
+        other => panic!("expected a typed unknown-item error, got {other:?}"),
+    }
+
+    // And the connection still serves after the error reply.
+    let again = client.query(&Query::TopK {
+        prefix: vec![],
+        k: 1,
+    })?;
+    assert!(matches!(again, QueryReply::Patterns(_)));
+    println!("connection healthy after error reply; done");
+    Ok(())
+}

@@ -28,7 +28,7 @@ fn mined_patterns(
     v
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), lash::Error> {
     let dir = std::env::temp_dir().join(format!("lash-example-ingest-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 

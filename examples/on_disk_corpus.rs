@@ -10,7 +10,7 @@ use lash::datagen::{ProductConfig, ProductCorpus, ProductHierarchy};
 use lash::store::{CorpusReader, Partitioning, StoreOptions};
 use lash::{GsmParams, Lash, LashConfig, MinerKind};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), lash::Error> {
     let dir = std::env::temp_dir().join(format!("lash-example-corpus-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 

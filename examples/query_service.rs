@@ -11,7 +11,7 @@ use lash::datagen::{TextConfig, TextCorpus, TextHierarchy};
 use lash::index::{PatternIndexReader, Query, QueryReply, QueryService};
 use lash::{GsmParams, ItemId, Lash, Pattern, Vocabulary};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), lash::Error> {
     // A synthetic NYT-like corpus with a lemma → POS hierarchy.
     let (vocab, db) = TextCorpus::generate(&TextConfig {
         sentences: 4_000,

@@ -4,7 +4,7 @@
 //! deterministic order across repeated runs, across parallelism settings,
 //! and across the in-memory vs. spilled shuffle paths.
 
-use lash::mapreduce::ClusterConfig;
+use lash::mapreduce::EngineConfig;
 use lash::pattern::sort_patterns_lexicographic;
 use lash::{GsmParams, Lash, LashConfig, Pattern, SequenceDatabase, Vocabulary};
 use lash_datagen::{TextConfig, TextCorpus, TextHierarchy};
@@ -52,7 +52,7 @@ fn all_entry_points_and_shuffle_paths_agree_on_order() {
     // The spilled shuffle (every record spills) is byte-identical in
     // output order to the in-memory path.
     let spilled_cfg = LashConfig::new(
-        ClusterConfig::default()
+        EngineConfig::default()
             .with_split_size(64)
             .with_spill_threshold(Some(0)),
     );
@@ -61,7 +61,7 @@ fn all_entry_points_and_shuffle_paths_agree_on_order() {
 
     // The in-memory path forced explicitly (CI may export
     // LASH_SPILL_THRESHOLD=0, which the default picks up).
-    let in_memory_cfg = LashConfig::new(ClusterConfig::default().with_spill_threshold(None));
+    let in_memory_cfg = LashConfig::new(EngineConfig::default().with_spill_threshold(None));
     let in_memory = Lash::new(in_memory_cfg).mine(&db, &vocab, &params).unwrap();
     assert_same_order(
         reference.patterns(),
@@ -71,7 +71,7 @@ fn all_entry_points_and_shuffle_paths_agree_on_order() {
 
     // Parallelism does not perturb the order.
     for par in [1, 7] {
-        let cfg = LashConfig::new(ClusterConfig::default().with_parallelism(par));
+        let cfg = LashConfig::new(EngineConfig::default().with_parallelism(par));
         let run = Lash::new(cfg).mine(&db, &vocab, &params).unwrap();
         assert_same_order(reference.patterns(), run.patterns(), "parallelism");
     }
@@ -97,7 +97,7 @@ fn all_entry_points_and_shuffle_paths_agree_on_order() {
     let from_store_spilled = reader
         .mine(
             &Lash::new(LashConfig::new(
-                ClusterConfig::default().with_spill_threshold(Some(0)),
+                EngineConfig::default().with_spill_threshold(Some(0)),
             )),
             &params,
         )

@@ -10,7 +10,7 @@ use lash::datagen::{
 use lash::distributed::mgfsm::{lash_flat, MgFsm};
 use lash::distributed::naive_job::run_naive;
 use lash::distributed::semi_naive_job::run_semi_naive;
-use lash::mapreduce::{ClusterConfig, FailurePlan, Phase};
+use lash::mapreduce::{EngineConfig, FailurePlan, Phase};
 use lash::matching::matches;
 use lash::{GsmParams, Lash, LashConfig, MinerKind};
 
@@ -48,7 +48,7 @@ fn lash_agrees_with_naive_on_text_corpus() {
         .mine(&db, &vocab, &params)
         .unwrap();
     let ctx = MiningContext::build(&db, &vocab, params.sigma);
-    let (naive, _) = run_naive(&ctx, &params, &ClusterConfig::default()).unwrap();
+    let (naive, _) = run_naive(&ctx, &params, &EngineConfig::default()).unwrap();
     assert_eq!(lash.pattern_set(), &naive);
     assert!(!naive.is_empty(), "test corpus should produce patterns");
 }
@@ -85,7 +85,7 @@ fn semi_naive_agrees_on_text_corpus() {
     let (vocab, db) = small_text();
     let params = GsmParams::new(12, 0, 3).unwrap();
     let ctx = MiningContext::build(&db, &vocab, params.sigma);
-    let cluster = ClusterConfig::default();
+    let cluster = EngineConfig::default();
     let (naive, naive_metrics) = run_naive(&ctx, &params, &cluster).unwrap();
     let (semi, semi_metrics) = run_semi_naive(&ctx, &params, &cluster).unwrap();
     assert_eq!(naive, semi);
@@ -113,11 +113,11 @@ fn reported_frequencies_match_direct_support_counting() {
 fn results_are_deterministic_across_parallelism_and_splits() {
     let (vocab, db) = small_text();
     let params = GsmParams::new(10, 0, 3).unwrap();
-    let reference = Lash::new(LashConfig::new(ClusterConfig::sequential()))
+    let reference = Lash::new(LashConfig::new(EngineConfig::sequential()))
         .mine(&db, &vocab, &params)
         .unwrap();
     for (par, split) in [(2, 7), (4, 64), (8, 1000)] {
-        let cfg = ClusterConfig::default()
+        let cfg = EngineConfig::default()
             .with_parallelism(par)
             .with_split_size(split)
             .with_reduce_tasks(5);
@@ -144,7 +144,7 @@ fn pipeline_survives_injected_failures_everywhere() {
         .fail_n_times(Phase::Map, 1, 3)
         .fail_once(Phase::Reduce, 0)
         .fail_n_times(Phase::Reduce, 2, 2);
-    let cfg = ClusterConfig::default()
+    let cfg = EngineConfig::default()
         .with_split_size(50)
         .with_reduce_tasks(4)
         .with_failures(plan);
@@ -163,10 +163,10 @@ fn pipeline_survives_injected_failures_everywhere() {
 fn flat_mining_agrees_between_mgfsm_and_lash() {
     let (vocab, db) = small_text();
     let params = GsmParams::new(10, 1, 4).unwrap();
-    let a = MgFsm::new(ClusterConfig::default())
+    let a = MgFsm::new(EngineConfig::default())
         .mine(&db, &vocab, &params)
         .unwrap();
-    let b = lash_flat(ClusterConfig::default())
+    let b = lash_flat(EngineConfig::default())
         .mine(&db, &vocab, &params)
         .unwrap();
     assert_eq!(a.pattern_set(), b.pattern_set());

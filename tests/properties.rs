@@ -5,7 +5,7 @@
 use lash::context::MiningContext;
 use lash::distributed::naive_job::run_naive;
 use lash::enumeration::enumerate_pivot;
-use lash::mapreduce::ClusterConfig;
+use lash::mapreduce::EngineConfig;
 use lash::rewrite::{RewriteLevel, Rewriter};
 use lash::{
     GsmParams, Lash, LashConfig, MinerKind, SequenceDatabase, Vocabulary, VocabularyBuilder,
@@ -65,7 +65,7 @@ proptest! {
     ) {
         let db = build_db(&vocab, &raw);
         let params = GsmParams::new(sigma, gamma, lambda).unwrap();
-        let cluster = ClusterConfig::default().with_split_size(3).with_reduce_tasks(3);
+        let cluster = EngineConfig::default().with_split_size(3).with_reduce_tasks(3);
         let ctx = MiningContext::build(&db, &vocab, sigma);
         let (expected, _) = run_naive(&ctx, &params, &cluster).unwrap();
         for miner in [MinerKind::Bfs, MinerKind::Dfs, MinerKind::PsmIndexed] {

@@ -40,7 +40,7 @@ fn mine_sharded_emits_one_validated_trace_tree() {
 
     // Sequential execution: with one worker, spans nest without overlap,
     // so self times must tile the root span's duration.
-    let config = LashConfig::new(lash::mapreduce::ClusterConfig::default().with_parallelism(1));
+    let config = LashConfig::new(lash::mapreduce::EngineConfig::default().with_parallelism(1));
     let params = GsmParams::new(8, 1, 3).unwrap();
 
     let sink = Arc::new(CaptureSink(Mutex::new(Vec::new())));
