@@ -35,7 +35,7 @@ use std::time::Instant;
 use lash_core::{GsmParams, Lash};
 use lash_datagen::TextHierarchy;
 use lash_index::{Query, QueryReply};
-use lash_serve::{Client, Lifecycle, ServeConfig, Server};
+use lash_serve::{AdminReply, AdminRequest, Client, Lifecycle, ServeConfig, Server};
 
 use crate::report::{Report, Table};
 use crate::Datasets;
@@ -98,7 +98,8 @@ pub fn serve(
     let mut lifecycle =
         Lifecycle::bootstrap(&corpus_dir, &index_root, Lash::default(), params, &config)
             .expect("bootstrap the lifecycle");
-    let server = Server::start(lifecycle.service(), &config).expect("start the server");
+    let server = Server::start_with_health(lifecycle.service(), &config, lifecycle.health())
+        .expect("start the server");
     let addr = server.local_addr();
 
     // The query mix, discovered from the served index itself so every
@@ -175,6 +176,35 @@ pub fn serve(
     }
     let batches = obs.counter("serve.batches").get() - batches_before;
 
+    // Scrape the admin lane right after the measured phase, while the
+    // sliding windows still hold it: the daemon's own view of its rate and
+    // queueing. Reported beside the wall-clock qps (not gated — windowed
+    // numbers depend on how much of the run fits the window).
+    let (windowed_qps, queue_wait) = {
+        let mut admin = Client::connect(addr).expect("connect to the admin lane");
+        let uptime_us = match admin.admin(&AdminRequest::Health) {
+            Ok(AdminReply::Health { fields, .. }) => fields
+                .iter()
+                .find(|(k, _)| k == "uptime_us")
+                .map_or(0, |(_, v)| *v),
+            _ => 0,
+        };
+        match admin.admin(&AdminRequest::Metrics) {
+            Ok(AdminReply::Metrics { windows, .. }) => {
+                let qps = windows
+                    .iter()
+                    .find(|w| w.name == "query.requests")
+                    .map_or(0.0, |w| w.rate_per_sec(uptime_us));
+                let wait = windows
+                    .iter()
+                    .find(|w| w.name == "serve.queue.wait_us")
+                    .map(|w| (w.p50, w.p95, w.p99));
+                (qps, wait)
+            }
+            _ => (0.0, None),
+        }
+    };
+
     // Phase 2 — survival: the same client load keeps running while the
     // lifecycle ingests, compacts, re-mines and swaps underneath it.
     // Untimed; the contract is simply that nothing fails.
@@ -249,6 +279,16 @@ pub fn serve(
             (requests * MEASURE_ITERS as u64) as f64 / (batches.max(1)) as f64
         ),
     ]);
+    table.row(vec![
+        "windowed queries/s (admin scrape)".into(),
+        format!("{windowed_qps:.0}"),
+    ]);
+    if let Some((p50, p95, p99)) = queue_wait {
+        table.row(vec![
+            "queue wait p50/p95/p99 (us, windowed)".into(),
+            format!("{p50}/{p95}/{p99}"),
+        ]);
+    }
     table.row(vec!["refresh rounds".into(), round_stats.len().to_string()]);
     table.row(vec![
         "requests served during refresh".into(),
@@ -264,16 +304,23 @@ pub fn serve(
     ]);
     report.add(table);
 
+    let (p50, p95, p99) = queue_wait.unwrap_or((0, 0, 0));
     let json = format!(
         "{{\n  \"schema\": \"lash-bench-serve/v1\",\n  \"serve_qps\": {:.0},\n  \
          \"requests\": {},\n  \"clients\": {},\n  \"refresh_rounds\": {},\n  \
-         \"survived_requests\": {},\n  \"failures\": {}\n}}\n",
+         \"survived_requests\": {},\n  \"failures\": {},\n  \
+         \"windowed_qps\": {:.0},\n  \"queue_wait_p50_us\": {},\n  \
+         \"queue_wait_p95_us\": {},\n  \"queue_wait_p99_us\": {}\n}}\n",
         serve_qps,
         requests,
         CLIENTS,
         round_stats.len(),
         survived,
-        failures
+        failures,
+        windowed_qps,
+        p50,
+        p95,
+        p99
     );
     if let Some(out) = json_out {
         let _ = std::fs::create_dir_all(out);

@@ -21,11 +21,21 @@ use crate::Result;
 
 /// Registry handles the service reports into, looked up once at
 /// construction so the per-query path never touches the registry's maps.
+///
+/// Each query type feeds a lifetime histogram ("p99 since start") *and* a
+/// windowed one ("p99 over the last minute") — the RED metrics a live
+/// `Metrics` admin scrape reads — plus windowed request/error rates.
 struct ServiceMetrics {
     support_us: lash_obs::Histogram,
     enumerate_us: lash_obs::Histogram,
     top_k_us: lash_obs::Histogram,
     generalized_us: lash_obs::Histogram,
+    support_win: lash_obs::window::WindowedHistogram,
+    enumerate_win: lash_obs::window::WindowedHistogram,
+    top_k_win: lash_obs::window::WindowedHistogram,
+    generalized_win: lash_obs::window::WindowedHistogram,
+    requests_win: lash_obs::window::WindowedCounter,
+    errors_win: lash_obs::window::WindowedCounter,
     queries_served: lash_obs::Counter,
     swaps: lash_obs::Counter,
     /// Queries served against the current snapshot; reset on swap and
@@ -41,6 +51,12 @@ impl ServiceMetrics {
             enumerate_us: obs.histogram("query.enumerate_us"),
             top_k_us: obs.histogram("query.top_k_us"),
             generalized_us: obs.histogram("query.generalized_us"),
+            support_win: obs.windowed_histogram("query.support_us"),
+            enumerate_win: obs.windowed_histogram("query.enumerate_us"),
+            top_k_win: obs.windowed_histogram("query.top_k_us"),
+            generalized_win: obs.windowed_histogram("query.generalized_us"),
+            requests_win: obs.windowed_counter("query.requests"),
+            errors_win: obs.windowed_counter("query.errors"),
             queries_served: obs.counter("index.queries_served"),
             swaps: obs.counter("index.swaps"),
             snapshot_queries: AtomicU64::new(0),
@@ -274,25 +290,35 @@ impl QueryService {
 
     fn execute_on(&self, snapshot: &PatternIndexReader, query: &Query) -> Result<QueryReply> {
         let started = Instant::now();
-        let (reply, hist) = match query {
-            Query::Support { items } => (
-                QueryReply::Support(snapshot.support(items)?),
-                &self.metrics.support_us,
-            ),
-            Query::Enumerate { prefix, limit } => (
-                QueryReply::Patterns(hits(snapshot.enumerate(prefix, *limit)?)),
-                &self.metrics.enumerate_us,
-            ),
-            Query::TopK { prefix, k } => (
-                QueryReply::Patterns(hits(snapshot.top_k(prefix, *k)?)),
-                &self.metrics.top_k_us,
-            ),
-            Query::Generalized { items } => (
-                QueryReply::Patterns(hits(snapshot.lookup_generalized(items)?)),
-                &self.metrics.generalized_us,
-            ),
+        self.metrics.requests_win.inc();
+        let run = || -> Result<(QueryReply, &lash_obs::Histogram, &lash_obs::window::WindowedHistogram)> {
+            Ok(match query {
+                Query::Support { items } => (
+                    QueryReply::Support(snapshot.support(items)?),
+                    &self.metrics.support_us,
+                    &self.metrics.support_win,
+                ),
+                Query::Enumerate { prefix, limit } => (
+                    QueryReply::Patterns(hits(snapshot.enumerate(prefix, *limit)?)),
+                    &self.metrics.enumerate_us,
+                    &self.metrics.enumerate_win,
+                ),
+                Query::TopK { prefix, k } => (
+                    QueryReply::Patterns(hits(snapshot.top_k(prefix, *k)?)),
+                    &self.metrics.top_k_us,
+                    &self.metrics.top_k_win,
+                ),
+                Query::Generalized { items } => (
+                    QueryReply::Patterns(hits(snapshot.lookup_generalized(items)?)),
+                    &self.metrics.generalized_us,
+                    &self.metrics.generalized_win,
+                ),
+            })
         };
-        hist.record_duration(started.elapsed());
+        let (reply, hist, win) = run().inspect_err(|_| self.metrics.errors_win.inc())?;
+        let elapsed = started.elapsed();
+        hist.record_duration(elapsed);
+        win.record_duration(elapsed);
         self.metrics.queries_served.inc();
         self.metrics
             .snapshot_queries

@@ -1,0 +1,248 @@
+//! Rendering for the operational CLI: the one-screen `obs top` view and
+//! the `obs profile-view` folded-stacks table. Pure string → string so the
+//! views are unit-testable without a daemon; the `obs` binary (in
+//! `lash-serve`, which owns the network client) does the polling.
+
+use crate::window::WindowStat;
+
+/// Everything one `top` refresh needs, as scraped from a daemon's
+/// `Health`, `Metrics`, and `Profile` admin replies.
+#[derive(Clone, Debug, Default)]
+pub struct TopSnapshot {
+    /// Lifecycle phase (`serving`, `compact`, `mine`, ...).
+    pub phase: String,
+    /// Health key/value gauges (`uptime_us`, `queue_depth`, ...).
+    pub health: Vec<(String, u64)>,
+    /// Windowed metric readouts (rates and in-window percentiles).
+    pub windows: Vec<WindowStat>,
+    /// Folded-stacks profile text (empty when the profiler is off).
+    pub profile_folded: String,
+    /// Samples behind the profile.
+    pub profile_samples: u64,
+}
+
+impl TopSnapshot {
+    fn health_value(&self, key: &str) -> Option<u64> {
+        self.health.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    fn uptime_us(&self) -> u64 {
+        self.health_value("uptime_us").unwrap_or(u64::MAX)
+    }
+}
+
+fn fmt_duration(us: u64) -> String {
+    if us >= 3_600_000_000 {
+        format!("{:.1}h", us as f64 / 3_600_000_000.0)
+    } else if us >= 60_000_000 {
+        format!("{:.1}m", us as f64 / 60_000_000.0)
+    } else if us >= 1_000_000 {
+        format!("{:.1}s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// Parses folded-stacks text into `(path, count)` rows sorted by count
+/// descending (ties by path). Malformed lines are skipped.
+pub fn parse_folded(folded: &str) -> Vec<(String, u64)> {
+    let mut rows: Vec<(String, u64)> = folded
+        .lines()
+        .filter_map(|line| {
+            let (path, count) = line.rsplit_once(' ')?;
+            let count: u64 = count.parse().ok()?;
+            if path.is_empty() {
+                return None;
+            }
+            Some((path.to_string(), count))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+/// Renders the one-screen `obs top` view: phase + health line, windowed
+/// rates and percentiles per metric, queue state, hottest profile paths.
+pub fn render_top(snap: &TopSnapshot) -> String {
+    let mut out = String::new();
+    let uptime = snap.health_value("uptime_us").unwrap_or(0);
+    out.push_str(&format!(
+        "lash-serve  phase={}  up={}\n",
+        if snap.phase.is_empty() {
+            "?"
+        } else {
+            &snap.phase
+        },
+        fmt_duration(uptime),
+    ));
+
+    let mut health_line = String::new();
+    for key in [
+        "round",
+        "snapshot_generation",
+        "snapshot_age_us",
+        "store_generations",
+        "store_sequences",
+        "queue_depth",
+        "inflight",
+        "workers",
+        "throttle_wait_us",
+    ] {
+        if let Some(v) = snap.health_value(key) {
+            if !health_line.is_empty() {
+                health_line.push_str("  ");
+            }
+            if let Some(stem) = key.strip_suffix("_us") {
+                health_line.push_str(&format!("{stem}={}", fmt_duration(v)));
+            } else {
+                health_line.push_str(&format!("{key}={v}"));
+            }
+        }
+    }
+    if !health_line.is_empty() {
+        out.push_str(&health_line);
+        out.push('\n');
+    }
+
+    let uptime = snap.uptime_us();
+    let (counters, histograms): (Vec<&WindowStat>, Vec<&WindowStat>) = snap
+        .windows
+        .iter()
+        .partition(|w| w.max == 0 && w.p99 == 0 && w.sum == 0 && !w.name.ends_with("_us"));
+    if !counters.is_empty() {
+        out.push_str("\nrates (windowed)\n");
+        for w in &counters {
+            out.push_str(&format!(
+                "  {:<28} {:>10.1}/s  ({} in {})\n",
+                w.name,
+                w.rate_per_sec(uptime),
+                w.count,
+                fmt_duration(w.window_us),
+            ));
+        }
+    }
+    if !histograms.is_empty() {
+        out.push_str("\nlatency (windowed)\n");
+        out.push_str(&format!(
+            "  {:<28} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+            "name", "rate/s", "p50", "p95", "p99", "max"
+        ));
+        for w in &histograms {
+            out.push_str(&format!(
+                "  {:<28} {:>10.1} {:>9} {:>9} {:>9} {:>9}\n",
+                w.name,
+                w.rate_per_sec(uptime),
+                fmt_duration(w.p50),
+                fmt_duration(w.p95),
+                fmt_duration(w.p99),
+                fmt_duration(w.max),
+            ));
+        }
+    }
+
+    let rows = parse_folded(&snap.profile_folded);
+    if !rows.is_empty() {
+        let total: u64 = rows.iter().map(|(_, c)| *c).sum::<u64>().max(1);
+        out.push_str(&format!(
+            "\nhot span paths ({} samples)\n",
+            snap.profile_samples
+        ));
+        for (path, count) in rows.iter().take(8) {
+            out.push_str(&format!(
+                "  {:>5.1}%  {path}\n",
+                *count as f64 * 100.0 / total as f64
+            ));
+        }
+    } else if snap.profile_samples == 0 {
+        out.push_str("\nprofiler: no samples (off, or nothing running)\n");
+    }
+    out
+}
+
+/// Renders folded-stacks text as a ranked table with percentage bars —
+/// the `obs profile-view` output.
+pub fn render_profile(folded: &str) -> String {
+    let rows = parse_folded(folded);
+    if rows.is_empty() {
+        return "no samples\n".to_string();
+    }
+    let total: u64 = rows.iter().map(|(_, c)| *c).sum::<u64>().max(1);
+    let mut out = format!("{total} samples, {} distinct paths\n", rows.len());
+    for (path, count) in &rows {
+        let pct = *count as f64 * 100.0 / total as f64;
+        let bar_len = (pct / 4.0).round() as usize;
+        out.push_str(&format!(
+            "{:>6.1}% {:>8}  {:<25} {path}\n",
+            pct,
+            count,
+            "#".repeat(bar_len.min(25)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_folded_ranks_by_count() {
+        let rows = parse_folded("a;b 3\nc 10\nbad-line\na 3\n");
+        assert_eq!(
+            rows,
+            vec![
+                ("c".to_string(), 10),
+                ("a".to_string(), 3),
+                ("a;b".to_string(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn render_top_shows_phase_rates_and_hot_paths() {
+        let snap = TopSnapshot {
+            phase: "serving".to_string(),
+            health: vec![
+                ("uptime_us".to_string(), 5_000_000),
+                ("queue_depth".to_string(), 2),
+            ],
+            windows: vec![
+                WindowStat {
+                    name: "query.requests".to_string(),
+                    window_us: 60_000_000,
+                    count: 50,
+                    ..WindowStat::default()
+                },
+                WindowStat {
+                    name: "query.support_us".to_string(),
+                    window_us: 60_000_000,
+                    count: 50,
+                    sum: 5_000,
+                    p50: 64,
+                    p95: 128,
+                    p99: 256,
+                    max: 300,
+                },
+            ],
+            profile_folded: "serve.batch;query.request 9\nserve.refresh 1\n".to_string(),
+            profile_samples: 10,
+        };
+        let view = render_top(&snap);
+        assert!(view.contains("phase=serving"));
+        assert!(view.contains("queue_depth=2"));
+        assert!(view.contains("query.requests"));
+        assert!(view.contains("query.support_us"));
+        assert!(view.contains("90.0%"));
+        assert!(view.contains("serve.batch;query.request"));
+    }
+
+    #[test]
+    fn render_profile_handles_empty() {
+        assert_eq!(render_profile(""), "no samples\n");
+        let view = render_profile("a;b 1\n");
+        assert!(view.contains("100.0%"));
+        assert!(view.contains("a;b"));
+    }
+}

@@ -8,14 +8,29 @@
 //! broken span graph. The checks live in [`lash_obs::validate`]; the
 //! `obs validate` subcommand runs the same ones.
 //!
-//! Usage: `obs-validate <events.jsonl>` — exits non-zero on the first
-//! violation (or an empty file).
+//! Usage: `obs-validate [--schema-only] <events.jsonl>` — exits non-zero
+//! on the first violation (or an empty file). `--schema-only` skips the
+//! trace-graph checks: use it on *windowed* streams — flight-recorder
+//! dumps and `RecentEvents` admin scrapes — where parent spans may have
+//! scrolled out of the ring.
 
 fn main() {
-    let path = match std::env::args().nth(1) {
+    let mut schema_only = false;
+    let mut path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--schema-only" => schema_only = true,
+            _ if path.is_none() && !arg.starts_with('-') => path = Some(arg),
+            _ => {
+                eprintln!("usage: obs-validate [--schema-only] <events.jsonl>");
+                std::process::exit(2);
+            }
+        }
+    }
+    let path = match path {
         Some(path) => path,
         None => {
-            eprintln!("usage: obs-validate <events.jsonl>");
+            eprintln!("usage: obs-validate [--schema-only] <events.jsonl>");
             std::process::exit(2);
         }
     };
@@ -26,7 +41,12 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let (_, stats) = match lash_obs::validate::validate_str(&contents) {
+    let result = if schema_only {
+        lash_obs::validate::validate_str_schema_only(&contents)
+    } else {
+        lash_obs::validate::validate_str(&contents)
+    };
+    let (_, stats) = match result {
         Ok(result) => result,
         Err(e) => {
             eprintln!("obs-validate: {path}: {e}");
@@ -41,7 +61,7 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "obs-validate: {} events OK ({} spans, {} slow-ops, {} traces) in {path}",
-        stats.events, stats.spans, stats.slow_ops, stats.traces
+        "obs-validate: {} events OK ({} spans, {} slow-ops, {} admins, {} traces) in {path}",
+        stats.events, stats.spans, stats.slow_ops, stats.admins, stats.traces
     );
 }

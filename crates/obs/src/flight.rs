@@ -43,9 +43,22 @@ pub fn record_error(layer: &str, detail: &str) {
 
 /// Re-arms the once-per-process dump latch. Test-support: suites that
 /// force errors on purpose call this so a later genuine failure still
-/// dumps, and so the dump under test is deterministically theirs.
+/// dumps, and so the dump under test is deterministically theirs. The
+/// daemon also re-arms between lifecycle rounds, so each refresh round
+/// gets its own first-error dump instead of round 1 consuming the latch
+/// for the life of the process.
 pub fn rearm() {
     ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Dumps the ring unconditionally, ignoring (and consuming) the once-per-
+/// process latch — the shutdown/panic-hook path, where "the last events
+/// before exit" is the whole point and no later dump will come. Returns
+/// the dump path if a file was written.
+pub fn dump_now(trigger: &str) -> Option<PathBuf> {
+    ARMED.store(false, Ordering::SeqCst);
+    dump(trigger);
+    last_dump()
 }
 
 /// Overrides the dump directory for this process (wins over

@@ -57,13 +57,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin_view;
 pub mod flight;
 pub mod json;
+pub mod profiler;
 pub mod ring;
 mod slowlog;
 pub mod trace;
 pub mod tree;
 pub mod validate;
+pub mod window;
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -438,6 +441,7 @@ pub struct MetricsRegistry {
     sink_installed: AtomicBool,
     ring: ring::EventRing,
     slow: slowlog::SlowLog,
+    windows: window::WindowSet,
 }
 
 impl Default for MetricsRegistry {
@@ -474,6 +478,7 @@ impl MetricsRegistry {
             sink_installed: AtomicBool::new(false),
             ring: ring::EventRing::new(capacity),
             slow: slowlog::SlowLog::new(),
+            windows: window::WindowSet::new(),
         }
     }
 
@@ -490,6 +495,37 @@ impl MetricsRegistry {
     /// The histogram named `name`, registering it on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
         lookup(&self.histograms, name)
+    }
+
+    /// The sliding-window counter named `name` (default 60 × 1 s window),
+    /// registering it on first use. Windowed metrics are a separate
+    /// namespace from the lifetime metrics: `windowed_counter("x")` and
+    /// `counter("x")` are unrelated handles, and hot paths typically feed
+    /// both.
+    pub fn windowed_counter(&self, name: &str) -> window::WindowedCounter {
+        self.windows.counter(name)
+    }
+
+    /// The sliding-window histogram named `name` (default 60 × 1 s
+    /// window), registering it on first use. Its snapshot answers "p99
+    /// over the last minute" where [`MetricsRegistry::histogram`] answers
+    /// "p99 since process start".
+    pub fn windowed_histogram(&self, name: &str) -> window::WindowedHistogram {
+        self.windows.histogram(name)
+    }
+
+    /// Every windowed metric's current readout (counters then histograms,
+    /// each sorted by name) — the payload of the serve protocol's
+    /// `Metrics` admin reply.
+    pub fn window_stats(&self) -> Vec<window::WindowStat> {
+        self.windows.stats()
+    }
+
+    /// Replaces the clock handed to windowed metrics registered *after*
+    /// this call (handles already vended keep their clock). Tests inject a
+    /// [`window::WindowClock::manual`] clock here before creating handles.
+    pub fn set_window_clock(&self, clock: window::WindowClock) {
+        self.windows.set_clock(clock);
     }
 
     /// Installs (or removes) the event sink, returning the previous one
@@ -591,6 +627,7 @@ impl MetricsRegistry {
     pub fn span<'r>(&'r self, name: &'r str, fields: Vec<(&'static str, FieldValue)>) -> Span<'r> {
         let ctx = trace::next_ctx();
         let guard = trace::enter(ctx);
+        profiler::push(name);
         let slow = self
             .slow_threshold(name)
             .map(|threshold_us| slowlog::SlowCapture {
@@ -812,6 +849,7 @@ impl Span<'_> {
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
+        profiler::pop();
         let us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         let fields = std::mem::take(&mut self.fields);
         self.registry

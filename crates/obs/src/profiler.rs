@@ -1,0 +1,260 @@
+//! Span-stack sampling profiler: where is the time going, *right now*?
+//!
+//! Every live [`crate::Span`] pushes its name onto a per-thread lock-free
+//! stack (two relaxed atomics per push/pop — no unwinding, no frame
+//! pointers, no symbols). A background sampler wakes at a configurable Hz,
+//! walks every registered thread's stack, and tallies the span-name call
+//! path it sees (`serve.batch;query.request;query.support`). The
+//! aggregate dumps as folded-stacks text — one `path count` line per
+//! distinct path — which is exactly the input format of
+//! `flamegraph.pl` / speedscope, and what the serve protocol's `Profile`
+//! admin request returns.
+//!
+//! Because only span boundaries are visible, resolution is the span tree,
+//! not native frames: a path's count is "samples that landed while this
+//! span path was active". That is the right granularity here — the mining
+//! and serving layers are already annotated span-by-phase, so ≥50% of
+//! samples landing under `mine.pass` *is* the profile statement we want.
+//!
+//! The sampler starts from [`start_from_env`] ([`PROFILE_HZ_ENV`], default
+//! [`DEFAULT_HZ`] Hz, `0` disables); tests drive [`sample_once`] directly
+//! for determinism.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
+
+/// Environment variable naming the sampling frequency in Hz. Unset means
+/// [`DEFAULT_HZ`] *when a component opts in* via [`start_from_env`]; `0`
+/// disables sampling.
+pub const PROFILE_HZ_ENV: &str = "LASH_OBS_PROFILE_HZ";
+
+/// Default sampling frequency (Hz) when [`PROFILE_HZ_ENV`] is unset.
+/// Prime, so the sampler does not phase-lock with millisecond-aligned
+/// periodic work.
+pub const DEFAULT_HZ: u64 = 97;
+
+/// Spans nested deeper than this stop being recorded on the profiler
+/// stack (the trace layer keeps working; only sampled paths truncate).
+pub const MAX_DEPTH: usize = 64;
+
+/// Highest accepted sampling frequency.
+pub const MAX_HZ: u64 = 1_000;
+
+/// One thread's span-name stack, shared with the sampler. The owning
+/// thread pushes/pops interned name ids; the sampler reads `depth` with
+/// `Acquire` and then the slots, giving a consistent-enough snapshot (a
+/// torn read mid-push can only mis-attribute one sample by one frame).
+struct ThreadStack {
+    depth: AtomicUsize,
+    slots: [AtomicU32; MAX_DEPTH],
+}
+
+impl ThreadStack {
+    fn new() -> Arc<ThreadStack> {
+        Arc::new(ThreadStack {
+            depth: AtomicUsize::new(0),
+            slots: std::array::from_fn(|_| AtomicU32::new(0)),
+        })
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<ThreadStack>>> = const { RefCell::new(None) };
+}
+
+/// Every thread that ever pushed a span, kept weakly so exited threads
+/// drop out; pruned on each sampling pass.
+static THREADS: Mutex<Vec<Weak<ThreadStack>>> = Mutex::new(Vec::new());
+
+/// Interned span names: id → name. Ids are dense indexes into the list.
+static NAMES: RwLock<Vec<String>> = RwLock::new(Vec::new());
+static NAME_IDS: RwLock<BTreeMap<String, u32>> = RwLock::new(BTreeMap::new());
+
+/// Aggregated samples: span-id path → times seen.
+static SAMPLES: Mutex<BTreeMap<Vec<u32>, u64>> = Mutex::new(BTreeMap::new());
+
+/// Total sampling passes taken (including ones that saw no active spans).
+static PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Samples recorded (one per thread with a non-empty stack, per pass).
+static SAMPLES_TAKEN: AtomicU64 = AtomicU64::new(0);
+
+static STARTED: AtomicBool = AtomicBool::new(false);
+static CONFIGURED_HZ: AtomicU64 = AtomicU64::new(0);
+
+fn intern(name: &str) -> u32 {
+    if let Some(&id) = NAME_IDS.read().expect("profiler intern lock").get(name) {
+        return id;
+    }
+    let mut ids = NAME_IDS.write().expect("profiler intern lock");
+    if let Some(&id) = ids.get(name) {
+        return id;
+    }
+    let mut names = NAMES.write().expect("profiler intern lock");
+    let id = names.len() as u32;
+    names.push(name.to_string());
+    ids.insert(name.to_string(), id);
+    id
+}
+
+fn with_stack<R>(f: impl FnOnce(&Arc<ThreadStack>) -> R) -> R {
+    LOCAL.with(|local| {
+        let mut slot = local.borrow_mut();
+        let stack = slot.get_or_insert_with(|| {
+            let stack = ThreadStack::new();
+            THREADS
+                .lock()
+                .expect("profiler thread list lock")
+                .push(Arc::downgrade(&stack));
+            stack
+        });
+        f(stack)
+    })
+}
+
+/// Pushes a span name onto this thread's profiler stack. Called by
+/// [`crate::MetricsRegistry::span`]; spans beyond [`MAX_DEPTH`] are
+/// counted in depth but not recorded.
+pub(crate) fn push(name: &str) {
+    let id = intern(name);
+    with_stack(|stack| {
+        let depth = stack.depth.load(Ordering::Relaxed);
+        if depth < MAX_DEPTH {
+            stack.slots[depth].store(id, Ordering::Relaxed);
+        }
+        // Release-publish the new depth after the slot write so the
+        // sampler never reads an unwritten slot within the claimed depth.
+        stack.depth.store(depth + 1, Ordering::Release);
+    });
+}
+
+/// Pops this thread's profiler stack (saturating — a mismatched trace
+/// guard drop cannot underflow it).
+pub(crate) fn pop() {
+    with_stack(|stack| {
+        let depth = stack.depth.load(Ordering::Relaxed);
+        if depth > 0 {
+            stack.depth.store(depth - 1, Ordering::Release);
+        }
+    });
+}
+
+/// Takes one sampling pass over every registered thread: each thread with
+/// at least one live span contributes one sample to its current span
+/// path. Returns how many samples this pass recorded. The sampler thread
+/// calls this on its tick; deterministic tests call it directly.
+pub fn sample_once() -> usize {
+    let stacks: Vec<Arc<ThreadStack>> = {
+        let mut threads = THREADS.lock().expect("profiler thread list lock");
+        threads.retain(|weak| weak.strong_count() > 0);
+        threads.iter().filter_map(Weak::upgrade).collect()
+    };
+    let mut recorded = 0usize;
+    let mut samples = SAMPLES.lock().expect("profiler samples lock");
+    for stack in stacks {
+        let depth = stack.depth.load(Ordering::Acquire).min(MAX_DEPTH);
+        if depth == 0 {
+            continue;
+        }
+        let path: Vec<u32> = stack.slots[..depth]
+            .iter()
+            .map(|slot| slot.load(Ordering::Relaxed))
+            .collect();
+        *samples.entry(path).or_insert(0) += 1;
+        recorded += 1;
+    }
+    drop(samples);
+    PASSES.fetch_add(1, Ordering::Relaxed);
+    SAMPLES_TAKEN.fetch_add(recorded as u64, Ordering::Relaxed);
+    recorded
+}
+
+/// Total samples recorded since process start (or the last [`reset`]).
+pub fn samples_taken() -> u64 {
+    SAMPLES_TAKEN.load(Ordering::Relaxed)
+}
+
+/// Clears the aggregated samples and the sample counter (profiling a
+/// specific workload phase: reset, run, dump).
+pub fn reset() {
+    SAMPLES.lock().expect("profiler samples lock").clear();
+    SAMPLES_TAKEN.store(0, Ordering::Relaxed);
+    PASSES.store(0, Ordering::Relaxed);
+}
+
+/// The aggregated profile as folded-stacks text: one
+/// `root;child;leaf count` line per distinct sampled span path, sorted by
+/// path — feed it straight to `flamegraph.pl` or speedscope, or render it
+/// with [`crate::admin_view::render_profile`].
+pub fn folded() -> String {
+    let names = NAMES.read().expect("profiler intern lock");
+    let samples = SAMPLES.lock().expect("profiler samples lock");
+    let mut out = String::new();
+    for (path, count) in samples.iter() {
+        let mut first = true;
+        for &id in path {
+            if !first {
+                out.push(';');
+            }
+            first = false;
+            match names.get(id as usize) {
+                Some(name) => out.push_str(name),
+                None => out.push('?'),
+            }
+        }
+        out.push(' ');
+        out.push_str(&count.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// The Hz the background sampler is running at (0 when not started).
+pub fn configured_hz() -> u64 {
+    CONFIGURED_HZ.load(Ordering::Relaxed)
+}
+
+/// Starts the background sampler at `hz` (clamped to 1..=[`MAX_HZ`]).
+/// Idempotent: the first call wins and returns `true`; later calls (and
+/// `hz == 0`) are no-ops returning `false`. The sampler thread is a
+/// daemon — it never blocks process exit beyond its tick.
+pub fn start(hz: u64) -> bool {
+    if hz == 0 {
+        return false;
+    }
+    let hz = hz.clamp(1, MAX_HZ);
+    if STARTED.swap(true, Ordering::AcqRel) {
+        return false;
+    }
+    CONFIGURED_HZ.store(hz, Ordering::Relaxed);
+    let tick = std::time::Duration::from_micros(1_000_000 / hz);
+    std::thread::Builder::new()
+        .name("lash-obs-profiler".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(tick);
+            sample_once();
+        })
+        .map(|_| true)
+        .unwrap_or_else(|e| {
+            eprintln!("lash-obs: profiler thread failed to start: {e}");
+            false
+        })
+}
+
+/// Starts the sampler at the frequency named by [`PROFILE_HZ_ENV`]
+/// (default [`DEFAULT_HZ`]; `0` disables). Returns the effective Hz, 0
+/// when disabled. This is the daemon's opt-in entry point — libraries do
+/// not start sampling on their own.
+pub fn start_from_env() -> u64 {
+    let hz = std::env::var(PROFILE_HZ_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_HZ);
+    if hz == 0 {
+        return 0;
+    }
+    start(hz);
+    configured_hz()
+}

@@ -17,6 +17,12 @@
 //! * no two `span` events share a `span_id` within a trace;
 //! * every `parent_id` resolves to a `span` emitted in the same trace;
 //! * every trace containing spans has exactly one root (no `parent_id`).
+//!
+//! The stream-level graph checks assume a *complete* stream. A flight-
+//! recorder ring dump (or a daemon's `RecentEvents` admin reply) is a
+//! window onto a longer stream — parents and roots may have scrolled out —
+//! so those are checked with [`validate_str_schema_only`], which keeps
+//! every per-line check but skips the graph.
 
 use crate::json::{self, Value};
 use crate::trace::TraceCtx;
@@ -104,6 +110,12 @@ pub fn validate_line(line: &str) -> Result<ParsedEvent, String> {
     if event == "span" && ctx.is_none() {
         return Err("\"span\" event without trace context".to_string());
     }
+    if event == "admin" {
+        match v.get("kind").and_then(Value::as_str) {
+            Some(kind) if !kind.is_empty() => {}
+            _ => return Err("\"admin\" event without a string \"kind\"".to_string()),
+        }
+    }
     Ok(ParsedEvent {
         event,
         name,
@@ -122,6 +134,8 @@ pub struct StreamStats {
     pub spans: u64,
     /// Lines with `event == "slow_op"`.
     pub slow_ops: u64,
+    /// Lines with `event == "admin"` (admin-lane requests answered).
+    pub admins: u64,
     /// Distinct traces seen (events carrying a `trace_id`).
     pub traces: u64,
 }
@@ -143,6 +157,17 @@ struct TraceCheck {
 pub fn validate_lines<'a>(
     lines: impl IntoIterator<Item = (usize, &'a str)>,
 ) -> Result<(Vec<ParsedEvent>, StreamStats), String> {
+    validate_lines_with(lines, true)
+}
+
+/// [`validate_lines`] with the stream-level graph checks made optional:
+/// pass `check_graph = false` for *windowed* streams (flight-recorder
+/// dumps, `RecentEvents` admin replies) where parents and roots may have
+/// scrolled out of the ring. Per-line schema checks always run.
+pub fn validate_lines_with<'a>(
+    lines: impl IntoIterator<Item = (usize, &'a str)>,
+    check_graph: bool,
+) -> Result<(Vec<ParsedEvent>, StreamStats), String> {
     let mut stats = StreamStats::default();
     let mut events = Vec::new();
     let mut traces: BTreeMap<u64, TraceCheck> = BTreeMap::new();
@@ -152,6 +177,7 @@ pub fn validate_lines<'a>(
         match parsed.event.as_str() {
             "span" => stats.spans += 1,
             "slow_op" => stats.slow_ops += 1,
+            "admin" => stats.admins += 1,
             _ => {}
         }
         if let Some(ctx) = parsed.ctx {
@@ -174,6 +200,9 @@ pub fn validate_lines<'a>(
         events.push(parsed);
     }
     stats.traces = traces.len() as u64;
+    if !check_graph {
+        return Ok((events, stats));
+    }
     for (trace_id, check) in &traces {
         for (number, parent_id) in &check.parents {
             if !check.spans.contains_key(parent_id) {
@@ -197,13 +226,22 @@ pub fn validate_lines<'a>(
 
 /// [`validate_lines`] over a string buffer, skipping blank lines.
 pub fn validate_str(input: &str) -> Result<(Vec<ParsedEvent>, StreamStats), String> {
-    validate_lines(
-        input
-            .lines()
-            .enumerate()
-            .filter(|(_, l)| !l.trim().is_empty())
-            .map(|(i, l)| (i + 1, l)),
-    )
+    validate_lines(numbered_lines(input))
+}
+
+/// Schema-only validation over a string buffer: every per-line check, no
+/// trace-graph integrity — for ring dumps and `RecentEvents` scrapes,
+/// which are windows onto a longer stream.
+pub fn validate_str_schema_only(input: &str) -> Result<(Vec<ParsedEvent>, StreamStats), String> {
+    validate_lines_with(numbered_lines(input), false)
+}
+
+fn numbered_lines(input: &str) -> impl Iterator<Item = (usize, &str)> {
+    input
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| (i + 1, l))
 }
 
 #[cfg(test)]
@@ -240,9 +278,34 @@ mod tests {
                 events: 5,
                 spans: 3,
                 slow_ops: 1,
+                admins: 0,
                 traces: 1
             }
         );
+    }
+
+    #[test]
+    fn admin_events_require_a_kind_and_are_counted() {
+        let err = validate_line("{\"ts_us\":1,\"event\":\"admin\",\"name\":\"serve.admin\"}")
+            .unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+        let input =
+            "{\"ts_us\":1,\"event\":\"admin\",\"name\":\"serve.admin\",\"kind\":\"health\"}";
+        let (_, stats) = validate_str(input).expect("valid admin event");
+        assert_eq!(stats.admins, 1);
+    }
+
+    #[test]
+    fn schema_only_mode_accepts_a_truncated_window() {
+        // A child span whose parent scrolled out of the ring: the full
+        // graph check rejects it, the windowed check accepts it.
+        let input = line("span", "orphan", &ids("a1", "2", Some("99")), Some(5));
+        assert!(validate_str(&input).is_err());
+        let (events, stats) = validate_str_schema_only(&input).expect("schema-only accepts");
+        assert_eq!(events.len(), 1);
+        assert_eq!(stats.spans, 1);
+        // Schema violations still fail.
+        assert!(validate_str_schema_only("{\"event\":\"span\"}").is_err());
     }
 
     #[test]

@@ -1,0 +1,550 @@
+//! Sliding-window metrics: counters and log2 histograms that answer
+//! "over the last N seconds", not "since the process started".
+//!
+//! ## Model
+//!
+//! A windowed metric is a fixed ring of time buckets, each one
+//! [`WindowConfig::bucket_width_us`] wide. A write lands in the bucket of
+//! the current *epoch* (`now / width`); the slot it maps to
+//! (`epoch % buckets`) is lazily recycled when its stored epoch is stale —
+//! one CAS winner clears the slot, everyone else proceeds with plain
+//! relaxed adds, so the write path stays lock-free. A readout sums every
+//! slot whose epoch is still inside the window, which makes expiry
+//! automatic: data older than the window is either overwritten or ignored.
+//!
+//! ## Clocks
+//!
+//! Time is injected. Every handle carries a [`WindowClock`] — monotonic
+//! (an `Instant` origin) in production, [`WindowClock::manual`] in tests —
+//! and every operation also has an `_at(now_us, ...)` twin taking the
+//! microsecond timestamp explicitly, so rotation and expiry are
+//! deterministically testable without sleeping.
+//!
+//! ## Accuracy
+//!
+//! Windowed percentiles carry the same log2 quantization as the process-
+//! lifetime [`crate::Histogram`] (a p99 is exact to within one power of
+//! two, capped at the observed in-window max). The window itself is
+//! bucket-granular: it covers the last `buckets` epochs *including the
+//! partially-elapsed current one*, so the effective span breathes between
+//! `(buckets-1)·width` and `buckets·width`. Concurrent rotation is
+//! best-effort: a writer racing the slot recycler can lose its one
+//! observation into the cleared slot — fine for metrics, pinned exact in
+//! the single-threaded deterministic tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::{bucket_index, HistogramSnapshot, NUM_BUCKETS};
+
+/// Ring size of a default-configured window: 60 buckets.
+pub const DEFAULT_WINDOW_BUCKETS: usize = 60;
+
+/// Bucket width of a default-configured window: one second.
+pub const DEFAULT_BUCKET_WIDTH_US: u64 = 1_000_000;
+
+/// Shape of a windowed metric: how wide each time bucket is and how many
+/// the ring holds. The default (60 × 1 s) answers "over the last minute".
+#[derive(Clone, Copy, Debug)]
+pub struct WindowConfig {
+    /// Width of one time bucket in microseconds (clamped to ≥ 1).
+    pub bucket_width_us: u64,
+    /// Number of buckets in the ring (clamped to ≥ 2: one current, at
+    /// least one settled).
+    pub buckets: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> WindowConfig {
+        WindowConfig {
+            bucket_width_us: DEFAULT_BUCKET_WIDTH_US,
+            buckets: DEFAULT_WINDOW_BUCKETS,
+        }
+    }
+}
+
+impl WindowConfig {
+    fn width(&self) -> u64 {
+        self.bucket_width_us.max(1)
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.max(2)
+    }
+
+    /// The full window span in microseconds (`buckets × width`).
+    pub fn window_us(&self) -> u64 {
+        self.width().saturating_mul(self.len() as u64)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum ClockInner {
+    Monotonic(Instant),
+    Manual(Arc<AtomicU64>),
+}
+
+/// The time source of a windowed metric. Cloning shares the underlying
+/// clock: every handle cloned from a [`WindowClock::manual`] clock observes
+/// the same [`ManualClock`] advances.
+#[derive(Clone, Debug)]
+pub struct WindowClock {
+    inner: ClockInner,
+}
+
+impl Default for WindowClock {
+    fn default() -> WindowClock {
+        WindowClock::monotonic()
+    }
+}
+
+impl WindowClock {
+    /// A real clock: microseconds since this call.
+    pub fn monotonic() -> WindowClock {
+        WindowClock {
+            inner: ClockInner::Monotonic(Instant::now()),
+        }
+    }
+
+    /// A test clock starting at 0; advance it through the returned handle.
+    pub fn manual() -> (WindowClock, ManualClock) {
+        let cell = Arc::new(AtomicU64::new(0));
+        (
+            WindowClock {
+                inner: ClockInner::Manual(Arc::clone(&cell)),
+            },
+            ManualClock { cell },
+        )
+    }
+
+    /// The current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            ClockInner::Monotonic(origin) => {
+                origin.elapsed().as_micros().min(u64::MAX as u128) as u64
+            }
+            ClockInner::Manual(cell) => cell.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The writable half of a [`WindowClock::manual`] pair.
+#[derive(Clone, Debug)]
+pub struct ManualClock {
+    cell: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Sets the clock to an absolute microsecond timestamp.
+    pub fn set(&self, now_us: u64) {
+        self.cell.store(now_us, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `delta_us`.
+    pub fn advance(&self, delta_us: u64) {
+        self.cell.fetch_add(delta_us, Ordering::Relaxed);
+    }
+
+    /// The current reading.
+    pub fn now_us(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// One time bucket of a [`WindowedCounter`].
+#[derive(Debug)]
+struct CounterSlot {
+    epoch: AtomicU64,
+    count: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CounterInner {
+    width_us: u64,
+    slots: Box<[CounterSlot]>,
+}
+
+/// A counter whose readout covers only the last
+/// [`WindowConfig::window_us`] microseconds. Writes are lock-free (one
+/// epoch check plus a relaxed add; a stale slot costs one CAS to recycle).
+#[derive(Clone, Debug)]
+pub struct WindowedCounter {
+    inner: Arc<CounterInner>,
+    clock: WindowClock,
+}
+
+impl WindowedCounter {
+    /// A windowed counter with the given shape and clock.
+    pub fn new(config: WindowConfig, clock: WindowClock) -> WindowedCounter {
+        WindowedCounter {
+            inner: Arc::new(CounterInner {
+                width_us: config.width(),
+                slots: (0..config.len())
+                    .map(|_| CounterSlot {
+                        epoch: AtomicU64::new(0),
+                        count: AtomicU64::new(0),
+                    })
+                    .collect(),
+            }),
+            clock,
+        }
+    }
+
+    /// The full window span in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.inner.width_us * self.inner.slots.len() as u64
+    }
+
+    /// Adds `n` at the clock's current time.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.add_at(self.clock.now_us(), n);
+    }
+
+    /// Adds one at the clock's current time.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` at an explicit timestamp (the deterministic-test form).
+    pub fn add_at(&self, now_us: u64, n: u64) {
+        let epoch = now_us / self.inner.width_us;
+        let slot = &self.inner.slots[(epoch % self.inner.slots.len() as u64) as usize];
+        let seen = slot.epoch.load(Ordering::Acquire);
+        if seen != epoch {
+            // One winner recycles the slot for the new epoch; losers (and
+            // the winner) then add normally. A concurrent reader may
+            // transiently see the new epoch with the old count — a
+            // one-readout blip, acceptable for metrics.
+            if slot
+                .epoch
+                .compare_exchange(seen, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.count.store(0, Ordering::Release);
+            }
+        }
+        slot.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The count over the window ending at the clock's current time.
+    pub fn total(&self) -> u64 {
+        self.total_at(self.clock.now_us())
+    }
+
+    /// The count over the window ending at `now_us`.
+    pub fn total_at(&self, now_us: u64) -> u64 {
+        let epoch = now_us / self.inner.width_us;
+        let len = self.inner.slots.len() as u64;
+        self.inner
+            .slots
+            .iter()
+            .filter(|slot| {
+                let e = slot.epoch.load(Ordering::Acquire);
+                e <= epoch && epoch - e < len
+            })
+            .map(|slot| slot.count.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// One time bucket of a [`WindowedHistogram`].
+#[derive(Debug)]
+struct HistogramSlot {
+    epoch: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    width_us: u64,
+    slots: Box<[HistogramSlot]>,
+}
+
+/// A log2 histogram whose snapshot covers only the last
+/// [`WindowConfig::window_us`] microseconds, so its percentiles are "p99
+/// over the last minute". Shares the bucket scheme (and
+/// [`HistogramSnapshot`] readout) with the lifetime [`crate::Histogram`].
+#[derive(Clone, Debug)]
+pub struct WindowedHistogram {
+    inner: Arc<HistogramInner>,
+    clock: WindowClock,
+}
+
+impl WindowedHistogram {
+    /// A windowed histogram with the given shape and clock.
+    pub fn new(config: WindowConfig, clock: WindowClock) -> WindowedHistogram {
+        WindowedHistogram {
+            inner: Arc::new(HistogramInner {
+                width_us: config.width(),
+                slots: (0..config.len())
+                    .map(|_| HistogramSlot {
+                        epoch: AtomicU64::new(0),
+                        buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                        sum: AtomicU64::new(0),
+                        max: AtomicU64::new(0),
+                    })
+                    .collect(),
+            }),
+            clock,
+        }
+    }
+
+    /// The full window span in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.inner.width_us * self.inner.slots.len() as u64
+    }
+
+    /// Records one observation at the clock's current time.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_at(self.clock.now_us(), value);
+    }
+
+    /// Records a duration in microseconds at the clock's current time.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one observation at an explicit timestamp.
+    pub fn record_at(&self, now_us: u64, value: u64) {
+        let epoch = now_us / self.inner.width_us;
+        let slot = &self.inner.slots[(epoch % self.inner.slots.len() as u64) as usize];
+        let seen = slot.epoch.load(Ordering::Acquire);
+        if seen != epoch
+            && slot
+                .epoch
+                .compare_exchange(seen, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            for bucket in &slot.buckets {
+                bucket.store(0, Ordering::Relaxed);
+            }
+            slot.sum.store(0, Ordering::Relaxed);
+            slot.max.store(0, Ordering::Release);
+        }
+        slot.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+        slot.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The observations inside the window ending at the clock's current
+    /// time, as a [`HistogramSnapshot`] (percentiles included).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.snapshot_at(self.clock.now_us())
+    }
+
+    /// The observations inside the window ending at `now_us`.
+    pub fn snapshot_at(&self, now_us: u64) -> HistogramSnapshot {
+        let epoch = now_us / self.inner.width_us;
+        let len = self.inner.slots.len() as u64;
+        let mut buckets = [0u64; NUM_BUCKETS];
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for slot in self.inner.slots.iter() {
+            let e = slot.epoch.load(Ordering::Acquire);
+            if e > epoch || epoch - e >= len {
+                continue;
+            }
+            for (acc, bucket) in buckets.iter_mut().zip(slot.buckets.iter()) {
+                *acc += bucket.load(Ordering::Relaxed);
+            }
+            sum += slot.sum.load(Ordering::Relaxed);
+            max = max.max(slot.max.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum,
+            max,
+            buckets,
+        }
+    }
+}
+
+/// One windowed metric's readout, ready for an admin reply or a `top`
+/// view: rates come from `count / window_us`, latency percentiles from the
+/// `p*` fields. Counters report `count` only (the `p*`/`max`/`sum` fields
+/// stay 0).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WindowStat {
+    /// The metric's registry name (`query.support_us`, `query.requests`).
+    pub name: String,
+    /// The window span the numbers cover, in microseconds.
+    pub window_us: u64,
+    /// Observations (or counted events) inside the window.
+    pub count: u64,
+    /// Sum of observed values inside the window (histograms only).
+    pub sum: u64,
+    /// In-window p50 (histograms only).
+    pub p50: u64,
+    /// In-window p95 (histograms only).
+    pub p95: u64,
+    /// In-window p99 (histograms only).
+    pub p99: u64,
+    /// Largest in-window observation (histograms only).
+    pub max: u64,
+}
+
+impl WindowStat {
+    /// Events per second over the window, using `active_us` (typically
+    /// `min(window_us, process uptime)`) as the denominator so a freshly
+    /// started process does not under-report its rate.
+    pub fn rate_per_sec(&self, active_us: u64) -> f64 {
+        let span = self.window_us.min(active_us.max(1)).max(1);
+        self.count as f64 * 1_000_000.0 / span as f64
+    }
+}
+
+/// The registry's windowed-metric table: named counters and histograms
+/// sharing one clock and shape. Lookups mirror the lifetime metric maps
+/// (read-locked probe, registered on first use).
+pub(crate) struct WindowSet {
+    clock: RwLock<WindowClock>,
+    config: WindowConfig,
+    counters: RwLock<std::collections::BTreeMap<String, WindowedCounter>>,
+    histograms: RwLock<std::collections::BTreeMap<String, WindowedHistogram>>,
+}
+
+impl WindowSet {
+    pub(crate) fn new() -> WindowSet {
+        WindowSet {
+            clock: RwLock::new(WindowClock::monotonic()),
+            config: WindowConfig::default(),
+            counters: RwLock::default(),
+            histograms: RwLock::default(),
+        }
+    }
+
+    pub(crate) fn set_clock(&self, clock: WindowClock) {
+        *self.clock.write().expect("window clock lock") = clock;
+    }
+
+    fn clock(&self) -> WindowClock {
+        self.clock.read().expect("window clock lock").clone()
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> WindowedCounter {
+        if let Some(c) = self.counters.read().expect("window map lock").get(name) {
+            return c.clone();
+        }
+        let fresh = WindowedCounter::new(self.config, self.clock());
+        self.counters
+            .write()
+            .expect("window map lock")
+            .entry(name.to_string())
+            .or_insert(fresh)
+            .clone()
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> WindowedHistogram {
+        if let Some(h) = self.histograms.read().expect("window map lock").get(name) {
+            return h.clone();
+        }
+        let fresh = WindowedHistogram::new(self.config, self.clock());
+        self.histograms
+            .write()
+            .expect("window map lock")
+            .entry(name.to_string())
+            .or_insert(fresh)
+            .clone()
+    }
+
+    /// Every windowed metric's current readout, counters first then
+    /// histograms, each group sorted by name.
+    pub(crate) fn stats(&self) -> Vec<WindowStat> {
+        let mut out = Vec::new();
+        for (name, counter) in self.counters.read().expect("window map lock").iter() {
+            out.push(WindowStat {
+                name: name.clone(),
+                window_us: counter.window_us(),
+                count: counter.total(),
+                ..WindowStat::default()
+            });
+        }
+        for (name, histogram) in self.histograms.read().expect("window map lock").iter() {
+            let s = histogram.snapshot();
+            out.push(WindowStat {
+                name: name.clone(),
+                window_us: histogram.window_us(),
+                count: s.count,
+                sum: s.sum,
+                p50: s.percentile(0.5),
+                p95: s.percentile(0.95),
+                p99: s.percentile(0.99),
+                max: s.max,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_within_window_only() {
+        let config = WindowConfig {
+            bucket_width_us: 10,
+            buckets: 4,
+        };
+        let (clock, hands) = WindowClock::manual();
+        let c = WindowedCounter::new(config, clock);
+        assert_eq!(c.window_us(), 40);
+        c.add(3); // epoch 0
+        hands.set(15);
+        c.add(2); // epoch 1
+        assert_eq!(c.total(), 5);
+        // Window ending in epoch 4 covers epochs 1..=4: epoch 0 expired.
+        hands.set(45);
+        assert_eq!(c.total(), 2);
+        // Epoch 5 reuses epoch 1's slot: the recycle drops the old 2.
+        hands.set(52);
+        c.add(7);
+        assert_eq!(c.total(), 7);
+    }
+
+    #[test]
+    fn histogram_window_rotates_and_percentiles_cap_at_max() {
+        let config = WindowConfig {
+            bucket_width_us: 100,
+            buckets: 3,
+        };
+        let (clock, hands) = WindowClock::manual();
+        let h = WindowedHistogram::new(config, clock);
+        h.record(1_000); // epoch 0
+        hands.set(150);
+        h.record(10); // epoch 1
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 1_010);
+        assert_eq!(s.max, 1_000);
+        assert_eq!(s.percentile(0.99), 1_000);
+        // Epoch 3: the window is epochs 1..=3, the 1_000 expired.
+        hands.set(310);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 10);
+        // Far future: everything expired.
+        hands.set(10_000);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn rate_uses_the_smaller_of_window_and_uptime() {
+        let stat = WindowStat {
+            window_us: 60_000_000,
+            count: 120,
+            ..WindowStat::default()
+        };
+        // A minute-old process: 120 events over 60 s.
+        assert!((stat.rate_per_sec(120_000_000) - 2.0).abs() < 1e-9);
+        // A 2-second-old process: the same 120 events happened in 2 s.
+        assert!((stat.rate_per_sec(2_000_000) - 60.0).abs() < 1e-9);
+    }
+}

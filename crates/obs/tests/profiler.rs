@@ -1,0 +1,70 @@
+//! The span-stack sampling profiler against a synthetic workload with a
+//! known hot span: when one thread sits inside `prof.hot` for the whole
+//! sampling interval, at least half of all samples must land on a path
+//! containing it. Sampling is driven manually (`sample_once`) so the test
+//! is deterministic — no timer, no Hz, no sleeps racing the sampler.
+//!
+//! One test function on purpose: samples aggregate process-globally, so
+//! parallel `#[test]`s would see each other's spans.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use lash_obs::profiler;
+
+#[test]
+fn samples_concentrate_under_the_hot_span() {
+    let ready = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // The hot worker: parks inside prof.hot_outer → prof.hot for the
+    // whole test.
+    let hot = {
+        let (ready, stop) = (Arc::clone(&ready), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let _outer = lash_obs::span!("prof.hot_outer");
+            let _inner = lash_obs::span!("prof.hot");
+            ready.store(true, Ordering::Release);
+            while !stop.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        })
+    };
+    while !ready.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+
+    profiler::reset();
+    const PASSES: usize = 200;
+    for _ in 0..PASSES {
+        // A cold span that exists only part of the time: each pass spends
+        // one short span on this thread, dropped before sampling.
+        drop(lash_obs::span!("prof.cold"));
+        profiler::sample_once();
+    }
+    stop.store(true, Ordering::Release);
+    hot.join().expect("hot worker");
+
+    let folded = profiler::folded();
+    let total = profiler::samples_taken();
+    assert!(total >= PASSES as u64, "hot thread sampled every pass");
+    let hot_samples: u64 = folded
+        .lines()
+        .filter(|l| l.contains("prof.hot"))
+        .filter_map(|l| l.rsplit_once(' ')?.1.parse::<u64>().ok())
+        .sum();
+    assert!(
+        hot_samples * 2 >= total,
+        "hot span holds {hot_samples} of {total} samples; folded:\n{folded}"
+    );
+    // The full call path is attributed, parent before child.
+    assert!(
+        folded.contains("prof.hot_outer;prof.hot "),
+        "folded output names the nested path:\n{folded}"
+    );
+
+    // Reset empties the aggregate.
+    profiler::reset();
+    assert_eq!(profiler::samples_taken(), 0);
+    assert_eq!(profiler::folded(), "");
+}

@@ -1,0 +1,131 @@
+//! Windowed metrics under an injected clock: bucket rotation and expiry
+//! must be deterministic, and every windowed readout — count, sum, max,
+//! and each percentile — must equal a brute-force recomputation from the
+//! raw timestamped events.
+
+use lash_obs::window::{
+    ManualClock, WindowClock, WindowConfig, WindowedCounter, WindowedHistogram,
+};
+use lash_obs::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+const CONFIG: WindowConfig = WindowConfig {
+    bucket_width_us: 100,
+    buckets: 8,
+};
+
+fn manual_pair() -> (WindowClock, ManualClock) {
+    WindowClock::manual()
+}
+
+/// The set of epochs a readout at `now` covers: the current epoch and the
+/// `buckets - 1` before it.
+fn in_window(event_us: u64, now_us: u64) -> bool {
+    let width = CONFIG.bucket_width_us;
+    let (event_epoch, now_epoch) = (event_us / width, now_us / width);
+    event_epoch <= now_epoch && now_epoch - event_epoch < CONFIG.buckets as u64
+}
+
+#[test]
+fn expired_buckets_drop_out_as_the_clock_advances() {
+    let (clock, hands) = manual_pair();
+    let h = WindowedHistogram::new(CONFIG, clock);
+    for i in 0..8u64 {
+        hands.set(i * 100); // one observation per epoch
+        h.record(1 << i);
+    }
+    assert_eq!(h.snapshot().count, 8);
+    // Each further epoch expires exactly the oldest observation.
+    for i in 0..8u64 {
+        hands.set((8 + i) * 100);
+        let s = h.snapshot();
+        assert_eq!(s.count, 7 - i, "at epoch {}", 8 + i);
+        if s.count > 0 {
+            // The surviving max is the newest surviving observation.
+            assert_eq!(s.max, 1 << 7);
+        }
+    }
+    assert_eq!(h.snapshot().count, 0);
+}
+
+#[test]
+fn registry_window_stats_report_counters_and_histograms() {
+    let registry = MetricsRegistry::new();
+    let (clock, hands) = manual_pair();
+    registry.set_window_clock(clock);
+    let requests = registry.windowed_counter("test.requests");
+    let latency = registry.windowed_histogram("test.latency_us");
+    hands.set(500);
+    requests.add(3);
+    latency.record(200);
+    latency.record(1_000);
+    let stats = registry.window_stats();
+    let req = stats.iter().find(|w| w.name == "test.requests").unwrap();
+    assert_eq!(req.count, 3);
+    assert_eq!(req.p99, 0);
+    let lat = stats.iter().find(|w| w.name == "test.latency_us").unwrap();
+    assert_eq!(lat.count, 2);
+    assert_eq!(lat.sum, 1_200);
+    assert_eq!(lat.max, 1_000);
+    assert_eq!(lat.p99, 1_000);
+    // Same handle, same clock: expiry shows up in the registry readout.
+    hands.advance(lat.window_us * 2);
+    let stats = registry.window_stats();
+    assert_eq!(
+        stats
+            .iter()
+            .find(|w| w.name == "test.requests")
+            .unwrap()
+            .count,
+        0
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Windowed percentiles and rates vs brute force: replay arbitrary
+    /// timestamped events into a windowed histogram + counter, then at an
+    /// arbitrary readout instant rebuild a plain histogram from exactly
+    /// the raw events still inside the window — every statistic must
+    /// match exactly (same log2 buckets on both sides).
+    #[test]
+    fn windowed_readout_matches_brute_force(
+        steps in prop::collection::vec((0u64..250, 0u64..100_000), 1..120),
+        extra_wait in 0u64..1_000,
+    ) {
+        let (clock, hands) = manual_pair();
+        let h = WindowedHistogram::new(CONFIG, clock.clone());
+        let c = WindowedCounter::new(CONFIG, clock);
+        let mut raw: Vec<(u64, u64)> = Vec::new();
+        let mut now = 0u64;
+        for (advance, value) in steps {
+            now += advance;
+            hands.set(now);
+            h.record(value);
+            c.inc();
+            raw.push((now, value));
+        }
+        now += extra_wait;
+        hands.set(now);
+
+        let brute = Histogram::default();
+        let mut expected_count = 0u64;
+        for &(ts, value) in &raw {
+            if in_window(ts, now) {
+                brute.record(value);
+                expected_count += 1;
+            }
+        }
+        let expect = brute.snapshot();
+        let got = h.snapshot();
+        prop_assert_eq!(c.total(), expected_count);
+        prop_assert_eq!(got.count, expect.count);
+        prop_assert_eq!(got.sum, expect.sum);
+        prop_assert_eq!(got.max, expect.max);
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(got.percentile(q), expect.percentile(q));
+        }
+        prop_assert_eq!(&got.buckets[..], &expect.buckets[..]);
+    }
+}

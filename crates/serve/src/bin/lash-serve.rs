@@ -13,8 +13,13 @@
 //!   deterministic demo dataset.
 //! - `--rounds`: lifecycle rounds to drive before settling into
 //!   serve-only mode (default 3).
-//! - `--once`: exit after the first client connection closes (and the
-//!   rounds are done) — the CI smoke mode.
+//! - `--once`: exit after the first **query-carrying** client connection
+//!   closes (and the rounds are done) — the CI smoke mode. Admin-only
+//!   connections (`obs top`, metrics scrapes) never trigger the exit.
+//!
+//! The daemon starts the span-stack sampling profiler when
+//! `LASH_OBS_PROFILE_HZ` is set, and dumps the obs flight recorder on
+//! panic and on error exit so post-mortems have the last events in hand.
 
 use std::time::Duration;
 
@@ -98,8 +103,22 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // A panic anywhere in the daemon dumps the flight recorder before the
+    // default hook prints the backtrace — the ring's last events are the
+    // post-mortem context.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(path) = lash_obs::flight::dump_now("panic") {
+            eprintln!("lash-serve: flight recorder dumped to {}", path.display());
+        }
+        default_hook(info);
+    }));
+    lash_obs::profiler::start_from_env();
     if let Err(e) = run(&args) {
         eprintln!("lash-serve: {e}");
+        if let Some(path) = lash_obs::flight::dump_now("error-exit") {
+            eprintln!("lash-serve: flight recorder dumped to {}", path.display());
+        }
         std::process::exit(1);
     }
 }
@@ -125,11 +144,13 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let params = GsmParams::new(5, 1, 4)?;
     let mut lifecycle =
         Lifecycle::bootstrap(&corpus_dir, &index_root, Lash::default(), params, &config)?;
-    let server = Server::start(lifecycle.service(), &config)?;
+    let server = Server::start_with_health(lifecycle.service(), &config, lifecycle.health())?;
     // The scrape-able line scripts and the smoke test wait for.
     println!("listening on {}", server.local_addr());
 
-    let disconnects = lash_obs::global().counter("serve.disconnects");
+    // Admin-only connections (scrapes, `obs top`) also disconnect; waiting
+    // on query-carrying ones keeps `--once` pinned to the real client.
+    let disconnects = lash_obs::global().counter("serve.query_disconnects");
     for round in 1..=args.rounds {
         let batch = demo_sequences(&leaves, 500, round);
         let refs: Vec<&[ItemId]> = batch.iter().map(Vec::as_slice).collect();

@@ -10,7 +10,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use lash_encoding::frame::{self, FrameChecksum};
 use lash_index::{Query, QueryError, QueryReply};
 
-use crate::proto::{self, Request, Response, MAGIC, PROTOCOL_VERSION};
+use crate::proto::{self, AdminReply, AdminRequest, ReplyBody, Request, Response};
+use crate::proto::{MAGIC, PROTOCOL_VERSION};
 
 /// A connected, handshaken client.
 #[derive(Debug)]
@@ -101,5 +102,36 @@ impl Client {
             QueryReply::Error(e) => Err(e),
             reply => Ok(reply),
         })
+    }
+
+    /// Sends one admin request and waits for its reply. Call-and-response
+    /// only: do not interleave with pipelined [`Client::send`]s whose
+    /// replies are still outstanding (ops tooling uses a dedicated
+    /// connection; so should you).
+    pub fn admin(&mut self, request: &AdminRequest) -> std::io::Result<AdminReply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        proto::encode_admin_request(id, request, &mut self.scratch);
+        frame::write_frame(&self.scratch, &mut self.stream)?;
+        match frame::read_frame_into(&mut self.stream, &mut self.buf, FrameChecksum::Fnv1a)? {
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Some(len) => match proto::decode_reply(&self.buf[..len])
+                .map_err(|e| io_invalid(format!("undecodable admin reply: {e}")))?
+            {
+                (rid, ReplyBody::Admin(reply)) if rid == id => Ok(reply),
+                (rid, ReplyBody::Admin(_)) => Err(io_invalid(format!(
+                    "admin reply id {rid} does not match request id {id}"
+                ))),
+                (_, ReplyBody::Query(QueryReply::Error(e))) => {
+                    Err(io_invalid(format!("server rejected admin request: {e}")))
+                }
+                (rid, ReplyBody::Query(_)) => Err(io_invalid(format!(
+                    "query reply {rid} arrived where an admin reply was expected"
+                ))),
+            },
+        }
     }
 }

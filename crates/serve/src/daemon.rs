@@ -25,6 +25,7 @@ use lash_index::{PatternIndexReader, QueryService};
 use lash_store::compact::{self, CompactionConfig, CompactionStats};
 use lash_store::{CorpusReader, IncrementalWriter};
 
+use crate::ops::{HealthState, Phase};
 use crate::{Result, ServeConfig};
 
 /// What one [`Lifecycle::refresh`] round did.
@@ -50,6 +51,7 @@ pub struct Lifecycle {
     compaction: CompactionConfig,
     round: u64,
     live_index: PathBuf,
+    health: Arc<HealthState>,
 }
 
 impl Lifecycle {
@@ -67,8 +69,12 @@ impl Lifecycle {
         std::fs::create_dir_all(&index_root)?;
         let compaction =
             CompactionConfig::default().with_merge_rate_limit(config.compaction_bytes_per_sec);
-        let (live_index, _, _) = mine_and_index(&corpus_dir, &index_root, &lash, &params, 0)?;
+        let health = Arc::new(HealthState::new());
+        let (live_index, _, _) =
+            mine_and_index(&corpus_dir, &index_root, &lash, &params, 0, &health)?;
         let service = Arc::new(QueryService::new(PatternIndexReader::open(&live_index)?));
+        health.record_swap(0);
+        health.set_phase(Phase::Serving);
         Ok(Lifecycle {
             corpus_dir,
             index_root,
@@ -78,6 +84,7 @@ impl Lifecycle {
             compaction,
             round: 0,
             live_index,
+            health,
         })
     }
 
@@ -85,6 +92,13 @@ impl Lifecycle {
     /// performed by [`Lifecycle::refresh`] are visible to every holder.
     pub fn service(&self) -> Arc<QueryService> {
         Arc::clone(&self.service)
+    }
+
+    /// The live health state this lifecycle publishes into — hand this to
+    /// [`crate::Server::start_with_health`] so the admin lane's `Health`
+    /// reply reports lifecycle phase, snapshot age, and throttle state.
+    pub fn health(&self) -> Arc<HealthState> {
+        Arc::clone(&self.health)
     }
 
     /// The corpus directory this lifecycle ingests into.
@@ -95,14 +109,19 @@ impl Lifecycle {
     /// Appends `sequences` as one sealed generation. Returns how many were
     /// written.
     pub fn ingest<'a>(&mut self, sequences: impl IntoIterator<Item = &'a [ItemId]>) -> Result<u64> {
-        let mut writer = IncrementalWriter::open(&self.corpus_dir)?;
-        let mut appended = 0u64;
-        for seq in sequences {
-            writer.append(seq)?;
-            appended += 1;
-        }
-        writer.finish()?;
-        Ok(appended)
+        self.health.set_phase(Phase::Ingest);
+        let result = (|| {
+            let mut writer = IncrementalWriter::open(&self.corpus_dir)?;
+            let mut appended = 0u64;
+            for seq in sequences {
+                writer.append(seq)?;
+                appended += 1;
+            }
+            writer.finish()?;
+            Ok(appended)
+        })();
+        self.health.set_phase(Phase::Serving);
+        result
     }
 
     /// One refresh round: compact (rate-limited, snapshot-safe), re-mine,
@@ -112,16 +131,25 @@ impl Lifecycle {
         self.round += 1;
         let round = self.round;
         let _span = lash_obs::span!("serve.refresh", round = round);
+        self.health.set_round(round);
 
+        self.health.set_phase(Phase::Compact);
         let compaction = compact::compact(&self.corpus_dir, &self.compaction)?;
+        if let Some(stats) = &compaction {
+            self.health
+                .add_throttle_wait_us(stats.throttle_wait.as_micros().min(u64::MAX as u128) as u64);
+        }
         let (new_dir, sequences, patterns) = mine_and_index(
             &self.corpus_dir,
             &self.index_root,
             &self.lash,
             &self.params,
             round,
+            &self.health,
         )?;
+        self.health.set_phase(Phase::Swap);
         self.service.swap(PatternIndexReader::open(&new_dir)?);
+        self.health.record_swap(round);
         // The replaced index loaded fully into memory at open: snapshots
         // still serving it never re-read its files, so the directory can
         // go now rather than waiting for the last snapshot to drop.
@@ -137,6 +165,10 @@ impl Lifecycle {
                 ("patterns", patterns.into()),
             ],
         );
+        self.health.set_phase(Phase::Serving);
+        // Each round is one lifecycle "flight": re-arm the recorder so the
+        // first error of the *next* round can dump its own context.
+        lash_obs::flight::rearm();
         Ok(RefreshStats {
             round,
             sequences,
@@ -154,10 +186,14 @@ fn mine_and_index(
     lash: &Lash,
     params: &GsmParams,
     round: u64,
+    health: &HealthState,
 ) -> Result<(PathBuf, u64, u64)> {
+    health.set_phase(Phase::Mine);
     let reader = CorpusReader::open(corpus_dir)?;
+    health.set_store(reader.num_generations() as u64, reader.len());
     let result = reader.mine(lash, params)?;
     let patterns = result.patterns();
+    health.set_phase(Phase::Index);
     let dir = index_root.join(format!("index-{round}"));
     if dir.exists() {
         std::fs::remove_dir_all(&dir)?;

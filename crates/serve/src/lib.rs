@@ -15,6 +15,12 @@
 //!   readers keep their snapshots; see `lash-store`'s generation pinning) →
 //!   mine → index → [`lash_index::QueryService::swap`], continuously,
 //!   while the server answers queries.
+//! - [`ops`] — the daemon's live health state ([`HealthState`]): the
+//!   lifecycle publishes its phase, snapshot age, and throttle state; the
+//!   server's *admin lane* ([`proto::AdminRequest`], answered on reader
+//!   threads, never queued behind query batches) reads it to serve
+//!   `Health`, alongside `Metrics`, `SlowOps`, `RecentEvents`, and
+//!   `Profile`.
 //!
 //! Configuration follows the workspace's builder convention
 //! ([`ServeConfig`], cf. `StoreOptions` / `EngineConfig`): plain `pub`
@@ -27,12 +33,17 @@ use std::time::Duration;
 
 pub mod client;
 pub mod daemon;
+pub mod ops;
 pub mod proto;
 pub mod server;
 
 pub use client::Client;
 pub use daemon::Lifecycle;
-pub use proto::{Request, Response, ENVELOPE_VERSION, MAGIC, PROTOCOL_VERSION};
+pub use ops::{HealthState, Phase};
+pub use proto::{
+    AdminCall, AdminReply, AdminRequest, Inbound, ReplyBody, Request, Response, ENVELOPE_VERSION,
+    MAGIC, PROTOCOL_VERSION,
+};
 pub use server::Server;
 
 /// Everything the daemon layer can fail with.

@@ -1,0 +1,227 @@
+//! Daemon health state: the lifecycle publishes what it is doing
+//! ([`Phase`], snapshot generation/age, store shape, cumulative compaction
+//! throttle wait) into one lock-free [`HealthState`], and the server's
+//! admin lane reads it to answer `Health` — so "what is the daemon doing"
+//! is answerable even while a refresh round is mid-compaction and the
+//! worker pool is saturated.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+/// What the lifecycle is doing right now. `Serving` is the steady state
+/// between rounds; the others name the active step of a bootstrap or
+/// refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// No lifecycle attached (a bare [`crate::Server`]), or not started.
+    Idle = 0,
+    /// Appending sequences to the corpus.
+    Ingest = 1,
+    /// Merging store generations (rate-limited, snapshot-safe).
+    Compact = 2,
+    /// Re-mining the corpus.
+    Mine = 3,
+    /// Writing the next index generation.
+    Index = 4,
+    /// Swapping the new snapshot live.
+    Swap = 5,
+    /// Between rounds: queries are answered, no refresh step is active.
+    Serving = 6,
+}
+
+impl Phase {
+    /// The phase's wire/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Idle => "idle",
+            Phase::Ingest => "ingest",
+            Phase::Compact => "compact",
+            Phase::Mine => "mine",
+            Phase::Index => "index",
+            Phase::Swap => "swap",
+            Phase::Serving => "serving",
+        }
+    }
+
+    fn from_u8(v: u8) -> Phase {
+        match v {
+            1 => Phase::Ingest,
+            2 => Phase::Compact,
+            3 => Phase::Mine,
+            4 => Phase::Index,
+            5 => Phase::Swap,
+            6 => Phase::Serving,
+            _ => Phase::Idle,
+        }
+    }
+}
+
+/// The daemon's live health gauges. One instance is shared between the
+/// [`crate::Lifecycle`] (writer) and the [`crate::Server`]'s admin lane
+/// (reader); every field is an atomic, so neither side ever blocks the
+/// other.
+#[derive(Debug)]
+pub struct HealthState {
+    started: Instant,
+    phase: AtomicU8,
+    round: AtomicU64,
+    snapshot_generation: AtomicU64,
+    snapshot_at_us: AtomicU64,
+    store_generations: AtomicU64,
+    store_sequences: AtomicU64,
+    throttle_wait_us: AtomicU64,
+}
+
+impl Default for HealthState {
+    fn default() -> HealthState {
+        HealthState::new()
+    }
+}
+
+impl HealthState {
+    /// A fresh state in [`Phase::Idle`], with the uptime clock started.
+    pub fn new() -> HealthState {
+        HealthState {
+            started: Instant::now(),
+            phase: AtomicU8::new(Phase::Idle as u8),
+            round: AtomicU64::new(0),
+            snapshot_generation: AtomicU64::new(0),
+            snapshot_at_us: AtomicU64::new(0),
+            store_generations: AtomicU64::new(0),
+            store_sequences: AtomicU64::new(0),
+            throttle_wait_us: AtomicU64::new(0),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Microseconds since this state was created (daemon start).
+    pub fn uptime_us(&self) -> u64 {
+        self.now_us()
+    }
+
+    /// Publishes the current lifecycle phase.
+    pub fn set_phase(&self, phase: Phase) {
+        self.phase.store(phase as u8, Ordering::Release);
+    }
+
+    /// The current lifecycle phase.
+    pub fn phase(&self) -> Phase {
+        Phase::from_u8(self.phase.load(Ordering::Acquire))
+    }
+
+    /// Publishes the refresh round being (or just) run.
+    pub fn set_round(&self, round: u64) {
+        self.round.store(round, Ordering::Relaxed);
+    }
+
+    /// Records that index generation `generation` was swapped live now —
+    /// resets the snapshot-age clock.
+    pub fn record_swap(&self, generation: u64) {
+        self.snapshot_generation
+            .store(generation, Ordering::Relaxed);
+        self.snapshot_at_us.store(self.now_us(), Ordering::Relaxed);
+    }
+
+    /// Microseconds since the serving snapshot was swapped live (the
+    /// daemon's data freshness). Zero before the first swap is recorded.
+    pub fn snapshot_age_us(&self) -> u64 {
+        self.now_us()
+            .saturating_sub(self.snapshot_at_us.load(Ordering::Relaxed))
+    }
+
+    /// Publishes the store's shape (generation and sequence counts) after
+    /// an open, seal, or compaction.
+    pub fn set_store(&self, generations: u64, sequences: u64) {
+        self.store_generations.store(generations, Ordering::Relaxed);
+        self.store_sequences.store(sequences, Ordering::Relaxed);
+    }
+
+    /// Adds one round's compaction throttle wait to the cumulative total
+    /// (how long the rate limiter held the merge back — the "is compaction
+    /// throttled" signal).
+    pub fn add_throttle_wait_us(&self, us: u64) {
+        self.throttle_wait_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// The lifecycle-side health fields, as `Health` reply rows. The
+    /// server appends its own (queue depth, inflight, workers, request
+    /// counters) before answering.
+    pub fn fields(&self) -> Vec<(String, u64)> {
+        [
+            ("uptime_us", self.uptime_us()),
+            ("round", self.round.load(Ordering::Relaxed)),
+            (
+                "snapshot_generation",
+                self.snapshot_generation.load(Ordering::Relaxed),
+            ),
+            ("snapshot_age_us", self.snapshot_age_us()),
+            (
+                "store_generations",
+                self.store_generations.load(Ordering::Relaxed),
+            ),
+            (
+                "store_sequences",
+                self.store_sequences.load(Ordering::Relaxed),
+            ),
+            (
+                "throttle_wait_us",
+                self.throttle_wait_us.load(Ordering::Relaxed),
+            ),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_round_trip_and_name() {
+        for phase in [
+            Phase::Idle,
+            Phase::Ingest,
+            Phase::Compact,
+            Phase::Mine,
+            Phase::Index,
+            Phase::Swap,
+            Phase::Serving,
+        ] {
+            assert_eq!(Phase::from_u8(phase as u8), phase);
+            assert!(!phase.name().is_empty());
+        }
+        let state = HealthState::new();
+        assert_eq!(state.phase(), Phase::Idle);
+        state.set_phase(Phase::Compact);
+        assert_eq!(state.phase(), Phase::Compact);
+    }
+
+    #[test]
+    fn fields_carry_the_published_values() {
+        let state = HealthState::new();
+        state.set_round(3);
+        state.record_swap(2);
+        state.set_store(4, 1000);
+        state.add_throttle_wait_us(250);
+        state.add_throttle_wait_us(250);
+        let fields = state.fields();
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("round"), 3);
+        assert_eq!(get("snapshot_generation"), 2);
+        assert_eq!(get("store_generations"), 4);
+        assert_eq!(get("store_sequences"), 1000);
+        assert_eq!(get("throttle_wait_us"), 500);
+    }
+}

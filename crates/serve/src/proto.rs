@@ -8,26 +8,43 @@
 //! payload, FNV-1a checksum trailer — the exact frame layout segment files
 //! use, so corruption detection is shared with the store).
 //!
-//! Frame payloads are **envelopes**:
+//! Frame payloads are **envelopes**. Inbound envelopes carry either a
+//! *query* (tags `0x01..=0x04`, executed by the worker pool) or an *admin*
+//! request (tags `0x10..=0x14`, answered inline on the connection's reader
+//! thread — the dedicated ops lane, never queued behind query batches):
 //!
 //! ```text
-//! request  := envelope_version:u32v  id:u64v  query
+//! request  := envelope_version:u32v  id:u64v  (query | admin)
 //! query    := 0x01 items                         (Support)
 //!           | 0x02 items (0x00 | 0x01 limit:u64v) (Enumerate)
 //!           | 0x03 items k:u64v                  (TopK)
 //!           | 0x04 items                         (Generalized)
+//! admin    := 0x10                                (Metrics)
+//!           | 0x11                                (Health)
+//!           | 0x12 max:u32v                       (SlowOps)
+//!           | 0x13 max:u32v                       (RecentEvents)
+//!           | 0x14 reset:u8                       (Profile)
 //! items    := count:u32v  item:u32v ...
 //!
 //! response := envelope_version:u32v  id:u64v  reply
 //! reply    := 0x01 (0x00 | 0x01 support:u64v)    (Support)
 //!           | 0x02 count:u32v hit ...            (Patterns)
 //!           | 0x03 error                          (Error)
+//!           | 0x04 adminreply                     (Admin)
 //! hit      := items  frequency:u64v
 //! error    := 0x01 item:u32v                      (UnknownItem)
 //!           | 0x02 msg                            (Malformed)
 //!           | 0x03 requested:u32v serving:u32v    (UnsupportedVersion)
 //!           | 0x04 msg                            (Internal)
-//! msg      := len:u32v utf8-bytes
+//! adminreply := 0x01 text count:u32v window ...   (Metrics)
+//!           | 0x02 msg count:u32v field ...       (Health: phase, gauges)
+//!           | 0x03 count:u32v text ...            (Lines)
+//!           | 0x04 hz:u64v samples:u64v text      (Profile: folded stacks)
+//! window   := msg window_us:u64v count:u64v sum:u64v
+//!             p50:u64v p95:u64v p99:u64v max:u64v
+//! field    := msg value:u64v
+//! msg      := len:u32v utf8-bytes                 (≤ 4 KiB)
+//! text     := len:u32v utf8-bytes                 (≤ 1 MiB)
 //! ```
 //!
 //! Decoding is **total**: any byte sequence either decodes or fails with a
@@ -39,6 +56,7 @@
 
 use lash_encoding::varint;
 use lash_index::{PatternHit, Query, QueryError, QueryReply};
+use lash_obs::window::WindowStat;
 
 use lash_core::ItemId;
 
@@ -54,6 +72,11 @@ pub const ENVELOPE_VERSION: u32 = 1;
 
 /// Longest `msg` field accepted when decoding (diagnostic strings only).
 const MAX_MESSAGE_BYTES: usize = 4096;
+
+/// Longest `text` field accepted when decoding admin replies — metric
+/// exposition, ring dumps, and folded profiles are far larger than
+/// diagnostics, but still bounded.
+const MAX_ADMIN_TEXT_BYTES: usize = 1 << 20;
 
 /// One query on the wire: an id the client correlates the reply by, the
 /// envelope version, and the query itself.
@@ -87,6 +110,101 @@ pub struct Response {
     pub id: u64,
     /// The outcome, errors included ([`QueryReply::Error`]).
     pub reply: QueryReply,
+}
+
+/// An operational request on the admin lane. Admin requests share the
+/// connection, handshake, and frame transport with queries but are
+/// answered inline by the reader thread — they never wait behind a query
+/// batch, so `Health` answers even when the worker pool is saturated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminRequest {
+    /// The full metric dump: Prometheus-style text exposition of the
+    /// lifetime metrics plus every windowed metric's readout.
+    Metrics,
+    /// Lifecycle phase, snapshot age/generation, store shape, queue depth,
+    /// inflight requests, compaction throttle state.
+    Health,
+    /// The most recent `slow_op` events from the flight-recorder ring
+    /// (newest last), at most `max` lines (`0` = no cap).
+    SlowOps {
+        /// Maximum lines returned; `0` means everything in the ring.
+        max: u32,
+    },
+    /// The raw tail of the flight-recorder ring (every event kind), at
+    /// most `max` lines (`0` = no cap).
+    RecentEvents {
+        /// Maximum lines returned; `0` means everything in the ring.
+        max: u32,
+    },
+    /// The sampling profiler's aggregate as folded-stacks text.
+    Profile {
+        /// Clear the aggregate after reading it (profile one workload
+        /// phase: reset, run, dump).
+        reset: bool,
+    },
+}
+
+/// An operational reply on the admin lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminReply {
+    /// Answer to [`AdminRequest::Metrics`].
+    Metrics {
+        /// Prometheus-style text exposition of the lifetime metrics.
+        text: String,
+        /// Windowed readouts: rates and last-N-seconds percentiles.
+        windows: Vec<WindowStat>,
+    },
+    /// Answer to [`AdminRequest::Health`].
+    Health {
+        /// Lifecycle phase name (`serving`, `compact`, `mine`, ...).
+        phase: String,
+        /// Named gauges: `uptime_us`, `queue_depth`, `inflight`,
+        /// `snapshot_age_us`, `store_generations`, `throttle_wait_us`, ...
+        fields: Vec<(String, u64)>,
+    },
+    /// Answer to [`AdminRequest::SlowOps`] / [`AdminRequest::RecentEvents`]:
+    /// JSONL event lines, oldest first.
+    Lines(Vec<String>),
+    /// Answer to [`AdminRequest::Profile`].
+    Profile {
+        /// Sampling frequency the profiler runs at (0 = not running).
+        hz: u64,
+        /// Samples behind the aggregate.
+        samples: u64,
+        /// Folded-stacks text (`path;path;path count` per line).
+        folded: String,
+    },
+}
+
+/// An admin request with its envelope fields, as decoded by
+/// [`decode_inbound`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminCall {
+    /// Client-chosen correlation id, echoed in the reply envelope.
+    pub id: u64,
+    /// Envelope version.
+    pub version: u32,
+    /// The operational request itself.
+    pub request: AdminRequest,
+}
+
+/// Anything a client may send after the handshake: a query for the worker
+/// pool or an admin call for the reader thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inbound {
+    /// A data query (tags `0x01..=0x04`).
+    Query(Request),
+    /// An operational request (tags `0x10..=0x14`).
+    Admin(AdminCall),
+}
+
+/// Anything a server may answer with: a query reply or an admin reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyBody {
+    /// A query outcome (reply tags `0x01..=0x03`).
+    Query(QueryReply),
+    /// An admin outcome (reply tag `0x04`).
+    Admin(AdminReply),
 }
 
 // ---------------------------------------------------------------- encoding
@@ -186,6 +304,88 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
     }
 }
 
+fn encode_text(text: &str, buf: &mut Vec<u8>) {
+    let mut end = text.len().min(MAX_ADMIN_TEXT_BYTES);
+    while end > 0 && !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    let bytes = &text.as_bytes()[..end];
+    varint::encode_u32(bytes.len() as u32, buf);
+    buf.extend_from_slice(bytes);
+}
+
+/// Serializes an admin request as a frame payload into `buf` (cleared
+/// first).
+pub fn encode_admin_request(id: u64, req: &AdminRequest, buf: &mut Vec<u8>) {
+    buf.clear();
+    varint::encode_u32(ENVELOPE_VERSION, buf);
+    varint::encode_u64(id, buf);
+    match req {
+        AdminRequest::Metrics => buf.push(0x10),
+        AdminRequest::Health => buf.push(0x11),
+        AdminRequest::SlowOps { max } => {
+            buf.push(0x12);
+            varint::encode_u32(*max, buf);
+        }
+        AdminRequest::RecentEvents { max } => {
+            buf.push(0x13);
+            varint::encode_u32(*max, buf);
+        }
+        AdminRequest::Profile { reset } => {
+            buf.push(0x14);
+            buf.push(u8::from(*reset));
+        }
+    }
+}
+
+/// Serializes an admin reply as a frame payload into `buf` (cleared
+/// first).
+pub fn encode_admin_response(id: u64, reply: &AdminReply, buf: &mut Vec<u8>) {
+    buf.clear();
+    varint::encode_u32(ENVELOPE_VERSION, buf);
+    varint::encode_u64(id, buf);
+    buf.push(0x04);
+    match reply {
+        AdminReply::Metrics { text, windows } => {
+            buf.push(0x01);
+            encode_text(text, buf);
+            varint::encode_u32(windows.len() as u32, buf);
+            for w in windows {
+                encode_msg(&w.name, buf);
+                for v in [w.window_us, w.count, w.sum, w.p50, w.p95, w.p99, w.max] {
+                    varint::encode_u64(v, buf);
+                }
+            }
+        }
+        AdminReply::Health { phase, fields } => {
+            buf.push(0x02);
+            encode_msg(phase, buf);
+            varint::encode_u32(fields.len() as u32, buf);
+            for (key, value) in fields {
+                encode_msg(key, buf);
+                varint::encode_u64(*value, buf);
+            }
+        }
+        AdminReply::Lines(lines) => {
+            buf.push(0x03);
+            varint::encode_u32(lines.len() as u32, buf);
+            for line in lines {
+                encode_text(line, buf);
+            }
+        }
+        AdminReply::Profile {
+            hz,
+            samples,
+            folded,
+        } => {
+            buf.push(0x04);
+            varint::encode_u64(*hz, buf);
+            varint::encode_u64(*samples, buf);
+            encode_text(folded, buf);
+        }
+    }
+}
+
 // ---------------------------------------------------------------- decoding
 
 /// A bounds-checked cursor over an envelope payload. Every read fails with
@@ -245,8 +445,18 @@ impl<'a> Cursor<'a> {
     }
 
     fn read_msg(&mut self, what: &str) -> Result<String, QueryError> {
+        self.read_len_prefixed(what, MAX_MESSAGE_BYTES)
+    }
+
+    /// Like [`Cursor::read_msg`] but with the admin-reply size cap: metric
+    /// dumps and folded profiles are bigger than diagnostic strings.
+    fn read_text(&mut self, what: &str) -> Result<String, QueryError> {
+        self.read_len_prefixed(what, MAX_ADMIN_TEXT_BYTES)
+    }
+
+    fn read_len_prefixed(&mut self, what: &str, cap: usize) -> Result<String, QueryError> {
         let len = self.read_u32(what)? as usize;
-        if len > MAX_MESSAGE_BYTES.min(self.remaining()) {
+        if len > cap.min(self.remaining()) {
             return Err(QueryError::Malformed(format!(
                 "{what}: message length {len} out of bounds"
             )));
@@ -268,10 +478,23 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes a request envelope. On failure the error carries the request id
+/// Decodes a *query* request envelope — [`decode_inbound`] restricted to
+/// the query tags; an admin request fails as `Malformed` here.
+pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, QueryError)> {
+    match decode_inbound(payload)? {
+        Inbound::Query(req) => Ok(req),
+        Inbound::Admin(call) => Err((
+            call.id,
+            QueryError::Malformed("admin request on the query decode path".to_string()),
+        )),
+    }
+}
+
+/// Decodes an inbound envelope: a query for the worker pool or an admin
+/// call for the reader thread. On failure the error carries the request id
 /// when it was readable before the bytes went bad (`0` otherwise), so the
 /// server can address its error reply to the right request.
-pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, QueryError)> {
+pub fn decode_inbound(payload: &[u8]) -> Result<Inbound, (u64, QueryError)> {
     let mut c = Cursor::new(payload);
     let version = c.read_u32("envelope version").map_err(|e| (0, e))?;
     if version != ENVELOPE_VERSION {
@@ -286,6 +509,35 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, QueryError)> {
     let id = c.read_u64("request id").map_err(|e| (0, e))?;
     let fail = |e| (id, e);
     let tag = c.read_u8("query tag").map_err(fail)?;
+    if (0x10..=0x14).contains(&tag) {
+        let request = match tag {
+            0x10 => AdminRequest::Metrics,
+            0x11 => AdminRequest::Health,
+            0x12 => AdminRequest::SlowOps {
+                max: c.read_u32("slow-ops max").map_err(fail)?,
+            },
+            0x13 => AdminRequest::RecentEvents {
+                max: c.read_u32("recent-events max").map_err(fail)?,
+            },
+            _ => AdminRequest::Profile {
+                reset: match c.read_u8("profile reset flag").map_err(fail)? {
+                    0x00 => false,
+                    0x01 => true,
+                    other => {
+                        return Err(fail(QueryError::Malformed(format!(
+                            "profile reset flag {other:#04x}"
+                        ))))
+                    }
+                },
+            },
+        };
+        c.expect_end().map_err(fail)?;
+        return Ok(Inbound::Admin(AdminCall {
+            id,
+            version,
+            request,
+        }));
+    }
     let query = match tag {
         0x01 => Query::Support {
             items: c.read_items("support items").map_err(fail)?,
@@ -317,11 +569,23 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, QueryError)> {
         }
     };
     c.expect_end().map_err(fail)?;
-    Ok(Request { id, version, query })
+    Ok(Inbound::Query(Request { id, version, query }))
 }
 
-/// Decodes a response envelope (the client side of the exchange).
+/// Decodes a *query* response envelope — [`decode_reply`] restricted to
+/// the query reply tags; an admin reply fails as `Malformed` here.
 pub fn decode_response(payload: &[u8]) -> Result<Response, QueryError> {
+    match decode_reply(payload)? {
+        (id, ReplyBody::Query(reply)) => Ok(Response { id, reply }),
+        (_, ReplyBody::Admin(_)) => Err(QueryError::Malformed(
+            "admin reply on the query decode path".to_string(),
+        )),
+    }
+}
+
+/// Decodes any response envelope — query reply or admin reply — returning
+/// the correlation id and the body.
+pub fn decode_reply(payload: &[u8]) -> Result<(u64, ReplyBody), QueryError> {
     let mut c = Cursor::new(payload);
     let version = c.read_u32("envelope version")?;
     if version != ENVELOPE_VERSION {
@@ -332,6 +596,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, QueryError> {
     }
     let id = c.read_u64("response id")?;
     let tag = c.read_u8("reply tag")?;
+    if tag == 0x04 {
+        let reply = decode_admin_reply(&mut c)?;
+        c.expect_end()?;
+        return Ok((id, ReplyBody::Admin(reply)));
+    }
     let reply = match tag {
         0x01 => QueryReply::Support(match c.read_u8("support flag")? {
             0x00 => None,
@@ -375,7 +644,91 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, QueryError> {
         }
     };
     c.expect_end()?;
-    Ok(Response { id, reply })
+    Ok((id, ReplyBody::Query(reply)))
+}
+
+fn decode_admin_reply(c: &mut Cursor) -> Result<AdminReply, QueryError> {
+    match c.read_u8("admin reply tag")? {
+        0x01 => {
+            let text = c.read_text("metrics text")?;
+            let count = c.read_u32("window count")? as usize;
+            if count > c.remaining() {
+                return Err(QueryError::Malformed(format!(
+                    "window count {count} exceeds {} remaining bytes",
+                    c.remaining()
+                )));
+            }
+            let mut windows = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = c.read_msg("window name")?;
+                let mut vals = [0u64; 7];
+                for (what, v) in [
+                    "window span",
+                    "window count",
+                    "window sum",
+                    "window p50",
+                    "window p95",
+                    "window p99",
+                    "window max",
+                ]
+                .iter()
+                .zip(vals.iter_mut())
+                {
+                    *v = c.read_u64(what)?;
+                }
+                windows.push(WindowStat {
+                    name,
+                    window_us: vals[0],
+                    count: vals[1],
+                    sum: vals[2],
+                    p50: vals[3],
+                    p95: vals[4],
+                    p99: vals[5],
+                    max: vals[6],
+                });
+            }
+            Ok(AdminReply::Metrics { text, windows })
+        }
+        0x02 => {
+            let phase = c.read_msg("health phase")?;
+            let count = c.read_u32("health field count")? as usize;
+            if count > c.remaining() {
+                return Err(QueryError::Malformed(format!(
+                    "health field count {count} exceeds {} remaining bytes",
+                    c.remaining()
+                )));
+            }
+            let mut fields = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = c.read_msg("health field key")?;
+                let value = c.read_u64("health field value")?;
+                fields.push((key, value));
+            }
+            Ok(AdminReply::Health { phase, fields })
+        }
+        0x03 => {
+            let count = c.read_u32("line count")? as usize;
+            if count > c.remaining() {
+                return Err(QueryError::Malformed(format!(
+                    "line count {count} exceeds {} remaining bytes",
+                    c.remaining()
+                )));
+            }
+            let mut lines = Vec::with_capacity(count);
+            for _ in 0..count {
+                lines.push(c.read_text("event line")?);
+            }
+            Ok(AdminReply::Lines(lines))
+        }
+        0x04 => Ok(AdminReply::Profile {
+            hz: c.read_u64("profile hz")?,
+            samples: c.read_u64("profile samples")?,
+            folded: c.read_text("profile folded stacks")?,
+        }),
+        other => Err(QueryError::Malformed(format!(
+            "unknown admin reply tag {other:#04x}"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -470,6 +823,101 @@ mod tests {
                 serving: ENVELOPE_VERSION,
             }
         );
+    }
+
+    #[test]
+    fn admin_request_round_trips_every_kind() {
+        let requests = [
+            AdminRequest::Metrics,
+            AdminRequest::Health,
+            AdminRequest::SlowOps { max: 0 },
+            AdminRequest::SlowOps { max: 100 },
+            AdminRequest::RecentEvents { max: 7 },
+            AdminRequest::Profile { reset: false },
+            AdminRequest::Profile { reset: true },
+        ];
+        let mut buf = Vec::new();
+        for (i, request) in requests.into_iter().enumerate() {
+            let id = i as u64 + 10;
+            encode_admin_request(id, &request, &mut buf);
+            let decoded = decode_inbound(&buf).unwrap();
+            assert_eq!(
+                decoded,
+                Inbound::Admin(AdminCall {
+                    id,
+                    version: ENVELOPE_VERSION,
+                    request
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn admin_reply_round_trips_every_kind() {
+        let replies = [
+            AdminReply::Metrics {
+                text: "# TYPE x counter\nx 1\n".into(),
+                windows: vec![WindowStat {
+                    name: "query.support_us".into(),
+                    window_us: 60_000_000,
+                    count: 10,
+                    sum: 1_000,
+                    p50: 64,
+                    p95: 128,
+                    p99: 256,
+                    max: 300,
+                }],
+            },
+            AdminReply::Metrics {
+                text: String::new(),
+                windows: vec![],
+            },
+            AdminReply::Health {
+                phase: "serving".into(),
+                fields: vec![("uptime_us".into(), 12345), ("queue_depth".into(), 0)],
+            },
+            AdminReply::Lines(vec!["{\"event\":\"span\"}".into(), String::new()]),
+            AdminReply::Profile {
+                hz: 97,
+                samples: 4242,
+                folded: "serve.batch;query.request 40\n".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for (i, reply) in replies.into_iter().enumerate() {
+            encode_admin_response(i as u64, &reply, &mut buf);
+            let (id, body) = decode_reply(&buf).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(body, ReplyBody::Admin(reply));
+        }
+    }
+
+    #[test]
+    fn query_decoders_reject_admin_envelopes_with_types_intact() {
+        let mut buf = Vec::new();
+        encode_admin_request(9, &AdminRequest::Health, &mut buf);
+        let (id, err) = decode_request(&buf).unwrap_err();
+        assert_eq!(id, 9, "the id survives the lane mismatch");
+        assert!(matches!(err, QueryError::Malformed(_)));
+
+        encode_admin_response(9, &AdminReply::Lines(vec![]), &mut buf);
+        assert!(matches!(
+            decode_response(&buf),
+            Err(QueryError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_admin_counts_fail_without_allocating() {
+        // An admin Metrics reply claiming u32::MAX windows with no bytes.
+        let mut buf = Vec::new();
+        varint::encode_u32(ENVELOPE_VERSION, &mut buf);
+        varint::encode_u64(1, &mut buf);
+        buf.push(0x04); // admin reply
+        buf.push(0x01); // metrics
+        varint::encode_u32(0, &mut buf); // empty text
+        varint::encode_u32(u32::MAX, &mut buf); // hostile window count
+        assert!(matches!(decode_reply(&buf), Err(QueryError::Malformed(_))));
     }
 
     #[test]

@@ -17,19 +17,28 @@
 //! poison the stream — the reader answers with a best-effort id-0 error
 //! and closes, because after a bad frame the byte stream can no longer be
 //! trusted to re-synchronize.
+//!
+//! Admin requests ([`proto::AdminRequest`]) never enter the worker queue:
+//! the reader thread that decoded one answers it inline from registry
+//! snapshots and the shared [`HealthState`] — the dedicated ops lane. A
+//! `Health` probe therefore answers in reader-thread time even when every
+//! worker is pinned inside a query batch and the queue is deep.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lash_encoding::frame::{self, FrameChecksum};
 use lash_index::{Query, QueryError, QueryReply, QueryService};
+use lash_obs::{profiler, FieldValue};
 
-use crate::proto::{self, Response, MAGIC, PROTOCOL_VERSION};
+use crate::ops::HealthState;
+use crate::proto::{self, AdminCall, AdminReply, AdminRequest, Inbound, Response};
+use crate::proto::{MAGIC, PROTOCOL_VERSION};
 use crate::{Result, ServeConfig};
 
 /// Registry handles resolved once at startup; the per-request path never
@@ -37,13 +46,18 @@ use crate::{Result, ServeConfig};
 struct Metrics {
     connections: lash_obs::Counter,
     disconnects: lash_obs::Counter,
+    query_disconnects: lash_obs::Counter,
     requests: lash_obs::Counter,
     responses: lash_obs::Counter,
     error_replies: lash_obs::Counter,
     frame_errors: lash_obs::Counter,
+    admin_requests: lash_obs::Counter,
     batches: lash_obs::Counter,
     batch_size: lash_obs::Histogram,
     batch_us: lash_obs::Histogram,
+    queue_depth: lash_obs::Gauge,
+    queue_wait_us: lash_obs::Histogram,
+    queue_wait_win: lash_obs::window::WindowedHistogram,
 }
 
 impl Metrics {
@@ -52,13 +66,18 @@ impl Metrics {
         Metrics {
             connections: obs.counter("serve.connections"),
             disconnects: obs.counter("serve.disconnects"),
+            query_disconnects: obs.counter("serve.query_disconnects"),
             requests: obs.counter("serve.requests"),
             responses: obs.counter("serve.responses"),
             error_replies: obs.counter("serve.error_replies"),
             frame_errors: obs.counter("serve.frame_errors"),
+            admin_requests: obs.counter("serve.admin_requests"),
             batches: obs.counter("serve.batches"),
             batch_size: obs.histogram("serve.batch_size"),
             batch_us: obs.histogram("serve.batch_us"),
+            queue_depth: obs.gauge("serve.queue.depth"),
+            queue_wait_us: obs.histogram("serve.queue.wait_us"),
+            queue_wait_win: obs.windowed_histogram("serve.queue.wait_us"),
         }
     }
 }
@@ -69,6 +88,8 @@ struct Job {
     id: u64,
     query: std::result::Result<Query, QueryError>,
     out: Arc<Mutex<TcpStream>>,
+    /// When the reader queued this job — the start of its queue wait.
+    enqueued: Instant,
 }
 
 /// State shared by the acceptor, connection readers, and workers.
@@ -84,6 +105,17 @@ struct Shared {
     metrics: Metrics,
     batch_max: usize,
     batch_window: Duration,
+    /// Live queue length, mirrored into the `serve.queue.depth` gauge —
+    /// kept as its own atomic so the admin lane reads it without taking
+    /// the queue lock.
+    depth: AtomicU64,
+    /// Requests currently inside a worker's batch execution.
+    inflight: AtomicU64,
+    /// Worker-pool width, reported by `Health`.
+    workers: u64,
+    /// Lifecycle gauges, shared with the [`crate::Lifecycle`] when the
+    /// daemon wires one in ([`Server::start_with_health`]).
+    health: Arc<HealthState>,
 }
 
 /// A running daemon: the listener, its worker pool, and every live
@@ -97,8 +129,22 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `config.addr` and starts serving `service`.
+    /// Binds `config.addr` and starts serving `service` with a private,
+    /// lifecycle-less [`HealthState`] (phase stays `idle`; the admin lane
+    /// still answers with server-side fields).
     pub fn start(service: Arc<QueryService>, config: &ServeConfig) -> Result<Server> {
+        Server::start_with_health(service, config, Arc::new(HealthState::new()))
+    }
+
+    /// Binds `config.addr` and starts serving `service`, answering
+    /// `Health` admin requests from `health` — the daemon passes its
+    /// [`crate::Lifecycle`]'s state so phase, snapshot age, and throttle
+    /// wait are live.
+    pub fn start_with_health(
+        service: Arc<QueryService>,
+        config: &ServeConfig,
+        health: Arc<HealthState>,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -111,6 +157,10 @@ impl Server {
             metrics: Metrics::new(),
             batch_max: config.batch_max.max(1),
             batch_window: config.batch_window,
+            depth: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            workers: config.effective_workers() as u64,
+            health,
         });
         let mut workers = Vec::new();
         for i in 0..config.effective_workers() {
@@ -213,8 +263,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         let handle = std::thread::Builder::new()
             .name("lash-serve-conn".to_string())
             .spawn(move || {
-                let _ = serve_connection(stream, &shared_for_conn);
+                let queries = serve_connection(stream, &shared_for_conn).unwrap_or(0);
                 shared_for_conn.metrics.disconnects.inc();
+                // Count data-carrying clients separately: ops scrapes
+                // (admin-only connections) must not look like departing
+                // query clients to `--once`-style wait loops.
+                if queries > 0 {
+                    shared_for_conn.metrics.query_disconnects.inc();
+                }
             });
         if let Ok(handle) = handle {
             shared
@@ -233,8 +289,10 @@ fn write_response(out: &Mutex<TcpStream>, resp: &Response, scratch: &mut Vec<u8>
     frame::write_frame(scratch, &mut *stream).is_ok()
 }
 
-/// The per-connection reader: handshake, then frames → decoded jobs.
-fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+/// The per-connection reader: handshake, then frames → decoded jobs for
+/// the worker pool, admin requests answered inline. Returns how many
+/// *query* jobs the connection contributed over its lifetime.
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<u64> {
     // Handshake: 4 magic bytes + the client's protocol version, answered
     // with the server's version byte. A magic mismatch is not this
     // protocol at all — close without bytes. A version mismatch gets a
@@ -242,7 +300,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
     let mut hello = [0u8; 5];
     stream.read_exact(&mut hello)?;
     if hello[..4] != MAGIC {
-        return Ok(());
+        return Ok(0);
     }
     let out = Arc::new(Mutex::new(stream.try_clone()?));
     let mut scratch = Vec::new();
@@ -255,32 +313,48 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
             }),
         };
         write_response(&out, &resp, &mut scratch);
-        return Ok(());
+        return Ok(0);
     }
     stream.write_all(&[PROTOCOL_VERSION])?;
 
     let mut buf = Vec::new();
+    let mut queries = 0u64;
     loop {
         match frame::read_frame_into(&mut stream, &mut buf, FrameChecksum::Fnv1a) {
             // Clean EOF between frames: the client hung up.
-            Ok(None) => return Ok(()),
+            Ok(None) => return Ok(queries),
             Ok(Some(len)) => {
-                let job = match proto::decode_request(&buf[..len]) {
-                    Ok(req) => Job {
-                        id: req.id,
-                        query: Ok(req.query),
-                        out: Arc::clone(&out),
-                    },
+                shared.metrics.requests.inc();
+                let job = match proto::decode_inbound(&buf[..len]) {
+                    // The admin lane: answered here on the reader thread,
+                    // never queued — ops traffic cannot wait behind query
+                    // batches, and a saturated pool cannot starve `Health`.
+                    Ok(Inbound::Admin(call)) => {
+                        answer_admin(shared, &call, &out, &mut scratch);
+                        continue;
+                    }
+                    Ok(Inbound::Query(req)) => {
+                        queries += 1;
+                        Job {
+                            id: req.id,
+                            query: Ok(req.query),
+                            out: Arc::clone(&out),
+                            enqueued: Instant::now(),
+                        }
+                    }
                     Err((id, err)) => Job {
                         id,
                         query: Err(err),
                         out: Arc::clone(&out),
+                        enqueued: Instant::now(),
                     },
                 };
-                shared.metrics.requests.inc();
                 let mut queue = shared.queue.lock().expect("queue lock");
                 queue.push_back(job);
+                let depth = queue.len() as u64;
                 drop(queue);
+                shared.depth.store(depth, Ordering::Relaxed);
+                shared.metrics.queue_depth.set(depth);
                 shared.available.notify_one();
             }
             // A corrupt or truncated frame: the stream cannot be re-synced,
@@ -298,10 +372,93 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
                 };
                 write_response(&out, &resp, &mut scratch);
                 let _ = stream.shutdown(Shutdown::Both);
-                return Ok(());
+                return Ok(queries);
             }
         }
     }
+}
+
+/// Builds and writes the reply to one admin call — the reader-thread ops
+/// lane. Every branch reads registry/health snapshots; none touches the
+/// worker queue.
+fn answer_admin(shared: &Shared, call: &AdminCall, out: &Mutex<TcpStream>, scratch: &mut Vec<u8>) {
+    shared.metrics.admin_requests.inc();
+    let obs = lash_obs::global();
+    let kind = match call.request {
+        AdminRequest::Metrics => "metrics",
+        AdminRequest::Health => "health",
+        AdminRequest::SlowOps { .. } => "slow_ops",
+        AdminRequest::RecentEvents { .. } => "recent_events",
+        AdminRequest::Profile { .. } => "profile",
+    };
+    let reply = match &call.request {
+        AdminRequest::Metrics => AdminReply::Metrics {
+            text: obs.render_text(),
+            windows: obs.window_stats(),
+        },
+        AdminRequest::Health => {
+            let health = &shared.health;
+            let mut fields = health.fields();
+            fields.push((
+                "queue_depth".to_string(),
+                shared.depth.load(Ordering::Relaxed),
+            ));
+            fields.push((
+                "inflight".to_string(),
+                shared.inflight.load(Ordering::Relaxed),
+            ));
+            fields.push(("workers".to_string(), shared.workers));
+            fields.push(("requests".to_string(), shared.metrics.requests.get()));
+            fields.push(("responses".to_string(), shared.metrics.responses.get()));
+            fields.push((
+                "error_replies".to_string(),
+                shared.metrics.error_replies.get(),
+            ));
+            AdminReply::Health {
+                phase: health.phase().name().to_string(),
+                fields,
+            }
+        }
+        AdminRequest::SlowOps { max } => {
+            AdminReply::Lines(tail_lines(
+                obs.dump_recent()
+                    .into_iter()
+                    // The ring holds rendered JSON: the event classifier is
+                    // a fixed key, so a substring probe is exact enough and
+                    // avoids re-parsing every line on the ops path.
+                    .filter(|l| l.contains("\"event\":\"slow_op\""))
+                    .collect(),
+                *max,
+            ))
+        }
+        AdminRequest::RecentEvents { max } => {
+            AdminReply::Lines(tail_lines(obs.dump_recent(), *max))
+        }
+        AdminRequest::Profile { reset } => {
+            let reply = AdminReply::Profile {
+                hz: profiler::configured_hz(),
+                samples: profiler::samples_taken(),
+                folded: profiler::folded(),
+            };
+            if *reset {
+                profiler::reset();
+            }
+            reply
+        }
+    };
+    obs.emit_event("admin", "serve.admin", &[("kind", FieldValue::from(kind))]);
+    proto::encode_admin_response(call.id, &reply, scratch);
+    let mut stream = out.lock().expect("connection write lock");
+    let _ = frame::write_frame(scratch, &mut *stream);
+}
+
+/// The newest `max` lines (all of them when `max == 0`), oldest first.
+fn tail_lines(mut lines: Vec<String>, max: u32) -> Vec<String> {
+    let max = max as usize;
+    if max > 0 && lines.len() > max {
+        lines.drain(..lines.len() - max);
+    }
+    lines
 }
 
 /// The batching worker: drain a gulp of jobs, answer them against one
@@ -316,6 +473,17 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         let started = Instant::now();
         let _batch_span = lash_obs::span!("serve.batch", size = batch.len());
+        // Each job's queue wait ends here: the batch is picked up and the
+        // snapshot acquisition is next. This is the "batch gulp" latency
+        // that end-to-end numbers used to hide (the Nagle-class signal).
+        for job in &batch {
+            let waited = job.enqueued.elapsed();
+            shared.metrics.queue_wait_us.record_duration(waited);
+            shared.metrics.queue_wait_win.record_duration(waited);
+        }
+        shared
+            .inflight
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
 
         // Split the gulp: decodable queries go to the service as one
         // batch (one snapshot), envelope failures answer directly.
@@ -348,6 +516,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.metrics.responses.inc();
             }
         }
+        shared
+            .inflight
+            .fetch_sub(batch.len() as u64, Ordering::Relaxed);
         shared.metrics.batches.inc();
         shared.metrics.batch_size.record(batch.len() as u64);
         shared.metrics.batch_us.record_duration(started.elapsed());
@@ -394,5 +565,9 @@ fn next_batch(shared: &Shared) -> Vec<Job> {
             }
         }
     }
+    let depth = queue.len() as u64;
+    drop(queue);
+    shared.depth.store(depth, Ordering::Relaxed);
+    shared.metrics.queue_depth.set(depth);
     batch
 }

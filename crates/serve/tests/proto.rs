@@ -5,8 +5,11 @@
 
 use lash_core::ItemId;
 use lash_index::{PatternHit, Query, QueryError, QueryReply};
+use lash_obs::window::WindowStat;
 use lash_serve::proto::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    decode_inbound, decode_reply, decode_request, decode_response, encode_admin_request,
+    encode_admin_response, encode_request, encode_response, AdminReply, AdminRequest, Inbound,
+    ReplyBody, Request, Response,
 };
 use proptest::prelude::*;
 
@@ -118,5 +121,154 @@ proptest! {
         let i = byte as usize % buf.len();
         buf[i] ^= 1 << bit;
         let _ = decode_request(&buf);
+    }
+}
+
+/// Builds one of the five admin request kinds from flattened fuzz inputs.
+fn admin_request_from(kind: u8, n: u32, flag: bool) -> AdminRequest {
+    match kind % 5 {
+        0 => AdminRequest::Metrics,
+        1 => AdminRequest::Health,
+        2 => AdminRequest::SlowOps { max: n },
+        3 => AdminRequest::RecentEvents { max: n },
+        _ => AdminRequest::Profile { reset: flag },
+    }
+}
+
+/// Printable-ASCII strings up to `max_len` bytes (the shimmed proptest has
+/// no regex strategies).
+fn ascii_string(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..max_len)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as char).collect())
+}
+
+/// Builds one of the four admin reply kinds from flattened fuzz inputs.
+/// Each `stats` row is 7 values: window_us, count, sum, p50, p95, p99, max.
+fn admin_reply_from(
+    kind: u8,
+    text: &str,
+    lines: &[String],
+    stats: &[Vec<u64>],
+    a: u64,
+    b: u64,
+) -> AdminReply {
+    match kind % 4 {
+        0 => AdminReply::Metrics {
+            text: text.to_string(),
+            windows: stats
+                .iter()
+                .enumerate()
+                .map(|(i, s)| WindowStat {
+                    name: format!("metric_{i}"),
+                    window_us: s[0],
+                    count: s[1],
+                    sum: s[2],
+                    p50: s[3],
+                    p95: s[4],
+                    p99: s[5],
+                    max: s[6],
+                })
+                .collect(),
+        },
+        1 => AdminReply::Health {
+            phase: text.to_string(),
+            fields: lines.iter().map(|l| (l.clone(), a)).collect(),
+        },
+        2 => AdminReply::Lines(lines.to_vec()),
+        _ => AdminReply::Profile {
+            hz: a,
+            samples: b,
+            folded: text.to_string(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn admin_requests_round_trip(
+        id in any::<u64>(),
+        kind in any::<u8>(),
+        n in any::<u32>(),
+        flag in any::<bool>(),
+    ) {
+        let req = admin_request_from(kind, n, flag);
+        let mut buf = Vec::new();
+        encode_admin_request(id, &req, &mut buf);
+        match decode_inbound(&buf).unwrap() {
+            Inbound::Admin(call) => {
+                prop_assert_eq!(call.id, id);
+                prop_assert_eq!(call.request, req);
+            }
+            Inbound::Query(_) => prop_assert!(false, "admin envelope decoded as a query"),
+        }
+    }
+
+    #[test]
+    fn admin_replies_round_trip(
+        id in any::<u64>(),
+        kind in any::<u8>(),
+        text in ascii_string(80),
+        lines in prop::collection::vec(ascii_string(40), 0..6),
+        stats in prop::collection::vec(prop::collection::vec(any::<u64>(), 7..8), 0..4),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let reply = admin_reply_from(kind, &text, &lines, &stats, a, b);
+        let mut buf = Vec::new();
+        encode_admin_response(id, &reply, &mut buf);
+        let (rid, body) = decode_reply(&buf).unwrap();
+        prop_assert_eq!(rid, id);
+        prop_assert_eq!(body, ReplyBody::Admin(reply));
+    }
+
+    /// Arbitrary bytes never panic the inbound or reply decoders — the
+    /// admin lane is as total as the query lane.
+    #[test]
+    fn admin_byte_soup_decodes_totally(payload in prop::collection::vec(any::<u8>(), 0..300)) {
+        if let Err((_, e)) = decode_inbound(&payload) {
+            prop_assert!(matches!(
+                e,
+                QueryError::Malformed(_) | QueryError::UnsupportedVersion { .. }
+            ));
+        }
+        if let Err(e) = decode_reply(&payload) {
+            prop_assert!(matches!(
+                e,
+                QueryError::Malformed(_) | QueryError::UnsupportedVersion { .. }
+            ));
+        }
+    }
+
+    /// Truncating or bit-flipping a valid admin envelope (either
+    /// direction) decodes totally.
+    #[test]
+    fn admin_mutations_decode_totally(
+        id in any::<u64>(),
+        kind in any::<u8>(),
+        n in any::<u32>(),
+        lines in prop::collection::vec(ascii_string(20), 0..4),
+        cut in any::<u16>(),
+        byte in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let req = admin_request_from(kind, n, false);
+        let mut buf = Vec::new();
+        encode_admin_request(id, &req, &mut buf);
+        let cut_at = cut as usize % (buf.len() + 1);
+        let _ = decode_inbound(&buf[..cut_at]);
+        let i = byte as usize % buf.len();
+        buf[i] ^= 1 << bit;
+        let _ = decode_inbound(&buf);
+
+        let reply = AdminReply::Lines(lines);
+        let mut buf = Vec::new();
+        encode_admin_response(id, &reply, &mut buf);
+        let cut_at = cut as usize % (buf.len() + 1);
+        let _ = decode_reply(&buf[..cut_at]);
+        let i = byte as usize % buf.len();
+        buf[i] ^= 1 << bit;
+        let _ = decode_reply(&buf);
     }
 }

@@ -13,7 +13,9 @@ use lash_core::{GsmParams, ItemId, Lash, Vocabulary, VocabularyBuilder};
 use lash_encoding::frame::{self, FrameChecksum};
 use lash_index::{Query, QueryError, QueryReply};
 use lash_serve::proto::{self, Request};
-use lash_serve::{Client, Lifecycle, ServeConfig, Server, MAGIC, PROTOCOL_VERSION};
+use lash_serve::{
+    AdminReply, AdminRequest, Client, Lifecycle, ServeConfig, Server, MAGIC, PROTOCOL_VERSION,
+};
 use lash_store::{CorpusWriter, StoreOptions};
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -63,7 +65,8 @@ fn boot(tag: &str, config: &ServeConfig) -> (Lifecycle, Server, PathBuf) {
         config,
     )
     .unwrap();
-    let server = Server::start(lifecycle.service(), config).unwrap();
+    let server =
+        Server::start_with_health(lifecycle.service(), config, lifecycle.health()).unwrap();
     (lifecycle, server, root)
 }
 
@@ -271,6 +274,180 @@ fn wrong_handshake_version_gets_typed_error() {
             serving: PROTOCOL_VERSION as u32,
         })
     );
+    server.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The admin lane answers every request kind over TCP while the same
+/// daemon serves queries on another connection — the operational plane's
+/// acceptance bar.
+#[test]
+fn admin_lane_answers_while_serving_queries() {
+    let config = ServeConfig::default();
+    let (_lifecycle, server, root) = boot("admin", &config);
+    let addr = server.local_addr();
+
+    let mut query_client = Client::connect(addr).unwrap();
+    let mut admin_client = Client::connect(addr).unwrap();
+    for _ in 0..20 {
+        let reply = query_client
+            .query(&Query::TopK {
+                prefix: vec![],
+                k: 3,
+            })
+            .unwrap();
+        assert!(matches!(reply, QueryReply::Patterns(_)));
+    }
+
+    match admin_client.admin(&AdminRequest::Metrics).unwrap() {
+        AdminReply::Metrics { text, windows } => {
+            assert!(
+                text.contains("index_queries_served"),
+                "metrics exposition misses the query counter:\n{text}"
+            );
+            assert!(
+                windows.iter().any(|w| w.name == "query.requests"),
+                "windowed readouts miss query.requests: {windows:?}"
+            );
+            assert!(
+                windows
+                    .iter()
+                    .any(|w| w.name == "serve.queue.wait_us" && w.count > 0),
+                "queue-wait window never saw a request: {windows:?}"
+            );
+        }
+        other => panic!("expected a Metrics reply, got {other:?}"),
+    }
+
+    match admin_client.admin(&AdminRequest::Health).unwrap() {
+        AdminReply::Health { phase, fields } => {
+            assert_eq!(phase, "serving");
+            let get = |key: &str| {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| *v)
+                    .unwrap_or_else(|| panic!("health reply misses {key}: {fields:?}"))
+            };
+            assert!(get("workers") >= 1);
+            assert!(get("uptime_us") > 0);
+            assert!(get("store_sequences") > 0);
+            get("queue_depth");
+            get("inflight");
+            get("snapshot_age_us");
+        }
+        other => panic!("expected a Health reply, got {other:?}"),
+    }
+
+    match admin_client
+        .admin(&AdminRequest::RecentEvents { max: 50 })
+        .unwrap()
+    {
+        AdminReply::Lines(lines) => {
+            assert!(!lines.is_empty(), "the ring must hold recent events");
+            assert!(lines.len() <= 50);
+            // Ring dumps are windows, not whole traces: schema-only mode.
+            let (_, stats) =
+                lash_obs::validate::validate_str_schema_only(&lines.join("\n")).unwrap();
+            assert_eq!(stats.events as usize, lines.len());
+        }
+        other => panic!("expected a Lines reply, got {other:?}"),
+    }
+
+    match admin_client
+        .admin(&AdminRequest::SlowOps { max: 5 })
+        .unwrap()
+    {
+        AdminReply::Lines(lines) => assert!(lines.len() <= 5),
+        other => panic!("expected a Lines reply, got {other:?}"),
+    }
+
+    match admin_client
+        .admin(&AdminRequest::Profile { reset: false })
+        .unwrap()
+    {
+        AdminReply::Profile { folded, .. } => {
+            // The profiler thread may not be running under tests; the reply
+            // must still be well-formed folded text (possibly empty).
+            for line in folded.lines() {
+                assert!(line.rsplit_once(' ').is_some(), "bad folded line: {line}");
+            }
+        }
+        other => panic!("expected a Profile reply, got {other:?}"),
+    }
+
+    // The query connection is still alive after all the admin traffic.
+    let reply = query_client
+        .query(&Query::TopK {
+            prefix: vec![],
+            k: 1,
+        })
+        .unwrap();
+    assert!(matches!(reply, QueryReply::Patterns(_)));
+
+    // Queue instrumentation reached the lifetime metrics too.
+    let snap = lash_obs::global()
+        .histogram("serve.queue.wait_us")
+        .snapshot();
+    assert!(snap.count > 0, "queue-wait histogram never recorded");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A garbage admin envelope (valid frame, undecodable body) must come back
+/// as a typed error and leave the connection serving both lanes.
+#[test]
+fn garbage_admin_envelope_keeps_connection_serving() {
+    let config = ServeConfig::default();
+    let (_lifecycle, server, root) = boot("admin-garbage", &config);
+    let mut stream = raw_handshake(server.local_addr());
+
+    // Envelope version + id + an admin tag (0x12 = SlowOps) with its max
+    // count missing: decodes to Malformed on the admin path.
+    let mut payload = Vec::new();
+    proto::encode_admin_request(9, &AdminRequest::SlowOps { max: 3 }, &mut payload);
+    payload.truncate(payload.len() - 1);
+    frame::write_frame(&payload, &mut stream).unwrap();
+    let resp = read_reply(&mut stream);
+    assert!(
+        matches!(resp.reply, QueryReply::Error(QueryError::Malformed(_))),
+        "{:?}",
+        resp.reply
+    );
+
+    // Same connection: a well-formed admin request still answers…
+    let mut payload = Vec::new();
+    proto::encode_admin_request(10, &AdminRequest::Health, &mut payload);
+    frame::write_frame(&payload, &mut stream).unwrap();
+    let mut buf = Vec::new();
+    let len = frame::read_frame_into(&mut stream, &mut buf, FrameChecksum::Fnv1a)
+        .unwrap()
+        .expect("an admin reply frame");
+    let (id, body) = proto::decode_reply(&buf[..len]).unwrap();
+    assert_eq!(id, 10);
+    assert!(matches!(
+        body,
+        proto::ReplyBody::Admin(AdminReply::Health { .. })
+    ));
+
+    // …and so does a query.
+    let mut payload = Vec::new();
+    proto::encode_request(
+        &Request::new(
+            11,
+            Query::TopK {
+                prefix: vec![],
+                k: 1,
+            },
+        ),
+        &mut payload,
+    );
+    frame::write_frame(&payload, &mut stream).unwrap();
+    let resp = read_reply(&mut stream);
+    assert_eq!(resp.id, 11);
+    assert!(matches!(resp.reply, QueryReply::Patterns(_)));
+
     server.shutdown();
     std::fs::remove_dir_all(&root).unwrap();
 }

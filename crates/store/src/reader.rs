@@ -111,6 +111,10 @@ impl CorpusReader {
         // replaces these generations defers their deletes to this reader's
         // drop, so scans stay valid for the snapshot's whole lifetime.
         let pins = crate::pins::pin(&dir, manifest.generations.iter().map(|g| g.id));
+        let obs = lash_obs::global();
+        obs.gauge("store.generations")
+            .set(manifest.generations.len() as u64);
+        obs.gauge("store.sequences").set(manifest.num_sequences);
         Ok(CorpusReader {
             dir,
             manifest,
